@@ -1,0 +1,53 @@
+// Ablation: effect of the input vertex ordering on LOTUS (Sec. 4.3.1).
+//
+// The LOTUS relabeling keeps non-hub vertices in input order precisely
+// because crawl orderings carry spatial locality that full degree ordering
+// destroys. This bench relabels each dataset under several orderings and
+// reports the gap-locality metrics, the compressed size, and the LOTUS
+// end-to-end / NNN times. Expected shape: random ordering inflates gaps,
+// compression cost, and NNN time; BFS ≈ original ≈ best.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "graph/builder.hpp"
+#include "graph/compressed.hpp"
+#include "graph/reorder.hpp"
+#include "lotus/lotus.hpp"
+
+int main(int argc, char** argv) {
+  lotus::util::Cli cli("Ablation: input ordering vs LOTUS locality");
+  lotus::bench::add_common_options(cli, "SK-S,UKDls-S");
+  if (!cli.parse(argc, argv)) return 1;
+  const auto ctx = lotus::bench::make_context(cli);
+
+  lotus::util::TablePrinter table("Ablation - input ordering");
+  table.header({"Dataset", "ordering", "avg gap", "bits/edge", "compressed",
+                "lotus total(s)", "NNN(s)"});
+
+  for (const auto& dataset : ctx.selection) {
+    const auto graph = lotus::bench::load(dataset, ctx.factor);
+    std::uint64_t expected = 0;
+    for (auto ordering : lotus::graph::all_orderings()) {
+      const auto relabeled = lotus::graph::relabel(
+          graph, lotus::graph::make_ordering(graph, ordering, 11));
+      const auto r = lotus::core::count_triangles(relabeled, ctx.lotus_config);
+      if (expected == 0) expected = r.triangles;
+      if (r.triangles != expected) {
+        std::cerr << "count mismatch under ordering "
+                  << lotus::graph::ordering_name(ordering) << "\n";
+        return 1;
+      }
+      table.row({dataset.name, lotus::graph::ordering_name(ordering),
+                 lotus::util::fixed(lotus::graph::average_neighbor_gap(relabeled), 0),
+                 lotus::util::fixed(lotus::graph::log_gap_cost_bits(relabeled), 2),
+                 lotus::util::human_bytes(
+                     lotus::graph::CompressedCsr::encode(relabeled).topology_bytes()),
+                 lotus::util::fixed(r.total_s(), 3),
+                 lotus::util::fixed(r.nnn_s, 3)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\npaper (Sec. 4.3.1): LOTUS keeps the non-hub tail in input order\n"
+               "to preserve exactly this locality.\n";
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Shared scaffolding for the per-table/per-figure bench binaries.
+//
+// Every bench accepts --datasets (comma list | "all" | "large"), --factor
+// (vertex-count multiplier over the registry defaults), --threads and
+// --hubs, and prints through util::TablePrinter so outputs are uniform.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "datasets/registry.hpp"
+#include "graph/csr.hpp"
+#include "lotus/config.hpp"
+#include "parallel/thread_pool.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace lotus::bench {
+
+struct BenchContext {
+  std::vector<datasets::Dataset> selection;
+  double factor = 1.0;
+  core::LotusConfig lotus_config;
+};
+
+/// Register the common options on `cli`.
+inline void add_common_options(util::Cli& cli, const std::string& default_datasets = "",
+                               const std::string& default_factor = "1.0") {
+  cli.opt("datasets", default_datasets,
+          "comma-separated dataset names, 'all', or 'large' (empty = small group)");
+  cli.opt("factor", default_factor, "vertex-count multiplier over registry defaults");
+  cli.opt("threads", "0", "worker threads (0 = hardware concurrency)");
+  cli.opt("hubs", "0", "LOTUS hub count (0 = automatic 1% rule)");
+}
+
+/// Apply parsed common options; returns the ready-to-use context.
+inline BenchContext make_context(const util::Cli& cli) {
+  BenchContext ctx;
+  ctx.selection = datasets::parse_selection(cli.get("datasets"));
+  ctx.factor = cli.get_double("factor");
+  parallel::set_num_threads(static_cast<unsigned>(cli.get_int("threads")));
+  ctx.lotus_config.hub_count = static_cast<graph::VertexId>(cli.get_int("hubs"));
+  return ctx;
+}
+
+/// Build one dataset's graph, echoing its size to stderr as progress.
+inline graph::CsrGraph load(const datasets::Dataset& dataset, double factor) {
+  util::Timer timer;
+  graph::CsrGraph graph = dataset.make(factor);
+  std::cerr << "[gen] " << dataset.name << ": |V|="
+            << util::with_commas(graph.num_vertices()) << " |E|="
+            << util::with_commas(graph.num_edges() / 2) << " ("
+            << util::fixed(timer.elapsed_s(), 1) << "s)\n";
+  return graph;
+}
+
+inline std::string pct(double value, int precision = 1) {
+  return util::fixed(value, precision);
+}
+
+}  // namespace lotus::bench

@@ -1,0 +1,107 @@
+// Micro-benchmark: the four intersection strategies (Sec. 6.3) across list
+// size ratios. Justifies LOTUS's kernel choices: merge join wins when lists
+// are short and similar (NNN/HNN), galloping when sizes are wildly skewed.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "baselines/intersect.hpp"
+#include "baselines/simd_intersect.hpp"
+#include "util/bitset.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+using namespace lotus::baselines;
+
+std::vector<std::uint32_t> make_sorted(std::size_t n, std::uint32_t universe,
+                                       std::uint64_t seed) {
+  lotus::util::Xoshiro256 rng(seed);
+  std::vector<std::uint32_t> out;
+  out.reserve(n);
+  std::uint32_t value = 0;
+  const std::uint32_t max_gap = std::max<std::uint32_t>(1, universe / static_cast<std::uint32_t>(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    value += 1 + static_cast<std::uint32_t>(rng.next_below(max_gap));
+    out.push_back(value);
+  }
+  return out;
+}
+
+void BM_Merge(benchmark::State& state) {
+  const auto a = make_sorted(static_cast<std::size_t>(state.range(0)), 1 << 20, 1);
+  const auto b = make_sorted(static_cast<std::size_t>(state.range(1)), 1 << 20, 2);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(intersect_merge<std::uint32_t>(a, b));
+  state.SetItemsProcessed(state.iterations() *
+                          (state.range(0) + state.range(1)));
+}
+
+void BM_Gallop(benchmark::State& state) {
+  const auto a = make_sorted(static_cast<std::size_t>(state.range(0)), 1 << 20, 1);
+  const auto b = make_sorted(static_cast<std::size_t>(state.range(1)), 1 << 20, 2);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(intersect_gallop<std::uint32_t>(a, b));
+  state.SetItemsProcessed(state.iterations() *
+                          (state.range(0) + state.range(1)));
+}
+
+void BM_MergeBranchless(benchmark::State& state) {
+  const auto a = make_sorted(static_cast<std::size_t>(state.range(0)), 1 << 20, 1);
+  const auto b = make_sorted(static_cast<std::size_t>(state.range(1)), 1 << 20, 2);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(intersect_merge_branchless<std::uint32_t>(a, b));
+  state.SetItemsProcessed(state.iterations() *
+                          (state.range(0) + state.range(1)));
+}
+
+void BM_BinaryBranchfree(benchmark::State& state) {
+  const auto a = make_sorted(static_cast<std::size_t>(state.range(0)), 1 << 20, 1);
+  const auto b = make_sorted(static_cast<std::size_t>(state.range(1)), 1 << 20, 2);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(intersect_binary_branchfree<std::uint32_t>(a, b));
+  state.SetItemsProcessed(state.iterations() *
+                          (state.range(0) + state.range(1)));
+}
+
+void BM_Simd(benchmark::State& state) {
+  const auto a = make_sorted(static_cast<std::size_t>(state.range(0)), 1 << 20, 1);
+  const auto b = make_sorted(static_cast<std::size_t>(state.range(1)), 1 << 20, 2);
+  for (auto _ : state) benchmark::DoNotOptimize(intersect_simd(a, b));
+  state.SetItemsProcessed(state.iterations() *
+                          (state.range(0) + state.range(1)));
+}
+
+void BM_Hashed(benchmark::State& state) {
+  const auto a = make_sorted(static_cast<std::size_t>(state.range(0)), 1 << 20, 1);
+  const auto b = make_sorted(static_cast<std::size_t>(state.range(1)), 1 << 20, 2);
+  HashedSet<std::uint32_t> set;
+  set.build(a);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(set.count_hits(std::span<const std::uint32_t>(b)));
+}
+
+void BM_Bitmap(benchmark::State& state) {
+  const auto a = make_sorted(static_cast<std::size_t>(state.range(0)), 1 << 20, 1);
+  const auto b = make_sorted(static_cast<std::size_t>(state.range(1)), 1 << 20, 2);
+  lotus::util::Bitset bitmap(1 << 21);
+  for (auto x : a) bitmap.set(x);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(count_bitmap_hits<std::uint32_t>(b, bitmap));
+}
+
+void SizePairs(benchmark::internal::Benchmark* b) {
+  b->Args({64, 64})->Args({64, 4096})->Args({1024, 1024})->Args({16, 65536});
+}
+
+BENCHMARK(BM_Merge)->Apply(SizePairs);
+BENCHMARK(BM_MergeBranchless)->Apply(SizePairs);
+BENCHMARK(BM_Gallop)->Apply(SizePairs);
+BENCHMARK(BM_BinaryBranchfree)->Apply(SizePairs);
+BENCHMARK(BM_Simd)->Apply(SizePairs);
+BENCHMARK(BM_Hashed)->Apply(SizePairs);
+BENCHMARK(BM_Bitmap)->Apply(SizePairs);
+
+}  // namespace
+
+BENCHMARK_MAIN();

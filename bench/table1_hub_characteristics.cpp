@@ -1,0 +1,51 @@
+// Reproduces Table 1: topological characteristics of hubs, with the 1% of
+// highest-degree vertices selected as hubs.
+//
+// Columns match the paper: hub-to-hub / hub-to-non-hub / total hub edge
+// percentages, non-hub edge percentage, hub-triangle percentage, relative
+// density of the hub sub-graph, and the fruitless-search percentage of
+// Sec. 3.3. Paper averages: 18.1 / 54.8 / 72.9 / 27.1 / 93.4 / 1809 / 53.3.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "graph/stats.hpp"
+
+int main(int argc, char** argv) {
+  lotus::util::Cli cli("Table 1: topological characteristics of hubs (1% hubs)");
+  lotus::bench::add_common_options(cli);
+  cli.opt("hub-fraction", "0.01", "fraction of vertices selected as hubs");
+  if (!cli.parse(argc, argv)) return 1;
+  const auto ctx = lotus::bench::make_context(cli);
+  const double hub_fraction = cli.get_double("hub-fraction");
+
+  lotus::util::TablePrinter table("Table 1 - hub characteristics");
+  table.header({"Dataset", "H2H E(%)", "H2N E(%)", "HubE(%)", "NonHubE(%)",
+                "HubTri(%)", "RelDensity", "Fruitless(%)"});
+
+  double sums[7] = {};
+  for (const auto& dataset : ctx.selection) {
+    const auto graph = lotus::bench::load(dataset, ctx.factor);
+    const auto h = lotus::graph::hub_stats(graph, hub_fraction);
+    table.row({dataset.name, lotus::bench::pct(h.hub_to_hub_edges_pct),
+               lotus::bench::pct(h.hub_to_nonhub_edges_pct),
+               lotus::bench::pct(h.hub_edges_total_pct),
+               lotus::bench::pct(h.nonhub_edges_pct),
+               lotus::bench::pct(h.hub_triangles_pct),
+               lotus::util::fixed(h.relative_density_hubs, 0),
+               lotus::bench::pct(h.fruitless_searches_pct)});
+    const double values[7] = {h.hub_to_hub_edges_pct, h.hub_to_nonhub_edges_pct,
+                              h.hub_edges_total_pct, h.nonhub_edges_pct,
+                              h.hub_triangles_pct, h.relative_density_hubs,
+                              h.fruitless_searches_pct};
+    for (int i = 0; i < 7; ++i) sums[i] += values[i];
+  }
+  const auto n = static_cast<double>(ctx.selection.size());
+  if (n > 0)
+    table.row({"Average", lotus::bench::pct(sums[0] / n), lotus::bench::pct(sums[1] / n),
+               lotus::bench::pct(sums[2] / n), lotus::bench::pct(sums[3] / n),
+               lotus::bench::pct(sums[4] / n), lotus::util::fixed(sums[5] / n, 0),
+               lotus::bench::pct(sums[6] / n)});
+  table.print(std::cout);
+  std::cout << "\npaper averages: 18.1  54.8  72.9  27.1  93.4  1809  53.3\n";
+  return 0;
+}

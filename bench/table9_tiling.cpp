@@ -1,0 +1,130 @@
+// Reproduces Table 9: average thread idle time in phase 1 (HHH & HHN) under
+// edge-balanced partitioning vs squared edge tiling. Paper: idle time drops
+// from 13.6-83.3% to 0.7-3.3%, a 2.7x phase speedup.
+//
+// Two measurements are reported per policy:
+//   * sim%  — deterministic greedy-scheduling simulation using each tile's
+//     exact pair-work as its cost (independent of the host's core count);
+//   * meas% — wall-clock idle fraction from the work-stealing scheduler's
+//     per-thread busy clocks (meaningful only with real hardware threads).
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+#include <thread>
+
+#include "bench/common.hpp"
+#include "graph/builder.hpp"
+#include "lotus/count.hpp"
+#include "lotus/lotus_graph.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using lotus::core::HubTile;
+using lotus::core::TilingPolicy;
+
+/// Greedy list scheduling of task costs onto `threads` identical workers;
+/// returns idle fraction in percent.
+double simulate_idle_pct(const std::vector<std::vector<HubTile>>& tasks,
+                         unsigned threads) {
+  std::vector<std::uint64_t> finish(threads, 0);
+  std::uint64_t total = 0;
+  for (const auto& task : tasks) {
+    std::uint64_t cost = 0;
+    for (const HubTile& t : task) cost += lotus::core::pair_work(t.begin, t.end);
+    auto* earliest = &*std::min_element(finish.begin(), finish.end());
+    *earliest += cost;
+    total += cost;
+  }
+  const std::uint64_t makespan = *std::max_element(finish.begin(), finish.end());
+  if (makespan == 0) return 0.0;
+  return 100.0 * (1.0 - static_cast<double>(total) /
+                            (static_cast<double>(makespan) * threads));
+}
+
+/// Wall-clock idle fraction; "n/a" without real hardware parallelism (the
+/// busy-clock comparison needs threads that can actually overlap).
+std::string measured_idle_pct(const lotus::core::LotusGraph& lg,
+                              const lotus::core::LotusConfig& config,
+                              TilingPolicy policy) {
+  std::vector<double> busy;
+  lotus::util::Timer timer;
+  lotus::core::count_hhh_hhn(lg, config, policy, &busy);
+  const double wall = timer.elapsed_s();
+  if (busy.size() <= 1 || std::thread::hardware_concurrency() <= 1) return "n/a";
+  const double busy_total = std::accumulate(busy.begin(), busy.end(), 0.0);
+  const double capacity = wall * static_cast<double>(busy.size());
+  if (capacity <= 0) return "n/a";
+  return lotus::bench::pct(std::max(0.0, 100.0 * (1.0 - busy_total / capacity)));
+}
+
+}  // namespace
+
+namespace {
+
+/// Synthetic "whale" graph reproducing the paper's mega-vertex regime
+/// (vertices whose HE degree approaches the hub count, where edge-balanced
+/// partitioning idles up to 83% of threads). One whale vertex is adjacent
+/// to all `hubs` hub vertices; each hub carries enough leaf padding to
+/// out-rank the whale under degree ordering, so the whale's N^< list holds
+/// all hubs and its phase-1 pair loop is C(hubs, 2) — dwarfing every other
+/// vertex's work, exactly like a 64K-hub-degree vertex in a real crawl.
+lotus::graph::CsrGraph whale_graph(lotus::graph::VertexId hubs) {
+  using lotus::graph::VertexId;
+  lotus::graph::EdgeList el;
+  const VertexId whale = hubs;
+  const VertexId padding = hubs + 4;  // leaves per hub: rank hubs above whale
+  VertexId next_leaf = hubs + 1;
+  for (VertexId h = 0; h < hubs; ++h) {
+    el.edges.push_back({h, whale});
+    for (unsigned c = 1; c <= 4; ++c)  // sparse circulant keeps hubs connected
+      el.edges.push_back({h, (h + c) % hubs});
+    for (VertexId leaf = 0; leaf < padding; ++leaf)
+      el.edges.push_back({h, next_leaf++});
+  }
+  el.num_vertices = next_leaf;
+  return lotus::graph::build_undirected(el);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lotus::util::Cli cli("Table 9: thread idle time, edge-balanced vs squared edge tiling");
+  lotus::bench::add_common_options(cli);
+  cli.opt("sim-threads", "32", "thread count for the scheduling simulation");
+  cli.opt("whale-hubs", "1024",
+          "hub neighbours of the synthetic whale vertex (0 disables the row)");
+  if (!cli.parse(argc, argv)) return 1;
+  const auto ctx = lotus::bench::make_context(cli);
+  const auto sim_threads = static_cast<unsigned>(cli.get_int("sim-threads"));
+
+  lotus::util::TablePrinter table("Table 9 - phase-1 idle time (% of execution)");
+  table.header({"Dataset", "edge-bal sim%", "squared sim%", "edge-bal meas%",
+                "squared meas%"});
+
+  auto emit_row = [&](const std::string& name, const lotus::graph::CsrGraph& graph) {
+    const auto lg = lotus::core::LotusGraph::build(graph, ctx.lotus_config);
+    const auto balanced_tasks = lotus::core::build_hub_tasks(
+        lg, ctx.lotus_config, TilingPolicy::kEdgeBalanced, sim_threads);
+    const auto squared_tasks = lotus::core::build_hub_tasks(
+        lg, ctx.lotus_config, TilingPolicy::kSquared, sim_threads);
+    table.row({name,
+               lotus::bench::pct(simulate_idle_pct(balanced_tasks, sim_threads)),
+               lotus::bench::pct(simulate_idle_pct(squared_tasks, sim_threads)),
+               measured_idle_pct(lg, ctx.lotus_config, TilingPolicy::kEdgeBalanced),
+               measured_idle_pct(lg, ctx.lotus_config, TilingPolicy::kSquared)});
+  };
+
+  for (const auto& dataset : ctx.selection)
+    emit_row(dataset.name, lotus::bench::load(dataset, ctx.factor));
+
+  // Mega-vertex demonstration: a whale with a paper-scale HE degree.
+  const auto whale_hubs =
+      static_cast<lotus::graph::VertexId>(cli.get_int("whale-hubs"));
+  if (whale_hubs > 0)
+    emit_row("whale(" + std::to_string(whale_hubs) + ")", whale_graph(whale_hubs));
+  table.print(std::cout);
+  std::cout << "\npaper [SkyLakeX, 32 threads]: edge-balanced 13.6-83.3% idle, "
+               "squared edge tiling 0.7-3.3%\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+// k-clique counting and the paper's future-work conjecture (Sec. 7): the
+// hub-dominance of triangles becomes even more extreme for larger cliques.
+//
+// Counts k-cliques for k = 3, 4, 5 on a skewed graph and reports the share
+// containing at least one hub — the statistic that motivates extending
+// LOTUS's hub separation to k-clique counting.
+#include <iostream>
+
+#include "datasets/registry.hpp"
+#include "lotus/kclique.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  lotus::util::Cli cli("k-clique census with hub attribution");
+  cli.opt("dataset", "Twtr10-S", "registry dataset to analyze");
+  cli.opt("factor", "0.25", "vertex-count multiplier");
+  cli.opt("max-k", "5", "largest clique size to count");
+  cli.opt("hub-fraction", "0.01", "top-degree fraction treated as hubs");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto& dataset = lotus::datasets::dataset(cli.get("dataset"));
+  const auto graph = dataset.make(cli.get_double("factor"));
+  std::cout << "dataset " << dataset.name << ": "
+            << lotus::util::with_commas(graph.num_vertices()) << " vertices, "
+            << lotus::util::with_commas(graph.num_edges() / 2) << " edges\n\n";
+
+  lotus::util::TablePrinter table("k-clique census");
+  table.header({"k", "cliques", "with >=1 hub", "hub share"});
+  double previous_share = 0.0;
+  bool monotone = true;
+  for (unsigned k = 3; k <= static_cast<unsigned>(cli.get_int("max-k")); ++k) {
+    const auto r = lotus::core::count_kcliques(graph, k, cli.get_double("hub-fraction"));
+    table.row({std::to_string(k), lotus::util::with_commas(r.cliques),
+               lotus::util::with_commas(r.hub_cliques),
+               lotus::util::fixed(r.hub_pct(), 2) + "%"});
+    if (k > 3 && r.hub_pct() + 1e-9 < previous_share) monotone = false;
+    previous_share = r.hub_pct();
+  }
+  table.print(std::cout);
+  std::cout << "\npaper conjecture (Sec. 7): hub share grows with k -> "
+            << (monotone ? "confirmed on this graph" : "not observed here") << "\n";
+  return 0;
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Build, test, and regenerate every paper table/figure, recording outputs
+# the way EXPERIMENTS.md references them.
+set -eu
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+for b in build/bench/*; do
+  echo "===== $b ====="
+  "$b"
+done 2>&1 | tee bench_output.txt

@@ -1,0 +1,84 @@
+#include "algorithms/bfs.hpp"
+
+#include <atomic>
+
+#include "parallel/parallel_for.hpp"
+
+namespace lotus::algorithms {
+
+using graph::CsrGraph;
+using graph::VertexId;
+
+BfsResult bfs(const CsrGraph& graph, VertexId source) {
+  const VertexId n = graph.num_vertices();
+  BfsResult result;
+  result.distance.assign(n, kUnreached);
+  if (n == 0) return result;
+
+  result.distance[source] = 0;
+  result.reached = 1;
+  std::vector<VertexId> frontier = {source};
+  std::uint32_t level = 0;
+
+  // Heuristic from Beamer et al.: go bottom-up once the frontier's edge
+  // volume passes a fraction of the remaining work.
+  const std::uint64_t bottom_up_threshold = graph.num_edges() / 20 + 1;
+
+  while (!frontier.empty()) {
+    ++level;
+    std::uint64_t frontier_edges = 0;
+    for (VertexId v : frontier) frontier_edges += graph.degree(v);
+
+    std::vector<VertexId> next;
+    if (frontier_edges >= bottom_up_threshold) {
+      // Bottom-up sweep: every unreached vertex scans for a parent at the
+      // previous level.
+      ++result.bottom_up_sweeps;
+      std::vector<std::uint8_t> in_frontier(n, 0);
+      for (VertexId v : frontier) in_frontier[v] = 1;
+      std::vector<parallel::Padded<std::vector<VertexId>>> found(
+          parallel::max_parallelism());
+      parallel::parallel_for(0, n, 512,
+          [&](unsigned thread_index, std::uint64_t b, std::uint64_t e) {
+            for (std::uint64_t vi = b; vi < e; ++vi) {
+              const auto v = static_cast<VertexId>(vi);
+              if (result.distance[v] != kUnreached) continue;
+              for (VertexId u : graph.neighbors(v)) {
+                if (in_frontier[u]) {
+                  result.distance[v] = level;
+                  found[thread_index].value.push_back(v);
+                  break;
+                }
+              }
+            }
+          });
+      for (auto& f : found)
+        next.insert(next.end(), f.value.begin(), f.value.end());
+    } else {
+      // Top-down expansion with atomic claim of unreached neighbours.
+      std::vector<parallel::Padded<std::vector<VertexId>>> found(
+          parallel::max_parallelism());
+      std::atomic<std::uint32_t>* distances =
+          reinterpret_cast<std::atomic<std::uint32_t>*>(result.distance.data());
+      parallel::parallel_for(0, frontier.size(), 16,
+          [&](unsigned thread_index, std::uint64_t b, std::uint64_t e) {
+            for (std::uint64_t i = b; i < e; ++i) {
+              for (VertexId u : graph.neighbors(frontier[i])) {
+                std::uint32_t expected = kUnreached;
+                if (distances[u].compare_exchange_strong(
+                        expected, level, std::memory_order_relaxed)) {
+                  found[thread_index].value.push_back(u);
+                }
+              }
+            }
+          });
+      for (auto& f : found)
+        next.insert(next.end(), f.value.begin(), f.value.end());
+    }
+    result.reached += next.size();
+    frontier = std::move(next);
+  }
+  return result;
+}
+
+}  // namespace lotus::algorithms

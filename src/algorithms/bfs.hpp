@@ -1,0 +1,29 @@
+// Breadth-first search with direction optimization.
+//
+// Sec. 3.2 contrasts TC with traversal algorithms whose random accesses
+// target per-vertex data (1-64 bits/vertex) rather than the edge arrays.
+// This BFS is that reference point: the Sec.-3.2 locality bench replays it
+// through the hardware model next to TC. The implementation follows the
+// GAP/Beamer direction-optimizing scheme: top-down frontier expansion,
+// switching to bottom-up sweeps when the frontier is a large fraction of
+// the graph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace lotus::algorithms {
+
+inline constexpr std::uint32_t kUnreached = ~std::uint32_t{0};
+
+struct BfsResult {
+  std::vector<std::uint32_t> distance;  // kUnreached if not reachable
+  std::uint64_t reached = 0;
+  unsigned bottom_up_sweeps = 0;  // how often direction optimization fired
+};
+
+BfsResult bfs(const graph::CsrGraph& graph, graph::VertexId source);
+
+}  // namespace lotus::algorithms

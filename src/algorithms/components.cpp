@@ -1,0 +1,62 @@
+#include "algorithms/components.hpp"
+
+#include <atomic>
+#include <numeric>
+
+#include "parallel/parallel_for.hpp"
+
+namespace lotus::algorithms {
+
+using graph::CsrGraph;
+using graph::VertexId;
+
+ComponentsResult connected_components(const CsrGraph& graph) {
+  const VertexId n = graph.num_vertices();
+  ComponentsResult result;
+  result.component.resize(n);
+  std::iota(result.component.begin(), result.component.end(), 0);
+  if (n == 0) return result;
+
+  auto* labels =
+      reinterpret_cast<std::atomic<VertexId>*>(result.component.data());
+  std::atomic<bool> changed{true};
+  while (changed.load()) {
+    changed.store(false);
+    ++result.iterations;
+    // Hook: adopt the smallest label in the neighbourhood.
+    parallel::parallel_for(0, n, 512,
+        [&](unsigned, std::uint64_t b, std::uint64_t e) {
+          bool local_changed = false;
+          for (std::uint64_t vi = b; vi < e; ++vi) {
+            const auto v = static_cast<VertexId>(vi);
+            VertexId best = labels[v].load(std::memory_order_relaxed);
+            for (VertexId u : graph.neighbors(v))
+              best = std::min(best, labels[u].load(std::memory_order_relaxed));
+            VertexId current = labels[v].load(std::memory_order_relaxed);
+            while (best < current &&
+                   !labels[v].compare_exchange_weak(current, best,
+                                                    std::memory_order_relaxed)) {
+            }
+            local_changed |= best < current;
+          }
+          if (local_changed) changed.store(true, std::memory_order_relaxed);
+        });
+    // Compress: pointer jumping halves label-chain lengths.
+    parallel::parallel_for(0, n, 1024,
+        [&](unsigned, std::uint64_t b, std::uint64_t e) {
+          for (std::uint64_t vi = b; vi < e; ++vi) {
+            const auto v = static_cast<VertexId>(vi);
+            VertexId l = labels[v].load(std::memory_order_relaxed);
+            while (l != labels[l].load(std::memory_order_relaxed))
+              l = labels[l].load(std::memory_order_relaxed);
+            labels[v].store(l, std::memory_order_relaxed);
+          }
+        });
+  }
+
+  for (VertexId v = 0; v < n; ++v)
+    result.num_components += result.component[v] == v ? 1u : 0u;
+  return result;
+}
+
+}  // namespace lotus::algorithms

@@ -1,0 +1,21 @@
+// Connected components by parallel label propagation with pointer jumping —
+// the algorithm family of the authors' Thrifty work (Sec. 6.5 context) and
+// a second vertex-data reference point for the Sec.-3.2 locality contrast.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace lotus::algorithms {
+
+struct ComponentsResult {
+  std::vector<graph::VertexId> component;  // representative per vertex
+  std::uint64_t num_components = 0;
+  unsigned iterations = 0;
+};
+
+ComponentsResult connected_components(const graph::CsrGraph& graph);
+
+}  // namespace lotus::algorithms

@@ -1,0 +1,111 @@
+#include "algorithms/ktruss.hpp"
+
+#include <algorithm>
+
+#include "graph/builder.hpp"
+
+namespace lotus::algorithms {
+
+using graph::CsrGraph;
+using graph::OrientedCsr;
+using graph::VertexId;
+
+namespace {
+
+/// Index of oriented edge (a, b) with a < b in the flattened (by b) order;
+/// b's list is sorted so the position is a binary search.
+std::uint64_t edge_id(const OrientedCsr& oriented, VertexId a, VertexId b) {
+  auto nb = oriented.neighbors(b);
+  const auto it = std::lower_bound(nb.begin(), nb.end(), a);
+  return oriented.offset(b) + static_cast<std::uint64_t>(it - nb.begin());
+}
+
+}  // namespace
+
+KTrussResult ktruss_decomposition(const CsrGraph& graph) {
+  KTrussResult result;
+  const OrientedCsr oriented = graph::orient_by_id(graph);
+  const std::uint64_t m = oriented.num_edges();
+  result.trussness.assign(m, 0);
+  if (m == 0) return result;
+
+  // Edge endpoints (u < v) in flattened order.
+  std::vector<VertexId> edge_u(m), edge_v(m);
+  for (VertexId v = 0; v < oriented.num_vertices(); ++v) {
+    std::uint64_t e = oriented.offset(v);
+    for (VertexId u : oriented.neighbors(v)) {
+      edge_u[e] = u;
+      edge_v[e] = v;
+      ++e;
+    }
+  }
+
+  // Support = common neighbours over the FULL adjacency (third vertex may
+  // be anywhere in the ID order).
+  std::vector<std::uint32_t> support(m, 0);
+  std::uint32_t max_support = 0;
+  for (std::uint64_t e = 0; e < m; ++e) {
+    auto na = graph.neighbors(edge_u[e]);
+    auto nb = graph.neighbors(edge_v[e]);
+    std::size_t i = 0, j = 0;
+    std::uint32_t s = 0;
+    while (i < na.size() && j < nb.size()) {
+      if (na[i] < nb[j]) ++i;
+      else if (na[i] > nb[j]) ++j;
+      else { ++s; ++i; ++j; }
+    }
+    support[e] = s;
+    max_support = std::max(max_support, s);
+  }
+
+  // Bucket queue keyed by support; peel in non-decreasing support order.
+  std::vector<std::vector<std::uint64_t>> buckets(max_support + 1);
+  for (std::uint64_t e = 0; e < m; ++e) buckets[support[e]].push_back(e);
+  std::vector<bool> alive(m, true);
+  std::uint64_t removed = 0;
+  std::uint32_t current = 0;  // current peeling threshold (support floor)
+
+  while (removed < m) {
+    // Find the next non-empty bucket at or below every edge's support.
+    while (current <= max_support && buckets[current].empty()) ++current;
+    if (current > max_support) break;
+    const std::uint64_t e = buckets[current].back();
+    buckets[current].pop_back();
+    if (!alive[e] || support[e] != current) continue;  // stale entry
+
+    alive[e] = false;
+    ++removed;
+    result.trussness[e] = current + 2;
+    result.max_k = std::max(result.max_k, current + 2);
+
+    // Decrement the supports of the two other edges of every surviving
+    // triangle through e.
+    const VertexId a = edge_u[e], b = edge_v[e];
+    auto na = graph.neighbors(a);
+    auto nb = graph.neighbors(b);
+    std::size_t i = 0, j = 0;
+    while (i < na.size() && j < nb.size()) {
+      if (na[i] < nb[j]) { ++i; continue; }
+      if (na[i] > nb[j]) { ++j; continue; }
+      const VertexId w = na[i];
+      ++i; ++j;
+      const std::uint64_t e1 = edge_id(oriented, std::min(w, a), std::max(w, a));
+      const std::uint64_t e2 = edge_id(oriented, std::min(w, b), std::max(w, b));
+      if (!alive[e1] || !alive[e2]) continue;
+      for (std::uint64_t other : {e1, e2}) {
+        if (support[other] > current) {
+          --support[other];
+          buckets[support[other]].push_back(other);
+        }
+      }
+    }
+    // New bucket entries are always >= current (supports are floored at the
+    // threshold), so the scan never needs to move backwards.
+  }
+
+  for (std::uint64_t e = 0; e < m; ++e)
+    result.edges_in_max_truss += result.trussness[e] == result.max_k ? 1u : 0u;
+  return result;
+}
+
+}  // namespace lotus::algorithms

@@ -1,0 +1,26 @@
+// k-truss decomposition — the canonical downstream consumer of triangle
+// counting (community cores): the k-truss is the maximal subgraph in which
+// every edge participates in at least k−2 triangles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace lotus::algorithms {
+
+struct KTrussResult {
+  /// trussness[e] for the oriented edge order (v, u<v) flattened by v: the
+  /// largest k such that edge e survives in the k-truss.
+  std::vector<std::uint32_t> trussness;
+  std::uint32_t max_k = 0;            // largest non-empty truss
+  std::uint64_t edges_in_max_truss = 0;
+};
+
+/// Peeling decomposition over the oriented edge set. Intended for the
+/// registry-scale graphs (support recomputation is O(triangles) per peel
+/// level).
+KTrussResult ktruss_decomposition(const graph::CsrGraph& graph);
+
+}  // namespace lotus::algorithms

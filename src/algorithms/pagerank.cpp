@@ -1,0 +1,54 @@
+#include "algorithms/pagerank.hpp"
+
+#include <cmath>
+
+#include "parallel/parallel_for.hpp"
+
+namespace lotus::algorithms {
+
+using graph::CsrGraph;
+using graph::VertexId;
+
+PageRankResult pagerank(const CsrGraph& graph, const PageRankParams& params) {
+  const VertexId n = graph.num_vertices();
+  PageRankResult result;
+  if (n == 0) return result;
+
+  const double base = (1.0 - params.damping) / n;
+  result.rank.assign(n, 1.0 / n);
+  std::vector<double> outgoing(n);  // rank / degree, what neighbours pull
+  std::vector<double> next(n);
+
+  for (unsigned iteration = 0; iteration < params.max_iterations; ++iteration) {
+    ++result.iterations;
+    // Dangling vertices redistribute uniformly.
+    double dangling = 0.0;
+    for (VertexId v = 0; v < n; ++v) {
+      const auto d = graph.degree(v);
+      if (d == 0)
+        dangling += result.rank[v];
+      else
+        outgoing[v] = result.rank[v] / d;
+    }
+    const double dangling_share = params.damping * dangling / n;
+
+    parallel::parallel_for(0, n, 512,
+        [&](unsigned, std::uint64_t b, std::uint64_t e) {
+          for (std::uint64_t vi = b; vi < e; ++vi) {
+            const auto v = static_cast<VertexId>(vi);
+            double sum = 0.0;
+            for (VertexId u : graph.neighbors(v)) sum += outgoing[u];
+            next[v] = base + dangling_share + params.damping * sum;
+          }
+        });
+
+    double delta = 0.0;
+    for (VertexId v = 0; v < n; ++v) delta += std::abs(next[v] - result.rank[v]);
+    result.rank.swap(next);
+    result.final_delta = delta;
+    if (delta < params.tolerance) break;
+  }
+  return result;
+}
+
+}  // namespace lotus::algorithms

@@ -1,0 +1,28 @@
+// PageRank (pull-style SpMV iteration) — the third vertex-data reference
+// algorithm for the Sec.-3.2 locality contrast and the workload class the
+// authors' iHTL/locality-analysis papers study (Sec. 6.5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace lotus::algorithms {
+
+struct PageRankParams {
+  double damping = 0.85;
+  double tolerance = 1e-7;  // L1 change per iteration to stop at
+  unsigned max_iterations = 100;
+};
+
+struct PageRankResult {
+  std::vector<double> rank;
+  unsigned iterations = 0;
+  double final_delta = 0.0;
+};
+
+PageRankResult pagerank(const graph::CsrGraph& graph,
+                        const PageRankParams& params = {});
+
+}  // namespace lotus::algorithms

@@ -1,0 +1,62 @@
+#include "algorithms/sssp.hpp"
+
+#include <algorithm>
+
+#include "util/prng.hpp"
+
+namespace lotus::algorithms {
+
+using graph::CsrGraph;
+using graph::VertexId;
+
+double edge_weight(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  const std::uint64_t mixed =
+      lotus::util::mix64((static_cast<std::uint64_t>(u) << 32) | v);
+  return 1.0 + static_cast<double>(mixed >> 11) * 0x1.0p-53;
+}
+
+SsspResult delta_stepping(const CsrGraph& graph, VertexId source, double delta) {
+  const VertexId n = graph.num_vertices();
+  SsspResult result;
+  result.distance.assign(n, kInfiniteDistance);
+  if (n == 0) return result;
+  if (delta <= 0.0) delta = 1.0;  // weights are in [1, 2): unit buckets work
+
+  result.distance[source] = 0.0;
+  std::vector<std::vector<VertexId>> buckets(1);
+  buckets[0].push_back(source);
+
+  auto bucket_of = [delta](double distance) {
+    return static_cast<std::size_t>(distance / delta);
+  };
+  auto place = [&](VertexId v, double distance) {
+    const std::size_t b = bucket_of(distance);
+    if (b >= buckets.size()) buckets.resize(b + 1);
+    buckets[b].push_back(v);
+  };
+
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    // Settle this bucket to a fixed point (light-edge reinsertions land
+    // back in bucket b).
+    while (!buckets[b].empty()) {
+      std::vector<VertexId> frontier = std::move(buckets[b]);
+      buckets[b].clear();
+      ++result.buckets_processed;
+      for (VertexId v : frontier) {
+        if (bucket_of(result.distance[v]) != b) continue;  // stale entry
+        for (VertexId u : graph.neighbors(v)) {
+          const double candidate = result.distance[v] + edge_weight(v, u);
+          if (candidate < result.distance[u]) {
+            result.distance[u] = candidate;
+            ++result.relaxations;
+            place(u, candidate);
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace lotus::algorithms

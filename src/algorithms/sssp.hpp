@@ -1,0 +1,31 @@
+// Single-source shortest paths by delta-stepping — the last of the
+// Sec.-3.2 vertex-data reference algorithms (BFS, SSSP, CC). Edge weights
+// are synthesized deterministically from endpoint IDs so the substrate
+// needs no weighted input format.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace lotus::algorithms {
+
+inline constexpr double kInfiniteDistance = std::numeric_limits<double>::infinity();
+
+/// Deterministic pseudo-weight in [1, 2) for edge (u, v); symmetric.
+double edge_weight(graph::VertexId u, graph::VertexId v);
+
+struct SsspResult {
+  std::vector<double> distance;  // kInfiniteDistance if unreachable
+  std::uint64_t relaxations = 0;
+  unsigned buckets_processed = 0;
+};
+
+/// Delta-stepping with the given bucket width (0 picks ~1/avg_degree-scaled
+/// default).
+SsspResult delta_stepping(const graph::CsrGraph& graph, graph::VertexId source,
+                          double delta = 0.0);
+
+}  // namespace lotus::algorithms

@@ -1,0 +1,86 @@
+#include "analytics/clustering.hpp"
+
+#include <atomic>
+
+#include "graph/builder.hpp"
+#include "graph/degree_order.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace lotus::analytics {
+
+using graph::CsrGraph;
+using graph::VertexId;
+
+std::vector<std::uint64_t> local_triangle_counts(const CsrGraph& graph) {
+  const VertexId n = graph.num_vertices();
+  const auto new_id = graph::degree_descending_permutation(graph);
+  const auto oriented = graph::orient_by_id(graph::relabel(graph, new_id));
+
+  std::vector<std::atomic<std::uint64_t>> counts(n);  // indexed by NEW id
+  parallel::parallel_for(0, n, 64,
+      [&](unsigned, std::uint64_t b, std::uint64_t e) {
+        for (std::uint64_t vi = b; vi < e; ++vi) {
+          const auto v = static_cast<VertexId>(vi);
+          auto nv = oriented.neighbors(v);
+          for (VertexId u : nv) {
+            auto nu = oriented.neighbors(u);
+            std::size_t i = 0, j = 0;
+            while (i < nv.size() && j < nu.size()) {
+              if (nv[i] < nu[j]) {
+                ++i;
+              } else if (nv[i] > nu[j]) {
+                ++j;
+              } else {
+                // Triangle (w, u, v): credit all three corners.
+                counts[nv[i]].fetch_add(1, std::memory_order_relaxed);
+                counts[u].fetch_add(1, std::memory_order_relaxed);
+                counts[v].fetch_add(1, std::memory_order_relaxed);
+                ++i;
+                ++j;
+              }
+            }
+          }
+        }
+      });
+
+  std::vector<std::uint64_t> by_original(n);
+  for (VertexId v = 0; v < n; ++v)
+    by_original[v] = counts[new_id[v]].load(std::memory_order_relaxed);
+  return by_original;
+}
+
+std::vector<double> clustering_coefficients(const CsrGraph& graph) {
+  const auto triangles = local_triangle_counts(graph);
+  const VertexId n = graph.num_vertices();
+  std::vector<double> coefficients(n, 0.0);
+  for (VertexId v = 0; v < n; ++v) {
+    const std::uint64_t d = graph.degree(v);
+    if (d >= 2)
+      coefficients[v] = 2.0 * static_cast<double>(triangles[v]) /
+                        (static_cast<double>(d) * static_cast<double>(d - 1));
+  }
+  return coefficients;
+}
+
+TransitivitySummary transitivity(const CsrGraph& graph) {
+  TransitivitySummary out;
+  const auto triangles = local_triangle_counts(graph);
+  const VertexId n = graph.num_vertices();
+  std::uint64_t corner_sum = 0;
+  double coefficient_sum = 0.0;
+  for (VertexId v = 0; v < n; ++v) {
+    const std::uint64_t d = graph.degree(v);
+    out.wedges += d * (d - 1) / 2;
+    corner_sum += triangles[v];
+    if (d >= 2)
+      coefficient_sum += 2.0 * static_cast<double>(triangles[v]) /
+                         (static_cast<double>(d) * static_cast<double>(d - 1));
+  }
+  out.triangles = corner_sum / 3;
+  out.global_transitivity =
+      out.wedges > 0 ? static_cast<double>(corner_sum) / static_cast<double>(out.wedges) : 0.0;
+  out.avg_clustering = n > 0 ? coefficient_sum / n : 0.0;
+  return out;
+}
+
+}  // namespace lotus::analytics

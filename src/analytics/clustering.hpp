@@ -1,0 +1,32 @@
+// Graph-mining analytics built on triangle counting: per-vertex triangle
+// counts, local clustering coefficients, and global transitivity. These are
+// the downstream uses the paper's introduction motivates (community
+// structure, social-capital metrics, motif analysis).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace lotus::analytics {
+
+/// Number of triangles through each vertex (each triangle contributes to
+/// all three corners). Computed with the Forward algorithm over a
+/// degree-ordered oriented graph; results are indexed by ORIGINAL vertex ID.
+std::vector<std::uint64_t> local_triangle_counts(const graph::CsrGraph& graph);
+
+/// Watts-Strogatz local clustering coefficient per vertex:
+/// 2·tri(v) / (deg(v)·(deg(v)−1)); 0 for degree < 2.
+std::vector<double> clustering_coefficients(const graph::CsrGraph& graph);
+
+struct TransitivitySummary {
+  std::uint64_t triangles = 0;       // distinct triangles
+  std::uint64_t wedges = 0;          // paths of length 2 (open + closed)
+  double global_transitivity = 0.0;  // 3·triangles / wedges
+  double avg_clustering = 0.0;       // mean local coefficient
+};
+
+TransitivitySummary transitivity(const graph::CsrGraph& graph);
+
+}  // namespace lotus::analytics

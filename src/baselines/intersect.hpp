@@ -1,0 +1,246 @@
+// Sorted-set intersection kernels.
+//
+// These are the four standard intersection strategies surveyed by the paper
+// (Sec. 2.2 / 6.3): merge join, binary/galloping search, hashing, and bitmap
+// lookup. Every kernel is templated on a memory probe so the instrumented
+// replays (src/tc) can feed the exact access/branch stream into the hardware
+// models without duplicating algorithm code; the default NullProbe compiles
+// to nothing.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bitset.hpp"
+
+namespace lotus::baselines {
+
+/// No-op probe: kernels instantiated with it carry zero overhead.
+struct NullProbe {
+  void read(const void* /*addr*/, std::size_t /*bytes*/) noexcept {}
+  void branch(std::uint64_t /*site*/, bool /*taken*/) noexcept {}
+  void op(std::uint64_t /*count*/ = 1) noexcept {}
+};
+
+inline NullProbe null_probe;  // shared default; stateless by construction
+
+/// |a ∩ b| by simultaneous scan. The kernel of choice for short, similarly
+/// sized lists (LOTUS uses it for NNN and HNN; Sec. 4.4.3).
+template <typename T, typename Probe = NullProbe>
+std::uint64_t intersect_merge(std::span<const T> a, std::span<const T> b,
+                              Probe& probe = null_probe) {
+  std::uint64_t count = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    probe.read(&a[i], sizeof(T));
+    probe.read(&b[j], sizeof(T));
+    probe.op();
+    const bool less = a[i] < b[j];
+    probe.branch(0, less);
+    if (less) {
+      ++i;
+    } else {
+      const bool greater = a[i] > b[j];
+      probe.branch(1, greater);
+      if (greater) {
+        ++j;
+      } else {
+        ++count;
+        ++i;
+        ++j;
+      }
+    }
+  }
+  return count;
+}
+
+/// |a ∩ b| with galloping (exponential + binary) search of each element of
+/// the shorter list in the longer one — the GPU-favoured strategy of [31].
+template <typename T, typename Probe = NullProbe>
+std::uint64_t intersect_gallop(std::span<const T> a, std::span<const T> b,
+                               Probe& probe = null_probe) {
+  if (a.size() > b.size()) return intersect_gallop(b, a, probe);
+  std::uint64_t count = 0;
+  std::size_t lo = 0;
+  for (const T& x : a) {
+    probe.read(&x, sizeof(T));
+    // Gallop to bracket x, then binary-search the bracket.
+    std::size_t step = 1, hi = lo;
+    while (hi < b.size()) {
+      probe.read(&b[hi], sizeof(T));
+      probe.op();
+      const bool keep_going = b[hi] < x;
+      probe.branch(2, keep_going);
+      if (!keep_going) break;
+      lo = hi + 1;
+      hi += step;
+      step <<= 1;
+    }
+    std::size_t right = hi < b.size() ? hi + 1 : b.size();
+    while (lo < right) {
+      const std::size_t mid = lo + (right - lo) / 2;
+      probe.read(&b[mid], sizeof(T));
+      probe.op();
+      const bool go_right = b[mid] < x;
+      probe.branch(3, go_right);
+      if (go_right)
+        lo = mid + 1;
+      else
+        right = mid;
+    }
+    if (lo < b.size()) {
+      probe.read(&b[lo], sizeof(T));
+      if (b[lo] == x) {
+        ++count;
+        ++lo;
+      }
+    } else {
+      break;  // every remaining a element exceeds b's maximum
+    }
+  }
+  return count;
+}
+
+/// Merge join that reports each common element to `visit` — used by the
+/// per-vertex (local) triangle counter, which must know *which* third
+/// vertex closes each triangle, not just how many do.
+template <typename T, typename Visitor>
+void intersect_merge_visit(std::span<const T> a, std::span<const T> b,
+                           Visitor&& visit) {
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      visit(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+}
+
+/// Branch-free merge: advances are computed arithmetically so the
+/// data-dependent comparison never becomes a mispredictable branch — the
+/// branch-miss reduction idea of [32] applied to merge join.
+template <typename T, typename Probe = NullProbe>
+std::uint64_t intersect_merge_branchless(std::span<const T> a,
+                                         std::span<const T> b,
+                                         Probe& probe = null_probe) {
+  std::uint64_t count = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const T x = a[i];
+    const T y = b[j];
+    probe.read(&a[i], sizeof(T));
+    probe.read(&b[j], sizeof(T));
+    probe.op();
+    count += x == y ? 1u : 0u;
+    i += x <= y ? 1u : 0u;  // compiles to cmov/setcc, not a branch
+    j += y <= x ? 1u : 0u;
+  }
+  return count;
+}
+
+/// Branch-free binary search of each element of the shorter list in the
+/// longer (Khuong-Morin array layout search [40], as deployed by [33]).
+template <typename T, typename Probe = NullProbe>
+std::uint64_t intersect_binary_branchfree(std::span<const T> a,
+                                          std::span<const T> b,
+                                          Probe& probe = null_probe) {
+  if (a.size() > b.size()) return intersect_binary_branchfree(b, a, probe);
+  if (b.empty()) return 0;
+  std::uint64_t count = 0;
+  for (const T& x : a) {
+    probe.read(&x, sizeof(T));
+    const T* base = b.data();
+    std::size_t n = b.size();
+    while (n > 1) {
+      const std::size_t half = n / 2;
+      probe.read(&base[half - 1], sizeof(T));
+      probe.op();
+      base += base[half - 1] < x ? half : 0;  // cmov, no branch
+      n -= half;
+    }
+    probe.read(base, sizeof(T));
+    count += *base == x ? 1u : 0u;
+  }
+  return count;
+}
+
+/// Open-addressing hash set sized for one neighbour list; reused across
+/// probes of the same list (forward-hashed of Schank & Wagner).
+template <typename T>
+class HashedSet {
+ public:
+  void build(std::span<const T> keys) {
+    std::size_t cap = 16;
+    while (cap < keys.size() * 2) cap <<= 1;
+    mask_ = cap - 1;
+    slots_.assign(cap, kEmpty);
+    for (const T& k : keys) insert(k);
+  }
+
+  template <typename Probe = NullProbe>
+  [[nodiscard]] bool contains(T key, Probe& probe = null_probe) const {
+    std::size_t slot = hash(key) & mask_;
+    for (;;) {
+      probe.read(&slots_[slot], sizeof(std::uint64_t));
+      probe.op();
+      const std::uint64_t s = slots_[slot];
+      if (s == kEmpty) return false;
+      if (static_cast<T>(s) == key) return true;
+      slot = (slot + 1) & mask_;
+    }
+  }
+
+  template <typename Probe = NullProbe>
+  [[nodiscard]] std::uint64_t count_hits(std::span<const T> queries,
+                                         Probe& probe = null_probe) const {
+    std::uint64_t count = 0;
+    for (const T& q : queries) {
+      probe.read(&q, sizeof(T));
+      count += contains(q, probe) ? 1u : 0u;
+    }
+    return count;
+  }
+
+ private:
+  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+
+  static std::size_t hash(T key) noexcept {
+    std::uint64_t x = static_cast<std::uint64_t>(key) * 0x9e3779b97f4a7c15ULL;
+    return static_cast<std::size_t>(x >> 32);
+  }
+
+  void insert(T key) {
+    std::size_t slot = hash(key) & mask_;
+    while (slots_[slot] != kEmpty) {
+      if (static_cast<T>(slots_[slot]) == key) return;
+      slot = (slot + 1) & mask_;
+    }
+    slots_[slot] = static_cast<std::uint64_t>(key);
+  }
+
+  std::size_t mask_ = 0;
+  std::vector<std::uint64_t> slots_;
+};
+
+/// Bitmap membership: caller sets bits for the reference list, then counts
+/// hits of query lists (Latapy's new-vertex-listing).
+template <typename T, typename Probe = NullProbe>
+std::uint64_t count_bitmap_hits(std::span<const T> queries,
+                                const util::Bitset& bitmap,
+                                Probe& probe = null_probe) {
+  std::uint64_t count = 0;
+  for (const T& q : queries) {
+    probe.read(&q, sizeof(T));
+    probe.op();
+    count += bitmap.test(q) ? 1u : 0u;
+  }
+  return count;
+}
+
+}  // namespace lotus::baselines

@@ -1,0 +1,119 @@
+#include "baselines/matrix_tc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "graph/degree_order.hpp"
+#include "parallel/parallel_for.hpp"
+#include "util/bitset.hpp"
+
+namespace lotus::baselines {
+
+using graph::CsrGraph;
+using graph::VertexId;
+
+std::uint64_t ayz_tc(const CsrGraph& graph) {
+  const VertexId n = graph.num_vertices();
+  if (n == 0) return 0;
+  const auto threshold = static_cast<std::uint32_t>(
+      std::ceil(std::sqrt(static_cast<double>(graph.num_edges() / 2))));
+
+  // Rank vertices by (degree, id); a vertex is "low" if degree <= threshold.
+  std::vector<VertexId> rank(n);
+  {
+    std::vector<VertexId> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+      return graph.degree(a) < graph.degree(b);
+    });
+    for (VertexId r = 0; r < n; ++r) rank[order[r]] = r;
+  }
+  auto is_low = [&](VertexId v) { return graph.degree(v) <= threshold; };
+
+  // --- Triangles containing at least one low vertex, counted exactly once
+  // at their rank-minimal low corner.
+  const std::uint64_t with_low = parallel::parallel_reduce_add<std::uint64_t>(
+      0, n, 64, [&](std::uint64_t vi) {
+        const auto v = static_cast<VertexId>(vi);
+        if (!is_low(v)) return std::uint64_t{0};
+        auto nv = graph.neighbors(v);
+        std::uint64_t local = 0;
+        for (std::size_t i = 0; i < nv.size(); ++i) {
+          const VertexId a = nv[i];
+          if (is_low(a) && rank[a] < rank[v]) continue;  // a owns that triangle
+          auto na = graph.neighbors(a);
+          for (std::size_t j = i + 1; j < nv.size(); ++j) {
+            const VertexId b = nv[j];
+            if (is_low(b) && rank[b] < rank[v]) continue;
+            local += std::binary_search(na.begin(), na.end(), b) ? 1u : 0u;
+          }
+        }
+        return local;
+      });
+
+  // --- Triangles among high-degree vertices only: dense bit-matrix product
+  // over the (≤ 2·sqrt(E)-vertex) high core.
+  std::vector<VertexId> high;
+  for (VertexId v = 0; v < n; ++v)
+    if (!is_low(v)) high.push_back(v);
+  std::vector<VertexId> high_index(n, 0);
+  for (VertexId i = 0; i < high.size(); ++i) high_index[high[i]] = i;
+
+  const auto h = static_cast<VertexId>(high.size());
+  std::vector<util::Bitset> rows;
+  rows.reserve(h);
+  for (VertexId i = 0; i < h; ++i) {
+    util::Bitset row(h);
+    for (VertexId u : graph.neighbors(high[i]))
+      if (!is_low(u) && high_index[u] < i) row.set(high_index[u]);
+    rows.push_back(std::move(row));
+  }
+  // For each oriented high edge (i, j<i): common lower-index neighbours.
+  std::uint64_t high_only = 0;
+  for (VertexId i = 0; i < h; ++i)
+    for (VertexId u : graph.neighbors(high[i])) {
+      if (is_low(u)) continue;
+      const VertexId j = high_index[u];
+      if (j < i) high_only += util::Bitset::and_popcount(rows[i], rows[j]);
+    }
+
+  return with_low + high_only;
+}
+
+std::uint64_t spgemm_masked_tc(const CsrGraph& graph) {
+  const graph::OrientedCsr oriented = graph::degree_ordered_oriented(graph);
+  const VertexId n = oriented.num_vertices();
+
+  // Row-wise masked product: (L·L) ∘ L. Each thread keeps one sparse
+  // accumulator (counts + touched list) sized to the vertex count.
+  std::vector<parallel::Padded<std::uint64_t>> partial(parallel::max_parallelism());
+  parallel::parallel_for(0, n, 64,
+      [&](unsigned thread_index, std::uint64_t b, std::uint64_t e) {
+        thread_local std::vector<std::uint32_t> spa;
+        thread_local std::vector<VertexId> touched;
+        if (spa.size() < n) spa.assign(n, 0);
+        std::uint64_t local = 0;
+        for (std::uint64_t vi = b; vi < e; ++vi) {
+          const auto i = static_cast<VertexId>(vi);
+          auto row = oriented.neighbors(i);
+          // Expand: row_i of L times L.
+          for (VertexId k : row)
+            for (VertexId j : oriented.neighbors(k)) {
+              if (spa[j]++ == 0) touched.push_back(j);
+            }
+          // Mask with row_i: only (i, j) ∈ L contribute.
+          for (VertexId j : row) local += spa[j];
+          for (VertexId j : touched) spa[j] = 0;
+          touched.clear();
+        }
+        partial[thread_index].value += local;
+      });
+
+  std::uint64_t total = 0;
+  for (const auto& p : partial) total += p.value;
+  return total;
+}
+
+}  // namespace lotus::baselines

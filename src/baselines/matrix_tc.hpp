@@ -1,0 +1,24 @@
+// Matrix-algebra triangle counting baselines (Sec. 6.1 context).
+//
+//   * ayz_tc           — Alon-Yuster-Zwick [1, 2]: vertices below the
+//                        sqrt(E) degree threshold are handled by ordered
+//                        pair enumeration; the dense high-degree core is
+//                        multiplied as bit matrices (popcount AND).
+//   * spgemm_masked_tc — masked sparse matrix product (the linear-algebra
+//                        formulation of [8]): expand wedges row by row into
+//                        a sparse accumulator, then mask with the adjacency
+//                        row. Equivalent to "skip the intersection" [3].
+// Both are exact and serve as additional comparators in the tests.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+
+namespace lotus::baselines {
+
+std::uint64_t ayz_tc(const graph::CsrGraph& graph);
+
+std::uint64_t spgemm_masked_tc(const graph::CsrGraph& graph);
+
+}  // namespace lotus::baselines

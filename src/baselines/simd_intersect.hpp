@@ -1,0 +1,29 @@
+// SIMD sorted-set intersection.
+//
+// The paper's framework survey (Sec. 5.1.4) separates vectorized TC from
+// scalar implementations; this kernel is the vectorized representative: an
+// AVX2 block-compare intersection (each 8-lane block of one list compared
+// against all rotations of the other's block), with a scalar merge tail and
+// a runtime-dispatch fallback for non-AVX2 hosts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace lotus::baselines {
+
+/// |a ∩ b| for strictly sorted 32-bit lists. Uses AVX2 when the CPU
+/// supports it, otherwise falls back to scalar merge join.
+std::uint64_t intersect_simd(std::span<const std::uint32_t> a,
+                             std::span<const std::uint32_t> b);
+
+/// 16-bit variant (16 lanes per block) matching the 2-byte neighbour IDs of
+/// the LOTUS HE sub-graph — the compactness of Sec. 4.2 pays twice when the
+/// intersection is vectorized.
+std::uint64_t intersect_simd16(std::span<const std::uint16_t> a,
+                               std::span<const std::uint16_t> b);
+
+/// True when the AVX2 path is compiled in and the CPU supports it.
+bool simd_intersect_available();
+
+}  // namespace lotus::baselines

@@ -1,0 +1,168 @@
+#include "datasets/registry.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace lotus::datasets {
+
+namespace g = lotus::graph;
+
+namespace {
+
+g::VertexId scaled(double base, double factor) {
+  return static_cast<g::VertexId>(std::max(1024.0, base * factor));
+}
+
+unsigned rmat_scale(double base_vertices, double factor) {
+  const double target = std::max(1024.0, base_vertices * factor);
+  return static_cast<unsigned>(std::lround(std::log2(target)));
+}
+
+g::CsrGraph make_rmat(double base_vertices, double edge_factor,
+                      std::uint64_t seed, double factor) {
+  return g::build_undirected(g::rmat({.scale = rmat_scale(base_vertices, factor),
+                                      .edge_factor = edge_factor,
+                                      .seed = seed}));
+}
+
+g::CsrGraph make_hk(double base_vertices, unsigned m, double p_triad,
+                    std::uint64_t seed, double factor) {
+  const g::VertexId n = scaled(base_vertices, factor);
+  return g::build_undirected(g::holme_kim({.num_vertices = n,
+                                           .edges_per_vertex = m,
+                                           .p_triad = p_triad,
+                                           .seed_boost = n / 32,
+                                           .p_local = 0.45,
+                                           .seed = seed}));
+}
+
+g::CsrGraph make_web(double base_vertices, unsigned m, double p_copy,
+                     g::VertexId window, std::uint64_t seed, double factor) {
+  const g::VertexId n = scaled(base_vertices, factor);
+  return g::build_undirected(g::copy_web({.num_vertices = n,
+                                          .edges_per_vertex = m,
+                                          .p_copy = p_copy,
+                                          .locality_window = window,
+                                          .core_size = std::min<g::VertexId>(2048, n / 32),
+                                          .p_core = 0.30,
+                                          .p_local = 0.55,
+                                          .seed = seed}));
+}
+
+// Social networks: the copy model with *global* prototypes — no crawl-order
+// locality, heavy hub tail (top 1% holding most edges, like LiveJournal).
+g::CsrGraph make_social(double base_vertices, unsigned m, double p_copy,
+                        std::uint64_t seed, double factor) {
+  const g::VertexId n = scaled(base_vertices, factor);
+  return g::build_undirected(g::copy_web({.num_vertices = n,
+                                          .edges_per_vertex = m,
+                                          .p_copy = p_copy,
+                                          .locality_window = n,
+                                          .core_size = std::min<g::VertexId>(1024, n / 32),
+                                          .p_core = 0.35,
+                                          .p_local = 0.40,
+                                          .seed = seed}));
+}
+
+std::vector<Dataset> build_registry() {
+  using K = Kind;
+  std::vector<Dataset> d;
+  // --- Table 5 group (the paper's < 10-B-edge datasets).
+  d.push_back({"LJGrp-S", "LiveJournal", K::kSocialNetwork, false,
+               [](double f) { return make_social(96e3, 8, 0.60, 101, f); }});
+  d.push_back({"Twtr10-S", "Twitter 2010", K::kSocialNetwork, false,
+               [](double f) { return make_rmat(128e3, 8, 102, f); }});
+  d.push_back({"Twtr-S", "Twitter", K::kSocialNetwork, false,
+               [](double f) { return make_rmat(128e3, 12, 103, f); }});
+  d.push_back({"TwtrMpi-S", "Twitter-MPI", K::kSocialNetwork, false,
+               [](double f) { return make_rmat(256e3, 10, 104, f); }});
+  d.push_back({"Frndstr-S", "Friendster (low skew)", K::kControl, false,
+               [](double f) {
+                 // Moderate skew, capped hub degrees (the paper notes
+                 // Friendster's maximum degree is only 5K): plain
+                 // Holme-Kim without the seed boost.
+                 return g::build_undirected(g::holme_kim(
+                     {.num_vertices = scaled(256e3, f),
+                      .edges_per_vertex = 7,
+                      .p_triad = 0.35,
+                      .seed_boost = 0,
+                      .p_local = 0.30,
+                      .seed = 105}));
+               }});
+  d.push_back({"SK-S", "SK-Domain", K::kWebGraph, false,
+               [](double f) { return make_web(192e3, 12, 0.78, 4096, 106, f); }});
+  d.push_back({"WbCc-S", "Web-CC12", K::kWebGraph, false,
+               [](double f) { return make_web(256e3, 10, 0.80, 4096, 107, f); }});
+  d.push_back({"UKDls-S", "UK-Delis", K::kWebGraph, false,
+               [](double f) { return make_web(320e3, 12, 0.75, 8192, 108, f); }});
+  d.push_back({"UU-S", "UK-Union", K::kWebGraph, false,
+               [](double f) { return make_web(384e3, 12, 0.72, 8192, 109, f); }});
+  d.push_back({"UKDmn-S", "UK-Domain", K::kWebGraph, false,
+               [](double f) { return make_web(320e3, 11, 0.75, 8192, 110, f); }});
+  // --- Table 6 group (the paper's > 10-B-edge datasets).
+  d.push_back({"MClst-S", "MetaClust", K::kBioGraph, true,
+               [](double f) { return make_hk(384e3, 14, 0.65, 111, f); }});
+  d.push_back({"ClWb12-S", "ClueWeb12", K::kWebGraph, true,
+               [](double f) { return make_web(512e3, 10, 0.80, 8192, 112, f); }});
+  d.push_back({"WDC14-S", "WDC 2014", K::kWebGraph, true,
+               [](double f) { return make_web(640e3, 9, 0.78, 8192, 113, f); }});
+  d.push_back({"EU15-S", "EU Domains", K::kWebGraph, true,
+               [](double f) { return make_web(576e3, 12, 0.80, 8192, 114, f); }});
+  return d;
+}
+
+}  // namespace
+
+const std::vector<Dataset>& all_datasets() {
+  static const std::vector<Dataset> registry = build_registry();
+  return registry;
+}
+
+std::vector<Dataset> small_datasets() {
+  std::vector<Dataset> out;
+  for (const auto& d : all_datasets())
+    if (!d.large) out.push_back(d);
+  return out;
+}
+
+std::vector<Dataset> large_datasets() {
+  std::vector<Dataset> out;
+  for (const auto& d : all_datasets())
+    if (d.large) out.push_back(d);
+  return out;
+}
+
+const Dataset& dataset(const std::string& name) {
+  for (const auto& d : all_datasets())
+    if (d.name == name) return d;
+  throw std::out_of_range("unknown dataset: " + name);
+}
+
+std::vector<Dataset> parse_selection(const std::string& csv) {
+  if (csv.empty()) return small_datasets();
+  if (csv == "all") return all_datasets();
+  if (csv == "large") return large_datasets();
+  std::vector<Dataset> out;
+  std::istringstream stream(csv);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    if (!token.empty()) out.push_back(dataset(token));
+  }
+  return out;
+}
+
+std::string kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kSocialNetwork: return "SN";
+    case Kind::kWebGraph: return "WG";
+    case Kind::kBioGraph: return "BG";
+    case Kind::kControl: return "CTRL";
+  }
+  return "?";
+}
+
+}  // namespace lotus::datasets

@@ -1,0 +1,46 @@
+// Registry of synthetic stand-ins for the paper's datasets (Table 4).
+//
+// The real datasets are multi-billion-edge public crawls; each registry
+// entry is a generator configuration chosen to land in the same structural
+// regime (degree skew, hub-core density, clustering) at laptop scale, so the
+// relative behaviour the paper measures is preserved. `scale_factor`
+// multiplies vertex counts for users with bigger machines.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+
+namespace lotus::datasets {
+
+enum class Kind { kSocialNetwork, kWebGraph, kBioGraph, kControl };
+
+struct Dataset {
+  std::string name;        // short name used on bench rows
+  std::string stands_for;  // the Table-4 dataset this substitutes
+  Kind kind;
+  bool large = false;      // belongs to the Table-6 "large graphs" group
+  std::function<graph::CsrGraph(double scale_factor)> make;
+};
+
+/// All datasets of Table 4 (small group + large group), in paper order.
+const std::vector<Dataset>& all_datasets();
+
+/// The graphs of Table 5 (the < 10-B-edge group in the paper).
+std::vector<Dataset> small_datasets();
+
+/// The graphs of Table 6 (the largest group).
+std::vector<Dataset> large_datasets();
+
+/// Look up by name; throws std::out_of_range when unknown.
+const Dataset& dataset(const std::string& name);
+
+/// Parse a comma-separated list of dataset names; empty string means the
+/// small group.
+std::vector<Dataset> parse_selection(const std::string& csv);
+
+[[nodiscard]] std::string kind_name(Kind kind);
+
+}  // namespace lotus::datasets

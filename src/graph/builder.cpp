@@ -1,0 +1,131 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+#include "parallel/parallel_for.hpp"
+
+namespace lotus::graph {
+
+namespace {
+
+/// Counting-sort scatter of directed arcs into CSR arrays.
+CsrGraph scatter_to_csr(VertexId num_vertices,
+                        const std::vector<Edge>& arcs) {
+  std::vector<std::uint64_t> offsets(static_cast<std::size_t>(num_vertices) + 1, 0);
+  for (const Edge& a : arcs) ++offsets[a.u + 1];
+  std::partial_sum(offsets.begin(), offsets.end(), offsets.begin());
+
+  std::vector<VertexId> neighbors(arcs.size());
+  std::vector<std::uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const Edge& a : arcs) neighbors[cursor[a.u]++] = a.v;
+
+  // Sort each neighbour list; dedup is done by the caller where needed.
+  parallel::parallel_for(0, num_vertices, 1024,
+      [&](unsigned, std::uint64_t b, std::uint64_t e) {
+        for (std::uint64_t v = b; v < e; ++v)
+          std::sort(neighbors.begin() + static_cast<std::ptrdiff_t>(offsets[v]),
+                    neighbors.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]));
+      });
+  return CsrGraph(std::move(offsets), std::move(neighbors));
+}
+
+}  // namespace
+
+CsrGraph build_undirected(const EdgeList& edges) {
+  for (const Edge& e : edges.edges)
+    if (e.u >= edges.num_vertices || e.v >= edges.num_vertices)
+      throw std::invalid_argument("edge endpoint out of range");
+
+  // Symmetrize, dropping self-loops.
+  std::vector<Edge> arcs;
+  arcs.reserve(edges.edges.size() * 2);
+  for (const Edge& e : edges.edges) {
+    if (e.u == e.v) continue;
+    arcs.push_back({e.u, e.v});
+    arcs.push_back({e.v, e.u});
+  }
+
+  CsrGraph with_dups = scatter_to_csr(edges.num_vertices, arcs);
+
+  // Rebuild without duplicate entries (lists are already sorted).
+  std::vector<std::uint64_t> offsets(static_cast<std::size_t>(edges.num_vertices) + 1, 0);
+  for (VertexId v = 0; v < edges.num_vertices; ++v) {
+    auto ns = with_dups.neighbors(v);
+    std::uint64_t unique = 0;
+    for (std::size_t i = 0; i < ns.size(); ++i)
+      if (i == 0 || ns[i] != ns[i - 1]) ++unique;
+    offsets[v + 1] = unique;
+  }
+  std::partial_sum(offsets.begin(), offsets.end(), offsets.begin());
+
+  std::vector<VertexId> neighbors(offsets.back());
+  parallel::parallel_for(0, edges.num_vertices, 1024,
+      [&](unsigned, std::uint64_t b, std::uint64_t e) {
+        for (std::uint64_t v = b; v < e; ++v) {
+          auto ns = with_dups.neighbors(static_cast<VertexId>(v));
+          std::uint64_t out = offsets[v];
+          for (std::size_t i = 0; i < ns.size(); ++i)
+            if (i == 0 || ns[i] != ns[i - 1]) neighbors[out++] = ns[i];
+        }
+      });
+  return CsrGraph(std::move(offsets), std::move(neighbors));
+}
+
+OrientedCsr orient_by_id(const CsrGraph& graph) {
+  const VertexId n = graph.num_vertices();
+  std::vector<std::uint64_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    auto ns = graph.neighbors(v);
+    // Lists are sorted, so lower neighbours form a prefix.
+    offsets[v + 1] = static_cast<std::uint64_t>(
+        std::lower_bound(ns.begin(), ns.end(), v) - ns.begin());
+  }
+  std::partial_sum(offsets.begin(), offsets.end(), offsets.begin());
+
+  std::vector<VertexId> neighbors(offsets.back());
+  parallel::parallel_for(0, n, 1024,
+      [&](unsigned, std::uint64_t b, std::uint64_t e) {
+        for (std::uint64_t v = b; v < e; ++v) {
+          auto ns = graph.neighbors(static_cast<VertexId>(v));
+          std::uint64_t out = offsets[v];
+          for (VertexId u : ns) {
+            if (u >= v) break;
+            neighbors[out++] = u;
+          }
+        }
+      });
+  return OrientedCsr(std::move(offsets), std::move(neighbors));
+}
+
+CsrGraph relabel(const CsrGraph& graph, const std::vector<VertexId>& new_id) {
+  const VertexId n = graph.num_vertices();
+  if (new_id.size() != n) throw std::invalid_argument("relabel: size mismatch");
+
+  std::vector<VertexId> old_of_new(n);
+  for (VertexId v = 0; v < n; ++v) {
+    if (new_id[v] >= n) throw std::invalid_argument("relabel: id out of range");
+    old_of_new[new_id[v]] = v;
+  }
+
+  std::vector<std::uint64_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (VertexId w = 0; w < n; ++w) offsets[w + 1] = graph.degree(old_of_new[w]);
+  std::partial_sum(offsets.begin(), offsets.end(), offsets.begin());
+
+  std::vector<VertexId> neighbors(offsets.back());
+  parallel::parallel_for(0, n, 1024,
+      [&](unsigned, std::uint64_t b, std::uint64_t e) {
+        for (std::uint64_t w = b; w < e; ++w) {
+          auto ns = graph.neighbors(old_of_new[w]);
+          std::uint64_t out = offsets[w];
+          for (VertexId u : ns) neighbors[out++] = new_id[u];
+          std::sort(neighbors.begin() + static_cast<std::ptrdiff_t>(offsets[w]),
+                    neighbors.begin() + static_cast<std::ptrdiff_t>(out));
+        }
+      });
+  return CsrGraph(std::move(offsets), std::move(neighbors));
+}
+
+}  // namespace lotus::graph

@@ -1,0 +1,22 @@
+// Edge-list to CSR construction.
+#pragma once
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace lotus::graph {
+
+/// Build a simple, symmetric CSR graph from an arbitrary edge list:
+/// self-loops are dropped, duplicates (in either orientation) are merged,
+/// both directions are stored, and every neighbour list is sorted.
+CsrGraph build_undirected(const EdgeList& edges);
+
+/// Keep only neighbours with a smaller ID (the `N^<` lists of Sec. 2.1).
+/// Input must be a symmetric graph; output lists stay sorted.
+OrientedCsr orient_by_id(const CsrGraph& graph);
+
+/// Apply a relabeling: `new_id[v]` is v's ID in the result. `new_id` must be
+/// a permutation of [0, V). Neighbour lists are re-sorted.
+CsrGraph relabel(const CsrGraph& graph, const std::vector<VertexId>& new_id);
+
+}  // namespace lotus::graph

@@ -1,0 +1,59 @@
+#include "graph/compressed.hpp"
+
+#include <stdexcept>
+
+namespace lotus::graph {
+
+namespace {
+
+void encode_varint(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+}  // namespace
+
+CompressedCsr CompressedCsr::encode(const CsrGraph& graph) {
+  CompressedCsr out;
+  const VertexId n = graph.num_vertices();
+  out.offsets_.resize(static_cast<std::size_t>(n) + 1, 0);
+  out.num_edges_ = graph.num_edges();
+  out.bytes_.reserve(graph.num_edges());  // ≥1 byte per edge lower bound
+
+  for (VertexId v = 0; v < n; ++v) {
+    out.offsets_[v] = out.bytes_.size();
+    VertexId previous = 0;
+    bool first = true;
+    for (VertexId u : graph.neighbors(v)) {
+      if (!first && u <= previous)
+        throw std::invalid_argument("compress: neighbour lists must be strictly sorted");
+      encode_varint(out.bytes_, first ? u : u - previous - 1);
+      previous = u;
+      first = false;
+    }
+  }
+  out.offsets_[n] = out.bytes_.size();
+  return out;
+}
+
+void CompressedCsr::decode_neighbors(VertexId v, std::vector<VertexId>& out) const {
+  out.clear();
+  for_each_neighbor(v, [&out](VertexId u) { out.push_back(u); });
+}
+
+CsrGraph CompressedCsr::decode() const {
+  const VertexId n = num_vertices();
+  std::vector<std::uint64_t> offsets(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<VertexId> neighbors;
+  neighbors.reserve(num_edges_);
+  for (VertexId v = 0; v < n; ++v) {
+    for_each_neighbor(v, [&neighbors](VertexId u) { neighbors.push_back(u); });
+    offsets[v + 1] = neighbors.size();
+  }
+  return CsrGraph(std::move(offsets), std::move(neighbors));
+}
+
+}  // namespace lotus::graph

@@ -1,0 +1,90 @@
+// Compressed sparse row/column (CSX) graph storage.
+//
+// The neighbour type is a template parameter because LOTUS stores the hub
+// sub-graph (HE) with 16-bit neighbour IDs and the non-hub sub-graph (NHE)
+// with 32-bit IDs (Sec. 4.2); baselines use 32-bit throughout.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace lotus::graph {
+
+template <typename NeighborT>
+class Csr {
+ public:
+  using neighbor_type = NeighborT;
+
+  Csr() : offsets_(1, 0) {}
+
+  Csr(std::vector<std::uint64_t> offsets, std::vector<NeighborT> neighbors)
+      : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {
+    assert(!offsets_.empty());
+    assert(offsets_.front() == 0);
+    assert(offsets_.back() == neighbors_.size());
+  }
+
+  [[nodiscard]] VertexId num_vertices() const noexcept {
+    return static_cast<VertexId>(offsets_.size() - 1);
+  }
+
+  /// Number of stored adjacency entries. For a symmetric graph this is twice
+  /// the number of undirected edges; for an oriented graph it equals them.
+  [[nodiscard]] EdgeId num_edges() const noexcept { return neighbors_.size(); }
+
+  [[nodiscard]] std::uint32_t degree(VertexId v) const noexcept {
+    return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  [[nodiscard]] std::span<const NeighborT> neighbors(VertexId v) const noexcept {
+    return {neighbors_.data() + offsets_[v],
+            neighbors_.data() + offsets_[v + 1]};
+  }
+
+  [[nodiscard]] std::uint64_t offset(VertexId v) const noexcept { return offsets_[v]; }
+
+  [[nodiscard]] const std::vector<std::uint64_t>& offsets() const noexcept {
+    return offsets_;
+  }
+  [[nodiscard]] const std::vector<NeighborT>& neighbor_array() const noexcept {
+    return neighbors_;
+  }
+
+  /// Bytes of topology data: index array + neighbour IDs (Table 7 accounting).
+  [[nodiscard]] std::uint64_t topology_bytes() const noexcept {
+    return offsets_.size() * sizeof(std::uint64_t) +
+           neighbors_.size() * sizeof(NeighborT);
+  }
+
+  /// True if every neighbour list is sorted ascending (required by all
+  /// merge/binary-search intersections). O(E); used by tests and builders.
+  [[nodiscard]] bool neighbors_sorted() const {
+    for (VertexId v = 0; v < num_vertices(); ++v) {
+      auto ns = neighbors(v);
+      for (std::size_t i = 1; i < ns.size(); ++i)
+        if (ns[i - 1] >= ns[i]) return false;
+    }
+    return true;
+  }
+
+  friend bool operator==(const Csr&, const Csr&) = default;
+
+ private:
+  std::vector<std::uint64_t> offsets_;   // size = num_vertices + 1
+  std::vector<NeighborT> neighbors_;     // size = num_edges
+};
+
+/// Symmetric (both directions stored) 32-bit graph — the common input format.
+using CsrGraph = Csr<VertexId>;
+
+/// Oriented graph (only lower-ID neighbours kept), 32-bit.
+using OrientedCsr = Csr<VertexId>;
+
+/// 16-bit-neighbour CSX used by the LOTUS HE sub-graph.
+using Csr16 = Csr<std::uint16_t>;
+
+}  // namespace lotus::graph

@@ -1,0 +1,27 @@
+#include "graph/degree_order.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/builder.hpp"
+
+namespace lotus::graph {
+
+std::vector<VertexId> degree_descending_permutation(const CsrGraph& graph) {
+  const VertexId n = graph.num_vertices();
+  std::vector<VertexId> by_degree(n);
+  std::iota(by_degree.begin(), by_degree.end(), 0);
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&graph](VertexId a, VertexId b) {
+                     return graph.degree(a) > graph.degree(b);
+                   });
+  std::vector<VertexId> new_id(n);
+  for (VertexId rank = 0; rank < n; ++rank) new_id[by_degree[rank]] = rank;
+  return new_id;
+}
+
+OrientedCsr degree_ordered_oriented(const CsrGraph& graph) {
+  return orient_by_id(relabel(graph, degree_descending_permutation(graph)));
+}
+
+}  // namespace lotus::graph

@@ -1,0 +1,22 @@
+// Degree ordering — the preprocessing step of the baseline Forward algorithm
+// (Alg. 1 line 1) and the backbone of the LOTUS relabeling.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace lotus::graph {
+
+/// Permutation mapping old IDs to new IDs such that new ID 0 has the maximum
+/// degree. Ties keep original ID order (stable), matching the determinism
+/// the tests rely on.
+std::vector<VertexId> degree_descending_permutation(const CsrGraph& graph);
+
+/// Degree-order the graph and keep only lower-ID neighbours: the exact input
+/// the Forward algorithm consumes. Equivalent to
+/// `orient_by_id(relabel(g, degree_descending_permutation(g)))`.
+OrientedCsr degree_ordered_oriented(const CsrGraph& graph);
+
+}  // namespace lotus::graph

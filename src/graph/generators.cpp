@@ -1,0 +1,287 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <vector>
+
+#include "util/prng.hpp"
+
+namespace lotus::graph {
+
+using util::Xoshiro256;
+
+EdgeList rmat(const RmatParams& params) {
+  if (params.scale == 0 || params.scale > 30)
+    throw std::invalid_argument("rmat: scale must be in [1, 30]");
+  const VertexId n = VertexId{1} << params.scale;
+  const auto m = static_cast<std::uint64_t>(params.edge_factor * n);
+  const double ab = params.a + params.b;
+  const double abc = ab + params.c;
+  if (!(params.a > 0 && params.b >= 0 && params.c >= 0 && abc < 1.0))
+    throw std::invalid_argument("rmat: bad quadrant probabilities");
+
+  Xoshiro256 rng(params.seed);
+  EdgeList out;
+  out.num_vertices = n;
+  out.edges.reserve(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    VertexId u = 0, v = 0;
+    for (unsigned level = 0; level < params.scale; ++level) {
+      const double r = rng.next_double();
+      u <<= 1;
+      v <<= 1;
+      if (r < params.a) {
+        // top-left: no bits set
+      } else if (r < ab) {
+        v |= 1;
+      } else if (r < abc) {
+        u |= 1;
+      } else {
+        u |= 1;
+        v |= 1;
+      }
+    }
+    out.edges.push_back({u, v});
+  }
+  return out;
+}
+
+EdgeList erdos_renyi(VertexId num_vertices, double avg_degree, std::uint64_t seed) {
+  if (num_vertices < 2) throw std::invalid_argument("erdos_renyi: need >= 2 vertices");
+  const auto m = static_cast<std::uint64_t>(avg_degree * num_vertices / 2.0);
+  Xoshiro256 rng(seed);
+  EdgeList out;
+  out.num_vertices = num_vertices;
+  out.edges.reserve(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    const auto u = static_cast<VertexId>(rng.next_below(num_vertices));
+    const auto v = static_cast<VertexId>(rng.next_below(num_vertices));
+    out.edges.push_back({u, v});
+  }
+  return out;
+}
+
+EdgeList holme_kim(const HolmeKimParams& params) {
+  const VertexId n = params.num_vertices;
+  const unsigned m = params.edges_per_vertex;
+  if (n <= m + 1) throw std::invalid_argument("holme_kim: too few vertices");
+
+  Xoshiro256 rng(params.seed);
+  EdgeList out;
+  out.num_vertices = n;
+  out.edges.reserve(static_cast<std::size_t>(n) * m);
+
+  // `targets` holds one entry per edge endpoint, so uniform sampling from it
+  // is degree-proportional (preferential attachment).
+  std::vector<VertexId> targets;
+  targets.reserve(static_cast<std::size_t>(n) * m * 2);
+
+  // Seed clique over the first m+1 vertices.
+  for (VertexId u = 0; u <= m; ++u)
+    for (VertexId v = u + 1; v <= m; ++v) {
+      out.edges.push_back({u, v});
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  // Seed boost: extra attachment weight makes the seed vertices mega-hubs,
+  // flattening the degree-distribution tail toward real social networks.
+  for (std::uint32_t i = 0; i < params.seed_boost; ++i)
+    for (VertexId u = 0; u <= m; ++u) targets.push_back(u);
+
+  // Per-vertex adjacency needed for the triad step (neighbour of the last
+  // preferentially chosen vertex).
+  std::vector<std::vector<VertexId>> adj(n);
+  for (const Edge& e : out.edges) {
+    adj[e.u].push_back(e.v);
+    adj[e.v].push_back(e.u);
+  }
+
+  for (VertexId v = m + 1; v < n; ++v) {
+    const bool local = rng.next_double() < params.p_local;
+    VertexId last_pa = 0;
+    if (local) {
+      // Local community growth: anchor on a uniform recent vertex and stay
+      // among its non-seed neighbours; no preferential attachment.
+      const VertexId window = std::min<VertexId>(v, 8192);
+      last_pa = static_cast<VertexId>(v - 1 - rng.next_below(window));
+    }
+    for (unsigned j = 0; j < m; ++j) {
+      VertexId u;
+      if (local) {
+        if (j == 0 || adj[last_pa].empty()) {
+          u = last_pa;
+        } else {
+          u = adj[last_pa][rng.next_below(adj[last_pa].size())];
+          if (u <= m)  // dodge the seed mega-hubs to stay hub-free
+            u = last_pa;
+        }
+      } else if (j > 0 && rng.next_double() < params.p_triad && !adj[last_pa].empty()) {
+        // Triad formation: close a triangle through a neighbour of last_pa.
+        u = adj[last_pa][rng.next_below(adj[last_pa].size())];
+      } else {
+        u = targets[rng.next_below(targets.size())];
+        last_pa = u;
+      }
+      if (u == v) continue;  // duplicates are merged later
+      out.edges.push_back({v, u});
+      adj[v].push_back(u);
+      adj[u].push_back(v);
+      targets.push_back(v);
+      targets.push_back(u);
+    }
+  }
+  return out;
+}
+
+EdgeList watts_strogatz(const WattsStrogatzParams& params) {
+  const VertexId n = params.num_vertices;
+  const unsigned k = params.ring_degree;
+  if (n < 2 * k + 1) throw std::invalid_argument("watts_strogatz: too few vertices");
+
+  Xoshiro256 rng(params.seed);
+  EdgeList out;
+  out.num_vertices = n;
+  out.edges.reserve(static_cast<std::size_t>(n) * k);
+  for (VertexId v = 0; v < n; ++v) {
+    for (unsigned j = 1; j <= k; ++j) {
+      VertexId u = (v + j) % n;
+      if (rng.next_double() < params.rewire_prob)
+        u = static_cast<VertexId>(rng.next_below(n));
+      out.edges.push_back({v, u});
+    }
+  }
+  return out;
+}
+
+EdgeList copy_web(const CopyWebParams& params) {
+  const VertexId n = params.num_vertices;
+  const unsigned m = params.edges_per_vertex;
+  if (n <= m + 1) throw std::invalid_argument("copy_web: too few vertices");
+
+  Xoshiro256 rng(params.seed);
+  EdgeList out;
+  out.num_vertices = n;
+  out.edges.reserve(static_cast<std::size_t>(n) * m);
+
+  std::vector<std::vector<VertexId>> adj(n);
+  auto add = [&](VertexId a, VertexId b) {
+    if (a == b) return;
+    out.edges.push_back({a, b});
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  };
+
+  // Dense hub core with a Zipf staircase: core vertex i links the ~core/(i+1)
+  // most popular core vertices. This yields one dominant portal plus a
+  // decaying popularity tail — the structure behind both the packed H2H
+  // cachelines of Table 8 and the extreme per-vertex pair-work skew that
+  // squared edge tiling (Table 9) exists to balance. A uniform clique would
+  // make every core vertex equally heavy, which real web cores are not.
+  const VertexId core = std::min<VertexId>(params.core_size, n / 4);
+  const VertexId inner = core / 3;  // densely interconnected top portals
+  for (VertexId i = 1; i < core; ++i) {
+    const VertexId reach =
+        i < inner ? i : std::max<VertexId>(1, core / (i + 1 - inner));
+    for (VertexId j = 0; j < std::min(i, reach); ++j) add(i, j);
+  }
+  // Seed clique over the first m+1 vertices keeps early growth connected.
+  const VertexId first = std::max<VertexId>(m, core);
+  for (VertexId u = 0; u <= m; ++u)
+    for (VertexId v = u + 1; v <= m; ++v) add(u, v);
+
+  for (VertexId v = first + 1; v < n; ++v) {
+    // Prototype from the recent window: preserves the ID locality that web
+    // crawls exhibit (Sec. 5.5 notes LWA graphs retain spatial locality).
+    const VertexId window = std::min<VertexId>(params.locality_window, v);
+    const auto proto = static_cast<VertexId>(v - 1 - rng.next_below(window));
+    const bool local = rng.next_double() < params.p_local;
+    add(v, proto);
+    for (unsigned j = 1; j < m; ++j) {
+      if (!local && core > 0 && rng.next_double() < params.p_core) {
+        // Link into the hub core with popularity bias (u^2 maps the uniform
+        // draw onto a ~1/sqrt(rank) density): pages overwhelmingly link the
+        // few top portals.
+        const double u01 = rng.next_double();
+        add(v, static_cast<VertexId>(static_cast<double>(core) * u01 * u01));
+      } else if (rng.next_double() < params.p_copy && !adj[proto].empty()) {
+        VertexId u = adj[proto][rng.next_below(adj[proto].size())];
+        if (local && u < core) {
+          // Local pages copy sibling links but not portal links; fall back
+          // to the prototype's own neighbourhood window.
+          u = static_cast<VertexId>(v - 1 - rng.next_below(window));
+        }
+        add(v, u);
+      } else {
+        VertexId u = static_cast<VertexId>(rng.next_below(v));
+        if (local && u < core) u = proto;
+        add(v, u);
+      }
+    }
+  }
+  return out;
+}
+
+EdgeList complete(VertexId n) {
+  EdgeList out;
+  out.num_vertices = n;
+  out.edges.reserve(static_cast<std::size_t>(n) * (n - 1) / 2);
+  for (VertexId u = 0; u < n; ++u)
+    for (VertexId v = u + 1; v < n; ++v) out.edges.push_back({u, v});
+  return out;
+}
+
+EdgeList star(VertexId n) {
+  if (n < 2) throw std::invalid_argument("star: need >= 2 vertices");
+  EdgeList out;
+  out.num_vertices = n;
+  for (VertexId v = 1; v < n; ++v) out.edges.push_back({0, v});
+  return out;
+}
+
+EdgeList path(VertexId n) {
+  EdgeList out;
+  out.num_vertices = n;
+  for (VertexId v = 1; v < n; ++v) out.edges.push_back({v - 1, v});
+  return out;
+}
+
+EdgeList cycle(VertexId n) {
+  if (n < 3) throw std::invalid_argument("cycle: need >= 3 vertices");
+  EdgeList out = path(n);
+  out.edges.push_back({n - 1, 0});
+  return out;
+}
+
+EdgeList wheel(VertexId rim) {
+  if (rim < 3) throw std::invalid_argument("wheel: need rim >= 3");
+  EdgeList out;
+  out.num_vertices = rim + 1;  // vertex 0 is the hub
+  for (VertexId v = 1; v <= rim; ++v) {
+    out.edges.push_back({0, v});
+    out.edges.push_back({v, v == rim ? 1 : v + 1});
+  }
+  return out;
+}
+
+EdgeList grid(VertexId rows, VertexId cols) {
+  EdgeList out;
+  out.num_vertices = rows * cols;
+  auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r)
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) out.edges.push_back({id(r, c), id(r, c + 1)});
+      if (r + 1 < rows) out.edges.push_back({id(r, c), id(r + 1, c)});
+    }
+  return out;
+}
+
+EdgeList complete_bipartite(VertexId a, VertexId b) {
+  EdgeList out;
+  out.num_vertices = a + b;
+  for (VertexId u = 0; u < a; ++u)
+    for (VertexId v = 0; v < b; ++v) out.edges.push_back({u, a + v});
+  return out;
+}
+
+}  // namespace lotus::graph

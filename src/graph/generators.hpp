@@ -1,0 +1,96 @@
+// Synthetic graph generators.
+//
+// These stand in for the paper's real-world datasets (Table 4), which are
+// multi-billion-edge public crawls that cannot ship with the repository.
+// Each generator controls the structural property LOTUS exploits:
+//   * rmat         — Graph500 power-law; social-network-like degree skew.
+//   * holme_kim    — preferential attachment with triad formation; power-law
+//                    AND high clustering (LiveJournal/Twitter-like).
+//   * copy_web     — linear-growth copying model with prototype locality;
+//                    dense hub cores and locally clustered IDs (web-graph-like).
+//   * erdos_renyi / watts_strogatz — low-skew controls (Friendster-like case
+//                    of Sec. 5.5).
+//   * deterministic families — closed-form triangle counts for the oracle
+//                    tests (K_n has C(n,3), wheels have rim-size, grids 0, ...).
+//
+// All generators are deterministic in (parameters, seed). Outputs may contain
+// duplicate edges or self-loops; `build_undirected` cleans them.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/types.hpp"
+
+namespace lotus::graph {
+
+struct RmatParams {
+  unsigned scale = 16;        // num_vertices = 2^scale
+  double edge_factor = 16.0;  // undirected edges per vertex
+  double a = 0.57, b = 0.19, c = 0.19;  // Graph500 defaults (d = 1-a-b-c)
+  std::uint64_t seed = 1;
+};
+EdgeList rmat(const RmatParams& params);
+
+EdgeList erdos_renyi(VertexId num_vertices, double avg_degree, std::uint64_t seed);
+
+struct HolmeKimParams {
+  VertexId num_vertices = 1 << 16;
+  unsigned edges_per_vertex = 8;  // m
+  double p_triad = 0.5;           // probability of triad-formation step
+  /// Extra attachment weight given to the seed clique, steepening the hub
+  /// tail toward the gamma ≈ 2.2 exponents of real social networks (plain
+  /// BA/Holme-Kim tails are too steep at gamma = 3).
+  std::uint32_t seed_boost = 0;
+  /// Probability a new vertex attaches "locally" — to a uniformly chosen
+  /// recent vertex and its non-seed neighbours instead of by preferential
+  /// attachment. Local vertices often end up with no hub edges while their
+  /// neighbours keep theirs: the configuration behind the fruitless-search
+  /// statistics of Sec. 3.3.
+  double p_local = 0.0;
+  std::uint64_t seed = 1;
+};
+EdgeList holme_kim(const HolmeKimParams& params);
+
+struct WattsStrogatzParams {
+  VertexId num_vertices = 1 << 16;
+  unsigned ring_degree = 8;  // k: neighbours per side on the ring lattice
+  double rewire_prob = 0.1;  // beta
+  std::uint64_t seed = 1;
+};
+EdgeList watts_strogatz(const WattsStrogatzParams& params);
+
+struct CopyWebParams {
+  VertexId num_vertices = 1 << 16;
+  unsigned edges_per_vertex = 12;  // m
+  double p_copy = 0.7;             // probability an edge copies the prototype's neighbour
+  VertexId locality_window = 4096; // prototypes drawn from the recent window
+  /// Dense hub core: the first `core_size` vertices form a clique, and each
+  /// new vertex links to a core member with probability `p_core` per edge.
+  /// Mirrors the tightly connected hub cores of real web crawls (Sec. 3.4 /
+  /// Table 8's packed H2H cachelines).
+  VertexId core_size = 0;
+  double p_core = 0.0;
+  /// Probability a new vertex is "local-only": it never links the core and
+  /// avoids copying core neighbours — a page deep inside a site that links
+  /// siblings but no portals. Creates the hub-free vertices whose searches
+  /// Sec. 3.3 prunes.
+  double p_local = 0.0;
+  std::uint64_t seed = 1;
+};
+EdgeList copy_web(const CopyWebParams& params);
+
+// Deterministic families (test oracles).
+EdgeList complete(VertexId n);                       // triangles = C(n,3)
+EdgeList star(VertexId n);                           // 0 triangles
+EdgeList path(VertexId n);                           // 0 triangles
+EdgeList cycle(VertexId n);                          // 1 iff n == 3 else 0
+EdgeList wheel(VertexId rim);                        // `rim` triangles (hub + C_rim)
+EdgeList grid(VertexId rows, VertexId cols);         // 0 triangles
+EdgeList complete_bipartite(VertexId a, VertexId b); // 0 triangles
+
+/// Exact expected triangle count for `complete(n)`.
+constexpr std::uint64_t complete_triangles(std::uint64_t n) {
+  return n < 3 ? 0 : n * (n - 1) * (n - 2) / 6;
+}
+
+}  // namespace lotus::graph

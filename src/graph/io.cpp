@@ -1,0 +1,100 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace lotus::graph {
+
+namespace {
+constexpr std::array<char, 8> kMagic = {'L', 'O', 'T', 'U', 'S', 'G', 'R', '1'};
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw std::runtime_error(path + ": " + what);
+}
+}  // namespace
+
+EdgeList read_edge_list_text(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail(path, "cannot open for reading");
+
+  EdgeList out;
+  std::string line;
+  std::uint64_t line_no = 0;
+  VertexId max_id = 0;
+  bool any = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream ls(line);
+    std::uint64_t u = 0, v = 0;
+    if (!(ls >> u >> v))
+      fail(path, "malformed edge at line " + std::to_string(line_no));
+    if (u > 0xffffffffULL || v > 0xffffffffULL)
+      fail(path, "vertex ID exceeds 32 bits at line " + std::to_string(line_no));
+    out.edges.push_back({static_cast<VertexId>(u), static_cast<VertexId>(v)});
+    max_id = std::max({max_id, static_cast<VertexId>(u), static_cast<VertexId>(v)});
+    any = true;
+  }
+  out.num_vertices = any ? max_id + 1 : 0;
+  return out;
+}
+
+void write_edge_list_text(const std::string& path, const EdgeList& edges) {
+  std::ofstream outf(path);
+  if (!outf) fail(path, "cannot open for writing");
+  outf << "# lotus edge list: " << edges.num_vertices << " vertices, "
+       << edges.edges.size() << " edges\n";
+  for (const Edge& e : edges.edges) outf << e.u << ' ' << e.v << '\n';
+  if (!outf) fail(path, "write error");
+}
+
+void write_csr_binary(const std::string& path, const CsrGraph& graph) {
+  std::ofstream outf(path, std::ios::binary);
+  if (!outf) fail(path, "cannot open for writing");
+  const std::uint64_t v = graph.num_vertices();
+  const std::uint64_t e = graph.num_edges();
+  outf.write(kMagic.data(), kMagic.size());
+  outf.write(reinterpret_cast<const char*>(&v), sizeof v);
+  outf.write(reinterpret_cast<const char*>(&e), sizeof e);
+  outf.write(reinterpret_cast<const char*>(graph.offsets().data()),
+             static_cast<std::streamsize>((v + 1) * sizeof(std::uint64_t)));
+  outf.write(reinterpret_cast<const char*>(graph.neighbor_array().data()),
+             static_cast<std::streamsize>(e * sizeof(VertexId)));
+  if (!outf) fail(path, "write error");
+}
+
+CsrGraph read_csr_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail(path, "cannot open for reading");
+
+  std::array<char, 8> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || std::memcmp(magic.data(), kMagic.data(), kMagic.size()) != 0)
+    fail(path, "not a lotus binary graph (bad magic)");
+
+  std::uint64_t v = 0, e = 0;
+  in.read(reinterpret_cast<char*>(&v), sizeof v);
+  in.read(reinterpret_cast<char*>(&e), sizeof e);
+  if (!in) fail(path, "truncated header");
+  if (v > 0xffffffffULL) fail(path, "vertex count exceeds 32 bits");
+
+  std::vector<std::uint64_t> offsets(v + 1);
+  in.read(reinterpret_cast<char*>(offsets.data()),
+          static_cast<std::streamsize>((v + 1) * sizeof(std::uint64_t)));
+  std::vector<VertexId> neighbors(e);
+  in.read(reinterpret_cast<char*>(neighbors.data()),
+          static_cast<std::streamsize>(e * sizeof(VertexId)));
+  if (!in) fail(path, "truncated body");
+  if (offsets.front() != 0 || offsets.back() != e) fail(path, "corrupt offsets");
+  for (std::size_t i = 1; i < offsets.size(); ++i)
+    if (offsets[i] < offsets[i - 1]) fail(path, "corrupt offsets");
+  for (VertexId u : neighbors)
+    if (u >= v) fail(path, "neighbour ID out of range");
+  return CsrGraph(std::move(offsets), std::move(neighbors));
+}
+
+}  // namespace lotus::graph

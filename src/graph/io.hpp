@@ -1,0 +1,24 @@
+// Graph serialization: whitespace-separated text edge lists (the common
+// interchange format of SNAP/KONECT dumps) and a fast binary CSR format.
+#pragma once
+
+#include <string>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace lotus::graph {
+
+/// Read "u v" pairs, one per line; lines starting with '#' or '%' are
+/// comments. num_vertices = max endpoint + 1. Throws std::runtime_error on
+/// unreadable files or malformed lines.
+EdgeList read_edge_list_text(const std::string& path);
+
+void write_edge_list_text(const std::string& path, const EdgeList& edges);
+
+/// Binary CSX: magic "LOTUSGR1", u64 num_vertices, u64 num_edges, offsets,
+/// 32-bit neighbours. Throws std::runtime_error on bad magic / truncation.
+void write_csr_binary(const std::string& path, const CsrGraph& graph);
+CsrGraph read_csr_binary(const std::string& path);
+
+}  // namespace lotus::graph

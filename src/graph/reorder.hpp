@@ -1,0 +1,42 @@
+// Graph reordering algorithms and locality metrics (Sec. 6.5 context).
+//
+// The LOTUS relabeling preserves the input order of non-hub vertices
+// because full degree ordering is known to destroy the spatial locality
+// that crawl/LLP orderings provide (Sec. 4.3.1, [44]). This module supplies
+// the orderings needed to study that effect — plus the gap-based locality
+// metrics that quantify it — and feeds the ordering ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace lotus::graph {
+
+enum class Ordering {
+  kOriginal,    // identity
+  kRandom,      // destroys all locality (worst case)
+  kDegreeDesc,  // classical degree ordering (Forward's preprocessing)
+  kBfs,         // breadth-first from the max-degree vertex; community-local
+  kDfs,         // depth-first; path-local
+};
+
+/// Permutation new_id[old_id] for the requested ordering. Deterministic for
+/// a given (graph, seed).
+std::vector<VertexId> make_ordering(const CsrGraph& graph, Ordering ordering,
+                                    std::uint64_t seed = 1);
+
+[[nodiscard]] const char* ordering_name(Ordering ordering);
+[[nodiscard]] std::vector<Ordering> all_orderings();
+
+/// Mean |v − u| over all adjacency entries: small when neighbours have
+/// nearby IDs (spatial locality).
+double average_neighbor_gap(const CsrGraph& graph);
+
+/// Mean log2(1 + gap) between consecutive sorted neighbours — the bit cost
+/// a gap coder pays per edge, i.e. a compression-friendliness proxy.
+double log_gap_cost_bits(const CsrGraph& graph);
+
+}  // namespace lotus::graph

@@ -1,0 +1,31 @@
+// Fundamental graph types.
+//
+// Vertex IDs are 32-bit (the paper notes all public datasets have < 2^32
+// vertices; Sec. 4.3.2); edge offsets are 64-bit, matching the paper's CSX
+// layout of 8-byte index values and 4-byte neighbour IDs (Sec. 5.1.2).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace lotus::graph {
+
+using VertexId = std::uint32_t;
+using EdgeId = std::uint64_t;
+
+/// An undirected edge; builders accept either orientation and symmetrize.
+struct Edge {
+  VertexId u;
+  VertexId v;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Edge list plus the vertex-universe size (IDs are in [0, num_vertices)).
+struct EdgeList {
+  VertexId num_vertices = 0;
+  std::vector<Edge> edges;
+};
+
+}  // namespace lotus::graph

@@ -1,0 +1,32 @@
+// Adaptive algorithm selection (Sec. 5.5).
+//
+// LOTUS pays off on skewed-degree graphs; for low-skew inputs (the
+// Friendster case) the Forward algorithm is the better choice. Following
+// the GAP heuristic the paper cites, we compare the average degree against
+// a sampled median and dispatch accordingly.
+#pragma once
+
+#include "graph/csr.hpp"
+#include "lotus/config.hpp"
+#include "lotus/lotus.hpp"
+
+namespace lotus::core {
+
+enum class ChosenAlgorithm { kLotus, kForward };
+
+struct AdaptiveResult {
+  std::uint64_t triangles = 0;
+  double preprocess_s = 0.0;
+  double count_s = 0.0;
+  ChosenAlgorithm algorithm = ChosenAlgorithm::kLotus;
+};
+
+/// Inspect the degree distribution and run LOTUS (skewed) or Forward
+/// (low-skew). The decision itself costs one O(V) degree scan.
+AdaptiveResult adaptive_count(const graph::CsrGraph& graph,
+                              const LotusConfig& config = {});
+
+/// The dispatch predicate, exposed for tests: true → LOTUS.
+bool should_use_lotus(const graph::CsrGraph& graph);
+
+}  // namespace lotus::core

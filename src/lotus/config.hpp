@@ -1,0 +1,45 @@
+// Tunable parameters of the LOTUS algorithm.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "graph/types.hpp"
+
+namespace lotus::core {
+
+struct LotusConfig {
+  /// Number of hub vertices. 0 selects the automatic rule below; the paper
+  /// fixes 64 Ki (Sec. 4.2), which is the upper bound here because HE stores
+  /// neighbour IDs in 16 bits.
+  graph::VertexId hub_count = 0;
+
+  /// Fraction of highest-degree vertices relabeled to the first IDs
+  /// (Sec. 4.3.1 uses 10%; hubs are always included).
+  double relabel_fraction = 0.10;
+
+  /// Squared edge tiling kicks in above this HE degree (Sec. 5.8 uses 512).
+  std::uint32_t tiling_degree_threshold = 512;
+
+  /// Tiles per heavy vertex = this factor × thread count (Sec. 5.8 uses 2).
+  unsigned tiling_partitions_per_thread = 2;
+
+  /// Ablation knob (Sec. 4.5): run the HNN and NNN loops fused instead of as
+  /// two passes. The paper argues (and Fig. 4 confirms) split is better.
+  bool fuse_hnn_nnn = false;
+
+  /// Resolve the hub count for a graph with `num_vertices` vertices.
+  /// Auto rule: 1% of vertices (the hub definition of Table 1), clamped to
+  /// [16, min(2^16, V/2)] so scaled-down graphs keep a meaningful hub set
+  /// and HE IDs always fit in 16 bits.
+  [[nodiscard]] graph::VertexId resolve_hub_count(graph::VertexId num_vertices) const {
+    constexpr graph::VertexId kMax = 1u << 16;
+    if (hub_count != 0)
+      return std::min({hub_count, kMax, std::max<graph::VertexId>(1, num_vertices)});
+    const graph::VertexId one_percent = num_vertices / 100;
+    const graph::VertexId cap = std::min(kMax, std::max<graph::VertexId>(1, num_vertices / 2));
+    return std::clamp<graph::VertexId>(one_percent, std::min<graph::VertexId>(16, cap), cap);
+  }
+};
+
+}  // namespace lotus::core

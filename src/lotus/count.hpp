@@ -1,0 +1,202 @@
+// LOTUS triangle counting (Alg. 3): three phases, each concentrating its
+// random memory accesses on one small data structure (Table 2).
+//
+// Every phase is templated on a memory probe (default NullProbe → zero
+// overhead) so the instrumented replays in src/tc reuse this exact code.
+// Probes are stateful and unsynchronized: instrumented runs must execute
+// with parallel::set_num_threads(1).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "baselines/intersect.hpp"
+#include "lotus/lotus_graph.hpp"
+#include "lotus/tiling.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace lotus::core {
+
+struct HubPhaseCounts {
+  std::uint64_t hhh = 0;  // triangles whose apex vertex is itself a hub
+  std::uint64_t hhn = 0;  // apex is a non-hub with two connected hub neighbours
+};
+
+/// One contiguous h1-index range of one vertex's HE list; the unit of
+/// phase-1 scheduling.
+struct HubTile {
+  graph::VertexId v;
+  std::uint32_t begin;
+  std::uint32_t end;
+};
+
+/// Build the phase-1 tile list under a partitioning policy. Squared tiling
+/// splits heavy vertices (HE degree > threshold) into equal-pair-work tiles;
+/// light vertices are batched separately by the scheduler. Edge-balanced
+/// splits the flattened HE entry stream into ~256·threads equal-entry tiles
+/// (the comparison policy of Table 9).
+std::vector<std::vector<HubTile>> build_hub_tasks(const LotusGraph& lg,
+                                                  const LotusConfig& config,
+                                                  TilingPolicy policy,
+                                                  unsigned threads);
+
+/// Phase 1 — HHH + HHN (Alg. 3 lines 2-6). Iterates all pairs of hub
+/// neighbours of every vertex and tests connectivity in the H2H bit array.
+/// `busy_s_out`, if non-null, receives per-thread busy seconds (Table 9).
+template <typename Probe = baselines::NullProbe>
+HubPhaseCounts count_hhh_hhn(const LotusGraph& lg, const LotusConfig& config,
+                             TilingPolicy policy = TilingPolicy::kSquared,
+                             std::vector<double>* busy_s_out = nullptr,
+                             Probe& probe = baselines::null_probe) {
+  const TriangularBitArray& h2h = lg.h2h();
+  const graph::Csr16& he = lg.he();
+
+  parallel::ThreadPool& pool = parallel::default_pool();
+  auto tasks = build_hub_tasks(lg, config, policy, pool.size());
+
+  std::vector<parallel::Padded<HubPhaseCounts>> partial(pool.size());
+  std::vector<parallel::WorkStealingScheduler::Task> jobs;
+  jobs.reserve(tasks.size());
+  for (auto& task : tasks) {
+    jobs.emplace_back([&, segments = std::move(task)](unsigned thread_index) {
+      HubPhaseCounts local;
+      for (const HubTile& tile : segments) {
+        auto list = he.neighbors(tile.v);
+        std::uint64_t found = 0;
+        for (std::uint32_t a = tile.begin; a < tile.end; ++a) {
+          const std::uint16_t h1 = list[a];
+          probe.read(&list[a], sizeof(std::uint16_t));
+          const std::uint64_t base = TriangularBitArray::row_base(h1);
+          for (std::uint32_t b = 0; b < a; ++b) {
+            const std::uint16_t h2 = list[b];
+            probe.read(&list[b], sizeof(std::uint16_t));
+            const std::uint64_t bit = base + h2;
+            probe.read(h2h.word_address(bit), sizeof(std::uint64_t));
+            probe.op();
+            const bool hit = h2h.test_bit(bit);
+            probe.branch(4, hit);
+            found += hit ? 1u : 0u;
+          }
+        }
+        (lg.is_hub(tile.v) ? local.hhh : local.hhn) += found;
+      }
+      partial[thread_index].value.hhh += local.hhh;
+      partial[thread_index].value.hhn += local.hhn;
+    });
+  }
+
+  parallel::WorkStealingScheduler scheduler(pool);
+  std::vector<double> busy = scheduler.run(std::move(jobs));
+  if (busy_s_out) *busy_s_out = std::move(busy);
+
+  HubPhaseCounts total;
+  for (const auto& p : partial) {
+    total.hhh += p.value.hhh;
+    total.hhn += p.value.hhn;
+  }
+  return total;
+}
+
+/// Phase 2 — HNN (Alg. 3 lines 7-9): for each non-hub edge (v, u), count the
+/// common hub neighbours of v and u in the compact 16-bit HE lists.
+template <typename Probe = baselines::NullProbe>
+std::uint64_t count_hnn(const LotusGraph& lg,
+                        Probe& probe = baselines::null_probe) {
+  const graph::Csr16& he = lg.he();
+  const graph::CsrGraph& nhe = lg.nhe();
+  return parallel::parallel_reduce_add<std::uint64_t>(
+      0, lg.num_vertices(), 64, [&](std::uint64_t vi) {
+        const auto v = static_cast<graph::VertexId>(vi);
+        auto hub_list = he.neighbors(v);
+        std::uint64_t local = 0;
+        for (graph::VertexId u : nhe.neighbors(v)) {
+          probe.read(&u, sizeof(graph::VertexId));
+          local += baselines::intersect_merge<std::uint16_t>(
+              hub_list, he.neighbors(u), probe);
+        }
+        return local;
+      });
+}
+
+/// Phase 3 — NNN (Alg. 3 lines 10-12): Forward algorithm restricted to the
+/// NHE sub-graph; hub edges are never touched (the pruning of Sec. 3.3).
+template <typename Probe = baselines::NullProbe>
+std::uint64_t count_nnn(const LotusGraph& lg,
+                        Probe& probe = baselines::null_probe) {
+  const graph::CsrGraph& nhe = lg.nhe();
+  return parallel::parallel_reduce_add<std::uint64_t>(
+      0, lg.num_vertices(), 64, [&](std::uint64_t vi) {
+        const auto v = static_cast<graph::VertexId>(vi);
+        auto nv = nhe.neighbors(v);
+        std::uint64_t local = 0;
+        for (graph::VertexId u : nv) {
+          probe.read(&u, sizeof(graph::VertexId));
+          local += baselines::intersect_merge<graph::VertexId>(
+              nv, nhe.neighbors(u), probe);
+        }
+        return local;
+      });
+}
+
+/// Blocked HNN (the second Sec. 7 future-work item): processes non-hub
+/// edges in blocks of their target u, so the randomly accessed HE lists of
+/// one pass come from a bounded ID range and can stay cached. Counting is
+/// identical to count_hnn; only the traversal order changes.
+template <typename Probe = baselines::NullProbe>
+std::uint64_t count_hnn_blocked(const LotusGraph& lg,
+                                graph::VertexId block_size,
+                                Probe& probe = baselines::null_probe) {
+  const graph::Csr16& he = lg.he();
+  const graph::CsrGraph& nhe = lg.nhe();
+  const graph::VertexId n = lg.num_vertices();
+  if (block_size == 0) block_size = 1;
+  std::uint64_t total = 0;
+  for (graph::VertexId block_begin = lg.hub_count(); block_begin < n;
+       block_begin += block_size) {
+    const graph::VertexId block_end =
+        block_begin + block_size < n ? block_begin + block_size : n;
+    total += parallel::parallel_reduce_add<std::uint64_t>(
+        0, n, 256, [&](std::uint64_t vi) {
+          const auto v = static_cast<graph::VertexId>(vi);
+          auto nv = nhe.neighbors(v);
+          auto first = std::lower_bound(nv.begin(), nv.end(), block_begin);
+          std::uint64_t local = 0;
+          for (auto it = first; it != nv.end() && *it < block_end; ++it) {
+            probe.read(&*it, sizeof(graph::VertexId));
+            local += baselines::intersect_merge<std::uint16_t>(
+                he.neighbors(v), he.neighbors(*it), probe);
+          }
+          return local;
+        });
+  }
+  return total;
+}
+
+/// Fused HNN + NNN (the rejected alternative of Sec. 4.5, kept for the
+/// ablation bench): one pass over NHE doing both intersections, enlarging
+/// the randomly accessed working set.
+template <typename Probe = baselines::NullProbe>
+std::uint64_t count_hnn_nnn_fused(const LotusGraph& lg,
+                                  Probe& probe = baselines::null_probe) {
+  const graph::Csr16& he = lg.he();
+  const graph::CsrGraph& nhe = lg.nhe();
+  return parallel::parallel_reduce_add<std::uint64_t>(
+      0, lg.num_vertices(), 64, [&](std::uint64_t vi) {
+        const auto v = static_cast<graph::VertexId>(vi);
+        auto nv = nhe.neighbors(v);
+        auto hub_list = he.neighbors(v);
+        std::uint64_t local = 0;
+        for (graph::VertexId u : nv) {
+          probe.read(&u, sizeof(graph::VertexId));
+          local += baselines::intersect_merge<std::uint16_t>(
+              hub_list, he.neighbors(u), probe);
+          local += baselines::intersect_merge<graph::VertexId>(
+              nv, nhe.neighbors(u), probe);
+        }
+        return local;
+      });
+}
+
+}  // namespace lotus::core

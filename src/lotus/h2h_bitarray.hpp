@@ -1,0 +1,105 @@
+// H2H: the triangular hub-to-hub adjacency bit array (Sec. 4.2).
+//
+// For hubs h1 > h2, bit h1·(h1−1)/2 + h2 records whether the edge (h1, h2)
+// exists. The layout is "h1-major": all h2 bits of one h1 are consecutive,
+// so the inner loop of HHH/HHN counting walks sequential bits and the base
+// offset h1·(h1−1)/2 is computed once per h1 (Sec. 4.4.1).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace lotus::core {
+
+class TriangularBitArray {
+ public:
+  TriangularBitArray() = default;
+
+  explicit TriangularBitArray(graph::VertexId hub_count)
+      : hub_count_(hub_count),
+        num_bits_(static_cast<std::uint64_t>(hub_count) * (hub_count - 1) / 2),
+        words_((num_bits_ + 63) / 64, 0) {}
+
+  /// Reconstruct from serialized words (lotus/serialize.*). `words` must be
+  /// exactly the size the hub count implies.
+  TriangularBitArray(graph::VertexId hub_count, std::vector<std::uint64_t> words)
+      : TriangularBitArray(hub_count) {
+    if (words.size() != words_.size())
+      throw std::invalid_argument("H2H word count does not match hub count");
+    words_ = std::move(words);
+  }
+
+  /// Raw 64-bit words, for serialization.
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const noexcept {
+    return words_;
+  }
+
+  [[nodiscard]] graph::VertexId hub_count() const noexcept { return hub_count_; }
+  [[nodiscard]] std::uint64_t num_bits() const noexcept { return num_bits_; }
+  [[nodiscard]] std::uint64_t size_bytes() const noexcept { return words_.size() * 8; }
+
+  static constexpr std::uint64_t bit_index(graph::VertexId h1, graph::VertexId h2) noexcept {
+    return static_cast<std::uint64_t>(h1) * (h1 - 1) / 2 + h2;
+  }
+
+  /// Base offset for row h1; add h2 to address bits of the row (reused
+  /// across the inner loop of Alg. 3 line 4).
+  static constexpr std::uint64_t row_base(graph::VertexId h1) noexcept {
+    return static_cast<std::uint64_t>(h1) * (h1 - 1) / 2;
+  }
+
+  /// Thread-safe set; preprocessing writes bits of different vertices that
+  /// can share a 64-bit word at row boundaries.
+  void set_atomic(graph::VertexId h1, graph::VertexId h2) noexcept {
+    const std::uint64_t bit = bit_index(h1, h2);
+    auto& word = reinterpret_cast<std::atomic<std::uint64_t>&>(words_[bit >> 6]);
+    word.fetch_or(1ULL << (bit & 63), std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] bool test(graph::VertexId h1, graph::VertexId h2) const noexcept {
+    return test_bit(bit_index(h1, h2));
+  }
+
+  [[nodiscard]] bool test_bit(std::uint64_t bit) const noexcept {
+    return (words_[bit >> 6] >> (bit & 63)) & 1ULL;
+  }
+
+  /// Address of the word containing `bit` — what the hardware actually
+  /// loads; used by the instrumented replays and cacheline histograms.
+  [[nodiscard]] const void* word_address(std::uint64_t bit) const noexcept {
+    return &words_[bit >> 6];
+  }
+
+  [[nodiscard]] std::uint64_t count_set_bits() const noexcept {
+    std::uint64_t total = 0;
+    for (std::uint64_t w : words_) total += static_cast<std::uint64_t>(__builtin_popcountll(w));
+    return total;
+  }
+
+  /// Fraction of 64-byte-aligned blocks whose 512 bits are all zero
+  /// (Table 8, column 3).
+  [[nodiscard]] double zero_cacheline_fraction() const noexcept {
+    if (words_.empty()) return 0.0;
+    const std::size_t lines = (words_.size() + 7) / 8;
+    std::size_t zero_lines = 0;
+    for (std::size_t line = 0; line < lines; ++line) {
+      bool all_zero = true;
+      for (std::size_t w = line * 8; w < std::min(words_.size(), line * 8 + 8); ++w)
+        all_zero &= words_[w] == 0;
+      zero_lines += all_zero ? 1u : 0u;
+    }
+    return static_cast<double>(zero_lines) / static_cast<double>(lines);
+  }
+
+ private:
+  graph::VertexId hub_count_ = 0;
+  std::uint64_t num_bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace lotus::core

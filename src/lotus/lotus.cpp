@@ -1,0 +1,55 @@
+#include "lotus/lotus.hpp"
+
+#include "lotus/count.hpp"
+#include "util/timer.hpp"
+
+namespace lotus::core {
+
+LotusResult count_triangles_prepared(const LotusGraph& lg,
+                                     const LotusConfig& config) {
+  LotusResult result;
+  result.hub_count = lg.hub_count();
+  result.he_edges = lg.he().num_edges();
+  result.nhe_edges = lg.nhe().num_edges();
+  result.topology_bytes = lg.topology_bytes();
+
+  util::Timer timer;
+  const HubPhaseCounts hub_phase = count_hhh_hhn(lg, config);
+  result.hhh_hhn_s = timer.elapsed_s();
+  result.hhh = hub_phase.hhh;
+  result.hhn = hub_phase.hhn;
+
+  if (config.fuse_hnn_nnn) {
+    timer.reset();
+    const std::uint64_t fused = count_hnn_nnn_fused(lg);
+    // Fused mode cannot attribute per type; report everything as HNN time.
+    result.hnn_s = timer.elapsed_s();
+    result.hnn = fused;  // hnn + nnn combined
+    result.nnn = 0;
+    result.triangles = result.hhh + result.hhn + fused;
+    return result;
+  }
+
+  timer.reset();
+  result.hnn = count_hnn(lg);
+  result.hnn_s = timer.elapsed_s();
+
+  timer.reset();
+  result.nnn = count_nnn(lg);
+  result.nnn_s = timer.elapsed_s();
+
+  result.triangles = result.hhh + result.hhn + result.hnn + result.nnn;
+  return result;
+}
+
+LotusResult count_triangles(const graph::CsrGraph& graph,
+                            const LotusConfig& config) {
+  util::Timer timer;
+  const LotusGraph lg = LotusGraph::build(graph, config);
+  const double preprocess_s = timer.elapsed_s();
+  LotusResult result = count_triangles_prepared(lg, config);
+  result.preprocess_s = preprocess_s;
+  return result;
+}
+
+}  // namespace lotus::core

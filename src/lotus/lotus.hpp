@@ -1,0 +1,44 @@
+// Public entry point of the LOTUS triangle counter.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr.hpp"
+#include "lotus/config.hpp"
+#include "lotus/lotus_graph.hpp"
+
+namespace lotus::core {
+
+/// Full result: total count, per-type counts, and the per-phase timings of
+/// the paper's execution breakdown (Fig. 6).
+struct LotusResult {
+  std::uint64_t triangles = 0;
+  std::uint64_t hhh = 0;  // 3 hubs
+  std::uint64_t hhn = 0;  // 2 hubs
+  std::uint64_t hnn = 0;  // 1 hub
+  std::uint64_t nnn = 0;  // 0 hubs
+
+  double preprocess_s = 0.0;
+  double hhh_hhn_s = 0.0;
+  double hnn_s = 0.0;
+  double nnn_s = 0.0;
+
+  graph::VertexId hub_count = 0;
+  std::uint64_t he_edges = 0;
+  std::uint64_t nhe_edges = 0;
+  std::uint64_t topology_bytes = 0;
+
+  [[nodiscard]] std::uint64_t hub_triangles() const { return hhh + hhn + hnn; }
+  [[nodiscard]] double count_s() const { return hhh_hhn_s + hnn_s + nnn_s; }
+  [[nodiscard]] double total_s() const { return preprocess_s + count_s(); }
+};
+
+/// End-to-end LOTUS: Alg. 2 preprocessing + Alg. 3 three-phase counting.
+LotusResult count_triangles(const graph::CsrGraph& graph,
+                            const LotusConfig& config = {});
+
+/// Counting phases only, on a prebuilt LotusGraph (kernel benchmarking).
+LotusResult count_triangles_prepared(const LotusGraph& lotus_graph,
+                                     const LotusConfig& config = {});
+
+}  // namespace lotus::core

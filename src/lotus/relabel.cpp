@@ -1,0 +1,39 @@
+#include "lotus/relabel.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace lotus::core {
+
+using graph::CsrGraph;
+using graph::VertexId;
+
+std::vector<VertexId> create_relabeling_array(const CsrGraph& graph,
+                                              VertexId reorder_count) {
+  const VertexId n = graph.num_vertices();
+  reorder_count = std::min(reorder_count, n);
+
+  // Select the reorder_count highest-degree vertices; stable tie-break on
+  // original ID keeps the mapping deterministic.
+  std::vector<VertexId> by_degree(n);
+  std::iota(by_degree.begin(), by_degree.end(), 0);
+  std::stable_sort(by_degree.begin(), by_degree.end(),
+                   [&graph](VertexId a, VertexId b) {
+                     return graph.degree(a) > graph.degree(b);
+                   });
+
+  std::vector<VertexId> new_id(n);
+  std::vector<bool> reordered(n, false);
+  for (VertexId rank = 0; rank < reorder_count; ++rank) {
+    new_id[by_degree[rank]] = rank;
+    reordered[by_degree[rank]] = true;
+  }
+
+  // Remaining vertices: original order, after the reordered block.
+  VertexId next = reorder_count;
+  for (VertexId v = 0; v < n; ++v)
+    if (!reordered[v]) new_id[v] = next++;
+  return new_id;
+}
+
+}  // namespace lotus::core

@@ -1,0 +1,21 @@
+// LOTUS relabeling (Sec. 4.3.1).
+//
+// The first consecutive IDs go to the highest-degree vertices — at least the
+// hubs, and by default the top 10% — sorted by descending degree. All other
+// vertices keep their original relative order, preserving whatever locality
+// the input ordering had (full degree ordering is known to destroy it).
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "graph/types.hpp"
+
+namespace lotus::core {
+
+/// Returns new_id[old_id]. `reorder_count` vertices get degree-sorted front
+/// IDs; callers pass max(hub_count, relabel_fraction · V).
+std::vector<graph::VertexId> create_relabeling_array(const graph::CsrGraph& graph,
+                                                     graph::VertexId reorder_count);
+
+}  // namespace lotus::core

@@ -1,0 +1,98 @@
+#include "lotus/serialize.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace lotus::core {
+
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'L', 'O', 'T', 'U', 'S', 'L', 'G', '1'};
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw std::runtime_error(path + ": " + what);
+}
+
+template <typename T>
+void write_vector(std::ofstream& out, const std::vector<T>& data) {
+  const std::uint64_t count = data.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof count);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(count * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_vector(std::ifstream& in, const std::string& path) {
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof count);
+  if (!in) fail(path, "truncated length field");
+  // Sanity bound: refuse obviously corrupt lengths before allocating.
+  if (count > (1ull << 36)) fail(path, "implausible array length");
+  std::vector<T> data(count);
+  in.read(reinterpret_cast<char*>(data.data()),
+          static_cast<std::streamsize>(count * sizeof(T)));
+  if (!in) fail(path, "truncated array");
+  return data;
+}
+
+}  // namespace
+
+void write_lotus_binary(const std::string& path, const LotusGraph& lg) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) fail(path, "cannot open for writing");
+  out.write(kMagic.data(), kMagic.size());
+  const std::uint64_t n = lg.num_vertices();
+  const std::uint64_t hubs = lg.hub_count();
+  out.write(reinterpret_cast<const char*>(&n), sizeof n);
+  out.write(reinterpret_cast<const char*>(&hubs), sizeof hubs);
+  write_vector(out, lg.relabeling());
+  write_vector(out, lg.h2h().words());
+  write_vector(out, lg.he().offsets());
+  write_vector(out, lg.he().neighbor_array());
+  write_vector(out, lg.nhe().offsets());
+  write_vector(out, lg.nhe().neighbor_array());
+  if (!out) fail(path, "write error");
+}
+
+LotusGraph read_lotus_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail(path, "cannot open for reading");
+  std::array<char, 8> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || std::memcmp(magic.data(), kMagic.data(), kMagic.size()) != 0)
+    fail(path, "not a lotus graph file (bad magic)");
+
+  std::uint64_t n = 0, hubs = 0;
+  in.read(reinterpret_cast<char*>(&n), sizeof n);
+  in.read(reinterpret_cast<char*>(&hubs), sizeof hubs);
+  if (!in) fail(path, "truncated header");
+  if (n > 0xffffffffULL || hubs > (1ull << 16)) fail(path, "corrupt header");
+
+  auto new_id = read_vector<graph::VertexId>(in, path);
+  auto h2h_words = read_vector<std::uint64_t>(in, path);
+  auto he_offsets = read_vector<std::uint64_t>(in, path);
+  auto he_neighbors = read_vector<std::uint16_t>(in, path);
+  auto nhe_offsets = read_vector<std::uint64_t>(in, path);
+  auto nhe_neighbors = read_vector<graph::VertexId>(in, path);
+
+  if (new_id.size() != n || he_offsets.size() != n + 1 || nhe_offsets.size() != n + 1)
+    fail(path, "array sizes disagree with header");
+  auto check_offsets = [&](const std::vector<std::uint64_t>& offsets,
+                           std::uint64_t edges) {
+    if (offsets.front() != 0 || offsets.back() != edges) fail(path, "corrupt offsets");
+    for (std::size_t i = 1; i < offsets.size(); ++i)
+      if (offsets[i] < offsets[i - 1]) fail(path, "corrupt offsets");
+  };
+  check_offsets(he_offsets, he_neighbors.size());
+  check_offsets(nhe_offsets, nhe_neighbors.size());
+
+  TriangularBitArray h2h(static_cast<graph::VertexId>(hubs), std::move(h2h_words));
+  graph::Csr16 he(std::move(he_offsets), std::move(he_neighbors));
+  graph::CsrGraph nhe(std::move(nhe_offsets), std::move(nhe_neighbors));
+  return LotusGraph::from_parts(static_cast<graph::VertexId>(hubs), std::move(h2h),
+                                std::move(he), std::move(nhe), std::move(new_id));
+}
+
+}  // namespace lotus::core

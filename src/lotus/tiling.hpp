@@ -1,0 +1,56 @@
+// Squared Edge Tiling (Sec. 4.6).
+//
+// Phase-1 work for a vertex with d hub neighbours is the triangular loop of
+// d·(d−1)/2 pairs: the h1 at index i contributes i units. Cutting the h1
+// range at i_k = d·sqrt(k/p) gives p tiles of equal pair-work. The paper
+// applies this to vertices with degree > 512 and p = 2 × #threads, with the
+// sqrt(k/p) values precomputed once and shared by all heavy vertices.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace lotus::core {
+
+/// Tile boundaries for one policy over a triangular (pair) loop of `degree`
+/// entries. Returns `partitions + 1` non-decreasing indices from 0 to degree.
+enum class TilingPolicy {
+  kSquared,       // i_k = degree · sqrt(k/p): equal pair-work per tile
+  kEdgeBalanced,  // i_k = degree · k/p: equal entries, skewed pair-work
+};
+
+inline std::vector<std::uint32_t> tile_boundaries(std::uint32_t degree,
+                                                  unsigned partitions,
+                                                  TilingPolicy policy) {
+  if (partitions == 0) partitions = 1;
+  std::vector<std::uint32_t> bounds(partitions + 1);
+  bounds[0] = 0;
+  bounds[partitions] = degree;
+  for (unsigned k = 1; k < partitions; ++k) {
+    const double f = static_cast<double>(k) / partitions;
+    const double cut = policy == TilingPolicy::kSquared
+                           ? degree * std::sqrt(f)
+                           : degree * f;
+    bounds[k] = static_cast<std::uint32_t>(cut);
+    if (bounds[k] < bounds[k - 1]) bounds[k] = bounds[k - 1];
+  }
+  return bounds;
+}
+
+/// Precomputed sqrt(k/p) factors (Sec. 4.6 notes these are fixed across
+/// vertices); multiply by the degree to get the cut points.
+inline std::vector<double> squared_tiling_factors(unsigned partitions) {
+  std::vector<double> f(partitions + 1);
+  for (unsigned k = 0; k <= partitions; ++k)
+    f[k] = std::sqrt(static_cast<double>(k) / partitions);
+  return f;
+}
+
+/// Pair-work of the h1 range [begin, end): sum of i over the range.
+constexpr std::uint64_t pair_work(std::uint32_t begin, std::uint32_t end) {
+  const std::uint64_t b = begin, e = end;
+  return e * (e - 1) / 2 - b * (b - 1) / 2;
+}
+
+}  // namespace lotus::core

@@ -1,0 +1,30 @@
+// Cache-line padding for per-thread counters.
+//
+// Per-thread triangle counters and busy-time accumulators are written at high
+// frequency from distinct threads; padding them to a cache line prevents
+// false sharing, which would otherwise dominate the very kernels whose
+// locality behaviour this project measures.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace lotus::parallel {
+
+// Fixed at 64 (x86-64/AArch64 line size) rather than
+// hardware_destructive_interference_size, whose value is not ABI-stable.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Value wrapper aligned and padded to a full cache line.
+template <typename T>
+struct alignas(kCacheLineSize) Padded {
+  T value{};
+
+  Padded() = default;
+  explicit Padded(T v) : value(std::move(v)) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+};
+
+}  // namespace lotus::parallel

@@ -1,0 +1,108 @@
+// Data-parallel loops over the default thread pool.
+//
+// `parallel_for` uses dynamic self-scheduling (an atomic cursor handing out
+// fixed-size chunks), which matches the schedule(dynamic) idiom of OpenMP
+// loops in graph kernels where per-vertex work is wildly skewed.
+// `parallel_reduce_add` layers per-thread partial sums (padded against false
+// sharing) on top.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "parallel/padded.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace lotus::parallel {
+
+/// Execution backend for the data-parallel loops. The pool backend is the
+/// default (paper-faithful master-worker threads); the OpenMP backend maps
+/// the same loops onto `omp parallel for schedule(dynamic)`, handy when
+/// embedding the library into an application that already owns an OpenMP
+/// runtime. Counting results are identical either way.
+enum class Backend { kPool, kOpenMP };
+
+inline Backend& backend_ref() {
+  static Backend backend = Backend::kPool;
+  return backend;
+}
+inline Backend backend() { return backend_ref(); }
+inline void set_backend(Backend b) {
+#ifndef _OPENMP
+  b = Backend::kPool;  // OpenMP not compiled in: silently stay on the pool
+#endif
+  backend_ref() = b;
+}
+
+/// Upper bound on thread indices `parallel_for` may pass to its body under
+/// the current backend; size per-thread accumulators with this.
+inline unsigned max_parallelism() {
+#ifdef _OPENMP
+  if (backend() == Backend::kOpenMP)
+    return static_cast<unsigned>(omp_get_max_threads());
+#endif
+  return num_threads();
+}
+
+/// Invoke `fn(thread_index, begin_i, end_i)` over dynamic chunks of
+/// [begin, end). `grain` is the chunk size handed to a thread per grab.
+template <typename Fn>
+void parallel_for(std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
+                  Fn&& fn) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+#ifdef _OPENMP
+  if (backend() == Backend::kOpenMP) {
+    const auto chunks =
+        static_cast<std::int64_t>((end - begin + grain - 1) / grain);
+#pragma omp parallel for schedule(dynamic)
+    for (std::int64_t c = 0; c < chunks; ++c) {
+      const std::uint64_t chunk_begin = begin + static_cast<std::uint64_t>(c) * grain;
+      const std::uint64_t chunk_end =
+          chunk_begin + grain < end ? chunk_begin + grain : end;
+      fn(static_cast<unsigned>(omp_get_thread_num()), chunk_begin, chunk_end);
+    }
+    return;
+  }
+#endif
+  ThreadPool& pool = default_pool();
+  if (pool.size() == 1 || end - begin <= grain) {
+    fn(0u, begin, end);
+    return;
+  }
+  std::atomic<std::uint64_t> cursor{begin};
+  pool.execute([&](unsigned thread_index) {
+    for (;;) {
+      const std::uint64_t chunk_begin =
+          cursor.fetch_add(grain, std::memory_order_relaxed);
+      if (chunk_begin >= end) break;
+      const std::uint64_t chunk_end =
+          chunk_begin + grain < end ? chunk_begin + grain : end;
+      fn(thread_index, chunk_begin, chunk_end);
+    }
+  });
+}
+
+/// Sum-reduction over [begin, end): `fn(i)` returns the per-index
+/// contribution; partial sums are accumulated per thread.
+template <typename T, typename Fn>
+T parallel_reduce_add(std::uint64_t begin, std::uint64_t end,
+                      std::uint64_t grain, Fn&& fn) {
+  std::vector<Padded<T>> partial(max_parallelism());
+  parallel_for(begin, end, grain,
+               [&](unsigned thread_index, std::uint64_t b, std::uint64_t e) {
+                 T local{};
+                 for (std::uint64_t i = b; i < e; ++i) local += fn(i);
+                 partial[thread_index].value += local;
+               });
+  T total{};
+  for (const auto& p : partial) total += p.value;
+  return total;
+}
+
+}  // namespace lotus::parallel

@@ -1,0 +1,164 @@
+#include "parallel/thread_pool.hpp"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <random>
+
+#include "util/prng.hpp"
+#include "util/timer.hpp"
+
+namespace lotus::parallel {
+
+ThreadPool::ThreadPool(unsigned num_threads)
+    : num_threads_(num_threads == 0 ? 1 : num_threads) {
+  workers_.reserve(num_threads_ - 1);
+  for (unsigned i = 1; i < num_threads_; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::execute(const std::function<void(unsigned)>& fn) {
+  if (num_threads_ == 1) {
+    fn(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    remaining_ = num_threads_ - 1;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  fn(0);
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::worker_loop(unsigned index) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(unsigned)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] {
+        return shutting_down_ || generation_ != seen_generation;
+      });
+      if (shutting_down_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    (*job)(index);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--remaining_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+namespace {
+
+/// One mutex-protected deque per worker. The owner pops from the front, a
+/// thief pops from the back; at graph-partition granularity the lock cost is
+/// negligible relative to task bodies.
+struct TaskDeque {
+  std::mutex mutex;
+  std::deque<WorkStealingScheduler::Task> tasks;
+
+  bool pop_front(WorkStealingScheduler::Task& out) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (tasks.empty()) return false;
+    out = std::move(tasks.front());
+    tasks.pop_front();
+    return true;
+  }
+
+  bool steal_back(WorkStealingScheduler::Task& out) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (tasks.empty()) return false;
+    out = std::move(tasks.back());
+    tasks.pop_back();
+    return true;
+  }
+};
+
+}  // namespace
+
+std::vector<double> WorkStealingScheduler::run(std::vector<Task> tasks) {
+  const unsigned n = pool_.size();
+  std::vector<std::unique_ptr<TaskDeque>> deques;
+  deques.reserve(n);
+  for (unsigned i = 0; i < n; ++i) deques.push_back(std::make_unique<TaskDeque>());
+  for (std::size_t i = 0; i < tasks.size(); ++i)
+    deques[i % n]->tasks.push_back(std::move(tasks[i]));
+
+  std::atomic<std::size_t> outstanding{tasks.size()};
+  std::vector<Padded<double>> busy_s(n);
+
+  pool_.execute([&](unsigned thread_index) {
+    util::Xoshiro256 rng(0x5eedULL + thread_index);
+    Task task;
+    double local_busy = 0.0;
+    while (outstanding.load(std::memory_order_acquire) != 0) {
+      bool got = deques[thread_index]->pop_front(task);
+      if (!got) {
+        // Steal from a random victim; scan all once before re-checking.
+        const unsigned start = static_cast<unsigned>(rng.next_below(n));
+        for (unsigned probe = 0; probe < n && !got; ++probe) {
+          const unsigned victim = (start + probe) % n;
+          if (victim == thread_index) continue;
+          got = deques[victim]->steal_back(task);
+        }
+      }
+      if (got) {
+        util::Timer t;
+        task(thread_index);
+        local_busy += t.elapsed_s();
+        outstanding.fetch_sub(1, std::memory_order_acq_rel);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    busy_s[thread_index].value = local_busy;
+  });
+
+  std::vector<double> out(n);
+  for (unsigned i = 0; i < n; ++i) out[i] = busy_s[i].value;
+  return out;
+}
+
+namespace {
+std::unique_ptr<ThreadPool> g_pool;       // NOLINT: intentional process-wide pool
+std::mutex g_pool_mutex;
+unsigned g_requested_threads = 0;
+}  // namespace
+
+ThreadPool& default_pool() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (!g_pool) {
+    unsigned n = g_requested_threads;
+    if (n == 0) n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+    g_pool = std::make_unique<ThreadPool>(n);
+  }
+  return *g_pool;
+}
+
+void set_num_threads(unsigned num_threads) {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  g_requested_threads = num_threads;
+  g_pool.reset();  // re-created lazily at the new size
+}
+
+unsigned num_threads() { return default_pool().size(); }
+
+}  // namespace lotus::parallel

@@ -1,0 +1,86 @@
+// Master–worker thread pool with work stealing.
+//
+// The paper's implementation (Sec. 5.1.3) uses a pthread master–worker model
+// with futex-based synchronization and work stealing over graph partitions.
+// This pool reproduces those semantics with std::thread + condition
+// variables:
+//   * a fixed set of persistent workers (fork–join `execute`),
+//   * per-worker task deques with random-victim stealing (`run_tasks`),
+//   * per-thread busy-time accounting, from which the idle-time measurements
+//     of Table 9 are derived.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "parallel/padded.hpp"
+
+namespace lotus::parallel {
+
+/// Fixed-size pool of persistent worker threads.
+///
+/// Thread 0 is the calling (master) thread: `execute(fn)` runs
+/// `fn(0) .. fn(size()-1)` concurrently, with `fn(0)` on the caller, and
+/// returns when all invocations finish. This fork–join primitive underlies
+/// `parallel_for` and the work-stealing task scheduler.
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const noexcept { return num_threads_; }
+
+  /// Run `fn(thread_index)` once on every thread of the pool; blocks until
+  /// all are done. Exceptions thrown by `fn` terminate (counting kernels are
+  /// noexcept by design).
+  void execute(const std::function<void(unsigned)>& fn);
+
+ private:
+  void worker_loop(unsigned index);
+
+  unsigned num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(unsigned)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  unsigned remaining_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Task list executed with per-worker deques and random-victim stealing.
+///
+/// Tasks are distributed round-robin at submission; each worker drains its
+/// own deque from the front and steals from the back of a random victim when
+/// empty. Per-thread busy seconds are recorded so callers can compute idle
+/// fractions (Table 9).
+class WorkStealingScheduler {
+ public:
+  using Task = std::function<void(unsigned thread_index)>;
+
+  explicit WorkStealingScheduler(ThreadPool& pool) : pool_(pool) {}
+
+  /// Run all tasks to completion; returns per-thread busy time in seconds.
+  std::vector<double> run(std::vector<Task> tasks);
+
+ private:
+  ThreadPool& pool_;
+};
+
+/// Process-wide default pool. Size defaults to hardware_concurrency and may
+/// be overridden (before first use or between uses) via `set_num_threads`.
+ThreadPool& default_pool();
+void set_num_threads(unsigned num_threads);
+unsigned num_threads();
+
+}  // namespace lotus::parallel

@@ -1,0 +1,57 @@
+#include "simcache/cache_model.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace lotus::simcache {
+
+namespace {
+std::uint32_t log2_exact(std::uint64_t value, const char* what) {
+  if (value == 0 || (value & (value - 1)) != 0)
+    throw std::invalid_argument(std::string(what) + " must be a power of two");
+  return static_cast<std::uint32_t>(std::countr_zero(value));
+}
+}  // namespace
+
+CacheModel::CacheModel(const CacheConfig& config) : config_(config) {
+  line_shift_ = log2_exact(config.line_bytes, "line_bytes");
+  const std::uint64_t lines = config.size_bytes / config.line_bytes;
+  if (lines == 0 || lines % config.associativity != 0)
+    throw std::invalid_argument("cache size must be a multiple of assoc * line");
+  // Set counts need not be powers of two (Haswell's 25.6 MB / 20-way L3 has
+  // 20480 sets); indexing uses modulo.
+  num_sets_ = static_cast<std::uint32_t>(lines / config.associativity);
+  ways_.resize(static_cast<std::size_t>(num_sets_) * config.associativity);
+}
+
+bool CacheModel::access(std::uint64_t addr) {
+  ++clock_;
+  const std::uint64_t line = addr >> line_shift_;
+  const auto set = static_cast<std::uint32_t>(line % num_sets_);
+  Way* begin = &ways_[static_cast<std::size_t>(set) * config_.associativity];
+
+  Way* victim = begin;
+  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+    if (begin[w].tag == line) {
+      begin[w].last_use = clock_;
+      ++hits_;
+      return true;
+    }
+    if (begin[w].last_use < victim->last_use) victim = &begin[w];
+  }
+  victim->tag = line;
+  victim->last_use = clock_;
+  ++misses_;
+  return false;
+}
+
+TlbModel::TlbModel(const TlbConfig& config)
+    : config_(config),
+      cache_(CacheConfig{
+          "tlb",
+          static_cast<std::uint64_t>(config.entries) * config.page_bytes,
+          config.page_bytes, config.associativity}) {}
+
+bool TlbModel::access(std::uint64_t addr) { return cache_.access(addr); }
+
+}  // namespace lotus::simcache

@@ -1,0 +1,105 @@
+#include "tc/api.hpp"
+
+#include "baselines/matrix_tc.hpp"
+#include "baselines/tc_baselines.hpp"
+#include "lotus/adaptive.hpp"
+#include "lotus/lotus.hpp"
+#include "util/timer.hpp"
+
+namespace lotus::tc {
+
+namespace {
+RunResult from_baseline(const baselines::TcResult& r) {
+  return {r.triangles, r.preprocess_s, r.count_s};
+}
+}  // namespace
+
+RunResult run(Algorithm algorithm, const graph::CsrGraph& graph,
+              const core::LotusConfig& config) {
+  switch (algorithm) {
+    case Algorithm::kLotus: {
+      const core::LotusResult r = core::count_triangles(graph, config);
+      return {r.triangles, r.preprocess_s, r.count_s()};
+    }
+    case Algorithm::kAdaptive: {
+      const core::AdaptiveResult r = core::adaptive_count(graph, config);
+      return {r.triangles, r.preprocess_s, r.count_s};
+    }
+    case Algorithm::kForwardMerge:
+      return from_baseline(baselines::forward_merge(graph));
+    case Algorithm::kForwardGallop:
+      return from_baseline(baselines::forward_gallop(graph));
+    case Algorithm::kForwardSimd:
+      return from_baseline(baselines::forward_simd(graph));
+    case Algorithm::kForwardHashed:
+      return from_baseline(baselines::forward_hashed(graph));
+    case Algorithm::kForwardBitmap:
+      return from_baseline(baselines::forward_bitmap(graph));
+    case Algorithm::kEdgeParallel:
+      return from_baseline(baselines::edge_parallel_forward(graph));
+    case Algorithm::kEdgeIterator:
+      return from_baseline(baselines::edge_iterator(graph));
+    case Algorithm::kNodeIterator:
+      return from_baseline(baselines::node_iterator(graph));
+    case Algorithm::kBlocked:
+      return from_baseline(baselines::blocked_tc(graph));
+    case Algorithm::kAyz: {
+      util::Timer timer;
+      RunResult r;
+      r.triangles = baselines::ayz_tc(graph);
+      r.count_s = timer.elapsed_s();
+      return r;
+    }
+    case Algorithm::kSpGemmMasked: {
+      util::Timer timer;
+      RunResult r;
+      r.triangles = baselines::spgemm_masked_tc(graph);
+      r.count_s = timer.elapsed_s();
+      return r;
+    }
+  }
+  return {};
+}
+
+std::string name(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kLotus: return "lotus";
+    case Algorithm::kAdaptive: return "adaptive";
+    case Algorithm::kForwardMerge: return "gap-forward";
+    case Algorithm::kForwardGallop: return "forward-gallop";
+    case Algorithm::kForwardSimd: return "forward-simd";
+    case Algorithm::kForwardHashed: return "forward-hashed";
+    case Algorithm::kForwardBitmap: return "forward-bitmap";
+    case Algorithm::kEdgeParallel: return "gbbs-edgepar";
+    case Algorithm::kEdgeIterator: return "ggrind-edgeit";
+    case Algorithm::kNodeIterator: return "node-iterator";
+    case Algorithm::kBlocked: return "bbtc-blocked";
+    case Algorithm::kAyz: return "ayz-matrix";
+    case Algorithm::kSpGemmMasked: return "spgemm-masked";
+  }
+  return "unknown";
+}
+
+std::optional<Algorithm> parse(const std::string& text) {
+  for (Algorithm a : all_algorithms())
+    if (name(a) == text) return a;
+  return std::nullopt;
+}
+
+std::vector<Algorithm> all_algorithms() {
+  return {Algorithm::kLotus,         Algorithm::kAdaptive,
+          Algorithm::kForwardMerge,  Algorithm::kForwardGallop,
+          Algorithm::kForwardSimd,
+          Algorithm::kForwardHashed, Algorithm::kForwardBitmap,
+          Algorithm::kEdgeParallel,  Algorithm::kEdgeIterator,
+          Algorithm::kNodeIterator,  Algorithm::kBlocked,
+          Algorithm::kAyz,           Algorithm::kSpGemmMasked};
+}
+
+std::vector<Algorithm> paper_comparators() {
+  return {Algorithm::kBlocked, Algorithm::kEdgeIterator,
+          Algorithm::kForwardMerge, Algorithm::kEdgeParallel,
+          Algorithm::kLotus};
+}
+
+}  // namespace lotus::tc

@@ -1,0 +1,55 @@
+// Unified triangle-counting API.
+//
+// One entry point over LOTUS and every baseline, so benches, tests and
+// examples can sweep algorithms uniformly. The enum names note which
+// framework of the paper's evaluation (Sec. 5.1.4) each kernel stands in for.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "lotus/config.hpp"
+
+namespace lotus::tc {
+
+enum class Algorithm {
+  kLotus,          // this paper
+  kAdaptive,       // LOTUS with the Sec. 5.5 skewness fallback
+  kForwardMerge,   // GAP-style Forward + merge join
+  kForwardGallop,  // Forward + binary/galloping search [31]
+  kForwardSimd,    // Forward + AVX2 block intersection (vectorized class)
+  kForwardHashed,  // Schank & Wagner forward-hashed
+  kForwardBitmap,  // Latapy new-vertex-listing
+  kEdgeParallel,   // GBBS-style edge-parallel Forward
+  kEdgeIterator,   // GraphGrind-style edge iterator
+  kNodeIterator,   // classical node iterator
+  kBlocked,        // BBTC-style block-based TC
+  kAyz,            // Alon-Yuster-Zwick matrix-hybrid [1, 2]
+  kSpGemmMasked,   // masked sparse matrix product [8]
+};
+
+struct RunResult {
+  std::uint64_t triangles = 0;
+  double preprocess_s = 0.0;
+  double count_s = 0.0;
+
+  [[nodiscard]] double total_s() const { return preprocess_s + count_s; }
+};
+
+/// End-to-end run (preprocessing + counting) of one algorithm.
+RunResult run(Algorithm algorithm, const graph::CsrGraph& graph,
+              const core::LotusConfig& config = {});
+
+[[nodiscard]] std::string name(Algorithm algorithm);
+[[nodiscard]] std::optional<Algorithm> parse(const std::string& name);
+
+/// All algorithms, LOTUS first (display order used by the benches).
+[[nodiscard]] std::vector<Algorithm> all_algorithms();
+
+/// The comparator set of Tables 5/6: BBTC, GraphGrind, GAP, GBBS, Lotus.
+[[nodiscard]] std::vector<Algorithm> paper_comparators();
+
+}  // namespace lotus::tc

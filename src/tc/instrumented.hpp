@@ -1,0 +1,32 @@
+// Instrumented replays: run Forward and LOTUS single-threaded against a
+// hardware model, producing the counter comparisons of Figs. 4/5 and the
+// H2H cacheline-access histogram of Fig. 9.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.hpp"
+#include "lotus/config.hpp"
+#include "lotus/lotus_graph.hpp"
+#include "simcache/perf_model.hpp"
+
+namespace lotus::tc {
+
+/// Replay the Forward algorithm (merge join) over a degree-ordered oriented
+/// graph, feeding every edge read, comparison, and branch into `model`.
+/// Returns the triangle count (for validation against the native run).
+std::uint64_t replay_forward(const graph::OrientedCsr& oriented,
+                             simcache::PerfModel& model);
+
+/// Replay all three LOTUS phases over a prebuilt LotusGraph.
+std::uint64_t replay_lotus(const core::LotusGraph& lotus_graph,
+                           const core::LotusConfig& config,
+                           simcache::PerfModel& model);
+
+/// Fig. 9 input: per-64-byte-cacheline access counts of the H2H bit array
+/// during phase 1 (one entry per cacheline, index = bit / 512).
+std::vector<std::uint64_t> h2h_cacheline_histogram(
+    const core::LotusGraph& lotus_graph, const core::LotusConfig& config);
+
+}  // namespace lotus::tc

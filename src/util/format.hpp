@@ -1,0 +1,60 @@
+// Human-readable number formatting for bench output.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace lotus::util {
+
+/// "1,234,567" style grouping for counts.
+inline std::string with_commas(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t first_group = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - first_group) % 3 == 0 && i >= first_group) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+/// "3.42 GB" style byte size.
+inline std::string human_bytes(std::uint64_t bytes) {
+  static constexpr const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  std::ostringstream os;
+  os.precision(value < 10 ? 2 : 1);
+  os << std::fixed << value << ' ' << kUnits[unit];
+  return os.str();
+}
+
+/// "12.5M" style count for axis-like labels.
+inline std::string human_count(double value) {
+  static constexpr const char* kUnits[] = {"", "K", "M", "B", "T"};
+  int unit = 0;
+  while (value >= 1000.0 && unit < 4) {
+    value /= 1000.0;
+    ++unit;
+  }
+  std::ostringstream os;
+  os.precision(value < 10 ? 2 : 1);
+  os << std::fixed << value << kUnits[unit];
+  return os.str();
+}
+
+/// Fixed-precision float to string.
+inline std::string fixed(double value, int precision = 2) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << std::fixed << value;
+  return os.str();
+}
+
+}  // namespace lotus::util

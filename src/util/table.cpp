@@ -1,0 +1,41 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace lotus::util {
+
+void TablePrinter::header(std::vector<std::string> cells) { header_ = std::move(cells); }
+
+void TablePrinter::row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths;
+  auto widen = [&widths](const std::vector<std::string>& cells) {
+    if (widths.size() < cells.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << cells[i];
+      if (i + 1 < cells.size())
+        os << std::string(widths[i] - cells[i].size() + 2, ' ');
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < widths.size(); ++i) total += widths[i] + (i + 1 < widths.size() ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+}
+
+}  // namespace lotus::util

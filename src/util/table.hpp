@@ -1,0 +1,30 @@
+// Minimal aligned-column table printer; every bench binary prints its
+// table/figure rows through this so output stays uniform and diffable.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lotus::util {
+
+/// Collects rows of strings and prints them with aligned columns.
+/// First row added via `header()` is separated by a rule.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::string title = {}) : title_(std::move(title)) {}
+
+  void header(std::vector<std::string> cells);
+  void row(std::vector<std::string> cells);
+
+  /// Render to the stream with two-space column gaps.
+  void print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lotus::util

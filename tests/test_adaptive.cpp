@@ -1,0 +1,50 @@
+// Adaptive dispatch (Sec. 5.5): skewed graphs run LOTUS, flat graphs run
+// Forward; both must return the correct count.
+#include <gtest/gtest.h>
+
+#include "baselines/tc_baselines.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "lotus/adaptive.hpp"
+
+namespace {
+
+namespace g = lotus::graph;
+using lotus::core::adaptive_count;
+using lotus::core::ChosenAlgorithm;
+using lotus::core::should_use_lotus;
+
+TEST(Adaptive, SkewedGraphPicksLotus) {
+  const auto graph =
+      g::build_undirected(g::rmat({.scale = 13, .edge_factor = 16, .seed = 1}));
+  EXPECT_TRUE(should_use_lotus(graph));
+  const auto r = adaptive_count(graph);
+  EXPECT_EQ(r.algorithm, ChosenAlgorithm::kLotus);
+  EXPECT_EQ(r.triangles, lotus::baselines::brute_force(graph));
+}
+
+TEST(Adaptive, FlatGraphPicksForward) {
+  const auto graph = g::build_undirected(g::erdos_renyi(1 << 13, 12.0, 2));
+  EXPECT_FALSE(should_use_lotus(graph));
+  const auto r = adaptive_count(graph);
+  EXPECT_EQ(r.algorithm, ChosenAlgorithm::kForward);
+  EXPECT_EQ(r.triangles, lotus::baselines::brute_force(graph));
+}
+
+TEST(Adaptive, LatticePicksForward) {
+  const auto graph = g::build_undirected(g::watts_strogatz(
+      {.num_vertices = 1 << 13, .ring_degree = 6, .rewire_prob = 0.05, .seed = 3}));
+  const auto r = adaptive_count(graph);
+  EXPECT_EQ(r.algorithm, ChosenAlgorithm::kForward);
+  EXPECT_EQ(r.triangles, lotus::baselines::brute_force(graph));
+}
+
+TEST(Adaptive, BothPathsReportTimings) {
+  const auto skewed =
+      g::build_undirected(g::rmat({.scale = 11, .edge_factor = 8, .seed = 4}));
+  const auto rs = adaptive_count(skewed);
+  EXPECT_GE(rs.preprocess_s, 0.0);
+  EXPECT_GE(rs.count_s, 0.0);
+}
+
+}  // namespace

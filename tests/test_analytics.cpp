@@ -1,0 +1,80 @@
+// Analytics layer: local triangle counts, clustering coefficients, and
+// transitivity, validated on closed-form families and against brute force.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "analytics/clustering.hpp"
+#include "baselines/tc_baselines.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+namespace g = lotus::graph;
+namespace a = lotus::analytics;
+
+TEST(LocalCounts, CompleteGraphEveryVertexSeesAllItsTriangles) {
+  const auto graph = g::build_undirected(g::complete(10));
+  const auto counts = a::local_triangle_counts(graph);
+  // Each vertex of K_10 is in C(9,2) = 36 triangles.
+  for (auto c : counts) EXPECT_EQ(c, 36u);
+}
+
+TEST(LocalCounts, CornerSumIsThreeTimesTriangles) {
+  const auto graph =
+      g::build_undirected(g::rmat({.scale = 10, .edge_factor = 8, .seed = 41}));
+  const auto counts = a::local_triangle_counts(graph);
+  const auto corner_sum =
+      std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
+  EXPECT_EQ(corner_sum, 3 * lotus::baselines::brute_force(graph));
+}
+
+TEST(LocalCounts, WheelHubSeesEveryTriangle) {
+  const auto graph = g::build_undirected(g::wheel(10));
+  const auto counts = a::local_triangle_counts(graph);
+  EXPECT_EQ(counts[0], 10u);  // hub participates in all 10 rim triangles
+  for (std::size_t v = 1; v < counts.size(); ++v) EXPECT_EQ(counts[v], 2u);
+}
+
+TEST(Clustering, CompleteGraphHasCoefficientOne) {
+  const auto coefficients =
+      a::clustering_coefficients(g::build_undirected(g::complete(8)));
+  for (double c : coefficients) EXPECT_DOUBLE_EQ(c, 1.0);
+}
+
+TEST(Clustering, TriangleFreeGraphHasZero) {
+  const auto coefficients =
+      a::clustering_coefficients(g::build_undirected(g::grid(6, 6)));
+  for (double c : coefficients) EXPECT_DOUBLE_EQ(c, 0.0);
+}
+
+TEST(Clustering, LowDegreeVerticesAreZeroNotNan) {
+  const auto coefficients =
+      a::clustering_coefficients(g::build_undirected(g::path(5)));
+  for (double c : coefficients) EXPECT_DOUBLE_EQ(c, 0.0);
+}
+
+TEST(Transitivity, CompleteGraphIsOne) {
+  const auto t = a::transitivity(g::build_undirected(g::complete(12)));
+  EXPECT_DOUBLE_EQ(t.global_transitivity, 1.0);
+  EXPECT_DOUBLE_EQ(t.avg_clustering, 1.0);
+  EXPECT_EQ(t.triangles, g::complete_triangles(12));
+}
+
+TEST(Transitivity, StarIsZeroWithManyWedges) {
+  const auto t = a::transitivity(g::build_undirected(g::star(20)));
+  EXPECT_EQ(t.triangles, 0u);
+  EXPECT_EQ(t.wedges, 19ull * 18 / 2);  // all through the centre
+  EXPECT_DOUBLE_EQ(t.global_transitivity, 0.0);
+}
+
+TEST(Transitivity, MatchesBruteForceTriangleCount) {
+  const auto graph = g::build_undirected(g::holme_kim(
+      {.num_vertices = 1000, .edges_per_vertex = 5, .p_triad = 0.6, .seed = 42}));
+  const auto t = a::transitivity(graph);
+  EXPECT_EQ(t.triangles, lotus::baselines::brute_force(graph));
+  EXPECT_GT(t.avg_clustering, 0.1);  // triad formation forces clustering
+}
+
+}  // namespace

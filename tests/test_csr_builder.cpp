@@ -1,0 +1,125 @@
+// Tests for CSR construction, orientation, and relabeling invariants.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/builder.hpp"
+#include "graph/csr.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using lotus::graph::build_undirected;
+using lotus::graph::CsrGraph;
+using lotus::graph::Edge;
+using lotus::graph::EdgeList;
+using lotus::graph::orient_by_id;
+using lotus::graph::relabel;
+using lotus::graph::VertexId;
+
+EdgeList triangle_with_tail() {
+  // 0-1-2 triangle plus tail 2-3.
+  return {4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}}};
+}
+
+TEST(Builder, SymmetrizesAndSorts) {
+  const CsrGraph g = build_undirected(triangle_with_tail());
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 8u);  // 4 undirected edges, both directions
+  EXPECT_TRUE(g.neighbors_sorted());
+  EXPECT_EQ(g.degree(2), 3u);
+  EXPECT_EQ(g.degree(3), 1u);
+}
+
+TEST(Builder, DropsSelfLoops) {
+  const CsrGraph g = build_undirected({3, {{0, 0}, {0, 1}, {1, 1}, {1, 2}}});
+  EXPECT_EQ(g.num_edges(), 4u);
+  for (VertexId v = 0; v < 3; ++v)
+    for (VertexId u : g.neighbors(v)) EXPECT_NE(u, v);
+}
+
+TEST(Builder, MergesDuplicateAndReversedEdges) {
+  const CsrGraph g = build_undirected({2, {{0, 1}, {1, 0}, {0, 1}, {0, 1}}});
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+}
+
+TEST(Builder, RejectsOutOfRangeEndpoint) {
+  EXPECT_THROW(build_undirected({2, {{0, 5}}}), std::invalid_argument);
+}
+
+TEST(Builder, EmptyGraph) {
+  const CsrGraph g = build_undirected({0, {}});
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Builder, IsolatedVerticesKeepZeroDegree) {
+  const CsrGraph g = build_undirected({5, {{0, 4}}});
+  EXPECT_EQ(g.degree(1), 0u);
+  EXPECT_EQ(g.degree(2), 0u);
+  EXPECT_EQ(g.degree(3), 0u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(Orient, KeepsOnlyLowerNeighbors) {
+  const CsrGraph g = build_undirected(triangle_with_tail());
+  const auto oriented = orient_by_id(g);
+  EXPECT_EQ(oriented.num_edges(), 4u);  // one entry per undirected edge
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    for (VertexId u : oriented.neighbors(v)) EXPECT_LT(u, v);
+}
+
+TEST(Orient, PreservesEdgeCount) {
+  const CsrGraph g =
+      build_undirected(lotus::graph::rmat({.scale = 10, .edge_factor = 8, .seed = 3}));
+  const auto oriented = orient_by_id(g);
+  EXPECT_EQ(oriented.num_edges(), g.num_edges() / 2);
+  EXPECT_TRUE(oriented.neighbors_sorted());
+}
+
+TEST(Relabel, IdentityPermutationIsNoop) {
+  const CsrGraph g = build_undirected(triangle_with_tail());
+  std::vector<VertexId> id(g.num_vertices());
+  std::iota(id.begin(), id.end(), 0);
+  EXPECT_EQ(relabel(g, id), g);
+}
+
+TEST(Relabel, PreservesDegreesUnderPermutation) {
+  const CsrGraph g =
+      build_undirected(lotus::graph::rmat({.scale = 8, .edge_factor = 4, .seed = 9}));
+  std::vector<VertexId> perm(g.num_vertices());
+  std::iota(perm.begin(), perm.end(), 0);
+  // Reverse permutation.
+  std::reverse(perm.begin(), perm.end());
+  const CsrGraph h = relabel(g, perm);
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    EXPECT_EQ(h.degree(perm[v]), g.degree(v));
+  EXPECT_TRUE(h.neighbors_sorted());
+}
+
+TEST(Relabel, MapsAdjacencyCorrectly) {
+  const CsrGraph g = build_undirected({3, {{0, 1}, {1, 2}}});
+  const CsrGraph h = relabel(g, {2, 0, 1});  // 0->2, 1->0, 2->1
+  // Old edge (0,1) becomes (2,0); old (1,2) becomes (0,1).
+  auto n0 = h.neighbors(0);
+  ASSERT_EQ(n0.size(), 2u);
+  EXPECT_EQ(n0[0], 1u);
+  EXPECT_EQ(n0[1], 2u);
+}
+
+TEST(Relabel, RejectsNonPermutation) {
+  const CsrGraph g = build_undirected({2, {{0, 1}}});
+  EXPECT_THROW(relabel(g, {0, 5}), std::invalid_argument);
+  EXPECT_THROW(relabel(g, {0}), std::invalid_argument);
+}
+
+TEST(Csr, TopologyBytesAccounting) {
+  const CsrGraph g = build_undirected(triangle_with_tail());
+  // 5 offsets * 8 bytes + 8 neighbours * 4 bytes.
+  EXPECT_EQ(g.topology_bytes(), 5u * 8 + 8u * 4);
+}
+
+}  // namespace

@@ -1,0 +1,79 @@
+// Dataset registry: selection parsing, determinism, and the structural
+// regimes each stand-in must land in.
+#include <gtest/gtest.h>
+
+#include "datasets/registry.hpp"
+#include "graph/stats.hpp"
+
+namespace {
+
+namespace d = lotus::datasets;
+
+TEST(Registry, HasFourteenDatasetsLikeTable4) {
+  EXPECT_EQ(d::all_datasets().size(), 14u);
+  EXPECT_EQ(d::small_datasets().size(), 10u);  // Table 5 group
+  EXPECT_EQ(d::large_datasets().size(), 4u);   // Table 6 group
+}
+
+TEST(Registry, NamesAreUniqueAndLookupWorks) {
+  for (const auto& dataset : d::all_datasets())
+    EXPECT_EQ(d::dataset(dataset.name).stands_for, dataset.stands_for);
+  EXPECT_THROW(d::dataset("NoSuchGraph"), std::out_of_range);
+}
+
+TEST(Registry, SelectionParsing) {
+  EXPECT_EQ(d::parse_selection("").size(), 10u);
+  EXPECT_EQ(d::parse_selection("all").size(), 14u);
+  EXPECT_EQ(d::parse_selection("large").size(), 4u);
+  const auto two = d::parse_selection("Twtr-S,SK-S");
+  ASSERT_EQ(two.size(), 2u);
+  EXPECT_EQ(two[0].name, "Twtr-S");
+  EXPECT_EQ(two[1].name, "SK-S");
+  EXPECT_THROW(d::parse_selection("Twtr-S,bogus"), std::out_of_range);
+}
+
+TEST(Registry, GraphsAreDeterministic) {
+  const auto& dataset = d::dataset("Twtr-S");
+  const auto a = dataset.make(0.05);
+  const auto b = dataset.make(0.05);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Registry, FactorScalesVertexCount) {
+  const auto& dataset = d::dataset("SK-S");
+  const auto small = dataset.make(0.05);
+  const auto bigger = dataset.make(0.1);
+  EXPECT_GT(bigger.num_vertices(), small.num_vertices());
+}
+
+TEST(Registry, SkewRegimes) {
+  // Social and web stand-ins must register as skewed; the Friendster
+  // control must be the least hub-dominated of the group (Sec. 5.5).
+  const auto twtr = d::dataset("Twtr-S").make(0.1);
+  EXPECT_TRUE(lotus::graph::degree_stats(twtr).is_skewed());
+
+  const auto web = d::dataset("SK-S").make(0.1);
+  EXPECT_TRUE(lotus::graph::degree_stats(web).is_skewed());
+
+  const auto twtr_hubs = lotus::graph::hub_stats(twtr, 0.01);
+  const auto frnd_hubs =
+      lotus::graph::hub_stats(d::dataset("Frndstr-S").make(0.1), 0.01);
+  EXPECT_GT(twtr_hubs.hub_edges_total_pct, frnd_hubs.hub_edges_total_pct);
+  EXPECT_GT(twtr_hubs.relative_density_hubs, frnd_hubs.relative_density_hubs);
+}
+
+TEST(Registry, WebGraphsHaveDenseHubCores) {
+  const auto web = d::dataset("UKDls-S").make(0.1);
+  const auto h = lotus::graph::hub_stats(web, 0.01);
+  EXPECT_GT(h.relative_density_hubs, 200.0);
+  EXPECT_GT(h.hub_triangles_pct, 80.0);
+}
+
+TEST(Registry, KindNames) {
+  EXPECT_EQ(d::kind_name(d::Kind::kSocialNetwork), "SN");
+  EXPECT_EQ(d::kind_name(d::Kind::kWebGraph), "WG");
+  EXPECT_EQ(d::kind_name(d::Kind::kBioGraph), "BG");
+  EXPECT_EQ(d::kind_name(d::Kind::kControl), "CTRL");
+}
+
+}  // namespace

@@ -1,0 +1,275 @@
+// Extension modules: k-clique counting, recursive LOTUS, the streaming hub
+// counter, and blocked HNN.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "baselines/tc_baselines.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "analytics/clustering.hpp"
+#include "lotus/count.hpp"
+#include "lotus/local.hpp"
+#include "lotus/kclique.hpp"
+#include "lotus/lotus.hpp"
+#include "lotus/recursive.hpp"
+#include "lotus/serialize.hpp"
+#include "lotus/streaming.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+namespace g = lotus::graph;
+namespace core = lotus::core;
+
+// ---------- k-cliques ----------
+
+constexpr std::uint64_t choose(std::uint64_t n, std::uint64_t k) {
+  std::uint64_t result = 1;
+  for (std::uint64_t i = 0; i < k; ++i) result = result * (n - i) / (i + 1);
+  return result;
+}
+
+TEST(KClique, CompleteGraphClosedForm) {
+  const auto graph = g::build_undirected(g::complete(12));
+  for (unsigned k = 3; k <= 6; ++k)
+    EXPECT_EQ(core::count_kcliques(graph, k).cliques, choose(12, k)) << k;
+}
+
+TEST(KClique, TriangleCountMatchesBruteForce) {
+  const auto graph =
+      g::build_undirected(g::rmat({.scale = 9, .edge_factor = 8, .seed = 51}));
+  EXPECT_EQ(core::count_kcliques(graph, 3).cliques,
+            lotus::baselines::brute_force(graph));
+}
+
+TEST(KClique, TriangleFreeGraphHasNoCliques) {
+  const auto graph = g::build_undirected(g::complete_bipartite(8, 8));
+  for (unsigned k = 3; k <= 5; ++k)
+    EXPECT_EQ(core::count_kcliques(graph, k).cliques, 0u);
+}
+
+TEST(KClique, WheelFourCliques) {
+  // wheel(5): 4-cliques require the hub + a rim triangle; the rim C_5 has
+  // no triangles, so zero 4-cliques; 5 triangles + 5 hub triangles... rim
+  // edges each close one triangle with the hub -> 5 triangles total.
+  const auto graph = g::build_undirected(g::wheel(5));
+  EXPECT_EQ(core::count_kcliques(graph, 3).cliques, 5u);
+  EXPECT_EQ(core::count_kcliques(graph, 4).cliques, 0u);
+}
+
+TEST(KClique, HubShareGrowsWithK) {
+  // The paper's Sec. 7 conjecture on a skewed graph.
+  const auto graph =
+      g::build_undirected(g::rmat({.scale = 11, .edge_factor = 10, .seed = 52}));
+  const auto k3 = core::count_kcliques(graph, 3);
+  const auto k4 = core::count_kcliques(graph, 4);
+  ASSERT_GT(k3.cliques, 0u);
+  ASSERT_GT(k4.cliques, 0u);
+  EXPECT_GE(k4.hub_pct() + 1e-9, k3.hub_pct());
+  EXPECT_GT(k3.hub_pct(), 50.0);
+}
+
+TEST(KClique, HubAttributionOnCompleteGraph) {
+  // 1 hub in K_10 (hub_fraction 0.01 -> ceil(0.1) = 1): cliques containing
+  // the hub are C(9, k-1).
+  const auto graph = g::build_undirected(g::complete(10));
+  const auto r = core::count_kcliques(graph, 4, 0.01);
+  EXPECT_EQ(r.hub_cliques, choose(9, 3));
+}
+
+TEST(KClique, RejectsSmallK) {
+  const auto graph = g::build_undirected(g::complete(5));
+  EXPECT_THROW(core::count_kcliques(graph, 2), std::invalid_argument);
+}
+
+// ---------- recursive LOTUS ----------
+
+TEST(RecursiveLotus, MatchesPlainLotusAcrossLevels) {
+  const auto graph = g::build_undirected(g::holme_kim(
+      {.num_vertices = 3000, .edges_per_vertex = 6, .p_triad = 0.5, .seed = 53}));
+  const std::uint64_t expected = lotus::baselines::brute_force(graph);
+  for (unsigned levels : {1u, 2u, 3u, 5u}) {
+    const auto r = core::count_triangles_recursive(graph, {}, levels);
+    EXPECT_EQ(r.triangles, expected) << "levels=" << levels;
+    EXPECT_GE(r.levels_used, 1u);
+    EXPECT_LE(r.levels_used, levels);
+  }
+}
+
+TEST(RecursiveLotus, UsesMultipleLevelsOnLowSkewGraphs) {
+  // A big NHE residue (few hubs) forces recursion to engage.
+  const auto graph = g::build_undirected(g::holme_kim(
+      {.num_vertices = 20000, .edges_per_vertex = 6, .p_triad = 0.4, .seed = 54}));
+  core::LotusConfig config;
+  config.hub_count = 64;  // tiny hub set leaves a large NHE sub-graph
+  const auto r = core::count_triangles_recursive(graph, config, 3);
+  EXPECT_GT(r.levels_used, 1u);
+  EXPECT_EQ(r.triangles, lotus::baselines::brute_force(graph));
+}
+
+TEST(RecursiveLotus, EmptyGraph) {
+  const auto r = core::count_triangles_recursive(g::build_undirected({0, {}}));
+  EXPECT_EQ(r.triangles, 0u);
+}
+
+// ---------- streaming ----------
+
+TEST(Streaming, MatchesOfflineHHHInAnyOrder) {
+  const auto graph =
+      g::build_undirected(g::rmat({.scale = 10, .edge_factor = 10, .seed = 55}));
+  core::LotusConfig config;
+  config.hub_count = 512;
+  const auto lg = core::LotusGraph::build(graph, config);
+  const auto offline = core::count_triangles_prepared(lg, config);
+
+  // Stream in shuffled order, with every edge duplicated.
+  std::vector<std::pair<g::VertexId, g::VertexId>> stream;
+  const auto& new_id = lg.relabeling();
+  for (g::VertexId v = 0; v < graph.num_vertices(); ++v)
+    for (auto u : graph.neighbors(v))
+      if (u < v) {
+        stream.push_back({new_id[v], new_id[u]});
+        stream.push_back({new_id[u], new_id[v]});  // duplicate, reversed
+      }
+  lotus::util::Xoshiro256 rng(99);
+  for (std::size_t i = stream.size(); i > 1; --i)
+    std::swap(stream[i - 1], stream[rng.next_below(i)]);
+
+  core::StreamingHubCounter counter(lg.hub_count());
+  for (const auto& [u, v] : stream) counter.add_edge(u, v);
+  EXPECT_EQ(counter.hhh_triangles(), offline.hhh);
+}
+
+TEST(Streaming, EdgeClassCounters) {
+  core::StreamingHubCounter counter(4);  // hubs: 0..3
+  counter.add_edge(0, 1);                // hub-hub
+  counter.add_edge(1, 2);                // hub-hub
+  counter.add_edge(0, 2);                // closes triangle 0-1-2
+  counter.add_edge(3, 10);               // hub-nonhub
+  counter.add_edge(10, 11);              // nonhub
+  counter.add_edge(5, 5);                // self-loop: ignored
+  EXPECT_EQ(counter.hhh_triangles(), 1u);
+  EXPECT_EQ(counter.hub_hub_edges(), 3u);
+  EXPECT_EQ(counter.hub_nonhub_edges(), 1u);
+  EXPECT_EQ(counter.nonhub_edges(), 1u);
+}
+
+TEST(Streaming, DuplicateHubEdgesCountOnce) {
+  core::StreamingHubCounter counter(8);
+  counter.add_edge(0, 1);
+  counter.add_edge(1, 2);
+  counter.add_edge(0, 2);
+  counter.add_edge(2, 0);  // duplicate of the closing edge
+  EXPECT_EQ(counter.hhh_triangles(), 1u);
+  EXPECT_EQ(counter.hub_hub_edges(), 3u);
+}
+
+TEST(Streaming, RejectsOversizedHubUniverse) {
+  EXPECT_THROW(core::StreamingHubCounter(1u << 17), std::invalid_argument);
+}
+
+// ---------- LOTUS local (per-vertex) counts ----------
+
+TEST(LotusLocal, MatchesForwardLocalCounts) {
+  const auto graph =
+      g::build_undirected(g::rmat({.scale = 10, .edge_factor = 10, .seed = 61}));
+  const auto via_lotus = core::count_triangles_local(graph);
+  const auto via_forward = lotus::analytics::local_triangle_counts(graph);
+  ASSERT_EQ(via_lotus.size(), via_forward.size());
+  for (std::size_t v = 0; v < via_lotus.size(); ++v)
+    ASSERT_EQ(via_lotus[v], via_forward[v]) << "vertex " << v;
+}
+
+TEST(LotusLocal, CompleteGraph) {
+  const auto counts = core::count_triangles_local(g::build_undirected(g::complete(9)));
+  for (auto c : counts) EXPECT_EQ(c, 8u * 7 / 2);
+}
+
+TEST(LotusLocal, CornerSumIsThreeTimesTotal) {
+  const auto graph = g::build_undirected(g::copy_web(
+      {.num_vertices = 2000, .edges_per_vertex = 6, .p_copy = 0.7,
+       .locality_window = 128, .seed = 62}));
+  const auto counts = core::count_triangles_local(graph);
+  std::uint64_t corner_sum = 0;
+  for (auto c : counts) corner_sum += c;
+  EXPECT_EQ(corner_sum, 3 * lotus::baselines::brute_force(graph));
+}
+
+// ---------- LotusGraph serialization ----------
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "lotus_serialize_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+  std::filesystem::path dir_;
+};
+
+TEST_F(SerializeTest, RoundTripPreservesCounts) {
+  const auto graph =
+      g::build_undirected(g::rmat({.scale = 10, .edge_factor = 8, .seed = 63}));
+  const auto lg = core::LotusGraph::build(graph, {});
+  core::write_lotus_binary(path("g.lotus"), lg);
+  const auto loaded = core::read_lotus_binary(path("g.lotus"));
+
+  EXPECT_EQ(loaded.hub_count(), lg.hub_count());
+  EXPECT_EQ(loaded.he().num_edges(), lg.he().num_edges());
+  EXPECT_EQ(loaded.nhe().num_edges(), lg.nhe().num_edges());
+  EXPECT_EQ(loaded.relabeling(), lg.relabeling());
+
+  const auto before = core::count_triangles_prepared(lg, {});
+  const auto after = core::count_triangles_prepared(loaded, {});
+  EXPECT_EQ(before.triangles, after.triangles);
+  EXPECT_EQ(before.hhh, after.hhh);
+  EXPECT_EQ(before.nnn, after.nnn);
+}
+
+TEST_F(SerializeTest, RejectsBadMagic) {
+  std::ofstream f(path("bad.lotus"), std::ios::binary);
+  f << "GARBAGEWITHPADDINGBEYONDTHEHEADER";
+  f.close();
+  EXPECT_THROW(core::read_lotus_binary(path("bad.lotus")), std::runtime_error);
+}
+
+TEST_F(SerializeTest, RejectsTruncation) {
+  const auto graph = g::build_undirected(g::complete(30));
+  core::write_lotus_binary(path("t.lotus"), core::LotusGraph::build(graph, {}));
+  const auto size = std::filesystem::file_size(path("t.lotus"));
+  std::filesystem::resize_file(path("t.lotus"), size / 2);
+  EXPECT_THROW(core::read_lotus_binary(path("t.lotus")), std::runtime_error);
+}
+
+TEST(FromParts, RejectsInconsistentParts) {
+  const auto graph = g::build_undirected(g::complete(10));
+  const auto lg = core::LotusGraph::build(graph, {});
+  // Non-permutation relabeling.
+  std::vector<g::VertexId> bad_ids(10, 0);
+  EXPECT_THROW(core::LotusGraph::from_parts(lg.hub_count(), lg.h2h(), lg.he(),
+                                            lg.nhe(), bad_ids),
+               std::invalid_argument);
+  // Wrong hub count for the H2H array.
+  EXPECT_THROW(core::LotusGraph::from_parts(lg.hub_count() + 1, lg.h2h(),
+                                            lg.he(), lg.nhe(), lg.relabeling()),
+               std::invalid_argument);
+}
+
+// ---------- blocked HNN ----------
+
+TEST(BlockedHnn, MatchesUnblockedForAllBlockSizes) {
+  const auto graph =
+      g::build_undirected(g::rmat({.scale = 10, .edge_factor = 10, .seed = 56}));
+  const auto lg = core::LotusGraph::build(graph, {});
+  const std::uint64_t expected = core::count_hnn(lg);
+  for (g::VertexId block : {1u, 7u, 64u, 1024u, 1u << 20})
+    EXPECT_EQ(core::count_hnn_blocked(lg, block), expected) << block;
+}
+
+}  // namespace

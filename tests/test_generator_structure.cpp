@@ -1,0 +1,85 @@
+// Structural knobs of the tuned generators: seed boost concentrates hub
+// edges, p_local creates hub-free vertices, the Zipf staircase core gives a
+// dominant portal, and the u^2 portal bias skews external core links.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/builder.hpp"
+#include "graph/degree_order.hpp"
+#include "graph/generators.hpp"
+#include "graph/stats.hpp"
+
+namespace {
+
+namespace g = lotus::graph;
+
+TEST(GeneratorStructure, SeedBoostConcentratesHubEdges) {
+  const auto plain = g::build_undirected(g::holme_kim(
+      {.num_vertices = 8000, .edges_per_vertex = 6, .p_triad = 0.4,
+       .seed_boost = 0, .seed = 1}));
+  const auto boosted = g::build_undirected(g::holme_kim(
+      {.num_vertices = 8000, .edges_per_vertex = 6, .p_triad = 0.4,
+       .seed_boost = 2000, .seed = 1}));
+  EXPECT_GT(g::hub_stats(boosted, 0.01).hub_edges_total_pct,
+            g::hub_stats(plain, 0.01).hub_edges_total_pct);
+  EXPECT_GT(g::degree_stats(boosted).max_degree, g::degree_stats(plain).max_degree);
+}
+
+TEST(GeneratorStructure, PLocalCreatesHubFreeVertices) {
+  const auto graph = g::build_undirected(g::copy_web(
+      {.num_vertices = 8000, .edges_per_vertex = 8, .p_copy = 0.6,
+       .locality_window = 512, .core_size = 128, .p_core = 0.3,
+       .p_local = 0.6, .seed = 2}));
+  // Count vertices with no neighbour among the top-1% degree vertices.
+  const auto hub_count = graph.num_vertices() / 100;
+  auto new_id = g::degree_descending_permutation(graph);
+  std::uint64_t hub_free = 0;
+  for (g::VertexId v = 0; v < graph.num_vertices(); ++v) {
+    bool has_hub = false;
+    for (g::VertexId u : graph.neighbors(v)) has_hub |= new_id[u] < hub_count;
+    hub_free += has_hub ? 0u : 1u;
+  }
+  // A meaningful fraction of vertices must be hub-free (the Sec. 3.3 prune
+  // targets), yet the graph overall must stay hub-dominated.
+  EXPECT_GT(hub_free, graph.num_vertices() / 20);
+  EXPECT_GT(g::hub_stats(graph, 0.01).hub_triangles_pct, 40.0);
+}
+
+TEST(GeneratorStructure, StaircaseCoreHasDominantPortal) {
+  const auto graph = g::build_undirected(g::copy_web(
+      {.num_vertices = 16000, .edges_per_vertex = 8, .p_copy = 0.6,
+       .locality_window = 1024, .core_size = 500, .p_core = 0.3,
+       .p_local = 0.5, .seed = 3}));
+  // Vertex 0 (top of the staircase, portal-biased external links) must be
+  // the clear maximum-degree vertex.
+  std::uint32_t portal_degree = graph.degree(0);
+  std::uint32_t second = 0;
+  for (g::VertexId v = 1; v < graph.num_vertices(); ++v)
+    second = std::max(second, graph.degree(v));
+  EXPECT_GT(portal_degree, second);
+  // And degrees inside the core must decay substantially along the ranks.
+  EXPECT_GT(graph.degree(1), 2 * graph.degree(400));
+}
+
+TEST(GeneratorStructure, CoreZeroDisablesThePortalMachinery) {
+  // core_size = 0 must behave like the plain copy model (no crash, no core
+  // clique beyond the m+1 seed).
+  const auto graph = g::build_undirected(g::copy_web(
+      {.num_vertices = 4000, .edges_per_vertex = 6, .p_copy = 0.6,
+       .locality_window = 256, .core_size = 0, .p_core = 0.9, .seed = 4}));
+  EXPECT_EQ(graph.num_vertices(), 4000u);
+  EXPECT_GT(graph.num_edges(), 0u);
+}
+
+TEST(GeneratorStructure, LocalVerticesStillConnected) {
+  // p_local = 1: every vertex attaches locally; graph must still be simple
+  // and have positive minimum degree.
+  const auto graph = g::build_undirected(g::holme_kim(
+      {.num_vertices = 3000, .edges_per_vertex = 5, .p_triad = 0.5,
+       .seed_boost = 100, .p_local = 1.0, .seed = 5}));
+  const auto stats = g::degree_stats(graph);
+  EXPECT_GE(stats.min_degree, 1u);
+}
+
+}  // namespace

@@ -1,0 +1,123 @@
+// Tests for the synthetic graph generators: determinism, size contracts,
+// structural properties (skew, clustering presence), and the closed-form
+// triangle counts of the deterministic families.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/tc_baselines.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/stats.hpp"
+
+namespace {
+
+namespace g = lotus::graph;
+using lotus::baselines::brute_force;
+
+TEST(Rmat, DeterministicForSeed) {
+  const auto a = g::rmat({.scale = 10, .seed = 5});
+  const auto b = g::rmat({.scale = 10, .seed = 5});
+  EXPECT_EQ(a.edges.size(), b.edges.size());
+  EXPECT_TRUE(std::equal(a.edges.begin(), a.edges.end(), b.edges.begin()));
+}
+
+TEST(Rmat, SeedChangesOutput) {
+  const auto a = g::rmat({.scale = 10, .seed = 5});
+  const auto b = g::rmat({.scale = 10, .seed = 6});
+  EXPECT_FALSE(std::equal(a.edges.begin(), a.edges.end(), b.edges.begin()));
+}
+
+TEST(Rmat, SizeContract) {
+  const auto el = g::rmat({.scale = 12, .edge_factor = 8});
+  EXPECT_EQ(el.num_vertices, 1u << 12);
+  EXPECT_EQ(el.edges.size(), 8u << 12);
+}
+
+TEST(Rmat, ProducesSkewedDegrees) {
+  const auto graph = g::build_undirected(g::rmat({.scale = 14, .edge_factor = 16}));
+  const auto stats = g::degree_stats(graph);
+  EXPECT_GT(stats.max_degree, 20 * stats.avg_degree);
+}
+
+TEST(Rmat, RejectsBadParameters) {
+  EXPECT_THROW(g::rmat({.scale = 0}), std::invalid_argument);
+  EXPECT_THROW(g::rmat({.scale = 31}), std::invalid_argument);
+  EXPECT_THROW(g::rmat({.scale = 10, .a = 0.5, .b = 0.3, .c = 0.3}),
+               std::invalid_argument);
+}
+
+TEST(ErdosRenyi, FlatDegreeDistribution) {
+  const auto graph = g::build_undirected(g::erdos_renyi(1 << 14, 16.0, 3));
+  const auto stats = g::degree_stats(graph);
+  EXPECT_FALSE(stats.is_skewed());
+  EXPECT_NEAR(stats.avg_degree, 16.0, 1.5);
+}
+
+TEST(HolmeKim, PowerLawWithTriangles) {
+  const auto graph = g::build_undirected(
+      g::holme_kim({.num_vertices = 4096, .edges_per_vertex = 6, .p_triad = 0.6, .seed = 2}));
+  const auto stats = g::degree_stats(graph);
+  EXPECT_GT(stats.max_degree, 10 * stats.avg_degree);  // heavy tail
+  EXPECT_GT(brute_force(graph), 4096u);                // triad steps force triangles
+}
+
+TEST(HolmeKim, RejectsTooFewVertices) {
+  EXPECT_THROW(g::holme_kim({.num_vertices = 4, .edges_per_vertex = 6}),
+               std::invalid_argument);
+}
+
+TEST(WattsStrogatz, RingWithoutRewiringIsRegular) {
+  const auto graph = g::build_undirected(
+      g::watts_strogatz({.num_vertices = 1000, .ring_degree = 4, .rewire_prob = 0.0}));
+  for (g::VertexId v = 0; v < graph.num_vertices(); ++v)
+    ASSERT_EQ(graph.degree(v), 8u);
+  // Ring lattice with k>=2 has triangles.
+  EXPECT_GT(brute_force(graph), 0u);
+}
+
+TEST(CopyWeb, DenseHubsAndClustering) {
+  const auto graph = g::build_undirected(g::copy_web(
+      {.num_vertices = 8192, .edges_per_vertex = 8, .p_copy = 0.7, .seed = 4}));
+  EXPECT_GT(brute_force(graph), 8192u);
+  const auto hub = g::hub_stats(graph, 0.01);
+  EXPECT_GT(hub.relative_density_hubs, 10.0);  // hubs form a dense core
+}
+
+TEST(Deterministic, CompleteGraphTriangles) {
+  for (g::VertexId n : {3u, 4u, 5u, 8u, 16u, 32u}) {
+    const auto graph = g::build_undirected(g::complete(n));
+    EXPECT_EQ(brute_force(graph), g::complete_triangles(n)) << "K_" << n;
+  }
+}
+
+TEST(Deterministic, TriangleFreeFamilies) {
+  EXPECT_EQ(brute_force(g::build_undirected(g::star(50))), 0u);
+  EXPECT_EQ(brute_force(g::build_undirected(g::path(50))), 0u);
+  EXPECT_EQ(brute_force(g::build_undirected(g::cycle(50))), 0u);
+  EXPECT_EQ(brute_force(g::build_undirected(g::grid(7, 9))), 0u);
+  EXPECT_EQ(brute_force(g::build_undirected(g::complete_bipartite(6, 7))), 0u);
+}
+
+TEST(Deterministic, TinyCycleIsATriangle) {
+  EXPECT_EQ(brute_force(g::build_undirected(g::cycle(3))), 1u);
+}
+
+TEST(Deterministic, WheelTriangles) {
+  for (g::VertexId rim : {3u, 5u, 10u, 33u}) {
+    const auto graph = g::build_undirected(g::wheel(rim));
+    // Each rim edge closes a triangle with the hub; rim=3 adds the rim
+    // triangle itself.
+    const std::uint64_t expected = rim + (rim == 3 ? 1 : 0);
+    EXPECT_EQ(brute_force(graph), expected) << "wheel rim " << rim;
+  }
+}
+
+TEST(Deterministic, GridSizeContract) {
+  const auto el = g::grid(4, 6);
+  EXPECT_EQ(el.num_vertices, 24u);
+  // 4*(6-1) horizontal + 6*(4-1) vertical.
+  EXPECT_EQ(el.edges.size(), 4u * 5 + 6u * 3);
+}
+
+}  // namespace

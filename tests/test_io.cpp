@@ -1,0 +1,115 @@
+// IO round-trips plus failure injection: truncated files, bad magic,
+// malformed text, out-of-range IDs.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+
+namespace {
+
+namespace g = lotus::graph;
+namespace fs = std::filesystem;
+
+class IoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "lotus_io_test";
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(IoTest, EdgeListTextRoundTrip) {
+  const g::EdgeList original{5, {{0, 1}, {1, 2}, {3, 4}}};
+  g::write_edge_list_text(path("g.txt"), original);
+  const g::EdgeList loaded = g::read_edge_list_text(path("g.txt"));
+  EXPECT_EQ(loaded.num_vertices, 5u);
+  ASSERT_EQ(loaded.edges.size(), 3u);
+  EXPECT_EQ(loaded.edges[0], (g::Edge{0, 1}));
+  EXPECT_EQ(loaded.edges[2], (g::Edge{3, 4}));
+}
+
+TEST_F(IoTest, EdgeListSkipsComments) {
+  std::ofstream f(path("c.txt"));
+  f << "# comment\n% other comment\n1 2\n\n3 4\n";
+  f.close();
+  const g::EdgeList loaded = g::read_edge_list_text(path("c.txt"));
+  EXPECT_EQ(loaded.edges.size(), 2u);
+  EXPECT_EQ(loaded.num_vertices, 5u);
+}
+
+TEST_F(IoTest, EdgeListRejectsMalformedLine) {
+  std::ofstream f(path("bad.txt"));
+  f << "1 2\nnot an edge\n";
+  f.close();
+  EXPECT_THROW(g::read_edge_list_text(path("bad.txt")), std::runtime_error);
+}
+
+TEST_F(IoTest, EdgeListRejectsMissingFile) {
+  EXPECT_THROW(g::read_edge_list_text(path("nope.txt")), std::runtime_error);
+}
+
+TEST_F(IoTest, EdgeListRejectsHugeIds) {
+  std::ofstream f(path("huge.txt"));
+  f << "1 99999999999\n";
+  f.close();
+  EXPECT_THROW(g::read_edge_list_text(path("huge.txt")), std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryRoundTrip) {
+  const auto graph =
+      g::build_undirected(g::rmat({.scale = 10, .edge_factor = 8, .seed = 7}));
+  g::write_csr_binary(path("g.bin"), graph);
+  const auto loaded = g::read_csr_binary(path("g.bin"));
+  EXPECT_EQ(loaded, graph);
+}
+
+TEST_F(IoTest, BinaryRejectsBadMagic) {
+  std::ofstream f(path("bad.bin"), std::ios::binary);
+  f << "NOTLOTUS and then some bytes to get past the header";
+  f.close();
+  EXPECT_THROW(g::read_csr_binary(path("bad.bin")), std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryRejectsTruncatedBody) {
+  const auto graph = g::build_undirected(g::complete(20));
+  g::write_csr_binary(path("t.bin"), graph);
+  // Chop the file in half.
+  const auto full = fs::file_size(path("t.bin"));
+  fs::resize_file(path("t.bin"), full / 2);
+  EXPECT_THROW(g::read_csr_binary(path("t.bin")), std::runtime_error);
+}
+
+TEST_F(IoTest, BinaryRejectsCorruptNeighbor) {
+  const auto graph = g::build_undirected(g::complete(4));
+  g::write_csr_binary(path("c.bin"), graph);
+  // Overwrite the last neighbour with an out-of-range ID.
+  std::fstream f(path("c.bin"), std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(-4, std::ios::end);
+  const std::uint32_t bogus = 0xdeadbeef;
+  f.write(reinterpret_cast<const char*>(&bogus), 4);
+  f.close();
+  EXPECT_THROW(g::read_csr_binary(path("c.bin")), std::runtime_error);
+}
+
+TEST_F(IoTest, EmptyEdgeListFileYieldsEmptyGraph) {
+  std::ofstream f(path("empty.txt"));
+  f << "# nothing here\n";
+  f.close();
+  const g::EdgeList loaded = g::read_edge_list_text(path("empty.txt"));
+  EXPECT_EQ(loaded.num_vertices, 0u);
+  EXPECT_TRUE(loaded.edges.empty());
+}
+
+}  // namespace

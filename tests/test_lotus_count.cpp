@@ -1,0 +1,259 @@
+// End-to-end LOTUS correctness: agreement with brute force across all
+// generators, hub-count configurations, tiling policies, and the fused
+// ablation mode; plus per-type count consistency.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+
+#include "baselines/tc_baselines.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/reorder.hpp"
+#include "lotus/count.hpp"
+#include "lotus/lotus.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace {
+
+namespace g = lotus::graph;
+using lotus::baselines::brute_force;
+using lotus::core::LotusConfig;
+using lotus::core::LotusGraph;
+using lotus::core::LotusResult;
+using lotus::core::TilingPolicy;
+
+TEST(LotusCount, CompleteGraphs) {
+  for (g::VertexId n : {3u, 4u, 10u, 50u}) {
+    const auto graph = g::build_undirected(g::complete(n));
+    LotusConfig config;
+    config.hub_count = std::max<g::VertexId>(1, n / 4);
+    const auto r = lotus::core::count_triangles(graph, config);
+    EXPECT_EQ(r.triangles, g::complete_triangles(n)) << "K_" << n;
+  }
+}
+
+TEST(LotusCount, TriangleFreeGraphs) {
+  for (const auto& graph :
+       {g::build_undirected(g::star(200)), g::build_undirected(g::grid(10, 10)),
+        g::build_undirected(g::complete_bipartite(20, 20))}) {
+    const auto r = lotus::core::count_triangles(graph);
+    EXPECT_EQ(r.triangles, 0u);
+    EXPECT_EQ(r.hhh + r.hhn + r.hnn + r.nnn, 0u);
+  }
+}
+
+TEST(LotusCount, TypeCountsSumToTotal) {
+  const auto graph =
+      g::build_undirected(g::rmat({.scale = 11, .edge_factor = 12, .seed = 1}));
+  const auto r = lotus::core::count_triangles(graph);
+  EXPECT_EQ(r.triangles, r.hhh + r.hhn + r.hnn + r.nnn);
+  EXPECT_EQ(r.hub_triangles(), r.hhh + r.hhn + r.hnn);
+  EXPECT_EQ(r.triangles, brute_force(graph));
+}
+
+TEST(LotusCount, TypeAttributionOnCraftedGraph) {
+  // Hubs are the 2 highest-degree vertices. Build a graph where each
+  // triangle type is known by construction:
+  //   vertices 0,1 high degree (hubs after relabel), connected to everything.
+  //   HHN: (0,1,x) for every other x; HNN: (0,2,3); NNN: (4,5,6).
+  g::EdgeList el{8, {}};
+  for (g::VertexId x = 2; x < 8; ++x) {
+    el.edges.push_back({0, x});
+    el.edges.push_back({1, x});
+  }
+  el.edges.push_back({0, 1});  // hub-hub edge
+  el.edges.push_back({2, 3});  // HNN via hub 0 (and hub 1): two HNN triangles
+  el.edges.push_back({4, 5});
+  el.edges.push_back({5, 6});
+  el.edges.push_back({4, 6});  // NNN triangle 4-5-6 (plus HNN with hubs)
+  const auto graph = g::build_undirected(el);
+
+  LotusConfig config;
+  config.hub_count = 2;
+  config.relabel_fraction = 0.0;  // only hubs reordered
+  const auto r = lotus::core::count_triangles(graph, config);
+  EXPECT_EQ(r.triangles, brute_force(graph));
+  EXPECT_EQ(r.hhh, 0u);          // only 2 hubs: no 3-hub triangle
+  EXPECT_EQ(r.hhn, 6u);          // (0,1,x) for x=2..7
+  EXPECT_EQ(r.nnn, 1u);          // 4-5-6
+  EXPECT_EQ(r.hnn, r.triangles - 7u);
+}
+
+TEST(LotusCount, HhhOnlyGraph) {
+  // Complete graph where every vertex is a hub: all triangles are HHH.
+  const auto graph = g::build_undirected(g::complete(20));
+  LotusConfig config;
+  config.hub_count = 20;
+  const auto r = lotus::core::count_triangles(graph, config);
+  EXPECT_EQ(r.hhh, g::complete_triangles(20));
+  EXPECT_EQ(r.hhn + r.hnn + r.nnn, 0u);
+}
+
+TEST(LotusCount, NnnOnlyWhenNoHubsTouchTriangles) {
+  // Star (hub-heavy, no triangles) plus a distant triangle of low-degree
+  // vertices: with 1 hub (the star centre) the triangle must be NNN.
+  g::EdgeList el{104, {}};
+  for (g::VertexId x = 1; x <= 100; ++x) el.edges.push_back({0, x});
+  el.edges.push_back({101, 102});
+  el.edges.push_back({102, 103});
+  el.edges.push_back({101, 103});
+  const auto graph = g::build_undirected(el);
+  LotusConfig config;
+  config.hub_count = 1;
+  config.relabel_fraction = 0.0;
+  const auto r = lotus::core::count_triangles(graph, config);
+  EXPECT_EQ(r.triangles, 1u);
+  EXPECT_EQ(r.nnn, 1u);
+}
+
+struct LotusCase {
+  std::string name;
+  std::function<g::CsrGraph()> make;
+};
+
+class LotusProperty : public ::testing::TestWithParam<std::tuple<int, int>> {
+ public:
+  static std::vector<LotusCase> graphs() {
+    return {
+        {"rmat", [] {
+           return g::build_undirected(g::rmat({.scale = 10, .edge_factor = 8, .seed = 11}));
+         }},
+        {"holme_kim", [] {
+           return g::build_undirected(g::holme_kim(
+               {.num_vertices = 2000, .edges_per_vertex = 6, .p_triad = 0.6, .seed = 12}));
+         }},
+        {"copy_web", [] {
+           return g::build_undirected(g::copy_web(
+               {.num_vertices = 2000, .edges_per_vertex = 7, .p_copy = 0.7,
+                .locality_window = 128, .seed = 13}));
+         }},
+        {"erdos_renyi", [] { return g::build_undirected(g::erdos_renyi(2000, 12.0, 14)); }},
+        {"watts_strogatz", [] {
+           return g::build_undirected(g::watts_strogatz(
+               {.num_vertices = 1500, .ring_degree = 6, .rewire_prob = 0.15, .seed = 15}));
+         }},
+    };
+  }
+  static std::vector<g::VertexId> hub_counts() { return {0, 1, 16, 256, 65536}; }
+};
+
+TEST_P(LotusProperty, MatchesBruteForceAcrossHubCounts) {
+  const auto [graph_index, hub_index] = GetParam();
+  const auto testcase = LotusProperty::graphs()[static_cast<std::size_t>(graph_index)];
+  const auto graph = testcase.make();
+  const std::uint64_t expected = brute_force(graph);
+
+  LotusConfig config;
+  config.hub_count = LotusProperty::hub_counts()[static_cast<std::size_t>(hub_index)];
+  const auto r = lotus::core::count_triangles(graph, config);
+  EXPECT_EQ(r.triangles, expected)
+      << testcase.name << " hubs=" << config.hub_count;
+  EXPECT_EQ(r.triangles, r.hhh + r.hhn + r.hnn + r.nnn);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GraphsByHubCounts, LotusProperty,
+    ::testing::Combine(::testing::Range(0, 5), ::testing::Range(0, 5)),
+    [](const auto& info) {
+      const auto cases = LotusProperty::graphs();
+      return cases[static_cast<std::size_t>(std::get<0>(info.param))].name + "_hubs" +
+             std::to_string(LotusProperty::hub_counts()[static_cast<std::size_t>(
+                 std::get<1>(info.param))]);
+    });
+
+TEST(LotusCount, FusedModeMatchesSplit) {
+  const auto graph =
+      g::build_undirected(g::rmat({.scale = 11, .edge_factor = 10, .seed = 21}));
+  LotusConfig split;
+  LotusConfig fused = split;
+  fused.fuse_hnn_nnn = true;
+  const auto rs = lotus::core::count_triangles(graph, split);
+  const auto rf = lotus::core::count_triangles(graph, fused);
+  EXPECT_EQ(rs.triangles, rf.triangles);
+}
+
+TEST(LotusCount, EdgeBalancedPolicyCountsIdentically) {
+  const auto graph =
+      g::build_undirected(g::rmat({.scale = 11, .edge_factor = 10, .seed = 22}));
+  LotusConfig config;
+  const auto lg = LotusGraph::build(graph, config);
+  const auto squared =
+      lotus::core::count_hhh_hhn(lg, config, TilingPolicy::kSquared);
+  const auto balanced =
+      lotus::core::count_hhh_hhn(lg, config, TilingPolicy::kEdgeBalanced);
+  EXPECT_EQ(squared.hhh, balanced.hhh);
+  EXPECT_EQ(squared.hhn, balanced.hhn);
+}
+
+TEST(LotusCount, TinyTilingThresholdStillCorrect) {
+  // Force squared tiling onto every vertex (threshold 1).
+  const auto graph =
+      g::build_undirected(g::rmat({.scale = 10, .edge_factor = 10, .seed = 23}));
+  LotusConfig config;
+  config.tiling_degree_threshold = 1;
+  const auto r = lotus::core::count_triangles(graph, config);
+  EXPECT_EQ(r.triangles, brute_force(graph));
+}
+
+TEST(LotusCount, BreakdownTimesAreNonNegativeAndSum) {
+  const auto graph =
+      g::build_undirected(g::rmat({.scale = 10, .edge_factor = 8, .seed = 24}));
+  const auto r = lotus::core::count_triangles(graph);
+  EXPECT_GE(r.preprocess_s, 0.0);
+  EXPECT_GE(r.hhh_hhn_s, 0.0);
+  EXPECT_GE(r.hnn_s, 0.0);
+  EXPECT_GE(r.nnn_s, 0.0);
+  EXPECT_DOUBLE_EQ(r.total_s(), r.preprocess_s + r.count_s());
+}
+
+TEST(LotusCount, EmptyGraph) {
+  const auto r = lotus::core::count_triangles(g::build_undirected({0, {}}));
+  EXPECT_EQ(r.triangles, 0u);
+}
+
+TEST(LotusCount, InvariantUnderInputReordering) {
+  // LOTUS does its own relabeling, so the total count must not change with
+  // the input order. The per-type split MAY change: hub selection breaks
+  // degree ties by input position, so the marginal hubs differ.
+  const auto graph =
+      g::build_undirected(g::rmat({.scale = 10, .edge_factor = 10, .seed = 25}));
+  const auto reference = lotus::core::count_triangles(graph);
+  for (auto ordering : g::all_orderings()) {
+    const auto relabeled =
+        g::relabel(graph, g::make_ordering(graph, ordering, 13));
+    const auto r = lotus::core::count_triangles(relabeled);
+    EXPECT_EQ(r.triangles, reference.triangles) << g::ordering_name(ordering);
+    EXPECT_EQ(r.triangles, r.hhh + r.hhn + r.hnn + r.nnn)
+        << g::ordering_name(ordering);
+  }
+}
+
+TEST(LotusCount, IdenticalUnderBothParallelBackends) {
+  const auto graph =
+      g::build_undirected(g::rmat({.scale = 10, .edge_factor = 10, .seed = 26}));
+  lotus::parallel::set_backend(lotus::parallel::Backend::kPool);
+  const auto pool_result = lotus::core::count_triangles(graph);
+  lotus::parallel::set_backend(lotus::parallel::Backend::kOpenMP);
+  const auto omp_result = lotus::core::count_triangles(graph);
+  lotus::parallel::set_backend(lotus::parallel::Backend::kPool);
+  EXPECT_EQ(pool_result.triangles, omp_result.triangles);
+  EXPECT_EQ(pool_result.hnn, omp_result.hnn);
+}
+
+TEST(LotusCount, RepeatedRunsAreDeterministic) {
+  const auto graph = g::build_undirected(g::copy_web(
+      {.num_vertices = 3000, .edges_per_vertex = 7, .p_copy = 0.7,
+       .locality_window = 256, .core_size = 64, .p_core = 0.3, .seed = 27}));
+  const auto first = lotus::core::count_triangles(graph);
+  for (int run = 0; run < 3; ++run) {
+    const auto r = lotus::core::count_triangles(graph);
+    EXPECT_EQ(r.triangles, first.triangles);
+    EXPECT_EQ(r.hhh, first.hhh);
+    EXPECT_EQ(r.hhn, first.hhn);
+    EXPECT_EQ(r.hnn, first.hnn);
+    EXPECT_EQ(r.nnn, first.nnn);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,145 @@
+// LotusGraph construction invariants (Alg. 2): HE/NHE partition the oriented
+// edge set, 16-bit HE IDs are below hub_count, H2H mirrors hub-hub edges.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "lotus/lotus_graph.hpp"
+
+namespace {
+
+namespace g = lotus::graph;
+using lotus::core::LotusConfig;
+using lotus::core::LotusGraph;
+
+LotusGraph make(const g::CsrGraph& graph, g::VertexId hubs) {
+  LotusConfig config;
+  config.hub_count = hubs;
+  return LotusGraph::build(graph, config);
+}
+
+TEST(LotusGraph, EdgePartitionIsExact) {
+  const auto graph =
+      g::build_undirected(g::rmat({.scale = 11, .edge_factor = 8, .seed = 1}));
+  const auto lg = make(graph, 64);
+  // HE + NHE together hold exactly one entry per undirected edge.
+  EXPECT_EQ(lg.he().num_edges() + lg.nhe().num_edges(), graph.num_edges() / 2);
+}
+
+TEST(LotusGraph, HeNeighborsAreHubsBelowVertex) {
+  const auto graph =
+      g::build_undirected(g::rmat({.scale = 10, .edge_factor = 8, .seed = 2}));
+  const auto lg = make(graph, 128);
+  for (g::VertexId v = 0; v < lg.num_vertices(); ++v) {
+    std::uint16_t prev = 0;
+    bool first = true;
+    for (std::uint16_t h : lg.he().neighbors(v)) {
+      EXPECT_LT(h, lg.hub_count());
+      EXPECT_LT(static_cast<g::VertexId>(h), v);
+      if (!first) EXPECT_GT(h, prev);  // sorted, no duplicates
+      prev = h;
+      first = false;
+    }
+  }
+}
+
+TEST(LotusGraph, NheNeighborsAreNonHubsBelowVertex) {
+  const auto graph =
+      g::build_undirected(g::rmat({.scale = 10, .edge_factor = 8, .seed = 2}));
+  const auto lg = make(graph, 128);
+  for (g::VertexId v = 0; v < lg.num_vertices(); ++v) {
+    for (g::VertexId u : lg.nhe().neighbors(v)) {
+      EXPECT_GE(u, lg.hub_count());
+      EXPECT_LT(u, v);
+    }
+  }
+  // Hubs have no NHE entries: all their lower neighbours are hubs.
+  for (g::VertexId v = 0; v < lg.hub_count(); ++v)
+    EXPECT_EQ(lg.nhe().degree(v), 0u);
+}
+
+TEST(LotusGraph, H2HMirrorsHubHubEdgesOfHE) {
+  const auto graph =
+      g::build_undirected(g::rmat({.scale = 10, .edge_factor = 8, .seed = 3}));
+  const auto lg = make(graph, 256);
+  std::uint64_t hub_hub_in_he = 0;
+  for (g::VertexId v = 0; v < lg.hub_count(); ++v) {
+    for (std::uint16_t h : lg.he().neighbors(v)) {
+      EXPECT_TRUE(lg.h2h().test(v, h)) << v << "-" << h;
+      ++hub_hub_in_he;
+    }
+  }
+  EXPECT_EQ(lg.h2h().count_set_bits(), hub_hub_in_he);
+}
+
+TEST(LotusGraph, ReconstructsOriginalEdgeSet) {
+  // Mapping HE/NHE entries back through the relabeling recovers exactly the
+  // input undirected edge set.
+  const auto graph = g::build_undirected(
+      g::holme_kim({.num_vertices = 300, .edges_per_vertex = 4, .p_triad = 0.5, .seed = 5}));
+  const auto lg = make(graph, 16);
+  const auto& new_id = lg.relabeling();
+  std::vector<g::VertexId> old_of_new(graph.num_vertices());
+  for (g::VertexId v = 0; v < graph.num_vertices(); ++v) old_of_new[new_id[v]] = v;
+
+  std::set<std::pair<g::VertexId, g::VertexId>> reconstructed;
+  for (g::VertexId v = 0; v < lg.num_vertices(); ++v) {
+    for (std::uint16_t h : lg.he().neighbors(v)) {
+      auto a = old_of_new[v], b = old_of_new[h];
+      reconstructed.insert({std::min(a, b), std::max(a, b)});
+    }
+    for (g::VertexId u : lg.nhe().neighbors(v)) {
+      auto a = old_of_new[v], b = old_of_new[u];
+      reconstructed.insert({std::min(a, b), std::max(a, b)});
+    }
+  }
+
+  std::set<std::pair<g::VertexId, g::VertexId>> expected;
+  for (g::VertexId v = 0; v < graph.num_vertices(); ++v)
+    for (g::VertexId u : graph.neighbors(v))
+      expected.insert({std::min(v, u), std::max(v, u)});
+  EXPECT_EQ(reconstructed, expected);
+}
+
+TEST(LotusGraph, AutoHubCountScalesWithGraph) {
+  LotusConfig config;  // hub_count = 0 -> auto
+  const auto small = g::build_undirected(g::erdos_renyi(1000, 8.0, 1));
+  const auto lg = LotusGraph::build(small, config);
+  EXPECT_GE(lg.hub_count(), 10u);   // ~1%
+  EXPECT_LE(lg.hub_count(), 500u);  // <= V/2
+}
+
+TEST(LotusGraph, HubCountNeverExceeds64K) {
+  LotusConfig config;
+  config.hub_count = 1u << 20;  // absurd request
+  const auto graph = g::build_undirected(g::erdos_renyi(100, 4.0, 1));
+  EXPECT_LE(config.resolve_hub_count(graph.num_vertices()), 1u << 16);
+}
+
+TEST(LotusGraph, TopologyBytesIncludesAllThreeStructures) {
+  const auto graph =
+      g::build_undirected(g::rmat({.scale = 10, .edge_factor = 8, .seed = 4}));
+  const auto lg = make(graph, 64);
+  const std::uint64_t expected = lg.he().topology_bytes() +
+                                 lg.nhe().topology_bytes() +
+                                 lg.h2h().size_bytes();
+  EXPECT_EQ(lg.topology_bytes(), expected);
+  // HE entries cost 2 bytes each; NHE entries 4 bytes each.
+  EXPECT_EQ(lg.he().topology_bytes(),
+            (lg.num_vertices() + 1ull) * 8 + lg.he().num_edges() * 2);
+  EXPECT_EQ(lg.nhe().topology_bytes(),
+            (lg.num_vertices() + 1ull) * 8 + lg.nhe().num_edges() * 4);
+}
+
+TEST(LotusGraph, SelfLoopsInInputAreIgnored) {
+  // Bypass build_undirected's cleaning to exercise Alg. 2's self-edge check.
+  std::vector<std::uint64_t> offsets = {0, 2, 4};
+  std::vector<g::VertexId> neighbors = {0, 1, 0, 1};  // 0-0 self, 0-1, 1-1 self
+  const g::CsrGraph dirty(std::move(offsets), std::move(neighbors));
+  const auto lg = make(dirty, 1);
+  EXPECT_EQ(lg.he().num_edges() + lg.nhe().num_edges(), 1u);
+}
+
+}  // namespace

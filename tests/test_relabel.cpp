@@ -1,0 +1,90 @@
+// LOTUS relabeling (Sec. 4.3.1): hubs-first permutation that preserves the
+// original order of unreordered vertices.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "lotus/relabel.hpp"
+
+namespace {
+
+namespace g = lotus::graph;
+using lotus::core::create_relabeling_array;
+
+TEST(Relabeling, IsAPermutation) {
+  const auto graph =
+      g::build_undirected(g::rmat({.scale = 10, .edge_factor = 8, .seed = 1}));
+  const auto new_id = create_relabeling_array(graph, graph.num_vertices() / 10);
+  std::vector<bool> seen(graph.num_vertices(), false);
+  for (auto id : new_id) {
+    ASSERT_LT(id, graph.num_vertices());
+    ASSERT_FALSE(seen[id]);
+    seen[id] = true;
+  }
+}
+
+TEST(Relabeling, ReorderedBlockHasHighestDegrees) {
+  const auto graph =
+      g::build_undirected(g::rmat({.scale = 10, .edge_factor = 8, .seed = 2}));
+  const g::VertexId k = 64;
+  const auto new_id = create_relabeling_array(graph, k);
+
+  std::uint32_t min_reordered_degree = UINT32_MAX;
+  std::uint32_t max_rest_degree = 0;
+  for (g::VertexId v = 0; v < graph.num_vertices(); ++v) {
+    if (new_id[v] < k)
+      min_reordered_degree = std::min(min_reordered_degree, graph.degree(v));
+    else
+      max_rest_degree = std::max(max_rest_degree, graph.degree(v));
+  }
+  EXPECT_GE(min_reordered_degree, max_rest_degree);
+}
+
+TEST(Relabeling, ReorderedBlockIsDegreeSorted) {
+  const auto graph =
+      g::build_undirected(g::rmat({.scale = 9, .edge_factor = 6, .seed = 3}));
+  const g::VertexId k = 32;
+  const auto new_id = create_relabeling_array(graph, k);
+  std::vector<g::VertexId> old_of_new(graph.num_vertices());
+  for (g::VertexId v = 0; v < graph.num_vertices(); ++v) old_of_new[new_id[v]] = v;
+  for (g::VertexId rank = 1; rank < k; ++rank)
+    EXPECT_GE(graph.degree(old_of_new[rank - 1]), graph.degree(old_of_new[rank]));
+}
+
+TEST(Relabeling, NonReorderedVerticesKeepRelativeOrder) {
+  // Sec. 4.3.1: the tail keeps the input order, preserving initial locality.
+  const auto graph =
+      g::build_undirected(g::rmat({.scale = 10, .edge_factor = 8, .seed = 4}));
+  const g::VertexId k = 100;
+  const auto new_id = create_relabeling_array(graph, k);
+  g::VertexId prev = 0;
+  bool first = true;
+  for (g::VertexId v = 0; v < graph.num_vertices(); ++v) {
+    if (new_id[v] < k) continue;
+    if (!first) EXPECT_GT(new_id[v], prev);
+    prev = new_id[v];
+    first = false;
+  }
+}
+
+TEST(Relabeling, ReorderCountLargerThanGraphIsClamped) {
+  const auto graph = g::build_undirected(g::complete(10));
+  const auto new_id = create_relabeling_array(graph, 1000);
+  std::vector<bool> seen(10, false);
+  for (auto id : new_id) {
+    ASSERT_LT(id, 10u);
+    seen[id] = true;
+  }
+  EXPECT_TRUE(std::all_of(seen.begin(), seen.end(), [](bool x) { return x; }));
+}
+
+TEST(Relabeling, ZeroReorderCountIsIdentity) {
+  const auto graph = g::build_undirected(g::path(20));
+  const auto new_id = create_relabeling_array(graph, 0);
+  for (g::VertexId v = 0; v < 20; ++v) EXPECT_EQ(new_id[v], v);
+}
+
+}  // namespace

@@ -1,0 +1,145 @@
+// AVX2 block intersection: exact agreement with the scalar merge across
+// sizes that exercise full blocks, tails, and block-boundary matches.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "baselines/intersect.hpp"
+#include "baselines/simd_intersect.hpp"
+#include "util/prng.hpp"
+
+namespace {
+
+using namespace lotus::baselines;
+
+std::vector<std::uint32_t> sorted_unique(lotus::util::Xoshiro256& rng,
+                                         std::size_t n, std::uint32_t universe) {
+  std::set<std::uint32_t> s;
+  while (s.size() < n) s.insert(static_cast<std::uint32_t>(rng.next_below(universe)));
+  return {s.begin(), s.end()};
+}
+
+TEST(SimdIntersect, TinyListsUseTailPath) {
+  const std::vector<std::uint32_t> a = {1, 5, 9}, b = {5, 9, 11};
+  EXPECT_EQ(intersect_simd(a, b), 2u);
+}
+
+TEST(SimdIntersect, EmptyInputs) {
+  const std::vector<std::uint32_t> empty, some = {1, 2, 3};
+  EXPECT_EQ(intersect_simd(empty, some), 0u);
+  EXPECT_EQ(intersect_simd(some, empty), 0u);
+}
+
+TEST(SimdIntersect, ExactBlockMultiples) {
+  std::vector<std::uint32_t> a(32), b(32);
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    a[i] = 2 * i;      // evens
+    b[i] = 3 * i;      // multiples of 3
+  }
+  // Common: multiples of 6 below min(62, 93): 0,6,...,60 -> 11 values.
+  EXPECT_EQ(intersect_simd(a, b), 11u);
+}
+
+TEST(SimdIntersect, MatchesAcrossBlockBoundaries) {
+  // Single common element positioned at every offset relative to the
+  // 8-lane blocks of both lists.
+  for (std::uint32_t pos_a = 0; pos_a < 20; ++pos_a) {
+    for (std::uint32_t pos_b = 0; pos_b < 20; ++pos_b) {
+      std::vector<std::uint32_t> a(20), b(20);
+      for (std::uint32_t i = 0; i < 20; ++i) {
+        a[i] = 10 * i + 1;
+        b[i] = 10 * i + 2;
+      }
+      a[pos_a] = 10 * pos_a + 5;
+      b[pos_b] = 10 * pos_b + 5;
+      const std::uint64_t expected =
+          intersect_merge<std::uint32_t>(a, b);
+      ASSERT_EQ(intersect_simd(a, b), expected)
+          << "pos_a=" << pos_a << " pos_b=" << pos_b;
+    }
+  }
+}
+
+TEST(SimdIntersect, RandomizedAgreementWithMerge) {
+  lotus::util::Xoshiro256 rng(2024);
+  for (int round = 0; round < 50; ++round) {
+    const auto na = 1 + rng.next_below(300);
+    const auto nb = 1 + rng.next_below(300);
+    const auto universe = static_cast<std::uint32_t>(100 + rng.next_below(1000));
+    const auto a = sorted_unique(rng, std::min<std::size_t>(na, universe / 2), universe);
+    const auto b = sorted_unique(rng, std::min<std::size_t>(nb, universe / 2), universe);
+    ASSERT_EQ(intersect_simd(a, b), (intersect_merge<std::uint32_t>(a, b)))
+        << "round " << round;
+  }
+}
+
+TEST(SimdIntersect, IdenticalLargeLists) {
+  std::vector<std::uint32_t> a(1000);
+  for (std::uint32_t i = 0; i < 1000; ++i) a[i] = i * 7 + 3;
+  EXPECT_EQ(intersect_simd(a, a), 1000u);
+}
+
+TEST(SimdIntersect, AvailabilityIsStable) {
+  EXPECT_EQ(simd_intersect_available(), simd_intersect_available());
+}
+
+TEST(SimdIntersect16, TinyAndEmpty) {
+  const std::vector<std::uint16_t> a = {1, 5, 9}, b = {5, 9, 11}, empty;
+  EXPECT_EQ(intersect_simd16(a, b), 2u);
+  EXPECT_EQ(intersect_simd16(empty, b), 0u);
+  EXPECT_EQ(intersect_simd16(a, empty), 0u);
+}
+
+TEST(SimdIntersect16, FullBlocksWithKnownOverlap) {
+  std::vector<std::uint16_t> a(64), b(64);
+  for (std::uint16_t i = 0; i < 64; ++i) {
+    a[i] = static_cast<std::uint16_t>(2 * i);  // evens 0..126
+    b[i] = static_cast<std::uint16_t>(3 * i);  // multiples of 3, 0..189
+  }
+  // Common: multiples of 6 up to min(126, 189) -> 0, 6, ..., 126: 22 values.
+  EXPECT_EQ(intersect_simd16(a, b), 22u);
+}
+
+TEST(SimdIntersect16, MatchAtEveryRotationOffset) {
+  // One common element at every relative lane offset within 16-lane blocks.
+  for (std::uint32_t pos_a = 0; pos_a < 16; ++pos_a) {
+    for (std::uint32_t pos_b = 0; pos_b < 16; ++pos_b) {
+      std::vector<std::uint16_t> a(16), b(16);
+      for (std::uint16_t i = 0; i < 16; ++i) {
+        a[i] = static_cast<std::uint16_t>(100 * i + 1);
+        b[i] = static_cast<std::uint16_t>(100 * i + 2);
+      }
+      a[pos_a] = static_cast<std::uint16_t>(100 * pos_a + 50);
+      b[pos_b] = static_cast<std::uint16_t>(100 * pos_b + 50);
+      const std::uint64_t expected = intersect_merge<std::uint16_t>(a, b);
+      ASSERT_EQ(intersect_simd16(a, b), expected)
+          << "pos_a=" << pos_a << " pos_b=" << pos_b;
+    }
+  }
+}
+
+TEST(SimdIntersect16, RandomizedAgreementWithMerge) {
+  lotus::util::Xoshiro256 rng(4048);
+  for (int round = 0; round < 50; ++round) {
+    const auto make16 = [&rng](std::size_t n) {
+      std::set<std::uint16_t> s;
+      while (s.size() < n)
+        s.insert(static_cast<std::uint16_t>(rng.next_below(2000)));
+      return std::vector<std::uint16_t>(s.begin(), s.end());
+    };
+    const auto a = make16(1 + rng.next_below(400));
+    const auto b = make16(1 + rng.next_below(400));
+    ASSERT_EQ(intersect_simd16(a, b), (intersect_merge<std::uint16_t>(a, b)))
+        << "round " << round;
+  }
+}
+
+TEST(SimdIntersect16, MaxValueIds) {
+  // 16-bit boundary values (the largest hub IDs LOTUS can store in HE).
+  const std::vector<std::uint16_t> a = {65530, 65533, 65535};
+  const std::vector<std::uint16_t> b = {65531, 65533, 65535};
+  EXPECT_EQ(intersect_simd16(a, b), 2u);
+}
+
+}  // namespace

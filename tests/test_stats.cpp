@@ -1,0 +1,91 @@
+// Degree statistics and the Table-1 hub characteristics.
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/stats.hpp"
+
+namespace {
+
+namespace g = lotus::graph;
+
+TEST(DegreeStats, BasicMoments) {
+  const auto graph = g::build_undirected(g::star(101));  // hub degree 100
+  const auto s = g::degree_stats(graph);
+  EXPECT_EQ(s.min_degree, 1u);
+  EXPECT_EQ(s.max_degree, 100u);
+  EXPECT_NEAR(s.avg_degree, 200.0 / 101, 1e-9);
+}
+
+TEST(DegreeStats, SkewDetection) {
+  const auto skewed =
+      g::build_undirected(g::rmat({.scale = 14, .edge_factor = 16, .seed = 2}));
+  EXPECT_TRUE(g::degree_stats(skewed).is_skewed());
+
+  const auto flat = g::build_undirected(g::erdos_renyi(1 << 14, 16.0, 2));
+  EXPECT_FALSE(g::degree_stats(flat).is_skewed());
+
+  const auto lattice = g::build_undirected(
+      g::watts_strogatz({.num_vertices = 1 << 14, .ring_degree = 8, .rewire_prob = 0.1}));
+  EXPECT_FALSE(g::degree_stats(lattice).is_skewed());
+}
+
+TEST(HubStats, EdgeClassPercentagesSumTo100) {
+  const auto graph =
+      g::build_undirected(g::rmat({.scale = 12, .edge_factor = 8, .seed = 3}));
+  const auto h = g::hub_stats(graph, 0.01);
+  EXPECT_NEAR(h.hub_edges_total_pct + h.nonhub_edges_pct, 100.0, 1e-6);
+  EXPECT_NEAR(h.hub_to_hub_edges_pct + h.hub_to_nonhub_edges_pct,
+              h.hub_edges_total_pct, 1e-6);
+}
+
+TEST(HubStats, StarGraphAllEdgesAreHubEdges) {
+  const auto graph = g::build_undirected(g::star(1000));
+  const auto h = g::hub_stats(graph, 0.01);  // 10 hubs; vertex 0 is among them
+  EXPECT_NEAR(h.hub_edges_total_pct, 100.0, 1e-6);
+  EXPECT_EQ(h.total_triangles, 0u);
+}
+
+TEST(HubStats, CompleteGraphAllTrianglesAreHubTriangles) {
+  const auto graph = g::build_undirected(g::complete(100));
+  const auto h = g::hub_stats(graph, 0.01);  // 1 hub
+  EXPECT_EQ(h.total_triangles, g::complete_triangles(100));
+  // Every triangle through the single hub: C(99,2) of C(100,3).
+  const double expected_pct =
+      100.0 * (99.0 * 98 / 2) / static_cast<double>(g::complete_triangles(100));
+  EXPECT_NEAR(h.hub_triangles_pct, expected_pct, 1e-6);
+}
+
+TEST(HubStats, PowerLawGraphHasDominantHubTriangles) {
+  // The paper's key observation (Sec. 3.4): on skewed graphs the vast
+  // majority of triangles touch a hub and the hub sub-graph is far denser
+  // than the full graph.
+  const auto graph =
+      g::build_undirected(g::rmat({.scale = 13, .edge_factor = 16, .seed = 5}));
+  const auto h = g::hub_stats(graph, 0.01);
+  EXPECT_GT(h.hub_triangles_pct, 80.0);
+  EXPECT_GT(h.relative_density_hubs, 50.0);
+  EXPECT_GT(h.hub_edges_total_pct, 30.0);
+  EXPECT_GT(h.fruitless_searches_pct, 0.0);
+}
+
+TEST(HubStats, FlatGraphHasWeakHubs) {
+  const auto graph = g::build_undirected(g::erdos_renyi(1 << 13, 12.0, 7));
+  const auto h = g::hub_stats(graph, 0.01);
+  EXPECT_LT(h.hub_edges_total_pct, 20.0);
+  EXPECT_LT(h.hub_triangles_pct, 30.0);
+}
+
+TEST(HubStats, HubCountFollowsFraction) {
+  const auto graph = g::build_undirected(g::erdos_renyi(1000, 8.0, 1));
+  EXPECT_EQ(g::hub_stats(graph, 0.01).hub_count, 10u);
+  EXPECT_EQ(g::hub_stats(graph, 0.10).hub_count, 100u);
+}
+
+TEST(HubStats, EmptyGraphIsHarmless) {
+  const auto h = g::hub_stats(g::build_undirected({0, {}}), 0.01);
+  EXPECT_EQ(h.total_triangles, 0u);
+  EXPECT_EQ(h.hub_count, 0u);
+}
+
+}  // namespace

@@ -1,0 +1,94 @@
+// Squared edge tiling math (Sec. 4.6).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "lotus/tiling.hpp"
+
+namespace {
+
+using lotus::core::pair_work;
+using lotus::core::squared_tiling_factors;
+using lotus::core::tile_boundaries;
+using lotus::core::TilingPolicy;
+
+TEST(Tiling, PaperExample) {
+  // Sec. 4.6: 100 neighbours, 5 partitions -> 0, 44/45, 63, 77, 89, 100.
+  const auto b = tile_boundaries(100, 5, TilingPolicy::kSquared);
+  ASSERT_EQ(b.size(), 6u);
+  EXPECT_EQ(b[0], 0u);
+  EXPECT_NEAR(b[1], 45u, 1);  // 100*sqrt(0.2) = 44.7
+  EXPECT_NEAR(b[2], 63u, 1);
+  EXPECT_NEAR(b[3], 77u, 1);
+  EXPECT_NEAR(b[4], 89u, 1);
+  EXPECT_EQ(b[5], 100u);
+}
+
+TEST(Tiling, BoundariesAreMonotoneAndCover) {
+  for (std::uint32_t degree : {1u, 2u, 10u, 513u, 10000u}) {
+    for (unsigned p : {1u, 2u, 7u, 64u}) {
+      const auto b = tile_boundaries(degree, p, TilingPolicy::kSquared);
+      ASSERT_EQ(b.size(), p + 1u);
+      EXPECT_EQ(b.front(), 0u);
+      EXPECT_EQ(b.back(), degree);
+      for (std::size_t i = 1; i < b.size(); ++i) EXPECT_LE(b[i - 1], b[i]);
+    }
+  }
+}
+
+TEST(Tiling, SquaredTilesBalancePairWork) {
+  constexpr std::uint32_t kDegree = 20000;
+  constexpr unsigned kPartitions = 16;
+  const auto b = tile_boundaries(kDegree, kPartitions, TilingPolicy::kSquared);
+  const std::uint64_t total = pair_work(0, kDegree);
+  const double ideal = static_cast<double>(total) / kPartitions;
+  for (unsigned k = 0; k < kPartitions; ++k) {
+    const auto work = static_cast<double>(pair_work(b[k], b[k + 1]));
+    EXPECT_NEAR(work, ideal, 0.02 * ideal) << "tile " << k;
+  }
+}
+
+TEST(Tiling, EdgeBalancedTilesAreSkewedInPairWork) {
+  // The contrast Table 9 measures: equal-entry tiles have wildly unequal
+  // pair-work (the last tile does ~2p-1 times the first's).
+  constexpr std::uint32_t kDegree = 20000;
+  constexpr unsigned kPartitions = 16;
+  const auto b = tile_boundaries(kDegree, kPartitions, TilingPolicy::kEdgeBalanced);
+  const auto first = pair_work(b[0], b[1]);
+  const auto last = pair_work(b[kPartitions - 1], b[kPartitions]);
+  EXPECT_GT(last, 10 * first);
+}
+
+TEST(Tiling, TilesPartitionTheWorkExactly) {
+  for (auto policy : {TilingPolicy::kSquared, TilingPolicy::kEdgeBalanced}) {
+    const auto b = tile_boundaries(1234, 7, policy);
+    std::uint64_t sum = 0;
+    for (unsigned k = 0; k < 7; ++k) sum += pair_work(b[k], b[k + 1]);
+    EXPECT_EQ(sum, pair_work(0, 1234));
+  }
+}
+
+TEST(Tiling, FactorsMatchSqrt) {
+  const auto f = squared_tiling_factors(5);
+  ASSERT_EQ(f.size(), 6u);
+  EXPECT_DOUBLE_EQ(f[0], 0.0);
+  EXPECT_DOUBLE_EQ(f[5], 1.0);
+  EXPECT_NEAR(f[1], std::sqrt(0.2), 1e-12);
+}
+
+TEST(Tiling, ZeroPartitionsFallsBackToOne) {
+  const auto b = tile_boundaries(10, 0, TilingPolicy::kSquared);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[0], 0u);
+  EXPECT_EQ(b[1], 10u);
+}
+
+TEST(Tiling, PairWorkClosedForm) {
+  EXPECT_EQ(pair_work(0, 0), 0u);
+  EXPECT_EQ(pair_work(0, 1), 0u);
+  EXPECT_EQ(pair_work(0, 2), 1u);
+  EXPECT_EQ(pair_work(0, 100), 100ull * 99 / 2);
+  EXPECT_EQ(pair_work(50, 100), 100ull * 99 / 2 - 50ull * 49 / 2);
+}
+
+}  // namespace
