@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_approx"
+  "../bench/ablation_approx.pdb"
+  "CMakeFiles/ablation_approx.dir/ablation_approx.cpp.o"
+  "CMakeFiles/ablation_approx.dir/ablation_approx.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

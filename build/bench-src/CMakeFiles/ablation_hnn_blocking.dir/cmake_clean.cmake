@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_hnn_blocking"
+  "../bench/ablation_hnn_blocking.pdb"
+  "CMakeFiles/ablation_hnn_blocking.dir/ablation_hnn_blocking.cpp.o"
+  "CMakeFiles/ablation_hnn_blocking.dir/ablation_hnn_blocking.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hnn_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_hub_count"
+  "../bench/ablation_hub_count.pdb"
+  "CMakeFiles/ablation_hub_count.dir/ablation_hub_count.cpp.o"
+  "CMakeFiles/ablation_hub_count.dir/ablation_hub_count.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hub_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_recursive"
+  "../bench/ablation_recursive.pdb"
+  "CMakeFiles/ablation_recursive.dir/ablation_recursive.cpp.o"
+  "CMakeFiles/ablation_recursive.dir/ablation_recursive.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_recursive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extra_sec32_locality"
+  "../bench/extra_sec32_locality.pdb"
+  "CMakeFiles/extra_sec32_locality.dir/extra_sec32_locality.cpp.o"
+  "CMakeFiles/extra_sec32_locality.dir/extra_sec32_locality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_sec32_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_tc_rates"
+  "../bench/fig1_tc_rates.pdb"
+  "CMakeFiles/fig1_tc_rates.dir/fig1_tc_rates.cpp.o"
+  "CMakeFiles/fig1_tc_rates.dir/fig1_tc_rates.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_tc_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_cache_tlb"
+  "../bench/fig4_cache_tlb.pdb"
+  "CMakeFiles/fig4_cache_tlb.dir/fig4_cache_tlb.cpp.o"
+  "CMakeFiles/fig4_cache_tlb.dir/fig4_cache_tlb.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_cache_tlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

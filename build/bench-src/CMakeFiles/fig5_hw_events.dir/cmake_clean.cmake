@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_hw_events"
+  "../bench/fig5_hw_events.pdb"
+  "CMakeFiles/fig5_hw_events.dir/fig5_hw_events.cpp.o"
+  "CMakeFiles/fig5_hw_events.dir/fig5_hw_events.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_hw_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

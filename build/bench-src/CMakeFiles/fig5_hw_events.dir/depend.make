@@ -1,0 +1,2 @@
+# Empty dependencies file for fig5_hw_events.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_breakdown"
+  "../bench/fig6_breakdown.pdb"
+  "CMakeFiles/fig6_breakdown.dir/fig6_breakdown.cpp.o"
+  "CMakeFiles/fig6_breakdown.dir/fig6_breakdown.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

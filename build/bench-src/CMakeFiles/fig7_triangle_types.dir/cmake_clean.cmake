@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_triangle_types"
+  "../bench/fig7_triangle_types.pdb"
+  "CMakeFiles/fig7_triangle_types.dir/fig7_triangle_types.cpp.o"
+  "CMakeFiles/fig7_triangle_types.dir/fig7_triangle_types.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_triangle_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_edge_split"
+  "../bench/fig8_edge_split.pdb"
+  "CMakeFiles/fig8_edge_split.dir/fig8_edge_split.cpp.o"
+  "CMakeFiles/fig8_edge_split.dir/fig8_edge_split.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_edge_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

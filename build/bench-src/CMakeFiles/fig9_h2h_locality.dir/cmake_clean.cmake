@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_h2h_locality"
+  "../bench/fig9_h2h_locality.pdb"
+  "CMakeFiles/fig9_h2h_locality.dir/fig9_h2h_locality.cpp.o"
+  "CMakeFiles/fig9_h2h_locality.dir/fig9_h2h_locality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_h2h_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_bitarray"
+  "../bench/micro_bitarray.pdb"
+  "CMakeFiles/micro_bitarray.dir/micro_bitarray.cpp.o"
+  "CMakeFiles/micro_bitarray.dir/micro_bitarray.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_bitarray.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

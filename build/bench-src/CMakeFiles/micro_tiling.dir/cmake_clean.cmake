@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_tiling"
+  "../bench/micro_tiling.pdb"
+  "CMakeFiles/micro_tiling.dir/micro_tiling.cpp.o"
+  "CMakeFiles/micro_tiling.dir/micro_tiling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_tiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/scaling_threads"
+  "../bench/scaling_threads.pdb"
+  "CMakeFiles/scaling_threads.dir/scaling_threads.cpp.o"
+  "CMakeFiles/scaling_threads.dir/scaling_threads.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scaling_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_end_to_end"
+  "../bench/table5_end_to_end.pdb"
+  "CMakeFiles/table5_end_to_end.dir/table5_end_to_end.cpp.o"
+  "CMakeFiles/table5_end_to_end.dir/table5_end_to_end.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_end_to_end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

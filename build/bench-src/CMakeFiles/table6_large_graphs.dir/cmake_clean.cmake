@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_large_graphs"
+  "../bench/table6_large_graphs.pdb"
+  "CMakeFiles/table6_large_graphs.dir/table6_large_graphs.cpp.o"
+  "CMakeFiles/table6_large_graphs.dir/table6_large_graphs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_large_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

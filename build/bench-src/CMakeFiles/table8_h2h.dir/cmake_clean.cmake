@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table8_h2h"
+  "../bench/table8_h2h.pdb"
+  "CMakeFiles/table8_h2h.dir/table8_h2h.cpp.o"
+  "CMakeFiles/table8_h2h.dir/table8_h2h.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_h2h.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table9_tiling"
+  "../bench/table9_tiling.pdb"
+  "CMakeFiles/table9_tiling.dir/table9_tiling.cpp.o"
+  "CMakeFiles/table9_tiling.dir/table9_tiling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_tiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/clique_hunter"
+  "../examples/clique_hunter.pdb"
+  "CMakeFiles/clique_hunter.dir/clique_hunter.cpp.o"
+  "CMakeFiles/clique_hunter.dir/clique_hunter.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clique_hunter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/community_cores.cpp" "examples-src/CMakeFiles/community_cores.dir/community_cores.cpp.o" "gcc" "examples-src/CMakeFiles/community_cores.dir/community_cores.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tc/CMakeFiles/lotus_tc.dir/DependInfo.cmake"
+  "/root/repo/build/src/lotus/CMakeFiles/lotus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/algorithms/CMakeFiles/lotus_algorithms.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytics/CMakeFiles/lotus_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/lotus_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lotus_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/lotus_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lotus_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcache/CMakeFiles/lotus_simcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/lotus_baselines.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

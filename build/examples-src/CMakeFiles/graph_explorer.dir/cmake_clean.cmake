@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/graph_explorer"
+  "../examples/graph_explorer.pdb"
+  "CMakeFiles/graph_explorer.dir/graph_explorer.cpp.o"
+  "CMakeFiles/graph_explorer.dir/graph_explorer.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

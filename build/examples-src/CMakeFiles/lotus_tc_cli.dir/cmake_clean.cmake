@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/lotus_tc_cli"
+  "../examples/lotus_tc_cli.pdb"
+  "CMakeFiles/lotus_tc_cli.dir/lotus_tc_cli.cpp.o"
+  "CMakeFiles/lotus_tc_cli.dir/lotus_tc_cli.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lotus_tc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

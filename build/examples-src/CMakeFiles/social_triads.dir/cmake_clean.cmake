@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/social_triads"
+  "../examples/social_triads.pdb"
+  "CMakeFiles/social_triads.dir/social_triads.cpp.o"
+  "CMakeFiles/social_triads.dir/social_triads.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_triads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/streaming_triangles"
+  "../examples/streaming_triangles.pdb"
+  "CMakeFiles/streaming_triangles.dir/streaming_triangles.cpp.o"
+  "CMakeFiles/streaming_triangles.dir/streaming_triangles.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_triangles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algorithms/bfs.cpp" "src/algorithms/CMakeFiles/lotus_algorithms.dir/bfs.cpp.o" "gcc" "src/algorithms/CMakeFiles/lotus_algorithms.dir/bfs.cpp.o.d"
+  "/root/repo/src/algorithms/components.cpp" "src/algorithms/CMakeFiles/lotus_algorithms.dir/components.cpp.o" "gcc" "src/algorithms/CMakeFiles/lotus_algorithms.dir/components.cpp.o.d"
+  "/root/repo/src/algorithms/ktruss.cpp" "src/algorithms/CMakeFiles/lotus_algorithms.dir/ktruss.cpp.o" "gcc" "src/algorithms/CMakeFiles/lotus_algorithms.dir/ktruss.cpp.o.d"
+  "/root/repo/src/algorithms/pagerank.cpp" "src/algorithms/CMakeFiles/lotus_algorithms.dir/pagerank.cpp.o" "gcc" "src/algorithms/CMakeFiles/lotus_algorithms.dir/pagerank.cpp.o.d"
+  "/root/repo/src/algorithms/sssp.cpp" "src/algorithms/CMakeFiles/lotus_algorithms.dir/sssp.cpp.o" "gcc" "src/algorithms/CMakeFiles/lotus_algorithms.dir/sssp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/lotus_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/lotus_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lotus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lotus_algorithms.dir/bfs.cpp.o"
+  "CMakeFiles/lotus_algorithms.dir/bfs.cpp.o.d"
+  "CMakeFiles/lotus_algorithms.dir/components.cpp.o"
+  "CMakeFiles/lotus_algorithms.dir/components.cpp.o.d"
+  "CMakeFiles/lotus_algorithms.dir/ktruss.cpp.o"
+  "CMakeFiles/lotus_algorithms.dir/ktruss.cpp.o.d"
+  "CMakeFiles/lotus_algorithms.dir/pagerank.cpp.o"
+  "CMakeFiles/lotus_algorithms.dir/pagerank.cpp.o.d"
+  "CMakeFiles/lotus_algorithms.dir/sssp.cpp.o"
+  "CMakeFiles/lotus_algorithms.dir/sssp.cpp.o.d"
+  "liblotus_algorithms.a"
+  "liblotus_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lotus_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lotus_analytics.dir/approx.cpp.o"
+  "CMakeFiles/lotus_analytics.dir/approx.cpp.o.d"
+  "CMakeFiles/lotus_analytics.dir/clustering.cpp.o"
+  "CMakeFiles/lotus_analytics.dir/clustering.cpp.o.d"
+  "liblotus_analytics.a"
+  "liblotus_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lotus_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lotus_baselines.dir/matrix_tc.cpp.o"
+  "CMakeFiles/lotus_baselines.dir/matrix_tc.cpp.o.d"
+  "CMakeFiles/lotus_baselines.dir/simd_intersect.cpp.o"
+  "CMakeFiles/lotus_baselines.dir/simd_intersect.cpp.o.d"
+  "CMakeFiles/lotus_baselines.dir/tc_baselines.cpp.o"
+  "CMakeFiles/lotus_baselines.dir/tc_baselines.cpp.o.d"
+  "liblotus_baselines.a"
+  "liblotus_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lotus_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

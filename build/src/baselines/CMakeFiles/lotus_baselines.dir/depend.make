@@ -1,0 +1,2 @@
+# Empty dependencies file for lotus_baselines.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datasets/registry.cpp" "src/datasets/CMakeFiles/lotus_datasets.dir/registry.cpp.o" "gcc" "src/datasets/CMakeFiles/lotus_datasets.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/lotus_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/lotus_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lotus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lotus_datasets.dir/registry.cpp.o"
+  "CMakeFiles/lotus_datasets.dir/registry.cpp.o.d"
+  "liblotus_datasets.a"
+  "liblotus_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lotus_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

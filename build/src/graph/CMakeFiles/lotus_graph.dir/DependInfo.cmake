@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/builder.cpp" "src/graph/CMakeFiles/lotus_graph.dir/builder.cpp.o" "gcc" "src/graph/CMakeFiles/lotus_graph.dir/builder.cpp.o.d"
+  "/root/repo/src/graph/compressed.cpp" "src/graph/CMakeFiles/lotus_graph.dir/compressed.cpp.o" "gcc" "src/graph/CMakeFiles/lotus_graph.dir/compressed.cpp.o.d"
+  "/root/repo/src/graph/degree_order.cpp" "src/graph/CMakeFiles/lotus_graph.dir/degree_order.cpp.o" "gcc" "src/graph/CMakeFiles/lotus_graph.dir/degree_order.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/graph/CMakeFiles/lotus_graph.dir/generators.cpp.o" "gcc" "src/graph/CMakeFiles/lotus_graph.dir/generators.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/graph/CMakeFiles/lotus_graph.dir/io.cpp.o" "gcc" "src/graph/CMakeFiles/lotus_graph.dir/io.cpp.o.d"
+  "/root/repo/src/graph/reorder.cpp" "src/graph/CMakeFiles/lotus_graph.dir/reorder.cpp.o" "gcc" "src/graph/CMakeFiles/lotus_graph.dir/reorder.cpp.o.d"
+  "/root/repo/src/graph/stats.cpp" "src/graph/CMakeFiles/lotus_graph.dir/stats.cpp.o" "gcc" "src/graph/CMakeFiles/lotus_graph.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parallel/CMakeFiles/lotus_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lotus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lotus_graph.dir/builder.cpp.o"
+  "CMakeFiles/lotus_graph.dir/builder.cpp.o.d"
+  "CMakeFiles/lotus_graph.dir/compressed.cpp.o"
+  "CMakeFiles/lotus_graph.dir/compressed.cpp.o.d"
+  "CMakeFiles/lotus_graph.dir/degree_order.cpp.o"
+  "CMakeFiles/lotus_graph.dir/degree_order.cpp.o.d"
+  "CMakeFiles/lotus_graph.dir/generators.cpp.o"
+  "CMakeFiles/lotus_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/lotus_graph.dir/io.cpp.o"
+  "CMakeFiles/lotus_graph.dir/io.cpp.o.d"
+  "CMakeFiles/lotus_graph.dir/reorder.cpp.o"
+  "CMakeFiles/lotus_graph.dir/reorder.cpp.o.d"
+  "CMakeFiles/lotus_graph.dir/stats.cpp.o"
+  "CMakeFiles/lotus_graph.dir/stats.cpp.o.d"
+  "liblotus_graph.a"
+  "liblotus_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lotus_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

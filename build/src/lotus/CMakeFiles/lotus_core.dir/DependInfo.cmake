@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lotus/adaptive.cpp" "src/lotus/CMakeFiles/lotus_core.dir/adaptive.cpp.o" "gcc" "src/lotus/CMakeFiles/lotus_core.dir/adaptive.cpp.o.d"
+  "/root/repo/src/lotus/count.cpp" "src/lotus/CMakeFiles/lotus_core.dir/count.cpp.o" "gcc" "src/lotus/CMakeFiles/lotus_core.dir/count.cpp.o.d"
+  "/root/repo/src/lotus/kclique.cpp" "src/lotus/CMakeFiles/lotus_core.dir/kclique.cpp.o" "gcc" "src/lotus/CMakeFiles/lotus_core.dir/kclique.cpp.o.d"
+  "/root/repo/src/lotus/local.cpp" "src/lotus/CMakeFiles/lotus_core.dir/local.cpp.o" "gcc" "src/lotus/CMakeFiles/lotus_core.dir/local.cpp.o.d"
+  "/root/repo/src/lotus/lotus.cpp" "src/lotus/CMakeFiles/lotus_core.dir/lotus.cpp.o" "gcc" "src/lotus/CMakeFiles/lotus_core.dir/lotus.cpp.o.d"
+  "/root/repo/src/lotus/lotus_graph.cpp" "src/lotus/CMakeFiles/lotus_core.dir/lotus_graph.cpp.o" "gcc" "src/lotus/CMakeFiles/lotus_core.dir/lotus_graph.cpp.o.d"
+  "/root/repo/src/lotus/recursive.cpp" "src/lotus/CMakeFiles/lotus_core.dir/recursive.cpp.o" "gcc" "src/lotus/CMakeFiles/lotus_core.dir/recursive.cpp.o.d"
+  "/root/repo/src/lotus/relabel.cpp" "src/lotus/CMakeFiles/lotus_core.dir/relabel.cpp.o" "gcc" "src/lotus/CMakeFiles/lotus_core.dir/relabel.cpp.o.d"
+  "/root/repo/src/lotus/serialize.cpp" "src/lotus/CMakeFiles/lotus_core.dir/serialize.cpp.o" "gcc" "src/lotus/CMakeFiles/lotus_core.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/lotus_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/lotus_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/lotus_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lotus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

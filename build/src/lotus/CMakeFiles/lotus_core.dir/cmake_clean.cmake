@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lotus_core.dir/adaptive.cpp.o"
+  "CMakeFiles/lotus_core.dir/adaptive.cpp.o.d"
+  "CMakeFiles/lotus_core.dir/count.cpp.o"
+  "CMakeFiles/lotus_core.dir/count.cpp.o.d"
+  "CMakeFiles/lotus_core.dir/kclique.cpp.o"
+  "CMakeFiles/lotus_core.dir/kclique.cpp.o.d"
+  "CMakeFiles/lotus_core.dir/local.cpp.o"
+  "CMakeFiles/lotus_core.dir/local.cpp.o.d"
+  "CMakeFiles/lotus_core.dir/lotus.cpp.o"
+  "CMakeFiles/lotus_core.dir/lotus.cpp.o.d"
+  "CMakeFiles/lotus_core.dir/lotus_graph.cpp.o"
+  "CMakeFiles/lotus_core.dir/lotus_graph.cpp.o.d"
+  "CMakeFiles/lotus_core.dir/recursive.cpp.o"
+  "CMakeFiles/lotus_core.dir/recursive.cpp.o.d"
+  "CMakeFiles/lotus_core.dir/relabel.cpp.o"
+  "CMakeFiles/lotus_core.dir/relabel.cpp.o.d"
+  "CMakeFiles/lotus_core.dir/serialize.cpp.o"
+  "CMakeFiles/lotus_core.dir/serialize.cpp.o.d"
+  "liblotus_core.a"
+  "liblotus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lotus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

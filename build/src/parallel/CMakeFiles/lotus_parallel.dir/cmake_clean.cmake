@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lotus_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/lotus_parallel.dir/thread_pool.cpp.o.d"
+  "liblotus_parallel.a"
+  "liblotus_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lotus_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lotus_simcache.dir/cache_model.cpp.o"
+  "CMakeFiles/lotus_simcache.dir/cache_model.cpp.o.d"
+  "liblotus_simcache.a"
+  "liblotus_simcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lotus_simcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lotus_tc.dir/api.cpp.o"
+  "CMakeFiles/lotus_tc.dir/api.cpp.o.d"
+  "CMakeFiles/lotus_tc.dir/instrumented.cpp.o"
+  "CMakeFiles/lotus_tc.dir/instrumented.cpp.o.d"
+  "liblotus_tc.a"
+  "liblotus_tc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lotus_tc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

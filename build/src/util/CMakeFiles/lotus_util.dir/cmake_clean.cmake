@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lotus_util.dir/cli.cpp.o"
+  "CMakeFiles/lotus_util.dir/cli.cpp.o.d"
+  "CMakeFiles/lotus_util.dir/table.cpp.o"
+  "CMakeFiles/lotus_util.dir/table.cpp.o.d"
+  "liblotus_util.a"
+  "liblotus_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lotus_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_adaptive.cpp" "tests/CMakeFiles/lotus_tests.dir/test_adaptive.cpp.o" "gcc" "tests/CMakeFiles/lotus_tests.dir/test_adaptive.cpp.o.d"
+  "/root/repo/tests/test_algorithms.cpp" "tests/CMakeFiles/lotus_tests.dir/test_algorithms.cpp.o" "gcc" "tests/CMakeFiles/lotus_tests.dir/test_algorithms.cpp.o.d"
+  "/root/repo/tests/test_analytics.cpp" "tests/CMakeFiles/lotus_tests.dir/test_analytics.cpp.o" "gcc" "tests/CMakeFiles/lotus_tests.dir/test_analytics.cpp.o.d"
+  "/root/repo/tests/test_approx.cpp" "tests/CMakeFiles/lotus_tests.dir/test_approx.cpp.o" "gcc" "tests/CMakeFiles/lotus_tests.dir/test_approx.cpp.o.d"
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/lotus_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/lotus_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_compressed.cpp" "tests/CMakeFiles/lotus_tests.dir/test_compressed.cpp.o" "gcc" "tests/CMakeFiles/lotus_tests.dir/test_compressed.cpp.o.d"
+  "/root/repo/tests/test_csr_builder.cpp" "tests/CMakeFiles/lotus_tests.dir/test_csr_builder.cpp.o" "gcc" "tests/CMakeFiles/lotus_tests.dir/test_csr_builder.cpp.o.d"
+  "/root/repo/tests/test_datasets.cpp" "tests/CMakeFiles/lotus_tests.dir/test_datasets.cpp.o" "gcc" "tests/CMakeFiles/lotus_tests.dir/test_datasets.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/lotus_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/lotus_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_generator_structure.cpp" "tests/CMakeFiles/lotus_tests.dir/test_generator_structure.cpp.o" "gcc" "tests/CMakeFiles/lotus_tests.dir/test_generator_structure.cpp.o.d"
+  "/root/repo/tests/test_generators.cpp" "tests/CMakeFiles/lotus_tests.dir/test_generators.cpp.o" "gcc" "tests/CMakeFiles/lotus_tests.dir/test_generators.cpp.o.d"
+  "/root/repo/tests/test_h2h.cpp" "tests/CMakeFiles/lotus_tests.dir/test_h2h.cpp.o" "gcc" "tests/CMakeFiles/lotus_tests.dir/test_h2h.cpp.o.d"
+  "/root/repo/tests/test_intersect.cpp" "tests/CMakeFiles/lotus_tests.dir/test_intersect.cpp.o" "gcc" "tests/CMakeFiles/lotus_tests.dir/test_intersect.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/lotus_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/lotus_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_lotus_count.cpp" "tests/CMakeFiles/lotus_tests.dir/test_lotus_count.cpp.o" "gcc" "tests/CMakeFiles/lotus_tests.dir/test_lotus_count.cpp.o.d"
+  "/root/repo/tests/test_lotus_graph.cpp" "tests/CMakeFiles/lotus_tests.dir/test_lotus_graph.cpp.o" "gcc" "tests/CMakeFiles/lotus_tests.dir/test_lotus_graph.cpp.o.d"
+  "/root/repo/tests/test_matrix_tc.cpp" "tests/CMakeFiles/lotus_tests.dir/test_matrix_tc.cpp.o" "gcc" "tests/CMakeFiles/lotus_tests.dir/test_matrix_tc.cpp.o.d"
+  "/root/repo/tests/test_parallel.cpp" "tests/CMakeFiles/lotus_tests.dir/test_parallel.cpp.o" "gcc" "tests/CMakeFiles/lotus_tests.dir/test_parallel.cpp.o.d"
+  "/root/repo/tests/test_relabel.cpp" "tests/CMakeFiles/lotus_tests.dir/test_relabel.cpp.o" "gcc" "tests/CMakeFiles/lotus_tests.dir/test_relabel.cpp.o.d"
+  "/root/repo/tests/test_reorder.cpp" "tests/CMakeFiles/lotus_tests.dir/test_reorder.cpp.o" "gcc" "tests/CMakeFiles/lotus_tests.dir/test_reorder.cpp.o.d"
+  "/root/repo/tests/test_simcache.cpp" "tests/CMakeFiles/lotus_tests.dir/test_simcache.cpp.o" "gcc" "tests/CMakeFiles/lotus_tests.dir/test_simcache.cpp.o.d"
+  "/root/repo/tests/test_simd_intersect.cpp" "tests/CMakeFiles/lotus_tests.dir/test_simd_intersect.cpp.o" "gcc" "tests/CMakeFiles/lotus_tests.dir/test_simd_intersect.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/lotus_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/lotus_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_tc_api.cpp" "tests/CMakeFiles/lotus_tests.dir/test_tc_api.cpp.o" "gcc" "tests/CMakeFiles/lotus_tests.dir/test_tc_api.cpp.o.d"
+  "/root/repo/tests/test_tiling.cpp" "tests/CMakeFiles/lotus_tests.dir/test_tiling.cpp.o" "gcc" "tests/CMakeFiles/lotus_tests.dir/test_tiling.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/lotus_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/lotus_tests.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tc/CMakeFiles/lotus_tc.dir/DependInfo.cmake"
+  "/root/repo/build/src/lotus/CMakeFiles/lotus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/algorithms/CMakeFiles/lotus_algorithms.dir/DependInfo.cmake"
+  "/root/repo/build/src/analytics/CMakeFiles/lotus_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/lotus_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcache/CMakeFiles/lotus_simcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/lotus_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lotus_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/lotus_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lotus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
