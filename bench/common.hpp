@@ -13,6 +13,7 @@
 #include "graph/csr.hpp"
 #include "lotus/config.hpp"
 #include "parallel/thread_pool.hpp"
+#include "tc/api.hpp"
 #include "util/cli.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
@@ -59,6 +60,12 @@ inline graph::CsrGraph load(const datasets::Dataset& dataset, double factor) {
 
 inline std::string pct(double value, int precision = 1) {
   return util::fixed(value, precision);
+}
+
+/// Canonical end-to-end rate for a run over `graph`: undirected edges per
+/// second (delegates to tc::edges_per_s so every bench divides the same way).
+inline double edges_per_s(const graph::CsrGraph& graph, double seconds) {
+  return tc::edges_per_s(graph.num_edges() / 2, seconds);
 }
 
 }  // namespace lotus::bench

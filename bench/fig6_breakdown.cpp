@@ -2,10 +2,14 @@
 // HHH&HHN counting, HNN counting, and non-hub (NNN) counting.
 // Paper: preprocessing is 19.4% of total time on average, and non-hub
 // counting is 40.4% of the counting time.
+//
+// Phase times come from the shared observability layer: tc::run_profiled
+// records the span tree and this bench reads the per-phase totals back out
+// (span names per docs/METRICS.md).
 #include <iostream>
 
 #include "bench/common.hpp"
-#include "lotus/lotus.hpp"
+#include "tc/api.hpp"
 
 int main(int argc, char** argv) {
   lotus::util::Cli cli("Figure 6: Lotus execution breakdown");
@@ -21,16 +25,23 @@ int main(int argc, char** argv) {
   std::size_t rows = 0;
   for (const auto& dataset : ctx.selection) {
     const auto graph = lotus::bench::load(dataset, ctx.factor);
-    const auto r = lotus::core::count_triangles(graph, ctx.lotus_config);
-    const double total = r.total_s();
-    const double preproc_pct = 100.0 * r.preprocess_s / total;
-    const double nnn_pct = r.count_s() > 0 ? 100.0 * r.nnn_s / r.count_s() : 0.0;
+    const auto report = lotus::tc::run_profiled(lotus::tc::Algorithm::kLotus,
+                                                graph, ctx.lotus_config);
+    const auto& trace = report.trace;
+    const double preprocess_s = trace.total_s("preprocess");
+    const double hhh_hhn_s = trace.total_s("hhh_hhn");
+    const double hnn_s = trace.total_s("hnn");
+    const double nnn_s = trace.total_s("nnn");
+    const double count_s = trace.total_s("count");
+    const double total = preprocess_s + count_s;
+    const double preproc_pct = total > 0 ? 100.0 * preprocess_s / total : 0.0;
+    const double nnn_pct = count_s > 0 ? 100.0 * nnn_s / count_s : 0.0;
     preproc_pct_sum += preproc_pct;
     nnn_pct_sum += nnn_pct;
     ++rows;
-    table.row({dataset.name, lotus::util::fixed(r.preprocess_s, 3),
-               lotus::util::fixed(r.hhh_hhn_s, 3), lotus::util::fixed(r.hnn_s, 3),
-               lotus::util::fixed(r.nnn_s, 3), lotus::util::fixed(total, 3),
+    table.row({dataset.name, lotus::util::fixed(preprocess_s, 3),
+               lotus::util::fixed(hhh_hhn_s, 3), lotus::util::fixed(hnn_s, 3),
+               lotus::util::fixed(nnn_s, 3), lotus::util::fixed(total, 3),
                lotus::bench::pct(preproc_pct), lotus::bench::pct(nnn_pct)});
   }
   if (rows > 0)

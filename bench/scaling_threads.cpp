@@ -1,11 +1,25 @@
 // Thread-scaling sweep (supplementary; the paper evaluates 32-128 cores).
-// Reports LOTUS end-to-end time and per-phase times across thread counts,
-// for both the pool and (when available) OpenMP backends.
+// Reports LOTUS end-to-end time, per-phase times (from the tc::run_profiled
+// span tree) and the scheduler's steal/idle counters across thread counts.
 #include <iostream>
+#include <string>
 
 #include "bench/common.hpp"
-#include "lotus/lotus.hpp"
-#include "parallel/parallel_for.hpp"
+#include "obs/counters.hpp"
+#include "tc/api.hpp"
+
+namespace {
+
+std::string idle_pct(const lotus::obs::CountersSnapshot& snapshot) {
+  if (!lotus::obs::enabled()) return "n/a";
+  const auto busy_ns = snapshot[lotus::obs::Counter::kSchedBusyNs];
+  const auto idle_ns = snapshot[lotus::obs::Counter::kSchedIdleNs];
+  if (busy_ns + idle_ns == 0) return "n/a";
+  return lotus::bench::pct(100.0 * static_cast<double>(idle_ns) /
+                           static_cast<double>(busy_ns + idle_ns));
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   lotus::util::Cli cli("Thread scaling of LOTUS");
@@ -17,20 +31,26 @@ int main(int argc, char** argv) {
 
   lotus::util::TablePrinter table("Thread scaling (pool backend)");
   table.header({"Dataset", "threads", "total(s)", "HHH&HHN(s)", "HNN(s)",
-                "NNN(s)", "speedup"});
+                "NNN(s)", "speedup", "steals", "idle%"});
 
   for (const auto& dataset : ctx.selection) {
     const auto graph = lotus::bench::load(dataset, ctx.factor);
     double base_s = 0.0;
     for (unsigned threads = 1; threads <= max_threads; threads *= 2) {
       lotus::parallel::set_num_threads(threads);
-      const auto r = lotus::core::count_triangles(graph, ctx.lotus_config);
-      if (threads == 1) base_s = r.total_s();
+      const auto report = lotus::tc::run_profiled(
+          lotus::tc::Algorithm::kLotus, graph, ctx.lotus_config);
+      const double total = report.result.total_s();
+      if (threads == 1) base_s = total;
+      const auto steals = report.counters[lotus::obs::Counter::kSteals];
       table.row({dataset.name, std::to_string(threads),
-                 lotus::util::fixed(r.total_s(), 3),
-                 lotus::util::fixed(r.hhh_hhn_s, 3),
-                 lotus::util::fixed(r.hnn_s, 3), lotus::util::fixed(r.nnn_s, 3),
-                 lotus::util::fixed(base_s / r.total_s(), 2) + "x"});
+                 lotus::util::fixed(total, 3),
+                 lotus::util::fixed(report.trace.total_s("hhh_hhn"), 3),
+                 lotus::util::fixed(report.trace.total_s("hnn"), 3),
+                 lotus::util::fixed(report.trace.total_s("nnn"), 3),
+                 lotus::util::fixed(base_s / total, 2) + "x",
+                 lotus::obs::enabled() ? lotus::util::with_commas(steals) : "n/a",
+                 idle_pct(report.counters)});
     }
   }
   lotus::parallel::set_num_threads(0);

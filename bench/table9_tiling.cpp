@@ -6,17 +6,17 @@
 //   * sim%  — deterministic greedy-scheduling simulation using each tile's
 //     exact pair-work as its cost (independent of the host's core count);
 //   * meas% — wall-clock idle fraction from the work-stealing scheduler's
-//     per-thread busy clocks (meaningful only with real hardware threads).
+//     busy/idle counters in src/obs (meaningful only with real hardware
+//     threads and an LOTUS_OBS=1 build).
 #include <algorithm>
 #include <iostream>
-#include <numeric>
 #include <thread>
 
 #include "bench/common.hpp"
 #include "graph/builder.hpp"
 #include "lotus/count.hpp"
 #include "lotus/lotus_graph.hpp"
-#include "util/timer.hpp"
+#include "obs/counters.hpp"
 
 namespace {
 
@@ -42,20 +42,24 @@ double simulate_idle_pct(const std::vector<std::vector<HubTile>>& tasks,
                             (static_cast<double>(makespan) * threads));
 }
 
-/// Wall-clock idle fraction; "n/a" without real hardware parallelism (the
-/// busy-clock comparison needs threads that can actually overlap).
+/// Wall-clock idle fraction from the scheduler's sched_busy_ns/sched_idle_ns
+/// counters; "n/a" when counters are compiled out (LOTUS_OBS=0) or without
+/// real hardware parallelism (the comparison needs threads that can overlap).
 std::string measured_idle_pct(const lotus::core::LotusGraph& lg,
                               const lotus::core::LotusConfig& config,
                               TilingPolicy policy) {
-  std::vector<double> busy;
-  lotus::util::Timer timer;
-  lotus::core::count_hhh_hhn(lg, config, policy, &busy);
-  const double wall = timer.elapsed_s();
-  if (busy.size() <= 1 || std::thread::hardware_concurrency() <= 1) return "n/a";
-  const double busy_total = std::accumulate(busy.begin(), busy.end(), 0.0);
-  const double capacity = wall * static_cast<double>(busy.size());
-  if (capacity <= 0) return "n/a";
-  return lotus::bench::pct(std::max(0.0, 100.0 * (1.0 - busy_total / capacity)));
+  namespace obs = lotus::obs;
+  if (!obs::enabled() || lotus::parallel::default_pool().size() <= 1 ||
+      std::thread::hardware_concurrency() <= 1)
+    return "n/a";
+  obs::reset_counters();
+  lotus::core::count_hhh_hhn(lg, config, policy);
+  const auto snapshot = obs::counters_snapshot();
+  const auto busy_ns = snapshot[obs::Counter::kSchedBusyNs];
+  const auto idle_ns = snapshot[obs::Counter::kSchedIdleNs];
+  if (busy_ns + idle_ns == 0) return "n/a";
+  return lotus::bench::pct(100.0 * static_cast<double>(idle_ns) /
+                           static_cast<double>(busy_ns + idle_ns));
 }
 
 }  // namespace

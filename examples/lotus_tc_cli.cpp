@@ -95,7 +95,7 @@ int main(int argc, char** argv) {
                 << lotus::util::fixed(r.preprocess_s, 3) << "s preprocess + "
                 << lotus::util::fixed(r.count_s, 3) << "s count, "
                 << lotus::util::human_count(
-                       static_cast<double>(graph.num_edges() / 2) / r.total_s())
+                       lotus::tc::edges_per_s(graph.num_edges() / 2, r.total_s()))
                 << " edges/s)\n";
     }
   } catch (const std::exception& error) {

@@ -1,0 +1,50 @@
+#!/usr/bin/env sh
+# Documentation lint, run as the `check_docs` ctest:
+#   1. every relative link in the repo's markdown files must resolve;
+#   2. every public header in src/obs and src/tc must open with a file-level
+#      doc comment (the observability/API layers document thread-safety and
+#      overhead there — see docs/ARCHITECTURE.md).
+set -u
+cd "$(dirname "$0")/.."
+
+status=0
+
+# --- 1. intra-repo markdown links ------------------------------------------
+# Pull `](target)` occurrences out of every tracked markdown file, skip
+# external schemes and pure anchors, strip #fragments, and resolve the rest
+# relative to the file that contains them.
+for md in $(find . -name '*.md' -not -path './build*' -not -path './.git/*'); do
+  links=$(grep -o '](\([^)]*\))' "$md" 2>/dev/null | sed 's/^](//; s/)$//')
+  [ -z "$links" ] && continue
+  dir=$(dirname "$md")
+  for link in $links; do
+    case "$link" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    target="${link%%#*}"
+    [ -z "$target" ] && continue
+    if [ ! -e "$dir/$target" ]; then
+      echo "check_docs: broken link in $md -> $link" >&2
+      status=1
+    fi
+  done
+done
+
+# --- 2. file-level doc comments --------------------------------------------
+for header in src/obs/*.hpp src/tc/*.hpp; do
+  [ -e "$header" ] || continue
+  case "$(head -n 1 "$header")" in
+    //*) ;;
+    *)
+      echo "check_docs: $header lacks a file-level doc comment (first line must be //)" >&2
+      status=1
+      ;;
+  esac
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "check_docs: FAILED" >&2
+else
+  echo "check_docs: OK"
+fi
+exit "$status"

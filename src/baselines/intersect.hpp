@@ -6,12 +6,18 @@
 // replays (src/tc) can feed the exact access/branch stream into the hardware
 // models without duplicating algorithm code; the default NullProbe compiles
 // to nothing.
+//
+// The merge and gallop kernels additionally flush element-comparison and
+// fruitless-search totals to the per-thread obs counters (one flush per
+// call; see obs/counters.hpp). Building with LOTUS_OBS=0 turns the flush
+// into a no-op and the optimizer removes the local accumulators.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "obs/counters.hpp"
 #include "util/bitset.hpp"
 
 namespace lotus::baselines {
@@ -31,11 +37,13 @@ template <typename T, typename Probe = NullProbe>
 std::uint64_t intersect_merge(std::span<const T> a, std::span<const T> b,
                               Probe& probe = null_probe) {
   std::uint64_t count = 0;
+  std::uint64_t comparisons = 0;  // dead when LOTUS_OBS=0
   std::size_t i = 0, j = 0;
   while (i < a.size() && j < b.size()) {
     probe.read(&a[i], sizeof(T));
     probe.read(&b[j], sizeof(T));
     probe.op();
+    ++comparisons;
     const bool less = a[i] < b[j];
     probe.branch(0, less);
     if (less) {
@@ -52,6 +60,9 @@ std::uint64_t intersect_merge(std::span<const T> a, std::span<const T> b,
       }
     }
   }
+  obs::count(obs::Counter::kIntersectComparisons, comparisons);
+  if (count == 0 && comparisons > 0)
+    obs::count(obs::Counter::kFruitlessSearches);
   return count;
 }
 
@@ -62,6 +73,7 @@ std::uint64_t intersect_gallop(std::span<const T> a, std::span<const T> b,
                                Probe& probe = null_probe) {
   if (a.size() > b.size()) return intersect_gallop(b, a, probe);
   std::uint64_t count = 0;
+  std::uint64_t comparisons = 0;  // dead when LOTUS_OBS=0
   std::size_t lo = 0;
   for (const T& x : a) {
     probe.read(&x, sizeof(T));
@@ -70,6 +82,7 @@ std::uint64_t intersect_gallop(std::span<const T> a, std::span<const T> b,
     while (hi < b.size()) {
       probe.read(&b[hi], sizeof(T));
       probe.op();
+      ++comparisons;
       const bool keep_going = b[hi] < x;
       probe.branch(2, keep_going);
       if (!keep_going) break;
@@ -82,6 +95,7 @@ std::uint64_t intersect_gallop(std::span<const T> a, std::span<const T> b,
       const std::size_t mid = lo + (right - lo) / 2;
       probe.read(&b[mid], sizeof(T));
       probe.op();
+      ++comparisons;
       const bool go_right = b[mid] < x;
       probe.branch(3, go_right);
       if (go_right)
@@ -91,6 +105,7 @@ std::uint64_t intersect_gallop(std::span<const T> a, std::span<const T> b,
     }
     if (lo < b.size()) {
       probe.read(&b[lo], sizeof(T));
+      ++comparisons;
       if (b[lo] == x) {
         ++count;
         ++lo;
@@ -99,6 +114,9 @@ std::uint64_t intersect_gallop(std::span<const T> a, std::span<const T> b,
       break;  // every remaining a element exceeds b's maximum
     }
   }
+  obs::count(obs::Counter::kIntersectComparisons, comparisons);
+  if (count == 0 && comparisons > 0)
+    obs::count(obs::Counter::kFruitlessSearches);
   return count;
 }
 
@@ -130,6 +148,7 @@ std::uint64_t intersect_merge_branchless(std::span<const T> a,
                                          std::span<const T> b,
                                          Probe& probe = null_probe) {
   std::uint64_t count = 0;
+  std::uint64_t comparisons = 0;  // dead when LOTUS_OBS=0
   std::size_t i = 0, j = 0;
   while (i < a.size() && j < b.size()) {
     const T x = a[i];
@@ -137,10 +156,14 @@ std::uint64_t intersect_merge_branchless(std::span<const T> a,
     probe.read(&a[i], sizeof(T));
     probe.read(&b[j], sizeof(T));
     probe.op();
+    ++comparisons;
     count += x == y ? 1u : 0u;
     i += x <= y ? 1u : 0u;  // compiles to cmov/setcc, not a branch
     j += y <= x ? 1u : 0u;
   }
+  obs::count(obs::Counter::kIntersectComparisons, comparisons);
+  if (count == 0 && comparisons > 0)
+    obs::count(obs::Counter::kFruitlessSearches);
   return count;
 }
 

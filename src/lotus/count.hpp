@@ -14,6 +14,7 @@
 #include "baselines/intersect.hpp"
 #include "lotus/lotus_graph.hpp"
 #include "lotus/tiling.hpp"
+#include "obs/counters.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -62,8 +63,10 @@ HubPhaseCounts count_hhh_hhn(const LotusGraph& lg, const LotusConfig& config,
   for (auto& task : tasks) {
     jobs.emplace_back([&, segments = std::move(task)](unsigned thread_index) {
       HubPhaseCounts local;
+      std::uint64_t probes = 0;  // H2H test_bit calls; dead when LOTUS_OBS=0
       for (const HubTile& tile : segments) {
         auto list = he.neighbors(tile.v);
+        probes += pair_work(tile.begin, tile.end);
         std::uint64_t found = 0;
         for (std::uint32_t a = tile.begin; a < tile.end; ++a) {
           const std::uint16_t h1 = list[a];
@@ -82,6 +85,7 @@ HubPhaseCounts count_hhh_hhn(const LotusGraph& lg, const LotusConfig& config,
         }
         (lg.is_hub(tile.v) ? local.hhh : local.hhn) += found;
       }
+      obs::count(obs::Counter::kBitarrayProbes, probes);
       partial[thread_index].value.hhh += local.hhh;
       partial[thread_index].value.hhn += local.hhn;
     });

@@ -1,27 +1,43 @@
 #include "lotus/lotus.hpp"
 
 #include "lotus/count.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace lotus::core {
 
 LotusResult count_triangles_prepared(const LotusGraph& lg,
-                                     const LotusConfig& config) {
+                                     const LotusConfig& config,
+                                     obs::PhaseTracer* tracer) {
   LotusResult result;
   result.hub_count = lg.hub_count();
   result.he_edges = lg.he().num_edges();
   result.nhe_edges = lg.nhe().num_edges();
   result.topology_bytes = lg.topology_bytes();
 
+  obs::ScopedSpan count_span(tracer, "count");
+
   util::Timer timer;
-  const HubPhaseCounts hub_phase = count_hhh_hhn(lg, config);
+  {
+    obs::ScopedSpan span(tracer, "hhh_hhn");
+    const HubPhaseCounts hub_phase = count_hhh_hhn(lg, config);
+    result.hhh = hub_phase.hhh;
+    result.hhn = hub_phase.hhn;
+    if (tracer != nullptr) {
+      tracer->note("hhh", result.hhh);
+      tracer->note("hhn", result.hhn);
+    }
+  }
   result.hhh_hhn_s = timer.elapsed_s();
-  result.hhh = hub_phase.hhh;
-  result.hhn = hub_phase.hhn;
 
   if (config.fuse_hnn_nnn) {
     timer.reset();
-    const std::uint64_t fused = count_hnn_nnn_fused(lg);
+    std::uint64_t fused = 0;
+    {
+      obs::ScopedSpan span(tracer, "hnn_nnn_fused");
+      fused = count_hnn_nnn_fused(lg);
+      if (tracer != nullptr) tracer->note("hnn_nnn", fused);
+    }
     // Fused mode cannot attribute per type; report everything as HNN time.
     result.hnn_s = timer.elapsed_s();
     result.hnn = fused;  // hnn + nnn combined
@@ -31,11 +47,19 @@ LotusResult count_triangles_prepared(const LotusGraph& lg,
   }
 
   timer.reset();
-  result.hnn = count_hnn(lg);
+  {
+    obs::ScopedSpan span(tracer, "hnn");
+    result.hnn = count_hnn(lg);
+    if (tracer != nullptr) tracer->note("hnn", result.hnn);
+  }
   result.hnn_s = timer.elapsed_s();
 
   timer.reset();
-  result.nnn = count_nnn(lg);
+  {
+    obs::ScopedSpan span(tracer, "nnn");
+    result.nnn = count_nnn(lg);
+    if (tracer != nullptr) tracer->note("nnn", result.nnn);
+  }
   result.nnn_s = timer.elapsed_s();
 
   result.triangles = result.hhh + result.hhn + result.hnn + result.nnn;
@@ -43,11 +67,16 @@ LotusResult count_triangles_prepared(const LotusGraph& lg,
 }
 
 LotusResult count_triangles(const graph::CsrGraph& graph,
-                            const LotusConfig& config) {
+                            const LotusConfig& config,
+                            obs::PhaseTracer* tracer) {
   util::Timer timer;
-  const LotusGraph lg = LotusGraph::build(graph, config);
+  LotusGraph lg;
+  {
+    obs::ScopedSpan span(tracer, "preprocess");
+    lg = LotusGraph::build(graph, config, tracer);
+  }
   const double preprocess_s = timer.elapsed_s();
-  LotusResult result = count_triangles_prepared(lg, config);
+  LotusResult result = count_triangles_prepared(lg, config, tracer);
   result.preprocess_s = preprocess_s;
   return result;
 }

@@ -34,11 +34,17 @@ struct LotusResult {
 };
 
 /// End-to-end LOTUS: Alg. 2 preprocessing + Alg. 3 three-phase counting.
+/// A non-null `tracer` receives the full span tree of the run — "preprocess"
+/// (with relabel/partition/serialize children) and "count" (with
+/// hhh_hhn/hnn/nnn children) — matching the Fig.-6 breakdown; see
+/// docs/METRICS.md for the span names and their metadata.
 LotusResult count_triangles(const graph::CsrGraph& graph,
-                            const LotusConfig& config = {});
+                            const LotusConfig& config = {},
+                            obs::PhaseTracer* tracer = nullptr);
 
 /// Counting phases only, on a prebuilt LotusGraph (kernel benchmarking).
 LotusResult count_triangles_prepared(const LotusGraph& lotus_graph,
-                                     const LotusConfig& config = {});
+                                     const LotusConfig& config = {},
+                                     obs::PhaseTracer* tracer = nullptr);
 
 }  // namespace lotus::core

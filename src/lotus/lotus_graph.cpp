@@ -45,16 +45,24 @@ LotusGraph LotusGraph::from_parts(VertexId hub_count, TriangularBitArray h2h,
   return lg;
 }
 
-LotusGraph LotusGraph::build(const CsrGraph& graph, const LotusConfig& config) {
+LotusGraph LotusGraph::build(const CsrGraph& graph, const LotusConfig& config,
+                             obs::PhaseTracer* tracer) {
   LotusGraph lg;
   const VertexId n = graph.num_vertices();
   lg.num_vertices_ = n;
   lg.hub_count_ = config.resolve_hub_count(n);
   const VertexId hubs = lg.hub_count_;
 
-  const auto reorder_count = static_cast<VertexId>(std::max<std::uint64_t>(
-      hubs, static_cast<std::uint64_t>(config.relabel_fraction * n)));
-  lg.new_id_ = create_relabeling_array(graph, reorder_count);
+  {
+    obs::ScopedSpan span(tracer, "relabel");
+    const auto reorder_count = static_cast<VertexId>(std::max<std::uint64_t>(
+        hubs, static_cast<std::uint64_t>(config.relabel_fraction * n)));
+    lg.new_id_ = create_relabeling_array(graph, reorder_count);
+    if (tracer != nullptr) {
+      tracer->note("hub_count", static_cast<std::uint64_t>(hubs));
+      tracer->note("reorder_count", static_cast<std::uint64_t>(reorder_count));
+    }
+  }
 
   std::vector<VertexId> old_of_new(n);
   for (VertexId v = 0; v < n; ++v) old_of_new[lg.new_id_[v]] = v;
@@ -62,59 +70,70 @@ LotusGraph LotusGraph::build(const CsrGraph& graph, const LotusConfig& config) {
   // Pass 1: per-vertex HE/NHE degrees (Alg. 2 decides he vs nhe per edge).
   std::vector<std::uint64_t> he_offsets(static_cast<std::size_t>(n) + 1, 0);
   std::vector<std::uint64_t> nhe_offsets(static_cast<std::size_t>(n) + 1, 0);
-  parallel::parallel_for(0, n, 512,
-      [&](unsigned, std::uint64_t b, std::uint64_t e) {
-        for (std::uint64_t wi = b; wi < e; ++wi) {
-          const auto v_new = static_cast<VertexId>(wi);
-          const VertexId v_old = old_of_new[v_new];
-          std::uint64_t he_deg = 0, nhe_deg = 0;
-          for (VertexId u_old : graph.neighbors(v_old)) {
-            if (u_old == v_old) continue;  // self-edge
-            const VertexId u_new = lg.new_id_[u_old];
-            if (u_new > v_new) continue;  // symmetric edge
-            if (u_new < hubs)
-              ++he_deg;
-            else
-              ++nhe_deg;
+  {
+    obs::ScopedSpan span(tracer, "partition");
+    parallel::parallel_for(0, n, 512,
+        [&](unsigned, std::uint64_t b, std::uint64_t e) {
+          for (std::uint64_t wi = b; wi < e; ++wi) {
+            const auto v_new = static_cast<VertexId>(wi);
+            const VertexId v_old = old_of_new[v_new];
+            std::uint64_t he_deg = 0, nhe_deg = 0;
+            for (VertexId u_old : graph.neighbors(v_old)) {
+              if (u_old == v_old) continue;  // self-edge
+              const VertexId u_new = lg.new_id_[u_old];
+              if (u_new > v_new) continue;  // symmetric edge
+              if (u_new < hubs)
+                ++he_deg;
+              else
+                ++nhe_deg;
+            }
+            he_offsets[wi + 1] = he_deg;
+            nhe_offsets[wi + 1] = nhe_deg;
           }
-          he_offsets[wi + 1] = he_deg;
-          nhe_offsets[wi + 1] = nhe_deg;
-        }
-      });
-  std::partial_sum(he_offsets.begin(), he_offsets.end(), he_offsets.begin());
-  std::partial_sum(nhe_offsets.begin(), nhe_offsets.end(), nhe_offsets.begin());
+        });
+    std::partial_sum(he_offsets.begin(), he_offsets.end(), he_offsets.begin());
+    std::partial_sum(nhe_offsets.begin(), nhe_offsets.end(), nhe_offsets.begin());
+  }
 
   // Pass 2: fill, sort, and set H2H bits.
-  lg.h2h_ = TriangularBitArray(hubs);
-  std::vector<std::uint16_t> he_neighbors(he_offsets.back());
-  std::vector<VertexId> nhe_neighbors(nhe_offsets.back());
-  parallel::parallel_for(0, n, 512,
-      [&](unsigned, std::uint64_t b, std::uint64_t e) {
-        for (std::uint64_t wi = b; wi < e; ++wi) {
-          const auto v_new = static_cast<VertexId>(wi);
-          const VertexId v_old = old_of_new[v_new];
-          std::uint64_t he_out = he_offsets[wi];
-          std::uint64_t nhe_out = nhe_offsets[wi];
-          for (VertexId u_old : graph.neighbors(v_old)) {
-            if (u_old == v_old) continue;
-            const VertexId u_new = lg.new_id_[u_old];
-            if (u_new > v_new) continue;
-            if (u_new < hubs) {
-              he_neighbors[he_out++] = static_cast<std::uint16_t>(u_new);
-              if (v_new < hubs) lg.h2h_.set_atomic(v_new, u_new);
-            } else {
-              nhe_neighbors[nhe_out++] = u_new;
+  {
+    obs::ScopedSpan span(tracer, "serialize");
+    lg.h2h_ = TriangularBitArray(hubs);
+    std::vector<std::uint16_t> he_neighbors(he_offsets.back());
+    std::vector<VertexId> nhe_neighbors(nhe_offsets.back());
+    parallel::parallel_for(0, n, 512,
+        [&](unsigned, std::uint64_t b, std::uint64_t e) {
+          for (std::uint64_t wi = b; wi < e; ++wi) {
+            const auto v_new = static_cast<VertexId>(wi);
+            const VertexId v_old = old_of_new[v_new];
+            std::uint64_t he_out = he_offsets[wi];
+            std::uint64_t nhe_out = nhe_offsets[wi];
+            for (VertexId u_old : graph.neighbors(v_old)) {
+              if (u_old == v_old) continue;
+              const VertexId u_new = lg.new_id_[u_old];
+              if (u_new > v_new) continue;
+              if (u_new < hubs) {
+                he_neighbors[he_out++] = static_cast<std::uint16_t>(u_new);
+                if (v_new < hubs) lg.h2h_.set_atomic(v_new, u_new);
+              } else {
+                nhe_neighbors[nhe_out++] = u_new;
+              }
             }
+            std::sort(he_neighbors.begin() + static_cast<std::ptrdiff_t>(he_offsets[wi]),
+                      he_neighbors.begin() + static_cast<std::ptrdiff_t>(he_out));
+            std::sort(nhe_neighbors.begin() + static_cast<std::ptrdiff_t>(nhe_offsets[wi]),
+                      nhe_neighbors.begin() + static_cast<std::ptrdiff_t>(nhe_out));
           }
-          std::sort(he_neighbors.begin() + static_cast<std::ptrdiff_t>(he_offsets[wi]),
-                    he_neighbors.begin() + static_cast<std::ptrdiff_t>(he_out));
-          std::sort(nhe_neighbors.begin() + static_cast<std::ptrdiff_t>(nhe_offsets[wi]),
-                    nhe_neighbors.begin() + static_cast<std::ptrdiff_t>(nhe_out));
-        }
-      });
+        });
 
-  lg.he_ = graph::Csr16(std::move(he_offsets), std::move(he_neighbors));
-  lg.nhe_ = CsrGraph(std::move(nhe_offsets), std::move(nhe_neighbors));
+    lg.he_ = graph::Csr16(std::move(he_offsets), std::move(he_neighbors));
+    lg.nhe_ = CsrGraph(std::move(nhe_offsets), std::move(nhe_neighbors));
+    if (tracer != nullptr) {
+      tracer->note("he_edges", lg.he_.num_edges());
+      tracer->note("nhe_edges", lg.nhe_.num_edges());
+      tracer->note("topology_bytes", lg.topology_bytes());
+    }
+  }
   return lg;
 }
 

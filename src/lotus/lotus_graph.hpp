@@ -16,6 +16,7 @@
 #include "graph/csr.hpp"
 #include "lotus/config.hpp"
 #include "lotus/h2h_bitarray.hpp"
+#include "obs/trace.hpp"
 
 namespace lotus::core {
 
@@ -23,8 +24,10 @@ class LotusGraph {
  public:
   /// Alg. 2: relabel, split every lower-ID neighbour list into hub (HE) and
   /// non-hub (NHE) parts, and populate the H2H bit array. Runs in parallel
-  /// over vertices.
-  static LotusGraph build(const graph::CsrGraph& graph, const LotusConfig& config = {});
+  /// over vertices. A non-null `tracer` receives the "relabel", "partition"
+  /// and "serialize" sub-spans of the preprocessing breakdown.
+  static LotusGraph build(const graph::CsrGraph& graph, const LotusConfig& config = {},
+                          obs::PhaseTracer* tracer = nullptr);
 
   /// Reassemble from previously built parts (deserialization); validates
   /// structural consistency and throws std::invalid_argument on mismatch.

@@ -1,0 +1,131 @@
+#include "obs/counters.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+namespace lotus::obs {
+
+const char* counter_name(Counter counter) noexcept {
+  switch (counter) {
+    case Counter::kTasksExecuted: return "tasks_executed";
+    case Counter::kStealAttempts: return "steal_attempts";
+    case Counter::kSteals: return "steals";
+    case Counter::kSchedBusyNs: return "sched_busy_ns";
+    case Counter::kSchedIdleNs: return "sched_idle_ns";
+    case Counter::kParallelChunks: return "parallel_chunks";
+    case Counter::kIntersectComparisons: return "intersect_comparisons";
+    case Counter::kFruitlessSearches: return "fruitless_searches";
+    case Counter::kBitarrayProbes: return "bitarray_probes";
+    case Counter::kCount: break;
+  }
+  return "unknown";
+}
+
+#if LOTUS_OBS
+
+namespace {
+
+/// One cache line per thread; single-writer (the owning thread), read by
+/// snapshots, hence relaxed atomics rather than plain integers.
+struct alignas(64) ThreadBlock {
+  std::array<std::atomic<std::uint64_t>, kNumCounters> value{};
+  std::atomic<int> bound{-1};
+};
+
+/// Process-wide registry of live thread blocks plus totals of exited
+/// threads. Intentionally leaked so worker threads that unwind during static
+/// destruction can still retire their blocks safely.
+struct Registry {
+  std::mutex mutex;
+  std::vector<ThreadBlock*> blocks;
+  std::array<std::uint64_t, kNumCounters> retired{};
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // NOLINT: intentional leak, see above
+  return *r;
+}
+
+struct TlsHolder {
+  ThreadBlock block;
+
+  TlsHolder() {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.blocks.push_back(&block);
+  }
+
+  ~TlsHolder() {
+    Registry& r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    for (std::size_t i = 0; i < kNumCounters; ++i)
+      r.retired[i] += block.value[i].load(std::memory_order_relaxed);
+    r.blocks.erase(std::remove(r.blocks.begin(), r.blocks.end(), &block),
+                   r.blocks.end());
+  }
+};
+
+ThreadBlock& local_block() {
+  thread_local TlsHolder holder;
+  return holder.block;
+}
+
+}  // namespace
+
+void count(Counter counter, std::uint64_t n) {
+  std::atomic<std::uint64_t>& slot =
+      local_block().value[static_cast<std::size_t>(counter)];
+  // Single writer per slot: load+store beats fetch_add on the hot path.
+  slot.store(slot.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
+}
+
+void bind_thread(unsigned pool_index) {
+  local_block().bound.store(static_cast<int>(pool_index), std::memory_order_relaxed);
+}
+
+CountersSnapshot counters_snapshot() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  CountersSnapshot snapshot;
+  snapshot.total = r.retired;
+  for (const ThreadBlock* block : r.blocks) {
+    ThreadCounters tc;
+    tc.thread = block->bound.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < kNumCounters; ++i) {
+      tc.value[i] = block->value[i].load(std::memory_order_relaxed);
+      snapshot.total[i] += tc.value[i];
+    }
+    if (tc.thread >= 0) snapshot.threads.push_back(tc);
+  }
+  std::sort(snapshot.threads.begin(), snapshot.threads.end(),
+            [](const ThreadCounters& a, const ThreadCounters& b) {
+              return a.thread < b.thread;
+            });
+  // A pool index can be re-bound by a successor thread (pool resize between
+  // runs); merge duplicates so per-thread rows stay unique.
+  std::vector<ThreadCounters> merged;
+  for (const ThreadCounters& tc : snapshot.threads) {
+    if (!merged.empty() && merged.back().thread == tc.thread) {
+      for (std::size_t i = 0; i < kNumCounters; ++i)
+        merged.back().value[i] += tc.value[i];
+    } else {
+      merged.push_back(tc);
+    }
+  }
+  snapshot.threads = std::move(merged);
+  return snapshot;
+}
+
+void reset_counters() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.retired.fill(0);
+  for (ThreadBlock* block : r.blocks)
+    for (std::size_t i = 0; i < kNumCounters; ++i)
+      block->value[i].store(0, std::memory_order_relaxed);
+}
+
+#endif  // LOTUS_OBS
+
+}  // namespace lotus::obs

@@ -1,0 +1,100 @@
+// Per-thread performance counters for the runtime and the counting kernels.
+//
+// The paper's evaluation leans on exactly these numbers: steals and busy/idle
+// time ground the Table-9 load-balance claims, and the comparison /
+// fruitless-search / bit-array-probe counters are the Table-1/Fig.-5 style
+// work accounting. `obs::count()` adds to a thread-local slot, so hot loops
+// never contend; `counters_snapshot()` aggregates every live thread plus the
+// retired totals of exited threads.
+//
+// Overhead: with the build option LOTUS_OBS=0 (cmake -DLOTUS_OBS=0) every
+// function here is an inline empty stub — counters compile to no-ops, local
+// accumulators feeding them become dead code, and the library carries zero
+// runtime cost. With LOTUS_OBS=1 (the default) a count() is one thread-local
+// lookup plus one relaxed atomic add; kernels amortize further by
+// accumulating locally and flushing once per call.
+//
+// Thread-safety: count()/bind_thread() are safe from any thread (each writes
+// only its own cache-line-aligned block). counters_snapshot() may run
+// concurrently with counting and sees a consistent per-counter value (relaxed
+// reads; no cross-counter atomicity). reset_counters() should be called while
+// no parallel region is active — concurrent increments may survive the reset.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#ifndef LOTUS_OBS
+#define LOTUS_OBS 1
+#endif
+
+namespace lotus::obs {
+
+/// Every counter the runtime and kernels maintain. Names/units are part of
+/// the exported schema — see docs/METRICS.md before renumbering.
+enum class Counter : unsigned {
+  kTasksExecuted = 0,     // work-stealing scheduler tasks run to completion
+  kStealAttempts,         // victim deques probed (successful or not)
+  kSteals,                // successful steals (task taken from a victim)
+  kSchedBusyNs,           // nanoseconds spent inside scheduler task bodies
+  kSchedIdleNs,           // nanoseconds spent waiting/stealing in the scheduler
+  kParallelChunks,        // dynamic chunks claimed by parallel_for
+  kIntersectComparisons,  // element comparisons in the intersection kernels
+  kFruitlessSearches,     // intersections that examined input but matched nothing
+  kBitarrayProbes,        // H2H triangular bit-array membership tests (phase 1)
+  kCount
+};
+
+inline constexpr std::size_t kNumCounters = static_cast<std::size_t>(Counter::kCount);
+
+/// Stable schema name of a counter ("steals", "sched_busy_ns", ...).
+[[nodiscard]] const char* counter_name(Counter counter) noexcept;
+
+/// True when counters are compiled in (LOTUS_OBS != 0).
+[[nodiscard]] constexpr bool enabled() noexcept { return LOTUS_OBS != 0; }
+
+/// Counter values of one pool thread. `thread` is the pool index the thread
+/// bound via bind_thread (master = 0).
+struct ThreadCounters {
+  int thread = -1;
+  std::array<std::uint64_t, kNumCounters> value{};
+
+  [[nodiscard]] std::uint64_t operator[](Counter counter) const noexcept {
+    return value[static_cast<std::size_t>(counter)];
+  }
+};
+
+/// Point-in-time aggregation: process-wide totals (including threads that
+/// have exited) plus a per-thread breakdown of the currently bound threads,
+/// ascending by pool index.
+struct CountersSnapshot {
+  std::array<std::uint64_t, kNumCounters> total{};
+  std::vector<ThreadCounters> threads;
+
+  [[nodiscard]] std::uint64_t operator[](Counter counter) const noexcept {
+    return total[static_cast<std::size_t>(counter)];
+  }
+};
+
+#if LOTUS_OBS
+/// Add `n` to this thread's slot of `counter`.
+void count(Counter counter, std::uint64_t n = 1);
+
+/// Tag the calling thread with its pool index so snapshots can attribute
+/// per-thread rows. The thread pool calls this; user code rarely needs to.
+void bind_thread(unsigned pool_index);
+
+/// Aggregate all threads (live + retired) into one snapshot.
+[[nodiscard]] CountersSnapshot counters_snapshot();
+
+/// Zero every counter (live blocks and retired totals).
+void reset_counters();
+#else
+inline void count(Counter, std::uint64_t = 1) {}
+inline void bind_thread(unsigned) {}
+[[nodiscard]] inline CountersSnapshot counters_snapshot() { return {}; }
+inline void reset_counters() {}
+#endif
+
+}  // namespace lotus::obs

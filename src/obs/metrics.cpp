@@ -1,0 +1,164 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/format.hpp"
+
+namespace lotus::obs {
+
+namespace {
+
+void set_ordered(std::vector<std::pair<std::string, JsonValue>>& fields,
+                 std::string key, JsonValue value) {
+  for (auto& [k, v] : fields) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  fields.emplace_back(std::move(key), std::move(value));
+}
+
+JsonValue counters_to_json(const std::array<std::uint64_t, kNumCounters>& values) {
+  JsonValue object;
+  for (std::size_t i = 0; i < kNumCounters; ++i)
+    object.set(counter_name(static_cast<Counter>(i)), values[i]);
+  return object;
+}
+
+}  // namespace
+
+void MetricsRegistry::set_meta(std::string key, JsonValue value) {
+  set_ordered(meta_, std::move(key), std::move(value));
+}
+
+void MetricsRegistry::set_metric(std::string key, JsonValue value) {
+  set_ordered(metrics_, std::move(key), std::move(value));
+}
+
+void MetricsRegistry::set_counters(CountersSnapshot snapshot) {
+  counters_ = std::move(snapshot);
+  have_counters_ = true;
+}
+
+void MetricsRegistry::set_trace(const PhaseTracer& tracer) {
+  spans_ = tracer.spans();
+}
+
+JsonValue MetricsRegistry::to_json() const {
+  JsonValue root;
+  root.set("schema_version", kMetricsSchemaVersion);
+
+  JsonValue meta;
+  for (const auto& [k, v] : meta_) meta.set(k, v);
+  if (!meta.is_null()) root.set("meta", std::move(meta));
+
+  JsonValue metrics;
+  for (const auto& [k, v] : metrics_) metrics.set(k, v);
+  if (!metrics.is_null()) root.set("metrics", std::move(metrics));
+
+  // Span tree, built bottom-up: children always have larger indices than
+  // their parents (begin() order), so one reverse pass completes subtrees
+  // before they are grafted onto their parents.
+  std::vector<JsonValue> nodes(spans_.size());
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    JsonValue node;
+    node.set("name", spans_[i].name);
+    node.set("start_s", spans_[i].start_s);
+    node.set("seconds", spans_[i].seconds);
+    if (!spans_[i].notes.empty()) {
+      JsonValue notes;
+      for (const auto& [k, v] : spans_[i].notes) notes.set(k, v);
+      node.set("notes", std::move(notes));
+    }
+    nodes[i] = std::move(node);
+  }
+  std::vector<JsonValue::Array> pending(spans_.size());
+  for (std::size_t i = spans_.size(); i-- > 0;) {
+    if (!pending[i].empty()) {
+      std::reverse(pending[i].begin(), pending[i].end());  // back to begin() order
+      nodes[i].set("children", JsonValue{std::move(pending[i])});
+    }
+    if (spans_[i].parent != PhaseTracer::npos)
+      pending[spans_[i].parent].push_back(std::move(nodes[i]));
+  }
+  JsonValue span_roots{JsonValue::Array{}};
+  for (std::size_t i = 0; i < spans_.size(); ++i)
+    if (spans_[i].parent == PhaseTracer::npos)
+      span_roots.push_back(std::move(nodes[i]));
+  root.set("spans", std::move(span_roots));
+
+  if (have_counters_) {
+    JsonValue counters;
+    counters.set("total", counters_to_json(counters_.total));
+    JsonValue per_thread{JsonValue::Array{}};
+    for (const ThreadCounters& tc : counters_.threads) {
+      JsonValue row;
+      row.set("thread", static_cast<std::int64_t>(tc.thread));
+      for (std::size_t i = 0; i < kNumCounters; ++i)
+        row.set(counter_name(static_cast<Counter>(i)), tc.value[i]);
+      per_thread.push_back(std::move(row));
+    }
+    counters.set("per_thread", std::move(per_thread));
+    root.set("counters", std::move(counters));
+  }
+  return root;
+}
+
+std::string MetricsRegistry::to_json_string(int indent) const {
+  return to_json().dump(indent);
+}
+
+namespace {
+
+std::string csv_escape(const std::string& value) {
+  if (value.find_first_of(",\"\n") == std::string::npos) return value;
+  std::string out = "\"";
+  for (const char c : value) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string scalar_to_csv(const JsonValue& value) {
+  if (value.type() == JsonValue::Type::kString) return csv_escape(value.as_string());
+  return value.dump();
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_csv() const {
+  std::string out = "section,name,value\n";
+  out += "schema,version," + std::string(kMetricsSchemaVersion) + "\n";
+  for (const auto& [k, v] : meta_)
+    out += "meta," + csv_escape(k) + "," + scalar_to_csv(v) + "\n";
+  for (const auto& [k, v] : metrics_)
+    out += "metric," + csv_escape(k) + "," + scalar_to_csv(v) + "\n";
+
+  // Spans flattened to slash-joined paths; notes ride along as span_note.
+  std::vector<std::string> paths(spans_.size());
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    paths[i] = spans_[i].parent == PhaseTracer::npos
+                   ? spans_[i].name
+                   : paths[spans_[i].parent] + "/" + spans_[i].name;
+    out += "span," + csv_escape(paths[i]) + "," + util::fixed(spans_[i].seconds, 6) + "\n";
+    for (const auto& [k, v] : spans_[i].notes)
+      out += "span_note," + csv_escape(paths[i] + "." + k) + "," + csv_escape(v) + "\n";
+  }
+
+  if (have_counters_) {
+    for (std::size_t i = 0; i < kNumCounters; ++i)
+      out += "counter,total." + std::string(counter_name(static_cast<Counter>(i))) +
+             "," + std::to_string(counters_.total[i]) + "\n";
+    for (const ThreadCounters& tc : counters_.threads)
+      for (std::size_t i = 0; i < kNumCounters; ++i)
+        out += "counter,thread" + std::to_string(tc.thread) + "." +
+               counter_name(static_cast<Counter>(i)) + "," +
+               std::to_string(tc.value[i]) + "\n";
+  }
+  return out;
+}
+
+}  // namespace lotus::obs

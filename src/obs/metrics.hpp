@@ -1,0 +1,66 @@
+// MetricsRegistry: one run's observability data behind a versioned schema.
+//
+// A registry collects the four report sections — `meta` (identity: algorithm,
+// graph, threads), `metrics` (scalar results: triangles, seconds, rates),
+// `spans` (the PhaseTracer tree) and `counters` (totals + per-thread) — and
+// exports them as JSON (schema "lotus-metrics/1", specified in
+// docs/METRICS.md) or flat CSV. Every bench and the tc_profile example emit
+// their numbers through this type, so reports are comparable across
+// algorithms and PRs.
+//
+// Thread-safety: a registry is a single-threaded builder object; assemble it
+// on one thread after the parallel work has finished. Exporting does not
+// mutate and may be repeated.
+//
+// Overhead: none on counting paths — a registry only exists at report
+// boundaries. Building with LOTUS_OBS=0 leaves this type fully functional;
+// the counters section is simply empty (see obs/counters.hpp).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/counters.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace lotus::obs {
+
+/// Version tag stamped into every export; bump when the layout or the
+/// counter names change (docs/METRICS.md is the changelog).
+inline constexpr const char* kMetricsSchemaVersion = "lotus-metrics/1";
+
+class MetricsRegistry {
+ public:
+  /// Identity fields ("algorithm", "graph", ...). Insertion-ordered;
+  /// re-setting a key overwrites.
+  void set_meta(std::string key, JsonValue value);
+
+  /// Scalar results ("triangles", "total_s", ...). Same semantics as meta.
+  void set_metric(std::string key, JsonValue value);
+
+  /// Attach a counters snapshot (obs::counters_snapshot()).
+  void set_counters(CountersSnapshot snapshot);
+
+  /// Attach the span tree (copies the tracer's spans).
+  void set_trace(const PhaseTracer& tracer);
+
+  /// Full report as a JSON document (see docs/METRICS.md for the schema).
+  [[nodiscard]] JsonValue to_json() const;
+
+  /// to_json() serialized; `indent` as in JsonValue::dump.
+  [[nodiscard]] std::string to_json_string(int indent = 2) const;
+
+  /// Flat "section,name,value" rows; spans are path-joined ("count/hnn").
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::pair<std::string, JsonValue>> meta_;
+  std::vector<std::pair<std::string, JsonValue>> metrics_;
+  CountersSnapshot counters_;
+  bool have_counters_ = false;
+  std::vector<PhaseTracer::Span> spans_;
+};
+
+}  // namespace lotus::obs

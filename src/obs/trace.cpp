@@ -1,0 +1,75 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+namespace lotus::obs {
+
+std::size_t PhaseTracer::begin(std::string name) {
+  Span span;
+  span.name = std::move(name);
+  span.start_s = clock_.elapsed_s();
+  span.parent = open_stack_.empty() ? npos : open_stack_.back();
+  span.depth = open_stack_.empty()
+                   ? 0u
+                   : spans_[open_stack_.back()].depth + 1u;
+  span.open = true;
+  const std::size_t id = spans_.size();
+  spans_.push_back(std::move(span));
+  open_stack_.push_back(id);
+  return id;
+}
+
+void PhaseTracer::end() {
+  if (open_stack_.empty()) return;
+  Span& span = spans_[open_stack_.back()];
+  span.seconds = clock_.elapsed_s() - span.start_s;
+  span.open = false;
+  open_stack_.pop_back();
+}
+
+std::size_t PhaseTracer::leaf(std::string name, double seconds) {
+  Span span;
+  span.name = std::move(name);
+  span.seconds = std::max(0.0, seconds);
+  // Best-effort start: the measured interval just finished.
+  span.start_s = std::max(0.0, clock_.elapsed_s() - span.seconds);
+  span.parent = open_stack_.empty() ? npos : open_stack_.back();
+  span.depth = open_stack_.empty()
+                   ? 0u
+                   : spans_[open_stack_.back()].depth + 1u;
+  span.open = false;
+  spans_.push_back(std::move(span));
+  return spans_.size() - 1;
+}
+
+void PhaseTracer::note(std::string key, std::string value) {
+  Span* target = nullptr;
+  if (!open_stack_.empty())
+    target = &spans_[open_stack_.back()];
+  else if (!spans_.empty())
+    target = &spans_.back();
+  if (target == nullptr) return;
+  target->notes.emplace_back(std::move(key), std::move(value));
+}
+
+const PhaseTracer::Span* PhaseTracer::find(std::string_view name) const noexcept {
+  for (const Span& span : spans_)
+    if (span.name == name) return &span;
+  return nullptr;
+}
+
+double PhaseTracer::total_s(std::string_view name) const noexcept {
+  double total = 0.0;
+  for (const Span& span : spans_)
+    if (span.name == name) total += span.seconds;
+  return total;
+}
+
+std::vector<std::size_t> PhaseTracer::children(std::size_t id) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < spans_.size(); ++i)
+    if (spans_[i].parent == id) out.push_back(i);
+  return out;
+}
+
+}  // namespace lotus::obs

@@ -1,0 +1,108 @@
+// PhaseTracer: a named, nestable span tree with wall times and metadata.
+//
+// This is the structured replacement for the ad-hoc util::Timer pairs the
+// benches used to carry: code brackets a region with begin()/end() (or a
+// ScopedSpan), spans nest to form the preprocess → relabel/partition/serialize
+// and count → hhh_hhn/hnn/nnn trees of the paper's Fig.-6 breakdown, and each
+// span can carry key/value notes (triangle counts, hub counts, ...).
+//
+// Overhead: a span is one steady_clock read at begin and one at end plus a
+// vector push — nanoseconds against the millisecond-scale phases it brackets.
+// Tracing is opt-in per call site: every instrumented function takes a
+// `PhaseTracer*` defaulting to nullptr, and a null tracer costs one pointer
+// test (ScopedSpan does the check). Tracing is NOT affected by the LOTUS_OBS
+// macro; only the counters are (obs/counters.hpp).
+//
+// Thread-safety: a PhaseTracer is single-threaded by design — one tracer
+// belongs to the orchestrating thread of a run; parallel kernels report via
+// the per-thread counters instead. Concurrent begin/end on one tracer is a
+// data race.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/format.hpp"
+#include "util/timer.hpp"
+
+namespace lotus::obs {
+
+class PhaseTracer {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  struct Span {
+    std::string name;
+    double start_s = 0.0;    // offset from tracer construction
+    double seconds = 0.0;    // duration (valid once closed)
+    std::size_t parent = npos;
+    unsigned depth = 0;      // 0 = root
+    bool open = false;
+    std::vector<std::pair<std::string, std::string>> notes;
+  };
+
+  /// Open a span nested under the innermost open span; returns its id
+  /// (index into spans(), stable for the tracer's lifetime).
+  std::size_t begin(std::string name);
+
+  /// Close the innermost open span. No-op if none is open.
+  void end();
+
+  /// Record an already-timed child span of the innermost open span (used to
+  /// graft externally measured durations, e.g. baseline phase timings).
+  std::size_t leaf(std::string name, double seconds);
+
+  /// Attach metadata to the innermost open span, or to the most recently
+  /// created span when none is open. Dropped if there are no spans.
+  void note(std::string key, std::string value);
+  void note(std::string key, std::uint64_t value) {
+    note(std::move(key), std::to_string(value));
+  }
+  void note(std::string key, double value) {
+    note(std::move(key), util::fixed(value, 6));
+  }
+
+  /// All spans in begin() order (parents precede their children).
+  [[nodiscard]] const std::vector<Span>& spans() const noexcept { return spans_; }
+
+  /// First span with this name, in begin() order; nullptr if absent.
+  [[nodiscard]] const Span* find(std::string_view name) const noexcept;
+
+  /// Sum of `seconds` over all spans with this name (phases may repeat).
+  [[nodiscard]] double total_s(std::string_view name) const noexcept;
+
+  /// Ids of the direct children of span `id` (npos → roots), in order.
+  [[nodiscard]] std::vector<std::size_t> children(std::size_t id) const;
+
+  /// Seconds since the tracer was constructed.
+  [[nodiscard]] double elapsed_s() const { return clock_.elapsed_s(); }
+
+ private:
+  util::Timer clock_;
+  std::vector<Span> spans_;
+  std::vector<std::size_t> open_stack_;
+};
+
+/// RAII span bracket. Tolerates a null tracer so instrumentation stays one
+/// line at call sites that may run untraced.
+class ScopedSpan {
+ public:
+  ScopedSpan(PhaseTracer* tracer, std::string name) : tracer_(tracer) {
+    if (tracer_ != nullptr) tracer_->begin(std::move(name));
+  }
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) tracer_->end();
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  PhaseTracer* tracer_;
+};
+
+}  // namespace lotus::obs

@@ -15,6 +15,7 @@
 #include <omp.h>
 #endif
 
+#include "obs/counters.hpp"
 #include "parallel/padded.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -72,19 +73,23 @@ void parallel_for(std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
 #endif
   ThreadPool& pool = default_pool();
   if (pool.size() == 1 || end - begin <= grain) {
+    obs::count(obs::Counter::kParallelChunks);
     fn(0u, begin, end);
     return;
   }
   std::atomic<std::uint64_t> cursor{begin};
   pool.execute([&](unsigned thread_index) {
+    std::uint64_t chunks = 0;  // dead when LOTUS_OBS=0
     for (;;) {
       const std::uint64_t chunk_begin =
           cursor.fetch_add(grain, std::memory_order_relaxed);
       if (chunk_begin >= end) break;
       const std::uint64_t chunk_end =
           chunk_begin + grain < end ? chunk_begin + grain : end;
+      ++chunks;
       fn(thread_index, chunk_begin, chunk_end);
     }
+    obs::count(obs::Counter::kParallelChunks, chunks);
   });
 }
 

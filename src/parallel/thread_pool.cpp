@@ -1,10 +1,12 @@
 #include "parallel/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <mutex>
 #include <random>
 
+#include "obs/counters.hpp"
 #include "util/prng.hpp"
 #include "util/timer.hpp"
 
@@ -27,6 +29,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::execute(const std::function<void(unsigned)>& fn) {
+  obs::bind_thread(0);  // the caller is pool thread 0 for this fork-join
   if (num_threads_ == 1) {
     fn(0);
     return;
@@ -45,6 +48,7 @@ void ThreadPool::execute(const std::function<void(unsigned)>& fn) {
 }
 
 void ThreadPool::worker_loop(unsigned index) {
+  obs::bind_thread(index);
   std::uint64_t seen_generation = 0;
   for (;;) {
     const std::function<void(unsigned)>* job = nullptr;
@@ -106,8 +110,12 @@ std::vector<double> WorkStealingScheduler::run(std::vector<Task> tasks) {
 
   pool_.execute([&](unsigned thread_index) {
     util::Xoshiro256 rng(0x5eedULL + thread_index);
+    util::Timer wall;
     Task task;
     double local_busy = 0.0;
+    // Dead when LOTUS_OBS=0: the flush below becomes a no-op and the
+    // optimizer strips the accumulators.
+    std::uint64_t tasks_run = 0, steal_attempts = 0, steals = 0;
     while (outstanding.load(std::memory_order_acquire) != 0) {
       bool got = deques[thread_index]->pop_front(task);
       if (!got) {
@@ -116,19 +124,30 @@ std::vector<double> WorkStealingScheduler::run(std::vector<Task> tasks) {
         for (unsigned probe = 0; probe < n && !got; ++probe) {
           const unsigned victim = (start + probe) % n;
           if (victim == thread_index) continue;
+          ++steal_attempts;
           got = deques[victim]->steal_back(task);
         }
+        if (got) ++steals;
       }
       if (got) {
         util::Timer t;
         task(thread_index);
         local_busy += t.elapsed_s();
+        ++tasks_run;
         outstanding.fetch_sub(1, std::memory_order_acq_rel);
       } else {
         std::this_thread::yield();
       }
     }
     busy_s[thread_index].value = local_busy;
+    obs::count(obs::Counter::kTasksExecuted, tasks_run);
+    obs::count(obs::Counter::kStealAttempts, steal_attempts);
+    obs::count(obs::Counter::kSteals, steals);
+    obs::count(obs::Counter::kSchedBusyNs,
+               static_cast<std::uint64_t>(local_busy * 1e9));
+    obs::count(obs::Counter::kSchedIdleNs,
+               static_cast<std::uint64_t>(
+                   std::max(0.0, wall.elapsed_s() - local_busy) * 1e9));
   });
 
   std::vector<double> out(n);

@@ -4,6 +4,7 @@
 #include "baselines/tc_baselines.hpp"
 #include "lotus/adaptive.hpp"
 #include "lotus/lotus.hpp"
+#include "parallel/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace lotus::tc {
@@ -11,6 +12,13 @@ namespace lotus::tc {
 namespace {
 RunResult from_baseline(const baselines::TcResult& r) {
   return {r.triangles, r.preprocess_s, r.count_s};
+}
+
+// Record the coarse two-phase timing of an already-finished run as leaf
+// spans, so every algorithm produces a span tree even without fine tracing.
+void leaf_spans(obs::PhaseTracer& trace, const RunResult& r) {
+  if (r.preprocess_s > 0.0) trace.leaf("preprocess", r.preprocess_s);
+  trace.leaf("count", r.count_s);
 }
 }  // namespace
 
@@ -59,6 +67,66 @@ RunResult run(Algorithm algorithm, const graph::CsrGraph& graph,
     }
   }
   return {};
+}
+
+ProfileReport run_profiled(Algorithm algorithm, const graph::CsrGraph& graph,
+                           const core::LotusConfig& config) {
+  obs::reset_counters();
+
+  ProfileReport report;
+  report.algorithm = algorithm;
+  report.vertices = graph.num_vertices();
+  report.edges = graph.num_edges() / 2;
+  report.threads = parallel::default_pool().size();
+
+  switch (algorithm) {
+    case Algorithm::kLotus: {
+      const core::LotusResult r =
+          core::count_triangles(graph, config, &report.trace);
+      report.result = {r.triangles, r.preprocess_s, r.count_s()};
+      break;
+    }
+    case Algorithm::kAdaptive: {
+      const core::AdaptiveResult r = core::adaptive_count(graph, config);
+      report.result = {r.triangles, r.preprocess_s, r.count_s};
+      leaf_spans(report.trace, report.result);
+      report.trace.note("chosen_algorithm",
+                        r.algorithm == core::ChosenAlgorithm::kLotus
+                            ? "lotus"
+                            : "forward");
+      break;
+    }
+    default: {
+      report.result = run(algorithm, graph, config);
+      leaf_spans(report.trace, report.result);
+      break;
+    }
+  }
+
+  report.counters = obs::counters_snapshot();
+  return report;
+}
+
+obs::MetricsRegistry ProfileReport::metrics() const {
+  obs::MetricsRegistry registry;
+  registry.set_meta("algorithm", name(algorithm));
+  registry.set_meta("vertices", vertices);
+  registry.set_meta("edges", edges);
+  registry.set_meta("threads", static_cast<std::uint64_t>(threads));
+  registry.set_meta("obs_enabled", obs::enabled());
+  registry.set_metric("triangles", result.triangles);
+  registry.set_metric("preprocess_s", result.preprocess_s);
+  registry.set_metric("count_s", result.count_s);
+  registry.set_metric("total_s", result.total_s());
+  registry.set_metric("triangles_per_s", result.triangles_per_s());
+  registry.set_metric("edges_per_s", edges_per_s(edges, result.total_s()));
+  registry.set_trace(trace);
+  registry.set_counters(counters);
+  return registry;
+}
+
+std::string ProfileReport::to_json(int indent) const {
+  return metrics().to_json_string(indent);
 }
 
 std::string name(Algorithm algorithm) {

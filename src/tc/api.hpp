@@ -3,6 +3,18 @@
 // One entry point over LOTUS and every baseline, so benches, tests and
 // examples can sweep algorithms uniformly. The enum names note which
 // framework of the paper's evaluation (Sec. 5.1.4) each kernel stands in for.
+//
+// Thread-safety: run() and run_profiled() drive the process-wide thread pool
+// (parallel::default_pool) and the process-wide observability counters, so at
+// most one run may execute at a time; calling either concurrently from two
+// threads gives interleaved counters and a racing pool. Results returned by
+// value are immutable afterwards and safe to share.
+//
+// Overhead: run() adds two util::Timer reads per algorithm over calling the
+// kernel directly. run_profiled() additionally resets/snapshots the global
+// counters and records O(#phases) spans — a handful of clock reads per run,
+// independent of graph size. With LOTUS_OBS=0 the counter snapshot is empty
+// but the span tree is still recorded (see obs/counters.hpp).
 #pragma once
 
 #include <cstdint>
@@ -12,6 +24,9 @@
 
 #include "graph/csr.hpp"
 #include "lotus/config.hpp"
+#include "obs/counters.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace lotus::tc {
 
@@ -37,11 +52,51 @@ struct RunResult {
   double count_s = 0.0;
 
   [[nodiscard]] double total_s() const { return preprocess_s + count_s; }
+
+  /// End-to-end counting rate (triangles per second over preprocess + count);
+  /// 0 when the run was too fast to time.
+  [[nodiscard]] double triangles_per_s() const {
+    const double t = total_s();
+    return t > 0.0 ? static_cast<double>(triangles) / t : 0.0;
+  }
 };
+
+/// Canonical edge-rate formula shared by the benches: undirected edges
+/// processed per second. Returns 0 when `seconds` is not positive.
+[[nodiscard]] inline double edges_per_s(std::uint64_t undirected_edges,
+                                        double seconds) {
+  return seconds > 0.0 ? static_cast<double>(undirected_edges) / seconds : 0.0;
+}
 
 /// End-to-end run (preprocessing + counting) of one algorithm.
 RunResult run(Algorithm algorithm, const graph::CsrGraph& graph,
               const core::LotusConfig& config = {});
+
+/// Everything one run produced: the RunResult plus the span tree and the
+/// per-thread counter snapshot taken over exactly this run. Exported via
+/// metrics() / to_json() in the versioned "lotus-metrics/1" schema
+/// (docs/METRICS.md).
+struct ProfileReport {
+  Algorithm algorithm = Algorithm::kLotus;
+  RunResult result;
+  obs::PhaseTracer trace;
+  obs::CountersSnapshot counters;
+  std::uint64_t vertices = 0;
+  std::uint64_t edges = 0;  // undirected edge count
+  unsigned threads = 0;
+
+  /// Assemble the full MetricsRegistry (meta + metrics + spans + counters).
+  [[nodiscard]] obs::MetricsRegistry metrics() const;
+  /// Shorthand for metrics().to_json_string(indent).
+  [[nodiscard]] std::string to_json(int indent = 2) const;
+};
+
+/// Like run(), but resets the global observability counters first and
+/// captures the span tree + counter snapshot of the run. LOTUS and the
+/// adaptive variant emit their full phase breakdown; baselines emit
+/// "preprocess"/"count" leaf spans from their coarse timings.
+ProfileReport run_profiled(Algorithm algorithm, const graph::CsrGraph& graph,
+                           const core::LotusConfig& config = {});
 
 [[nodiscard]] std::string name(Algorithm algorithm);
 [[nodiscard]] std::optional<Algorithm> parse(const std::string& name);

@@ -1,6 +1,15 @@
 // Instrumented replays: run Forward and LOTUS single-threaded against a
 // hardware model, producing the counter comparisons of Figs. 4/5 and the
 // H2H cacheline-access histogram of Fig. 9.
+//
+// Thread-safety: the replays share one stateful, unsynchronized PerfModel,
+// so each call must run single-threaded (callers set
+// parallel::set_num_threads(1)); do not run two replays concurrently.
+//
+// Overhead: a replay feeds every memory read, comparison, and branch through
+// the model — orders of magnitude slower than the native kernels. These
+// functions exist for the simulation benches only; the cheap production-path
+// instrumentation lives in src/obs (see obs/counters.hpp).
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,263 @@
+// Observability layer: PhaseTracer span trees, per-thread counters, JSON
+// round-trips, metrics export, and the tc::run_profiled regression that span
+// totals reconstruct the end-to-end time.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "obs/counters.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "parallel/thread_pool.hpp"
+#include "tc/api.hpp"
+
+namespace {
+
+namespace g = lotus::graph;
+namespace obs = lotus::obs;
+namespace tc = lotus::tc;
+
+using obs::JsonValue;
+using obs::PhaseTracer;
+
+TEST(PhaseTracer, NestingAndOrdering) {
+  PhaseTracer tracer;
+  const auto outer = tracer.begin("outer");
+  const auto first = tracer.begin("first");
+  tracer.end();
+  const auto second = tracer.begin("second");
+  tracer.end();
+  const auto grafted = tracer.leaf("grafted", 1.5);
+  tracer.end();
+
+  const auto& spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[outer].name, "outer");
+  EXPECT_EQ(spans[outer].parent, PhaseTracer::npos);
+  EXPECT_EQ(spans[outer].depth, 0u);
+  EXPECT_FALSE(spans[outer].open);
+
+  for (std::size_t child : {first, second, grafted}) {
+    EXPECT_EQ(spans[child].parent, outer);
+    EXPECT_EQ(spans[child].depth, 1u);
+  }
+  EXPECT_EQ(tracer.children(outer), (std::vector<std::size_t>{first, second, grafted}));
+  EXPECT_EQ(tracer.children(PhaseTracer::npos), std::vector<std::size_t>{outer});
+
+  EXPECT_DOUBLE_EQ(spans[grafted].seconds, 1.5);
+  // Children started within the parent and the parent covers them.
+  EXPECT_GE(spans[first].start_s, spans[outer].start_s);
+  EXPECT_LE(spans[second].start_s + spans[second].seconds,
+            spans[outer].start_s + spans[outer].seconds + 1e-9);
+}
+
+TEST(PhaseTracer, FindAndTotals) {
+  PhaseTracer tracer;
+  tracer.leaf("phase", 0.25);
+  tracer.leaf("phase", 0.5);
+  tracer.leaf("other", 1.0);
+  ASSERT_NE(tracer.find("phase"), nullptr);
+  EXPECT_DOUBLE_EQ(tracer.find("phase")->seconds, 0.25);  // first in order
+  EXPECT_DOUBLE_EQ(tracer.total_s("phase"), 0.75);
+  EXPECT_DOUBLE_EQ(tracer.total_s("absent"), 0.0);
+  EXPECT_EQ(tracer.find("absent"), nullptr);
+}
+
+TEST(PhaseTracer, NotesAttachToInnermostOpenSpan) {
+  PhaseTracer tracer;
+  tracer.begin("outer");
+  tracer.begin("inner");
+  tracer.note("k", std::uint64_t{7});
+  tracer.end();
+  tracer.note("outer_key", "v");
+  tracer.end();
+  tracer.note("post", 1.25);  // no open span: goes to the last span created
+
+  const auto& spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  ASSERT_EQ(spans[1].notes.size(), 2u);
+  EXPECT_EQ(spans[1].notes[0], (std::pair<std::string, std::string>{"k", "7"}));
+  EXPECT_EQ(spans[1].notes[1].first, "post");
+  ASSERT_EQ(spans[0].notes.size(), 1u);
+  EXPECT_EQ(spans[0].notes[0].first, "outer_key");
+}
+
+TEST(PhaseTracer, ScopedSpanToleratesNullTracer) {
+  { lotus::obs::ScopedSpan span(nullptr, "nothing"); }
+  PhaseTracer tracer;
+  { lotus::obs::ScopedSpan span(&tracer, "something"); }
+  ASSERT_EQ(tracer.spans().size(), 1u);
+  EXPECT_FALSE(tracer.spans()[0].open);
+}
+
+TEST(Counters, AggregatesAcrossPoolThreads) {
+  if (!obs::enabled()) GTEST_SKIP() << "built with LOTUS_OBS=0";
+  obs::reset_counters();
+  lotus::parallel::ThreadPool pool(4);
+  pool.execute([](unsigned thread) {
+    obs::count(obs::Counter::kFruitlessSearches, thread + 1);
+  });
+  const auto snapshot = obs::counters_snapshot();
+  EXPECT_EQ(snapshot[obs::Counter::kFruitlessSearches], 1u + 2u + 3u + 4u);
+
+  // Per-thread rows are keyed by ascending pool index and sum to the total.
+  std::uint64_t per_thread_sum = 0;
+  int last_index = -1;
+  for (const auto& row : snapshot.threads) {
+    EXPECT_GT(row.thread, last_index);
+    last_index = row.thread;
+    per_thread_sum += row[obs::Counter::kFruitlessSearches];
+  }
+  EXPECT_EQ(per_thread_sum, snapshot[obs::Counter::kFruitlessSearches]);
+
+  obs::reset_counters();
+  EXPECT_EQ(obs::counters_snapshot()[obs::Counter::kFruitlessSearches], 0u);
+}
+
+TEST(Counters, SchedulerCountsExecutedTasks) {
+  if (!obs::enabled()) GTEST_SKIP() << "built with LOTUS_OBS=0";
+  obs::reset_counters();
+  lotus::parallel::ThreadPool pool(2);
+  lotus::parallel::WorkStealingScheduler scheduler(pool);
+  std::vector<lotus::parallel::WorkStealingScheduler::Task> tasks;
+  for (int i = 0; i < 37; ++i) tasks.emplace_back([](unsigned) {});
+  scheduler.run(std::move(tasks));
+  const auto snapshot = obs::counters_snapshot();
+  EXPECT_EQ(snapshot[obs::Counter::kTasksExecuted], 37u);
+  EXPECT_GT(snapshot[obs::Counter::kSchedBusyNs] + snapshot[obs::Counter::kSchedIdleNs], 0u);
+}
+
+TEST(Json, RoundTripPreservesExactValues) {
+  JsonValue doc;
+  doc.set("big", (std::uint64_t{1} << 62) + 3);
+  doc.set("negative", std::int64_t{-42});
+  doc.set("pi", 3.25);
+  doc.set("flag", true);
+  doc.set("nothing", JsonValue());
+  doc.set("text", "line\n\"quoted\"\ttab\\slash");
+  JsonValue::Array list;
+  list.emplace_back(1);
+  list.emplace_back("two");
+  JsonValue nested;
+  nested.set("inner", std::uint64_t{7});
+  list.emplace_back(nested);
+  doc.set("list", std::move(list));
+
+  for (int indent : {-1, 0, 2}) {
+    const JsonValue reparsed = JsonValue::parse(doc.dump(indent));
+    EXPECT_EQ(reparsed, doc) << "indent=" << indent;
+    EXPECT_EQ(reparsed.find("big")->as_uint(), (std::uint64_t{1} << 62) + 3);
+  }
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_THROW(JsonValue::parse("{"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("{} trailing"), std::runtime_error);
+  EXPECT_THROW(JsonValue::parse("\"unterminated"), std::runtime_error);
+}
+
+TEST(Metrics, ExportHasAllSchemaSections) {
+  obs::MetricsRegistry registry;
+  registry.set_meta("algorithm", "lotus");
+  registry.set_metric("triangles", std::uint64_t{12});
+  PhaseTracer tracer;
+  tracer.begin("preprocess");
+  tracer.begin("relabel");
+  tracer.note("hub_count", std::uint64_t{3});
+  tracer.end();
+  tracer.end();
+  registry.set_trace(tracer);
+  registry.set_counters(obs::counters_snapshot());
+
+  const JsonValue doc = registry.to_json();
+  ASSERT_NE(doc.find("schema_version"), nullptr);
+  EXPECT_EQ(doc.find("schema_version")->as_string(), obs::kMetricsSchemaVersion);
+  ASSERT_NE(doc.find("meta"), nullptr);
+  EXPECT_EQ(doc.find("meta")->find("algorithm")->as_string(), "lotus");
+  ASSERT_NE(doc.find("metrics"), nullptr);
+  EXPECT_EQ(doc.find("metrics")->find("triangles")->as_uint(), 12u);
+
+  const JsonValue* spans = doc.find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_EQ(spans->array().size(), 1u);
+  const JsonValue& preprocess = spans->array()[0];
+  EXPECT_EQ(preprocess.find("name")->as_string(), "preprocess");
+  const JsonValue* children = preprocess.find("children");
+  ASSERT_NE(children, nullptr);
+  ASSERT_EQ(children->array().size(), 1u);
+  EXPECT_EQ(children->array()[0].find("name")->as_string(), "relabel");
+  const JsonValue* notes = children->array()[0].find("notes");
+  ASSERT_NE(notes, nullptr);
+  ASSERT_NE(notes->find("hub_count"), nullptr);
+  EXPECT_EQ(notes->find("hub_count")->as_string(), "3");
+
+  ASSERT_NE(doc.find("counters"), nullptr);
+  ASSERT_NE(doc.find("counters")->find("total"), nullptr);
+
+  // The serialized form parses back to the same document.
+  EXPECT_EQ(JsonValue::parse(registry.to_json_string()), doc);
+}
+
+TEST(RunProfiled, LotusSpanTotalsMatchEndToEndTime) {
+  const auto graph =
+      g::build_undirected(g::rmat({.scale = 12, .edge_factor = 8, .seed = 7}));
+  const auto report = tc::run_profiled(tc::Algorithm::kLotus, graph);
+
+  EXPECT_EQ(report.result.triangles,
+            tc::run(tc::Algorithm::kLotus, graph).triangles);
+  EXPECT_GE(report.trace.spans().size(), 5u);
+  for (const char* name :
+       {"preprocess", "relabel", "partition", "serialize", "count", "hhh_hhn",
+        "hnn", "nnn"})
+    EXPECT_NE(report.trace.find(name), nullptr) << name;
+
+  // The span tree must reconstruct the reported wall time: the two root
+  // spans cover everything RunResult::total_s() measures.
+  const double span_total =
+      report.trace.total_s("preprocess") + report.trace.total_s("count");
+  const double total = report.result.total_s();
+  EXPECT_NEAR(span_total, total, 0.02 + 0.1 * total);
+
+  EXPECT_EQ(report.vertices, graph.num_vertices());
+  EXPECT_EQ(report.edges, graph.num_edges() / 2);
+  if (obs::enabled()) {
+    EXPECT_GT(report.counters[obs::Counter::kBitarrayProbes], 0u);
+    EXPECT_FALSE(report.counters.threads.empty());
+  }
+
+  // The exported report is valid, parseable JSON carrying the span tree.
+  const JsonValue doc = JsonValue::parse(report.to_json());
+  EXPECT_EQ(doc.find("schema_version")->as_string(), obs::kMetricsSchemaVersion);
+  EXPECT_EQ(doc.find("metrics")->find("triangles")->as_uint(),
+            report.result.triangles);
+  EXPECT_EQ(doc.find("spans")->array().size(), 2u);  // preprocess + count
+}
+
+TEST(RunProfiled, BaselinesEmitLeafSpans) {
+  const auto graph =
+      g::build_undirected(g::rmat({.scale = 9, .edge_factor = 8, .seed = 5}));
+  const auto report = tc::run_profiled(tc::Algorithm::kForwardMerge, graph);
+  ASSERT_NE(report.trace.find("count"), nullptr);
+  EXPECT_DOUBLE_EQ(report.trace.find("count")->seconds, report.result.count_s);
+  if (report.result.preprocess_s > 0.0)
+    EXPECT_NE(report.trace.find("preprocess"), nullptr);
+}
+
+TEST(RunResult, RateHelpers) {
+  tc::RunResult result;
+  result.triangles = 100;
+  result.preprocess_s = 1.0;
+  result.count_s = 3.0;
+  EXPECT_DOUBLE_EQ(result.triangles_per_s(), 25.0);
+  EXPECT_DOUBLE_EQ(tc::RunResult{}.triangles_per_s(), 0.0);
+  EXPECT_DOUBLE_EQ(tc::edges_per_s(200, 4.0), 50.0);
+  EXPECT_DOUBLE_EQ(tc::edges_per_s(200, 0.0), 0.0);
+}
+
+}  // namespace
