@@ -1,0 +1,47 @@
+#!/usr/bin/env sh
+# Build the tree under ASan+UBSan and under TSan, then run the
+# `sanitizer`-labeled ctest suite in each — the concurrency stress tests
+# plus a reduced differential matrix (see docs/TESTING.md).
+#
+# Usage: scripts/check_sanitizers.sh [address|thread|all]   (default: all)
+#
+# Build trees live in build-asan/ and build-tsan/ so they never disturb the
+# primary build/. Benches and examples are skipped: only the library and the
+# test suites need instrumentation.
+set -eu
+cd "$(dirname "$0")/.."
+
+which=${1:-all}
+jobs=$(nproc 2>/dev/null || echo 2)
+
+run_one() {
+  mode=$1
+  dir=$2
+  echo "=== sanitizer check: $mode ($dir) ==="
+  cmake -B "$dir" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DLOTUS_SANITIZE="$mode" \
+    -DLOTUS_BUILD_BENCH=OFF \
+    -DLOTUS_BUILD_EXAMPLES=OFF
+  cmake --build "$dir" -j "$jobs"
+  # halt_on_error: the suite must be clean, not merely non-crashing.
+  ASAN_OPTIONS="halt_on_error=1:detect_leaks=0" \
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1" \
+    ctest --test-dir "$dir" -L sanitizer --no-tests=error \
+      --output-on-failure -j "$jobs"
+  echo "=== sanitizer check: $mode OK ==="
+}
+
+case "$which" in
+  address) run_one address build-asan ;;
+  thread)  run_one thread build-tsan ;;
+  all)
+    run_one address build-asan
+    run_one thread build-tsan
+    ;;
+  *)
+    echo "usage: $0 [address|thread|all]" >&2
+    exit 2
+    ;;
+esac

@@ -1,11 +1,33 @@
 #!/usr/bin/env sh
 # Build, test, and regenerate every paper table/figure, recording outputs
 # the way EXPERIMENTS.md references them.
+#
+# Usage:
+#   scripts/reproduce.sh            # full run: build, all tests, all benches
+#   scripts/reproduce.sh --verify   # correctness only: unit + differential
+#                                   # suites, then both sanitizer builds
+#                                   # (scripts/check_sanitizers.sh); no benches
 set -eu
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
+mode=${1:-full}
+
+# Fresh checkouts configure with Ninja; an already-configured build tree is
+# reused with whatever generator created it (cmake rejects generator swaps).
+if [ -f build/CMakeCache.txt ]; then
+  cmake -B build
+else
+  cmake -B build -G Ninja
+fi
+cmake --build build --parallel 2
+
+if [ "$mode" = "--verify" ]; then
+  ctest --test-dir build -L unit --no-tests=error --output-on-failure 2>&1 | tee test_output.txt
+  ctest --test-dir build -L differential --no-tests=error --output-on-failure 2>&1 | tee -a test_output.txt
+  scripts/check_sanitizers.sh all
+  echo "verify: OK"
+  exit 0
+fi
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 

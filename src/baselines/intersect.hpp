@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "obs/counters.hpp"
@@ -195,6 +196,12 @@ std::uint64_t intersect_binary_branchfree(std::span<const T> a,
 
 /// Open-addressing hash set sized for one neighbour list; reused across
 /// probes of the same list (forward-hashed of Schank & Wagner).
+///
+/// The empty-slot sentinel is the all-ones 64-bit value. Keys narrower than
+/// 64 bits (the vertex-ID instantiations) widen to values that can never
+/// equal the sentinel; a 64-bit key equal to ~0 would be indistinguishable
+/// from an empty slot and silently unstorable, so build() rejects it with
+/// std::invalid_argument instead of corrupting the table.
 template <typename T>
 class HashedSet {
  public:
@@ -203,11 +210,20 @@ class HashedSet {
     while (cap < keys.size() * 2) cap <<= 1;
     mask_ = cap - 1;
     slots_.assign(cap, kEmpty);
-    for (const T& k : keys) insert(k);
+    for (const T& k : keys) {
+      if constexpr (sizeof(T) >= sizeof(std::uint64_t))
+        if (static_cast<std::uint64_t>(k) == kEmpty)
+          throw std::invalid_argument(
+              "HashedSet: key ~0 collides with the empty-slot sentinel");
+      insert(k);
+    }
   }
 
   template <typename Probe = NullProbe>
   [[nodiscard]] bool contains(T key, Probe& probe = null_probe) const {
+    // Default-constructed set: no slots, nothing is a member. Without this
+    // guard mask_ == 0 would index slots_[0] of an empty vector.
+    if (slots_.empty()) return false;
     std::size_t slot = hash(key) & mask_;
     for (;;) {
       probe.read(&slots_[slot], sizeof(std::uint64_t));

@@ -29,11 +29,14 @@ EdgeList read_edge_list_text(const std::string& path) {
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
     std::istringstream ls(line);
     std::uint64_t u = 0, v = 0;
     if (!(ls >> u >> v))
       fail(path, "malformed edge at line " + std::to_string(line_no));
-    if (u > 0xffffffffULL || v > 0xffffffffULL)
+    // IDs must stay strictly below 2^32 - 1: num_vertices = max ID + 1 must
+    // itself fit in the 32-bit VertexId, so the all-ones ID is unusable too.
+    if (u >= 0xffffffffULL || v >= 0xffffffffULL)
       fail(path, "vertex ID exceeds 32 bits at line " + std::to_string(line_no));
     out.edges.push_back({static_cast<VertexId>(u), static_cast<VertexId>(v)});
     max_id = std::max({max_id, static_cast<VertexId>(u), static_cast<VertexId>(v)});
@@ -81,6 +84,28 @@ CsrGraph read_csr_binary(const std::string& path) {
   in.read(reinterpret_cast<char*>(&e), sizeof e);
   if (!in) fail(path, "truncated header");
   if (v > 0xffffffffULL) fail(path, "vertex count exceeds 32 bits");
+
+  // Validate the declared (v, e) against the actual file size BEFORE any
+  // allocation: a corrupt or hostile header must not be able to demand
+  // gigabytes of memory that the file cannot possibly back.
+  constexpr std::uint64_t kHeaderBytes = 8 + 2 * sizeof(std::uint64_t);
+  in.seekg(0, std::ios::end);
+  const auto end_pos = in.tellg();
+  if (end_pos < 0) fail(path, "cannot determine file size");
+  const auto file_size = static_cast<std::uint64_t>(end_pos);
+  if (file_size < kHeaderBytes) fail(path, "truncated header");
+  const std::uint64_t body_bytes = file_size - kHeaderBytes;
+  // v <= 2^32, so (v + 1) * 8 cannot overflow 64 bits.
+  const std::uint64_t offset_bytes = (v + 1) * sizeof(std::uint64_t);
+  if (offset_bytes > body_bytes)
+    fail(path, "vertex count inconsistent with file size");
+  // e is bounded by the division before e * 4 is ever formed, so the
+  // multiplication below cannot overflow either.
+  if (e > (body_bytes - offset_bytes) / sizeof(VertexId))
+    fail(path, "edge count inconsistent with file size");
+  if (offset_bytes + e * sizeof(VertexId) != body_bytes)
+    fail(path, "file size does not match header");
+  in.seekg(static_cast<std::streamoff>(kHeaderBytes), std::ios::beg);
 
   std::vector<std::uint64_t> offsets(v + 1);
   in.read(reinterpret_cast<char*>(offsets.data()),

@@ -9,9 +9,12 @@
 
 namespace lotus::graph {
 
-/// Read "u v" pairs, one per line; lines starting with '#' or '%' are
-/// comments. num_vertices = max endpoint + 1. Throws std::runtime_error on
-/// unreadable files or malformed lines.
+/// Read "u v" pairs, one per line; lines starting with '#' or '%' and
+/// whitespace-only lines are skipped, tokens after the first two on a line
+/// are ignored (tolerates weighted/timestamped dumps). Self-loops are kept
+/// (builders drop them). num_vertices = max endpoint + 1. Throws
+/// std::runtime_error on unreadable files, malformed lines, or endpoint IDs
+/// that do not fit in 32 bits.
 EdgeList read_edge_list_text(const std::string& path);
 
 void write_edge_list_text(const std::string& path, const EdgeList& edges);
@@ -19,6 +22,12 @@ void write_edge_list_text(const std::string& path, const EdgeList& edges);
 /// Binary CSX: magic "LOTUSGR1", u64 num_vertices, u64 num_edges, offsets,
 /// 32-bit neighbours. Throws std::runtime_error on bad magic / truncation.
 void write_csr_binary(const std::string& path, const CsrGraph& graph);
+
+/// Read the binary CSX format back. The declared (v, e) header is validated
+/// against the actual file size before anything is allocated, so corrupt or
+/// hostile headers cannot trigger multi-gigabyte allocations; offsets and
+/// neighbour IDs are range-checked after reading. Throws std::runtime_error
+/// on any inconsistency.
 CsrGraph read_csr_binary(const std::string& path);
 
 }  // namespace lotus::graph

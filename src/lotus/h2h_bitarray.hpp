@@ -54,10 +54,12 @@ class TriangularBitArray {
   }
 
   /// Thread-safe set; preprocessing writes bits of different vertices that
-  /// can share a 64-bit word at row boundaries.
+  /// can share a 64-bit word at row boundaries. Uses std::atomic_ref on the
+  /// plain word storage (not a reinterpret_cast, which is UB and invisible
+  /// to TSan); plain readers may only run after the writing phase joins.
   void set_atomic(graph::VertexId h1, graph::VertexId h2) noexcept {
     const std::uint64_t bit = bit_index(h1, h2);
-    auto& word = reinterpret_cast<std::atomic<std::uint64_t>&>(words_[bit >> 6]);
+    std::atomic_ref<std::uint64_t> word(words_[bit >> 6]);
     word.fetch_or(1ULL << (bit & 63), std::memory_order_relaxed);
   }
 

@@ -33,11 +33,28 @@ inline Backend& backend_ref() {
   return backend;
 }
 inline Backend backend() { return backend_ref(); }
-inline void set_backend(Backend b) {
-#ifndef _OPENMP
-  b = Backend::kPool;  // OpenMP not compiled in: silently stay on the pool
+
+/// True when the OpenMP backend is compiled in (i.e. set_backend(kOpenMP)
+/// can succeed).
+inline constexpr bool openmp_available() {
+#ifdef _OPENMP
+  return true;
+#else
+  return false;
 #endif
+}
+
+/// Select the execution backend. Returns true when the requested backend is
+/// now active; requesting kOpenMP in a build without OpenMP leaves the pool
+/// backend active and returns false (the caller decides whether that is an
+/// error — no silent pretend-switch).
+inline bool set_backend(Backend b) {
+  if (b == Backend::kOpenMP && !openmp_available()) {
+    backend_ref() = Backend::kPool;
+    return false;
+  }
   backend_ref() = b;
+  return true;
 }
 
 /// Upper bound on thread indices `parallel_for` may pass to its body under

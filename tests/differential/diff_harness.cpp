@@ -1,0 +1,323 @@
+#include "diff_harness.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "baselines/intersect.hpp"
+#include "baselines/matrix_tc.hpp"
+#include "baselines/tc_baselines.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "lotus/count.hpp"
+#include "lotus/kclique.hpp"
+#include "lotus/lotus.hpp"
+#include "lotus/lotus_graph.hpp"
+#include "lotus/streaming.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace lotus::testing {
+
+namespace {
+
+namespace g = lotus::graph;
+
+/// The adversarial / deterministic shapes: closed-form or trivially known
+/// counts, plus the corner configurations (no vertices, no hubs, only hubs,
+/// dirty input) that historically break exactly one path at a time.
+std::vector<DiffGraph> adversarial_graphs() {
+  std::vector<DiffGraph> corpus;
+
+  corpus.push_back({"empty", g::EdgeList{0, {}}, {}, false});
+  corpus.push_back({"single_edge", g::EdgeList{2, {{0, 1}}}, {}, false});
+  corpus.push_back(
+      {"single_triangle", g::EdgeList{3, {{0, 1}, {1, 2}, {0, 2}}}, {}, false});
+  corpus.push_back({"two_triangles_shared_edge",
+                    g::EdgeList{4, {{0, 1}, {1, 2}, {0, 2}, {1, 3}, {2, 3}}},
+                    {},
+                    false});
+
+  // Dirty input: self-loops and duplicate edges in both orientations must be
+  // cleaned identically by every path's preprocessing.
+  corpus.push_back({"self_loops_dups",
+                    g::EdgeList{5,
+                                {{0, 1}, {1, 0}, {2, 2}, {0, 1}, {1, 2},
+                                 {0, 2}, {3, 4}, {4, 3}, {4, 4}}},
+                    {},
+                    false});
+
+  corpus.push_back({"star_200", g::star(200), {}, false});
+  corpus.push_back({"path_100", g::path(100), {}, false});
+  corpus.push_back({"cycle_64", g::cycle(64), {}, false});
+  corpus.push_back({"wheel_24", g::wheel(24), {}, false});
+  corpus.push_back({"grid_8x8", g::grid(8, 8), {}, false});
+  corpus.push_back({"bipartite_16_16", g::complete_bipartite(16, 16), {}, false});
+  corpus.push_back({"clique_24", g::complete(24), {}, false});
+
+  // All-hubs: every vertex is a hub, so every triangle is HHH and the NHE
+  // sub-graph is empty.
+  {
+    core::LotusConfig config;
+    config.hub_count = 32;
+    corpus.push_back({"clique_32_all_hubs", g::complete(32), config, false});
+  }
+
+  // Zero-hub triangles: the single hub (the star centre) touches no
+  // triangle, so every triangle must be found by the NNN phase alone.
+  {
+    g::EdgeList el{44, {}};
+    for (g::VertexId x = 1; x <= 40; ++x) el.edges.push_back({0, x});
+    el.edges.push_back({41, 42});
+    el.edges.push_back({42, 43});
+    el.edges.push_back({41, 43});
+    core::LotusConfig config;
+    config.hub_count = 1;
+    config.relabel_fraction = 0.0;
+    corpus.push_back({"zero_hub_triangle", std::move(el), config, false});
+  }
+
+  return corpus;
+}
+
+/// Every generator family of src/graph/generators.* at two sizes each,
+/// seeded so the corpus is identical on every run and machine.
+std::vector<DiffGraph> generator_graphs() {
+  std::vector<DiffGraph> corpus;
+  corpus.push_back(
+      {"rmat_s8", g::rmat({.scale = 8, .edge_factor = 8, .seed = 101}), {}, true});
+  corpus.push_back(
+      {"rmat_s10", g::rmat({.scale = 10, .edge_factor = 8, .seed = 102}), {}, true});
+  corpus.push_back({"erdos_renyi_500", g::erdos_renyi(500, 8.0, 103), {}, true});
+  corpus.push_back({"erdos_renyi_1500", g::erdos_renyi(1500, 12.0, 104), {}, true});
+  corpus.push_back({"holme_kim_800",
+                    g::holme_kim({.num_vertices = 800, .edges_per_vertex = 5,
+                                  .p_triad = 0.6, .seed = 105}),
+                    {},
+                    true});
+  corpus.push_back({"holme_kim_1600_local",
+                    g::holme_kim({.num_vertices = 1600, .edges_per_vertex = 6,
+                                  .p_triad = 0.5, .p_local = 0.3, .seed = 106}),
+                    {},
+                    true});
+  corpus.push_back({"watts_strogatz_600",
+                    g::watts_strogatz({.num_vertices = 600, .ring_degree = 6,
+                                       .rewire_prob = 0.1, .seed = 107}),
+                    {},
+                    true});
+  corpus.push_back({"watts_strogatz_1200",
+                    g::watts_strogatz({.num_vertices = 1200, .ring_degree = 8,
+                                       .rewire_prob = 0.2, .seed = 108}),
+                    {},
+                    true});
+  corpus.push_back({"copy_web_800",
+                    g::copy_web({.num_vertices = 800, .edges_per_vertex = 6,
+                                 .p_copy = 0.7, .locality_window = 128,
+                                 .seed = 109}),
+                    {},
+                    true});
+  corpus.push_back({"copy_web_1600_core",
+                    g::copy_web({.num_vertices = 1600, .edges_per_vertex = 7,
+                                 .p_copy = 0.7, .locality_window = 256,
+                                 .core_size = 64, .p_core = 0.3,
+                                 .p_local = 0.2, .seed = 110}),
+                    {},
+                    true});
+  return corpus;
+}
+
+/// LOTUS phases assembled by hand so the non-default phase-1 tiling policy
+/// and HNN traversal variants get their own differential paths.
+std::uint64_t lotus_phases(const g::CsrGraph& graph,
+                           const core::LotusConfig& config,
+                           core::TilingPolicy policy, bool blocked_hnn) {
+  const auto lg = core::LotusGraph::build(graph, config);
+  const auto hub = core::count_hhh_hhn(lg, config, policy);
+  const std::uint64_t hnn = blocked_hnn
+                                ? core::count_hnn_blocked(lg, 64)
+                                : core::count_hnn(lg);
+  return hub.hhh + hub.hhn + hnn + core::count_nnn(lg);
+}
+
+/// Streaming replay: feed every edge of the relabeled graph (arrival order
+/// is irrelevant; CSR order is used) into the StreamingHubCounter and take
+/// its exact HHH count; the remaining triangle classes come from the offline
+/// phases. A disagreement in the HHH component shows up as a total mismatch.
+std::uint64_t streaming_replay(const g::CsrGraph& graph,
+                               const core::LotusConfig& config) {
+  const auto lg = core::LotusGraph::build(graph, config);
+  core::StreamingHubCounter counter(lg.hub_count());
+  const auto& new_id = lg.relabeling();
+  for (g::VertexId v = 0; v < graph.num_vertices(); ++v)
+    for (g::VertexId u : graph.neighbors(v))
+      if (u < v) counter.add_edge(new_id[v], new_id[u]);
+  const auto hub = core::count_hhh_hhn(lg, config);
+  return counter.hhh_triangles() + hub.hhn + core::count_hnn(lg) +
+         core::count_nnn(lg);
+}
+
+/// Forward algorithm over an explicit intersection kernel — covers the
+/// branchless kernels that no named baseline exercises end-to-end.
+template <typename Kernel>
+std::uint64_t forward_with_kernel(const g::CsrGraph& graph, Kernel&& kernel) {
+  const auto oriented = g::orient_by_id(graph);
+  std::uint64_t count = 0;
+  for (g::VertexId v = 0; v < oriented.num_vertices(); ++v) {
+    const auto nv = oriented.neighbors(v);
+    for (g::VertexId u : nv) count += kernel(nv, oriented.neighbors(u));
+  }
+  return count;
+}
+
+}  // namespace
+
+std::vector<DiffGraph> differential_corpus() {
+  auto corpus = adversarial_graphs();
+  auto heavy = generator_graphs();
+  corpus.insert(corpus.end(), std::make_move_iterator(heavy.begin()),
+                std::make_move_iterator(heavy.end()));
+  return corpus;
+}
+
+std::vector<DiffGraph> smoke_corpus() { return adversarial_graphs(); }
+
+std::vector<DiffPath> differential_paths() {
+  using baselines::NullProbe;
+  std::vector<DiffPath> paths;
+
+  // --- LOTUS family (honours the per-graph config).
+  paths.push_back({"lotus", [](const auto& graph, const auto& config) {
+                     return core::count_triangles(graph, config).triangles;
+                   }});
+  paths.push_back(
+      {"lotus_edge_balanced", [](const auto& graph, const auto& config) {
+         return lotus_phases(graph, config, core::TilingPolicy::kEdgeBalanced,
+                             false);
+       }});
+  paths.push_back({"lotus_fused", [](const auto& graph, const auto& config) {
+                     auto fused = config;
+                     fused.fuse_hnn_nnn = true;
+                     return core::count_triangles(graph, fused).triangles;
+                   }});
+  paths.push_back(
+      {"lotus_hnn_blocked", [](const auto& graph, const auto& config) {
+         return lotus_phases(graph, config, core::TilingPolicy::kSquared, true);
+       }});
+  paths.push_back({"lotus_streaming_replay", streaming_replay});
+
+  // --- Forward over every intersection kernel.
+  paths.push_back({"forward_merge", [](const auto& graph, const auto&) {
+                     return baselines::forward_merge(graph).triangles;
+                   }});
+  paths.push_back({"forward_gallop", [](const auto& graph, const auto&) {
+                     return baselines::forward_gallop(graph).triangles;
+                   }});
+  paths.push_back({"forward_hashed", [](const auto& graph, const auto&) {
+                     return baselines::forward_hashed(graph).triangles;
+                   }});
+  paths.push_back({"forward_bitmap", [](const auto& graph, const auto&) {
+                     return baselines::forward_bitmap(graph).triangles;
+                   }});
+  paths.push_back({"forward_simd", [](const auto& graph, const auto&) {
+                     return baselines::forward_simd(graph).triangles;
+                   }});
+  paths.push_back({"forward_merge_branchless",
+                   [](const auto& graph, const auto&) {
+                     return forward_with_kernel(graph, [](auto a, auto b) {
+                       return baselines::intersect_merge_branchless<g::VertexId>(
+                           a, b);
+                     });
+                   }});
+  paths.push_back({"forward_binary_branchfree",
+                   [](const auto& graph, const auto&) {
+                     return forward_with_kernel(graph, [](auto a, auto b) {
+                       return baselines::intersect_binary_branchfree<g::VertexId>(
+                           a, b);
+                     });
+                   }});
+
+  // --- Other parallelization / iteration strategies.
+  paths.push_back({"edge_parallel", [](const auto& graph, const auto&) {
+                     return baselines::edge_parallel_forward(graph).triangles;
+                   }});
+  paths.push_back({"edge_iterator", [](const auto& graph, const auto&) {
+                     return baselines::edge_iterator(graph).triangles;
+                   }});
+  paths.push_back({"node_iterator", [](const auto& graph, const auto&) {
+                     return baselines::node_iterator(graph).triangles;
+                   }});
+  paths.push_back({"blocked_tc", [](const auto& graph, const auto&) {
+                     return baselines::blocked_tc(graph).triangles;
+                   }});
+
+  // --- Matrix algebra and clique enumeration.
+  paths.push_back({"ayz", [](const auto& graph, const auto&) {
+                     return baselines::ayz_tc(graph);
+                   }});
+  paths.push_back({"spgemm_masked", [](const auto& graph, const auto&) {
+                     return baselines::spgemm_masked_tc(graph);
+                   }});
+  paths.push_back({"kclique3", [](const auto& graph, const auto&) {
+                     return core::count_kcliques(graph, 3).cliques;
+                   }});
+
+  return paths;
+}
+
+const DiffPath* find_path(const std::vector<DiffPath>& paths,
+                          const std::string& name) {
+  const auto it = std::find_if(paths.begin(), paths.end(),
+                               [&](const DiffPath& p) { return p.name == name; });
+  return it == paths.end() ? nullptr : &*it;
+}
+
+std::vector<unsigned> thread_axis() {
+  unsigned hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  std::vector<unsigned> axis{1, 4, hw};
+  std::sort(axis.begin(), axis.end());
+  axis.erase(std::unique(axis.begin(), axis.end()), axis.end());
+  return axis;
+}
+
+std::vector<DiffExecution> execution_matrix() {
+  std::vector<DiffExecution> matrix;
+  for (unsigned threads : thread_axis())
+    matrix.push_back({parallel::Backend::kPool, threads});
+  if (parallel::openmp_available())
+    for (unsigned threads : thread_axis())
+      matrix.push_back({parallel::Backend::kOpenMP, threads});
+  return matrix;
+}
+
+void apply_execution(const DiffExecution& execution) {
+  parallel::set_num_threads(execution.threads);
+#ifdef _OPENMP
+  // omp_set_num_threads rejects 0; "hardware default" must be spelled out.
+  unsigned omp_threads = execution.threads;
+  if (omp_threads == 0) omp_threads = std::thread::hardware_concurrency();
+  if (omp_threads == 0) omp_threads = 1;
+  omp_set_num_threads(static_cast<int>(omp_threads));
+#endif
+  parallel::set_backend(execution.backend);
+}
+
+std::string backend_name(parallel::Backend backend) {
+  return backend == parallel::Backend::kOpenMP ? "openmp" : "pool";
+}
+
+std::string repro_command(const std::string& graph_file, const DiffGraph& graph,
+                          const std::string& path_name,
+                          const DiffExecution& execution) {
+  std::ostringstream cmd;
+  cmd << "lotus_diff_repro --graph " << graph_file << " --path " << path_name
+      << " --backend " << backend_name(execution.backend) << " --threads "
+      << execution.threads << " --hub-count " << graph.config.hub_count
+      << " --relabel-fraction " << graph.config.relabel_fraction;
+  return cmd.str();
+}
+
+}  // namespace lotus::testing

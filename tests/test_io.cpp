@@ -112,4 +112,171 @@ TEST_F(IoTest, EmptyEdgeListFileYieldsEmptyGraph) {
   EXPECT_TRUE(loaded.edges.empty());
 }
 
+// ---------- text parsing edge cases ----------
+
+TEST_F(IoTest, EdgeListIgnoresTrailingTokens) {
+  // Weighted/timestamped dumps carry extra columns; only the first two
+  // tokens of a line are the edge.
+  std::ofstream f(path("weighted.txt"));
+  f << "0 1 0.75\n1 2 1588000000 some-label\n";
+  f.close();
+  const g::EdgeList loaded = g::read_edge_list_text(path("weighted.txt"));
+  ASSERT_EQ(loaded.edges.size(), 2u);
+  EXPECT_EQ(loaded.edges[0], (g::Edge{0, 1}));
+  EXPECT_EQ(loaded.edges[1], (g::Edge{1, 2}));
+}
+
+TEST_F(IoTest, EdgeListSkipsWhitespaceOnlyLines) {
+  std::ofstream f(path("ws.txt"));
+  f << "0 1\n   \n\t\n1 2\n \t \r\n";
+  f.close();
+  const g::EdgeList loaded = g::read_edge_list_text(path("ws.txt"));
+  EXPECT_EQ(loaded.edges.size(), 2u);
+}
+
+TEST_F(IoTest, EdgeListAcceptsLargestUsableId) {
+  std::ofstream f(path("max32.txt"));
+  f << "0 4294967294\n";  // 2^32 - 2: num_vertices = 2^32 - 1 still fits
+  f.close();
+  const g::EdgeList loaded = g::read_edge_list_text(path("max32.txt"));
+  ASSERT_EQ(loaded.edges.size(), 1u);
+  EXPECT_EQ(loaded.edges[0].v, 4294967294u);
+  EXPECT_EQ(loaded.num_vertices, 4294967295u);
+}
+
+TEST_F(IoTest, EdgeListRejectsIdsWhoseUniverseOverflows32Bits) {
+  // 2^32 - 1 is representable as a VertexId but max ID + 1 would wrap
+  // num_vertices to 0 — rejected, like anything larger.
+  for (const char* id : {"4294967295", "4294967296", "99999999999"}) {
+    std::ofstream f(path("over32.txt"));
+    f << "0 " << id << "\n";
+    f.close();
+    EXPECT_THROW(g::read_edge_list_text(path("over32.txt")), std::runtime_error)
+        << id;
+  }
+}
+
+TEST_F(IoTest, EdgeListRejectsNegativeIds) {
+  // "-1" wraps to 2^64-1 under unsigned extraction; the 32-bit range check
+  // must reject it either way.
+  std::ofstream f(path("neg.txt"));
+  f << "-1 2\n";
+  f.close();
+  EXPECT_THROW(g::read_edge_list_text(path("neg.txt")), std::runtime_error);
+}
+
+TEST_F(IoTest, EdgeListKeepsSelfLoopsForBuilderToDrop) {
+  std::ofstream f(path("loops.txt"));
+  f << "0 0\n0 1\n1 1\n";
+  f.close();
+  const g::EdgeList loaded = g::read_edge_list_text(path("loops.txt"));
+  EXPECT_EQ(loaded.edges.size(), 3u);  // parser preserves, builder cleans
+  const auto csr = g::build_undirected(loaded);
+  EXPECT_EQ(csr.num_edges(), 2u);  // only 0-1 survives, both directions
+}
+
+TEST_F(IoTest, EdgeListRejectsLoneToken) {
+  std::ofstream f(path("lone.txt"));
+  f << "0 1\n7\n";
+  f.close();
+  EXPECT_THROW(g::read_edge_list_text(path("lone.txt")), std::runtime_error);
+}
+
+// ---------- malformed binary corpus ----------
+//
+// Every file here declares a (v, e) header inconsistent with its actual
+// size. read_csr_binary must reject them BEFORE allocating offset/neighbour
+// arrays — a hostile header must not demand gigabytes (the ASan suite would
+// flag the allocation blowup; in the plain build we assert the throw).
+
+class BinaryCorpusTest : public IoTest {
+ protected:
+  static void append_u64(std::string& bytes, std::uint64_t value) {
+    bytes.append(reinterpret_cast<const char*>(&value), sizeof value);
+  }
+
+  [[nodiscard]] std::string header(std::uint64_t v, std::uint64_t e) const {
+    std::string bytes = "LOTUSGR1";
+    append_u64(bytes, v);
+    append_u64(bytes, e);
+    return bytes;
+  }
+
+  void write_raw(const std::string& name, const std::string& bytes) const {
+    std::ofstream f(path(name), std::ios::binary);
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+};
+
+TEST_F(BinaryCorpusTest, RejectsHugeVertexCountAgainstTinyFile) {
+  // Declares 2^32-1 vertices (a 32 GB offsets array) with an empty body.
+  write_raw("huge_v.bin", header(0xffffffffULL, 0));
+  EXPECT_THROW(g::read_csr_binary(path("huge_v.bin")), std::runtime_error);
+}
+
+TEST_F(BinaryCorpusTest, RejectsHugeEdgeCountAgainstTinyFile) {
+  // 2^61 edges: e * sizeof(VertexId) would overflow a naive size check.
+  std::string bytes = header(2, 1ULL << 61);
+  for (int i = 0; i < 3 * 8; ++i) bytes.push_back('\0');
+  write_raw("huge_e.bin", bytes);
+  EXPECT_THROW(g::read_csr_binary(path("huge_e.bin")), std::runtime_error);
+}
+
+TEST_F(BinaryCorpusTest, RejectsVertexCountOver32Bits) {
+  write_raw("v33.bin", header(1ULL << 33, 0));
+  EXPECT_THROW(g::read_csr_binary(path("v33.bin")), std::runtime_error);
+}
+
+TEST_F(BinaryCorpusTest, RejectsTrailingGarbage) {
+  const auto graph = g::build_undirected(g::complete(5));
+  g::write_csr_binary(path("trail.bin"), graph);
+  std::ofstream f(path("trail.bin"), std::ios::binary | std::ios::app);
+  f << 'x';
+  f.close();
+  EXPECT_THROW(g::read_csr_binary(path("trail.bin")), std::runtime_error);
+}
+
+TEST_F(BinaryCorpusTest, RejectsHeaderOnlyFile) {
+  write_raw("magic_only.bin", "LOTUSGR1");
+  EXPECT_THROW(g::read_csr_binary(path("magic_only.bin")), std::runtime_error);
+  write_raw("half_header.bin", "LOTUSGR1\x01\x00\x00\x00");
+  EXPECT_THROW(g::read_csr_binary(path("half_header.bin")), std::runtime_error);
+}
+
+TEST_F(BinaryCorpusTest, RejectsEmptyFile) {
+  write_raw("zero.bin", "");
+  EXPECT_THROW(g::read_csr_binary(path("zero.bin")), std::runtime_error);
+}
+
+TEST_F(BinaryCorpusTest, RejectsNonMonotonicOffsets) {
+  std::string bytes = header(2, 2);
+  append_u64(bytes, 0);  // offsets[0]
+  append_u64(bytes, 2);  // offsets[1]
+  append_u64(bytes, 2);  // offsets[2] == e, but offsets[1] > ... craft below
+  bytes.append(8, '\0');  // two 32-bit neighbours (0, 0)
+  // Rewrite offsets to {0, 3, 2}: back() == 2 == e but non-monotonic.
+  std::string bad = bytes;
+  std::uint64_t three = 3;
+  bad.replace(8 + 16 + 8, 8, reinterpret_cast<const char*>(&three), 8);
+  write_raw("nonmono.bin", bad);
+  EXPECT_THROW(g::read_csr_binary(path("nonmono.bin")), std::runtime_error);
+}
+
+TEST_F(BinaryCorpusTest, RejectsNonZeroFirstOffset) {
+  std::string bytes = header(1, 1);
+  append_u64(bytes, 1);  // offsets[0] != 0
+  append_u64(bytes, 1);  // offsets[1] == e
+  bytes.append(4, '\0');
+  write_raw("first.bin", bytes);
+  EXPECT_THROW(g::read_csr_binary(path("first.bin")), std::runtime_error);
+}
+
+TEST_F(BinaryCorpusTest, ValidEmptyGraphRoundTrips) {
+  const auto graph = g::build_undirected({0, {}});
+  g::write_csr_binary(path("empty.bin"), graph);
+  const auto loaded = g::read_csr_binary(path("empty.bin"));
+  EXPECT_EQ(loaded.num_vertices(), 0u);
+  EXPECT_EQ(loaded.num_edges(), 0u);
+}
+
 }  // namespace

@@ -158,4 +158,51 @@ TEST(DefaultPool, RespectsThreadOverride) {
   EXPECT_GE(lotus::parallel::num_threads(), 1u);
 }
 
+TEST(Backend, SetBackendReportsAvailability) {
+  // Selecting the pool always succeeds; selecting OpenMP succeeds exactly
+  // when it is compiled in — and on failure the pool stays active instead of
+  // a silent pretend-switch.
+  EXPECT_TRUE(lotus::parallel::set_backend(lotus::parallel::Backend::kPool));
+  const bool switched =
+      lotus::parallel::set_backend(lotus::parallel::Backend::kOpenMP);
+  EXPECT_EQ(switched, lotus::parallel::openmp_available());
+  if (switched) {
+    EXPECT_EQ(lotus::parallel::backend(), lotus::parallel::Backend::kOpenMP);
+  } else {
+    EXPECT_EQ(lotus::parallel::backend(), lotus::parallel::Backend::kPool);
+  }
+  EXPECT_TRUE(lotus::parallel::set_backend(lotus::parallel::Backend::kPool));
+}
+
+TEST(Backend, MaxParallelismBoundsThreadIndicesUnderBothBackends) {
+  // Whatever the backend and pool size, every thread index parallel_for
+  // hands to its body must be < max_parallelism() — per-thread accumulator
+  // arrays are sized with it (parallel_reduce_add, kernels, analytics).
+  for (const auto backend :
+       {lotus::parallel::Backend::kPool, lotus::parallel::Backend::kOpenMP}) {
+    if (backend == lotus::parallel::Backend::kOpenMP &&
+        !lotus::parallel::openmp_available())
+      continue;
+    for (const unsigned threads : {1u, 2u, 5u}) {
+      lotus::parallel::set_num_threads(threads);
+      ASSERT_TRUE(lotus::parallel::set_backend(backend));
+      const unsigned bound = lotus::parallel::max_parallelism();
+      ASSERT_GE(bound, 1u);
+      std::atomic<unsigned> max_seen{0};
+      lotus::parallel::parallel_for(0, 20000, 16,
+          [&](unsigned t, std::uint64_t, std::uint64_t) {
+            unsigned prev = max_seen.load();
+            while (t > prev && !max_seen.compare_exchange_weak(prev, t)) {
+            }
+          });
+      EXPECT_LT(max_seen.load(), bound)
+          << "backend="
+          << (backend == lotus::parallel::Backend::kPool ? "pool" : "openmp")
+          << " threads=" << threads;
+    }
+  }
+  lotus::parallel::set_backend(lotus::parallel::Backend::kPool);
+  lotus::parallel::set_num_threads(0);
+}
+
 }  // namespace

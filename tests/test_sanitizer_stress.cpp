@@ -1,0 +1,143 @@
+// Concurrency stress tests, built to be run under sanitizers.
+//
+// These tests are correct (and cheap) in any build, but their real job is
+// the `sanitizer` ctest label: scripts/check_sanitizers.sh builds the tree
+// twice — ASan+UBSan and TSan — and runs exactly this suite, so the thread
+// pool, the work-stealing scheduler, the obs counters, the atomic H2H
+// writes, and a reduced differential matrix all execute under race and
+// memory-error detection. Workloads are sized for the ~10x sanitizer
+// slowdown: hostile interleavings, small data.
+//
+// The OpenMP backend is intentionally not exercised under TSan: libgomp is
+// not TSan-instrumented and reports false positives on its own barriers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "baselines/tc_baselines.hpp"
+#include "diff_harness.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "lotus/h2h_bitarray.hpp"
+#include "lotus/lotus.hpp"
+#include "obs/counters.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace {
+
+namespace g = lotus::graph;
+namespace par = lotus::parallel;
+
+#if defined(__SANITIZE_THREAD__)
+constexpr bool kTsan = true;
+#else
+constexpr bool kTsan = false;
+#endif
+
+TEST(SanitizerStress, PoolForkJoinRepeated) {
+  par::ThreadPool pool(4);
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<unsigned> sum{0};
+    pool.execute([&](unsigned t) { sum.fetch_add(t + 1); });
+    ASSERT_EQ(sum.load(), 1u + 2 + 3 + 4);
+  }
+}
+
+TEST(SanitizerStress, WorkStealingManyTinyTasks) {
+  par::ThreadPool pool(4);
+  par::WorkStealingScheduler scheduler(pool);
+  constexpr std::size_t kTasks = 2000;
+  std::vector<std::atomic<int>> done(kTasks);
+  std::vector<par::WorkStealingScheduler::Task> tasks;
+  tasks.reserve(kTasks);
+  for (std::size_t i = 0; i < kTasks; ++i)
+    tasks.emplace_back([&done, i](unsigned) { done[i].fetch_add(1); });
+  scheduler.run(std::move(tasks));
+  for (std::size_t i = 0; i < kTasks; ++i) ASSERT_EQ(done[i].load(), 1) << i;
+}
+
+TEST(SanitizerStress, CountersConcurrentWithSnapshot) {
+  // obs documents counters_snapshot() as safe while counting is in flight;
+  // hammer that contract from a reader thread racing a counting pool.
+  lotus::obs::reset_counters();
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire))
+      (void)lotus::obs::counters_snapshot();
+  });
+  par::ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    pool.execute([&](unsigned) {
+      for (int i = 0; i < 100; ++i)
+        lotus::obs::count(lotus::obs::Counter::kIntersectComparisons);
+    });
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  if (lotus::obs::enabled()) {
+    const auto snapshot = lotus::obs::counters_snapshot();
+    EXPECT_GE(snapshot[lotus::obs::Counter::kIntersectComparisons],
+              50u * 4 * 100);
+  }
+}
+
+TEST(SanitizerStress, H2HConcurrentSetAtomic) {
+  // Writers race on bits of the same 64-bit words at row boundaries — the
+  // exact sharing pattern LotusGraph::build produces.
+  constexpr g::VertexId kHubs = 64;
+  lotus::core::TriangularBitArray bits(kHubs);
+  par::ThreadPool pool(4);
+  pool.execute([&](unsigned t) {
+    for (g::VertexId h1 = 1; h1 < kHubs; ++h1)
+      for (g::VertexId h2 = t % 2; h2 < h1; h2 += 2) bits.set_atomic(h1, h2);
+  });
+  EXPECT_EQ(bits.count_set_bits(), bits.num_bits());
+}
+
+TEST(SanitizerStress, ParallelForBothBackends) {
+  for (const par::Backend backend :
+       {par::Backend::kPool, par::Backend::kOpenMP}) {
+    if (backend == par::Backend::kOpenMP && (kTsan || !par::openmp_available()))
+      continue;
+    ASSERT_TRUE(par::set_backend(backend));
+    const auto total = par::parallel_reduce_add<std::uint64_t>(
+        0, 100000, 64, [](std::uint64_t i) { return i; });
+    EXPECT_EQ(total, 99999ull * 100000 / 2);
+  }
+  par::set_backend(par::Backend::kPool);
+}
+
+TEST(SanitizerStress, LotusEndToEndUnderFourThreads) {
+  par::set_num_threads(4);
+  const auto graph =
+      g::build_undirected(g::rmat({.scale = 9, .edge_factor = 8, .seed = 77}));
+  const auto expected = lotus::baselines::brute_force(graph);
+  const auto r = lotus::core::count_triangles(graph);
+  EXPECT_EQ(r.triangles, expected);
+  par::set_num_threads(0);
+}
+
+TEST(SanitizerStress, DifferentialSmokeMatrix) {
+  // Reduced differential matrix: adversarial corpus only, pool backend only
+  // (see the file comment), threads {1, 4}.
+  const auto corpus = lotus::testing::smoke_corpus();
+  const auto paths = lotus::testing::differential_paths();
+  for (const unsigned threads : {1u, 4u}) {
+    lotus::testing::apply_execution({par::Backend::kPool, threads});
+    for (const auto& spec : corpus) {
+      const auto csr = g::build_undirected(spec.edges);
+      const auto expected = lotus::baselines::brute_force(csr);
+      for (const auto& path : paths) {
+        EXPECT_EQ(path.count(csr, spec.config), expected)
+            << spec.name << " via " << path.name << " threads=" << threads;
+      }
+    }
+  }
+  lotus::testing::apply_execution({par::Backend::kPool, 0});
+}
+
+}  // namespace
