@@ -12,6 +12,7 @@
 #include "bench/common.hpp"
 #include "graph/degree_order.hpp"
 #include "lotus/lotus_graph.hpp"
+#include "obs/hwc.hpp"
 #include "simcache/machines.hpp"
 #include "simcache/perf_model.hpp"
 #include "tc/instrumented.hpp"
@@ -29,7 +30,13 @@ int main(int argc, char** argv) {
   const auto machine =
       base.scaled(static_cast<std::uint32_t>(cli.get_int("cache-scale")));
 
-  lotus::util::TablePrinter table("Figure 4 - hardware-model misses [" + machine.name + "]");
+  // Stamp the event source so these numbers are never mistaken for measured
+  // PMU counts (measured counters come from `tc_profile --events hw`).
+  lotus::util::TablePrinter table(
+      "Figure 4 - hardware-model misses [events: " +
+      std::string(lotus::obs::event_source_name(
+          lotus::obs::EventSource::kSimulated)) +
+      ", " + machine.name + "]");
   table.header({"Dataset", "LLC fwd", "LLC lotus", "LLC ratio", "DTLB fwd",
                 "DTLB lotus", "DTLB ratio"});
 

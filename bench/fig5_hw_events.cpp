@@ -7,6 +7,7 @@
 #include "bench/common.hpp"
 #include "graph/degree_order.hpp"
 #include "lotus/lotus_graph.hpp"
+#include "obs/hwc.hpp"
 #include "simcache/machines.hpp"
 #include "simcache/perf_model.hpp"
 #include "tc/instrumented.hpp"
@@ -18,7 +19,14 @@ int main(int argc, char** argv) {
   const auto ctx = lotus::bench::make_context(cli);
   const auto machine = lotus::simcache::skylakex().scaled(16);
 
-  lotus::util::TablePrinter table("Figure 5 - hardware events, Forward/Lotus ratio");
+  // Stamp the event source so these numbers are never mistaken for measured
+  // PMU counts (schema vocabulary of obs/hwc.hpp; measured counters come
+  // from `tc_profile --events hw`).
+  lotus::util::TablePrinter table(
+      "Figure 5 - hardware events, Forward/Lotus ratio [events: " +
+      std::string(lotus::obs::event_source_name(
+          lotus::obs::EventSource::kSimulated)) +
+      ", " + machine.name + "]");
   table.header({"Dataset", "accesses", "instructions", "br-mispredicts"});
 
   double sums[3] = {};

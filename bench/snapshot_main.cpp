@@ -1,0 +1,268 @@
+// bench_snapshot: the fixed regression suite behind scripts/bench_snapshot.sh.
+//
+// Runs a pinned set of measurements — fig1-style counting rates over the
+// paper comparators, the fig6 phase breakdown, and thread scaling at fixed
+// thread counts — on pinned synthetic graphs, and emits them as a versioned
+// "lotus-bench/1" JSON snapshot. With --compare, a previous snapshot is
+// loaded instead-of-trusted and every metric is checked against the new run:
+// directional metrics ("better": higher|lower) flag only harmful moves
+// beyond --threshold; neutral metrics ("better": none, e.g. triangle counts)
+// flag any relative change beyond it. Exit codes: 0 clean, 1 regression or
+// metric-set mismatch, 2 usage/IO error.
+//
+// Keys are pinned (datasets, algorithms, thread counts) so snapshots from
+// different machines always have the same metric set; values differ, keys
+// never. Timings are best-of-N (--repeat) to damp scheduler noise.
+#include <cmath>
+#include <ctime>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "obs/json.hpp"
+#include "tc/api.hpp"
+
+namespace {
+
+using lotus::obs::JsonValue;
+
+constexpr const char* kBenchSchemaVersion = "lotus-bench/1";
+
+struct Suite {
+  std::vector<std::string> datasets;
+  std::vector<unsigned> scaling_threads;
+  double factor = 0.25;
+  int repeat = 3;
+};
+
+Suite smoke_suite() { return {{"Twtr-S", "SK-S"}, {1, 2}, 0.05, 3}; }
+Suite full_suite() { return {{"Twtr-S", "SK-S", "LJGrp-S"}, {1, 2, 4}, 0.25, 3}; }
+
+JsonValue metric(double value, const char* unit, const char* better) {
+  JsonValue m;
+  m.set("value", value);
+  m.set("unit", unit);
+  m.set("better", better);
+  return m;
+}
+
+JsonValue metric(std::uint64_t value, const char* unit, const char* better) {
+  JsonValue m;
+  m.set("value", value);
+  m.set("unit", unit);
+  m.set("better", better);
+  return m;
+}
+
+/// Best-of-N run: keep the fastest total time (rates follow from it).
+lotus::tc::RunResult best_run(lotus::tc::Algorithm algorithm,
+                              const lotus::graph::CsrGraph& graph,
+                              const lotus::core::LotusConfig& config,
+                              int repeat) {
+  lotus::tc::RunResult best;
+  for (int i = 0; i < repeat; ++i) {
+    const auto r = lotus::tc::run(algorithm, graph, config);
+    if (i == 0 || r.total_s() < best.total_s()) best = r;
+  }
+  return best;
+}
+
+JsonValue run_suite(const Suite& suite, const std::string& suite_name) {
+  JsonValue metrics;
+  lotus::core::LotusConfig config;
+
+  for (const std::string& name : suite.datasets) {
+    const auto& dataset = lotus::datasets::dataset(name);
+    const auto graph = lotus::bench::load(dataset, suite.factor);
+    const std::uint64_t edges = graph.num_edges() / 2;
+
+    // fig1: end-to-end counting rates of the paper comparator set.
+    for (const auto algorithm : lotus::tc::paper_comparators()) {
+      const auto r = best_run(algorithm, graph, config, suite.repeat);
+      const std::string key = "fig1." + name + "." + lotus::tc::name(algorithm);
+      metrics.set(key + ".edges_per_s",
+                  metric(lotus::tc::edges_per_s(edges, r.total_s()), "edges/s",
+                         "higher"));
+      if (algorithm == lotus::tc::Algorithm::kLotus)
+        metrics.set(name + ".triangles", metric(r.triangles, "count", "none"));
+    }
+
+    // fig6: LOTUS phase breakdown as fractions (machine-portable shape).
+    const auto report =
+        lotus::tc::run_profiled(lotus::tc::Algorithm::kLotus, graph, config);
+    const double preprocess_s = report.trace.total_s("preprocess");
+    const double count_s = report.trace.total_s("count");
+    const double nnn_s = report.trace.total_s("nnn");
+    const double total = preprocess_s + count_s;
+    metrics.set("fig6." + name + ".preprocess_frac",
+                metric(total > 0 ? preprocess_s / total : 0.0, "fraction",
+                       "none"));
+    metrics.set("fig6." + name + ".nnn_frac_of_count",
+                metric(count_s > 0 ? nnn_s / count_s : 0.0, "fraction",
+                       "none"));
+
+    // scaling: LOTUS rate at pinned thread counts (keys never depend on the
+    // machine; values may oversubscribe small hosts).
+    for (const unsigned threads : suite.scaling_threads) {
+      lotus::parallel::set_num_threads(threads);
+      const auto r = best_run(lotus::tc::Algorithm::kLotus, graph, config,
+                              suite.repeat);
+      metrics.set("scaling." + name + ".t" + std::to_string(threads) +
+                      ".edges_per_s",
+                  metric(lotus::tc::edges_per_s(edges, r.total_s()), "edges/s",
+                         "higher"));
+    }
+    lotus::parallel::set_num_threads(0);
+  }
+
+  JsonValue root;
+  root.set("schema_version", kBenchSchemaVersion);
+  JsonValue meta;
+  meta.set("suite", suite_name);
+  meta.set("created_unix",
+           static_cast<std::int64_t>(std::time(nullptr)));
+  meta.set("factor", suite.factor);
+  meta.set("repeat", static_cast<std::int64_t>(suite.repeat));
+  root.set("meta", std::move(meta));
+  root.set("metrics", std::move(metrics));
+  return root;
+}
+
+/// One metric's comparison verdict; empty string = fine.
+std::string compare_metric(const std::string& key, const JsonValue& baseline,
+                           const JsonValue& current, double threshold) {
+  const JsonValue* old_value = baseline.find("value");
+  const JsonValue* new_value = current.find("value");
+  const JsonValue* better = baseline.find("better");
+  if (old_value == nullptr || new_value == nullptr || better == nullptr)
+    return key + ": malformed metric entry";
+  const double old_v = old_value->as_double();
+  const double new_v = new_value->as_double();
+  const std::string direction = better->as_string();
+
+  std::ostringstream msg;
+  if (direction == "higher") {
+    if (old_v > 0.0 && new_v < old_v * (1.0 - threshold)) {
+      msg << key << ": " << new_v << " < baseline " << old_v << " by "
+          << 100.0 * (1.0 - new_v / old_v) << "% (higher is better)";
+      return msg.str();
+    }
+  } else if (direction == "lower") {
+    if (old_v > 0.0 && new_v > old_v * (1.0 + threshold)) {
+      msg << key << ": " << new_v << " > baseline " << old_v << " by "
+          << 100.0 * (new_v / old_v - 1.0) << "% (lower is better)";
+      return msg.str();
+    }
+  } else {  // "none": flag any drift beyond the noise threshold
+    const double scale = std::max(std::fabs(old_v), std::fabs(new_v));
+    if (scale > 0.0 && std::fabs(new_v - old_v) > scale * threshold) {
+      msg << key << ": changed " << old_v << " -> " << new_v
+          << " (neutral metric drifted beyond threshold)";
+      return msg.str();
+    }
+  }
+  return {};
+}
+
+/// Full snapshot comparison; prints verdicts, returns the count of failures.
+int compare_snapshots(const JsonValue& baseline, const JsonValue& current,
+                      double threshold) {
+  int failures = 0;
+  const JsonValue* old_schema = baseline.find("schema_version");
+  if (old_schema == nullptr || old_schema->as_string() != kBenchSchemaVersion) {
+    std::cout << "FAIL schema_version: baseline is not " << kBenchSchemaVersion
+              << "\n";
+    return 1;
+  }
+  const JsonValue* old_metrics = baseline.find("metrics");
+  const JsonValue* new_metrics = current.find("metrics");
+  if (old_metrics == nullptr || new_metrics == nullptr) {
+    std::cout << "FAIL: snapshot missing metrics section\n";
+    return 1;
+  }
+  for (const auto& [key, old_entry] : old_metrics->object()) {
+    const JsonValue* new_entry = new_metrics->find(key);
+    if (new_entry == nullptr) {
+      std::cout << "FAIL " << key << ": metric missing from this run\n";
+      ++failures;
+      continue;
+    }
+    const std::string verdict =
+        compare_metric(key, old_entry, *new_entry, threshold);
+    if (verdict.empty()) {
+      std::cout << "ok   " << key << "\n";
+    } else {
+      std::cout << "FAIL " << verdict << "\n";
+      ++failures;
+    }
+  }
+  for (const auto& [key, entry] : new_metrics->object()) {
+    (void)entry;
+    if (old_metrics->find(key) == nullptr)
+      std::cout << "note " << key << ": new metric, not in baseline\n";
+  }
+  return failures;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lotus::util::Cli cli(
+      "Pinned bench suite -> versioned JSON snapshot, with regression compare");
+  cli.flag("smoke", "tiny suite (2 datasets at factor 0.05, threads {1,2})");
+  cli.opt("out", "", "write the snapshot JSON to this file (empty = stdout)");
+  cli.opt("compare", "", "baseline snapshot to compare this run against");
+  cli.opt("threshold", "0.15",
+          "relative noise threshold for --compare (0.15 = 15%)");
+  if (!cli.parse(argc, argv)) return 2;
+
+  const double threshold = cli.get_double("threshold");
+  if (!(threshold >= 0.0)) {
+    std::cerr << "invalid --threshold\n";
+    return 2;
+  }
+
+  try {
+    const bool smoke = cli.get_flag("smoke");
+    const JsonValue snapshot =
+        run_suite(smoke ? smoke_suite() : full_suite(), smoke ? "smoke" : "full");
+    const std::string text = snapshot.dump(2);
+
+    if (cli.get("out").empty()) {
+      std::cout << text << "\n";
+    } else {
+      std::ofstream out(cli.get("out"));
+      out << text << "\n";
+      if (!out) {
+        std::cerr << "failed to write " << cli.get("out") << "\n";
+        return 2;
+      }
+      std::cerr << "wrote " << cli.get("out") << "\n";
+    }
+
+    if (!cli.get("compare").empty()) {
+      std::ifstream in(cli.get("compare"));
+      if (!in) {
+        std::cerr << "cannot read baseline " << cli.get("compare") << "\n";
+        return 2;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      const JsonValue baseline = JsonValue::parse(buffer.str());
+      const int failures = compare_snapshots(baseline, snapshot, threshold);
+      if (failures > 0) {
+        std::cout << failures << " metric(s) regressed vs "
+                  << cli.get("compare") << "\n";
+        return 1;
+      }
+      std::cout << "no regressions vs " << cli.get("compare") << "\n";
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 2;
+  }
+  return 0;
+}

@@ -1,11 +1,13 @@
 // tc_profile: run one triangle-counting algorithm and dump the complete
-// observability report — span tree, per-thread counters, and scalar metrics —
-// in the versioned "lotus-metrics/1" schema (docs/METRICS.md).
+// observability report — span tree, per-thread counters, hardware events, and
+// scalar metrics — in the versioned "lotus-metrics/2" schema (docs/METRICS.md).
 //
 //   tc_profile --algo lotus                        # synthetic Twtr-S, JSON
 //   tc_profile --algo gap-forward --format csv
 //   tc_profile --algo lotus --graph edges.txt --output report.json
 //   tc_profile --algo lotus --threads 4 --factor 0.2
+//   tc_profile --algo lotus --events hw            # per-phase PMU deltas
+//   tc_profile --algo lotus --trace-out trace.json # Perfetto timeline
 #include <fstream>
 #include <iostream>
 
@@ -38,6 +40,10 @@ int main(int argc, char** argv) {
   cli.opt("hubs", "0", "LOTUS hub count (0 = automatic 1% rule)");
   cli.opt("format", "json", "report format: json or csv");
   cli.opt("output", "", "write the report to this file (empty = stdout)");
+  cli.opt("events", "off", "hardware-event source: hw (perf_event_open, "
+          "degrades to sim when denied), sim (simcache replay), off");
+  cli.opt("trace-out", "", "also write a Chrome-trace/Perfetto timeline "
+          "(span tree + scheduler events) to this file");
   if (!cli.parse(argc, argv)) return 1;
 
   const auto algorithm = lotus::tc::parse(cli.get("algo"));
@@ -48,6 +54,12 @@ int main(int argc, char** argv) {
   const std::string format = cli.get("format");
   if (format != "json" && format != "csv") {
     std::cerr << "unknown format: " << format << " (expected json or csv)\n";
+    return 1;
+  }
+  const auto events = lotus::obs::parse_event_source(cli.get("events"));
+  if (!events) {
+    std::cerr << "unknown --events source: " << cli.get("events")
+              << " (expected hw, sim, or off)\n";
     return 1;
   }
 
@@ -68,9 +80,23 @@ int main(int argc, char** argv) {
       graph = selection.at(0).make(cli.get_double("factor"));
     }
 
-    const auto report = lotus::tc::run_profiled(*algorithm, graph, config);
+    lotus::tc::ProfileOptions options;
+    options.events = *events;
+    options.capture_sched_events = !cli.get("trace-out").empty();
+
+    const auto report = lotus::tc::run_profiled(*algorithm, graph, config, options);
     const std::string text =
         format == "json" ? report.to_json() : report.metrics().to_csv();
+
+    if (!cli.get("trace-out").empty()) {
+      std::ofstream trace_out(cli.get("trace-out"));
+      trace_out << report.to_chrome_trace() << "\n";
+      if (!trace_out) {
+        std::cerr << "failed to write " << cli.get("trace-out") << "\n";
+        return 1;
+      }
+      std::cerr << "wrote " << cli.get("trace-out") << "\n";
+    }
 
     if (cli.get("output").empty()) {
       std::cout << text << "\n";

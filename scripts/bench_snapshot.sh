@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# bench_snapshot.sh: run the pinned bench suite and emit a dated snapshot.
+#
+#   scripts/bench_snapshot.sh                        # full suite -> BENCH_<date>.json
+#   scripts/bench_snapshot.sh --smoke                # tiny suite (CI)
+#   scripts/bench_snapshot.sh --compare BENCH_baseline.json
+#   scripts/bench_snapshot.sh --out my.json --threshold 0.2
+#
+# Exit codes follow the bench_snapshot binary: 0 clean, 1 regression vs the
+# --compare baseline, 2 usage/build error. See docs/PROFILING.md.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+bin="${repo_root}/build/bench/bench_snapshot"
+out=""
+compare=""
+threshold=""
+smoke=0
+
+usage() {
+  sed -n '2,10p' "${BASH_SOURCE[0]}" | sed 's/^# \{0,1\}//'
+}
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --smoke) smoke=1; shift ;;
+    --out) out="$2"; shift 2 ;;
+    --out=*) out="${1#*=}"; shift ;;
+    --compare) compare="$2"; shift 2 ;;
+    --compare=*) compare="${1#*=}"; shift ;;
+    --threshold) threshold="$2"; shift 2 ;;
+    --threshold=*) threshold="${1#*=}"; shift ;;
+    --bin) bin="$2"; shift 2 ;;
+    --bin=*) bin="${1#*=}"; shift ;;
+    -h|--help) usage; exit 0 ;;
+    *) echo "unknown option: $1" >&2; usage >&2; exit 2 ;;
+  esac
+done
+
+if [[ ! -x "${bin}" ]]; then
+  echo "bench_snapshot binary not found at ${bin}" >&2
+  echo "build it first: cmake -B build -S . && cmake --build build --target bench_snapshot" >&2
+  exit 2
+fi
+
+if [[ -z "${out}" ]]; then
+  out="BENCH_$(date +%Y%m%d).json"
+fi
+
+args=(--out "${out}")
+[[ ${smoke} -eq 1 ]] && args+=(--smoke)
+[[ -n "${compare}" ]] && args+=(--compare "${compare}")
+[[ -n "${threshold}" ]] && args+=(--threshold "${threshold}")
+
+"${bin}" "${args[@]}"

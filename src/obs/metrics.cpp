@@ -36,6 +36,14 @@ void MetricsRegistry::set_metric(std::string key, JsonValue value) {
   set_ordered(metrics_, std::move(key), std::move(value));
 }
 
+void MetricsRegistry::set_hw(EventSource source, std::string backend,
+                             const EventCounts& events, std::string note) {
+  hw_source_ = source;
+  hw_backend_ = std::move(backend);
+  hw_events_ = events;
+  hw_note_ = std::move(note);
+}
+
 void MetricsRegistry::set_counters(CountersSnapshot snapshot) {
   counters_ = std::move(snapshot);
   have_counters_ = true;
@@ -57,6 +65,20 @@ JsonValue MetricsRegistry::to_json() const {
   for (const auto& [k, v] : metrics_) metrics.set(k, v);
   if (!metrics.is_null()) root.set("metrics", std::move(metrics));
 
+  // hw section (schema v2): always present so consumers can trust the
+  // source stamp; events only when a provider actually ran.
+  JsonValue hw;
+  hw.set("source", event_source_name(hw_source_));
+  if (!hw_backend_.empty()) hw.set("backend", hw_backend_);
+  if (!hw_note_.empty()) hw.set("note", hw_note_);
+  if (hw_source_ != EventSource::kOff) {
+    JsonValue events;
+    for (std::size_t i = 0; i < kNumEvents; ++i)
+      events.set(event_name(static_cast<Event>(i)), hw_events_.value[i]);
+    hw.set("events", std::move(events));
+  }
+  root.set("hw", std::move(hw));
+
   // Span tree, built bottom-up: children always have larger indices than
   // their parents (begin() order), so one reverse pass completes subtrees
   // before they are grafted onto their parents.
@@ -70,6 +92,12 @@ JsonValue MetricsRegistry::to_json() const {
       JsonValue notes;
       for (const auto& [k, v] : spans_[i].notes) notes.set(k, v);
       node.set("notes", std::move(notes));
+    }
+    if (spans_[i].has_events) {
+      JsonValue events;
+      for (std::size_t j = 0; j < kNumEvents; ++j)
+        events.set(event_name(static_cast<Event>(j)), spans_[i].events.value[j]);
+      node.set("events", std::move(events));
     }
     nodes[i] = std::move(node);
   }
@@ -112,7 +140,16 @@ std::string MetricsRegistry::to_json_string(int indent) const {
 namespace {
 
 std::string csv_escape(const std::string& value) {
-  if (value.find_first_of(",\"\n") == std::string::npos) return value;
+  // RFC-4180 quoting: commas, quotes, CR/LF and any other control character
+  // (which would corrupt line-oriented consumers) force the quoted form.
+  bool needs_quoting = false;
+  for (const char c : value) {
+    if (c == ',' || c == '"' || static_cast<unsigned char>(c) < 0x20) {
+      needs_quoting = true;
+      break;
+    }
+  }
+  if (!needs_quoting) return value;
   std::string out = "\"";
   for (const char c : value) {
     if (c == '"') out += "\"\"";
@@ -137,7 +174,15 @@ std::string MetricsRegistry::to_csv() const {
   for (const auto& [k, v] : metrics_)
     out += "metric," + csv_escape(k) + "," + scalar_to_csv(v) + "\n";
 
-  // Spans flattened to slash-joined paths; notes ride along as span_note.
+  out += "hw,source," + std::string(event_source_name(hw_source_)) + "\n";
+  if (!hw_backend_.empty()) out += "hw,backend," + csv_escape(hw_backend_) + "\n";
+  if (hw_source_ != EventSource::kOff)
+    for (std::size_t i = 0; i < kNumEvents; ++i)
+      out += "hw,events." + std::string(event_name(static_cast<Event>(i))) +
+             "," + std::to_string(hw_events_.value[i]) + "\n";
+
+  // Spans flattened to slash-joined paths; notes and event deltas ride
+  // along as span_note / span_event rows.
   std::vector<std::string> paths(spans_.size());
   for (std::size_t i = 0; i < spans_.size(); ++i) {
     paths[i] = spans_[i].parent == PhaseTracer::npos
@@ -146,6 +191,11 @@ std::string MetricsRegistry::to_csv() const {
     out += "span," + csv_escape(paths[i]) + "," + util::fixed(spans_[i].seconds, 6) + "\n";
     for (const auto& [k, v] : spans_[i].notes)
       out += "span_note," + csv_escape(paths[i] + "." + k) + "," + csv_escape(v) + "\n";
+    if (spans_[i].has_events)
+      for (std::size_t j = 0; j < kNumEvents; ++j)
+        out += "span_event," +
+               csv_escape(paths[i] + "." + event_name(static_cast<Event>(j))) +
+               "," + std::to_string(spans_[i].events.value[j]) + "\n";
   }
 
   if (have_counters_) {

@@ -1,12 +1,13 @@
 // MetricsRegistry: one run's observability data behind a versioned schema.
 //
-// A registry collects the four report sections — `meta` (identity: algorithm,
+// A registry collects the five report sections — `meta` (identity: algorithm,
 // graph, threads), `metrics` (scalar results: triangles, seconds, rates),
-// `spans` (the PhaseTracer tree) and `counters` (totals + per-thread) — and
-// exports them as JSON (schema "lotus-metrics/1", specified in
-// docs/METRICS.md) or flat CSV. Every bench and the tc_profile example emit
-// their numbers through this type, so reports are comparable across
-// algorithms and PRs.
+// `hw` (hardware-event source + per-event totals), `spans` (the PhaseTracer
+// tree, including per-span event deltas) and `counters` (totals +
+// per-thread) — and exports them as JSON (schema "lotus-metrics/2",
+// specified in docs/METRICS.md) or flat CSV. Every bench and the tc_profile
+// example emit their numbers through this type, so reports are comparable
+// across algorithms and PRs.
 //
 // Thread-safety: a registry is a single-threaded builder object; assemble it
 // on one thread after the parallel work has finished. Exporting does not
@@ -22,6 +23,7 @@
 #include <vector>
 
 #include "obs/counters.hpp"
+#include "obs/hwc.hpp"
 #include "obs/json.hpp"
 #include "obs/trace.hpp"
 
@@ -29,7 +31,7 @@ namespace lotus::obs {
 
 /// Version tag stamped into every export; bump when the layout or the
 /// counter names change (docs/METRICS.md is the changelog).
-inline constexpr const char* kMetricsSchemaVersion = "lotus-metrics/1";
+inline constexpr const char* kMetricsSchemaVersion = "lotus-metrics/2";
 
 class MetricsRegistry {
  public:
@@ -39,6 +41,13 @@ class MetricsRegistry {
 
   /// Scalar results ("triangles", "total_s", ...). Same semantics as meta.
   void set_metric(std::string key, JsonValue value);
+
+  /// Hardware-event section: where the numbers came from (hardware PMU,
+  /// the simcache model, or off), the backend tag, and run totals. The
+  /// source is stamped so simulated numbers are never mistaken for measured
+  /// ones. A registry without this call exports `"hw": {"source": "off"}`.
+  void set_hw(EventSource source, std::string backend,
+              const EventCounts& events, std::string note = "");
 
   /// Attach a counters snapshot (obs::counters_snapshot()).
   void set_counters(CountersSnapshot snapshot);
@@ -61,6 +70,10 @@ class MetricsRegistry {
   CountersSnapshot counters_;
   bool have_counters_ = false;
   std::vector<PhaseTracer::Span> spans_;
+  EventSource hw_source_ = EventSource::kOff;
+  std::string hw_backend_;
+  EventCounts hw_events_;
+  std::string hw_note_;
 };
 
 }  // namespace lotus::obs

@@ -1,8 +1,17 @@
 #include "obs/trace.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 namespace lotus::obs {
+
+double trace_clock_s() {
+  // The epoch is anchored at the first call; every tracer constructor and
+  // scheduler event goes through here, so all share one timebase.
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch)
+      .count();
+}
 
 std::size_t PhaseTracer::begin(std::string name) {
   Span span;
@@ -16,6 +25,12 @@ std::size_t PhaseTracer::begin(std::string name) {
   const std::size_t id = spans_.size();
   spans_.push_back(std::move(span));
   open_stack_.push_back(id);
+  OpenSample sample;
+  if (provider_ != nullptr) {
+    sample.counts = provider_->read();
+    sample.sampled = true;
+  }
+  open_samples_.push_back(std::move(sample));
   return id;
 }
 
@@ -24,7 +39,13 @@ void PhaseTracer::end() {
   Span& span = spans_[open_stack_.back()];
   span.seconds = clock_.elapsed_s() - span.start_s;
   span.open = false;
+  const OpenSample& sample = open_samples_.back();
+  if (sample.sampled && provider_ != nullptr) {
+    span.events = provider_->read() - sample.counts;
+    span.has_events = true;
+  }
   open_stack_.pop_back();
+  open_samples_.pop_back();
 }
 
 std::size_t PhaseTracer::leaf(std::string name, double seconds) {
@@ -50,6 +71,17 @@ void PhaseTracer::note(std::string key, std::string value) {
     target = &spans_.back();
   if (target == nullptr) return;
   target->notes.emplace_back(std::move(key), std::move(value));
+}
+
+bool PhaseTracer::set_events(std::string_view name, const EventCounts& delta) {
+  for (Span& span : spans_) {
+    if (span.name == name) {
+      span.events = delta;
+      span.has_events = true;
+      return true;
+    }
+  }
+  return false;
 }
 
 const PhaseTracer::Span* PhaseTracer::find(std::string_view name) const noexcept {

@@ -13,10 +13,16 @@
 // test (ScopedSpan does the check). Tracing is NOT affected by the LOTUS_OBS
 // macro; only the counters are (obs/counters.hpp).
 //
+// Hardware events: attach an EventProvider (obs/hwc.hpp) via
+// set_event_provider and every subsequently opened span samples it at
+// begin/end, carrying the per-span event deltas of the paper's Figs. 4-5.
+// set_events() grafts externally measured deltas (the simcache replay path)
+// onto existing spans by name.
+//
 // Thread-safety: a PhaseTracer is single-threaded by design — one tracer
 // belongs to the orchestrating thread of a run; parallel kernels report via
 // the per-thread counters instead. Concurrent begin/end on one tracer is a
-// data race.
+// data race. (EventProvider::read() itself is thread-safe.)
 #pragma once
 
 #include <cstddef>
@@ -26,10 +32,16 @@
 #include <utility>
 #include <vector>
 
+#include "obs/hwc.hpp"
 #include "util/format.hpp"
 #include "util/timer.hpp"
 
 namespace lotus::obs {
+
+/// Seconds since the process-wide trace epoch (a steady clock anchored at
+/// first use). PhaseTracer spans and the scheduler's trace events
+/// (obs/trace_export.hpp) share this timebase so exported timelines align.
+[[nodiscard]] double trace_clock_s();
 
 class PhaseTracer {
  public:
@@ -43,6 +55,8 @@ class PhaseTracer {
     unsigned depth = 0;      // 0 = root
     bool open = false;
     std::vector<std::pair<std::string, std::string>> notes;
+    bool has_events = false;  // true once an event delta was recorded
+    EventCounts events;       // hardware/simulated event delta over the span
   };
 
   /// Open a span nested under the innermost open span; returns its id
@@ -81,10 +95,33 @@ class PhaseTracer {
   /// Seconds since the tracer was constructed.
   [[nodiscard]] double elapsed_s() const { return clock_.elapsed_s(); }
 
+  /// Construction time of this tracer on the trace_clock_s() timebase; add
+  /// it to a span's start_s to place the span on the shared timeline.
+  [[nodiscard]] double epoch_s() const noexcept { return epoch_s_; }
+
+  /// Attach (or detach, with nullptr) an event provider. Spans opened while
+  /// a provider is attached sample it at begin and end and record the delta
+  /// (Span::events). Affects only spans begun after the call; the provider
+  /// must outlive every span it is sampled for.
+  void set_event_provider(EventProvider* provider) noexcept { provider_ = provider; }
+
+  /// Graft an externally measured event delta onto the first span named
+  /// `name` (the simcache replay attribution path). Returns false and drops
+  /// the delta when no such span exists.
+  bool set_events(std::string_view name, const EventCounts& delta);
+
  private:
+  struct OpenSample {
+    EventCounts counts;
+    bool sampled = false;
+  };
+
   util::Timer clock_;
+  double epoch_s_ = trace_clock_s();
   std::vector<Span> spans_;
   std::vector<std::size_t> open_stack_;
+  std::vector<OpenSample> open_samples_;  // parallel to open_stack_
+  EventProvider* provider_ = nullptr;
 };
 
 /// RAII span bracket. Tolerates a null tracer so instrumentation stays one

@@ -1,0 +1,158 @@
+#include "obs/trace_export.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+
+namespace lotus::obs {
+
+void SchedEventLog::append(std::vector<SchedEvent> events) {
+  if (events.empty()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.insert(events_.end(), std::make_move_iterator(events.begin()),
+                 std::make_move_iterator(events.end()));
+}
+
+std::vector<SchedEvent> SchedEventLog::events() const {
+  std::vector<SchedEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out = events_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SchedEvent& a, const SchedEvent& b) {
+              return a.start_s < b.start_s;
+            });
+  return out;
+}
+
+void SchedEventLog::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+namespace {
+std::atomic<SchedEventLog*> g_sched_sink{nullptr};
+
+constexpr int kPid = 1;
+// Chrome-trace rows: the orchestrator's span tree on tid 0, worker k on
+// tid 1+k. The master thread doubles as worker 0; giving it its own row
+// keeps both timelines well-nested (tasks would otherwise interleave with
+// the phase stack).
+constexpr int kSpanTid = 0;
+
+int worker_tid(unsigned thread) { return 1 + static_cast<int>(thread); }
+
+double to_us(double seconds) { return seconds * 1e6; }
+
+JsonValue metadata_event(const char* name, int tid, std::string value) {
+  JsonValue event;
+  event.set("ph", "M");
+  event.set("pid", kPid);
+  event.set("tid", tid);
+  event.set("name", name);
+  JsonValue args;
+  args.set("name", std::move(value));
+  event.set("args", std::move(args));
+  return event;
+}
+
+JsonValue complete_event(int tid, const std::string& name, double start_s,
+                         double seconds) {
+  JsonValue event;
+  event.set("ph", "X");
+  event.set("pid", kPid);
+  event.set("tid", tid);
+  event.set("name", name);
+  event.set("ts", to_us(start_s));
+  event.set("dur", to_us(seconds));
+  return event;
+}
+
+}  // namespace
+
+void set_sched_event_sink(SchedEventLog* sink) noexcept {
+  g_sched_sink.store(sink, std::memory_order_release);
+}
+
+SchedEventLog* sched_event_sink() noexcept {
+  return g_sched_sink.load(std::memory_order_acquire);
+}
+
+JsonValue chrome_trace(const PhaseTracer& tracer,
+                       const std::vector<SchedEvent>& sched) {
+  JsonValue events;
+  events.push_back(metadata_event("process_name", kSpanTid, "lotus"));
+  events.push_back(metadata_event("thread_name", kSpanTid, "phases"));
+
+  for (const PhaseTracer::Span& span : tracer.spans()) {
+    if (span.open) continue;  // duration unknown; cannot emit a complete slice
+    JsonValue event = complete_event(kSpanTid, span.name,
+                                     tracer.epoch_s() + span.start_s,
+                                     span.seconds);
+    JsonValue args;
+    for (const auto& [key, value] : span.notes) args.set(key, value);
+    if (span.has_events) {
+      JsonValue deltas;
+      for (std::size_t i = 0; i < kNumEvents; ++i)
+        deltas.set(event_name(static_cast<Event>(i)),
+                   span.events.value[i]);
+      args.set("events", std::move(deltas));
+    }
+    if (!args.is_null()) event.set("args", std::move(args));
+    events.push_back(std::move(event));
+  }
+
+  std::vector<int> named_tids;
+  for (const SchedEvent& e : sched) {
+    const int tid = worker_tid(e.thread);
+    if (std::find(named_tids.begin(), named_tids.end(), tid) == named_tids.end()) {
+      named_tids.push_back(tid);
+      events.push_back(metadata_event("thread_name", tid,
+                                      "worker " + std::to_string(e.thread)));
+    }
+    switch (e.kind) {
+      case SchedEvent::Kind::kTask: {
+        JsonValue event = complete_event(tid, "task", e.start_s, e.seconds);
+        JsonValue args;
+        args.set("task", e.task);
+        event.set("args", std::move(args));
+        events.push_back(std::move(event));
+        break;
+      }
+      case SchedEvent::Kind::kSteal: {
+        JsonValue event;
+        event.set("ph", "i");
+        event.set("pid", kPid);
+        event.set("tid", tid);
+        event.set("name", "steal");
+        event.set("ts", to_us(e.start_s));
+        event.set("s", "t");  // thread-scoped instant
+        JsonValue args;
+        args.set("task", e.task);
+        args.set("victim", static_cast<std::int64_t>(e.victim));
+        event.set("args", std::move(args));
+        events.push_back(std::move(event));
+        break;
+      }
+      case SchedEvent::Kind::kIdle:
+        events.push_back(complete_event(tid, "idle", e.start_s, e.seconds));
+        break;
+    }
+  }
+
+  JsonValue doc;
+  doc.set("traceEvents", std::move(events));
+  doc.set("displayTimeUnit", "ms");
+  JsonValue other;
+  other.set("generator", "lotus trace_export");
+  doc.set("otherData", std::move(other));
+  return doc;
+}
+
+std::string chrome_trace_string(const PhaseTracer& tracer,
+                                const std::vector<SchedEvent>& sched) {
+  return chrome_trace(tracer, sched).dump();
+}
+
+}  // namespace lotus::obs

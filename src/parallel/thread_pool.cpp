@@ -7,6 +7,7 @@
 #include <random>
 
 #include "obs/counters.hpp"
+#include "obs/trace_export.hpp"
 #include "util/prng.hpp"
 #include "util/timer.hpp"
 
@@ -71,14 +72,20 @@ void ThreadPool::worker_loop(unsigned index) {
 
 namespace {
 
+/// A task plus its submission index, so trace events can name it.
+struct NumberedTask {
+  WorkStealingScheduler::Task fn;
+  std::uint64_t id = 0;
+};
+
 /// One mutex-protected deque per worker. The owner pops from the front, a
 /// thief pops from the back; at graph-partition granularity the lock cost is
 /// negligible relative to task bodies.
 struct TaskDeque {
   std::mutex mutex;
-  std::deque<WorkStealingScheduler::Task> tasks;
+  std::deque<NumberedTask> tasks;
 
-  bool pop_front(WorkStealingScheduler::Task& out) {
+  bool pop_front(NumberedTask& out) {
     std::lock_guard<std::mutex> lock(mutex);
     if (tasks.empty()) return false;
     out = std::move(tasks.front());
@@ -86,7 +93,7 @@ struct TaskDeque {
     return true;
   }
 
-  bool steal_back(WorkStealingScheduler::Task& out) {
+  bool steal_back(NumberedTask& out) {
     std::lock_guard<std::mutex> lock(mutex);
     if (tasks.empty()) return false;
     out = std::move(tasks.back());
@@ -103,41 +110,72 @@ std::vector<double> WorkStealingScheduler::run(std::vector<Task> tasks) {
   deques.reserve(n);
   for (unsigned i = 0; i < n; ++i) deques.push_back(std::make_unique<TaskDeque>());
   for (std::size_t i = 0; i < tasks.size(); ++i)
-    deques[i % n]->tasks.push_back(std::move(tasks[i]));
+    deques[i % n]->tasks.push_back({std::move(tasks[i]), i});
 
   std::atomic<std::size_t> outstanding{tasks.size()};
   std::vector<Padded<double>> busy_s(n);
+  // Timeline recording is off unless a sink is installed (one atomic load
+  // per run); events buffer thread-locally and flush once per thread.
+  obs::SchedEventLog* sink = obs::sched_event_sink();
 
   pool_.execute([&](unsigned thread_index) {
     util::Xoshiro256 rng(0x5eedULL + thread_index);
     util::Timer wall;
-    Task task;
+    NumberedTask task;
     double local_busy = 0.0;
     // Dead when LOTUS_OBS=0: the flush below becomes a no-op and the
     // optimizer strips the accumulators.
     std::uint64_t tasks_run = 0, steal_attempts = 0, steals = 0;
+    std::vector<obs::SchedEvent> events;
+    double idle_since = -1.0;  // trace timestamp of the current idle interval
+    const auto close_idle = [&] {
+      if (idle_since < 0.0) return;
+      events.push_back({obs::SchedEvent::Kind::kIdle, thread_index, idle_since,
+                        obs::trace_clock_s() - idle_since, 0, -1});
+      idle_since = -1.0;
+    };
     while (outstanding.load(std::memory_order_acquire) != 0) {
       bool got = deques[thread_index]->pop_front(task);
       if (!got) {
         // Steal from a random victim; scan all once before re-checking.
         const unsigned start = static_cast<unsigned>(rng.next_below(n));
+        unsigned victim = thread_index;
         for (unsigned probe = 0; probe < n && !got; ++probe) {
-          const unsigned victim = (start + probe) % n;
+          victim = (start + probe) % n;
           if (victim == thread_index) continue;
           ++steal_attempts;
           got = deques[victim]->steal_back(task);
         }
-        if (got) ++steals;
+        if (got) {
+          ++steals;
+          if (sink != nullptr) {
+            close_idle();
+            events.push_back({obs::SchedEvent::Kind::kSteal, thread_index,
+                              obs::trace_clock_s(), 0.0, task.id,
+                              static_cast<int>(victim)});
+          }
+        }
       }
       if (got) {
+        if (sink != nullptr) close_idle();
+        const double trace_start = sink != nullptr ? obs::trace_clock_s() : 0.0;
         util::Timer t;
-        task(thread_index);
-        local_busy += t.elapsed_s();
+        task.fn(thread_index);
+        const double elapsed = t.elapsed_s();
+        local_busy += elapsed;
         ++tasks_run;
+        if (sink != nullptr)
+          events.push_back({obs::SchedEvent::Kind::kTask, thread_index,
+                            trace_start, elapsed, task.id, -1});
         outstanding.fetch_sub(1, std::memory_order_acq_rel);
       } else {
+        if (sink != nullptr && idle_since < 0.0) idle_since = obs::trace_clock_s();
         std::this_thread::yield();
       }
+    }
+    if (sink != nullptr) {
+      close_idle();
+      sink->append(std::move(events));
     }
     busy_s[thread_index].value = local_busy;
     obs::count(obs::Counter::kTasksExecuted, tasks_run);

@@ -63,7 +63,9 @@ class ThreadPool {
 /// Tasks are distributed round-robin at submission; each worker drains its
 /// own deque from the front and steals from the back of a random victim when
 /// empty. Per-thread busy seconds are recorded so callers can compute idle
-/// fractions (Table 9).
+/// fractions (Table 9). When a trace sink is installed
+/// (obs::set_sched_event_sink), each run also records timestamped
+/// task/steal/idle events for the Chrome-trace timeline export.
 class WorkStealingScheduler {
  public:
   using Task = std::function<void(unsigned thread_index)>;

@@ -1,10 +1,18 @@
 #include "tc/api.hpp"
 
+#include <iostream>
+#include <memory>
+
 #include "baselines/matrix_tc.hpp"
 #include "baselines/tc_baselines.hpp"
+#include "graph/degree_order.hpp"
 #include "lotus/adaptive.hpp"
 #include "lotus/lotus.hpp"
+#include "lotus/lotus_graph.hpp"
 #include "parallel/thread_pool.hpp"
+#include "simcache/machines.hpp"
+#include "simcache/sim_events.hpp"
+#include "tc/instrumented.hpp"
 #include "util/timer.hpp"
 
 namespace lotus::tc {
@@ -19,6 +27,87 @@ RunResult from_baseline(const baselines::TcResult& r) {
 void leaf_spans(obs::PhaseTracer& trace, const RunResult& r) {
   if (r.preprocess_s > 0.0) trace.leaf("preprocess", r.preprocess_s);
   trace.leaf("count", r.count_s);
+}
+
+// Value of a note key anywhere in the span tree ("" if absent) — used to
+// recover the adaptive fallback's decision after the fact.
+std::string find_note(const obs::PhaseTracer& trace, std::string_view key) {
+  for (const auto& span : trace.spans())
+    for (const auto& [k, v] : span.notes)
+      if (k == key) return v;
+  return {};
+}
+
+// `--events sim`: replay the already-finished run single-threaded through the
+// simcache model and graft the modeled per-phase event deltas onto the span
+// tree. The replay re-executes the counting kernels (not preprocessing), so
+// only count-side spans receive events. Supported for the algorithms that
+// have instrumented replays (lotus, adaptive, gap-forward); everything else
+// reports zero events with an explanatory note.
+void attribute_simulated(ProfileReport& report, const graph::CsrGraph& graph,
+                         const core::LotusConfig& config,
+                         const ProfileOptions& options) {
+  const simcache::MachineConfig machine =
+      simcache::skylakex().scaled(options.sim_cache_scale);
+  simcache::SimEventProvider sim(machine);
+  report.event_source = obs::EventSource::kSimulated;
+  report.event_backend = sim.backend();
+
+  Algorithm replayed = report.algorithm;
+  if (report.algorithm == Algorithm::kAdaptive)
+    replayed = find_note(report.trace, "chosen_algorithm") == "forward"
+                   ? Algorithm::kForwardMerge
+                   : Algorithm::kLotus;
+
+  std::uint64_t replay_triangles = 0;
+  switch (replayed) {
+    case Algorithm::kLotus: {
+      const core::LotusGraph lg = core::LotusGraph::build(graph, config);
+      const SampledLotusReplay replay =
+          replay_lotus_sampled(lg, config, sim.model());
+      replay_triangles = replay.triangles;
+      const obs::EventCounts hub = simcache::to_event_counts(replay.after_hub);
+      const obs::EventCounts hnn = simcache::to_event_counts(replay.after_hnn);
+      const obs::EventCounts nnn = simcache::to_event_counts(replay.after_nnn);
+      report.events = nnn;  // cumulative after the last phase = run total
+      if (report.algorithm == Algorithm::kAdaptive) {
+        // Adaptive exposes only coarse leaf spans; graft the total.
+        report.trace.set_events("count", nnn);
+      } else {
+        report.trace.set_events("count", nnn);
+        report.trace.set_events("hhh_hhn", hub);
+        if (config.fuse_hnn_nnn) {
+          report.trace.set_events("hnn_nnn_fused", nnn - hub);
+        } else {
+          report.trace.set_events("hnn", hnn - hub);
+          report.trace.set_events("nnn", nnn - hnn);
+        }
+      }
+      report.event_note =
+          "events modeled by single-threaded simcache replay of the counting "
+          "phases; preprocess spans carry no events";
+      break;
+    }
+    case Algorithm::kForwardMerge: {
+      const graph::OrientedCsr oriented = graph::degree_ordered_oriented(graph);
+      replay_triangles = replay_forward(oriented, sim.model());
+      report.events = sim.read();
+      report.trace.set_events("count", report.events);
+      report.event_note =
+          "events modeled by single-threaded simcache replay of the counting "
+          "phase; preprocess spans carry no events";
+      break;
+    }
+    default:
+      report.events = obs::EventCounts{};
+      report.event_note = "no instrumented replay for " + name(report.algorithm) +
+                          "; simulated events are zero";
+      return;
+  }
+  if (replay_triangles != report.result.triangles)
+    report.event_note += "; replay count mismatch (replay " +
+                         std::to_string(replay_triangles) + " vs run " +
+                         std::to_string(report.result.triangles) + ")";
 }
 }  // namespace
 
@@ -70,7 +159,8 @@ RunResult run(Algorithm algorithm, const graph::CsrGraph& graph,
 }
 
 ProfileReport run_profiled(Algorithm algorithm, const graph::CsrGraph& graph,
-                           const core::LotusConfig& config) {
+                           const core::LotusConfig& config,
+                           const ProfileOptions& options) {
   obs::reset_counters();
 
   ProfileReport report;
@@ -78,6 +168,32 @@ ProfileReport run_profiled(Algorithm algorithm, const graph::CsrGraph& graph,
   report.vertices = graph.num_vertices();
   report.edges = graph.num_edges() / 2;
   report.threads = parallel::default_pool().size();
+
+  // Hardware counters: probe availability up front and degrade to the
+  // simulated source rather than failing the run (locked-down containers
+  // routinely deny perf_event_open).
+  obs::EventSource source = options.events;
+  std::unique_ptr<obs::HwcProvider> hw;
+  obs::EventCounts hw_begin;
+  if (source == obs::EventSource::kHardware) {
+    std::string error;
+    hw = obs::HwcProvider::create(&error);
+    if (hw == nullptr) {
+      std::cerr << "[obs] hardware counters unavailable (" << error
+                << "); falling back to --events sim\n";
+      source = obs::EventSource::kSimulated;
+      report.event_note =
+          "hardware counters unavailable (" + error + "); degraded to simulated";
+    } else {
+      parallel::default_pool().execute(
+          [&hw](unsigned) { hw->attach_current_thread(); });
+      report.trace.set_event_provider(hw.get());
+      hw_begin = hw->read();
+    }
+  }
+
+  obs::SchedEventLog sched_log;
+  if (options.capture_sched_events) obs::set_sched_event_sink(&sched_log);
 
   switch (algorithm) {
     case Algorithm::kLotus: {
@@ -103,7 +219,25 @@ ProfileReport run_profiled(Algorithm algorithm, const graph::CsrGraph& graph,
     }
   }
 
+  if (options.capture_sched_events) {
+    obs::set_sched_event_sink(nullptr);
+    report.sched_events = sched_log.events();
+  }
+
   report.counters = obs::counters_snapshot();
+
+  if (hw != nullptr) {
+    report.event_source = obs::EventSource::kHardware;
+    report.event_backend = hw->backend();
+    report.events = hw->read() - hw_begin;
+    // The provider dies with this frame; the trace must not keep sampling it.
+    report.trace.set_event_provider(nullptr);
+  } else if (source == obs::EventSource::kSimulated) {
+    const std::string degradation_note = report.event_note;
+    attribute_simulated(report, graph, config, options);
+    if (!degradation_note.empty())
+      report.event_note = degradation_note + "; " + report.event_note;
+  }
   return report;
 }
 
@@ -120,6 +254,7 @@ obs::MetricsRegistry ProfileReport::metrics() const {
   registry.set_metric("total_s", result.total_s());
   registry.set_metric("triangles_per_s", result.triangles_per_s());
   registry.set_metric("edges_per_s", edges_per_s(edges, result.total_s()));
+  registry.set_hw(event_source, event_backend, events, event_note);
   registry.set_trace(trace);
   registry.set_counters(counters);
   return registry;
@@ -127,6 +262,10 @@ obs::MetricsRegistry ProfileReport::metrics() const {
 
 std::string ProfileReport::to_json(int indent) const {
   return metrics().to_json_string(indent);
+}
+
+std::string ProfileReport::to_chrome_trace() const {
+  return obs::chrome_trace_string(trace, sched_events);
 }
 
 std::string name(Algorithm algorithm) {

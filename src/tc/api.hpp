@@ -25,8 +25,10 @@
 #include "graph/csr.hpp"
 #include "lotus/config.hpp"
 #include "obs/counters.hpp"
+#include "obs/hwc.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
 
 namespace lotus::tc {
 
@@ -72,10 +74,30 @@ struct RunResult {
 RunResult run(Algorithm algorithm, const graph::CsrGraph& graph,
               const core::LotusConfig& config = {});
 
-/// Everything one run produced: the RunResult plus the span tree and the
-/// per-thread counter snapshot taken over exactly this run. Exported via
-/// metrics() / to_json() in the versioned "lotus-metrics/1" schema
-/// (docs/METRICS.md).
+/// Knobs for run_profiled beyond the algorithm config.
+struct ProfileOptions {
+  /// Requested hardware-event source. kHardware degrades to kSimulated
+  /// (with a one-line stderr warning) when perf_event_open is unavailable —
+  /// a locked-down container must never fail the run. kSimulated replays
+  /// the run single-threaded through the simcache model after the real
+  /// (timed) run to attribute modeled events per phase; it is supported for
+  /// lotus/adaptive/gap-forward and reports zero events (with a note) for
+  /// the other baselines.
+  obs::EventSource events = obs::EventSource::kOff;
+
+  /// Record the scheduler's task/steal/idle timeline into
+  /// ProfileReport::sched_events (for chrome_trace export).
+  bool capture_sched_events = false;
+
+  /// Cache-size divisor for the simulated machine (matches the fig4/fig5
+  /// default scaling of SkyLakeX to laptop-scale datasets).
+  std::uint32_t sim_cache_scale = 16;
+};
+
+/// Everything one run produced: the RunResult plus the span tree, the
+/// per-thread counter snapshot, hardware-event totals, and (optionally) the
+/// scheduler timeline taken over exactly this run. Exported via metrics() /
+/// to_json() in the versioned "lotus-metrics/2" schema (docs/METRICS.md).
 struct ProfileReport {
   Algorithm algorithm = Algorithm::kLotus;
   RunResult result;
@@ -85,18 +107,36 @@ struct ProfileReport {
   std::uint64_t edges = 0;  // undirected edge count
   unsigned threads = 0;
 
-  /// Assemble the full MetricsRegistry (meta + metrics + spans + counters).
+  /// Event source that actually ran (after any hw→sim degradation), its
+  /// backend tag, run-total events, and a note when something degraded or
+  /// was unsupported. kOff ⇒ events are all zero.
+  obs::EventSource event_source = obs::EventSource::kOff;
+  std::string event_backend;
+  obs::EventCounts events;
+  std::string event_note;
+
+  /// Scheduler timeline (empty unless ProfileOptions::capture_sched_events).
+  std::vector<obs::SchedEvent> sched_events;
+
+  /// Assemble the full MetricsRegistry (meta + metrics + hw + spans +
+  /// counters).
   [[nodiscard]] obs::MetricsRegistry metrics() const;
   /// Shorthand for metrics().to_json_string(indent).
   [[nodiscard]] std::string to_json(int indent = 2) const;
+  /// Chrome-trace document of the span tree + scheduler timeline
+  /// (obs::chrome_trace), loadable in Perfetto / chrome://tracing.
+  [[nodiscard]] std::string to_chrome_trace() const;
 };
 
 /// Like run(), but resets the global observability counters first and
 /// captures the span tree + counter snapshot of the run. LOTUS and the
 /// adaptive variant emit their full phase breakdown; baselines emit
-/// "preprocess"/"count" leaf spans from their coarse timings.
+/// "preprocess"/"count" leaf spans from their coarse timings. With
+/// options.events != kOff, spans additionally carry hardware (or simulated)
+/// event deltas.
 ProfileReport run_profiled(Algorithm algorithm, const graph::CsrGraph& graph,
-                           const core::LotusConfig& config = {});
+                           const core::LotusConfig& config = {},
+                           const ProfileOptions& options = {});
 
 [[nodiscard]] std::string name(Algorithm algorithm);
 [[nodiscard]] std::optional<Algorithm> parse(const std::string& name);

@@ -45,13 +45,24 @@ class SingleThreadGuard {
 std::uint64_t replay_lotus(const core::LotusGraph& lg,
                            const core::LotusConfig& config,
                            simcache::PerfModel& model) {
+  return replay_lotus_sampled(lg, config, model).triangles;
+}
+
+SampledLotusReplay replay_lotus_sampled(const core::LotusGraph& lg,
+                                        const core::LotusConfig& config,
+                                        simcache::PerfModel& model) {
   SingleThreadGuard guard;
+  SampledLotusReplay out;
   const auto hub_phase = core::count_hhh_hhn(lg, config,
                                              core::TilingPolicy::kSquared,
                                              nullptr, model);
+  out.after_hub = model.counters();
   const std::uint64_t hnn = core::count_hnn(lg, model);
+  out.after_hnn = model.counters();
   const std::uint64_t nnn = core::count_nnn(lg, model);
-  return hub_phase.hhh + hub_phase.hhn + hnn + nnn;
+  out.after_nnn = model.counters();
+  out.triangles = hub_phase.hhh + hub_phase.hhn + hnn + nnn;
+  return out;
 }
 
 namespace {

@@ -33,6 +33,20 @@ std::uint64_t replay_lotus(const core::LotusGraph& lotus_graph,
                            const core::LotusConfig& config,
                            simcache::PerfModel& model);
 
+/// replay_lotus with cumulative model snapshots taken between phases, so
+/// callers can attribute modeled events to the hhh_hhn / hnn / nnn spans
+/// (the `--events sim` path of tc::run_profiled). Snapshots are cumulative;
+/// subtract adjacent ones for per-phase deltas.
+struct SampledLotusReplay {
+  std::uint64_t triangles = 0;
+  simcache::PerfCounters after_hub;  // after phase 1 (hhh + hhn)
+  simcache::PerfCounters after_hnn;  // after phase 2
+  simcache::PerfCounters after_nnn;  // after phase 3 (= run total)
+};
+SampledLotusReplay replay_lotus_sampled(const core::LotusGraph& lotus_graph,
+                                        const core::LotusConfig& config,
+                                        simcache::PerfModel& model);
+
 /// Fig. 9 input: per-64-byte-cacheline access counts of the H2H bit array
 /// during phase 1 (one entry per cacheline, index = bit / 512).
 std::vector<std::uint64_t> h2h_cacheline_histogram(

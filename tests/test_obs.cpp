@@ -162,6 +162,100 @@ TEST(Json, ParseRejectsMalformedInput) {
   EXPECT_THROW(JsonValue::parse("\"unterminated"), std::runtime_error);
 }
 
+TEST(Json, EscapesControlCharactersQuotesAndBackslashes) {
+  // Every byte below 0x20 must be escaped — raw control characters in the
+  // output would make the document unparseable by strict readers.
+  std::string hostile = "quote:\" backslash:\\ ";
+  for (char c = 1; c < 0x20; ++c) hostile.push_back(c);
+  JsonValue doc;
+  doc.set(hostile, hostile);
+
+  const std::string dumped = doc.dump();
+  for (const char c : dumped)
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u)
+        << "raw control character in JSON output";
+  const JsonValue reparsed = JsonValue::parse(dumped);
+  EXPECT_EQ(reparsed.find(hostile)->as_string(), hostile);
+}
+
+TEST(Metrics, CsvEscapesCommasQuotesAndControlCharacters) {
+  obs::MetricsRegistry registry;
+  registry.set_meta("graph", "a,b\"c\nd\re");  // comma, quote, LF, CR
+  PhaseTracer tracer;
+  tracer.leaf("phase,with\"comma", 0.5);
+  tracer.note("key", "multi\nline");
+  registry.set_trace(tracer);
+
+  const std::string csv = registry.to_csv();
+  // RFC-4180: the hostile value arrives quoted with doubled inner quotes.
+  EXPECT_NE(csv.find("meta,graph,\"a,b\"\"c\nd\re\""), std::string::npos) << csv;
+  EXPECT_NE(csv.find("span,\"phase,with\"\"comma\""), std::string::npos) << csv;
+  EXPECT_NE(csv.find("\"multi\nline\""), std::string::npos) << csv;
+
+  // Parsing the CSV with quote-aware splitting recovers the exact value.
+  // (Rows are newline-separated, but quoted fields may span lines.)
+  bool in_quotes = false;
+  std::size_t rows = 1;
+  for (std::size_t i = 0; i < csv.size(); ++i) {
+    if (csv[i] == '"') {
+      in_quotes = !in_quotes;
+    } else if (csv[i] == '\n' && !in_quotes) {
+      ++rows;
+    }
+  }
+  EXPECT_FALSE(in_quotes) << "unbalanced quotes in CSV output";
+  EXPECT_GE(rows, 5u);  // header + schema + meta + span + span_note (+ final NL)
+}
+
+TEST(Metrics, HwSectionStampsSourceAndEvents) {
+  obs::MetricsRegistry registry;
+
+  // Without set_hw the section still exists, stamped "off", with no events.
+  JsonValue doc = registry.to_json();
+  const JsonValue* hw = doc.find("hw");
+  ASSERT_NE(hw, nullptr);
+  EXPECT_EQ(hw->find("source")->as_string(), "off");
+  EXPECT_EQ(hw->find("events"), nullptr);
+  EXPECT_NE(registry.to_csv().find("hw,source,off"), std::string::npos);
+
+  obs::EventCounts events;
+  events[obs::Event::kCycles] = 1234;
+  events[obs::Event::kLlcMisses] = 56;
+  registry.set_hw(obs::EventSource::kSimulated, "simcache:Test", events,
+                  "unit test");
+  doc = registry.to_json();
+  hw = doc.find("hw");
+  ASSERT_NE(hw, nullptr);
+  EXPECT_EQ(hw->find("source")->as_string(), "simulated");
+  EXPECT_EQ(hw->find("backend")->as_string(), "simcache:Test");
+  EXPECT_EQ(hw->find("note")->as_string(), "unit test");
+  ASSERT_NE(hw->find("events"), nullptr);
+  EXPECT_EQ(hw->find("events")->find("cycles")->as_uint(), 1234u);
+  EXPECT_EQ(hw->find("events")->find("llc_misses")->as_uint(), 56u);
+
+  const std::string csv = registry.to_csv();
+  EXPECT_NE(csv.find("hw,source,simulated"), std::string::npos);
+  EXPECT_NE(csv.find("hw,events.cycles,1234"), std::string::npos);
+}
+
+TEST(Metrics, SpanEventDeltasExportToJsonAndCsv) {
+  PhaseTracer tracer;
+  tracer.leaf("count", 1.0);
+  obs::EventCounts delta;
+  delta[obs::Event::kInstructions] = 99;
+  ASSERT_TRUE(tracer.set_events("count", delta));
+  EXPECT_FALSE(tracer.set_events("absent", delta));
+
+  obs::MetricsRegistry registry;
+  registry.set_trace(tracer);
+  const JsonValue doc = registry.to_json();
+  const JsonValue& span = doc.find("spans")->array()[0];
+  ASSERT_NE(span.find("events"), nullptr);
+  EXPECT_EQ(span.find("events")->find("instructions")->as_uint(), 99u);
+  EXPECT_NE(registry.to_csv().find("span_event,count.instructions,99"),
+            std::string::npos);
+}
+
 TEST(Metrics, ExportHasAllSchemaSections) {
   obs::MetricsRegistry registry;
   registry.set_meta("algorithm", "lotus");
@@ -245,8 +339,9 @@ TEST(RunProfiled, BaselinesEmitLeafSpans) {
   const auto report = tc::run_profiled(tc::Algorithm::kForwardMerge, graph);
   ASSERT_NE(report.trace.find("count"), nullptr);
   EXPECT_DOUBLE_EQ(report.trace.find("count")->seconds, report.result.count_s);
-  if (report.result.preprocess_s > 0.0)
+  if (report.result.preprocess_s > 0.0) {
     EXPECT_NE(report.trace.find("preprocess"), nullptr);
+  }
 }
 
 TEST(RunResult, RateHelpers) {

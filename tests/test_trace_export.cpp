@@ -1,0 +1,249 @@
+// Timeline trace export: SchedEventLog collection from the work-stealing
+// scheduler, and the Chrome-trace serialization — document shape, per-thread
+// well-nesting, and steal events referencing valid threads and tasks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_export.hpp"
+#include "parallel/thread_pool.hpp"
+#include "tc/api.hpp"
+
+namespace {
+
+namespace g = lotus::graph;
+namespace obs = lotus::obs;
+namespace tc = lotus::tc;
+
+using obs::JsonValue;
+using obs::SchedEvent;
+using obs::SchedEventLog;
+
+/// Remove the sink even when a test body fails mid-way.
+class ScopedSink {
+ public:
+  explicit ScopedSink(SchedEventLog* log) { obs::set_sched_event_sink(log); }
+  ~ScopedSink() { obs::set_sched_event_sink(nullptr); }
+  ScopedSink(const ScopedSink&) = delete;
+  ScopedSink& operator=(const ScopedSink&) = delete;
+};
+
+std::vector<SchedEvent> run_tasks_with_sink(unsigned pool_threads,
+                                            std::size_t task_count,
+                                            SchedEventLog& log) {
+  lotus::parallel::ThreadPool pool(pool_threads);
+  lotus::parallel::WorkStealingScheduler scheduler(pool);
+  std::vector<lotus::parallel::WorkStealingScheduler::Task> tasks;
+  for (std::size_t i = 0; i < task_count; ++i)
+    tasks.emplace_back([](unsigned) {
+      volatile std::uint64_t sink = 0;
+      for (int k = 0; k < 500; ++k) sink = sink + static_cast<std::uint64_t>(k);
+    });
+  ScopedSink installed(&log);
+  scheduler.run(std::move(tasks));
+  return log.events();
+}
+
+TEST(SchedEventLog, CollectsSortsAndClears) {
+  SchedEventLog log;
+  log.append({{SchedEvent::Kind::kTask, 1, 2.0, 0.5, 7, -1},
+              {SchedEvent::Kind::kSteal, 1, 1.0, 0.0, 3, 0}});
+  log.append({{SchedEvent::Kind::kIdle, 0, 0.5, 0.25, 0, -1}});
+  const auto events = log.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(events.begin(), events.end(),
+                             [](const SchedEvent& a, const SchedEvent& b) {
+                               return a.start_s < b.start_s;
+                             }));
+  EXPECT_EQ(events[0].kind, SchedEvent::Kind::kIdle);
+  log.clear();
+  EXPECT_TRUE(log.events().empty());
+}
+
+TEST(SchedEventLog, NoSinkMeansNoRecording) {
+  ASSERT_EQ(obs::sched_event_sink(), nullptr);
+  lotus::parallel::ThreadPool pool(2);
+  lotus::parallel::WorkStealingScheduler scheduler(pool);
+  std::vector<lotus::parallel::WorkStealingScheduler::Task> tasks;
+  for (int i = 0; i < 8; ++i) tasks.emplace_back([](unsigned) {});
+  scheduler.run(std::move(tasks));  // must not crash or record anywhere
+}
+
+TEST(SchedEventLog, SchedulerRecordsEveryTaskExactlyOnce) {
+  constexpr std::size_t kTasks = 41;
+  constexpr unsigned kThreads = 3;
+  SchedEventLog log;
+  const auto events = run_tasks_with_sink(kThreads, kTasks, log);
+
+  std::vector<int> runs_per_task(kTasks, 0);
+  for (const SchedEvent& e : events) {
+    EXPECT_LT(e.thread, kThreads);
+    if (e.kind == SchedEvent::Kind::kTask) {
+      ASSERT_LT(e.task, kTasks);
+      ++runs_per_task[e.task];
+      EXPECT_GE(e.seconds, 0.0);
+    }
+    if (e.kind == SchedEvent::Kind::kSteal) {
+      // A thief never robs itself, and victims are valid pool indices.
+      ASSERT_GE(e.victim, 0);
+      EXPECT_LT(static_cast<unsigned>(e.victim), kThreads);
+      EXPECT_NE(static_cast<unsigned>(e.victim), e.thread);
+      EXPECT_LT(e.task, kTasks);
+    }
+  }
+  for (std::size_t i = 0; i < kTasks; ++i)
+    EXPECT_EQ(runs_per_task[i], 1) << "task " << i;
+}
+
+/// Well-nesting check for one thread's "X" slices: after sorting by start
+/// (ties: longer first), every slice must lie inside the enclosing one.
+void expect_well_nested(std::vector<std::pair<double, double>> slices,
+                        const std::string& label) {
+  std::sort(slices.begin(), slices.end(),
+            [](const auto& a, const auto& b) {
+              return a.first != b.first ? a.first < b.first
+                                        : a.second > b.second;
+            });
+  constexpr double kEps = 1e-6;  // microsecond rounding in the export
+  std::vector<double> open_ends;
+  for (const auto& [ts, dur] : slices) {
+    while (!open_ends.empty() && open_ends.back() <= ts + kEps)
+      open_ends.pop_back();
+    if (!open_ends.empty()) {
+      EXPECT_LE(ts + dur, open_ends.back() + kEps) << label;
+    }
+    open_ends.push_back(ts + dur);
+  }
+}
+
+TEST(ChromeTrace, DocumentShapeAndNesting) {
+  obs::PhaseTracer tracer;
+  tracer.begin("preprocess");
+  tracer.begin("relabel");
+  tracer.end();
+  tracer.end();
+  tracer.begin("count");
+  tracer.note("triangles", std::uint64_t{42});
+  tracer.end();
+
+  SchedEventLog log;
+  run_tasks_with_sink(2, 16, log);
+
+  const std::string text = obs::chrome_trace_string(tracer, log.events());
+  const JsonValue doc = JsonValue::parse(text);
+
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_FALSE(events->array().empty());
+
+  bool saw_process_name = false, saw_phases_thread = false, saw_worker = false;
+  std::vector<std::pair<double, double>> span_slices;
+  for (const JsonValue& e : events->array()) {
+    const std::string ph = e.find("ph")->as_string();
+    if (ph == "M") {
+      const std::string name = e.find("name")->as_string();
+      if (name == "process_name") saw_process_name = true;
+      if (name == "thread_name") {
+        const std::string thread = e.find("args")->find("name")->as_string();
+        if (thread == "phases") saw_phases_thread = true;
+        if (thread.rfind("worker", 0) == 0) saw_worker = true;
+      }
+      continue;
+    }
+    ASSERT_NE(e.find("ts"), nullptr);
+    if (ph == "X") {
+      ASSERT_NE(e.find("dur"), nullptr);
+      if (e.find("tid")->as_uint() == 0)
+        span_slices.emplace_back(e.find("ts")->as_double(),
+                                 e.find("dur")->as_double());
+    }
+  }
+  EXPECT_TRUE(saw_process_name);
+  EXPECT_TRUE(saw_phases_thread);
+  EXPECT_TRUE(saw_worker);
+
+  // The span tree renders three slices on tid 0 and nests correctly.
+  EXPECT_EQ(span_slices.size(), 3u);
+  expect_well_nested(span_slices, "tid 0");
+
+  // The count span's note rides along as args.
+  bool found_note = false;
+  for (const JsonValue& e : events->array())
+    if (e.find("name") != nullptr && e.find("name")->as_string() == "count") {
+      const JsonValue* args = e.find("args");
+      ASSERT_NE(args, nullptr);
+      EXPECT_EQ(args->find("triangles")->as_string(), "42");
+      found_note = true;
+    }
+  EXPECT_TRUE(found_note);
+}
+
+TEST(ChromeTrace, WorkerTimelinesAreWellNestedAndStealsValid) {
+  constexpr unsigned kThreads = 4;
+  SchedEventLog log;
+  run_tasks_with_sink(kThreads, 64, log);
+  obs::PhaseTracer tracer;
+  tracer.leaf("count", 0.001);
+
+  const JsonValue doc =
+      JsonValue::parse(obs::chrome_trace_string(tracer, log.events()));
+  const JsonValue* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+
+  std::vector<std::vector<std::pair<double, double>>> per_tid(kThreads + 1);
+  for (const JsonValue& e : events->array()) {
+    const std::string ph = e.find("ph")->as_string();
+    if (ph == "X") {
+      const std::uint64_t tid = e.find("tid")->as_uint();
+      ASSERT_LE(tid, kThreads);  // tid 0 = phases, 1..kThreads = workers
+      per_tid[tid].emplace_back(e.find("ts")->as_double(),
+                                e.find("dur")->as_double());
+    } else if (ph == "i") {
+      // Steal instants are thread-scoped and name a valid victim timeline.
+      EXPECT_EQ(e.find("s")->as_string(), "t");
+      const std::uint64_t tid = e.find("tid")->as_uint();
+      EXPECT_GE(tid, 1u);
+      EXPECT_LE(tid, kThreads);
+      const std::uint64_t victim_tid =
+          e.find("args")->find("victim")->as_uint() + 1;
+      EXPECT_GE(victim_tid, 1u);
+      EXPECT_LE(victim_tid, kThreads);
+      EXPECT_NE(victim_tid, tid);
+    }
+  }
+  for (std::size_t tid = 0; tid < per_tid.size(); ++tid)
+    expect_well_nested(per_tid[tid], "tid " + std::to_string(tid));
+}
+
+TEST(RunProfiled, CaptureSchedEventsPopulatesReportAndTrace) {
+  const auto graph =
+      g::build_undirected(g::rmat({.scale = 10, .edge_factor = 8, .seed = 2}));
+  tc::ProfileOptions options;
+  options.capture_sched_events = true;
+  const auto report =
+      tc::run_profiled(tc::Algorithm::kLotus, graph, {}, options);
+
+  // The sink must be uninstalled again and the LOTUS hub phase (the
+  // work-stealing stage) must have produced task events.
+  EXPECT_EQ(obs::sched_event_sink(), nullptr);
+  bool saw_task = false;
+  for (const SchedEvent& e : report.sched_events) {
+    EXPECT_LT(e.thread, report.threads);
+    if (e.kind == SchedEvent::Kind::kTask) saw_task = true;
+  }
+  EXPECT_TRUE(saw_task);
+
+  // And the full export is a parseable Chrome-trace document.
+  const JsonValue doc = JsonValue::parse(report.to_chrome_trace());
+  ASSERT_NE(doc.find("traceEvents"), nullptr);
+  EXPECT_FALSE(doc.find("traceEvents")->array().empty());
+}
+
+}  // namespace
