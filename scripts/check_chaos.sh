@@ -1,0 +1,57 @@
+#!/usr/bin/env sh
+# Run the `chaos`-labeled ctest suite (deterministic fault injection, see
+# tests/chaos/ and docs/ROBUSTNESS.md) under ASan with leak detection, then
+# replay a fixed LOTUS_FAULTS seed matrix through the tc_profile CLI so the
+# env-driven injection path gets the same sanitizer eyes.
+#
+# Usage: scripts/check_chaos.sh
+#
+# Reuses build-asan/ from scripts/check_sanitizers.sh when present (same
+# configuration), otherwise configures it. detect_leaks=1 is the point:
+# a fault that fires mid-construction must not strand half-built buffers.
+set -eu
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 2)
+dir=build-asan
+
+echo "=== chaos check: ASan build ($dir) ==="
+cmake -B "$dir" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DLOTUS_SANITIZE=address \
+  -DLOTUS_BUILD_BENCH=OFF \
+  -DLOTUS_BUILD_EXAMPLES=ON
+cmake --build "$dir" -j "$jobs" --target lotus_chaos_tests tc_profile
+
+export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+
+echo "=== chaos check: ctest -L chaos ==="
+ctest --test-dir "$dir" -L chaos --no-tests=error \
+  --output-on-failure -j "$jobs"
+
+# Fixed fault-plan matrix through the CLI: every site, several seeds, all
+# deterministic (util/fault.hpp hashes seed+site+query index, no wall clock).
+# Acceptable exits per docs/ROBUSTNESS.md: 0 (clean or degraded), 3 io_error,
+# 4 out_of_memory. Anything else — crash, hang, ASan report — fails the run.
+echo "=== chaos check: LOTUS_FAULTS matrix via tc_profile ==="
+profile="$dir/examples/tc_profile"
+for seed in 1 2 3; do
+  for spec in "alloc:1" "alloc:0.3" "hwc:1" \
+              "alloc:0.2,read_short:0.2,read_fail:0.2,hwc:0.2"; do
+    plan="$spec,seed=$seed"
+    echo "--- LOTUS_FAULTS=$plan"
+    status=0
+    env LOTUS_FAULTS="$plan" "$profile" --algo lotus --factor 0.2 \
+      --events hw --output /dev/null >/dev/null 2>&1 || status=$?
+    case "$status" in
+      0|3|4) ;;
+      *)
+        echo "FAIL: LOTUS_FAULTS=$plan exited $status (want 0, 3, or 4)" >&2
+        exit 1
+        ;;
+    esac
+  done
+done
+
+echo "=== chaos check: OK ==="

@@ -9,6 +9,7 @@
 #include "graph/degree_order.hpp"
 #include "parallel/parallel_for.hpp"
 #include "util/bitset.hpp"
+#include "util/memory_budget.hpp"
 #include "util/timer.hpp"
 
 namespace lotus::baselines {
@@ -75,6 +76,19 @@ std::uint64_t forward_gallop_prepared(const OrientedCsr& oriented) {
 
 std::uint64_t forward_hashed_prepared(const OrientedCsr& oriented) {
   const VertexId n = oriented.num_vertices();
+  // The per-thread HashedSet scratch peaks at the largest out-degree; charge
+  // it up front (master thread) so a memory budget can veto this kernel and
+  // the caller can degrade to the scratch-free merge intersection.
+  if (util::memory_accounting_active()) {
+    std::size_t max_degree = 0;
+    for (VertexId v = 0; v < n; ++v)
+      max_degree = std::max(max_degree, oriented.neighbors(v).size());
+    std::size_t cap = 16;
+    while (cap < max_degree * 2) cap <<= 1;
+    util::charge_current(static_cast<std::uint64_t>(parallel::max_parallelism()) *
+                             cap * sizeof(std::uint64_t),
+                         "hash_scratch");
+  }
   std::vector<parallel::Padded<std::uint64_t>> partial(parallel::max_parallelism());
   parallel::parallel_for(0, n, 64,
       [&](unsigned thread_index, std::uint64_t b, std::uint64_t e) {
@@ -96,6 +110,11 @@ std::uint64_t forward_hashed_prepared(const OrientedCsr& oriented) {
 
 std::uint64_t forward_bitmap_prepared(const OrientedCsr& oriented) {
   const VertexId n = oriented.num_vertices();
+  // Each thread owns an n-bit bitmap; charge all of them up front (master
+  // thread) so a budget can veto the kernel before any worker allocates.
+  util::charge_current(static_cast<std::uint64_t>(parallel::max_parallelism()) *
+                           ((static_cast<std::uint64_t>(n) + 63) / 64 * 8),
+                       "bitmap_scratch");
   std::vector<parallel::Padded<std::uint64_t>> partial(parallel::max_parallelism());
   parallel::parallel_for(0, n, 64,
       [&](unsigned thread_index, std::uint64_t b, std::uint64_t e) {

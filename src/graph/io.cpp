@@ -2,24 +2,130 @@
 
 #include <algorithm>
 #include <array>
+#include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
+#include "util/fault.hpp"
+
 namespace lotus::graph {
 
 namespace {
+
+using util::Expected;
+using util::Status;
+using util::StatusCode;
+
 constexpr std::array<char, 8> kMagic = {'L', 'O', 'T', 'U', 'S', 'G', 'R', '1'};
 
-[[noreturn]] void fail(const std::string& path, const std::string& what) {
-  throw std::runtime_error(path + ": " + what);
+Status error(StatusCode code, const std::string& path, const std::string& what) {
+  return {code, path + ": " + what};
 }
+
+Status io_error(const std::string& path, const std::string& what) {
+  return error(StatusCode::kIoError, path, what);
+}
+
+Status bad_data(const std::string& path, const std::string& what) {
+  return error(StatusCode::kInvalidArgument, path, what);
+}
+
+/// RAII FILE handle. close() reports the fclose return value (a failed
+/// close after buffered writes means data loss and must not be ignored);
+/// the destructor closes best-effort for early-error paths.
+class File {
+ public:
+  File(const std::string& path, const char* mode)
+      : file_(std::fopen(path.c_str(), mode)) {}
+  ~File() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  [[nodiscard]] bool open() const noexcept { return file_ != nullptr; }
+  [[nodiscard]] std::FILE* get() const noexcept { return file_; }
+
+  [[nodiscard]] bool close() noexcept {
+    if (file_ == nullptr) return true;
+    const int rc = std::fclose(file_);
+    file_ = nullptr;
+    return rc == 0;
+  }
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+/// How many times a read may come back short/EINTR before we call the file
+/// truncated. A genuine signal storm retries; a truncated file terminates
+/// because fread keeps returning 0 at EOF.
+constexpr int kMaxReadRetries = 8;
+
+/// Read exactly `bytes` into `dst`, retrying bounded times on EINTR and
+/// short reads. The `read_short`/`read_fail` fault sites deterministically
+/// simulate both conditions (chaos suite).
+Status read_fully(std::FILE* file, void* dst, std::size_t bytes,
+                  const std::string& path) {
+  auto* out = static_cast<unsigned char*>(dst);
+  std::size_t remaining = bytes;
+  int retries = 0;
+  while (remaining > 0) {
+    if (util::fault::should_fail(util::fault::Site::kReadFail))
+      return io_error(path, "read failed (injected I/O error)");
+    std::size_t want = remaining;
+    if (want > 1 && util::fault::should_fail(util::fault::Site::kReadShort))
+      want /= 2;  // deterministic short read; the loop must recover
+    std::clearerr(file);
+    const std::size_t got = std::fread(out, 1, want, file);
+    out += got;
+    remaining -= got;
+    if (remaining == 0) break;
+    if (std::ferror(file) != 0) {
+      if (errno == EINTR && ++retries <= kMaxReadRetries) continue;
+      return io_error(path, std::string("read failed: ") + std::strerror(errno));
+    }
+    if (got == want) {
+      retries = 0;  // the (possibly shortened) request was fully served
+      continue;
+    }
+    if (std::feof(file) != 0)
+      return io_error(path, "truncated: unexpected end of file");
+    // Short read without error or EOF (rare, e.g. signals on some libcs).
+    if (++retries > kMaxReadRetries)
+      return io_error(path, "read stalled (too many short reads)");
+  }
+  return Status::Ok();
+}
+
+/// Write exactly `bytes`, retrying bounded times on EINTR/short writes.
+Status write_fully(std::FILE* file, const void* src, std::size_t bytes,
+                   const std::string& path) {
+  const auto* in = static_cast<const unsigned char*>(src);
+  std::size_t remaining = bytes;
+  int retries = 0;
+  while (remaining > 0) {
+    const std::size_t put = std::fwrite(in, 1, remaining, file);
+    in += put;
+    remaining -= put;
+    if (remaining == 0) break;
+    if (std::ferror(file) != 0 && errno != EINTR)
+      return io_error(path, std::string("write failed: ") + std::strerror(errno));
+    if (++retries > kMaxReadRetries)
+      return io_error(path, "write stalled (too many short writes)");
+    std::clearerr(file);
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
-EdgeList read_edge_list_text(const std::string& path) {
+Expected<EdgeList> read_edge_list_text_s(const std::string& path) {
   std::ifstream in(path);
-  if (!in) fail(path, "cannot open for reading");
+  if (!in) return io_error(path, "cannot open for reading");
 
   EdgeList out;
   std::string line;
@@ -33,93 +139,139 @@ EdgeList read_edge_list_text(const std::string& path) {
     std::istringstream ls(line);
     std::uint64_t u = 0, v = 0;
     if (!(ls >> u >> v))
-      fail(path, "malformed edge at line " + std::to_string(line_no));
+      return bad_data(path, "malformed edge at line " + std::to_string(line_no));
     // IDs must stay strictly below 2^32 - 1: num_vertices = max ID + 1 must
     // itself fit in the 32-bit VertexId, so the all-ones ID is unusable too.
     if (u >= 0xffffffffULL || v >= 0xffffffffULL)
-      fail(path, "vertex ID exceeds 32 bits at line " + std::to_string(line_no));
+      return bad_data(path,
+                      "vertex ID exceeds 32 bits at line " + std::to_string(line_no));
     out.edges.push_back({static_cast<VertexId>(u), static_cast<VertexId>(v)});
     max_id = std::max({max_id, static_cast<VertexId>(u), static_cast<VertexId>(v)});
     any = true;
   }
+  if (in.bad()) return io_error(path, "read failed");
   out.num_vertices = any ? max_id + 1 : 0;
   return out;
 }
 
-void write_edge_list_text(const std::string& path, const EdgeList& edges) {
+util::Status write_edge_list_text_s(const std::string& path,
+                                    const EdgeList& edges) {
   std::ofstream outf(path);
-  if (!outf) fail(path, "cannot open for writing");
+  if (!outf) return io_error(path, "cannot open for writing");
   outf << "# lotus edge list: " << edges.num_vertices << " vertices, "
        << edges.edges.size() << " edges\n";
   for (const Edge& e : edges.edges) outf << e.u << ' ' << e.v << '\n';
-  if (!outf) fail(path, "write error");
+  outf.close();
+  if (!outf) return io_error(path, "write error");
+  return Status::Ok();
 }
 
-void write_csr_binary(const std::string& path, const CsrGraph& graph) {
-  std::ofstream outf(path, std::ios::binary);
-  if (!outf) fail(path, "cannot open for writing");
+util::Status write_csr_binary_s(const std::string& path, const CsrGraph& graph) {
+  File file(path, "wb");
+  if (!file.open())
+    return io_error(path, std::string("cannot open for writing: ") +
+                              std::strerror(errno));
   const std::uint64_t v = graph.num_vertices();
   const std::uint64_t e = graph.num_edges();
-  outf.write(kMagic.data(), kMagic.size());
-  outf.write(reinterpret_cast<const char*>(&v), sizeof v);
-  outf.write(reinterpret_cast<const char*>(&e), sizeof e);
-  outf.write(reinterpret_cast<const char*>(graph.offsets().data()),
-             static_cast<std::streamsize>((v + 1) * sizeof(std::uint64_t)));
-  outf.write(reinterpret_cast<const char*>(graph.neighbor_array().data()),
-             static_cast<std::streamsize>(e * sizeof(VertexId)));
-  if (!outf) fail(path, "write error");
+  Status status = write_fully(file.get(), kMagic.data(), kMagic.size(), path);
+  if (status.ok()) status = write_fully(file.get(), &v, sizeof v, path);
+  if (status.ok()) status = write_fully(file.get(), &e, sizeof e, path);
+  if (status.ok())
+    status = write_fully(file.get(), graph.offsets().data(),
+                         (v + 1) * sizeof(std::uint64_t), path);
+  if (status.ok())
+    status = write_fully(file.get(), graph.neighbor_array().data(),
+                         e * sizeof(VertexId), path);
+  if (!file.close() && status.ok())
+    status = io_error(path, "close failed (buffered data lost)");
+  return status;
 }
 
-CsrGraph read_csr_binary(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) fail(path, "cannot open for reading");
+Expected<CsrGraph> read_csr_binary_s(const std::string& path) {
+  File file(path, "rb");
+  if (!file.open())
+    return io_error(path, std::string("cannot open for reading: ") +
+                              std::strerror(errno));
+  std::FILE* in = file.get();
 
   std::array<char, 8> magic{};
-  in.read(magic.data(), magic.size());
-  if (!in || std::memcmp(magic.data(), kMagic.data(), kMagic.size()) != 0)
-    fail(path, "not a lotus binary graph (bad magic)");
+  Status status = read_fully(in, magic.data(), magic.size(), path);
+  if (!status.ok()) return status;
+  if (std::memcmp(magic.data(), kMagic.data(), kMagic.size()) != 0)
+    return bad_data(path, "not a lotus binary graph (bad magic)");
 
   std::uint64_t v = 0, e = 0;
-  in.read(reinterpret_cast<char*>(&v), sizeof v);
-  in.read(reinterpret_cast<char*>(&e), sizeof e);
-  if (!in) fail(path, "truncated header");
-  if (v > 0xffffffffULL) fail(path, "vertex count exceeds 32 bits");
+  status = read_fully(in, &v, sizeof v, path);
+  if (status.ok()) status = read_fully(in, &e, sizeof e, path);
+  if (!status.ok()) return status;
+  if (v > 0xffffffffULL) return bad_data(path, "vertex count exceeds 32 bits");
 
   // Validate the declared (v, e) against the actual file size BEFORE any
   // allocation: a corrupt or hostile header must not be able to demand
   // gigabytes of memory that the file cannot possibly back.
   constexpr std::uint64_t kHeaderBytes = 8 + 2 * sizeof(std::uint64_t);
-  in.seekg(0, std::ios::end);
-  const auto end_pos = in.tellg();
-  if (end_pos < 0) fail(path, "cannot determine file size");
+  if (std::fseek(in, 0, SEEK_END) != 0)
+    return io_error(path, "cannot determine file size");
+  const long end_pos = std::ftell(in);
+  if (end_pos < 0) return io_error(path, "cannot determine file size");
   const auto file_size = static_cast<std::uint64_t>(end_pos);
-  if (file_size < kHeaderBytes) fail(path, "truncated header");
+  if (file_size < kHeaderBytes) return io_error(path, "truncated header");
   const std::uint64_t body_bytes = file_size - kHeaderBytes;
   // v <= 2^32, so (v + 1) * 8 cannot overflow 64 bits.
   const std::uint64_t offset_bytes = (v + 1) * sizeof(std::uint64_t);
   if (offset_bytes > body_bytes)
-    fail(path, "vertex count inconsistent with file size");
+    return bad_data(path, "vertex count inconsistent with file size");
   // e is bounded by the division before e * 4 is ever formed, so the
   // multiplication below cannot overflow either.
   if (e > (body_bytes - offset_bytes) / sizeof(VertexId))
-    fail(path, "edge count inconsistent with file size");
+    return bad_data(path, "edge count inconsistent with file size");
   if (offset_bytes + e * sizeof(VertexId) != body_bytes)
-    fail(path, "file size does not match header");
-  in.seekg(static_cast<std::streamoff>(kHeaderBytes), std::ios::beg);
+    return bad_data(path, "file size does not match header");
+  if (std::fseek(in, static_cast<long>(kHeaderBytes), SEEK_SET) != 0)
+    return io_error(path, "seek failed");
 
   std::vector<std::uint64_t> offsets(v + 1);
-  in.read(reinterpret_cast<char*>(offsets.data()),
-          static_cast<std::streamsize>((v + 1) * sizeof(std::uint64_t)));
+  status = read_fully(in, offsets.data(), (v + 1) * sizeof(std::uint64_t), path);
+  if (!status.ok()) return status;
   std::vector<VertexId> neighbors(e);
-  in.read(reinterpret_cast<char*>(neighbors.data()),
-          static_cast<std::streamsize>(e * sizeof(VertexId)));
-  if (!in) fail(path, "truncated body");
-  if (offsets.front() != 0 || offsets.back() != e) fail(path, "corrupt offsets");
+  status = read_fully(in, neighbors.data(), e * sizeof(VertexId), path);
+  if (!status.ok()) return status;
+  if (offsets.front() != 0 || offsets.back() != e)
+    return bad_data(path, "corrupt offsets");
   for (std::size_t i = 1; i < offsets.size(); ++i)
-    if (offsets[i] < offsets[i - 1]) fail(path, "corrupt offsets");
+    if (offsets[i] < offsets[i - 1]) return bad_data(path, "corrupt offsets");
   for (VertexId u : neighbors)
-    if (u >= v) fail(path, "neighbour ID out of range");
+    if (u >= v) return bad_data(path, "neighbour ID out of range");
   return CsrGraph(std::move(offsets), std::move(neighbors));
+}
+
+namespace {
+[[noreturn]] void rethrow(const Status& status) {
+  throw std::runtime_error(status.message().empty() ? status.to_string()
+                                                    : status.message());
+}
+}  // namespace
+
+EdgeList read_edge_list_text(const std::string& path) {
+  Expected<EdgeList> result = read_edge_list_text_s(path);
+  if (!result.ok()) rethrow(result.status());
+  return result.take();
+}
+
+void write_edge_list_text(const std::string& path, const EdgeList& edges) {
+  const Status status = write_edge_list_text_s(path, edges);
+  if (!status.ok()) rethrow(status);
+}
+
+void write_csr_binary(const std::string& path, const CsrGraph& graph) {
+  const Status status = write_csr_binary_s(path, graph);
+  if (!status.ok()) rethrow(status);
+}
+
+CsrGraph read_csr_binary(const std::string& path) {
+  Expected<CsrGraph> result = read_csr_binary_s(path);
+  if (!result.ok()) rethrow(result.status());
+  return result.take();
 }
 
 }  // namespace lotus::graph

@@ -1,33 +1,51 @@
 // Graph serialization: whitespace-separated text edge lists (the common
 // interchange format of SNAP/KONECT dumps) and a fast binary CSR format.
+//
+// Two API layers: the *_s functions return util::Status/Expected and never
+// throw — this is the form services should call — while the historical
+// throwing functions wrap them and raise std::runtime_error with the status
+// message. Binary reads go through a bounded EINTR/short-read retry loop
+// and check every fread/fclose return value, so a signal-interrupted or
+// slowly-filling file descriptor is retried instead of misreported as
+// corruption (fault sites read_short / read_fail exercise both paths).
 #pragma once
 
 #include <string>
 
 #include "graph/csr.hpp"
 #include "graph/types.hpp"
+#include "util/status.hpp"
 
 namespace lotus::graph {
 
 /// Read "u v" pairs, one per line; lines starting with '#' or '%' and
 /// whitespace-only lines are skipped, tokens after the first two on a line
 /// are ignored (tolerates weighted/timestamped dumps). Self-loops are kept
-/// (builders drop them). num_vertices = max endpoint + 1. Throws
-/// std::runtime_error on unreadable files, malformed lines, or endpoint IDs
-/// that do not fit in 32 bits.
-EdgeList read_edge_list_text(const std::string& path);
+/// (builders drop them). num_vertices = max endpoint + 1. Errors:
+/// io_error for unreadable files, invalid_argument for malformed lines or
+/// endpoint IDs that do not fit in 32 bits.
+util::Expected<EdgeList> read_edge_list_text_s(const std::string& path);
 
-void write_edge_list_text(const std::string& path, const EdgeList& edges);
+util::Status write_edge_list_text_s(const std::string& path,
+                                    const EdgeList& edges);
 
 /// Binary CSX: magic "LOTUSGR1", u64 num_vertices, u64 num_edges, offsets,
-/// 32-bit neighbours. Throws std::runtime_error on bad magic / truncation.
-void write_csr_binary(const std::string& path, const CsrGraph& graph);
+/// 32-bit neighbours.
+util::Status write_csr_binary_s(const std::string& path, const CsrGraph& graph);
 
 /// Read the binary CSX format back. The declared (v, e) header is validated
 /// against the actual file size before anything is allocated, so corrupt or
 /// hostile headers cannot trigger multi-gigabyte allocations; offsets and
-/// neighbour IDs are range-checked after reading. Throws std::runtime_error
-/// on any inconsistency.
+/// neighbour IDs are range-checked after reading. Errors: io_error on
+/// unreadable/truncated files, invalid_argument on structural corruption
+/// (bad magic, inconsistent header, non-monotone offsets, out-of-range IDs).
+util::Expected<CsrGraph> read_csr_binary_s(const std::string& path);
+
+/// Throwing wrappers (std::runtime_error carrying the status message) for
+/// callers that predate the status model.
+EdgeList read_edge_list_text(const std::string& path);
+void write_edge_list_text(const std::string& path, const EdgeList& edges);
+void write_csr_binary(const std::string& path, const CsrGraph& graph);
 CsrGraph read_csr_binary(const std::string& path);
 
 }  // namespace lotus::graph

@@ -43,6 +43,15 @@ class TriangularBitArray {
   [[nodiscard]] std::uint64_t num_bits() const noexcept { return num_bits_; }
   [[nodiscard]] std::uint64_t size_bytes() const noexcept { return words_.size() * 8; }
 
+  /// Bytes a bit array for `hub_count` hubs will occupy — lets callers
+  /// charge a memory budget before constructing one.
+  [[nodiscard]] static constexpr std::uint64_t size_bytes_for(
+      graph::VertexId hub_count) noexcept {
+    const std::uint64_t bits =
+        static_cast<std::uint64_t>(hub_count) * (hub_count - 1) / 2;
+    return (bits + 63) / 64 * 8;
+  }
+
   static constexpr std::uint64_t bit_index(graph::VertexId h1, graph::VertexId h2) noexcept {
     return static_cast<std::uint64_t>(h1) * (h1 - 1) / 2 + h2;
   }

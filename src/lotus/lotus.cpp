@@ -2,6 +2,7 @@
 
 #include "lotus/count.hpp"
 #include "obs/trace.hpp"
+#include "parallel/exec_context.hpp"
 #include "util/timer.hpp"
 
 namespace lotus::core {
@@ -30,6 +31,12 @@ LotusResult count_triangles_prepared(const LotusGraph& lg,
   }
   result.hhh_hhn_s = timer.elapsed_s();
 
+  // Cancellation/deadline checks at phase boundaries: once interrupted the
+  // remaining phases are skipped. The counts are then partial, which is
+  // fine — the layer that installed the ExecContext (tc::run_with_status)
+  // re-checks it after the run and discards the numbers.
+  if (parallel::interrupted()) return result;
+
   if (config.fuse_hnn_nnn) {
     timer.reset();
     std::uint64_t fused = 0;
@@ -54,6 +61,8 @@ LotusResult count_triangles_prepared(const LotusGraph& lg,
   }
   result.hnn_s = timer.elapsed_s();
 
+  if (parallel::interrupted()) return result;
+
   timer.reset();
   {
     obs::ScopedSpan span(tracer, "nnn");
@@ -76,6 +85,11 @@ LotusResult count_triangles(const graph::CsrGraph& graph,
     lg = LotusGraph::build(graph, config, tracer);
   }
   const double preprocess_s = timer.elapsed_s();
+  if (parallel::interrupted()) {
+    LotusResult result;
+    result.preprocess_s = preprocess_s;
+    return result;
+  }
   LotusResult result = count_triangles_prepared(lg, config, tracer);
   result.preprocess_s = preprocess_s;
   return result;

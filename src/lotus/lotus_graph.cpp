@@ -5,6 +5,7 @@
 
 #include "lotus/relabel.hpp"
 #include "parallel/parallel_for.hpp"
+#include "util/memory_budget.hpp"
 
 namespace lotus::core {
 
@@ -57,6 +58,10 @@ LotusGraph LotusGraph::build(const CsrGraph& graph, const LotusConfig& config,
     obs::ScopedSpan span(tracer, "relabel");
     const auto reorder_count = static_cast<VertexId>(std::max<std::uint64_t>(
         hubs, static_cast<std::uint64_t>(config.relabel_fraction * n)));
+    // create_relabeling_array holds new_id + by_degree + a bool flag array;
+    // old_of_new below adds one more VertexId array.
+    util::charge_current(static_cast<std::uint64_t>(n) * (3 * sizeof(VertexId) + 1),
+                         "relabel_buffers");
     lg.new_id_ = create_relabeling_array(graph, reorder_count);
     if (tracer != nullptr) {
       tracer->note("hub_count", static_cast<std::uint64_t>(hubs));
@@ -68,6 +73,8 @@ LotusGraph LotusGraph::build(const CsrGraph& graph, const LotusConfig& config,
   for (VertexId v = 0; v < n; ++v) old_of_new[lg.new_id_[v]] = v;
 
   // Pass 1: per-vertex HE/NHE degrees (Alg. 2 decides he vs nhe per edge).
+  util::charge_current((static_cast<std::uint64_t>(n) + 1) * 2 * sizeof(std::uint64_t),
+                       "csx_offsets");
   std::vector<std::uint64_t> he_offsets(static_cast<std::size_t>(n) + 1, 0);
   std::vector<std::uint64_t> nhe_offsets(static_cast<std::size_t>(n) + 1, 0);
   {
@@ -98,7 +105,11 @@ LotusGraph LotusGraph::build(const CsrGraph& graph, const LotusConfig& config,
   // Pass 2: fill, sort, and set H2H bits.
   {
     obs::ScopedSpan span(tracer, "serialize");
+    util::charge_current(TriangularBitArray::size_bytes_for(hubs), "h2h_bitarray");
     lg.h2h_ = TriangularBitArray(hubs);
+    util::charge_current(he_offsets.back() * sizeof(std::uint16_t) +
+                             nhe_offsets.back() * sizeof(VertexId),
+                         "csx_neighbors");
     std::vector<std::uint16_t> he_neighbors(he_offsets.back());
     std::vector<VertexId> nhe_neighbors(nhe_offsets.back());
     parallel::parallel_for(0, n, 512,

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "util/fault.hpp"
+
 #if defined(__linux__)
 #include <linux/perf_event.h>
 #include <sys/ioctl.h>
@@ -47,7 +49,11 @@ namespace {
 
 /// Deterministic failure hook for the degradation tests: pretend the kernel
 /// refused the syscall, the way a perf_event_paranoid-locked container does.
+/// Two triggers: the legacy LOTUS_HWC_FORCE_ERROR env hook, and the `hwc`
+/// fault-injection site (LOTUS_FAULTS=hwc:..., util/fault.hpp).
 const char* forced_error() {
+  if (util::fault::should_fail(util::fault::Site::kHwc))
+    return "injected perf_event_open failure (fault site hwc)";
   return std::getenv("LOTUS_HWC_FORCE_ERROR");
 }
 
@@ -140,7 +146,9 @@ std::uint64_t read_scaled(int fd) {
 std::unique_ptr<HwcProvider> HwcProvider::create(std::string* error) {
   if (const char* forced = forced_error()) {
     if (error != nullptr)
-      *error = std::string("perf_event_open disabled by LOTUS_HWC_FORCE_ERROR (") +
+      *error = std::string(
+                   "perf_event_open disabled by LOTUS_HWC_FORCE_ERROR/fault "
+                   "site hwc (") +
                forced + ")";
     return nullptr;
   }

@@ -44,6 +44,12 @@ void MetricsRegistry::set_hw(EventSource source, std::string backend,
   hw_note_ = std::move(note);
 }
 
+void MetricsRegistry::set_resilience(const util::Status& status,
+                                     std::vector<Degradation> degradations) {
+  status_ = status;
+  degradations_ = std::move(degradations);
+}
+
 void MetricsRegistry::set_counters(CountersSnapshot snapshot) {
   counters_ = std::move(snapshot);
   have_counters_ = true;
@@ -78,6 +84,25 @@ JsonValue MetricsRegistry::to_json() const {
     hw.set("events", std::move(events));
   }
   root.set("hw", std::move(hw));
+
+  // resilience section (schema v3): always present so consumers can tell a
+  // clean full-fidelity run ("ok", no degradations) from a degraded or
+  // failed one without guessing from absent fields.
+  JsonValue resilience;
+  resilience.set("status", util::status_code_name(status_.code()));
+  if (!status_.ok()) resilience.set("message", status_.message());
+  if (!degradations_.empty()) {
+    JsonValue rows{JsonValue::Array{}};
+    for (const Degradation& d : degradations_) {
+      JsonValue row;
+      row.set("site", d.site);
+      row.set("action", d.action);
+      row.set("reason", d.reason);
+      rows.push_back(std::move(row));
+    }
+    resilience.set("degradations", std::move(rows));
+  }
+  root.set("resilience", std::move(resilience));
 
   // Span tree, built bottom-up: children always have larger indices than
   // their parents (begin() order), so one reverse pass completes subtrees
@@ -180,6 +205,16 @@ std::string MetricsRegistry::to_csv() const {
     for (std::size_t i = 0; i < kNumEvents; ++i)
       out += "hw,events." + std::string(event_name(static_cast<Event>(i))) +
              "," + std::to_string(hw_events_.value[i]) + "\n";
+
+  out += "resilience,status," +
+         std::string(util::status_code_name(status_.code())) + "\n";
+  if (!status_.ok())
+    out += "resilience,message," + csv_escape(status_.message()) + "\n";
+  for (std::size_t i = 0; i < degradations_.size(); ++i)
+    out += "resilience,degradation" + std::to_string(i) + "," +
+           csv_escape(degradations_[i].site + ": " + degradations_[i].action +
+                      " (" + degradations_[i].reason + ")") +
+           "\n";
 
   // Spans flattened to slash-joined paths; notes and event deltas ride
   // along as span_note / span_event rows.

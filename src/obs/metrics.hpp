@@ -1,13 +1,14 @@
 // MetricsRegistry: one run's observability data behind a versioned schema.
 //
-// A registry collects the five report sections — `meta` (identity: algorithm,
+// A registry collects the six report sections — `meta` (identity: algorithm,
 // graph, threads), `metrics` (scalar results: triangles, seconds, rates),
 // `hw` (hardware-event source + per-event totals), `spans` (the PhaseTracer
-// tree, including per-span event deltas) and `counters` (totals +
-// per-thread) — and exports them as JSON (schema "lotus-metrics/2",
-// specified in docs/METRICS.md) or flat CSV. Every bench and the tc_profile
-// example emit their numbers through this type, so reports are comparable
-// across algorithms and PRs.
+// tree, including per-span event deltas), `counters` (totals + per-thread)
+// and `resilience` (run status + any budget/fault degradations) — and
+// exports them as JSON (schema "lotus-metrics/3", specified in
+// docs/METRICS.md) or flat CSV. Every bench and the tc_profile example emit
+// their numbers through this type, so reports are comparable across
+// algorithms and PRs.
 //
 // Thread-safety: a registry is a single-threaded builder object; assemble it
 // on one thread after the parallel work has finished. Exporting does not
@@ -26,12 +27,23 @@
 #include "obs/hwc.hpp"
 #include "obs/json.hpp"
 #include "obs/trace.hpp"
+#include "util/status.hpp"
 
 namespace lotus::obs {
 
 /// Version tag stamped into every export; bump when the layout or the
 /// counter names change (docs/METRICS.md is the changelog).
-inline constexpr const char* kMetricsSchemaVersion = "lotus-metrics/2";
+inline constexpr const char* kMetricsSchemaVersion = "lotus-metrics/3";
+
+/// One graceful-degradation event: at `site` the run switched to a cheaper
+/// `action` because of `reason` (e.g. the memory budget or an injected
+/// allocation failure). Exported in the `resilience` section so a degraded
+/// run is never mistaken for a full-fidelity one.
+struct Degradation {
+  std::string site;    // where: "lotus", "forward-hashed", "hwc", ...
+  std::string action;  // what: "fallback=gap-forward", ...
+  std::string reason;  // why: the triggering status/fault message
+};
 
 class MetricsRegistry {
  public:
@@ -48,6 +60,12 @@ class MetricsRegistry {
   /// ones. A registry without this call exports `"hw": {"source": "off"}`.
   void set_hw(EventSource source, std::string backend,
               const EventCounts& events, std::string note = "");
+
+  /// Resilience section (schema v3): the run's final status (ok /
+  /// deadline_exceeded / cancelled / ...) and any degradations taken. A
+  /// registry without this call exports `"resilience": {"status": "ok"}`.
+  void set_resilience(const util::Status& status,
+                      std::vector<Degradation> degradations);
 
   /// Attach a counters snapshot (obs::counters_snapshot()).
   void set_counters(CountersSnapshot snapshot);
@@ -74,6 +92,8 @@ class MetricsRegistry {
   std::string hw_backend_;
   EventCounts hw_events_;
   std::string hw_note_;
+  util::Status status_;
+  std::vector<Degradation> degradations_;
 };
 
 }  // namespace lotus::obs

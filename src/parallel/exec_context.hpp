@@ -1,0 +1,71 @@
+// ExecContext: the cancellation/deadline environment of the current run.
+//
+// tc::run_with_status installs a ScopedExecContext around each counting run;
+// parallel_for and the work-stealing scheduler call check_interrupt() at
+// chunk/task granularity and stop handing out work once it reports an
+// interrupt, and the LOTUS driver checks it between phases. Both conditions
+// are sticky (util/cancel.hpp), so the caller that installed the context can
+// re-check after the run to learn whether any work was skipped.
+//
+// Thread-safety: the context pointer is a process-global atomic (the tc API
+// runs one counting run at a time); check_interrupt is safe from any
+// thread. Overhead with no context installed: one relaxed atomic load per
+// chunk.
+#pragma once
+
+#include <atomic>
+
+#include "util/cancel.hpp"
+
+namespace lotus::parallel {
+
+/// What, if anything, interrupted the run. Deadline wins ties only when the
+/// cancel token is untouched — cancellation is the stronger, explicit signal.
+enum class Interrupt { kNone, kCancelled, kDeadlineExceeded };
+
+/// The cancellation environment: either member may be absent.
+struct ExecContext {
+  const util::CancelToken* cancel = nullptr;
+  util::Deadline deadline;
+};
+
+namespace detail {
+inline std::atomic<const ExecContext*>& exec_context_ref() {
+  static std::atomic<const ExecContext*> current{nullptr};
+  return current;
+}
+}  // namespace detail
+
+/// Poll the installed context. kNone when no context is installed.
+[[nodiscard]] inline Interrupt check_interrupt() noexcept {
+  const ExecContext* ctx =
+      detail::exec_context_ref().load(std::memory_order_acquire);
+  if (ctx == nullptr) return Interrupt::kNone;
+  if (ctx->cancel != nullptr && ctx->cancel->cancelled())
+    return Interrupt::kCancelled;
+  if (ctx->deadline.expired()) return Interrupt::kDeadlineExceeded;
+  return Interrupt::kNone;
+}
+
+[[nodiscard]] inline bool interrupted() noexcept {
+  return check_interrupt() != Interrupt::kNone;
+}
+
+/// Install `context` for the lifetime of this object (pass by pointer; the
+/// caller keeps ownership and must outlive the scope).
+class ScopedExecContext {
+ public:
+  explicit ScopedExecContext(const ExecContext* context)
+      : previous_(detail::exec_context_ref().exchange(
+            context, std::memory_order_acq_rel)) {}
+  ~ScopedExecContext() {
+    detail::exec_context_ref().store(previous_, std::memory_order_release);
+  }
+  ScopedExecContext(const ScopedExecContext&) = delete;
+  ScopedExecContext& operator=(const ScopedExecContext&) = delete;
+
+ private:
+  const ExecContext* previous_;
+};
+
+}  // namespace lotus::parallel

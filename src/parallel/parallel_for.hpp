@@ -16,6 +16,7 @@
 #endif
 
 #include "obs/counters.hpp"
+#include "parallel/exec_context.hpp"
 #include "parallel/padded.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -69,6 +70,12 @@ inline unsigned max_parallelism() {
 
 /// Invoke `fn(thread_index, begin_i, end_i)` over dynamic chunks of
 /// [begin, end). `grain` is the chunk size handed to a thread per grab.
+///
+/// Cancellation/deadline (parallel/exec_context.hpp) is honoured at chunk
+/// granularity: once check_interrupt() reports an interrupt, remaining
+/// chunks are skipped and the loop returns early. Results are then partial;
+/// the caller that installed the ExecContext is responsible for re-checking
+/// the context and discarding them (tc::run_with_status does).
 template <typename Fn>
 void parallel_for(std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
                   Fn&& fn) {
@@ -80,6 +87,7 @@ void parallel_for(std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
         static_cast<std::int64_t>((end - begin + grain - 1) / grain);
 #pragma omp parallel for schedule(dynamic)
     for (std::int64_t c = 0; c < chunks; ++c) {
+      if (interrupted()) continue;  // omp loops cannot break; skip bodies
       const std::uint64_t chunk_begin = begin + static_cast<std::uint64_t>(c) * grain;
       const std::uint64_t chunk_end =
           chunk_begin + grain < end ? chunk_begin + grain : end;
@@ -90,14 +98,27 @@ void parallel_for(std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
 #endif
   ThreadPool& pool = default_pool();
   if (pool.size() == 1 || end - begin <= grain) {
-    obs::count(obs::Counter::kParallelChunks);
-    fn(0u, begin, end);
+    if (detail::exec_context_ref().load(std::memory_order_acquire) == nullptr) {
+      obs::count(obs::Counter::kParallelChunks);
+      fn(0u, begin, end);
+      return;
+    }
+    // A context is installed: run chunk by chunk so even single-threaded
+    // runs observe cancellation at chunk granularity.
+    std::uint64_t chunks = 0;
+    for (std::uint64_t b = begin; b < end && !interrupted(); b += grain) {
+      const std::uint64_t e = b + grain < end ? b + grain : end;
+      ++chunks;
+      fn(0u, b, e);
+    }
+    obs::count(obs::Counter::kParallelChunks, chunks);
     return;
   }
   std::atomic<std::uint64_t> cursor{begin};
   pool.execute([&](unsigned thread_index) {
     std::uint64_t chunks = 0;  // dead when LOTUS_OBS=0
     for (;;) {
+      if (interrupted()) break;
       const std::uint64_t chunk_begin =
           cursor.fetch_add(grain, std::memory_order_relaxed);
       if (chunk_begin >= end) break;

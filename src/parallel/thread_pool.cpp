@@ -5,9 +5,12 @@
 #include <memory>
 #include <mutex>
 #include <random>
+#include <system_error>
 
 #include "obs/counters.hpp"
 #include "obs/trace_export.hpp"
+#include "parallel/exec_context.hpp"
+#include "util/fault.hpp"
 #include "util/prng.hpp"
 #include "util/timer.hpp"
 
@@ -16,8 +19,22 @@ namespace lotus::parallel {
 ThreadPool::ThreadPool(unsigned num_threads)
     : num_threads_(num_threads == 0 ? 1 : num_threads) {
   workers_.reserve(num_threads_ - 1);
-  for (unsigned i = 1; i < num_threads_; ++i)
-    workers_.emplace_back([this, i] { worker_loop(i); });
+  // std::thread construction fails with std::system_error when the system
+  // is out of thread resources (EAGAIN). Degrade instead of dying: keep the
+  // workers that did start (the caller is always thread 0, so the pool is
+  // never smaller than 1) and shrink size() to the real concurrency.
+  for (unsigned i = 1; i < num_threads_; ++i) {
+    try {
+      if (util::fault::should_fail(util::fault::Site::kThreadSpawn))
+        throw std::system_error(
+            std::make_error_code(std::errc::resource_unavailable_try_again),
+            "injected thread-spawn failure (fault site thread_spawn)");
+      workers_.emplace_back([this, i] { worker_loop(i); });
+    } catch (const std::system_error&) {
+      num_threads_ = i;  // threads [1, i) started; the caller makes i total
+      break;
+    }
+  }
 }
 
 ThreadPool::~ThreadPool() {
@@ -155,6 +172,13 @@ std::vector<double> WorkStealingScheduler::run(std::vector<Task> tasks) {
                               static_cast<int>(victim)});
           }
         }
+      }
+      if (got && interrupted()) {
+        // Cancelled/expired: drain without running, so `outstanding` still
+        // reaches zero and no task leaks into a later run.
+        task.fn = nullptr;
+        outstanding.fetch_sub(1, std::memory_order_acq_rel);
+        continue;
       }
       if (got) {
         if (sink != nullptr) close_idle();

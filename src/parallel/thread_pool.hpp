@@ -30,12 +30,18 @@ namespace lotus::parallel {
 /// `parallel_for` and the work-stealing task scheduler.
 class ThreadPool {
  public:
+  /// Starts `num_threads - 1` workers (the caller is thread 0). Worker
+  /// construction failure (std::system_error, e.g. EAGAIN under thread
+  /// limits, or the `thread_spawn` fault site) is survived: the pool keeps
+  /// the threads that did start — never fewer than the caller alone — and
+  /// size() reports the actual concurrency.
   explicit ThreadPool(unsigned num_threads);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// Actual thread count (caller + workers that really started).
   [[nodiscard]] unsigned size() const noexcept { return num_threads_; }
 
   /// Run `fn(thread_index)` once on every thread of the pool; blocks until
@@ -66,6 +72,9 @@ class ThreadPool {
 /// fractions (Table 9). When a trace sink is installed
 /// (obs::set_sched_event_sink), each run also records timestamped
 /// task/steal/idle events for the Chrome-trace timeline export.
+/// Cancellation/deadline (parallel/exec_context.hpp) is honoured at task
+/// granularity: once interrupted, remaining tasks are drained unrun, so
+/// run() still returns and no task leaks into a later run.
 class WorkStealingScheduler {
  public:
   using Task = std::function<void(unsigned thread_index)>;

@@ -9,10 +9,12 @@
 #include "lotus/adaptive.hpp"
 #include "lotus/lotus.hpp"
 #include "lotus/lotus_graph.hpp"
+#include "parallel/exec_context.hpp"
 #include "parallel/thread_pool.hpp"
 #include "simcache/machines.hpp"
 #include "simcache/sim_events.hpp"
 #include "tc/instrumented.hpp"
+#include "util/memory_budget.hpp"
 #include "util/timer.hpp"
 
 namespace lotus::tc {
@@ -109,6 +111,37 @@ void attribute_simulated(ProfileReport& report, const graph::CsrGraph& graph,
                          std::to_string(replay_triangles) + " vs run " +
                          std::to_string(report.result.triangles) + ")";
 }
+
+// Keeps the process-wide scheduler-event sink balanced even when the run
+// body throws (run_profiled_with_status catches those exceptions, so a
+// dangling sink would outlive the log it points at).
+struct SchedSinkGuard {
+  explicit SchedSinkGuard(obs::SchedEventLog* log) : active(log != nullptr) {
+    if (active) obs::set_sched_event_sink(log);
+  }
+  ~SchedSinkGuard() {
+    if (active) obs::set_sched_event_sink(nullptr);
+  }
+  SchedSinkGuard(const SchedSinkGuard&) = delete;
+  SchedSinkGuard& operator=(const SchedSinkGuard&) = delete;
+  bool active;
+};
+
+util::Status interrupt_status(parallel::Interrupt interrupt) {
+  return interrupt == parallel::Interrupt::kCancelled
+             ? util::Status{util::StatusCode::kCancelled,
+                            "run cancelled via RunOptions::cancel"}
+             : util::Status{util::StatusCode::kDeadlineExceeded,
+                            "RunOptions::deadline expired before completion"};
+}
+
+// Algorithms whose scratch/topology allocations a memory budget can veto;
+// all of them degrade to the scratch-free gap-forward merge kernel.
+bool budget_degradable(Algorithm algorithm) {
+  return algorithm == Algorithm::kLotus || algorithm == Algorithm::kAdaptive ||
+         algorithm == Algorithm::kForwardHashed ||
+         algorithm == Algorithm::kForwardBitmap;
+}
 }  // namespace
 
 RunResult run(Algorithm algorithm, const graph::CsrGraph& graph,
@@ -184,6 +217,8 @@ ProfileReport run_profiled(Algorithm algorithm, const graph::CsrGraph& graph,
       source = obs::EventSource::kSimulated;
       report.event_note =
           "hardware counters unavailable (" + error + "); degraded to simulated";
+      report.degradations.push_back(
+          {"hwc", "fallback=simulated", "hardware counters unavailable: " + error});
     } else {
       parallel::default_pool().execute(
           [&hw](unsigned) { hw->attach_current_thread(); });
@@ -193,36 +228,33 @@ ProfileReport run_profiled(Algorithm algorithm, const graph::CsrGraph& graph,
   }
 
   obs::SchedEventLog sched_log;
-  if (options.capture_sched_events) obs::set_sched_event_sink(&sched_log);
-
-  switch (algorithm) {
-    case Algorithm::kLotus: {
-      const core::LotusResult r =
-          core::count_triangles(graph, config, &report.trace);
-      report.result = {r.triangles, r.preprocess_s, r.count_s()};
-      break;
-    }
-    case Algorithm::kAdaptive: {
-      const core::AdaptiveResult r = core::adaptive_count(graph, config);
-      report.result = {r.triangles, r.preprocess_s, r.count_s};
-      leaf_spans(report.trace, report.result);
-      report.trace.note("chosen_algorithm",
-                        r.algorithm == core::ChosenAlgorithm::kLotus
-                            ? "lotus"
-                            : "forward");
-      break;
-    }
-    default: {
-      report.result = run(algorithm, graph, config);
-      leaf_spans(report.trace, report.result);
-      break;
+  {
+    SchedSinkGuard sink(options.capture_sched_events ? &sched_log : nullptr);
+    switch (algorithm) {
+      case Algorithm::kLotus: {
+        const core::LotusResult r =
+            core::count_triangles(graph, config, &report.trace);
+        report.result = {r.triangles, r.preprocess_s, r.count_s()};
+        break;
+      }
+      case Algorithm::kAdaptive: {
+        const core::AdaptiveResult r = core::adaptive_count(graph, config);
+        report.result = {r.triangles, r.preprocess_s, r.count_s};
+        leaf_spans(report.trace, report.result);
+        report.trace.note("chosen_algorithm",
+                          r.algorithm == core::ChosenAlgorithm::kLotus
+                              ? "lotus"
+                              : "forward");
+        break;
+      }
+      default: {
+        report.result = run(algorithm, graph, config);
+        leaf_spans(report.trace, report.result);
+        break;
+      }
     }
   }
-
-  if (options.capture_sched_events) {
-    obs::set_sched_event_sink(nullptr);
-    report.sched_events = sched_log.events();
-  }
+  if (options.capture_sched_events) report.sched_events = sched_log.events();
 
   report.counters = obs::counters_snapshot();
 
@@ -241,6 +273,111 @@ ProfileReport run_profiled(Algorithm algorithm, const graph::CsrGraph& graph,
   return report;
 }
 
+util::Expected<RunResult> run_with_status(Algorithm algorithm,
+                                          const graph::CsrGraph& graph,
+                                          const RunOptions& options) {
+  parallel::ExecContext ctx;
+  ctx.cancel = options.cancel;
+  ctx.deadline = options.deadline;
+  parallel::ScopedExecContext exec(&ctx);
+  util::MemoryBudget budget(options.memory_budget_bytes);
+  util::ScopedMemoryBudget scoped_budget(&budget);
+
+  if (const auto i = parallel::check_interrupt(); i != parallel::Interrupt::kNone)
+    return interrupt_status(i);
+
+  Algorithm active = algorithm;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      RunResult result = run(active, graph, options.config);
+      // Interrupts are sticky: any chunk or phase the run skipped is still
+      // visible here, so a partial count can never escape as a valid result.
+      if (const auto i = parallel::check_interrupt();
+          i != parallel::Interrupt::kNone)
+        return interrupt_status(i);
+      return result;
+    } catch (const std::bad_alloc& e) {  // includes util::BudgetError
+      if (attempt == 0 && options.allow_degradation &&
+          budget_degradable(active)) {
+        budget.reset_used();  // the failed attempt's charges are released
+        active = Algorithm::kForwardMerge;
+        continue;
+      }
+      return util::Status{util::StatusCode::kOutOfMemory, e.what()};
+    } catch (...) {
+      return util::status_from_current_exception();
+    }
+  }
+}
+
+ProfileReport run_profiled_with_status(Algorithm algorithm,
+                                       const graph::CsrGraph& graph,
+                                       const RunOptions& options,
+                                       const ProfileOptions& profile) {
+  parallel::ExecContext ctx;
+  ctx.cancel = options.cancel;
+  ctx.deadline = options.deadline;
+  parallel::ScopedExecContext exec(&ctx);
+  util::MemoryBudget budget(options.memory_budget_bytes);
+  util::ScopedMemoryBudget scoped_budget(&budget);
+
+  const auto fill_identity = [&](ProfileReport& r, Algorithm a) {
+    r.algorithm = a;
+    r.vertices = graph.num_vertices();
+    r.edges = graph.num_edges() / 2;
+    r.threads = parallel::default_pool().size();
+  };
+
+  ProfileReport report;
+  fill_identity(report, algorithm);
+  if (const auto i = parallel::check_interrupt();
+      i != parallel::Interrupt::kNone) {
+    report.status = interrupt_status(i);
+    return report;
+  }
+
+  std::vector<obs::Degradation> degradations;
+  Algorithm active = algorithm;
+  for (int attempt = 0;; ++attempt) {
+    try {
+      report = run_profiled(active, graph, options.config, profile);
+      if (const auto i = parallel::check_interrupt();
+          i != parallel::Interrupt::kNone) {
+        report.status = interrupt_status(i);
+        report.result.triangles = 0;  // partial count must never look valid
+      }
+      break;
+    } catch (const std::bad_alloc& e) {  // includes util::BudgetError
+      if (attempt == 0 && options.allow_degradation &&
+          budget_degradable(active)) {
+        degradations.push_back({name(active),
+                                "fallback=" + name(Algorithm::kForwardMerge),
+                                e.what()});
+        budget.reset_used();
+        active = Algorithm::kForwardMerge;
+        continue;
+      }
+      report = ProfileReport{};
+      fill_identity(report, active);
+      report.status = {util::StatusCode::kOutOfMemory, e.what()};
+      break;
+    } catch (...) {
+      report = ProfileReport{};
+      fill_identity(report, active);
+      report.status = util::status_from_current_exception();
+      break;
+    }
+  }
+  if (!degradations.empty()) {
+    // Budget fallbacks happened before the run that produced `report`; any
+    // degradations run_profiled recorded itself (hw→sim) come after.
+    degradations.insert(degradations.end(), report.degradations.begin(),
+                        report.degradations.end());
+    report.degradations = std::move(degradations);
+  }
+  return report;
+}
+
 obs::MetricsRegistry ProfileReport::metrics() const {
   obs::MetricsRegistry registry;
   registry.set_meta("algorithm", name(algorithm));
@@ -255,6 +392,7 @@ obs::MetricsRegistry ProfileReport::metrics() const {
   registry.set_metric("triangles_per_s", result.triangles_per_s());
   registry.set_metric("edges_per_s", edges_per_s(edges, result.total_s()));
   registry.set_hw(event_source, event_backend, events, event_note);
+  registry.set_resilience(status, degradations);
   registry.set_trace(trace);
   registry.set_counters(counters);
   return registry;

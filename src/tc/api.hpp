@@ -8,7 +8,12 @@
 // (parallel::default_pool) and the process-wide observability counters, so at
 // most one run may execute at a time; calling either concurrently from two
 // threads gives interleaved counters and a racing pool. Results returned by
-// value are immutable afterwards and safe to share.
+// value are immutable afterwards and safe to share. The *_with_status
+// variants additionally install the process-wide execution context and
+// memory budget (parallel/exec_context.hpp, util/memory_budget.hpp) for the
+// duration of the call — the same one-run-at-a-time contract makes that
+// safe. Cancelling via RunOptions::cancel from *another* thread is the
+// supported (and intended) concurrent interaction.
 //
 // Overhead: run() adds two util::Timer reads per algorithm over calling the
 // kernel directly. run_profiled() additionally resets/snapshots the global
@@ -29,6 +34,8 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_export.hpp"
+#include "util/cancel.hpp"
+#include "util/status.hpp"
 
 namespace lotus::tc {
 
@@ -74,6 +81,45 @@ struct RunResult {
 RunResult run(Algorithm algorithm, const graph::CsrGraph& graph,
               const core::LotusConfig& config = {});
 
+/// Resilience knobs for run_with_status / run_profiled_with_status.
+struct RunOptions {
+  /// Algorithm configuration (hub count, fusion, ...), as for run().
+  core::LotusConfig config;
+
+  /// Cooperative cancellation: another thread calls cancel() and the run
+  /// returns StatusCode::kCancelled at the next chunk/phase boundary. The
+  /// token must outlive the call; nullptr = not cancellable.
+  const util::CancelToken* cancel = nullptr;
+
+  /// Wall-clock deadline; an expired deadline makes the run return
+  /// StatusCode::kDeadlineExceeded at the next chunk/phase boundary.
+  /// Default: no deadline.
+  util::Deadline deadline;
+
+  /// Soft cap on the large allocations the library accounts (CSX arrays,
+  /// relabel buffers, H2H bits, intersection scratch; util/memory_budget.hpp).
+  /// 0 = unlimited. Exceeding it triggers degradation (below) or
+  /// StatusCode::kOutOfMemory.
+  std::uint64_t memory_budget_bytes = 0;
+
+  /// When the budget (or an injected allocation fault) vetoes a
+  /// memory-hungry algorithm (lotus, adaptive, forward-hashed,
+  /// forward-bitmap), retry once with the scratch-free gap-forward merge
+  /// kernel instead of failing. The switch is recorded in the metrics
+  /// export's resilience section. false = fail with kOutOfMemory.
+  bool allow_degradation = true;
+};
+
+/// run() behind the Status error model: never throws and never exits.
+/// Returns the result, or: kCancelled / kDeadlineExceeded (cooperative
+/// interrupt — a partial count is discarded, never returned),
+/// kOutOfMemory (allocation failure or budget exceeded, after any permitted
+/// degradation), kResourceExhausted (thread/fd failure), kInvalidArgument,
+/// or kInternal for anything unexpected.
+util::Expected<RunResult> run_with_status(Algorithm algorithm,
+                                          const graph::CsrGraph& graph,
+                                          const RunOptions& options = {});
+
 /// Knobs for run_profiled beyond the algorithm config.
 struct ProfileOptions {
   /// Requested hardware-event source. kHardware degrades to kSimulated
@@ -97,7 +143,7 @@ struct ProfileOptions {
 /// Everything one run produced: the RunResult plus the span tree, the
 /// per-thread counter snapshot, hardware-event totals, and (optionally) the
 /// scheduler timeline taken over exactly this run. Exported via metrics() /
-/// to_json() in the versioned "lotus-metrics/2" schema (docs/METRICS.md).
+/// to_json() in the versioned "lotus-metrics/3" schema (docs/METRICS.md).
 struct ProfileReport {
   Algorithm algorithm = Algorithm::kLotus;
   RunResult result;
@@ -118,6 +164,15 @@ struct ProfileReport {
   /// Scheduler timeline (empty unless ProfileOptions::capture_sched_events).
   std::vector<obs::SchedEvent> sched_events;
 
+  /// Final status of the run and any graceful degradations taken (hw→sim
+  /// events, memory-budget algorithm fallback). run_profiled() always leaves
+  /// status ok (it throws on failure); run_profiled_with_status() reports
+  /// cancellation/deadline/OOM here instead of throwing. Non-ok status ⇒
+  /// `result.triangles` is zeroed (a partial count must never look valid);
+  /// the timings and spans that did complete are kept as partial metrics.
+  util::Status status;
+  std::vector<obs::Degradation> degradations;
+
   /// Assemble the full MetricsRegistry (meta + metrics + hw + spans +
   /// counters).
   [[nodiscard]] obs::MetricsRegistry metrics() const;
@@ -137,6 +192,17 @@ struct ProfileReport {
 ProfileReport run_profiled(Algorithm algorithm, const graph::CsrGraph& graph,
                            const core::LotusConfig& config = {},
                            const ProfileOptions& options = {});
+
+/// run_profiled() behind the Status error model: never throws. Always
+/// returns a report — on failure its `status` is non-ok, its identity fields
+/// (algorithm, vertices, edges, threads) are filled, and whatever phase
+/// metrics completed before the interrupt are kept. Degradations (budget
+/// fallback, hw→sim) are listed in `degradations` and exported in the
+/// metrics resilience section.
+ProfileReport run_profiled_with_status(Algorithm algorithm,
+                                       const graph::CsrGraph& graph,
+                                       const RunOptions& options = {},
+                                       const ProfileOptions& profile = {});
 
 [[nodiscard]] std::string name(Algorithm algorithm);
 [[nodiscard]] std::optional<Algorithm> parse(const std::string& name);

@@ -1,0 +1,158 @@
+// Status / Expected<T>: the library-wide error model.
+//
+// Library code must never call exit() and must not let std::bad_alloc /
+// std::system_error escape the public API boundary (tc::run_with_status,
+// graph/io *_s functions). Instead, fallible operations return a Status (or
+// an Expected<T> carrying either a value or a Status) with one of a small
+// set of stable error codes. The code names and the CLI exit-code mapping
+// are part of the public contract (docs/ROBUSTNESS.md) and must not be
+// renumbered.
+//
+// Thread-safety: Status and Expected are plain value types; const access is
+// safe to share. status_from_current_exception() may be called from any
+// thread's catch block.
+#pragma once
+
+#include <exception>
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <system_error>
+#include <utility>
+#include <variant>
+
+namespace lotus::util {
+
+/// Stable error codes. The enumerator order fixes the CLI exit codes (see
+/// exit_code), so new codes must be appended, never inserted.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,    // caller error: bad parameter, malformed input file
+  kIoError,            // read/write failure, truncation, bad magic
+  kOutOfMemory,        // allocation failure or memory budget exceeded
+  kDeadlineExceeded,   // RunOptions::deadline expired before completion
+  kCancelled,          // RunOptions::cancel was triggered
+  kResourceExhausted,  // non-memory resource failure (threads, fds)
+  kInternal,           // unexpected failure; a bug if ever observed
+};
+
+/// Stable snake_case name of a code ("invalid_argument", ...); these strings
+/// appear in metrics exports and CLI messages.
+[[nodiscard]] constexpr const char* status_code_name(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return "ok";
+    case StatusCode::kInvalidArgument: return "invalid_argument";
+    case StatusCode::kIoError: return "io_error";
+    case StatusCode::kOutOfMemory: return "out_of_memory";
+    case StatusCode::kDeadlineExceeded: return "deadline_exceeded";
+    case StatusCode::kCancelled: return "cancelled";
+    case StatusCode::kResourceExhausted: return "resource_exhausted";
+    case StatusCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+/// Process exit code for a status, used by every CLI in examples/ and
+/// tests/differential: ok=0, internal=1, then invalid_argument=2, io_error=3,
+/// out_of_memory=4, deadline_exceeded=5, cancelled=6, resource_exhausted=7.
+[[nodiscard]] constexpr int exit_code(StatusCode code) noexcept {
+  switch (code) {
+    case StatusCode::kOk: return 0;
+    case StatusCode::kInternal: return 1;
+    case StatusCode::kInvalidArgument: return 2;
+    case StatusCode::kIoError: return 3;
+    case StatusCode::kOutOfMemory: return 4;
+    case StatusCode::kDeadlineExceeded: return 5;
+    case StatusCode::kCancelled: return 6;
+    case StatusCode::kResourceExhausted: return 7;
+  }
+  return 1;
+}
+
+/// An error code plus a human-readable message. Default-constructed = ok.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] static Status Ok() { return {}; }
+
+  [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "io_error: graph.bin: truncated body" (just "ok" when ok()).
+  [[nodiscard]] std::string to_string() const {
+    if (ok()) return "ok";
+    std::string out = status_code_name(code_);
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a T or a non-ok Status. A moved-from or error Expected must not
+/// have value()/ take() called on it (asserted via logic_error, not UB).
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Expected(Status status) : data_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    if (std::get<Status>(data_).ok())
+      throw std::logic_error("Expected constructed from an ok Status");
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return std::holds_alternative<T>(data_); }
+
+  /// The error (Status::Ok() when this holds a value).
+  [[nodiscard]] Status status() const {
+    return ok() ? Status::Ok() : std::get<Status>(data_);
+  }
+
+  [[nodiscard]] const T& value() const& { return checked(); }
+  [[nodiscard]] T& value() & { return const_cast<T&>(checked()); }
+
+  /// Move the value out (the Expected is left valueless-but-destructible).
+  [[nodiscard]] T take() { return std::move(const_cast<T&>(checked())); }
+
+ private:
+  const T& checked() const {
+    if (!ok())
+      throw std::logic_error("Expected::value on error: " +
+                             std::get<Status>(data_).to_string());
+    return std::get<T>(data_);
+  }
+
+  std::variant<T, Status> data_;
+};
+
+/// Map the in-flight exception (call from inside a catch block) to a Status:
+/// bad_alloc -> out_of_memory, system_error -> resource_exhausted,
+/// invalid_argument -> invalid_argument, anything else -> `fallback`
+/// (default internal). This is the one place the library translates thrown
+/// errors into the status model.
+[[nodiscard]] inline Status status_from_current_exception(
+    StatusCode fallback = StatusCode::kInternal) {
+  try {
+    throw;
+  } catch (const std::bad_alloc&) {
+    return {StatusCode::kOutOfMemory, "allocation failed"};
+  } catch (const std::system_error& e) {
+    return {StatusCode::kResourceExhausted, e.what()};
+  } catch (const std::invalid_argument& e) {
+    return {StatusCode::kInvalidArgument, e.what()};
+  } catch (const std::exception& e) {
+    return {fallback, e.what()};
+  } catch (...) {
+    return {StatusCode::kInternal, "unknown exception"};
+  }
+}
+
+}  // namespace lotus::util

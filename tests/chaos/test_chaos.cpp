@@ -1,0 +1,208 @@
+// Chaos suite (ctest label `chaos`; scripts/check_chaos.sh runs it under
+// ASan with a fixed fault matrix).
+//
+// Every test sweeps a deterministic fault-plan matrix — site × probability ×
+// seed, all through util/fault.hpp's seeded hash so a failing cell replays
+// identically — and asserts the only two acceptable outcomes: the operation
+// succeeds with an exactly-correct result, or it fails with a clean mapped
+// Status. Crashes, hangs, leaks (ASan), and silently-wrong counts are the
+// bugs this suite exists to catch.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/tc_baselines.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "parallel/thread_pool.hpp"
+#include "tc/api.hpp"
+#include "util/fault.hpp"
+#include "util/status.hpp"
+
+namespace {
+
+namespace g = lotus::graph;
+namespace tc = lotus::tc;
+namespace fault = lotus::util::fault;
+using lotus::util::StatusCode;
+
+constexpr std::uint64_t kSeeds[] = {1, 2, 3, 4, 5};
+
+struct Oracle {
+  g::CsrGraph graph;
+  std::uint64_t triangles;
+};
+
+const Oracle& oracle() {
+  static const Oracle o = [] {
+    Oracle built;
+    built.graph = g::build_undirected(
+        g::rmat({.scale = 9, .edge_factor = 8, .seed = 13}));
+    built.triangles = lotus::baselines::brute_force(built.graph);
+    return built;
+  }();
+  return o;
+}
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_(::testing::TempDir() + name) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(Chaos, AllocFaultsNeverCorruptCounts) {
+  for (const double p : {0.3, 1.0}) {
+    for (const std::uint64_t seed : kSeeds) {
+      fault::ScopedFaultPlan plan(
+          fault::single_site_plan(fault::Site::kAlloc, p, seed));
+      for (const auto algorithm :
+           {tc::Algorithm::kLotus, tc::Algorithm::kAdaptive,
+            tc::Algorithm::kForwardHashed, tc::Algorithm::kForwardBitmap}) {
+        const auto result =
+            tc::run_with_status(algorithm, oracle().graph);
+        if (result.ok()) {
+          EXPECT_EQ(result.value().triangles, oracle().triangles)
+              << tc::name(algorithm) << " p=" << p << " seed=" << seed;
+        } else {
+          EXPECT_EQ(result.status().code(), StatusCode::kOutOfMemory)
+              << tc::name(algorithm) << " p=" << p << " seed=" << seed << ": "
+              << result.status().to_string();
+        }
+      }
+    }
+  }
+}
+
+TEST(Chaos, AllocFaultsWithoutDegradationFailCleanly) {
+  tc::RunOptions options;
+  options.allow_degradation = false;
+  for (const std::uint64_t seed : kSeeds) {
+    fault::ScopedFaultPlan plan(
+        fault::single_site_plan(fault::Site::kAlloc, 1.0, seed));
+    const auto result =
+        tc::run_with_status(tc::Algorithm::kLotus, oracle().graph, options);
+    ASSERT_FALSE(result.ok()) << "seed=" << seed;
+    EXPECT_EQ(result.status().code(), StatusCode::kOutOfMemory);
+  }
+}
+
+TEST(Chaos, ShortReadsAreRetriedToTheExactGraph) {
+  TempFile file("chaos_short_read.bin");
+  ASSERT_TRUE(g::write_csr_binary_s(file.path(), oracle().graph).ok());
+  for (const std::uint64_t seed : kSeeds) {
+    // Every read returns short; the bounded retry loop must still assemble
+    // the full graph (each retry halves the request, which is progress).
+    fault::ScopedFaultPlan plan(
+        fault::single_site_plan(fault::Site::kReadShort, 1.0, seed));
+    auto loaded = g::read_csr_binary_s(file.path());
+    ASSERT_TRUE(loaded.ok()) << "seed=" << seed << ": "
+                             << loaded.status().to_string();
+    EXPECT_GT(fault::injected_count(fault::Site::kReadShort), 0u);
+    const g::CsrGraph& graph = loaded.value();
+    ASSERT_EQ(graph.num_vertices(), oracle().graph.num_vertices());
+    ASSERT_EQ(graph.num_edges(), oracle().graph.num_edges());
+    EXPECT_EQ(lotus::baselines::brute_force(graph), oracle().triangles);
+  }
+}
+
+TEST(Chaos, ReadFailuresMapToIoErrorOrExactGraph) {
+  TempFile file("chaos_read_fail.bin");
+  ASSERT_TRUE(g::write_csr_binary_s(file.path(), oracle().graph).ok());
+  bool saw_failure = false;
+  for (const double p : {0.5, 1.0}) {
+    for (const std::uint64_t seed : kSeeds) {
+      fault::ScopedFaultPlan plan(
+          fault::single_site_plan(fault::Site::kReadFail, p, seed));
+      auto loaded = g::read_csr_binary_s(file.path());
+      if (loaded.ok()) {
+        EXPECT_EQ(lotus::baselines::brute_force(loaded.value()),
+                  oracle().triangles)
+            << "p=" << p << " seed=" << seed;
+      } else {
+        saw_failure = true;
+        EXPECT_EQ(loaded.status().code(), StatusCode::kIoError)
+            << "p=" << p << " seed=" << seed << ": "
+            << loaded.status().to_string();
+      }
+    }
+  }
+  EXPECT_TRUE(saw_failure);  // p=1 must fail every seed
+}
+
+TEST(Chaos, ThreadSpawnFaultsLeaveWorkingPools) {
+  for (const double p : {0.5, 1.0}) {
+    for (const std::uint64_t seed : kSeeds) {
+      fault::ScopedFaultPlan plan(
+          fault::single_site_plan(fault::Site::kThreadSpawn, p, seed));
+      lotus::parallel::ThreadPool pool(8);
+      EXPECT_GE(pool.size(), 1u);
+      EXPECT_LE(pool.size(), 8u);
+      std::atomic<unsigned> sum{0};
+      pool.execute([&](unsigned) { sum.fetch_add(1); });
+      EXPECT_EQ(sum.load(), pool.size()) << "p=" << p << " seed=" << seed;
+    }
+  }
+}
+
+TEST(Chaos, HwcFaultsDegradeToSimulatedEvents) {
+  for (const std::uint64_t seed : kSeeds) {
+    fault::ScopedFaultPlan plan(
+        fault::single_site_plan(fault::Site::kHwc, 1.0, seed));
+    tc::ProfileOptions profile;
+    profile.events = lotus::obs::EventSource::kHardware;
+    const auto report = tc::run_profiled_with_status(
+        tc::Algorithm::kLotus, oracle().graph, {}, profile);
+    ASSERT_TRUE(report.status.ok()) << report.status.to_string();
+    EXPECT_EQ(report.result.triangles, oracle().triangles);
+    EXPECT_EQ(report.event_source, lotus::obs::EventSource::kSimulated);
+    ASSERT_FALSE(report.degradations.empty());
+    EXPECT_EQ(report.degradations[0].site, "hwc");
+  }
+}
+
+TEST(Chaos, EverythingAtOnceStaysSaneEndToEnd) {
+  // The full pipeline — write, read back, profiled run — under a plan where
+  // every site can fire. Any outcome is fine except a crash, a hang, or a
+  // wrong count reported as ok.
+  TempFile file("chaos_everything.bin");
+  ASSERT_TRUE(g::write_csr_binary_s(file.path(), oracle().graph).ok());
+  for (const std::uint64_t seed : kSeeds) {
+    fault::FaultPlan chaos;
+    chaos.seed = seed;
+    chaos.probability[static_cast<std::size_t>(fault::Site::kAlloc)] = 0.2;
+    chaos.probability[static_cast<std::size_t>(fault::Site::kReadShort)] = 0.2;
+    chaos.probability[static_cast<std::size_t>(fault::Site::kReadFail)] = 0.2;
+    chaos.probability[static_cast<std::size_t>(fault::Site::kHwc)] = 0.2;
+    fault::ScopedFaultPlan plan(chaos);
+
+    auto loaded = g::read_csr_binary_s(file.path());
+    if (!loaded.ok()) {
+      EXPECT_EQ(loaded.status().code(), StatusCode::kIoError)
+          << "seed=" << seed << ": " << loaded.status().to_string();
+      continue;
+    }
+    tc::ProfileOptions profile;
+    profile.events = lotus::obs::EventSource::kHardware;
+    const auto report = tc::run_profiled_with_status(
+        tc::Algorithm::kLotus, loaded.value(), {}, profile);
+    if (report.status.ok()) {
+      EXPECT_EQ(report.result.triangles, oracle().triangles) << "seed=" << seed;
+    } else {
+      EXPECT_EQ(report.status.code(), StatusCode::kOutOfMemory)
+          << "seed=" << seed << ": " << report.status.to_string();
+      EXPECT_EQ(report.result.triangles, 0u);
+    }
+  }
+}
+
+}  // namespace

@@ -9,7 +9,10 @@
 // The tool loads the dumped edge list, applies the same configuration, runs
 // the single failing path, and compares against brute force. Exit status 0
 // means the counts agree (bug no longer reproduces), 1 means mismatch, 2
-// means usage error.
+// means usage error. Other failure classes exit with their util::exit_code
+// (docs/ROBUSTNESS.md) — unreadable input 3 (io_error), allocation failure 4
+// (out_of_memory), thread failure 7 (resource_exhausted) — each with one
+// "error (<code>): <message>" line on stderr.
 #include <cstdint>
 #include <exception>
 #include <iostream>
@@ -20,6 +23,17 @@
 #include "graph/builder.hpp"
 #include "graph/io.hpp"
 #include "util/cli.hpp"
+#include "util/status.hpp"
+
+namespace {
+
+int fail(const lotus::util::Status& status) {
+  std::cerr << "error (" << lotus::util::status_code_name(status.code())
+            << "): " << status.message() << "\n";
+  return lotus::util::exit_code(status.code());
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   lotus::util::Cli cli(
@@ -85,15 +99,15 @@ int main(int argc, char** argv) {
     }
   }
   if (!from_corpus) {
-    try {
-      edges = lotus::graph::read_edge_list_text(cli.get("graph"));
-    } catch (const std::exception& e) {
+    auto loaded = lotus::graph::read_edge_list_text_s(cli.get("graph"));
+    if (!loaded.ok()) {
+      const auto status = loaded.status();
       std::cerr << "'" << cli.get("graph")
                 << "' is neither a corpus graph name (try --list) nor a "
-                   "readable edge list: "
-                << e.what() << "\n";
-      return 2;
+                   "readable edge list\n";
+      return fail(status);
     }
+    edges = loaded.take();
   }
   if (cli.get_int("hub-count") != 0)
     config.hub_count =
@@ -101,11 +115,18 @@ int main(int argc, char** argv) {
   if (cli.get("relabel-fraction") != "0.1")
     config.relabel_fraction = cli.get_double("relabel-fraction");
 
-  const auto csr = lotus::graph::build_undirected(edges);
-  const std::uint64_t expected = lotus::baselines::brute_force(csr);
-
-  lotus::testing::apply_execution(execution);
-  const std::uint64_t actual = path->count(csr, config);
+  std::uint64_t expected = 0;
+  std::uint64_t actual = 0;
+  try {
+    const auto csr = lotus::graph::build_undirected(edges);
+    expected = lotus::baselines::brute_force(csr);
+    lotus::testing::apply_execution(execution);
+    actual = path->count(csr, config);
+  } catch (...) {
+    // bad_alloc -> 4, system_error -> 7, invalid_argument -> 2, other -> 1;
+    // never aborts, so the suite's repro line always gets a diagnosable exit.
+    return fail(lotus::util::status_from_current_exception());
+  }
 
   std::cout << "graph=" << cli.get("graph") << " path=" << path->name
             << " backend=" << lotus::testing::backend_name(execution.backend)

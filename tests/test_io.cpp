@@ -5,10 +5,13 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <utility>
 
 #include "graph/builder.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
+#include "util/fault.hpp"
+#include "util/status.hpp"
 
 namespace {
 
@@ -277,6 +280,97 @@ TEST_F(BinaryCorpusTest, ValidEmptyGraphRoundTrips) {
   const auto loaded = g::read_csr_binary(path("empty.bin"));
   EXPECT_EQ(loaded.num_vertices(), 0u);
   EXPECT_EQ(loaded.num_edges(), 0u);
+}
+
+// ---------- status-layer API and mid-read failure injection ----------
+
+using lotus::util::StatusCode;
+namespace fault = lotus::util::fault;
+
+TEST_F(IoTest, StatusApiMapsErrorClasses) {
+  // Unreadable file -> io_error; structural corruption -> invalid_argument.
+  EXPECT_EQ(g::read_edge_list_text_s(path("nope.txt")).status().code(),
+            StatusCode::kIoError);
+  EXPECT_EQ(g::read_csr_binary_s(path("nope.bin")).status().code(),
+            StatusCode::kIoError);
+
+  std::ofstream bad(path("bad_magic.bin"), std::ios::binary);
+  bad << "NOTLOTUS and then some bytes to get past the header";
+  bad.close();
+  EXPECT_EQ(g::read_csr_binary_s(path("bad_magic.bin")).status().code(),
+            StatusCode::kInvalidArgument);
+
+  std::ofstream text(path("bad_line.txt"));
+  text << "1 2\nnot an edge\n";
+  text.close();
+  EXPECT_EQ(g::read_edge_list_text_s(path("bad_line.txt")).status().code(),
+            StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(g::write_csr_binary_s(path("no/such/dir/out.bin"),
+                                  g::build_undirected(g::complete(3)))
+                .code(),
+            StatusCode::kIoError);
+}
+
+TEST_F(IoTest, TruncationAtEveryRegionFailsCleanly) {
+  // Cut the file mid-magic, mid-header, mid-offsets, and mid-neighbours:
+  // every truncation point must surface as a clean status (no throw, no
+  // partial graph). Cuts inside the magic/header are io_error (the read
+  // itself comes up short); body cuts are invalid_argument, because the
+  // pre-allocation size-vs-header check rejects them before any read.
+  const auto graph = g::build_undirected(g::complete(20));
+  g::write_csr_binary(path("full.bin"), graph);
+  const auto full = static_cast<std::uint64_t>(fs::file_size(path("full.bin")));
+  constexpr std::uint64_t kHeader = 8 + 16;
+  const std::uint64_t offsets_end = kHeader + (20 + 1) * 8;
+  const std::pair<std::uint64_t, StatusCode> cuts[] = {
+      {4, StatusCode::kIoError},                        // mid-magic
+      {kHeader - 3, StatusCode::kIoError},              // mid-header
+      {kHeader + 40, StatusCode::kInvalidArgument},     // mid-offsets
+      {offsets_end + 6, StatusCode::kInvalidArgument},  // mid-neighbours
+      {full - 1, StatusCode::kInvalidArgument},         // one byte short
+  };
+  for (const auto& [cut, expected] : cuts) {
+    fs::copy_file(path("full.bin"), path("cut.bin"),
+                  fs::copy_options::overwrite_existing);
+    fs::resize_file(path("cut.bin"), cut);
+    const auto loaded = g::read_csr_binary_s(path("cut.bin"));
+    ASSERT_FALSE(loaded.ok()) << "cut at " << cut;
+    EXPECT_EQ(loaded.status().code(), expected) << "cut at " << cut;
+  }
+}
+
+TEST_F(IoTest, ShortReadsAreRetriedToCompletion) {
+  const auto graph =
+      g::build_undirected(g::rmat({.scale = 8, .edge_factor = 6, .seed = 3}));
+  g::write_csr_binary(path("short.bin"), graph);
+  fault::ScopedFaultPlan plan(
+      fault::single_site_plan(fault::Site::kReadShort, 1.0));
+  const auto loaded = g::read_csr_binary_s(path("short.bin"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  EXPECT_EQ(loaded.value(), graph);
+  EXPECT_GT(fault::injected_count(fault::Site::kReadShort), 0u);
+}
+
+TEST_F(IoTest, InjectedReadFailureIsIoError) {
+  const auto graph = g::build_undirected(g::complete(10));
+  g::write_csr_binary(path("fail.bin"), graph);
+  fault::ScopedFaultPlan plan(
+      fault::single_site_plan(fault::Site::kReadFail, 1.0));
+  const auto loaded = g::read_csr_binary_s(path("fail.bin"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+  EXPECT_NE(loaded.status().message().find("injected"), std::string::npos);
+}
+
+TEST_F(IoTest, LegacyWrappersPreserveStatusMessage) {
+  try {
+    (void)g::read_csr_binary(path("absent.bin"));
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const auto status = g::read_csr_binary_s(path("absent.bin")).status();
+    EXPECT_EQ(std::string(e.what()), status.message());
+  }
 }
 
 }  // namespace

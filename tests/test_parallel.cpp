@@ -3,10 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <numeric>
 
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
+#include "util/fault.hpp"
 
 namespace {
 
@@ -203,6 +205,51 @@ TEST(Backend, MaxParallelismBoundsThreadIndicesUnderBothBackends) {
   }
   lotus::parallel::set_backend(lotus::parallel::Backend::kPool);
   lotus::parallel::set_num_threads(0);
+}
+
+TEST(ThreadPool, SurvivesThreadSpawnFailure) {
+  // Every std::thread construction fails (thread_spawn fault site): the pool
+  // must come up with just the inline master thread and still work.
+  namespace fault = lotus::util::fault;
+  {
+    fault::ScopedFaultPlan plan(
+        fault::single_site_plan(fault::Site::kThreadSpawn, 1.0));
+    lotus::parallel::ThreadPool pool(8);
+    EXPECT_EQ(pool.size(), 1u);
+    std::atomic<unsigned> runs{0};
+    pool.execute([&](unsigned) { runs.fetch_add(1); });
+    EXPECT_EQ(runs.load(), 1u);
+  }
+  {
+    // Only some spawns fail: the pool keeps the threads that did start and
+    // reports the actual concurrency, and execute still runs once per thread.
+    fault::ScopedFaultPlan plan(
+        fault::single_site_plan(fault::Site::kThreadSpawn, 0.5, 3));
+    lotus::parallel::ThreadPool pool(8);
+    EXPECT_GE(pool.size(), 1u);
+    EXPECT_LE(pool.size(), 8u);
+    std::atomic<unsigned> runs{0};
+    pool.execute([&](unsigned) { runs.fetch_add(1); });
+    EXPECT_EQ(runs.load(), pool.size());
+  }
+}
+
+TEST(ThreadPool, SpawnFailurePoolStillCountsCorrectly) {
+  namespace fault = lotus::util::fault;
+  fault::ScopedFaultPlan plan(
+      fault::single_site_plan(fault::Site::kThreadSpawn, 1.0));
+  lotus::parallel::ThreadPool pool(4);
+  ASSERT_EQ(pool.size(), 1u);
+  // A strided sum over the degraded pool covers the range exactly once:
+  // thread t takes indices t, t+size, ... — with one thread, all of them.
+  constexpr unsigned kN = 257;
+  std::atomic<std::uint64_t> sum{0};
+  pool.execute([&](unsigned t) {
+    std::uint64_t local = 0;
+    for (unsigned i = t; i < kN; i += pool.size()) local += i;
+    sum.fetch_add(local);
+  });
+  EXPECT_EQ(sum.load(), static_cast<std::uint64_t>(kN) * (kN - 1) / 2);
 }
 
 }  // namespace

@@ -26,6 +26,8 @@
 #include "obs/counters.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
+#include "tc/api.hpp"
+#include "util/cancel.hpp"
 
 namespace {
 
@@ -118,6 +120,45 @@ TEST(SanitizerStress, LotusEndToEndUnderFourThreads) {
   const auto expected = lotus::baselines::brute_force(graph);
   const auto r = lotus::core::count_triangles(graph);
   EXPECT_EQ(r.triangles, expected);
+  par::set_num_threads(0);
+}
+
+TEST(SanitizerStress, CancelRacesRunRepeatedly) {
+  // Cross-thread cancellation hammered under TSan: a canceller thread flips
+  // the token at a different point of each run, so the chunk-granularity
+  // interrupt checks race against real counting work. Either outcome is
+  // legal per round — finished-before-cancel (exact count) or cancelled —
+  // but the next round must start clean, and no task may leak.
+  par::set_num_threads(4);
+  const auto graph =
+      g::build_undirected(g::rmat({.scale = 12, .edge_factor = 12, .seed = 9}));
+  const auto expected = lotus::baselines::brute_force(graph);
+  lotus::util::CancelToken token;
+  lotus::tc::RunOptions options;
+  options.cancel = &token;
+  for (int round = 0; round < 20; ++round) {
+    token.reset();
+    std::thread canceller([&token, round] {
+      for (volatile int spin = 0; spin < round * 20000; ++spin) {
+      }
+      token.cancel();
+    });
+    const auto result =
+        lotus::tc::run_with_status(lotus::tc::Algorithm::kLotus, graph, options);
+    canceller.join();
+    if (result.ok()) {
+      ASSERT_EQ(result.value().triangles, expected) << "round " << round;
+    } else {
+      ASSERT_EQ(result.status().code(), lotus::util::StatusCode::kCancelled)
+          << "round " << round << ": " << result.status().to_string();
+    }
+  }
+  // The pool and global exec context must be pristine afterwards.
+  token.reset();
+  const auto clean =
+      lotus::tc::run_with_status(lotus::tc::Algorithm::kLotus, graph, options);
+  ASSERT_TRUE(clean.ok()) << clean.status().to_string();
+  EXPECT_EQ(clean.value().triangles, expected);
   par::set_num_threads(0);
 }
 

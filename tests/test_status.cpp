@@ -1,0 +1,171 @@
+// Status / Expected error model and the fault-plan parser (util/status.hpp,
+// util/fault.hpp): stable code names, stable CLI exit codes, exception
+// mapping, and the deterministic replay property of fault plans.
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/fault.hpp"
+#include "util/status.hpp"
+
+namespace {
+
+using lotus::util::Expected;
+using lotus::util::Status;
+using lotus::util::StatusCode;
+namespace fault = lotus::util::fault;
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(Status, CodeNamesAreStable) {
+  // These strings appear in metrics exports and CLI output; changing them
+  // breaks consumers (docs/ROBUSTNESS.md).
+  EXPECT_STREQ(status_code_name(StatusCode::kOk), "ok");
+  EXPECT_STREQ(status_code_name(StatusCode::kInvalidArgument), "invalid_argument");
+  EXPECT_STREQ(status_code_name(StatusCode::kIoError), "io_error");
+  EXPECT_STREQ(status_code_name(StatusCode::kOutOfMemory), "out_of_memory");
+  EXPECT_STREQ(status_code_name(StatusCode::kDeadlineExceeded), "deadline_exceeded");
+  EXPECT_STREQ(status_code_name(StatusCode::kCancelled), "cancelled");
+  EXPECT_STREQ(status_code_name(StatusCode::kResourceExhausted), "resource_exhausted");
+  EXPECT_STREQ(status_code_name(StatusCode::kInternal), "internal");
+}
+
+TEST(Status, ExitCodesAreStable) {
+  EXPECT_EQ(exit_code(StatusCode::kOk), 0);
+  EXPECT_EQ(exit_code(StatusCode::kInternal), 1);
+  EXPECT_EQ(exit_code(StatusCode::kInvalidArgument), 2);
+  EXPECT_EQ(exit_code(StatusCode::kIoError), 3);
+  EXPECT_EQ(exit_code(StatusCode::kOutOfMemory), 4);
+  EXPECT_EQ(exit_code(StatusCode::kDeadlineExceeded), 5);
+  EXPECT_EQ(exit_code(StatusCode::kCancelled), 6);
+  EXPECT_EQ(exit_code(StatusCode::kResourceExhausted), 7);
+}
+
+TEST(Status, ToStringJoinsCodeAndMessage) {
+  const Status s(StatusCode::kIoError, "graph.bin: truncated body");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.to_string(), "io_error: graph.bin: truncated body");
+}
+
+TEST(Expected, HoldsValue) {
+  Expected<int> e(42);
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE(e.status().ok());
+  EXPECT_EQ(e.value(), 42);
+  EXPECT_EQ(e.take(), 42);
+}
+
+TEST(Expected, HoldsStatus) {
+  Expected<int> e(Status{StatusCode::kOutOfMemory, "budget"});
+  ASSERT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kOutOfMemory);
+  EXPECT_THROW((void)e.value(), std::logic_error);
+}
+
+TEST(Expected, RejectsOkStatus) {
+  EXPECT_THROW(Expected<int>(Status::Ok()), std::logic_error);
+}
+
+TEST(Expected, MovesNonCopyableValues) {
+  Expected<std::unique_ptr<int>> e(std::make_unique<int>(7));
+  ASSERT_TRUE(e.ok());
+  const std::unique_ptr<int> v = e.take();
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(Status, MapsCurrentException) {
+  const auto map = [](auto&& thrower) {
+    try {
+      thrower();
+    } catch (...) {
+      return lotus::util::status_from_current_exception();
+    }
+    return Status::Ok();
+  };
+  EXPECT_EQ(map([] { throw std::bad_alloc(); }).code(), StatusCode::kOutOfMemory);
+  EXPECT_EQ(map([] {
+              throw std::system_error(
+                  std::make_error_code(std::errc::resource_unavailable_try_again));
+            }).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(map([] { throw std::invalid_argument("bad"); }).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(map([] { throw std::runtime_error("boom"); }).code(),
+            StatusCode::kInternal);
+}
+
+TEST(FaultPlan, ParsesSpec) {
+  std::string error;
+  const auto plan = fault::parse_plan("alloc:0.5,read_short:1,seed=7", &error);
+  ASSERT_TRUE(plan.has_value()) << error;
+  EXPECT_DOUBLE_EQ(plan->probability[static_cast<std::size_t>(fault::Site::kAlloc)], 0.5);
+  EXPECT_DOUBLE_EQ(
+      plan->probability[static_cast<std::size_t>(fault::Site::kReadShort)], 1.0);
+  EXPECT_EQ(plan->seed, 7u);
+  EXPECT_TRUE(plan->any());
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  std::string error;
+  EXPECT_FALSE(fault::parse_plan("alloc", &error).has_value());
+  EXPECT_FALSE(fault::parse_plan("nosite:1", &error).has_value());
+  EXPECT_FALSE(fault::parse_plan("alloc:2", &error).has_value());
+  EXPECT_FALSE(fault::parse_plan("alloc:x", &error).has_value());
+  EXPECT_FALSE(fault::parse_plan("seed=zz", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(FaultPlan, EmptySpecIsInactive) {
+  std::string error;
+  const auto plan = fault::parse_plan("", &error);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_FALSE(plan->any());
+}
+
+TEST(Fault, DeterministicReplay) {
+  // The same (plan, seed) must fire on exactly the same query indices on
+  // every run — that is the property chaos tests rely on.
+  const auto sample = [](std::uint64_t seed) {
+    fault::ScopedFaultPlan scoped(
+        fault::single_site_plan(fault::Site::kAlloc, 0.3, seed));
+    std::vector<bool> fired;
+    fired.reserve(64);
+    for (int i = 0; i < 64; ++i)
+      fired.push_back(fault::should_fail(fault::Site::kAlloc));
+    return fired;
+  };
+  const auto a = sample(11);
+  const auto b = sample(11);
+  const auto c = sample(12);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // different seed, different sequence (astronomically sure)
+}
+
+TEST(Fault, CountsInjections) {
+  fault::ScopedFaultPlan scoped(
+      fault::single_site_plan(fault::Site::kReadFail, 1.0));
+  EXPECT_EQ(fault::injected_count(fault::Site::kReadFail), 0u);
+  EXPECT_TRUE(fault::should_fail(fault::Site::kReadFail));
+  EXPECT_TRUE(fault::should_fail(fault::Site::kReadFail));
+  EXPECT_EQ(fault::injected_count(fault::Site::kReadFail), 2u);
+  EXPECT_FALSE(fault::should_fail(fault::Site::kAlloc));  // other sites quiet
+}
+
+TEST(Fault, ClearDisablesInjection) {
+  fault::install_plan(fault::single_site_plan(fault::Site::kAlloc, 1.0));
+  EXPECT_TRUE(fault::should_fail(fault::Site::kAlloc));
+  fault::clear();
+  EXPECT_FALSE(fault::should_fail(fault::Site::kAlloc));
+  EXPECT_EQ(fault::injected_count(fault::Site::kAlloc), 0u);  // counters reset
+}
+
+}  // namespace
