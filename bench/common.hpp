@@ -6,7 +6,9 @@
 #pragma once
 
 #include <iostream>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "datasets/registry.hpp"
@@ -66,6 +68,33 @@ inline std::string pct(double value, int precision = 1) {
 /// second (delegates to tc::edges_per_s so every bench divides the same way).
 inline double edges_per_s(const graph::CsrGraph& graph, double seconds) {
   return tc::edges_per_s(graph.num_edges() / 2, seconds);
+}
+
+/// tc::query() unwrapped for bench use: the RunResult of one end-to-end run.
+/// A bench has no graceful degradation path, so any failure throws.
+inline tc::RunResult count(tc::Algorithm algorithm,
+                           const graph::CsrGraph& graph,
+                           const core::LotusConfig& config = {}) {
+  tc::QueryOptions options;
+  options.config = config;
+  auto r = tc::query(algorithm, graph, options);
+  if (!r.ok()) throw std::runtime_error(r.status().message());
+  if (!r.value().ok()) throw std::runtime_error(r.value().status.message());
+  return r.value().result;
+}
+
+/// tc::query() with profiling: the full ProfileReport of one run (span tree,
+/// query-scoped counters). Throws on failure, like count().
+inline tc::ProfileReport profile(tc::Algorithm algorithm,
+                                 const graph::CsrGraph& graph,
+                                 const core::LotusConfig& config = {}) {
+  tc::QueryOptions options;
+  options.config = config;
+  options.profile = true;
+  auto r = tc::query(algorithm, graph, options);
+  if (!r.ok()) throw std::runtime_error(r.status().message());
+  if (!r.value().ok()) throw std::runtime_error(r.value().status.message());
+  return std::move(r.value().profile).value();
 }
 
 }  // namespace lotus::bench

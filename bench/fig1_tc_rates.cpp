@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   for (const auto& dataset : ctx.selection) {
     const auto graph = lotus::bench::load(dataset, ctx.factor);
     for (std::size_t i = 0; i < algorithms.size(); ++i) {
-      const auto r = lotus::tc::run(algorithms[i], graph, ctx.lotus_config);
+      const auto r = lotus::bench::count(algorithms[i], graph, ctx.lotus_config);
       rate_sums[i] += lotus::bench::edges_per_s(graph, r.total_s());
     }
     ++rows;

@@ -3,7 +3,7 @@
 // Paper: preprocessing is 19.4% of total time on average, and non-hub
 // counting is 40.4% of the counting time.
 //
-// Phase times come from the shared observability layer: tc::run_profiled
+// Phase times come from the shared observability layer: tc::query profile
 // records the span tree and this bench reads the per-phase totals back out
 // (span names per docs/METRICS.md).
 #include <iostream>
@@ -25,8 +25,8 @@ int main(int argc, char** argv) {
   std::size_t rows = 0;
   for (const auto& dataset : ctx.selection) {
     const auto graph = lotus::bench::load(dataset, ctx.factor);
-    const auto report = lotus::tc::run_profiled(lotus::tc::Algorithm::kLotus,
-                                                graph, ctx.lotus_config);
+    const auto report = lotus::bench::profile(lotus::tc::Algorithm::kLotus,
+                                               graph, ctx.lotus_config);
     const auto& trace = report.trace;
     const double preprocess_s = trace.total_s("preprocess");
     const double hhh_hhn_s = trace.total_s("hhh_hhn");

@@ -1,5 +1,5 @@
 // Thread-scaling sweep (supplementary; the paper evaluates 32-128 cores).
-// Reports LOTUS end-to-end time, per-phase times (from the tc::run_profiled
+// Reports LOTUS end-to-end time, per-phase times (from the tc::query profile
 // span tree) and the scheduler's steal/idle counters across thread counts.
 #include <iostream>
 #include <string>
@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
     double base_s = 0.0;
     for (unsigned threads = 1; threads <= max_threads; threads *= 2) {
       lotus::parallel::set_num_threads(threads);
-      const auto report = lotus::tc::run_profiled(
+      const auto report = lotus::bench::profile(
           lotus::tc::Algorithm::kLotus, graph, ctx.lotus_config);
       const double total = report.result.total_s();
       if (threads == 1) base_s = total;

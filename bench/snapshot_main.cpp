@@ -1,8 +1,9 @@
 // bench_snapshot: the fixed regression suite behind scripts/bench_snapshot.sh.
 //
 // Runs a pinned set of measurements — fig1-style counting rates over the
-// paper comparators, the fig6 phase breakdown, and thread scaling at fixed
-// thread counts — on pinned synthetic graphs, and emits them as a versioned
+// paper comparators, the fig6 phase breakdown, thread scaling at fixed
+// thread counts, and the tc::Engine cache-hit serving scenario — on pinned
+// synthetic graphs, and emits them as a versioned
 // "lotus-bench/1" JSON snapshot. With --compare, a previous snapshot is
 // loaded instead-of-trusted and every metric is checked against the new run:
 // directional metrics ("better": higher|lower) flag only harmful moves
@@ -24,6 +25,7 @@
 #include "bench/common.hpp"
 #include "obs/json.hpp"
 #include "tc/api.hpp"
+#include "tc/engine.hpp"
 
 namespace {
 
@@ -64,10 +66,86 @@ lotus::tc::RunResult best_run(lotus::tc::Algorithm algorithm,
                               int repeat) {
   lotus::tc::RunResult best;
   for (int i = 0; i < repeat; ++i) {
-    const auto r = lotus::tc::run(algorithm, graph, config);
+    const auto r = lotus::bench::count(algorithm, graph, config);
     if (i == 0 || r.total_s() < best.total_s()) best = r;
   }
   return best;
+}
+
+/// The engine scenario's pinned query mix: both artifact families over one
+/// graph key, so exactly two queries build (one lotus artifact, one oriented
+/// CSR) and the other ten must hit the prepared-graph cache.
+std::vector<lotus::tc::Algorithm> engine_mix() {
+  std::vector<lotus::tc::Algorithm> mix;
+  for (int i = 0; i < 6; ++i) {
+    mix.push_back(lotus::tc::Algorithm::kLotus);
+    mix.push_back(lotus::tc::Algorithm::kForwardMerge);
+  }
+  return mix;
+}
+
+/// engine: repeated-query serving vs cold per-query runs — the regression
+/// guard on the prepared-graph cache (docs/API.md). Emits the deterministic
+/// cache-hit rate and the warm-over-cold speedup.
+void engine_metrics(JsonValue& metrics, const std::string& name,
+                    const lotus::graph::CsrGraph& graph,
+                    const lotus::core::LotusConfig& config) {
+  const auto mix = engine_mix();
+
+  lotus::util::Timer cold_timer;
+  std::uint64_t cold_triangles = 0;
+  double cold_preprocess_s = 0.0;
+  for (const auto algorithm : mix) {
+    const auto r = lotus::bench::count(algorithm, graph, config);
+    cold_triangles = r.triangles;
+    cold_preprocess_s += r.preprocess_s;
+  }
+  const double cold_s = cold_timer.elapsed_s();
+
+  lotus::tc::EngineOptions engine_options;
+  engine_options.num_drivers = 2;
+  double warm_s = 0.0;
+  lotus::tc::EngineStats stats;
+  {
+    lotus::tc::Engine engine(engine_options);
+    lotus::tc::QueryOptions options;
+    options.config = config;
+    lotus::util::Timer warm_timer;
+    std::vector<std::future<lotus::util::Expected<lotus::tc::QueryResult>>>
+        futures;
+    futures.reserve(mix.size());
+    for (const auto algorithm : mix)
+      futures.push_back(
+          engine.submit({algorithm, "snapshot:" + name, &graph, options}));
+    for (auto& future : futures) {
+      auto r = future.get();
+      if (!r.ok()) throw std::runtime_error(r.status().message());
+      if (!r.value().ok())
+        throw std::runtime_error(r.value().status.message());
+      if (r.value().result.triangles != cold_triangles)
+        throw std::runtime_error("engine count mismatch on " + name);
+    }
+    warm_s = warm_timer.elapsed_s();
+    stats = engine.stats();
+  }
+
+  const double lookups =
+      static_cast<double>(stats.cache_hits + stats.cache_misses);
+  metrics.set("engine." + name + ".cache_hit_rate",
+              metric(lookups > 0
+                         ? static_cast<double>(stats.cache_hits) / lookups
+                         : 0.0,
+                     "fraction", "none"));
+  metrics.set("engine." + name + ".warm_speedup",
+              metric(warm_s > 0.0 ? cold_s / warm_s : 0.0, "x", "higher"));
+  // The cache's own axis: total preprocessing paid cold vs through the
+  // engine (the two builds). Deterministically ~mix-size/2 regardless of
+  // core count, where wall speedup also depends on concurrency.
+  metrics.set("engine." + name + ".preprocess_amortization",
+              metric(stats.preprocess_s_total > 0.0
+                         ? cold_preprocess_s / stats.preprocess_s_total
+                         : 0.0,
+                     "x", "higher"));
 }
 
 JsonValue run_suite(const Suite& suite, const std::string& suite_name) {
@@ -92,7 +170,7 @@ JsonValue run_suite(const Suite& suite, const std::string& suite_name) {
 
     // fig6: LOTUS phase breakdown as fractions (machine-portable shape).
     const auto report =
-        lotus::tc::run_profiled(lotus::tc::Algorithm::kLotus, graph, config);
+        lotus::bench::profile(lotus::tc::Algorithm::kLotus, graph, config);
     const double preprocess_s = report.trace.total_s("preprocess");
     const double count_s = report.trace.total_s("count");
     const double nnn_s = report.trace.total_s("nnn");
@@ -116,6 +194,9 @@ JsonValue run_suite(const Suite& suite, const std::string& suite_name) {
                          "higher"));
     }
     lotus::parallel::set_num_threads(0);
+
+    // engine: cache-hit rate + warm-over-cold speedup of the serving layer.
+    engine_metrics(metrics, name, graph, config);
   }
 
   JsonValue root;

@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
     std::vector<double> seconds;
     std::uint64_t triangles = 0;
     for (auto a : algorithms) {
-      const auto r = lotus::tc::run(a, graph, ctx.lotus_config);
+      const auto r = lotus::bench::count(a, graph, ctx.lotus_config);
       seconds.push_back(r.total_s());
       triangles = r.triangles;
       row.push_back(lotus::util::fixed(r.total_s(), 3));

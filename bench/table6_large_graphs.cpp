@@ -19,8 +19,8 @@ int main(int argc, char** argv) {
   std::size_t rows = 0;
   for (const auto& dataset : ctx.selection) {
     const auto graph = lotus::bench::load(dataset, ctx.factor);
-    const auto gbbs = lotus::tc::run(lotus::tc::Algorithm::kEdgeParallel, graph);
-    const auto lot = lotus::tc::run(lotus::tc::Algorithm::kLotus, graph, ctx.lotus_config);
+    const auto gbbs = lotus::bench::count(lotus::tc::Algorithm::kEdgeParallel, graph);
+    const auto lot = lotus::bench::count(lotus::tc::Algorithm::kLotus, graph, ctx.lotus_config);
     if (gbbs.triangles != lot.triangles) {
       std::cerr << "count mismatch on " << dataset.name << "\n";
       return 1;

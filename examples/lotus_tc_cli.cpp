@@ -87,8 +87,17 @@ int main(int argc, char** argv) {
       return 1;
     }
     const auto repeat = std::max<std::int64_t>(1, cli.get_int("repeat"));
+    lotus::tc::QueryOptions options;
+    options.config = config;
     for (std::int64_t i = 0; i < repeat; ++i) {
-      const auto r = lotus::tc::run(*algorithm, graph, config);
+      const auto outcome = lotus::tc::query(*algorithm, graph, options);
+      if (!outcome.ok() || !outcome.value().ok()) {
+        const auto status =
+            outcome.ok() ? outcome.value().status : outcome.status();
+        std::cerr << "error: " << status.message() << "\n";
+        return lotus::util::exit_code(status.code());
+      }
+      const auto& r = outcome.value().result;
       std::cout << lotus::tc::name(*algorithm) << ": "
                 << lotus::util::with_commas(r.triangles) << " triangles in "
                 << lotus::util::fixed(r.total_s(), 3) << "s ("

@@ -4,7 +4,7 @@
 //   ./quickstart --graph my_edges.txt  # whitespace edge list, '#' comments
 //
 // Demonstrates the three public entry points a typical user needs:
-// build_undirected, lotus::core::count_triangles, and the unified tc::run.
+// build_undirected, lotus::core::count_triangles, and the unified tc::query.
 #include <iostream>
 
 #include "graph/builder.hpp"
@@ -48,9 +48,12 @@ int main(int argc, char** argv) {
             << "time: " << lotus::util::fixed(r.preprocess_s, 3) << "s preprocess + "
             << lotus::util::fixed(r.count_s(), 3) << "s count\n\n";
 
-  // 3. Cross-check against the GAP-style Forward baseline via the unified API.
+  // 3. Cross-check against the GAP-style Forward baseline via the unified
+  // API (an unbounded gap-forward query cannot fail, so value() is safe).
   const auto baseline =
-      lotus::tc::run(lotus::tc::Algorithm::kForwardMerge, graph);
+      lotus::tc::query(lotus::tc::Algorithm::kForwardMerge, graph)
+          .value()
+          .result;
   std::cout << "gap-forward agrees: "
             << (baseline.triangles == r.triangles ? "yes" : "NO!") << " ("
             << lotus::util::fixed(baseline.total_s(), 3) << "s, lotus "

@@ -1,6 +1,7 @@
-// tc_profile: run one triangle-counting algorithm and dump the complete
-// observability report — span tree, per-thread counters, hardware events, and
-// scalar metrics — in the versioned "lotus-metrics/3" schema (docs/METRICS.md).
+// tc_profile: run one triangle-counting algorithm through tc::query() and
+// dump the complete observability report — span tree, query-scoped counters,
+// hardware events, and scalar metrics — in the versioned "lotus-metrics/4"
+// schema (docs/METRICS.md).
 //
 //   tc_profile --algo lotus                        # synthetic Twtr-S, JSON
 //   tc_profile --algo gap-forward --format csv
@@ -113,22 +114,23 @@ int main(int argc, char** argv) {
     }
   }
 
-  lotus::tc::RunOptions run_options;
-  run_options.config.hub_count =
+  lotus::tc::QueryOptions options;
+  options.config.hub_count =
       static_cast<lotus::graph::VertexId>(cli.get_int("hubs"));
   if (cli.get_int("deadline-ms") > 0)
-    run_options.deadline = lotus::util::Deadline::after(
+    options.deadline = lotus::util::Deadline::after(
         static_cast<double>(cli.get_int("deadline-ms")) / 1000.0);
-  run_options.memory_budget_bytes =
+  options.memory_budget_bytes =
       static_cast<std::uint64_t>(cli.get_int("budget-mb")) * 1024 * 1024;
-  run_options.allow_degradation = !cli.get_flag("no-degrade");
-
-  lotus::tc::ProfileOptions options;
+  options.allow_degradation = !cli.get_flag("no-degrade");
+  options.profile = true;
   options.events = *events;
   options.capture_sched_events = !cli.get("trace-out").empty();
 
-  const auto report = lotus::tc::run_profiled_with_status(*algorithm, graph,
-                                                          run_options, options);
+  auto query_result = lotus::tc::query(*algorithm, graph, options);
+  if (!query_result.ok()) return fail(query_result.status());
+  const lotus::tc::ProfileReport report =
+      std::move(query_result.value().profile).value();
   const std::string text =
       format == "json" ? report.to_json() : report.metrics().to_csv();
 

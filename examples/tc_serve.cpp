@@ -1,0 +1,212 @@
+// tc_serve: replay a triangle-counting query mix through tc::Engine — the
+// concurrent serving layer with prepared-graph caching — and compare it
+// against cold per-query runs that re-pay preprocessing every time.
+//
+//   tc_serve                                   # synthetic Twtr-S, both modes
+//   tc_serve --queries 32 --drivers 4
+//   tc_serve --mix lotus,gap-forward,forward-simd --mode engine
+//   tc_serve --graph edges.txt --cache-mb 256
+//   tc_serve --metrics-out engine.json         # Engine::metrics() report
+//
+// Prints per-mode wall time, the warm/cold speedup, and the engine's cache
+// statistics; --metrics-out additionally writes the "lotus-metrics/4"
+// engine section (docs/METRICS.md, docs/API.md).
+//
+// Exit codes follow util::exit_code (docs/ROBUSTNESS.md): 0 ok, 2 invalid
+// argument, 3 io error, 1 internal (count mismatch between modes). Every
+// failure prints exactly one "error (<code>): <message>" line to stderr.
+#include <fstream>
+#include <future>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "datasets/registry.hpp"
+#include "graph/builder.hpp"
+#include "graph/io.hpp"
+#include "tc/engine.hpp"
+#include "util/cli.hpp"
+#include "util/format.hpp"
+#include "util/status.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+bool has_magic(const std::string& path, const char* magic) {
+  std::ifstream in(path, std::ios::binary);
+  char buffer[8] = {};
+  in.read(buffer, 8);
+  return in && std::string(buffer, 8) == magic;
+}
+
+int fail(const lotus::util::Status& status) {
+  std::cerr << "error (" << lotus::util::status_code_name(status.code())
+            << "): " << status.message() << "\n";
+  return lotus::util::exit_code(status.code());
+}
+
+int fail_invalid(const std::string& message) {
+  return fail({lotus::util::StatusCode::kInvalidArgument, message});
+}
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::stringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lotus::util::Cli cli(
+      "Replay a TC query mix through tc::Engine vs cold per-query runs");
+  cli.opt("graph", "", "input graph file (text edge list or LOTUSGR1 binary "
+          "CSR); empty = synthetic --dataset");
+  cli.opt("dataset", "Twtr-S", "synthetic dataset name when --graph is empty");
+  cli.opt("factor", "0.1", "vertex-count multiplier for the synthetic dataset");
+  cli.opt("mix", "lotus,gap-forward,adaptive,forward-simd",
+          "comma-separated algorithm mix, replayed round-robin");
+  cli.opt("queries", "16", "total queries to replay");
+  cli.opt("drivers", "2", "engine query drivers (queries in flight)");
+  cli.opt("threads-per-query", "0",
+          "pool width per driver (0 = hardware_concurrency / drivers)");
+  cli.opt("cache-mb", "0",
+          "prepared-graph cache budget in MiB (0 = unlimited)");
+  cli.opt("mode", "both", "what to run: engine, cold, or both");
+  cli.opt("metrics-out", "",
+          "write Engine::metrics() JSON to this file (empty = don't)");
+  if (!cli.parse(argc, argv))
+    return lotus::util::exit_code(lotus::util::StatusCode::kInvalidArgument);
+
+  const std::string mode = cli.get("mode");
+  if (mode != "engine" && mode != "cold" && mode != "both")
+    return fail_invalid("unknown --mode: " + mode +
+                        " (expected engine, cold, or both)");
+  std::vector<lotus::tc::Algorithm> mix;
+  for (const std::string& item : split_csv(cli.get("mix"))) {
+    const auto algorithm = lotus::tc::parse(item);
+    if (!algorithm) return fail_invalid("unknown algorithm in --mix: " + item);
+    mix.push_back(*algorithm);
+  }
+  if (mix.empty()) return fail_invalid("--mix is empty");
+  const int queries = static_cast<int>(cli.get_int("queries"));
+  if (queries <= 0) return fail_invalid("--queries must be > 0");
+  if (cli.get_int("drivers") <= 0) return fail_invalid("--drivers must be > 0");
+  if (cli.get_int("threads-per-query") < 0)
+    return fail_invalid("--threads-per-query must be >= 0");
+  if (cli.get_int("cache-mb") < 0) return fail_invalid("--cache-mb must be >= 0");
+
+  lotus::graph::CsrGraph graph;
+  std::string graph_key;
+  if (!cli.get("graph").empty()) {
+    graph_key = cli.get("graph");
+    if (has_magic(cli.get("graph"), "LOTUSGR1")) {
+      auto loaded = lotus::graph::read_csr_binary_s(cli.get("graph"));
+      if (!loaded.ok()) return fail(loaded.status());
+      graph = loaded.take();
+    } else {
+      auto edges = lotus::graph::read_edge_list_text_s(cli.get("graph"));
+      if (!edges.ok()) return fail(edges.status());
+      try {
+        graph = lotus::graph::build_undirected(edges.value());
+      } catch (...) {
+        return fail(lotus::util::status_from_current_exception());
+      }
+    }
+  } else {
+    graph_key = cli.get("dataset") + "@" + cli.get("factor");
+    try {
+      const auto selection = lotus::datasets::parse_selection(cli.get("dataset"));
+      graph = selection.at(0).make(cli.get_double("factor"));
+    } catch (...) {
+      return fail(lotus::util::status_from_current_exception(
+          lotus::util::StatusCode::kInvalidArgument));
+    }
+  }
+  std::cerr << "graph: |V|=" << lotus::util::with_commas(graph.num_vertices())
+            << " |E|=" << lotus::util::with_commas(graph.num_edges() / 2)
+            << "\n";
+
+  // The replayed request stream: the mix, round-robin, `queries` long.
+  std::vector<lotus::tc::Algorithm> requests;
+  requests.reserve(static_cast<std::size_t>(queries));
+  for (int i = 0; i < queries; ++i)
+    requests.push_back(mix[static_cast<std::size_t>(i) % mix.size()]);
+
+  std::uint64_t cold_triangles = 0;
+  double cold_s = 0.0;
+  if (mode != "engine") {
+    lotus::util::Timer timer;
+    for (const auto algorithm : requests) {
+      const auto outcome = lotus::tc::query(algorithm, graph);
+      if (!outcome.ok()) return fail(outcome.status());
+      if (!outcome.value().ok()) return fail(outcome.value().status);
+      cold_triangles = outcome.value().result.triangles;
+    }
+    cold_s = timer.elapsed_s();
+    std::cout << "cold:   " << queries << " queries in "
+              << lotus::util::fixed(cold_s, 3) << "s ("
+              << lotus::util::with_commas(cold_triangles)
+              << " triangles, preprocessing re-paid per query)\n";
+  }
+
+  if (mode != "cold") {
+    lotus::tc::EngineOptions options;
+    options.num_drivers = static_cast<unsigned>(cli.get_int("drivers"));
+    options.threads_per_query =
+        static_cast<unsigned>(cli.get_int("threads-per-query"));
+    options.cache_budget_bytes =
+        static_cast<std::uint64_t>(cli.get_int("cache-mb")) * 1024 * 1024;
+    lotus::tc::Engine engine(options);
+
+    lotus::util::Timer timer;
+    std::vector<std::future<lotus::util::Expected<lotus::tc::QueryResult>>>
+        futures;
+    futures.reserve(requests.size());
+    for (const auto algorithm : requests)
+      futures.push_back(engine.submit({algorithm, graph_key, &graph, {}}));
+    std::uint64_t warm_triangles = 0;
+    std::uint64_t hits = 0;
+    for (auto& future : futures) {
+      auto outcome = future.get();
+      if (!outcome.ok()) return fail(outcome.status());
+      if (!outcome.value().ok()) return fail(outcome.value().status);
+      warm_triangles = outcome.value().result.triangles;
+      if (outcome.value().cache_hit) ++hits;
+    }
+    const double warm_s = timer.elapsed_s();
+
+    const auto stats = engine.stats();
+    std::cout << "engine: " << queries << " queries in "
+              << lotus::util::fixed(warm_s, 3) << "s ("
+              << lotus::util::with_commas(warm_triangles) << " triangles, "
+              << engine.num_drivers() << " drivers x "
+              << engine.threads_per_query() << " threads, " << hits << "/"
+              << queries << " cache hits)\n";
+    std::cout << "cache:  " << stats.cache_hits << " hits, "
+              << stats.cache_misses << " misses, " << stats.cache_evictions
+              << " evictions, " << stats.cache_entries << " entries ("
+              << lotus::util::human_bytes(stats.cache_bytes) << ")\n";
+    if (mode == "both") {
+      if (warm_triangles != cold_triangles)
+        return fail({lotus::util::StatusCode::kInternal,
+                     "engine and cold runs disagree on the triangle count"});
+      std::cout << "speedup: "
+                << lotus::util::fixed(warm_s > 0.0 ? cold_s / warm_s : 0.0, 2)
+                << "x (engine vs cold)\n";
+    }
+
+    if (!cli.get("metrics-out").empty()) {
+      std::ofstream out(cli.get("metrics-out"));
+      out << engine.metrics().to_json_string() << "\n";
+      if (!out)
+        return fail({lotus::util::StatusCode::kIoError,
+                     "failed to write " + cli.get("metrics-out")});
+      std::cerr << "wrote " << cli.get("metrics-out") << "\n";
+    }
+  }
+  return 0;
+}

@@ -1,19 +1,20 @@
 #!/bin/sh
 # CLI error-contract smoke test (wired as ctest `check_cli`).
 #
-# Exercises the stable exit-code mapping of docs/ROBUSTNESS.md on the two
-# shipped CLIs — tc_profile and lotus_diff_repro — end to end: success (0),
-# invalid argument (2), io error (3), out of memory (4), deadline exceeded
-# (5), plus the one-line "error (<code>): ..." stderr contract and the
-# metrics resilience section of a degraded run. Deterministic failures come
-# from the LOTUS_FAULTS injection hook (util/fault.hpp), not from real
-# resource pressure.
+# Exercises the stable exit-code mapping of docs/ROBUSTNESS.md on the
+# shipped CLIs — tc_profile, lotus_diff_repro, and (when given) tc_serve —
+# end to end: success (0), invalid argument (2), io error (3), out of memory
+# (4), deadline exceeded (5), plus the one-line "error (<code>): ..." stderr
+# contract and the metrics resilience section of a degraded run.
+# Deterministic failures come from the LOTUS_FAULTS injection hook
+# (util/fault.hpp), not from real resource pressure.
 #
-# Usage: check_cli.sh <tc_profile-binary> <lotus_diff_repro-binary>
+# Usage: check_cli.sh <tc_profile-binary> <lotus_diff_repro-binary> [tc_serve-binary]
 set -eu
 
-TC_PROFILE=${1:?usage: check_cli.sh <tc_profile> <lotus_diff_repro>}
-DIFF_REPRO=${2:?usage: check_cli.sh <tc_profile> <lotus_diff_repro>}
+TC_PROFILE=${1:?usage: check_cli.sh <tc_profile> <lotus_diff_repro> [tc_serve]}
+DIFF_REPRO=${2:?usage: check_cli.sh <tc_profile> <lotus_diff_repro> [tc_serve]}
+TC_SERVE=${3:-}
 
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
@@ -101,5 +102,33 @@ expect_exit "diff repro unknown path -> usage" 2 \
 expect_exit "diff repro unreadable graph -> io_error" 3 \
   "$DIFF_REPRO" --graph "$TMP/missing.el" --path lotus
 expect_error_line io_error "diff repro unreadable graph"
+
+# --- tc_serve --------------------------------------------------------------
+
+if [ -n "$TC_SERVE" ]; then
+  expect_exit "tc_serve clean replay" 0 \
+    "$TC_SERVE" --factor 0.05 --queries 6 --drivers 2 \
+    --metrics-out "$TMP/engine.json"
+  grep -q 'speedup:' "$TMP/out" || fail "tc_serve: no speedup line"
+  grep -q 'cache hits' "$TMP/out" || fail "tc_serve: no cache-hit summary"
+  grep -q '"engine"' "$TMP/engine.json" ||
+    fail "tc_serve: metrics JSON lacks the engine section"
+  grep -q '"schema_version": "lotus-metrics/4"' "$TMP/engine.json" ||
+    fail "tc_serve: metrics JSON is not schema v4"
+
+  expect_exit "tc_serve unknown algorithm -> invalid_argument" 2 \
+    "$TC_SERVE" --mix lotus,not-an-algorithm
+  expect_error_line invalid_argument "tc_serve unknown algorithm"
+
+  expect_exit "tc_serve unknown mode -> invalid_argument" 2 \
+    "$TC_SERVE" --mode sideways
+  expect_error_line invalid_argument "tc_serve unknown mode"
+
+  expect_exit "tc_serve missing graph file -> io_error" 3 \
+    "$TC_SERVE" --graph "$TMP/does-not-exist.el"
+  expect_error_line io_error "tc_serve missing graph file"
+else
+  echo "check_cli: note: tc_serve binary not given, skipping its checks"
+fi
 
 echo "check_cli: all CLI exit-code checks passed"

@@ -71,6 +71,11 @@ ThreadBlock& local_block() {
   return holder.block;
 }
 
+CounterDomain*& local_domain() noexcept {
+  thread_local CounterDomain* domain = nullptr;
+  return domain;
+}
+
 }  // namespace
 
 void count(Counter counter, std::uint64_t n) {
@@ -78,7 +83,15 @@ void count(Counter counter, std::uint64_t n) {
       local_block().value[static_cast<std::size_t>(counter)];
   // Single writer per slot: load+store beats fetch_add on the hot path.
   slot.store(slot.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
+  if (CounterDomain* domain = local_domain(); domain != nullptr)
+    domain->add(counter, n);
 }
+
+void set_thread_counter_domain(CounterDomain* domain) noexcept {
+  local_domain() = domain;
+}
+
+CounterDomain* thread_counter_domain() noexcept { return local_domain(); }
 
 void bind_thread(unsigned pool_index) {
   local_block().bound.store(static_cast<int>(pool_index), std::memory_order_relaxed);

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -77,9 +78,48 @@ struct CountersSnapshot {
   }
 };
 
+/// Query-scoped counter accumulator. A domain installed on a thread (and on
+/// the worker threads of a ThreadPool via ThreadPool::set_counter_domain)
+/// additionally receives every count() made while it is installed, so
+/// concurrent queries can each snapshot *their own* work without resetting
+/// the process-wide counters. A domain snapshot carries totals only — the
+/// per-thread breakdown remains a property of the process-wide snapshot.
+///
+/// Thread-safety: add() is a relaxed atomic add, safe from any thread;
+/// kernels flush at most once per chunk/task so contention is negligible.
+class CounterDomain {
+ public:
+  void add(Counter counter, std::uint64_t n) noexcept {
+    value_[static_cast<std::size_t>(counter)].fetch_add(
+        n, std::memory_order_relaxed);
+  }
+
+  /// Totals accumulated so far (threads breakdown intentionally empty).
+  [[nodiscard]] CountersSnapshot snapshot() const {
+    CountersSnapshot out;
+    for (std::size_t i = 0; i < kNumCounters; ++i)
+      out.total[i] = value_[i].load(std::memory_order_relaxed);
+    return out;
+  }
+
+  void reset() noexcept {
+    for (auto& v : value_) v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kNumCounters> value_{};
+};
+
 #if LOTUS_OBS
-/// Add `n` to this thread's slot of `counter`.
+/// Add `n` to this thread's slot of `counter` (and to the thread's installed
+/// CounterDomain, if any).
 void count(Counter counter, std::uint64_t n = 1);
+
+/// Install `domain` as this thread's counter domain (nullptr = none). The
+/// thread pool mirrors its configured domain onto its workers around each
+/// job; query drivers use ScopedCounterDomain instead of calling this raw.
+void set_thread_counter_domain(CounterDomain* domain) noexcept;
+[[nodiscard]] CounterDomain* thread_counter_domain() noexcept;
 
 /// Tag the calling thread with its pool index so snapshots can attribute
 /// per-thread rows. The thread pool calls this; user code rarely needs to.
@@ -92,9 +132,29 @@ void bind_thread(unsigned pool_index);
 void reset_counters();
 #else
 inline void count(Counter, std::uint64_t = 1) {}
+inline void set_thread_counter_domain(CounterDomain*) noexcept {}
+[[nodiscard]] inline CounterDomain* thread_counter_domain() noexcept {
+  return nullptr;
+}
 inline void bind_thread(unsigned) {}
 [[nodiscard]] inline CountersSnapshot counters_snapshot() { return {}; }
 inline void reset_counters() {}
 #endif
+
+/// Install `domain` on the calling thread for the lifetime of this object
+/// (nullptr is allowed and means "no domain"; the previous one is restored).
+class ScopedCounterDomain {
+ public:
+  explicit ScopedCounterDomain(CounterDomain* domain)
+      : previous_(thread_counter_domain()) {
+    set_thread_counter_domain(domain);
+  }
+  ~ScopedCounterDomain() { set_thread_counter_domain(previous_); }
+  ScopedCounterDomain(const ScopedCounterDomain&) = delete;
+  ScopedCounterDomain& operator=(const ScopedCounterDomain&) = delete;
+
+ private:
+  CounterDomain* previous_;
+};
 
 }  // namespace lotus::obs

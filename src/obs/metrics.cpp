@@ -50,6 +50,12 @@ void MetricsRegistry::set_resilience(const util::Status& status,
   degradations_ = std::move(degradations);
 }
 
+void MetricsRegistry::set_engine(
+    std::vector<std::pair<std::string, JsonValue>> fields) {
+  engine_ = std::move(fields);
+  have_engine_ = true;
+}
+
 void MetricsRegistry::set_counters(CountersSnapshot snapshot) {
   counters_ = std::move(snapshot);
   have_counters_ = true;
@@ -103,6 +109,15 @@ JsonValue MetricsRegistry::to_json() const {
     resilience.set("degradations", std::move(rows));
   }
   root.set("resilience", std::move(resilience));
+
+  // engine section (schema v4): present only for runs served by tc::Engine
+  // (or the engine's aggregate export) — plain runs omit it, so absence
+  // itself is meaningful.
+  if (have_engine_) {
+    JsonValue engine;
+    for (const auto& [k, v] : engine_) engine.set(k, v);
+    root.set("engine", std::move(engine));
+  }
 
   // Span tree, built bottom-up: children always have larger indices than
   // their parents (begin() order), so one reverse pass completes subtrees
@@ -215,6 +230,10 @@ std::string MetricsRegistry::to_csv() const {
            csv_escape(degradations_[i].site + ": " + degradations_[i].action +
                       " (" + degradations_[i].reason + ")") +
            "\n";
+
+  if (have_engine_)
+    for (const auto& [k, v] : engine_)
+      out += "engine," + csv_escape(k) + "," + scalar_to_csv(v) + "\n";
 
   // Spans flattened to slash-joined paths; notes and event deltas ride
   // along as span_note / span_event rows.

@@ -1,11 +1,13 @@
 // MetricsRegistry: one run's observability data behind a versioned schema.
 //
-// A registry collects the six report sections — `meta` (identity: algorithm,
+// A registry collects the report sections — `meta` (identity: algorithm,
 // graph, threads), `metrics` (scalar results: triangles, seconds, rates),
 // `hw` (hardware-event source + per-event totals), `spans` (the PhaseTracer
-// tree, including per-span event deltas), `counters` (totals + per-thread)
-// and `resilience` (run status + any budget/fault degradations) — and
-// exports them as JSON (schema "lotus-metrics/3", specified in
+// tree, including per-span event deltas), `counters` (totals + per-thread),
+// `resilience` (run status + any budget/fault degradations) and — for runs
+// served by tc::Engine, or the engine's own aggregate export — `engine`
+// (cache hit/miss/eviction counters and queue/preprocess/count timings) —
+// and exports them as JSON (schema "lotus-metrics/4", specified in
 // docs/METRICS.md) or flat CSV. Every bench and the tc_profile example emit
 // their numbers through this type, so reports are comparable across
 // algorithms and PRs.
@@ -33,7 +35,7 @@ namespace lotus::obs {
 
 /// Version tag stamped into every export; bump when the layout or the
 /// counter names change (docs/METRICS.md is the changelog).
-inline constexpr const char* kMetricsSchemaVersion = "lotus-metrics/3";
+inline constexpr const char* kMetricsSchemaVersion = "lotus-metrics/4";
 
 /// One graceful-degradation event: at `site` the run switched to a cheaper
 /// `action` because of `reason` (e.g. the memory budget or an injected
@@ -67,6 +69,13 @@ class MetricsRegistry {
   void set_resilience(const util::Status& status,
                       std::vector<Degradation> degradations);
 
+  /// Engine section (schema v4): serving-layer fields — cache
+  /// hits/misses/evictions, queue/preprocess/count timings — as ordered
+  /// key→value pairs (the serving layer owns the field names; this keeps
+  /// obs free of a dependency on tc). Exported as `"engine": {...}` only
+  /// when set: plain (non-engine) runs omit the section.
+  void set_engine(std::vector<std::pair<std::string, JsonValue>> fields);
+
   /// Attach a counters snapshot (obs::counters_snapshot()).
   void set_counters(CountersSnapshot snapshot);
 
@@ -94,6 +103,8 @@ class MetricsRegistry {
   std::string hw_note_;
   util::Status status_;
   std::vector<Degradation> degradations_;
+  std::vector<std::pair<std::string, JsonValue>> engine_;
+  bool have_engine_ = false;
 };
 
 }  // namespace lotus::obs

@@ -1,19 +1,21 @@
-// ExecContext: the cancellation/deadline environment of the current run.
+// ExecContext: the cancellation/deadline environment of the current query.
 //
-// tc::run_with_status installs a ScopedExecContext around each counting run;
-// parallel_for and the work-stealing scheduler call check_interrupt() at
-// chunk/task granularity and stop handing out work once it reports an
-// interrupt, and the LOTUS driver checks it between phases. Both conditions
-// are sticky (util/cancel.hpp), so the caller that installed the context can
-// re-check after the run to learn whether any work was skipped.
+// tc::query / tc::Engine install a ScopedExecContext on the thread that
+// drives a counting run; parallel_for and the work-stealing scheduler
+// capture the driver's context when a loop starts and poll it at chunk/task
+// granularity (so pool workers observe the interrupt of exactly the query
+// they are executing), and the LOTUS driver checks it between phases. Both
+// conditions are sticky (util/cancel.hpp), so the caller that installed the
+// context can re-check after the run to learn whether any work was skipped.
 //
-// Thread-safety: the context pointer is a process-global atomic (the tc API
-// runs one counting run at a time); check_interrupt is safe from any
-// thread. Overhead with no context installed: one relaxed atomic load per
-// chunk.
+// Thread-safety: the installed context pointer is thread-local — each query
+// driver thread carries its own, which is what lets tc::Engine run several
+// queries concurrently without their cancellations cross-firing.
+// check_interrupt(ctx) with a captured pointer is safe from any thread as
+// long as the context outlives the parallel region (the installing scope
+// guarantees that). Overhead with no context installed: one thread-local
+// load per chunk.
 #pragma once
-
-#include <atomic>
 
 #include "util/cancel.hpp"
 
@@ -30,16 +32,20 @@ struct ExecContext {
 };
 
 namespace detail {
-inline std::atomic<const ExecContext*>& exec_context_ref() {
-  static std::atomic<const ExecContext*> current{nullptr};
+inline const ExecContext*& exec_context_ref() noexcept {
+  thread_local const ExecContext* current = nullptr;
   return current;
 }
 }  // namespace detail
 
-/// Poll the installed context. kNone when no context is installed.
-[[nodiscard]] inline Interrupt check_interrupt() noexcept {
-  const ExecContext* ctx =
-      detail::exec_context_ref().load(std::memory_order_acquire);
+/// The context installed on the calling thread (nullptr = none). Parallel
+/// primitives capture this before fanning out so workers poll the right one.
+[[nodiscard]] inline const ExecContext* current_exec_context() noexcept {
+  return detail::exec_context_ref();
+}
+
+/// Poll an explicit (usually captured) context. kNone for nullptr.
+[[nodiscard]] inline Interrupt check_interrupt(const ExecContext* ctx) noexcept {
   if (ctx == nullptr) return Interrupt::kNone;
   if (ctx->cancel != nullptr && ctx->cancel->cancelled())
     return Interrupt::kCancelled;
@@ -47,20 +53,24 @@ inline std::atomic<const ExecContext*>& exec_context_ref() {
   return Interrupt::kNone;
 }
 
+/// Poll the context installed on this thread. kNone when none is installed.
+[[nodiscard]] inline Interrupt check_interrupt() noexcept {
+  return check_interrupt(current_exec_context());
+}
+
 [[nodiscard]] inline bool interrupted() noexcept {
   return check_interrupt() != Interrupt::kNone;
 }
 
-/// Install `context` for the lifetime of this object (pass by pointer; the
-/// caller keeps ownership and must outlive the scope).
+/// Install `context` on the calling thread for the lifetime of this object
+/// (pass by pointer; the caller keeps ownership and must outlive the scope).
 class ScopedExecContext {
  public:
   explicit ScopedExecContext(const ExecContext* context)
-      : previous_(detail::exec_context_ref().exchange(
-            context, std::memory_order_acq_rel)) {}
-  ~ScopedExecContext() {
-    detail::exec_context_ref().store(previous_, std::memory_order_release);
+      : previous_(detail::exec_context_ref()) {
+    detail::exec_context_ref() = context;
   }
+  ~ScopedExecContext() { detail::exec_context_ref() = previous_; }
   ScopedExecContext(const ScopedExecContext&) = delete;
   ScopedExecContext& operator=(const ScopedExecContext&) = delete;
 

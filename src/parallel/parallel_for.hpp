@@ -81,13 +81,17 @@ void parallel_for(std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
                   Fn&& fn) {
   if (begin >= end) return;
   if (grain == 0) grain = 1;
+  // Capture the driver's cancellation context once: workers poll the
+  // interrupt of exactly this query, not whatever their own thread carries.
+  const ExecContext* ctx = current_exec_context();
 #ifdef _OPENMP
   if (backend() == Backend::kOpenMP) {
     const auto chunks =
         static_cast<std::int64_t>((end - begin + grain - 1) / grain);
 #pragma omp parallel for schedule(dynamic)
     for (std::int64_t c = 0; c < chunks; ++c) {
-      if (interrupted()) continue;  // omp loops cannot break; skip bodies
+      if (check_interrupt(ctx) != Interrupt::kNone)
+        continue;  // omp loops cannot break; skip bodies
       const std::uint64_t chunk_begin = begin + static_cast<std::uint64_t>(c) * grain;
       const std::uint64_t chunk_end =
           chunk_begin + grain < end ? chunk_begin + grain : end;
@@ -98,7 +102,7 @@ void parallel_for(std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
 #endif
   ThreadPool& pool = default_pool();
   if (pool.size() == 1 || end - begin <= grain) {
-    if (detail::exec_context_ref().load(std::memory_order_acquire) == nullptr) {
+    if (ctx == nullptr) {
       obs::count(obs::Counter::kParallelChunks);
       fn(0u, begin, end);
       return;
@@ -106,7 +110,8 @@ void parallel_for(std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
     // A context is installed: run chunk by chunk so even single-threaded
     // runs observe cancellation at chunk granularity.
     std::uint64_t chunks = 0;
-    for (std::uint64_t b = begin; b < end && !interrupted(); b += grain) {
+    for (std::uint64_t b = begin;
+         b < end && check_interrupt(ctx) == Interrupt::kNone; b += grain) {
       const std::uint64_t e = b + grain < end ? b + grain : end;
       ++chunks;
       fn(0u, b, e);
@@ -118,7 +123,7 @@ void parallel_for(std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
   pool.execute([&](unsigned thread_index) {
     std::uint64_t chunks = 0;  // dead when LOTUS_OBS=0
     for (;;) {
-      if (interrupted()) break;
+      if (check_interrupt(ctx) != Interrupt::kNone) break;
       const std::uint64_t chunk_begin =
           cursor.fetch_add(grain, std::memory_order_relaxed);
       if (chunk_begin >= end) break;

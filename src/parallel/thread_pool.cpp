@@ -79,7 +79,12 @@ void ThreadPool::worker_loop(unsigned index) {
       seen_generation = generation_;
       job = job_;
     }
+    // Mirror the pool's query-scoped counter domain onto this worker for
+    // the duration of the job (the driver thread installs its own copy).
+    obs::set_thread_counter_domain(
+        counter_domain_.load(std::memory_order_acquire));
     (*job)(index);
+    obs::set_thread_counter_domain(nullptr);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (--remaining_ == 0) done_cv_.notify_one();
@@ -132,8 +137,15 @@ std::vector<double> WorkStealingScheduler::run(std::vector<Task> tasks) {
   std::atomic<std::size_t> outstanding{tasks.size()};
   std::vector<Padded<double>> busy_s(n);
   // Timeline recording is off unless a sink is installed (one atomic load
-  // per run); events buffer thread-locally and flush once per thread.
-  obs::SchedEventLog* sink = obs::sched_event_sink();
+  // per run); events buffer thread-locally and flush once per thread. A
+  // pool-scoped sink wins over the process-wide one so concurrent queries
+  // record separate timelines.
+  obs::SchedEventLog* sink = pool_.sched_sink();
+  if (sink == nullptr) sink = obs::sched_event_sink();
+  // Capture the driver's cancellation context: the workers executing this
+  // run must poll the interrupt of exactly this query, not whatever context
+  // their own thread carries.
+  const ExecContext* ctx = current_exec_context();
 
   pool_.execute([&](unsigned thread_index) {
     util::Xoshiro256 rng(0x5eedULL + thread_index);
@@ -173,7 +185,7 @@ std::vector<double> WorkStealingScheduler::run(std::vector<Task> tasks) {
           }
         }
       }
-      if (got && interrupted()) {
+      if (got && check_interrupt(ctx) != Interrupt::kNone) {
         // Cancelled/expired: drain without running, so `outstanding` still
         // reaches zero and no task leaks into a later run.
         task.fn = nullptr;
@@ -224,6 +236,8 @@ unsigned g_requested_threads = 0;
 }  // namespace
 
 ThreadPool& default_pool() {
+  if (ThreadPool* scoped = detail::scoped_pool_ref(); scoped != nullptr)
+    return *scoped;
   std::lock_guard<std::mutex> lock(g_pool_mutex);
   if (!g_pool) {
     unsigned n = g_requested_threads;

@@ -10,6 +10,7 @@
 //     of Table 9 are derived.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -19,6 +20,11 @@
 #include <vector>
 
 #include "parallel/padded.hpp"
+
+namespace lotus::obs {
+class CounterDomain;
+class SchedEventLog;
+}  // namespace lotus::obs
 
 namespace lotus::parallel {
 
@@ -49,6 +55,28 @@ class ThreadPool {
   /// noexcept by design).
   void execute(const std::function<void(unsigned)>& fn);
 
+  /// Query-scoped counter domain mirrored onto the worker threads around
+  /// each job (obs/counters.hpp). The query driver installs the same domain
+  /// on itself (ScopedCounterDomain) and here; set nullptr to clear. Must
+  /// not change while a job is in flight.
+  void set_counter_domain(obs::CounterDomain* domain) noexcept {
+    counter_domain_.store(domain, std::memory_order_release);
+  }
+  [[nodiscard]] obs::CounterDomain* counter_domain() const noexcept {
+    return counter_domain_.load(std::memory_order_acquire);
+  }
+
+  /// Pool-scoped scheduler-event sink; overrides the process-wide sink
+  /// (obs::set_sched_event_sink) for runs driven through this pool, so
+  /// concurrent queries record separate timelines. Must not change while a
+  /// scheduler run is in flight.
+  void set_sched_sink(obs::SchedEventLog* sink) noexcept {
+    sched_sink_.store(sink, std::memory_order_release);
+  }
+  [[nodiscard]] obs::SchedEventLog* sched_sink() const noexcept {
+    return sched_sink_.load(std::memory_order_acquire);
+  }
+
  private:
   void worker_loop(unsigned index);
 
@@ -62,6 +90,9 @@ class ThreadPool {
   std::uint64_t generation_ = 0;
   unsigned remaining_ = 0;
   bool shutting_down_ = false;
+
+  std::atomic<obs::CounterDomain*> counter_domain_{nullptr};
+  std::atomic<obs::SchedEventLog*> sched_sink_{nullptr};
 };
 
 /// Task list executed with per-worker deques and random-victim stealing.
@@ -88,10 +119,37 @@ class WorkStealingScheduler {
   ThreadPool& pool_;
 };
 
-/// Process-wide default pool. Size defaults to hardware_concurrency and may
-/// be overridden (before first use or between uses) via `set_num_threads`.
+namespace detail {
+inline ThreadPool*& scoped_pool_ref() noexcept {
+  thread_local ThreadPool* pool = nullptr;
+  return pool;
+}
+}  // namespace detail
+
+/// The pool `default_pool()` resolves to on the calling thread: a scoped
+/// override when one is installed (tc::Engine gives each query driver its
+/// own pool this way), otherwise the process-wide pool. Size defaults to
+/// hardware_concurrency and may be overridden (before first use or between
+/// uses) via `set_num_threads`; `set_num_threads` never touches scoped
+/// pools.
 ThreadPool& default_pool();
 void set_num_threads(unsigned num_threads);
 unsigned num_threads();
+
+/// Route this thread's `default_pool()` to `pool` for the lifetime of this
+/// object. Kernels and parallel_for pick the pool up transparently, which is
+/// how one binary runs several isolated counting queries at once.
+class ScopedPool {
+ public:
+  explicit ScopedPool(ThreadPool* pool) : previous_(detail::scoped_pool_ref()) {
+    detail::scoped_pool_ref() = pool;
+  }
+  ~ScopedPool() { detail::scoped_pool_ref() = previous_; }
+  ScopedPool(const ScopedPool&) = delete;
+  ScopedPool& operator=(const ScopedPool&) = delete;
+
+ private:
+  ThreadPool* previous_;
+};
 
 }  // namespace lotus::parallel

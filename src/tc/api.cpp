@@ -1,5 +1,6 @@
 #include "tc/api.hpp"
 
+#include <cassert>
 #include <iostream>
 #include <memory>
 
@@ -20,6 +21,30 @@
 namespace lotus::tc {
 
 namespace {
+
+// Single source of truth for the CLI/schema names: name(), parse(),
+// all_algorithms() and the benches' sweep order all derive from this table.
+// Order matters — it is the display order (LOTUS first).
+struct AlgorithmName {
+  Algorithm algorithm;
+  const char* name;
+};
+constexpr AlgorithmName kAlgorithmTable[] = {
+    {Algorithm::kLotus, "lotus"},
+    {Algorithm::kAdaptive, "adaptive"},
+    {Algorithm::kForwardMerge, "gap-forward"},
+    {Algorithm::kForwardGallop, "forward-gallop"},
+    {Algorithm::kForwardSimd, "forward-simd"},
+    {Algorithm::kForwardHashed, "forward-hashed"},
+    {Algorithm::kForwardBitmap, "forward-bitmap"},
+    {Algorithm::kEdgeParallel, "gbbs-edgepar"},
+    {Algorithm::kEdgeIterator, "ggrind-edgeit"},
+    {Algorithm::kNodeIterator, "node-iterator"},
+    {Algorithm::kBlocked, "bbtc-blocked"},
+    {Algorithm::kAyz, "ayz-matrix"},
+    {Algorithm::kSpGemmMasked, "spgemm-masked"},
+};
+
 RunResult from_baseline(const baselines::TcResult& r) {
   return {r.triangles, r.preprocess_s, r.count_s};
 }
@@ -40,6 +65,111 @@ std::string find_note(const obs::PhaseTracer& trace, std::string_view key) {
   return {};
 }
 
+util::Status interrupt_status(parallel::Interrupt interrupt) {
+  return interrupt == parallel::Interrupt::kCancelled
+             ? util::Status{util::StatusCode::kCancelled,
+                            "query cancelled via QueryOptions::cancel"}
+             : util::Status{util::StatusCode::kDeadlineExceeded,
+                            "QueryOptions::deadline expired before completion"};
+}
+
+// Algorithms whose scratch/topology allocations a memory budget can veto;
+// all of them degrade to the scratch-free gap-forward merge kernel.
+bool budget_degradable(Algorithm algorithm) {
+  return algorithm == Algorithm::kLotus || algorithm == Algorithm::kAdaptive ||
+         algorithm == Algorithm::kForwardHashed ||
+         algorithm == Algorithm::kForwardBitmap;
+}
+
+// Debug tripwire behind the legacy entry points' one-run-at-a-time
+// contract: they reset/snapshot the process-wide counters, so two in
+// flight corrupt each other's reports. Release builds compile this away.
+#ifndef NDEBUG
+std::atomic<int> g_legacy_in_flight{0};
+#endif
+struct LegacyGuard {
+#ifndef NDEBUG
+  LegacyGuard() {
+    const int prev = g_legacy_in_flight.fetch_add(1, std::memory_order_acq_rel);
+    assert(prev == 0 &&
+           "concurrent legacy tc::run*/run_profiled* calls: these shims share "
+           "the process-wide counters; use tc::query() or tc::Engine");
+    (void)prev;
+  }
+  ~LegacyGuard() { g_legacy_in_flight.fetch_sub(1, std::memory_order_acq_rel); }
+#else
+  LegacyGuard() = default;
+#endif
+  LegacyGuard(const LegacyGuard&) = delete;
+  LegacyGuard& operator=(const LegacyGuard&) = delete;
+};
+
+// One end-to-end (or prepared) execution of `algorithm`, optionally traced.
+// Exceptions propagate to the caller — the retry/status policy lives in
+// execute_query.
+RunResult execute_once(Algorithm algorithm, const graph::CsrGraph& graph,
+                       const core::LotusConfig& config,
+                       const PreparedGraph* prepared, obs::PhaseTracer* trace) {
+  if (prepared != nullptr)
+    return detail::run_prepared_kernel(algorithm, *prepared, config, trace);
+  switch (algorithm) {
+    case Algorithm::kLotus: {
+      const core::LotusResult r = core::count_triangles(graph, config, trace);
+      return {r.triangles, r.preprocess_s, r.count_s()};
+    }
+    case Algorithm::kAdaptive: {
+      const core::AdaptiveResult r = core::adaptive_count(graph, config);
+      const RunResult out{r.triangles, r.preprocess_s, r.count_s};
+      if (trace != nullptr) {
+        leaf_spans(*trace, out);
+        trace->note("chosen_algorithm",
+                    r.algorithm == core::ChosenAlgorithm::kLotus ? "lotus"
+                                                                 : "forward");
+      }
+      return out;
+    }
+    case Algorithm::kForwardMerge:
+    case Algorithm::kForwardGallop:
+    case Algorithm::kForwardSimd:
+    case Algorithm::kForwardHashed:
+    case Algorithm::kForwardBitmap:
+    case Algorithm::kEdgeParallel:
+    case Algorithm::kEdgeIterator:
+    case Algorithm::kNodeIterator:
+    case Algorithm::kBlocked: {
+      baselines::TcResult r;
+      switch (algorithm) {
+        case Algorithm::kForwardMerge: r = baselines::forward_merge(graph); break;
+        case Algorithm::kForwardGallop: r = baselines::forward_gallop(graph); break;
+        case Algorithm::kForwardSimd: r = baselines::forward_simd(graph); break;
+        case Algorithm::kForwardHashed: r = baselines::forward_hashed(graph); break;
+        case Algorithm::kForwardBitmap: r = baselines::forward_bitmap(graph); break;
+        case Algorithm::kEdgeParallel:
+          r = baselines::edge_parallel_forward(graph);
+          break;
+        case Algorithm::kEdgeIterator: r = baselines::edge_iterator(graph); break;
+        case Algorithm::kNodeIterator: r = baselines::node_iterator(graph); break;
+        default: r = baselines::blocked_tc(graph); break;
+      }
+      const RunResult out = from_baseline(r);
+      if (trace != nullptr) leaf_spans(*trace, out);
+      return out;
+    }
+    case Algorithm::kAyz:
+    case Algorithm::kSpGemmMasked: {
+      util::Timer timer;
+      RunResult out;
+      out.triangles = algorithm == Algorithm::kAyz
+                          ? baselines::ayz_tc(graph)
+                          : baselines::spgemm_masked_tc(graph);
+      out.count_s = timer.elapsed_s();
+      if (trace != nullptr) leaf_spans(*trace, out);
+      return out;
+    }
+  }
+  return {};
+}
+
 // `--events sim`: replay the already-finished run single-threaded through the
 // simcache model and graft the modeled per-phase event deltas onto the span
 // tree. The replay re-executes the counting kernels (not preprocessing), so
@@ -48,9 +178,9 @@ std::string find_note(const obs::PhaseTracer& trace, std::string_view key) {
 // reports zero events with an explanatory note.
 void attribute_simulated(ProfileReport& report, const graph::CsrGraph& graph,
                          const core::LotusConfig& config,
-                         const ProfileOptions& options) {
+                         std::uint32_t sim_cache_scale) {
   const simcache::MachineConfig machine =
-      simcache::skylakex().scaled(options.sim_cache_scale);
+      simcache::skylakex().scaled(sim_cache_scale);
   simcache::SimEventProvider sim(machine);
   report.event_source = obs::EventSource::kSimulated;
   report.event_backend = sim.backend();
@@ -112,95 +242,37 @@ void attribute_simulated(ProfileReport& report, const graph::CsrGraph& graph,
                          std::to_string(report.result.triangles) + ")";
 }
 
-// Keeps the process-wide scheduler-event sink balanced even when the run
-// body throws (run_profiled_with_status catches those exceptions, so a
-// dangling sink would outlive the log it points at).
-struct SchedSinkGuard {
-  explicit SchedSinkGuard(obs::SchedEventLog* log) : active(log != nullptr) {
-    if (active) obs::set_sched_event_sink(log);
+// Route this query's counter domain and scheduler sink through the pool the
+// driver is using, so pool workers attribute their work to exactly this
+// query. Balanced on unwind — execute_query catches the exceptions the run
+// body may throw, and a stale pool pointer must not outlive the query.
+struct PoolObsGuard {
+  PoolObsGuard(parallel::ThreadPool& pool, obs::CounterDomain* domain,
+               obs::SchedEventLog* sink)
+      : pool_(pool) {
+    pool_.set_counter_domain(domain);
+    pool_.set_sched_sink(sink);
   }
-  ~SchedSinkGuard() {
-    if (active) obs::set_sched_event_sink(nullptr);
+  ~PoolObsGuard() {
+    pool_.set_counter_domain(nullptr);
+    pool_.set_sched_sink(nullptr);
   }
-  SchedSinkGuard(const SchedSinkGuard&) = delete;
-  SchedSinkGuard& operator=(const SchedSinkGuard&) = delete;
-  bool active;
+  PoolObsGuard(const PoolObsGuard&) = delete;
+  PoolObsGuard& operator=(const PoolObsGuard&) = delete;
+  parallel::ThreadPool& pool_;
 };
 
-util::Status interrupt_status(parallel::Interrupt interrupt) {
-  return interrupt == parallel::Interrupt::kCancelled
-             ? util::Status{util::StatusCode::kCancelled,
-                            "run cancelled via RunOptions::cancel"}
-             : util::Status{util::StatusCode::kDeadlineExceeded,
-                            "RunOptions::deadline expired before completion"};
-}
-
-// Algorithms whose scratch/topology allocations a memory budget can veto;
-// all of them degrade to the scratch-free gap-forward merge kernel.
-bool budget_degradable(Algorithm algorithm) {
-  return algorithm == Algorithm::kLotus || algorithm == Algorithm::kAdaptive ||
-         algorithm == Algorithm::kForwardHashed ||
-         algorithm == Algorithm::kForwardBitmap;
-}
-}  // namespace
-
-RunResult run(Algorithm algorithm, const graph::CsrGraph& graph,
-              const core::LotusConfig& config) {
-  switch (algorithm) {
-    case Algorithm::kLotus: {
-      const core::LotusResult r = core::count_triangles(graph, config);
-      return {r.triangles, r.preprocess_s, r.count_s()};
-    }
-    case Algorithm::kAdaptive: {
-      const core::AdaptiveResult r = core::adaptive_count(graph, config);
-      return {r.triangles, r.preprocess_s, r.count_s};
-    }
-    case Algorithm::kForwardMerge:
-      return from_baseline(baselines::forward_merge(graph));
-    case Algorithm::kForwardGallop:
-      return from_baseline(baselines::forward_gallop(graph));
-    case Algorithm::kForwardSimd:
-      return from_baseline(baselines::forward_simd(graph));
-    case Algorithm::kForwardHashed:
-      return from_baseline(baselines::forward_hashed(graph));
-    case Algorithm::kForwardBitmap:
-      return from_baseline(baselines::forward_bitmap(graph));
-    case Algorithm::kEdgeParallel:
-      return from_baseline(baselines::edge_parallel_forward(graph));
-    case Algorithm::kEdgeIterator:
-      return from_baseline(baselines::edge_iterator(graph));
-    case Algorithm::kNodeIterator:
-      return from_baseline(baselines::node_iterator(graph));
-    case Algorithm::kBlocked:
-      return from_baseline(baselines::blocked_tc(graph));
-    case Algorithm::kAyz: {
-      util::Timer timer;
-      RunResult r;
-      r.triangles = baselines::ayz_tc(graph);
-      r.count_s = timer.elapsed_s();
-      return r;
-    }
-    case Algorithm::kSpGemmMasked: {
-      util::Timer timer;
-      RunResult r;
-      r.triangles = baselines::spgemm_masked_tc(graph);
-      r.count_s = timer.elapsed_s();
-      return r;
-    }
-  }
-  return {};
-}
-
-ProfileReport run_profiled(Algorithm algorithm, const graph::CsrGraph& graph,
-                           const core::LotusConfig& config,
-                           const ProfileOptions& options) {
-  obs::reset_counters();
-
+// One profiled execution: span tree, query-scoped counters, optional
+// hardware/simulated events and scheduler timeline. Exceptions propagate.
+ProfileReport profiled_once(Algorithm algorithm, const graph::CsrGraph& graph,
+                            const QueryOptions& options,
+                            const PreparedGraph* prepared) {
   ProfileReport report;
   report.algorithm = algorithm;
   report.vertices = graph.num_vertices();
   report.edges = graph.num_edges() / 2;
-  report.threads = parallel::default_pool().size();
+  parallel::ThreadPool& pool = parallel::default_pool();
+  report.threads = pool.size();
 
   // Hardware counters: probe availability up front and degrade to the
   // simulated source rather than failing the run (locked-down containers
@@ -220,43 +292,24 @@ ProfileReport run_profiled(Algorithm algorithm, const graph::CsrGraph& graph,
       report.degradations.push_back(
           {"hwc", "fallback=simulated", "hardware counters unavailable: " + error});
     } else {
-      parallel::default_pool().execute(
-          [&hw](unsigned) { hw->attach_current_thread(); });
+      pool.execute([&hw](unsigned) { hw->attach_current_thread(); });
       report.trace.set_event_provider(hw.get());
       hw_begin = hw->read();
     }
   }
 
+  obs::CounterDomain domain;
   obs::SchedEventLog sched_log;
   {
-    SchedSinkGuard sink(options.capture_sched_events ? &sched_log : nullptr);
-    switch (algorithm) {
-      case Algorithm::kLotus: {
-        const core::LotusResult r =
-            core::count_triangles(graph, config, &report.trace);
-        report.result = {r.triangles, r.preprocess_s, r.count_s()};
-        break;
-      }
-      case Algorithm::kAdaptive: {
-        const core::AdaptiveResult r = core::adaptive_count(graph, config);
-        report.result = {r.triangles, r.preprocess_s, r.count_s};
-        leaf_spans(report.trace, report.result);
-        report.trace.note("chosen_algorithm",
-                          r.algorithm == core::ChosenAlgorithm::kLotus
-                              ? "lotus"
-                              : "forward");
-        break;
-      }
-      default: {
-        report.result = run(algorithm, graph, config);
-        leaf_spans(report.trace, report.result);
-        break;
-      }
-    }
+    obs::ScopedCounterDomain scoped_domain(&domain);
+    PoolObsGuard pool_obs(pool, &domain,
+                          options.capture_sched_events ? &sched_log : nullptr);
+    report.result =
+        execute_once(algorithm, graph, options.config, prepared, &report.trace);
   }
   if (options.capture_sched_events) report.sched_events = sched_log.events();
 
-  report.counters = obs::counters_snapshot();
+  report.counters = domain.snapshot();
 
   if (hw != nullptr) {
     report.event_source = obs::EventSource::kHardware;
@@ -266,115 +319,210 @@ ProfileReport run_profiled(Algorithm algorithm, const graph::CsrGraph& graph,
     report.trace.set_event_provider(nullptr);
   } else if (source == obs::EventSource::kSimulated) {
     const std::string degradation_note = report.event_note;
-    attribute_simulated(report, graph, config, options);
+    attribute_simulated(report, graph, options.config, options.sim_cache_scale);
     if (!degradation_note.empty())
       report.event_note = degradation_note + "; " + report.event_note;
   }
   return report;
 }
 
-util::Expected<RunResult> run_with_status(Algorithm algorithm,
-                                          const graph::CsrGraph& graph,
-                                          const RunOptions& options) {
+}  // namespace
+
+namespace detail {
+
+QueryResult execute_query(Algorithm algorithm, const graph::CsrGraph& graph,
+                          const QueryOptions& options,
+                          const PreparedGraph* prepared) {
+  QueryResult out;
+  out.algorithm = algorithm;
+  out.threads = parallel::default_pool().size();
+
+  // Query-scoped environment: both installs are thread-local, so concurrent
+  // queries on different driver threads never see each other's context.
+  // Skipped entirely when unused — a bare query() stays zero-overhead.
   parallel::ExecContext ctx;
   ctx.cancel = options.cancel;
   ctx.deadline = options.deadline;
-  parallel::ScopedExecContext exec(&ctx);
+  std::optional<parallel::ScopedExecContext> exec;
+  if (options.cancel != nullptr || !options.deadline.is_unlimited())
+    exec.emplace(&ctx);
   util::MemoryBudget budget(options.memory_budget_bytes);
-  util::ScopedMemoryBudget scoped_budget(&budget);
+  std::optional<util::ScopedMemoryBudget> scoped_budget;
+  if (options.memory_budget_bytes != 0) scoped_budget.emplace(&budget);
 
-  if (const auto i = parallel::check_interrupt(); i != parallel::Interrupt::kNone)
-    return interrupt_status(i);
+  const auto fill_identity = [&](ProfileReport& r, Algorithm a) {
+    r.algorithm = a;
+    r.vertices = graph.num_vertices();
+    r.edges = graph.num_edges() / 2;
+    r.threads = out.threads;
+  };
+
+  if (const auto i = parallel::check_interrupt();
+      i != parallel::Interrupt::kNone) {
+    out.status = interrupt_status(i);
+    if (options.profile) {
+      out.profile.emplace();
+      fill_identity(*out.profile, algorithm);
+      out.profile->status = out.status;
+    }
+    return out;
+  }
 
   Algorithm active = algorithm;
   for (int attempt = 0;; ++attempt) {
     try {
-      RunResult result = run(active, graph, options.config);
-      // Interrupts are sticky: any chunk or phase the run skipped is still
-      // visible here, so a partial count can never escape as a valid result.
-      if (const auto i = parallel::check_interrupt();
-          i != parallel::Interrupt::kNone)
-        return interrupt_status(i);
-      return result;
+      if (options.profile) {
+        ProfileReport report = profiled_once(active, graph, options, prepared);
+        // Interrupts are sticky: any chunk or phase the run skipped is still
+        // visible here, so a partial count can never escape as valid.
+        if (const auto i = parallel::check_interrupt();
+            i != parallel::Interrupt::kNone) {
+          report.status = interrupt_status(i);
+          report.result.triangles = 0;
+        }
+        out.algorithm = active;
+        out.result = report.result;
+        out.status = report.status;
+        out.profile = std::move(report);
+      } else {
+        const RunResult result =
+            execute_once(active, graph, options.config, prepared, nullptr);
+        if (const auto i = parallel::check_interrupt();
+            i != parallel::Interrupt::kNone) {
+          out.status = interrupt_status(i);
+        } else {
+          out.algorithm = active;
+          out.result = result;
+        }
+      }
+      break;
     } catch (const std::bad_alloc& e) {  // includes util::BudgetError
       if (attempt == 0 && options.allow_degradation &&
           budget_degradable(active)) {
+        out.degradations.push_back({name(active),
+                                    "fallback=" + name(Algorithm::kForwardMerge),
+                                    e.what()});
         budget.reset_used();  // the failed attempt's charges are released
         active = Algorithm::kForwardMerge;
+        // Prepared artifacts belong to the vetoed algorithm; the fallback
+        // runs end-to-end (gap-forward preprocessing is cheap and
+        // scratch-free).
+        prepared = nullptr;
         continue;
       }
-      return util::Status{util::StatusCode::kOutOfMemory, e.what()};
+      out.status = {util::StatusCode::kOutOfMemory, e.what()};
+      if (options.profile) {
+        out.profile.emplace();
+        fill_identity(*out.profile, active);
+      }
+      break;
     } catch (...) {
-      return util::status_from_current_exception();
+      out.status = util::status_from_current_exception();
+      if (options.profile) {
+        out.profile.emplace();
+        fill_identity(*out.profile, active);
+      }
+      break;
     }
   }
+
+  if (out.profile.has_value()) {
+    // Budget fallbacks happened before the run that produced the report; any
+    // degradations profiled_once recorded itself (hw→sim) come after.
+    std::vector<obs::Degradation> merged = out.degradations;
+    merged.insert(merged.end(), out.profile->degradations.begin(),
+                  out.profile->degradations.end());
+    out.profile->degradations = merged;
+    out.degradations = std::move(merged);
+    out.profile->status = out.status;
+  }
+  return out;
+}
+
+}  // namespace detail
+
+util::Expected<QueryResult> query(Algorithm algorithm,
+                                  const graph::CsrGraph& graph,
+                                  const QueryOptions& options) {
+  return detail::execute_query(algorithm, graph, options, nullptr);
+}
+
+RunResult run(Algorithm algorithm, const graph::CsrGraph& graph,
+              const core::LotusConfig& config) {
+  [[maybe_unused]] LegacyGuard guard;
+  return execute_once(algorithm, graph, config, nullptr, nullptr);
+}
+
+util::Expected<RunResult> run_with_status(Algorithm algorithm,
+                                          const graph::CsrGraph& graph,
+                                          const RunOptions& options) {
+  [[maybe_unused]] LegacyGuard guard;
+  QueryOptions q;
+  q.config = options.config;
+  q.cancel = options.cancel;
+  q.deadline = options.deadline;
+  q.memory_budget_bytes = options.memory_budget_bytes;
+  q.allow_degradation = options.allow_degradation;
+  const util::Expected<QueryResult> r = query(algorithm, graph, q);
+  if (!r.ok()) return r.status();
+  if (!r.value().status.ok()) return r.value().status;
+  return r.value().result;
+}
+
+ProfileReport run_profiled(Algorithm algorithm, const graph::CsrGraph& graph,
+                           const core::LotusConfig& config,
+                           const ProfileOptions& options) {
+  [[maybe_unused]] LegacyGuard guard;
+  obs::reset_counters();
+  QueryOptions q;
+  q.config = config;
+  q.profile = true;
+  q.events = options.events;
+  q.capture_sched_events = options.capture_sched_events;
+  q.sim_cache_scale = options.sim_cache_scale;
+  // Bypass the status wrapper so allocation failures keep throwing, as this
+  // entry point always documented.
+  ProfileReport report = profiled_once(algorithm, graph, q, nullptr);
+  // Historical contract: legacy reports carry the process-wide snapshot with
+  // per-thread rows (the reset above scoped it to this run).
+  report.counters = obs::counters_snapshot();
+  return report;
 }
 
 ProfileReport run_profiled_with_status(Algorithm algorithm,
                                        const graph::CsrGraph& graph,
                                        const RunOptions& options,
                                        const ProfileOptions& profile) {
-  parallel::ExecContext ctx;
-  ctx.cancel = options.cancel;
-  ctx.deadline = options.deadline;
-  parallel::ScopedExecContext exec(&ctx);
-  util::MemoryBudget budget(options.memory_budget_bytes);
-  util::ScopedMemoryBudget scoped_budget(&budget);
-
-  const auto fill_identity = [&](ProfileReport& r, Algorithm a) {
-    r.algorithm = a;
-    r.vertices = graph.num_vertices();
-    r.edges = graph.num_edges() / 2;
-    r.threads = parallel::default_pool().size();
-  };
-
-  ProfileReport report;
-  fill_identity(report, algorithm);
-  if (const auto i = parallel::check_interrupt();
-      i != parallel::Interrupt::kNone) {
-    report.status = interrupt_status(i);
+  [[maybe_unused]] LegacyGuard guard;
+  obs::reset_counters();
+  QueryOptions q;
+  q.config = options.config;
+  q.cancel = options.cancel;
+  q.deadline = options.deadline;
+  q.memory_budget_bytes = options.memory_budget_bytes;
+  q.allow_degradation = options.allow_degradation;
+  q.profile = true;
+  q.events = profile.events;
+  q.capture_sched_events = profile.capture_sched_events;
+  q.sim_cache_scale = profile.sim_cache_scale;
+  util::Expected<QueryResult> r = query(algorithm, graph, q);
+  if (!r.ok()) {  // defensive: profiled queries always return a result today
+    ProfileReport report;
+    report.algorithm = algorithm;
+    report.vertices = graph.num_vertices();
+    report.edges = graph.num_edges() / 2;
+    report.threads = parallel::default_pool().size();
+    report.status = r.status();
     return report;
   }
-
-  std::vector<obs::Degradation> degradations;
-  Algorithm active = algorithm;
-  for (int attempt = 0;; ++attempt) {
-    try {
-      report = run_profiled(active, graph, options.config, profile);
-      if (const auto i = parallel::check_interrupt();
-          i != parallel::Interrupt::kNone) {
-        report.status = interrupt_status(i);
-        report.result.triangles = 0;  // partial count must never look valid
-      }
-      break;
-    } catch (const std::bad_alloc& e) {  // includes util::BudgetError
-      if (attempt == 0 && options.allow_degradation &&
-          budget_degradable(active)) {
-        degradations.push_back({name(active),
-                                "fallback=" + name(Algorithm::kForwardMerge),
-                                e.what()});
-        budget.reset_used();
-        active = Algorithm::kForwardMerge;
-        continue;
-      }
-      report = ProfileReport{};
-      fill_identity(report, active);
-      report.status = {util::StatusCode::kOutOfMemory, e.what()};
-      break;
-    } catch (...) {
-      report = ProfileReport{};
-      fill_identity(report, active);
-      report.status = util::status_from_current_exception();
-      break;
-    }
-  }
-  if (!degradations.empty()) {
-    // Budget fallbacks happened before the run that produced `report`; any
-    // degradations run_profiled recorded itself (hw→sim) come after.
-    degradations.insert(degradations.end(), report.degradations.begin(),
-                        report.degradations.end());
-    report.degradations = std::move(degradations);
-  }
+  ProfileReport report = std::move(r.value().profile).value();
+  // Historical contract: per-thread counter rows on every report that ran
+  // (interrupted runs keep their partial counters; OOM/internal failures
+  // never ran, so their reports stay empty).
+  const util::StatusCode code = report.status.code();
+  if (code == util::StatusCode::kOk || code == util::StatusCode::kCancelled ||
+      code == util::StatusCode::kDeadlineExceeded)
+    report.counters = obs::counters_snapshot();
   return report;
 }
 
@@ -393,6 +541,11 @@ obs::MetricsRegistry ProfileReport::metrics() const {
   registry.set_metric("edges_per_s", edges_per_s(edges, result.total_s()));
   registry.set_hw(event_source, event_backend, events, event_note);
   registry.set_resilience(status, degradations);
+  if (engine_served)
+    registry.set_engine({{"cache_hit", cache_hit},
+                         {"queue_s", queue_s},
+                         {"preprocess_s", result.preprocess_s},
+                         {"count_s", result.count_s}});
   registry.set_trace(trace);
   registry.set_counters(counters);
   return registry;
@@ -407,38 +560,23 @@ std::string ProfileReport::to_chrome_trace() const {
 }
 
 std::string name(Algorithm algorithm) {
-  switch (algorithm) {
-    case Algorithm::kLotus: return "lotus";
-    case Algorithm::kAdaptive: return "adaptive";
-    case Algorithm::kForwardMerge: return "gap-forward";
-    case Algorithm::kForwardGallop: return "forward-gallop";
-    case Algorithm::kForwardSimd: return "forward-simd";
-    case Algorithm::kForwardHashed: return "forward-hashed";
-    case Algorithm::kForwardBitmap: return "forward-bitmap";
-    case Algorithm::kEdgeParallel: return "gbbs-edgepar";
-    case Algorithm::kEdgeIterator: return "ggrind-edgeit";
-    case Algorithm::kNodeIterator: return "node-iterator";
-    case Algorithm::kBlocked: return "bbtc-blocked";
-    case Algorithm::kAyz: return "ayz-matrix";
-    case Algorithm::kSpGemmMasked: return "spgemm-masked";
-  }
+  for (const AlgorithmName& entry : kAlgorithmTable)
+    if (entry.algorithm == algorithm) return entry.name;
   return "unknown";
 }
 
 std::optional<Algorithm> parse(const std::string& text) {
-  for (Algorithm a : all_algorithms())
-    if (name(a) == text) return a;
+  for (const AlgorithmName& entry : kAlgorithmTable)
+    if (text == entry.name) return entry.algorithm;
   return std::nullopt;
 }
 
 std::vector<Algorithm> all_algorithms() {
-  return {Algorithm::kLotus,         Algorithm::kAdaptive,
-          Algorithm::kForwardMerge,  Algorithm::kForwardGallop,
-          Algorithm::kForwardSimd,
-          Algorithm::kForwardHashed, Algorithm::kForwardBitmap,
-          Algorithm::kEdgeParallel,  Algorithm::kEdgeIterator,
-          Algorithm::kNodeIterator,  Algorithm::kBlocked,
-          Algorithm::kAyz,           Algorithm::kSpGemmMasked};
+  std::vector<Algorithm> out;
+  out.reserve(std::size(kAlgorithmTable));
+  for (const AlgorithmName& entry : kAlgorithmTable)
+    out.push_back(entry.algorithm);
+  return out;
 }
 
 std::vector<Algorithm> paper_comparators() {

@@ -1,23 +1,36 @@
 // Unified triangle-counting API.
 //
-// One entry point over LOTUS and every baseline, so benches, tests and
-// examples can sweep algorithms uniformly. The enum names note which
-// framework of the paper's evaluation (Sec. 5.1.4) each kernel stands in for.
+// One entry point — tc::query() — over LOTUS and every baseline, so benches,
+// tests, examples and the serving layer sweep algorithms uniformly. The enum
+// names note which framework of the paper's evaluation (Sec. 5.1.4) each
+// kernel stands in for.
 //
-// Thread-safety: run() and run_profiled() drive the process-wide thread pool
-// (parallel::default_pool) and the process-wide observability counters, so at
-// most one run may execute at a time; calling either concurrently from two
-// threads gives interleaved counters and a racing pool. Results returned by
-// value are immutable afterwards and safe to share. The *_with_status
-// variants additionally install the process-wide execution context and
-// memory budget (parallel/exec_context.hpp, util/memory_budget.hpp) for the
-// duration of the call — the same one-run-at-a-time contract makes that
-// safe. Cancelling via RunOptions::cancel from *another* thread is the
-// supported (and intended) concurrent interaction.
+// Thread-safety — the Engine contract: query() keeps every piece of mutable
+// state it touches query-scoped. The cancellation context and memory budget
+// are installed thread-locally on the driving thread
+// (parallel/exec_context.hpp, util/memory_budget.hpp), profiled counters
+// accumulate into a per-query obs::CounterDomain, and the scheduler timeline
+// is captured through a pool-scoped sink. Two queries may therefore run
+// concurrently provided each driving thread routes through its own thread
+// pool — install a parallel::ScopedPool per driver, or use tc::Engine
+// (tc/engine.hpp), which arranges exactly that (a pool per query driver plus
+// a shared prepared-graph cache). Concurrent query() calls *without* scoped
+// pools contend on the one process-wide pool, whose fork-join execute() is
+// not reentrant — don't do that. Cancelling via QueryOptions::cancel from
+// another thread is the supported (and intended) concurrent interaction.
 //
-// Overhead: run() adds two util::Timer reads per algorithm over calling the
-// kernel directly. run_profiled() additionally resets/snapshots the global
-// counters and records O(#phases) spans — a handful of clock reads per run,
+// The four legacy entry points (run, run_with_status, run_profiled,
+// run_profiled_with_status) are deprecated shims over the same internals and
+// keep their historical contract: run_profiled* reset and snapshot the
+// process-wide observability counters, so at most one legacy call may
+// execute at a time, process-wide (debug builds assert this). New code
+// should call query() — or submit to a tc::Engine — instead.
+//
+// Overhead: a non-profiled query() adds two util::Timer reads per algorithm
+// over calling the kernel directly, plus one thread-local install when a
+// cancel token, deadline or budget is supplied (nothing otherwise).
+// Profiled queries additionally record O(#phases) spans and one
+// CounterDomain flush per worker chunk — a handful of clock reads per run,
 // independent of graph size. With LOTUS_OBS=0 the counter snapshot is empty
 // but the span tree is still recorded (see obs/counters.hpp).
 #pragma once
@@ -77,21 +90,20 @@ struct RunResult {
   return seconds > 0.0 ? static_cast<double>(undirected_edges) / seconds : 0.0;
 }
 
-/// End-to-end run (preprocessing + counting) of one algorithm.
-RunResult run(Algorithm algorithm, const graph::CsrGraph& graph,
-              const core::LotusConfig& config = {});
-
-/// Resilience knobs for run_with_status / run_profiled_with_status.
-struct RunOptions {
-  /// Algorithm configuration (hub count, fusion, ...), as for run().
+/// Everything one query asks for: the algorithm configuration, the
+/// resilience envelope (cancellation, deadline, memory budget, degradation
+/// policy), and — when `profile` is set — the observability capture knobs
+/// that used to live in ProfileOptions.
+struct QueryOptions {
+  /// Algorithm configuration (hub count, fusion, ...).
   core::LotusConfig config;
 
-  /// Cooperative cancellation: another thread calls cancel() and the run
-  /// returns StatusCode::kCancelled at the next chunk/phase boundary. The
-  /// token must outlive the call; nullptr = not cancellable.
+  /// Cooperative cancellation: another thread calls cancel() and the query
+  /// finishes with StatusCode::kCancelled at the next chunk/phase boundary.
+  /// The token must outlive the call; nullptr = not cancellable.
   const util::CancelToken* cancel = nullptr;
 
-  /// Wall-clock deadline; an expired deadline makes the run return
+  /// Wall-clock deadline; an expired deadline makes the query finish with
   /// StatusCode::kDeadlineExceeded at the next chunk/phase boundary.
   /// Default: no deadline.
   util::Deadline deadline;
@@ -105,23 +117,16 @@ struct RunOptions {
   /// When the budget (or an injected allocation fault) vetoes a
   /// memory-hungry algorithm (lotus, adaptive, forward-hashed,
   /// forward-bitmap), retry once with the scratch-free gap-forward merge
-  /// kernel instead of failing. The switch is recorded in the metrics
-  /// export's resilience section. false = fail with kOutOfMemory.
+  /// kernel instead of failing. The switch is recorded in
+  /// QueryResult::degradations. false = fail with kOutOfMemory.
   bool allow_degradation = true;
-};
 
-/// run() behind the Status error model: never throws and never exits.
-/// Returns the result, or: kCancelled / kDeadlineExceeded (cooperative
-/// interrupt — a partial count is discarded, never returned),
-/// kOutOfMemory (allocation failure or budget exceeded, after any permitted
-/// degradation), kResourceExhausted (thread/fd failure), kInvalidArgument,
-/// or kInternal for anything unexpected.
-util::Expected<RunResult> run_with_status(Algorithm algorithm,
-                                          const graph::CsrGraph& graph,
-                                          const RunOptions& options = {});
+  /// Capture a full ProfileReport (span tree, per-query counters, optional
+  /// hardware events and scheduler timeline) into QueryResult::profile.
+  bool profile = false;
 
-/// Knobs for run_profiled beyond the algorithm config.
-struct ProfileOptions {
+  // --- knobs below apply only when profile == true ---
+
   /// Requested hardware-event source. kHardware degrades to kSimulated
   /// (with a one-line stderr warning) when perf_event_open is unavailable —
   /// a locked-down container must never fail the run. kSimulated replays
@@ -140,10 +145,16 @@ struct ProfileOptions {
   std::uint32_t sim_cache_scale = 16;
 };
 
-/// Everything one run produced: the RunResult plus the span tree, the
-/// per-thread counter snapshot, hardware-event totals, and (optionally) the
+/// Everything one profiled run produced: the RunResult plus the span tree,
+/// the counter snapshot, hardware-event totals, and (optionally) the
 /// scheduler timeline taken over exactly this run. Exported via metrics() /
-/// to_json() in the versioned "lotus-metrics/3" schema (docs/METRICS.md).
+/// to_json() in the versioned "lotus-metrics/4" schema (docs/METRICS.md).
+///
+/// Counter provenance: reports produced by query()/Engine carry the
+/// query-scoped CounterDomain totals (threads breakdown empty — per-thread
+/// rows are a property of the process-wide snapshot); reports produced by
+/// the legacy run_profiled* shims carry the process-wide snapshot with
+/// per-thread rows, as they always did.
 struct ProfileReport {
   Algorithm algorithm = Algorithm::kLotus;
   RunResult result;
@@ -161,17 +172,23 @@ struct ProfileReport {
   obs::EventCounts events;
   std::string event_note;
 
-  /// Scheduler timeline (empty unless ProfileOptions::capture_sched_events).
+  /// Scheduler timeline (empty unless QueryOptions::capture_sched_events).
   std::vector<obs::SchedEvent> sched_events;
 
   /// Final status of the run and any graceful degradations taken (hw→sim
-  /// events, memory-budget algorithm fallback). run_profiled() always leaves
-  /// status ok (it throws on failure); run_profiled_with_status() reports
-  /// cancellation/deadline/OOM here instead of throwing. Non-ok status ⇒
+  /// events, memory-budget algorithm fallback). Non-ok status ⇒
   /// `result.triangles` is zeroed (a partial count must never look valid);
   /// the timings and spans that did complete are kept as partial metrics.
   util::Status status;
   std::vector<obs::Degradation> degradations;
+
+  /// Serving provenance, filled by tc::Engine: whether this report came
+  /// through an Engine, its queue wait, and whether the prepared-graph
+  /// cache served the preprocessing. When `engine_served` is set, metrics()
+  /// exports them as the schema-v4 "engine" section.
+  bool engine_served = false;
+  double queue_s = 0.0;
+  bool cache_hit = false;
 
   /// Assemble the full MetricsRegistry (meta + metrics + hw + spans +
   /// counters).
@@ -183,12 +200,94 @@ struct ProfileReport {
   [[nodiscard]] std::string to_chrome_trace() const;
 };
 
-/// Like run(), but resets the global observability counters first and
-/// captures the span tree + counter snapshot of the run. LOTUS and the
-/// adaptive variant emit their full phase breakdown; baselines emit
-/// "preprocess"/"count" leaf spans from their coarse timings. With
-/// options.events != kOff, spans additionally carry hardware (or simulated)
-/// event deltas.
+/// The outcome of one query. `status` carries the run's fate (a query that
+/// started but was cancelled / hit its deadline / ran out of memory still
+/// yields a QueryResult — with a non-ok status and zeroed triangles — so
+/// callers always get the identity fields and whatever partial metrics
+/// completed).
+struct QueryResult {
+  /// Algorithm that produced `result` — the requested one, unless a
+  /// memory-budget degradation swapped in gap-forward (see `degradations`,
+  /// which then records the requested algorithm and the fallback taken).
+  Algorithm algorithm = Algorithm::kLotus;
+  RunResult result;
+
+  /// ok / kCancelled / kDeadlineExceeded / kOutOfMemory / kResourceExhausted
+  /// / kInternal. Non-ok ⇒ result.triangles is 0.
+  util::Status status;
+  std::vector<obs::Degradation> degradations;
+
+  /// Pool width the query ran on.
+  unsigned threads = 0;
+
+  /// Seconds spent queued before a driver picked the query up, and whether
+  /// the prepared-graph cache served the preprocessing. Both are filled by
+  /// tc::Engine; direct query() calls leave them 0/false.
+  double queue_s = 0.0;
+  bool cache_hit = false;
+
+  /// Full observability capture; present iff QueryOptions::profile.
+  std::optional<ProfileReport> profile;
+
+  [[nodiscard]] bool ok() const { return status.ok(); }
+};
+
+/// Count triangles. Never throws: execution failures (cancellation,
+/// deadline, OOM after any permitted degradation, thread exhaustion) are
+/// reported in QueryResult::status; the error side of the Expected is
+/// reserved for queries that could not be *attempted* at all (and for
+/// Engine::submit rejections — shutdown, unknown graph). See the file
+/// header for the concurrency contract.
+util::Expected<QueryResult> query(Algorithm algorithm,
+                                  const graph::CsrGraph& graph,
+                                  const QueryOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// Legacy entry points — deprecated shims over query().
+//
+// Kept so existing callers keep compiling; each forwards to the unified
+// internals and preserves its historical behavior (including the
+// process-wide counter reset/snapshot in the profiled pair). At most one
+// legacy call may execute at a time, process-wide; debug builds assert
+// this. New code should use query() or tc::Engine.
+// ---------------------------------------------------------------------------
+
+/// Resilience knobs of the legacy *_with_status entry points.
+/// \deprecated Use QueryOptions (same fields; profiling folded in).
+struct RunOptions {
+  core::LotusConfig config;
+  const util::CancelToken* cancel = nullptr;
+  util::Deadline deadline;
+  std::uint64_t memory_budget_bytes = 0;
+  bool allow_degradation = true;
+};
+
+/// Observability knobs of the legacy run_profiled pair.
+/// \deprecated Use QueryOptions with profile = true.
+struct ProfileOptions {
+  obs::EventSource events = obs::EventSource::kOff;
+  bool capture_sched_events = false;
+  std::uint32_t sim_cache_scale = 16;
+};
+
+/// End-to-end run (preprocessing + counting) of one algorithm. Throws on
+/// allocation failure.
+/// \deprecated Use query() — `query(a, g).value().result` is the moral
+/// equivalent, with failures reported as a Status instead of an exception.
+RunResult run(Algorithm algorithm, const graph::CsrGraph& graph,
+              const core::LotusConfig& config = {});
+
+/// run() behind the Status error model: never throws and never exits.
+/// \deprecated Use query(); QueryResult::status carries what this returned
+/// as the Expected's error side.
+util::Expected<RunResult> run_with_status(Algorithm algorithm,
+                                          const graph::CsrGraph& graph,
+                                          const RunOptions& options = {});
+
+/// Like run(), but resets the process-wide observability counters first and
+/// captures the span tree + per-thread counter snapshot of the run. Throws
+/// on allocation failure.
+/// \deprecated Use query() with QueryOptions::profile = true.
 ProfileReport run_profiled(Algorithm algorithm, const graph::CsrGraph& graph,
                            const core::LotusConfig& config = {},
                            const ProfileOptions& options = {});
@@ -196,15 +295,18 @@ ProfileReport run_profiled(Algorithm algorithm, const graph::CsrGraph& graph,
 /// run_profiled() behind the Status error model: never throws. Always
 /// returns a report — on failure its `status` is non-ok, its identity fields
 /// (algorithm, vertices, edges, threads) are filled, and whatever phase
-/// metrics completed before the interrupt are kept. Degradations (budget
-/// fallback, hw→sim) are listed in `degradations` and exported in the
-/// metrics resilience section.
+/// metrics completed before the interrupt are kept.
+/// \deprecated Use query() with QueryOptions::profile = true;
+/// QueryResult::profile is this report.
 ProfileReport run_profiled_with_status(Algorithm algorithm,
                                        const graph::CsrGraph& graph,
                                        const RunOptions& options = {},
                                        const ProfileOptions& profile = {});
 
+/// Stable CLI/schema name of an algorithm ("lotus", "gap-forward", ...).
+/// name() and parse() round-trip over the single algorithm name table.
 [[nodiscard]] std::string name(Algorithm algorithm);
+/// Inverse of name(); nullopt for unknown names (no fuzzy matching).
 [[nodiscard]] std::optional<Algorithm> parse(const std::string& name);
 
 /// All algorithms, LOTUS first (display order used by the benches).
@@ -212,5 +314,26 @@ ProfileReport run_profiled_with_status(Algorithm algorithm,
 
 /// The comparator set of Tables 5/6: BBTC, GraphGrind, GAP, GBBS, Lotus.
 [[nodiscard]] std::vector<Algorithm> paper_comparators();
+
+class PreparedGraph;  // tc/prepared.hpp
+
+namespace detail {
+/// Shared execution core behind query() and Engine: installs the
+/// query-scoped context/budget, runs `algorithm` (against `prepared`
+/// artifacts when non-null, end-to-end otherwise) with the degradation
+/// retry policy, and assembles the QueryResult (+ ProfileReport when
+/// options.profile). Engine calls this with a prepared graph from its
+/// cache; query() passes nullptr.
+QueryResult execute_query(Algorithm algorithm, const graph::CsrGraph& graph,
+                          const QueryOptions& options,
+                          const PreparedGraph* prepared);
+
+/// Run one algorithm against prebuilt artifacts (implemented in
+/// prepared.cpp; preprocess_s reflects only per-query residual work).
+RunResult run_prepared_kernel(Algorithm algorithm,
+                              const PreparedGraph& prepared,
+                              const core::LotusConfig& config,
+                              obs::PhaseTracer* trace);
+}  // namespace detail
 
 }  // namespace lotus::tc

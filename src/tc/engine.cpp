@@ -1,0 +1,285 @@
+#include "tc/engine.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "parallel/thread_pool.hpp"
+#include "util/format.hpp"
+
+namespace lotus::tc {
+
+namespace {
+
+/// Cache key: graph identity + artifact kind + the config fields that shape
+/// the artifact (hub selection and relabeling for the LotusGraph; the
+/// oriented CSR is config-independent). Counting-only knobs (tiling, fusion)
+/// deliberately don't fragment the cache.
+std::string cache_key(const std::string& graph_key, ArtifactKind kind,
+                      const core::LotusConfig& config) {
+  std::string key = graph_key;
+  key += '|';
+  key += artifact_kind_name(kind);
+  if (kind == ArtifactKind::kLotus) {
+    key += "|hub=" + std::to_string(config.hub_count);
+    key += ",frac=" + util::fixed(config.relabel_fraction, 6);
+  }
+  return key;
+}
+
+EngineOptions normalized(EngineOptions options) {
+  if (options.num_drivers == 0) options.num_drivers = 1;
+  if (options.threads_per_query == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0) hw = 1;
+    options.threads_per_query = std::max(1u, hw / options.num_drivers);
+  }
+  return options;
+}
+
+}  // namespace
+
+Engine::Engine(EngineOptions options)
+    : options_(normalized(options)),
+      threads_per_query_(options_.threads_per_query),
+      cache_budget_(options_.cache_budget_bytes) {
+  drivers_.reserve(options_.num_drivers);
+  for (unsigned i = 0; i < options_.num_drivers; ++i)
+    drivers_.emplace_back([this] { driver_loop(); });
+}
+
+Engine::~Engine() {
+  std::deque<Job> orphaned;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+    orphaned.swap(queue_);
+    stats_.rejected += orphaned.size();
+  }
+  cv_.notify_all();
+  for (Job& job : orphaned)
+    job.promise.set_value(util::Status{
+        util::StatusCode::kCancelled,
+        "engine destroyed before the query started"});
+  for (std::thread& t : drivers_) t.join();
+}
+
+std::future<util::Expected<QueryResult>> Engine::submit(QuerySpec spec) {
+  std::promise<util::Expected<QueryResult>> promise;
+  std::future<util::Expected<QueryResult>> future = promise.get_future();
+  util::Status rejection = util::Status::Ok();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.submitted;
+    if (shutting_down_) {
+      rejection = {util::StatusCode::kCancelled, "engine is shutting down"};
+    } else if (spec.graph == nullptr) {
+      rejection = {util::StatusCode::kInvalidArgument,
+                   "QuerySpec::graph is null"};
+    }
+    if (!rejection.ok()) {
+      ++stats_.rejected;
+    } else {
+      queue_.push_back(Job{std::move(spec), std::move(promise),
+                           std::chrono::steady_clock::now()});
+    }
+  }
+  if (!rejection.ok()) {
+    promise.set_value(rejection);
+    return future;
+  }
+  cv_.notify_one();
+  return future;
+}
+
+util::Expected<QueryResult> Engine::query(QuerySpec spec) {
+  return submit(std::move(spec)).get();
+}
+
+void Engine::driver_loop() {
+  // The driver thread is pool thread 0 of its own pool; the scoped override
+  // routes every parallel primitive of the queries it runs through it, which
+  // is what isolates concurrent queries from each other.
+  parallel::ThreadPool pool(threads_per_query_);
+  parallel::ScopedPool scoped(&pool);
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down, nothing left to serve
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    run_job(std::move(job));
+  }
+}
+
+void Engine::run_job(Job job) {
+  const double queue_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    job.submitted_at)
+          .count();
+
+  Acquired acquired;
+  const ArtifactKind kind = artifact_kind(job.spec.algorithm);
+  if (kind != ArtifactKind::kNone && !job.spec.graph_key.empty())
+    acquired = acquire_artifact(job.spec, kind);
+
+  QueryResult result = detail::execute_query(
+      job.spec.algorithm, *job.spec.graph, job.spec.options,
+      acquired.artifact.get());
+  // The builder pays the artifact's construction once; hits ride for free.
+  result.result.preprocess_s += acquired.build_s;
+  result.queue_s = queue_s;
+  result.cache_hit = acquired.hit;
+  if (result.profile.has_value()) {
+    result.profile->engine_served = true;
+    result.profile->queue_s = queue_s;
+    result.profile->cache_hit = acquired.hit;
+    result.profile->result.preprocess_s = result.result.preprocess_s;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.completed;
+    stats_.queue_s_total += queue_s;
+    stats_.preprocess_s_total += result.result.preprocess_s;
+    stats_.count_s_total += result.result.count_s;
+  }
+  job.promise.set_value(std::move(result));
+}
+
+Engine::Acquired Engine::acquire_artifact(const QuerySpec& spec,
+                                          ArtifactKind kind) {
+  const std::string key =
+      cache_key(spec.graph_key, kind, spec.options.config);
+
+  ArtifactFuture future;
+  std::promise<std::shared_ptr<const PreparedGraph>> build_promise;
+  bool builder = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      it->second.last_used = ++tick_;
+      future = it->second.artifact;
+    } else {
+      builder = true;
+      CacheEntry entry;
+      entry.artifact = build_promise.get_future().share();
+      entry.last_used = ++tick_;
+      future = entry.artifact;
+      cache_.emplace(key, std::move(entry));
+    }
+  }
+
+  if (builder) {
+    std::shared_ptr<const PreparedGraph> artifact;
+    try {
+      artifact = std::make_shared<const PreparedGraph>(
+          PreparedGraph::build(kind, *spec.graph, spec.options.config));
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        cache_.erase(key);
+        ++stats_.cache_misses;
+      }
+      build_promise.set_exception(std::current_exception());
+      return {};  // the builder itself degrades to an end-to-end run
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.cache_misses;
+      auto it = cache_.find(key);  // invalidate() may have raced us
+      if (it != cache_.end()) {
+        if (reserve_locked(artifact->bytes(), key)) {
+          it->second.bytes = artifact->bytes();
+          it->second.charged = true;
+        } else {
+          // Larger than the whole budget: serve it, don't retain it.
+          cache_.erase(it);
+        }
+      }
+    }
+    build_promise.set_value(artifact);
+    return {artifact, false, artifact->build_s()};
+  }
+
+  try {
+    std::shared_ptr<const PreparedGraph> artifact = future.get();
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.cache_hits;
+    return {std::move(artifact), true, 0.0};
+  } catch (...) {
+    // The build we waited on failed; count honestly and run end-to-end.
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.cache_misses;
+    return {};
+  }
+}
+
+bool Engine::reserve_locked(std::uint64_t bytes, const std::string& keep_key) {
+  for (;;) {
+    if (cache_budget_.try_charge(bytes)) return true;
+    // Evict the least-recently-used charged entry (never the one we are
+    // inserting, never an in-flight build — its bytes are unknown).
+    auto victim = cache_.end();
+    for (auto it = cache_.begin(); it != cache_.end(); ++it) {
+      if (!it->second.charged || it->first == keep_key) continue;
+      if (victim == cache_.end() ||
+          it->second.last_used < victim->second.last_used)
+        victim = it;
+    }
+    if (victim == cache_.end()) return false;
+    cache_budget_.release(victim->second.bytes);
+    ++stats_.cache_evictions;
+    cache_.erase(victim);
+  }
+}
+
+void Engine::invalidate(const std::string& graph_key) {
+  const std::string prefix = graph_key + '|';
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (it->first.rfind(prefix, 0) == 0) {
+      if (it->second.charged) cache_budget_.release(it->second.bytes);
+      ++stats_.cache_evictions;
+      it = cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+EngineStats Engine::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  EngineStats out = stats_;
+  out.cache_entries = cache_.size();
+  out.cache_bytes = cache_budget_.used();
+  return out;
+}
+
+obs::MetricsRegistry Engine::metrics() const {
+  const EngineStats s = stats();
+  obs::MetricsRegistry registry;
+  registry.set_meta("component", "tc-engine");
+  registry.set_meta("drivers", static_cast<std::uint64_t>(num_drivers()));
+  registry.set_meta("threads_per_query",
+                    static_cast<std::uint64_t>(threads_per_query_));
+  registry.set_engine({
+      {"submitted", s.submitted},
+      {"completed", s.completed},
+      {"rejected", s.rejected},
+      {"cache_hits", s.cache_hits},
+      {"cache_misses", s.cache_misses},
+      {"cache_evictions", s.cache_evictions},
+      {"cache_entries", s.cache_entries},
+      {"cache_bytes", s.cache_bytes},
+      {"cache_budget_bytes", options_.cache_budget_bytes},
+      {"queue_s_total", s.queue_s_total},
+      {"preprocess_s_total", s.preprocess_s_total},
+      {"count_s_total", s.count_s_total},
+  });
+  return registry;
+}
+
+}  // namespace lotus::tc

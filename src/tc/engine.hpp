@@ -1,0 +1,170 @@
+// tc::Engine — a thread-safe triangle-counting serving layer.
+//
+// An Engine owns a small fleet of query drivers (each with its *own* thread
+// pool, installed per-thread via parallel::ScopedPool) and a keyed
+// prepared-graph cache, so a stream of counting queries against a working
+// set of graphs runs (a) concurrently and (b) without re-paying
+// preprocessing: the first query for a (graph, artifact kind, config) triple
+// builds the artifact — degree order + oriented N^< CSR for the Forward
+// family, the LotusGraph (relabeling + H2H + HE/NHE CSX) for lotus/adaptive
+// — and every later query counts against the cached copy
+// (QueryResult::cache_hit, preprocess_s ≈ 0).
+//
+// Cache policy: single-flight (concurrent first queries for one key build
+// once; the others wait on the same shared_future) with LRU eviction charged
+// against a util::MemoryBudget. Artifacts are handed out as shared_ptr, so
+// an eviction never pulls one out from under an in-flight query. An
+// artifact larger than the whole budget is served to its waiters but not
+// retained.
+//
+// Thread-safety: submit()/query()/stats()/metrics()/invalidate() are safe
+// from any thread, concurrently. Cancellation (QueryOptions::cancel) and
+// deadlines apply per query, exactly as for tc::query — each driver installs
+// the query's ExecContext thread-locally, so concurrent queries never see
+// each other's interrupts.
+//
+// Shutdown: the destructor stops accepting work, completes queries already
+// picked up by a driver, and fails queued-but-unstarted queries with
+// kCancelled (through the Expected error side: they were never attempted).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "tc/api.hpp"
+#include "tc/prepared.hpp"
+#include "util/memory_budget.hpp"
+
+namespace lotus::tc {
+
+struct EngineOptions {
+  /// Query drivers = maximum queries in flight; each owns a thread pool.
+  unsigned num_drivers = 2;
+
+  /// Pool width per driver. 0 = hardware_concurrency / num_drivers (min 1),
+  /// so a default engine never oversubscribes the machine.
+  unsigned threads_per_query = 0;
+
+  /// Byte budget for cached prepared-graph artifacts; LRU entries are
+  /// evicted to stay under it. 0 = unlimited (accounting only).
+  std::uint64_t cache_budget_bytes = 0;
+};
+
+/// Monotonic serving counters; a consistent snapshot via Engine::stats().
+struct EngineStats {
+  std::uint64_t submitted = 0;  // accepted + rejected
+  std::uint64_t completed = 0;  // queries that ran (any final status)
+  std::uint64_t rejected = 0;   // failed validation or arrived at shutdown
+
+  std::uint64_t cache_hits = 0;       // served from a cached/in-flight artifact
+  std::uint64_t cache_misses = 0;     // had to build (or build failed)
+  std::uint64_t cache_evictions = 0;  // LRU evictions + invalidate() drops
+  std::uint64_t cache_entries = 0;    // current entries
+  std::uint64_t cache_bytes = 0;      // current charged bytes
+
+  double queue_s_total = 0.0;       // summed queue wait of completed queries
+  double preprocess_s_total = 0.0;  // summed preprocess (≈0 on hits)
+  double count_s_total = 0.0;       // summed kernel time
+};
+
+/// One unit of work: which algorithm, against which graph. `graph_key` is
+/// the cache identity — queries with the same key share artifacts, so it
+/// must change when the graph data changes (empty key = never cache). The
+/// graph must stay alive and unmodified until the query's future resolves.
+struct QuerySpec {
+  Algorithm algorithm = Algorithm::kLotus;
+  std::string graph_key;
+  const graph::CsrGraph* graph = nullptr;
+  QueryOptions options;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Enqueue a query; the future resolves when it completes. Same Expected
+  /// semantics as tc::query(): execution failures land in
+  /// QueryResult::status; the error side is reserved for queries never
+  /// attempted (null graph → kInvalidArgument, shutdown → kCancelled).
+  std::future<util::Expected<QueryResult>> submit(QuerySpec spec);
+
+  /// submit() + wait: convenience for callers without their own pipeline.
+  util::Expected<QueryResult> query(QuerySpec spec);
+
+  /// Drop every cached artifact of `graph_key` (all kinds/configs); counted
+  /// as evictions. Call when the underlying graph data changed.
+  void invalidate(const std::string& graph_key);
+
+  [[nodiscard]] EngineStats stats() const;
+
+  /// Aggregate serving metrics as a "lotus-metrics/4" registry whose
+  /// `engine` section carries the EngineStats fields (docs/METRICS.md).
+  [[nodiscard]] obs::MetricsRegistry metrics() const;
+
+  [[nodiscard]] unsigned num_drivers() const noexcept {
+    return static_cast<unsigned>(drivers_.size());
+  }
+  [[nodiscard]] unsigned threads_per_query() const noexcept {
+    return threads_per_query_;
+  }
+
+ private:
+  using ArtifactFuture =
+      std::shared_future<std::shared_ptr<const PreparedGraph>>;
+
+  struct Job {
+    QuerySpec spec;
+    std::promise<util::Expected<QueryResult>> promise;
+    std::chrono::steady_clock::time_point submitted_at;
+  };
+
+  struct CacheEntry {
+    ArtifactFuture artifact;
+    std::uint64_t bytes = 0;      // charged footprint (0 while building)
+    std::uint64_t last_used = 0;  // LRU tick
+    bool charged = false;
+  };
+
+  struct Acquired {
+    std::shared_ptr<const PreparedGraph> artifact;  // null → run end-to-end
+    bool hit = false;
+    double build_s = 0.0;  // paid by this query (the builder) on a miss
+  };
+
+  void driver_loop();
+  void run_job(Job job);
+  Acquired acquire_artifact(const QuerySpec& spec, ArtifactKind kind);
+  /// Charge `bytes`, LRU-evicting other charged entries as needed. Returns
+  /// false when the artifact cannot fit even with an empty cache.
+  bool reserve_locked(std::uint64_t bytes, const std::string& keep_key);
+
+  EngineOptions options_;
+  unsigned threads_per_query_ = 1;
+  util::MemoryBudget cache_budget_;
+
+  mutable std::mutex mutex_;  // guards queue_, cache_, stats_, tick_
+  std::condition_variable cv_;
+  std::deque<Job> queue_;
+  bool shutting_down_ = false;
+  std::map<std::string, CacheEntry> cache_;
+  std::uint64_t tick_ = 0;
+  EngineStats stats_;
+
+  std::vector<std::thread> drivers_;
+};
+
+}  // namespace lotus::tc

@@ -1,0 +1,167 @@
+#include "tc/prepared.hpp"
+
+#include <stdexcept>
+
+#include "baselines/tc_baselines.hpp"
+#include "graph/degree_order.hpp"
+#include "lotus/adaptive.hpp"
+#include "lotus/lotus.hpp"
+#include "util/timer.hpp"
+
+namespace lotus::tc {
+
+ArtifactKind artifact_kind(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kLotus:
+    case Algorithm::kAdaptive:
+      return ArtifactKind::kLotus;
+    case Algorithm::kForwardMerge:
+    case Algorithm::kForwardGallop:
+    case Algorithm::kForwardSimd:
+    case Algorithm::kForwardHashed:
+    case Algorithm::kForwardBitmap:
+    case Algorithm::kEdgeParallel:
+    case Algorithm::kBlocked:
+      return ArtifactKind::kOriented;
+    case Algorithm::kEdgeIterator:
+    case Algorithm::kNodeIterator:
+    case Algorithm::kAyz:
+    case Algorithm::kSpGemmMasked:
+      return ArtifactKind::kNone;
+  }
+  return ArtifactKind::kNone;
+}
+
+const char* artifact_kind_name(ArtifactKind kind) {
+  switch (kind) {
+    case ArtifactKind::kOriented: return "oriented";
+    case ArtifactKind::kLotus: return "lotus";
+    case ArtifactKind::kNone: return "none";
+  }
+  return "unknown";
+}
+
+PreparedGraph PreparedGraph::build(ArtifactKind kind,
+                                   const graph::CsrGraph& graph,
+                                   const core::LotusConfig& config) {
+  PreparedGraph out;
+  out.kind_ = kind;
+  util::Timer timer;
+  switch (kind) {
+    case ArtifactKind::kOriented:
+      out.oriented_ = std::make_shared<const graph::OrientedCsr>(
+          graph::degree_ordered_oriented(graph));
+      out.bytes_ = out.oriented_->topology_bytes();
+      break;
+    case ArtifactKind::kLotus:
+      out.use_lotus_ = core::should_use_lotus(graph);
+      out.lotus_ = std::make_shared<const core::LotusGraph>(
+          core::LotusGraph::build(graph, config));
+      out.bytes_ = out.lotus_->topology_bytes();
+      if (!out.use_lotus_) {
+        // Adaptive will dispatch to Forward on this graph; carry the
+        // oriented CSR too so those queries also count kernel-only.
+        out.oriented_ = std::make_shared<const graph::OrientedCsr>(
+            graph::degree_ordered_oriented(graph));
+        out.bytes_ += out.oriented_->topology_bytes();
+      }
+      break;
+    case ArtifactKind::kNone:
+      break;
+  }
+  out.build_s_ = timer.elapsed_s();
+  return out;
+}
+
+namespace detail {
+
+RunResult run_prepared_kernel(Algorithm algorithm,
+                              const PreparedGraph& prepared,
+                              const core::LotusConfig& config,
+                              obs::PhaseTracer* trace) {
+  const auto oriented = [&]() -> const graph::OrientedCsr& {
+    if (prepared.oriented() == nullptr)
+      throw std::invalid_argument(
+          "prepared artifact lacks the oriented CSR required by " +
+          name(algorithm));
+    return *prepared.oriented();
+  };
+  const auto lotus_graph = [&]() -> const core::LotusGraph& {
+    if (prepared.lotus() == nullptr)
+      throw std::invalid_argument(
+          "prepared artifact lacks the LotusGraph required by " +
+          name(algorithm));
+    return *prepared.lotus();
+  };
+  const auto lotus_count = [&]() -> RunResult {
+    const core::LotusResult r =
+        core::count_triangles_prepared(lotus_graph(), config, trace);
+    return {r.triangles, 0.0, r.count_s()};
+  };
+  const auto forward_count = [&](std::uint64_t (*kernel)(
+                                 const graph::OrientedCsr&)) -> RunResult {
+    util::Timer timer;
+    RunResult out;
+    out.triangles = kernel(oriented());
+    out.count_s = timer.elapsed_s();
+    if (trace != nullptr) trace->leaf("count", out.count_s);
+    return out;
+  };
+
+  switch (algorithm) {
+    case Algorithm::kLotus:
+      return lotus_count();
+    case Algorithm::kAdaptive: {
+      // The dispatch decision was frozen at artifact build time — the graph
+      // has not changed since, and re-deriving it would cost an O(V) scan
+      // per query.
+      if (prepared.use_lotus()) {
+        RunResult out = lotus_count();
+        if (trace != nullptr) trace->note("chosen_algorithm", "lotus");
+        return out;
+      }
+      RunResult out = forward_count(&baselines::forward_merge_prepared);
+      if (trace != nullptr) trace->note("chosen_algorithm", "forward");
+      return out;
+    }
+    case Algorithm::kForwardMerge:
+      return forward_count(&baselines::forward_merge_prepared);
+    case Algorithm::kForwardGallop:
+      return forward_count(&baselines::forward_gallop_prepared);
+    case Algorithm::kForwardSimd:
+      return forward_count(&baselines::forward_simd_prepared);
+    case Algorithm::kForwardHashed:
+      return forward_count(&baselines::forward_hashed_prepared);
+    case Algorithm::kForwardBitmap:
+      return forward_count(&baselines::forward_bitmap_prepared);
+    case Algorithm::kEdgeParallel:
+      return forward_count(&baselines::edge_parallel_forward_prepared);
+    case Algorithm::kBlocked: {
+      util::Timer timer;
+      RunResult out;
+      out.triangles =
+          baselines::blocked_tc_prepared(oriented(), graph::VertexId{1} << 14);
+      out.count_s = timer.elapsed_s();
+      if (trace != nullptr) trace->leaf("count", out.count_s);
+      return out;
+    }
+    case Algorithm::kEdgeIterator:
+    case Algorithm::kNodeIterator:
+    case Algorithm::kAyz:
+    case Algorithm::kSpGemmMasked:
+      throw std::invalid_argument(name(algorithm) +
+                                  " has no prepared artifact; run end-to-end");
+  }
+  throw std::invalid_argument("unknown algorithm");
+}
+
+}  // namespace detail
+
+util::Expected<QueryResult> query_prepared(Algorithm algorithm,
+                                           const graph::CsrGraph& graph,
+                                           const PreparedGraph& prepared,
+                                           const QueryOptions& options) {
+  return detail::execute_query(algorithm, graph, options, &prepared);
+}
+
+}  // namespace lotus::tc

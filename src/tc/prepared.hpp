@@ -1,0 +1,93 @@
+// PreparedGraph: the reusable preprocessing products behind tc::Engine's
+// prepared-graph cache.
+//
+// Triangle-counting cost splits into a per-graph preprocessing step (degree
+// ordering + orientation for the Forward family; relabeling + H2H bit array
+// + HE/NHE CSX construction for LOTUS, Alg. 2) and the counting kernels
+// proper. A PreparedGraph freezes the preprocessing products of one
+// (graph, artifact kind, config) triple into immutable, shareable state so
+// repeated queries — and *concurrent* queries — pay the preprocessing once.
+// Every Forward-family baseline shares one kOriented artifact; lotus and
+// adaptive share one kLotus artifact.
+//
+// Thread-safety: a built PreparedGraph is immutable; any number of queries
+// may count against it concurrently (the kernels only read). Members are
+// held through shared_ptr so an Engine cache eviction never pulls an
+// artifact out from under an in-flight query.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "graph/csr.hpp"
+#include "lotus/config.hpp"
+#include "lotus/lotus_graph.hpp"
+#include "tc/api.hpp"
+
+namespace lotus::tc {
+
+/// Which preprocessing artifact an algorithm consumes — one cache-key
+/// dimension of tc::Engine.
+enum class ArtifactKind {
+  kOriented,  // degree-descending order + oriented N^< CSR (Forward family)
+  kLotus,     // LotusGraph: relabeling + H2H bits + HE/NHE CSX
+  kNone,      // no reusable artifact (runs end-to-end every time)
+};
+
+/// The artifact `algorithm` counts against. kNone for the baselines whose
+/// preprocessing is inseparable from counting (edge/node iterator, AYZ,
+/// masked SpGEMM).
+[[nodiscard]] ArtifactKind artifact_kind(Algorithm algorithm);
+
+/// Stable schema name of a kind ("oriented", "lotus", "none").
+[[nodiscard]] const char* artifact_kind_name(ArtifactKind kind);
+
+class PreparedGraph {
+ public:
+  /// Build the artifacts of `kind` for `graph`. For kLotus this also
+  /// evaluates the adaptive dispatch predicate (core::should_use_lotus) and
+  /// — when it picks Forward — additionally builds the oriented CSR, so
+  /// adaptive queries on low-skew graphs still count kernel-only.
+  /// Allocation failures (including budget vetoes) propagate as bad_alloc.
+  static PreparedGraph build(ArtifactKind kind, const graph::CsrGraph& graph,
+                             const core::LotusConfig& config = {});
+
+  [[nodiscard]] ArtifactKind kind() const noexcept { return kind_; }
+  /// Non-null iff kind is kOriented, or kLotus with a Forward-leaning
+  /// adaptive decision.
+  [[nodiscard]] const graph::OrientedCsr* oriented() const noexcept {
+    return oriented_.get();
+  }
+  /// Non-null iff kind is kLotus.
+  [[nodiscard]] const core::LotusGraph* lotus() const noexcept {
+    return lotus_.get();
+  }
+  /// The adaptive dispatch decision frozen at build time (kLotus only;
+  /// meaningless otherwise).
+  [[nodiscard]] bool use_lotus() const noexcept { return use_lotus_; }
+
+  /// Preprocessing wall time the cache amortizes on every hit.
+  [[nodiscard]] double build_s() const noexcept { return build_s_; }
+  /// Artifact footprint, charged against the engine's cache budget.
+  [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_; }
+
+ private:
+  ArtifactKind kind_ = ArtifactKind::kNone;
+  std::shared_ptr<const graph::OrientedCsr> oriented_;
+  std::shared_ptr<const core::LotusGraph> lotus_;
+  bool use_lotus_ = true;
+  double build_s_ = 0.0;
+  std::uint64_t bytes_ = 0;
+};
+
+/// query() against prebuilt artifacts: same semantics and status model as
+/// tc::query, but preprocessing is served from `prepared` (preprocess_s ≈ 0
+/// in the result). The artifact must match artifact_kind(algorithm) — a
+/// mismatch yields kInvalidArgument. tc::Engine is the primary caller;
+/// exposed for benches that manage artifacts by hand.
+util::Expected<QueryResult> query_prepared(Algorithm algorithm,
+                                           const graph::CsrGraph& graph,
+                                           const PreparedGraph& prepared,
+                                           const QueryOptions& options = {});
+
+}  // namespace lotus::tc

@@ -10,10 +10,12 @@
 // hash/bitmap intersection -> merge) or to report out_of_memory.
 //
 // Thread-safety: try_charge/release are atomic and callable from any
-// thread, but throwing charge_current sites must stay on the master thread
-// (an exception escaping a pool worker would terminate). With no budget
-// installed and no fault plan active, charge_current is a relaxed atomic
-// load plus a fault-flag load.
+// thread, but throwing charge_current sites must stay on the query's driver
+// thread (an exception escaping a pool worker would terminate). The
+// *installed* budget pointer is thread-local: each query driver (a tc::query
+// caller or a tc::Engine worker) installs its own budget, so concurrent
+// queries account independently. With no budget installed and no fault plan
+// active, charge_current is a thread-local load plus a fault-flag load.
 #pragma once
 
 #include <atomic>
@@ -84,27 +86,26 @@ class MemoryBudget {
 };
 
 namespace detail {
-inline std::atomic<MemoryBudget*>& current_budget_ref() {
-  static std::atomic<MemoryBudget*> current{nullptr};
+inline MemoryBudget*& current_budget_ref() noexcept {
+  thread_local MemoryBudget* current = nullptr;
   return current;
 }
 }  // namespace detail
 
-/// The budget charged by charge_current (nullptr = none installed).
+/// The budget charged by charge_current on this thread (nullptr = none).
 [[nodiscard]] inline MemoryBudget* current_memory_budget() noexcept {
-  return detail::current_budget_ref().load(std::memory_order_acquire);
+  return detail::current_budget_ref();
 }
 
-/// Install `budget` as the process-wide current budget for one run (the
-/// tc API runs at most one counting run at a time; see tc/api.hpp).
+/// Install `budget` as the calling thread's current budget for one query
+/// (each query driver thread carries its own; see tc/api.hpp).
 class ScopedMemoryBudget {
  public:
   explicit ScopedMemoryBudget(MemoryBudget* budget)
-      : previous_(detail::current_budget_ref().exchange(
-            budget, std::memory_order_acq_rel)) {}
-  ~ScopedMemoryBudget() {
-    detail::current_budget_ref().store(previous_, std::memory_order_release);
+      : previous_(detail::current_budget_ref()) {
+    detail::current_budget_ref() = budget;
   }
+  ~ScopedMemoryBudget() { detail::current_budget_ref() = previous_; }
   ScopedMemoryBudget(const ScopedMemoryBudget&) = delete;
   ScopedMemoryBudget& operator=(const ScopedMemoryBudget&) = delete;
 

@@ -27,6 +27,7 @@
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
 #include "tc/api.hpp"
+#include "tc/engine.hpp"
 #include "util/cancel.hpp"
 
 namespace {
@@ -160,6 +161,72 @@ TEST(SanitizerStress, CancelRacesRunRepeatedly) {
   ASSERT_TRUE(clean.ok()) << clean.status().to_string();
   EXPECT_EQ(clean.value().triangles, expected);
   par::set_num_threads(0);
+}
+
+TEST(SanitizerStress, EngineConcurrentSubmitCancelInvalidate) {
+  // The serving layer under TSan: four submitter threads race mixed
+  // queries against two graph keys while a chaos thread cancels one query's
+  // token and invalidates cache keys mid-flight. Every future must resolve
+  // with an exact count, a clean kCancelled, or (only at shutdown) the
+  // never-attempted rejection.
+  const auto graph_a =
+      g::build_undirected(g::rmat({.scale = 8, .edge_factor = 8, .seed = 51}));
+  const auto graph_b =
+      g::build_undirected(g::rmat({.scale = 8, .edge_factor = 8, .seed = 52}));
+  const auto expected_a = lotus::baselines::brute_force(graph_a);
+  const auto expected_b = lotus::baselines::brute_force(graph_b);
+
+  lotus::tc::Engine engine({.num_drivers = 2, .threads_per_query = 2});
+  lotus::util::CancelToken token;
+  std::atomic<bool> stop{false};
+  std::thread chaos([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      token.cancel();
+      engine.invalidate("a");
+      token.reset();
+      engine.invalidate("b");
+      std::this_thread::yield();
+    }
+  });
+
+  constexpr int kSubmitters = 4;
+  constexpr int kPerThread = 6;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const bool use_a = (t + i) % 2 == 0;
+        lotus::tc::QueryOptions options;
+        if (i % 3 == 0) options.cancel = &token;  // some queries cancellable
+        auto outcome =
+            engine
+                .submit({i % 2 == 0 ? lotus::tc::Algorithm::kLotus
+                                    : lotus::tc::Algorithm::kForwardMerge,
+                         use_a ? "a" : "b", use_a ? &graph_a : &graph_b,
+                         options})
+                .get();
+        if (!outcome.ok()) {
+          failures.fetch_add(1);  // submit-side rejection: engine is alive
+          continue;
+        }
+        const auto& result = outcome.value();
+        if (result.ok()) {
+          if (result.result.triangles != (use_a ? expected_a : expected_b))
+            failures.fetch_add(1);
+        } else if (result.status.code() !=
+                   lotus::util::StatusCode::kCancelled) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : submitters) thread.join();
+  stop.store(true, std::memory_order_release);
+  chaos.join();
+  EXPECT_EQ(failures.load(), 0);
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.completed, kSubmitters * kPerThread);
 }
 
 TEST(SanitizerStress, DifferentialSmokeMatrix) {
