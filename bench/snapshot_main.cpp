@@ -2,9 +2,10 @@
 //
 // Runs a pinned set of measurements — fig1-style counting rates over the
 // paper comparators, the fig6 phase breakdown, thread scaling at fixed
-// thread counts, and the tc::Engine cache-hit serving scenario — on pinned
-// synthetic graphs, and emits them as a versioned
-// "lotus-bench/1" JSON snapshot. With --compare, a previous snapshot is
+// thread counts, the tc::Engine cache-hit serving scenario, and the
+// per-kernel SIMD dispatch microbenchmarks (docs/KERNELS.md) — on pinned
+// synthetic inputs, and emits them as a versioned
+// "lotus-bench/2" JSON snapshot. With --compare, a previous snapshot is
 // loaded instead-of-trusted and every metric is checked against the new run:
 // directional metrics ("better": higher|lower) flag only harmful moves
 // beyond --threshold; neutral metrics ("better": none, e.g. triangle counts)
@@ -13,35 +14,51 @@
 //
 // Keys are pinned (datasets, algorithms, thread counts) so snapshots from
 // different machines always have the same metric set; values differ, keys
-// never. Timings are best-of-N (--repeat) to damp scheduler noise.
+// never. The one exception is the "kernels.<tier>.*" family, whose tiers
+// depend on the host ISA — those metrics carry "optional": true, and a
+// baseline entry missing from the current run is skipped (with a note)
+// instead of failing the compare, so snapshots stay portable across ISAs
+// while same-tier comparisons stay strict. Timings are best-of-N (--repeat)
+// to damp scheduler noise.
 #include <cmath>
 #include <ctime>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include <functional>
+#include <set>
+
 #include "bench/common.hpp"
+#include "kernels/dispatch.hpp"
+#include "kernels/isa.hpp"
 #include "obs/json.hpp"
 #include "tc/api.hpp"
 #include "tc/engine.hpp"
+#include "util/prng.hpp"
 
 namespace {
 
 using lotus::obs::JsonValue;
 
-constexpr const char* kBenchSchemaVersion = "lotus-bench/1";
+constexpr const char* kBenchSchemaVersion = "lotus-bench/2";
 
 struct Suite {
   std::vector<std::string> datasets;
   std::vector<unsigned> scaling_threads;
   double factor = 0.25;
   int repeat = 3;
+  std::size_t kernel_len = 4096;  // elements/words per kernel input
+  int kernel_iters = 2000;        // kernel calls per timed sample
 };
 
-Suite smoke_suite() { return {{"Twtr-S", "SK-S"}, {1, 2}, 0.05, 3}; }
-Suite full_suite() { return {{"Twtr-S", "SK-S", "LJGrp-S"}, {1, 2, 4}, 0.25, 3}; }
+Suite smoke_suite() { return {{"Twtr-S", "SK-S"}, {1, 2}, 0.05, 3, 1024, 500}; }
+Suite full_suite() {
+  return {{"Twtr-S", "SK-S", "LJGrp-S"}, {1, 2, 4}, 0.25, 3, 4096, 2000};
+}
 
 JsonValue metric(double value, const char* unit, const char* better) {
   JsonValue m;
@@ -56,6 +73,15 @@ JsonValue metric(std::uint64_t value, const char* unit, const char* better) {
   m.set("value", value);
   m.set("unit", unit);
   m.set("better", better);
+  return m;
+}
+
+/// Host-dependent metric: present only on machines that support its ISA
+/// tier; --compare skips (rather than fails) a baseline entry carrying this
+/// flag when the current run lacks the key.
+JsonValue optional_metric(double value, const char* unit, const char* better) {
+  JsonValue m = metric(value, unit, better);
+  m.set("optional", true);
   return m;
 }
 
@@ -148,11 +174,128 @@ void engine_metrics(JsonValue& metrics, const std::string& name,
                      "x", "higher"));
 }
 
-JsonValue run_suite(const Suite& suite, const std::string& suite_name) {
+// Defeats dead-code elimination of the timed kernel loops; function-pointer
+// calls are opaque to the optimizer already, this is belt and braces.
+volatile std::uint64_t g_kernel_sink = 0;
+
+/// kernels: per-kernel microbenchmark of every supported dispatch tier
+/// against the scalar reference table, on pinned synthetic inputs. Each
+/// measurement first checks the tier's count against scalar (a forced-ISA
+/// consistency check — a wrong count is a hard error, not a slow metric),
+/// then emits "kernels.<tier>.<kernel>.speedup". AVX2 hosts additionally
+/// gate the merge_u32 speedup at >= 1.5x, the floor the vectorized merge
+/// must clear for the dispatch layer to pay for itself (docs/KERNELS.md);
+/// hosts without AVX2 skip the gate (and the metric) entirely.
+void kernels_metrics(JsonValue& metrics, const Suite& suite) {
+  namespace k = lotus::kernels;
+  lotus::util::Xoshiro256 rng(4242);
+  const std::size_t len = suite.kernel_len;
+
+  // Sorted-unique lists with ~1-in-3 overlap; same shape for both widths.
+  const auto make_u32 = [&rng](std::size_t n, std::uint64_t universe) {
+    std::set<std::uint32_t> s;
+    while (s.size() < n)
+      s.insert(static_cast<std::uint32_t>(rng.next_below(universe)));
+    return std::vector<std::uint32_t>(s.begin(), s.end());
+  };
+  const auto a32 = make_u32(len, 3 * len);
+  const auto b32 = make_u32(len, 3 * len);
+  const std::size_t len16 = std::min<std::size_t>(len, 20000);
+  std::vector<std::uint16_t> a16, b16;
+  for (const std::uint32_t v : make_u32(len16, 60000))
+    a16.push_back(static_cast<std::uint16_t>(v));
+  for (const std::uint32_t v : make_u32(len16, 60000))
+    b16.push_back(static_cast<std::uint16_t>(v));
+  std::vector<std::uint64_t> wa(len), wb(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    wa[i] = rng();
+    wb[i] = rng();
+  }
+  const auto keys = make_u32(len, 64 * len);
+  const std::uint64_t window_offset = 1217;  // unaligned: exercises the shift
+  const std::size_t window_words = len / 2;
+
+  struct TimedKernel {
+    const char* name;
+    std::function<std::uint64_t(const k::KernelTable&)> once;
+  };
+  const std::vector<TimedKernel> kernels = {
+      {"merge_u32",
+       [&](const k::KernelTable& t) {
+         return t.merge_u32(a32.data(), a32.size(), b32.data(), b32.size());
+       }},
+      {"merge_u16",
+       [&](const k::KernelTable& t) {
+         return t.merge_u16(a16.data(), a16.size(), b16.data(), b16.size());
+       }},
+      {"and_popcount",
+       [&](const k::KernelTable& t) {
+         return t.and_popcount(wa.data(), wb.data(), len);
+       }},
+      {"popcount",
+       [&](const k::KernelTable& t) { return t.popcount(wa.data(), len); }},
+      {"hits_bitset",
+       [&](const k::KernelTable& t) {
+         return t.hits_bitset(keys.data(), keys.size(), wa.data());
+       }},
+      {"and_window_popcount",
+       [&](const k::KernelTable& t) {
+         return t.and_window_popcount(wa.data(), wa.size(), window_offset,
+                                      wb.data(), window_words);
+       }},
+  };
+
+  const auto measure = [&](const TimedKernel& kernel,
+                           const k::KernelTable& table) {
+    double best = 0.0;
+    for (int r = 0; r < suite.repeat; ++r) {
+      lotus::util::Timer timer;
+      std::uint64_t sink = 0;
+      for (int i = 0; i < suite.kernel_iters; ++i) sink += kernel.once(table);
+      const double s = timer.elapsed_s();
+      g_kernel_sink = sink;
+      if (r == 0 || s < best) best = s;
+    }
+    return best;
+  };
+
+  const k::KernelTable& scalar = k::kernel_table(k::Isa::kScalar);
+  for (const k::Isa tier : {k::Isa::kAvx2, k::Isa::kAvx512, k::Isa::kNeon}) {
+    if (!k::isa_supported(tier)) continue;
+    const k::KernelTable& table = k::kernel_table(tier);
+    if (table.isa != tier) continue;  // tier's TU not compiled for this arch
+    for (const TimedKernel& kernel : kernels) {
+      const std::uint64_t want = kernel.once(scalar);
+      const std::uint64_t got = kernel.once(table);
+      if (got != want)
+        throw std::runtime_error(
+            std::string("kernels.") + k::isa_name(tier) + "." + kernel.name +
+            " disagrees with scalar: " + std::to_string(got) + " vs " +
+            std::to_string(want));
+      const double scalar_s = measure(kernel, scalar);
+      const double tier_s = measure(kernel, table);
+      const double speedup = tier_s > 0.0 ? scalar_s / tier_s : 0.0;
+      metrics.set(std::string("kernels.") + k::isa_name(tier) + "." +
+                      kernel.name + ".speedup",
+                  optional_metric(speedup, "x", "higher"));
+      if (tier == k::Isa::kAvx2 &&
+          std::string_view(kernel.name) == "merge_u32" && speedup < 1.5)
+        throw std::runtime_error(
+            "kernels.avx2.merge_u32.speedup gate failed: " +
+            std::to_string(speedup) + "x < 1.5x over scalar");
+    }
+  }
+}
+
+JsonValue run_suite(const Suite& suite, const std::string& suite_name,
+                    const std::string& only) {
   JsonValue metrics;
   lotus::core::LotusConfig config;
 
-  for (const std::string& name : suite.datasets) {
+  kernels_metrics(metrics, suite);
+
+  for (const std::string& name : only == "kernels" ? std::vector<std::string>{}
+                                                   : suite.datasets) {
     const auto& dataset = lotus::datasets::dataset(name);
     const auto graph = lotus::bench::load(dataset, suite.factor);
     const std::uint64_t edges = graph.num_edges() / 2;
@@ -267,6 +410,14 @@ int compare_snapshots(const JsonValue& baseline, const JsonValue& current,
   for (const auto& [key, old_entry] : old_metrics->object()) {
     const JsonValue* new_entry = new_metrics->find(key);
     if (new_entry == nullptr) {
+      // Host-dependent metrics (ISA-tier kernels) are allowed to vanish
+      // when this machine lacks the tier that produced them.
+      const JsonValue* optional = old_entry.find("optional");
+      if (optional != nullptr && optional->as_bool()) {
+        std::cout << "skip " << key << ": optional metric, tier unsupported "
+                  << "on this host\n";
+        continue;
+      }
       std::cout << "FAIL " << key << ": metric missing from this run\n";
       ++failures;
       continue;
@@ -298,7 +449,15 @@ int main(int argc, char** argv) {
   cli.opt("compare", "", "baseline snapshot to compare this run against");
   cli.opt("threshold", "0.15",
           "relative noise threshold for --compare (0.15 = 15%)");
+  cli.opt("only", "",
+          "restrict the run to one scenario (supported: kernels)");
   if (!cli.parse(argc, argv)) return 2;
+
+  const std::string only = cli.get("only");
+  if (!only.empty() && only != "kernels") {
+    std::cerr << "unknown --only scenario: " << only << "\n";
+    return 2;
+  }
 
   const double threshold = cli.get_double("threshold");
   if (!(threshold >= 0.0)) {
@@ -309,7 +468,8 @@ int main(int argc, char** argv) {
   try {
     const bool smoke = cli.get_flag("smoke");
     const JsonValue snapshot =
-        run_suite(smoke ? smoke_suite() : full_suite(), smoke ? "smoke" : "full");
+        run_suite(smoke ? smoke_suite() : full_suite(),
+                  smoke ? "smoke" : "full", only);
     const std::string text = snapshot.dump(2);
 
     if (cli.get("out").empty()) {

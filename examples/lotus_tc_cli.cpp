@@ -33,8 +33,10 @@ bool has_magic(const std::string& path, const char* magic) {
 int main(int argc, char** argv) {
   lotus::util::Cli cli("Count triangles in a graph file");
   cli.opt("graph", "", "input graph: text edge list or LOTUSGR1 binary CSR");
-  cli.opt("algorithm", "lotus", "one of: lotus adaptive gap-forward forward-gallop "
-          "forward-hashed forward-bitmap gbbs-edgepar ggrind-edgeit node-iterator bbtc-blocked");
+  std::string algorithm_help = "one of:";
+  for (const lotus::tc::Algorithm a : lotus::tc::all_algorithms())
+    algorithm_help += " " + lotus::tc::name(a);
+  cli.opt("algorithm", "lotus", algorithm_help);
   cli.opt("hubs", "0", "LOTUS hub count (0 = automatic)");
   cli.opt("threads", "0", "worker threads (0 = hardware concurrency)");
   cli.opt("repeat", "1", "number of timed repetitions");

@@ -3,7 +3,12 @@
 #   1. every relative link in the repo's markdown files must resolve;
 #   2. every public header in src/obs and src/tc must open with a file-level
 #      doc comment (the observability/API layers document thread-safety and
-#      overhead there — see docs/ARCHITECTURE.md).
+#      overhead there — see docs/ARCHITECTURE.md);
+#   3. every kernel in the dispatch table (src/kernels/dispatch.hpp,
+#      KERNEL-INVENTORY block) must be documented in docs/KERNELS.md;
+#   4. prose docs must not reference the deprecated legacy entry points
+#      (tc::run, run_with_status, run_profiled*) — docs/API.md is exempt
+#      because it documents the migration away from them.
 set -u
 cd "$(dirname "$0")/.."
 
@@ -40,6 +45,39 @@ for header in src/obs/*.hpp src/tc/*.hpp; do
       status=1
       ;;
   esac
+done
+
+# --- 3. kernel inventory vs docs/KERNELS.md --------------------------------
+# The dispatch table names its kernels between KERNEL-INVENTORY markers;
+# each one must appear (backtick-quoted) in the KERNELS guide.
+inventory=$(sed -n '/KERNEL-INVENTORY-BEGIN/,/KERNEL-INVENTORY-END/p' \
+              src/kernels/dispatch.hpp | grep -o '"[a-z0-9_]*"' | tr -d '"')
+if [ -z "$inventory" ]; then
+  echo "check_docs: no kernel inventory found in src/kernels/dispatch.hpp" >&2
+  status=1
+fi
+for kernel in $inventory; do
+  if ! grep -q "\`$kernel\`" docs/KERNELS.md 2>/dev/null; then
+    echo "check_docs: kernel '$kernel' (src/kernels/dispatch.hpp) is not documented in docs/KERNELS.md" >&2
+    status=1
+  fi
+done
+
+# --- 4. no legacy entry-point references in prose docs ----------------------
+# tc::run / run_with_status / run_profiled* are deprecated shims; docs must
+# describe the tc::query surface. docs/API.md keeps the migration table and
+# is exempt, as are the changelog/issue worklogs.
+for md in README.md DESIGN.md docs/*.md; do
+  [ -e "$md" ] || continue
+  case "$md" in
+    docs/API.md) continue ;;
+  esac
+  hits=$(grep -n 'tc::run(\|run_with_status\|run_profiled' "$md")
+  if [ -n "$hits" ]; then
+    echo "check_docs: $md references a deprecated legacy entry point:" >&2
+    echo "$hits" | sed 's/^/  /' >&2
+    status=1
+  fi
 done
 
 if [ "$status" -ne 0 ]; then

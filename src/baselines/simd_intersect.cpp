@@ -1,124 +1,22 @@
 #include "baselines/simd_intersect.hpp"
 
-#include "baselines/intersect.hpp"
-
-#if defined(__x86_64__)
-#include <immintrin.h>
-#define LOTUS_HAVE_AVX2_PATH 1
-#endif
+#include "kernels/intersect.hpp"
+#include "kernels/isa.hpp"
 
 namespace lotus::baselines {
 
-namespace {
-
-#ifdef LOTUS_HAVE_AVX2_PATH
-
-__attribute__((target("avx2"))) std::uint64_t intersect_avx2(
-    std::span<const std::uint32_t> a, std::span<const std::uint32_t> b) {
-  std::uint64_t count = 0;
-  std::size_t i = 0, j = 0;
-  const std::size_t na = a.size(), nb = b.size();
-
-  // Rotate-left-by-one lane permutation, applied repeatedly to enumerate
-  // all 8x8 lane pairings of the two blocks.
-  const __m256i rotate = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
-
-  while (i + 8 <= na && j + 8 <= nb) {
-    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(&a[i]));
-    __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(&b[j]));
-    __m256i match = _mm256_setzero_si256();
-    for (int r = 0; r < 8; ++r) {
-      match = _mm256_or_si256(match, _mm256_cmpeq_epi32(va, vb));
-      vb = _mm256_permutevar8x32_epi32(vb, rotate);
-    }
-    const int mask = _mm256_movemask_ps(_mm256_castsi256_ps(match));
-    count += static_cast<unsigned>(__builtin_popcount(static_cast<unsigned>(mask)));
-
-    // Advance whichever block's maximum is smaller; both on a tie. All
-    // cross-block pairs with the retired block have been compared.
-    const std::uint32_t amax = a[i + 7];
-    const std::uint32_t bmax = b[j + 7];
-    i += amax <= bmax ? 8u : 0u;
-    j += bmax <= amax ? 8u : 0u;
-  }
-
-  // Scalar merge over the tails.
-  while (i < na && j < nb) {
-    if (a[i] < b[j]) ++i;
-    else if (a[i] > b[j]) ++j;
-    else { ++count; ++i; ++j; }
-  }
-  return count;
-}
-
-__attribute__((target("avx2"))) std::uint64_t intersect16_avx2(
-    std::span<const std::uint16_t> a, std::span<const std::uint16_t> b) {
-  std::uint64_t count = 0;
-  std::size_t i = 0, j = 0;
-  const std::size_t na = a.size(), nb = b.size();
-
-  while (i + 16 <= na && j + 16 <= nb) {
-    const __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(&a[i]));
-    __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(&b[j]));
-    __m256i match = _mm256_setzero_si256();
-    // 16 lane pairings: rotate b by one 16-bit lane per step. AVX2 has no
-    // cross-lane 16-bit rotate, so compose an in-lane byte shift with a
-    // 128-bit half swap every step.
-    for (int r = 0; r < 16; ++r) {
-      match = _mm256_or_si256(match, _mm256_cmpeq_epi16(va, vb));
-      const __m256i swapped = _mm256_permute2x128_si256(vb, vb, 0x01);
-      vb = _mm256_alignr_epi8(swapped, vb, 2);
-    }
-    const auto mask =
-        static_cast<std::uint32_t>(_mm256_movemask_epi8(match));
-    // Each 16-bit match sets 2 mask bits.
-    count += static_cast<unsigned>(__builtin_popcount(mask)) / 2;
-
-    const std::uint16_t amax = a[i + 15];
-    const std::uint16_t bmax = b[j + 15];
-    i += amax <= bmax ? 16u : 0u;
-    j += bmax <= amax ? 16u : 0u;
-  }
-
-  while (i < na && j < nb) {
-    if (a[i] < b[j]) ++i;
-    else if (a[i] > b[j]) ++j;
-    else { ++count; ++i; ++j; }
-  }
-  return count;
-}
-
-#endif  // LOTUS_HAVE_AVX2_PATH
-
-bool cpu_has_avx2() {
-#ifdef LOTUS_HAVE_AVX2_PATH
-  return __builtin_cpu_supports("avx2");
-#else
-  return false;
-#endif
-}
-
-}  // namespace
-
 bool simd_intersect_available() {
-  static const bool available = cpu_has_avx2();
-  return available;
+  return kernels::active_isa() != kernels::Isa::kScalar;
 }
 
 std::uint64_t intersect_simd(std::span<const std::uint32_t> a,
                              std::span<const std::uint32_t> b) {
-#ifdef LOTUS_HAVE_AVX2_PATH
-  if (simd_intersect_available()) return intersect_avx2(a, b);
-#endif
-  return intersect_merge<std::uint32_t>(a, b);
+  return kernels::intersect<std::uint32_t>(a, b);
 }
 
 std::uint64_t intersect_simd16(std::span<const std::uint16_t> a,
                                std::span<const std::uint16_t> b) {
-#ifdef LOTUS_HAVE_AVX2_PATH
-  if (simd_intersect_available()) return intersect16_avx2(a, b);
-#endif
-  return intersect_merge<std::uint16_t>(a, b);
+  return kernels::intersect<std::uint16_t>(a, b);
 }
 
 }  // namespace lotus::baselines

@@ -1,29 +1,56 @@
 // SIMD sorted-set intersection.
 //
 // The paper's framework survey (Sec. 5.1.4) separates vectorized TC from
-// scalar implementations; this kernel is the vectorized representative: an
-// AVX2 block-compare intersection (each 8-lane block of one list compared
-// against all rotations of the other's block), with a scalar merge tail and
-// a runtime-dispatch fallback for non-AVX2 hosts.
+// scalar implementations; these entry points are the vectorized
+// representative. Since the kernel layer landed they are thin veneers over
+// the runtime ISA dispatch table (src/kernels, docs/KERNELS.md): the
+// original ad-hoc AVX2 block-compare lives on as the AVX2 tier, and the
+// same call now also reaches AVX-512/NEON where available, honouring the
+// LOTUS_ISA override.
+//
+// The probe-templated overloads are the scalar mirrors the instrumentation
+// contract requires (baselines/intersect.hpp): simcache replays cannot
+// observe SIMD lane traffic, so a probed call replays the merge-equivalent
+// scalar access stream — producing the identical count — and flushes
+// comparison totals to obs exactly like intersect_merge.
 #pragma once
 
 #include <cstdint>
 #include <span>
 
+#include "baselines/intersect.hpp"
+
 namespace lotus::baselines {
 
-/// |a ∩ b| for strictly sorted 32-bit lists. Uses AVX2 when the CPU
-/// supports it, otherwise falls back to scalar merge join.
+/// |a ∩ b| for strictly sorted 32-bit lists via the dispatched merge kernel
+/// (AVX-512/AVX2/NEON when supported, scalar merge otherwise).
 std::uint64_t intersect_simd(std::span<const std::uint32_t> a,
                              std::span<const std::uint32_t> b);
 
-/// 16-bit variant (16 lanes per block) matching the 2-byte neighbour IDs of
-/// the LOTUS HE sub-graph — the compactness of Sec. 4.2 pays twice when the
-/// intersection is vectorized.
+/// 16-bit variant (twice the lanes per block) matching the 2-byte neighbour
+/// IDs of the LOTUS HE sub-graph — the compactness of Sec. 4.2 pays twice
+/// when the intersection is vectorized.
 std::uint64_t intersect_simd16(std::span<const std::uint16_t> a,
                                std::span<const std::uint16_t> b);
 
-/// True when the AVX2 path is compiled in and the CPU supports it.
+/// True when a vectorized tier (anything above scalar) is active.
 bool simd_intersect_available();
+
+/// Probe-templated scalar mirror of intersect_simd: identical count, exact
+/// scalar access/branch stream for instrumented replays.
+template <typename Probe>
+std::uint64_t intersect_simd(std::span<const std::uint32_t> a,
+                             std::span<const std::uint32_t> b, Probe& probe) {
+  return intersect_merge<std::uint32_t>(a, b, probe);
+}
+
+/// Probe-templated scalar mirror of intersect_simd16 (the HE-phase kernel);
+/// without it, simcache replays of the HE phase silently diverged from the
+/// SIMD path.
+template <typename Probe>
+std::uint64_t intersect_simd16(std::span<const std::uint16_t> a,
+                               std::span<const std::uint16_t> b, Probe& probe) {
+  return intersect_merge<std::uint16_t>(a, b, probe);
+}
 
 }  // namespace lotus::baselines

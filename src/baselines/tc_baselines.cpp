@@ -6,6 +6,7 @@
 #include "baselines/intersect.hpp"
 #include "baselines/simd_intersect.hpp"
 #include "graph/builder.hpp"
+#include "kernels/hybrid.hpp"
 #include "graph/degree_order.hpp"
 #include "parallel/parallel_for.hpp"
 #include "util/bitset.hpp"
@@ -136,6 +137,28 @@ std::uint64_t forward_bitmap_prepared(const OrientedCsr& oriented) {
   return total;
 }
 
+std::uint64_t forward_hybrid_prepared(const OrientedCsr& oriented,
+                                      std::uint32_t degree_threshold) {
+  const VertexId n = oriented.num_vertices();
+  // The hybrid's per-thread bitmaps allocate lazily on worker threads, where
+  // a budget cannot be charged; charge the worst case up front (master
+  // thread) like forward_bitmap — but only when some vertex will actually
+  // reach the dense path.
+  if (util::memory_accounting_active()) {
+    bool any_dense = false;
+    for (VertexId v = 0; v < n && !any_dense; ++v)
+      any_dense = oriented.neighbors(v).size() >= degree_threshold;
+    if (any_dense)
+      util::charge_current(
+          static_cast<std::uint64_t>(parallel::max_parallelism()) *
+              ((static_cast<std::uint64_t>(n) + 63) / 64 * 8),
+          "hybrid_scratch");
+  }
+  return kernels::hybrid_forward_count(
+      n, [&](std::uint32_t v) { return oriented.neighbors(v); },
+      degree_threshold);
+}
+
 std::uint64_t edge_parallel_forward_prepared(const OrientedCsr& oriented) {
   // GBBS-style: the flat loop over oriented edges exposes the intersection
   // work of heavy vertices to many threads instead of one.
@@ -187,6 +210,11 @@ TcResult forward_simd(const CsrGraph& g) { return end_to_end(g, forward_simd_pre
 TcResult forward_gallop(const CsrGraph& g) { return end_to_end(g, forward_gallop_prepared); }
 TcResult forward_hashed(const CsrGraph& g) { return end_to_end(g, forward_hashed_prepared); }
 TcResult forward_bitmap(const CsrGraph& g) { return end_to_end(g, forward_bitmap_prepared); }
+TcResult forward_hybrid(const CsrGraph& g) {
+  return end_to_end(g, [](const OrientedCsr& oriented) {
+    return forward_hybrid_prepared(oriented);
+  });
+}
 TcResult edge_parallel_forward(const CsrGraph& g) {
   return end_to_end(g, edge_parallel_forward_prepared);
 }

@@ -11,6 +11,9 @@
 //   * node_iterator        — classical pair-enumeration algorithm.
 //   * forward_hashed       — Schank & Wagner's hash-container variant.
 //   * forward_bitmap       — Latapy's bitmap (new-vertex-listing) variant.
+//   * forward_hybrid       — sparse-vs-dense degree split: dense-bitmap
+//                            popcount probing above a degree threshold,
+//                            dispatched SIMD merge below (kernels/hybrid.hpp).
 //   * blocked_tc           — BBTC-style block-based traversal.
 //   * brute_force          — O(V·d_max^2) oracle used only by tests.
 //
@@ -40,6 +43,8 @@ std::uint64_t forward_simd_prepared(const graph::OrientedCsr& oriented);
 std::uint64_t forward_gallop_prepared(const graph::OrientedCsr& oriented);
 std::uint64_t forward_hashed_prepared(const graph::OrientedCsr& oriented);
 std::uint64_t forward_bitmap_prepared(const graph::OrientedCsr& oriented);
+std::uint64_t forward_hybrid_prepared(const graph::OrientedCsr& oriented,
+                                      std::uint32_t degree_threshold = 64);
 std::uint64_t edge_parallel_forward_prepared(const graph::OrientedCsr& oriented);
 std::uint64_t blocked_tc_prepared(const graph::OrientedCsr& oriented,
                                   graph::VertexId block_size);
@@ -50,6 +55,7 @@ TcResult forward_simd(const graph::CsrGraph& graph);  // AVX2 intersection
 TcResult forward_gallop(const graph::CsrGraph& graph);
 TcResult forward_hashed(const graph::CsrGraph& graph);
 TcResult forward_bitmap(const graph::CsrGraph& graph);
+TcResult forward_hybrid(const graph::CsrGraph& graph);
 TcResult edge_parallel_forward(const graph::CsrGraph& graph);
 TcResult edge_iterator(const graph::CsrGraph& graph);
 TcResult node_iterator(const graph::CsrGraph& graph);

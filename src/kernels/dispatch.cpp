@@ -1,0 +1,109 @@
+#include "kernels/dispatch.hpp"
+
+namespace lotus::kernels {
+
+namespace {
+
+// Scalar reference kernels. Branch-free merge advances (cmov) rather than
+// the branching merge of baselines/intersect.hpp: the dispatched fast path
+// has no probe to report branches to, so the branchless form is strictly
+// better here. Counts are identical.
+template <typename T>
+std::uint64_t merge_scalar(const T* a, std::size_t na, const T* b,
+                           std::size_t nb) {
+  std::uint64_t count = 0;
+  std::size_t i = 0, j = 0;
+  while (i < na && j < nb) {
+    const T x = a[i];
+    const T y = b[j];
+    count += x == y ? 1u : 0u;
+    i += x <= y ? 1u : 0u;
+    j += y <= x ? 1u : 0u;
+  }
+  return count;
+}
+
+std::uint64_t merge_u32_scalar(const std::uint32_t* a, std::size_t na,
+                               const std::uint32_t* b, std::size_t nb) {
+  return merge_scalar(a, na, b, nb);
+}
+
+std::uint64_t merge_u16_scalar(const std::uint16_t* a, std::size_t na,
+                               const std::uint16_t* b, std::size_t nb) {
+  return merge_scalar(a, na, b, nb);
+}
+
+std::uint64_t and_popcount_scalar(const std::uint64_t* a,
+                                  const std::uint64_t* b, std::size_t words) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < words; ++i)
+    total += static_cast<std::uint64_t>(__builtin_popcountll(a[i] & b[i]));
+  return total;
+}
+
+std::uint64_t popcount_scalar(const std::uint64_t* words, std::size_t count) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < count; ++i)
+    total += static_cast<std::uint64_t>(__builtin_popcountll(words[i]));
+  return total;
+}
+
+std::uint64_t hits_bitset_scalar(const std::uint32_t* keys, std::size_t count,
+                                 const std::uint64_t* bits) {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < count; ++i)
+    total += (bits[keys[i] >> 6] >> (keys[i] & 63)) & 1ULL;
+  return total;
+}
+
+std::uint64_t and_window_popcount_scalar(const std::uint64_t* bits,
+                                         std::size_t bits_words,
+                                         std::uint64_t offset,
+                                         const std::uint64_t* mask,
+                                         std::size_t mask_words) {
+  const std::size_t base = static_cast<std::size_t>(offset >> 6);
+  const unsigned shift = static_cast<unsigned>(offset & 63);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < mask_words; ++i) {
+    std::uint64_t window = bits[base + i] >> shift;
+    // The straddling high half; the last valid word has no successor, and
+    // the caller's mask is zero wherever the window runs past its row.
+    if (shift != 0 && base + i + 1 < bits_words)
+      window |= bits[base + i + 1] << (64 - shift);
+    total += static_cast<std::uint64_t>(__builtin_popcountll(window & mask[i]));
+  }
+  return total;
+}
+
+constexpr KernelTable kScalarTable = {
+    Isa::kScalar,        &merge_u32_scalar,   &merge_u16_scalar,
+    &and_popcount_scalar, &popcount_scalar,   &hits_bitset_scalar,
+    &and_window_popcount_scalar,
+};
+
+}  // namespace
+
+namespace detail {
+const KernelTable& scalar_kernel_table() noexcept { return kScalarTable; }
+}  // namespace detail
+
+const KernelTable& kernel_table(Isa isa) noexcept {
+  switch (clamp_to_supported(isa)) {
+    case Isa::kAvx512:
+      if (const KernelTable* t = detail::avx512_kernel_table()) return *t;
+      break;
+    case Isa::kAvx2:
+      if (const KernelTable* t = detail::avx2_kernel_table()) return *t;
+      break;
+    case Isa::kNeon:
+      if (const KernelTable* t = detail::neon_kernel_table()) return *t;
+      break;
+    case Isa::kScalar:
+      break;
+  }
+  return kScalarTable;
+}
+
+const KernelTable& kernel_table() noexcept { return kernel_table(active_isa()); }
+
+}  // namespace lotus::kernels

@@ -1,0 +1,88 @@
+// Runtime-dispatched SIMD kernel table.
+//
+// One KernelTable per ISA tier (scalar always; AVX2/AVX-512 on x86, NEON on
+// aarch64), each entry a plain function pointer so the per-tier code can be
+// compiled with __attribute__((target(...))) in its own translation unit and
+// selected by cpuid at runtime. Entries a tier does not specialize fall back
+// to the scalar implementation, so every table is always fully populated.
+//
+// These kernels are the *uninstrumented* fast paths: they take raw pointers,
+// carry no memory probe, and flush no obs counters themselves. The
+// probe/obs contract of baselines/intersect.hpp is preserved one layer up —
+// kernels/intersect.hpp routes probed calls to the scalar mirror and flushes
+// comparison totals for dispatched calls. See docs/KERNELS.md.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "kernels/isa.hpp"
+
+namespace lotus::kernels {
+
+struct KernelTable {
+  /// Tier this table executes as (after scalar fallbacks are filled in).
+  Isa isa = Isa::kScalar;
+
+  /// |a ∩ b| of strictly ascending u32 lists — vectorized merge (block
+  /// compare against all lane rotations on the SIMD tiers).
+  std::uint64_t (*merge_u32)(const std::uint32_t* a, std::size_t na,
+                             const std::uint32_t* b, std::size_t nb);
+
+  /// 16-bit variant for the LOTUS HE compact-ID lists (twice the lanes).
+  std::uint64_t (*merge_u16)(const std::uint16_t* a, std::size_t na,
+                             const std::uint16_t* b, std::size_t nb);
+
+  /// popcount(a[i] & b[i]) summed over `words` — dense × dense bitmap
+  /// intersection.
+  std::uint64_t (*and_popcount)(const std::uint64_t* a, const std::uint64_t* b,
+                                std::size_t words);
+
+  /// Total set bits over `words`.
+  std::uint64_t (*popcount)(const std::uint64_t* words, std::size_t count);
+
+  /// Sparse × dense: how many of `keys` have their bit set in `bits`
+  /// (bit k lives at bits[k >> 6] >> (k & 63)). Every key must index a
+  /// word the caller allocated.
+  std::uint64_t (*hits_bitset)(const std::uint32_t* keys, std::size_t count,
+                               const std::uint64_t* bits);
+
+  /// popcount(window & mask) where the window is `mask_words` 64-bit words
+  /// of the bit stream `bits` starting at *bit* `offset` (not word-aligned;
+  /// `bits_words` bounds the reads) — the H2H triangular-row kernel: rows
+  /// start at row_base(h1), a bit offset with no alignment guarantee.
+  std::uint64_t (*and_window_popcount)(const std::uint64_t* bits,
+                                       std::size_t bits_words,
+                                       std::uint64_t offset,
+                                       const std::uint64_t* mask,
+                                       std::size_t mask_words);
+};
+
+/// Table of an explicit tier; unsupported requests clamp down (isa.hpp).
+[[nodiscard]] const KernelTable& kernel_table(Isa isa) noexcept;
+
+/// Table of active_isa() — what the counting phases call.
+[[nodiscard]] const KernelTable& kernel_table() noexcept;
+
+/// Dispatch-table kernel names, one per KernelTable entry. scripts/
+/// check_docs.sh parses the block below and requires a docs/KERNELS.md
+/// inventory entry for every name — keep the markers intact.
+// KERNEL-INVENTORY-BEGIN
+inline constexpr const char* kKernelNames[] = {
+    "merge_u32",     "merge_u16", "and_popcount",
+    "popcount",      "hits_bitset", "and_window_popcount",
+};
+// KERNEL-INVENTORY-END
+
+namespace detail {
+/// Per-tier table builders. The scalar table always exists; the SIMD tiers
+/// return nullptr when their architecture is not compiled in (their TUs
+/// still build everywhere — the bodies are preprocessor-gated). Tier tables
+/// copy scalar entries for kernels they do not specialize.
+[[nodiscard]] const KernelTable& scalar_kernel_table() noexcept;
+[[nodiscard]] const KernelTable* avx2_kernel_table() noexcept;
+[[nodiscard]] const KernelTable* avx512_kernel_table() noexcept;
+[[nodiscard]] const KernelTable* neon_kernel_table() noexcept;
+}  // namespace detail
+
+}  // namespace lotus::kernels

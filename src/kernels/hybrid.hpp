@@ -1,0 +1,85 @@
+// Sparse-vs-dense hybrid Forward counting.
+//
+// The degree-split recipe of the fastest GraphChallenge single-node
+// counters: vertices whose oriented neighbour list is long are counted by
+// materializing the list as a dense per-thread bitmap and popcount-probing
+// each second list against it (one O(1) probe per element instead of a
+// merge step), while the low-degree tail keeps the vectorized merge, whose
+// locality is unbeatable on short lists. The threshold is a QueryOptions /
+// LotusConfig knob (hybrid_degree_threshold).
+//
+// Memory: each thread lazily allocates one ⌈n/64⌉-word bitmap the first
+// time it meets a dense vertex. Callers running under an active memory
+// budget must either charge that scratch up front on the master thread
+// (baselines::forward_hybrid_prepared does) or pass a threshold no vertex
+// reaches, which keeps the kernel allocation-free (the LOTUS NNN phase
+// does). See docs/KERNELS.md.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kernels/dispatch.hpp"
+#include "obs/counters.hpp"
+#include "parallel/padded.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace lotus::kernels {
+
+/// Count closed wedges over an oriented adjacency: for every vertex v and
+/// every u in neighbors(v), |neighbors(v) ∩ neighbors(u)|. `neighbors` must
+/// return std::span<const std::uint32_t>-compatible ascending lists and be
+/// safe to call concurrently; every neighbour ID must be < num_vertices.
+template <typename NeighborsFn>
+std::uint64_t hybrid_forward_count(std::uint64_t num_vertices,
+                                   NeighborsFn&& neighbors,
+                                   std::uint32_t degree_threshold) {
+  const KernelTable& table = kernel_table();
+  const std::uint64_t bitmap_words = (num_vertices + 63) / 64;
+  const unsigned slots = parallel::max_parallelism();
+  std::vector<parallel::Padded<std::uint64_t>> partial(slots);
+  std::vector<std::vector<std::uint64_t>> bitmaps(slots);
+
+  parallel::parallel_for(
+      0, num_vertices, 64,
+      [&](unsigned thread_index, std::uint64_t chunk_begin,
+          std::uint64_t chunk_end) {
+        std::uint64_t local = 0;
+        std::uint64_t comparisons = 0;  // dead when LOTUS_OBS=0
+        std::vector<std::uint64_t>& bitmap = bitmaps[thread_index];
+        for (std::uint64_t vi = chunk_begin; vi < chunk_end; ++vi) {
+          const std::span<const std::uint32_t> nv =
+              neighbors(static_cast<std::uint32_t>(vi));
+          if (nv.size() < 2) continue;
+          if (nv.size() >= degree_threshold) {
+            if (bitmap.empty()) bitmap.assign(bitmap_words, 0);
+            for (const std::uint32_t u : nv)
+              bitmap[u >> 6] |= 1ULL << (u & 63);
+            for (const std::uint32_t u : nv) {
+              const std::span<const std::uint32_t> nu = neighbors(u);
+              local += table.hits_bitset(nu.data(), nu.size(), bitmap.data());
+              comparisons += nu.size();
+            }
+            // Every set bit belongs to nv, so zeroing each member's whole
+            // word restores the all-zero invariant.
+            for (const std::uint32_t u : nv) bitmap[u >> 6] = 0;
+          } else {
+            for (const std::uint32_t u : nv) {
+              const std::span<const std::uint32_t> nu = neighbors(u);
+              local += table.merge_u32(nv.data(), nv.size(), nu.data(),
+                                       nu.size());
+              comparisons += nu.empty() ? 0 : nv.size() + nu.size();
+            }
+          }
+        }
+        obs::count(obs::Counter::kIntersectComparisons, comparisons);
+        partial[thread_index].value += local;
+      });
+
+  std::uint64_t total = 0;
+  for (const auto& p : partial) total += p.value;
+  return total;
+}
+
+}  // namespace lotus::kernels

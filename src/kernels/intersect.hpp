@@ -1,0 +1,63 @@
+// Probe-aware front door to the dispatched merge kernels.
+//
+// The instrumentation contract (baselines/intersect.hpp): every kernel the
+// counting phases call must accept a memory probe and, when one is attached,
+// replay the exact scalar access stream — SIMD lanes have no per-element
+// addresses to report. This wrapper enforces that contract at compile time:
+// a NullProbe call with vectorization enabled goes through the runtime
+// dispatch table; any other probe type — or vectorize == false, the scalar
+// reference path of QueryOptions — routes to the probe-templated scalar
+// mirror, which produces the identical count.
+//
+// obs accounting: the dispatched path flushes |a|+|b| element comparisons
+// (both lists are read in full by the block compare) once per call, plus a
+// fruitless-search tick for empty intersections, mirroring intersect_merge.
+// Identical across ISA tiers, so forcing LOTUS_ISA never shifts counters
+// between tiers; the scalar mirror reports its exact merge-step count, which
+// is ≤ |a|+|b|. See docs/KERNELS.md.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <type_traits>
+
+#include "baselines/intersect.hpp"
+#include "kernels/dispatch.hpp"
+#include "obs/counters.hpp"
+
+namespace lotus::kernels {
+
+/// |a ∩ b| of strictly ascending lists (u16 for the HE compact IDs, u32 for
+/// vertex IDs), dispatched per active_isa() when uninstrumented.
+template <typename T, typename Probe = baselines::NullProbe>
+std::uint64_t intersect(std::span<const T> a, std::span<const T> b,
+                        Probe& probe = baselines::null_probe,
+                        bool vectorize = true) {
+  static_assert(std::is_unsigned_v<T> && (sizeof(T) == 2 || sizeof(T) == 4),
+                "dispatch table covers u16 and u32 element types");
+  if constexpr (std::is_same_v<Probe, baselines::NullProbe>) {
+    if (vectorize) {
+      const KernelTable& table = kernel_table();
+      std::uint64_t found;
+      if constexpr (sizeof(T) == 2)
+        found = table.merge_u16(reinterpret_cast<const std::uint16_t*>(a.data()),
+                                a.size(),
+                                reinterpret_cast<const std::uint16_t*>(b.data()),
+                                b.size());
+      else
+        found = table.merge_u32(reinterpret_cast<const std::uint32_t*>(a.data()),
+                                a.size(),
+                                reinterpret_cast<const std::uint32_t*>(b.data()),
+                                b.size());
+      const std::uint64_t comparisons =
+          a.empty() || b.empty() ? 0 : a.size() + b.size();
+      obs::count(obs::Counter::kIntersectComparisons, comparisons);
+      if (found == 0 && comparisons > 0)
+        obs::count(obs::Counter::kFruitlessSearches);
+      return found;
+    }
+  }
+  return baselines::intersect_merge<T>(a, b, probe);
+}
+
+}  // namespace lotus::kernels

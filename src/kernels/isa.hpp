@@ -1,0 +1,60 @@
+// Runtime instruction-set (ISA) selection for the SIMD kernel layer.
+//
+// The dispatch table (kernels/dispatch.hpp) is keyed by an Isa tier. The
+// tier that actually runs is resolved once per process from, in priority
+// order: a programmatic override (set_isa_override, used by tests), the
+// LOTUS_ISA environment variable, and cpuid probing. A requested tier the
+// CPU cannot execute clamps *down* to the best supported tier at or below
+// it — forcing `avx512` on an AVX2-only host runs AVX2, forcing `neon` on
+// x86 runs scalar — so forced-ISA test matrices degrade gracefully instead
+// of crashing on SIGILL. See docs/KERNELS.md.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace lotus::kernels {
+
+/// Dispatch tiers, ascending by preference. NEON ranks below AVX2 so the
+/// clamp-down walk (AVX-512 → AVX2 → NEON → scalar) is a single ordered
+/// scan; x86 and aarch64 tiers are never supported simultaneously.
+enum class Isa : unsigned {
+  kScalar = 0,
+  kNeon = 1,
+  kAvx2 = 2,
+  kAvx512 = 3,
+};
+
+/// Stable lowercase name ("scalar", "neon", "avx2", "avx512") — the LOTUS_ISA
+/// vocabulary and the bench/metric key segment.
+[[nodiscard]] const char* isa_name(Isa isa) noexcept;
+
+/// Inverse of isa_name(); nullopt for unknown names ("native" is not an Isa —
+/// the LOTUS_ISA parser maps it to detected_isa() itself).
+[[nodiscard]] std::optional<Isa> parse_isa(std::string_view name) noexcept;
+
+/// Best tier this binary can execute on this CPU (cpuid-probed once).
+[[nodiscard]] Isa detected_isa() noexcept;
+
+/// True when `isa` can execute here (kScalar always can).
+[[nodiscard]] bool isa_supported(Isa isa) noexcept;
+
+/// All supported tiers, ascending; always starts with kScalar.
+[[nodiscard]] std::vector<Isa> supported_isas();
+
+/// `requested` if supported, otherwise the best supported tier below it.
+[[nodiscard]] Isa clamp_to_supported(Isa requested) noexcept;
+
+/// The tier the dispatch table serves right now: the set_isa_override()
+/// value if one is installed, else the LOTUS_ISA choice, else detected_isa().
+/// LOTUS_ISA is read once per process; unknown values warn on stderr and
+/// fall back to detection.
+[[nodiscard]] Isa active_isa() noexcept;
+
+/// Install (clamped) or remove (nullopt) a process-wide tier override.
+/// Takes priority over LOTUS_ISA; intended for tests and benches that force
+/// the full tier matrix from one process.
+void set_isa_override(std::optional<Isa> isa) noexcept;
+
+}  // namespace lotus::kernels

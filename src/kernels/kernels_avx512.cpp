@@ -1,0 +1,163 @@
+// AVX-512 tier: 16×u32 / 32×u16 block-compare merge on the 512-bit lane
+// permute units (vpermd/vpermw), VPOPCNTDQ bitmap kernels when the CPU has
+// them, and 8-wide gathered bitmap probing. The tier requires avx512f +
+// avx512bw (kernels/isa.cpp); avx512vpopcntdq is probed separately and the
+// popcount entries fall back to the AVX2-style split when it is absent.
+#include "kernels/dispatch.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define LOTUS_KERNELS_X86 1
+#endif
+
+namespace lotus::kernels::detail {
+
+#ifdef LOTUS_KERNELS_X86
+
+namespace {
+
+__attribute__((target("avx512f,avx512bw"))) std::uint64_t merge_u32_avx512(
+    const std::uint32_t* a, std::size_t na, const std::uint32_t* b,
+    std::size_t nb) {
+  std::uint64_t count = 0;
+  std::size_t i = 0, j = 0;
+
+  const __m512i rotate = _mm512_set_epi32(0, 15, 14, 13, 12, 11, 10, 9, 8, 7,
+                                          6, 5, 4, 3, 2, 1);
+
+  while (i + 16 <= na && j + 16 <= nb) {
+    const __m512i va = _mm512_loadu_si512(a + i);
+    __m512i vb = _mm512_loadu_si512(b + j);
+    __mmask16 match = 0;
+    for (int r = 0; r < 16; ++r) {
+      match |= _mm512_cmpeq_epi32_mask(va, vb);
+      vb = _mm512_permutexvar_epi32(rotate, vb);
+    }
+    count += static_cast<unsigned>(
+        __builtin_popcount(static_cast<unsigned>(match)));
+
+    const std::uint32_t amax = a[i + 15];
+    const std::uint32_t bmax = b[j + 15];
+    i += amax <= bmax ? 16u : 0u;
+    j += bmax <= amax ? 16u : 0u;
+  }
+
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) ++i;
+    else if (a[i] > b[j]) ++j;
+    else { ++count; ++i; ++j; }
+  }
+  return count;
+}
+
+__attribute__((target("avx512f,avx512bw"))) std::uint64_t merge_u16_avx512(
+    const std::uint16_t* a, std::size_t na, const std::uint16_t* b,
+    std::size_t nb) {
+  std::uint64_t count = 0;
+  std::size_t i = 0, j = 0;
+
+  const __m512i rotate = _mm512_set_epi16(
+      0, 31, 30, 29, 28, 27, 26, 25, 24, 23, 22, 21, 20, 19, 18, 17, 16, 15,
+      14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1);
+
+  while (i + 32 <= na && j + 32 <= nb) {
+    const __m512i va = _mm512_loadu_si512(a + i);
+    __m512i vb = _mm512_loadu_si512(b + j);
+    __mmask32 match = 0;
+    for (int r = 0; r < 32; ++r) {
+      match |= _mm512_cmpeq_epi16_mask(va, vb);
+      vb = _mm512_permutexvar_epi16(rotate, vb);
+    }
+    count += static_cast<unsigned>(__builtin_popcount(match));
+
+    const std::uint16_t amax = a[i + 31];
+    const std::uint16_t bmax = b[j + 31];
+    i += amax <= bmax ? 32u : 0u;
+    j += bmax <= amax ? 32u : 0u;
+  }
+
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) ++i;
+    else if (a[i] > b[j]) ++j;
+    else { ++count; ++i; ++j; }
+  }
+  return count;
+}
+
+__attribute__((target("avx512f,avx512vpopcntdq"))) std::uint64_t
+and_popcount_avx512(const std::uint64_t* a, const std::uint64_t* b,
+                    std::size_t words) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= words; i += 8) {
+    const __m512i va = _mm512_loadu_si512(a + i);
+    const __m512i vb = _mm512_loadu_si512(b + i);
+    acc = _mm512_add_epi64(acc,
+                           _mm512_popcnt_epi64(_mm512_and_si512(va, vb)));
+  }
+  std::uint64_t total = static_cast<std::uint64_t>(_mm512_reduce_add_epi64(acc));
+  for (; i < words; ++i)
+    total += static_cast<std::uint64_t>(__builtin_popcountll(a[i] & b[i]));
+  return total;
+}
+
+__attribute__((target("avx512f,avx512vpopcntdq"))) std::uint64_t
+popcount_avx512(const std::uint64_t* words, std::size_t count) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= count; i += 8)
+    acc = _mm512_add_epi64(acc,
+                           _mm512_popcnt_epi64(_mm512_loadu_si512(words + i)));
+  std::uint64_t total = static_cast<std::uint64_t>(_mm512_reduce_add_epi64(acc));
+  for (; i < count; ++i)
+    total += static_cast<std::uint64_t>(__builtin_popcountll(words[i]));
+  return total;
+}
+
+__attribute__((target("avx512f"))) std::uint64_t hits_bitset_avx512(
+    const std::uint32_t* keys, std::size_t count, const std::uint64_t* bits) {
+  __m512i acc = _mm512_setzero_si512();
+  const __m512i low6 = _mm512_set1_epi64(63);
+  const __m512i one = _mm512_set1_epi64(1);
+  std::size_t i = 0;
+  for (; i + 8 <= count; i += 8) {
+    const __m256i k =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(keys + i));
+    const __m256i word_index = _mm256_srli_epi32(k, 6);
+    const __m512i words = _mm512_i32gather_epi64(word_index, bits, 8);
+    const __m512i bit_index =
+        _mm512_and_si512(_mm512_cvtepu32_epi64(k), low6);
+    acc = _mm512_add_epi64(
+        acc, _mm512_and_si512(_mm512_srlv_epi64(words, bit_index), one));
+  }
+  std::uint64_t total = static_cast<std::uint64_t>(_mm512_reduce_add_epi64(acc));
+  for (; i < count; ++i)
+    total += (bits[keys[i] >> 6] >> (keys[i] & 63)) & 1ULL;
+  return total;
+}
+
+}  // namespace
+
+const KernelTable* avx512_kernel_table() noexcept {
+  static const KernelTable table = [] {
+    KernelTable t = *avx2_kernel_table();  // AVX2 popcount split as fallback
+    t.isa = Isa::kAvx512;
+    t.merge_u32 = &merge_u32_avx512;
+    t.merge_u16 = &merge_u16_avx512;
+    t.hits_bitset = &hits_bitset_avx512;
+    if (__builtin_cpu_supports("avx512vpopcntdq")) {
+      t.and_popcount = &and_popcount_avx512;
+      t.popcount = &popcount_avx512;
+    }
+    return t;
+  }();
+  return &table;
+}
+
+#else  // !LOTUS_KERNELS_X86
+
+const KernelTable* avx512_kernel_table() noexcept { return nullptr; }
+
+#endif
+
+}  // namespace lotus::kernels::detail

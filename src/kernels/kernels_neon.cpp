@@ -1,0 +1,139 @@
+// NEON tier (aarch64): 4×u32 / 8×u16 block-compare merge via vext lane
+// rotation and vcnt-based bitmap popcounts. NEON is baseline on aarch64, so
+// no target attributes or cpuid checks are needed — the whole tier is
+// compile-time gated. On x86 this TU compiles to the nullptr stub.
+#include "kernels/dispatch.hpp"
+
+#if defined(__aarch64__)
+#include <arm_neon.h>
+#define LOTUS_KERNELS_NEON 1
+#endif
+
+namespace lotus::kernels::detail {
+
+#ifdef LOTUS_KERNELS_NEON
+
+namespace {
+
+std::uint64_t merge_u32_neon(const std::uint32_t* a, std::size_t na,
+                             const std::uint32_t* b, std::size_t nb) {
+  std::uint64_t count = 0;
+  std::size_t i = 0, j = 0;
+
+  while (i + 4 <= na && j + 4 <= nb) {
+    const uint32x4_t va = vld1q_u32(a + i);
+    uint32x4_t vb = vld1q_u32(b + j);
+    uint32x4_t match = vdupq_n_u32(0);
+    // All 4×4 lane pairings; vext needs a constant immediate, so the
+    // rotate-by-one is unrolled.
+    match = vorrq_u32(match, vceqq_u32(va, vb));
+    vb = vextq_u32(vb, vb, 1);
+    match = vorrq_u32(match, vceqq_u32(va, vb));
+    vb = vextq_u32(vb, vb, 1);
+    match = vorrq_u32(match, vceqq_u32(va, vb));
+    vb = vextq_u32(vb, vb, 1);
+    match = vorrq_u32(match, vceqq_u32(va, vb));
+    count += vaddvq_u32(vandq_u32(match, vdupq_n_u32(1)));
+
+    const std::uint32_t amax = a[i + 3];
+    const std::uint32_t bmax = b[j + 3];
+    i += amax <= bmax ? 4u : 0u;
+    j += bmax <= amax ? 4u : 0u;
+  }
+
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) ++i;
+    else if (a[i] > b[j]) ++j;
+    else { ++count; ++i; ++j; }
+  }
+  return count;
+}
+
+std::uint64_t merge_u16_neon(const std::uint16_t* a, std::size_t na,
+                             const std::uint16_t* b, std::size_t nb) {
+  std::uint64_t count = 0;
+  std::size_t i = 0, j = 0;
+
+  while (i + 8 <= na && j + 8 <= nb) {
+    const uint16x8_t va = vld1q_u16(a + i);
+    uint16x8_t vb = vld1q_u16(b + j);
+    uint16x8_t match = vdupq_n_u16(0);
+    match = vorrq_u16(match, vceqq_u16(va, vb));
+    vb = vextq_u16(vb, vb, 1);
+    match = vorrq_u16(match, vceqq_u16(va, vb));
+    vb = vextq_u16(vb, vb, 1);
+    match = vorrq_u16(match, vceqq_u16(va, vb));
+    vb = vextq_u16(vb, vb, 1);
+    match = vorrq_u16(match, vceqq_u16(va, vb));
+    vb = vextq_u16(vb, vb, 1);
+    match = vorrq_u16(match, vceqq_u16(va, vb));
+    vb = vextq_u16(vb, vb, 1);
+    match = vorrq_u16(match, vceqq_u16(va, vb));
+    vb = vextq_u16(vb, vb, 1);
+    match = vorrq_u16(match, vceqq_u16(va, vb));
+    vb = vextq_u16(vb, vb, 1);
+    match = vorrq_u16(match, vceqq_u16(va, vb));
+    count += vaddvq_u16(vandq_u16(match, vdupq_n_u16(1)));
+
+    const std::uint16_t amax = a[i + 7];
+    const std::uint16_t bmax = b[j + 7];
+    i += amax <= bmax ? 8u : 0u;
+    j += bmax <= amax ? 8u : 0u;
+  }
+
+  while (i < na && j < nb) {
+    if (a[i] < b[j]) ++i;
+    else if (a[i] > b[j]) ++j;
+    else { ++count; ++i; ++j; }
+  }
+  return count;
+}
+
+std::uint64_t and_popcount_neon(const std::uint64_t* a, const std::uint64_t* b,
+                                std::size_t words) {
+  std::uint64_t total = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= words; i += 2) {
+    const uint64x2_t va = vld1q_u64(a + i);
+    const uint64x2_t vb = vld1q_u64(b + i);
+    const uint8x16_t bytes =
+        vcntq_u8(vreinterpretq_u8_u64(vandq_u64(va, vb)));
+    total += vaddvq_u8(bytes);
+  }
+  for (; i < words; ++i)
+    total += static_cast<std::uint64_t>(__builtin_popcountll(a[i] & b[i]));
+  return total;
+}
+
+std::uint64_t popcount_neon(const std::uint64_t* words, std::size_t count) {
+  std::uint64_t total = 0;
+  std::size_t i = 0;
+  for (; i + 2 <= count; i += 2)
+    total += vaddvq_u8(vcntq_u8(vreinterpretq_u8_u64(vld1q_u64(words + i))));
+  for (; i < count; ++i)
+    total += static_cast<std::uint64_t>(__builtin_popcountll(words[i]));
+  return total;
+}
+
+}  // namespace
+
+const KernelTable* neon_kernel_table() noexcept {
+  static const KernelTable table = [] {
+    KernelTable t = scalar_kernel_table();
+    t.isa = Isa::kNeon;
+    t.merge_u32 = &merge_u32_neon;
+    t.merge_u16 = &merge_u16_neon;
+    t.and_popcount = &and_popcount_neon;
+    t.popcount = &popcount_neon;
+    return t;
+  }();
+  return &table;
+}
+
+#else  // !LOTUS_KERNELS_NEON
+
+const KernelTable* neon_kernel_table() noexcept { return nullptr; }
+
+#endif
+
+}  // namespace lotus::kernels::detail

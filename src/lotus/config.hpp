@@ -28,6 +28,20 @@ struct LotusConfig {
   /// two passes. The paper argues (and Fig. 4 confirms) split is better.
   bool fuse_hnn_nnn = false;
 
+  /// Route the counting phases through the runtime-dispatched SIMD kernel
+  /// layer (src/kernels, docs/KERNELS.md): word-level H2H row popcounts,
+  /// 16-bit vectorized merge for HNN, and the sparse-vs-dense hybrid for
+  /// NNN. false pins the probe-templated scalar reference kernels;
+  /// instrumented (probed) runs use those regardless of this flag. The
+  /// effective ISA tier additionally honours LOTUS_ISA (kernels/isa.hpp).
+  bool vectorize = true;
+
+  /// Degree at or above which the hybrid kernels switch a vertex from merge
+  /// intersection to the dense-bitmap set/probe/clear strategy (the
+  /// GraphChallenge-style vertex-range split). 0 disables the bitmap side
+  /// (pure vectorized merge). Only meaningful with `vectorize`.
+  std::uint32_t hybrid_degree_threshold = 64;
+
   /// Resolve the hub count for a graph with `num_vertices` vertices.
   /// Auto rule: 1% of vertices (the hub definition of Table 1), clamped to
   /// [16, min(2^16, V/2)] so scaled-down graphs keep a meaningful hub set

@@ -12,11 +12,14 @@
 #include <vector>
 
 #include "baselines/intersect.hpp"
+#include "kernels/hybrid.hpp"
+#include "kernels/intersect.hpp"
 #include "lotus/lotus_graph.hpp"
 #include "lotus/tiling.hpp"
 #include "obs/counters.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
+#include "util/memory_budget.hpp"
 
 namespace lotus::core {
 
@@ -46,6 +49,16 @@ std::vector<std::vector<HubTile>> build_hub_tasks(const LotusGraph& lg,
 /// Phase 1 — HHH + HHN (Alg. 3 lines 2-6). Iterates all pairs of hub
 /// neighbours of every vertex and tests connectivity in the H2H bit array.
 /// `busy_s_out`, if non-null, receives per-thread busy seconds (Table 9).
+///
+/// With `config.vectorize` and no probe attached, dense tiles take the
+/// word-level popcount path instead of per-bit probing: the tile's hub
+/// prefix is materialized as a per-thread bitmap over hub-ID space (≤ 8 KiB)
+/// and every row of the H2H triangle is ANDed against it 64 bits at a time
+/// (kernels/dispatch.hpp, and_window_popcount). A per-tile cost model picks
+/// whichever side is cheaper, so sparse tiles — where the row scan would
+/// read mostly zero words — keep the scalar bit probes. The obs counter
+/// kBitarrayProbes keeps counting *logical* (h1, h2) membership tests under
+/// both paths, so the Table 8 probe totals stay comparable.
 template <typename Probe = baselines::NullProbe>
 HubPhaseCounts count_hhh_hhn(const LotusGraph& lg, const LotusConfig& config,
                              TilingPolicy policy = TilingPolicy::kSquared,
@@ -57,30 +70,74 @@ HubPhaseCounts count_hhh_hhn(const LotusGraph& lg, const LotusConfig& config,
   parallel::ThreadPool& pool = parallel::default_pool();
   auto tasks = build_hub_tasks(lg, config, policy, pool.size());
 
+  const kernels::KernelTable& kernel_table = kernels::kernel_table();
+  const std::uint64_t mask_words = (static_cast<std::uint64_t>(lg.hub_count()) + 63) / 64;
+  std::vector<std::vector<std::uint64_t>> masks(pool.size());
+
   std::vector<parallel::Padded<HubPhaseCounts>> partial(pool.size());
   std::vector<parallel::WorkStealingScheduler::Task> jobs;
   jobs.reserve(tasks.size());
   for (auto& task : tasks) {
     jobs.emplace_back([&, segments = std::move(task)](unsigned thread_index) {
       HubPhaseCounts local;
-      std::uint64_t probes = 0;  // H2H test_bit calls; dead when LOTUS_OBS=0
+      std::uint64_t probes = 0;  // logical H2H tests; dead when LOTUS_OBS=0
       for (const HubTile& tile : segments) {
         auto list = he.neighbors(tile.v);
         probes += pair_work(tile.begin, tile.end);
         std::uint64_t found = 0;
-        for (std::uint32_t a = tile.begin; a < tile.end; ++a) {
-          const std::uint16_t h1 = list[a];
-          probe.read(&list[a], sizeof(std::uint16_t));
-          const std::uint64_t base = TriangularBitArray::row_base(h1);
-          for (std::uint32_t b = 0; b < a; ++b) {
-            const std::uint16_t h2 = list[b];
-            probe.read(&list[b], sizeof(std::uint16_t));
-            const std::uint64_t bit = base + h2;
-            probe.read(h2h.word_address(bit), sizeof(std::uint64_t));
-            probe.op();
-            const bool hit = h2h.test_bit(bit);
-            probe.branch(4, hit);
-            found += hit ? 1u : 0u;
+        bool counted = false;
+        if constexpr (std::is_same_v<Probe, baselines::NullProbe>) {
+          if (config.vectorize && tile.end >= 2) {
+            // Model: scalar pays ~1 op per enumerated pair; the popcount
+            // path pays ~1 op per row window word plus the bitmap
+            // build/clear. Engage on a modeled ≥2× win.
+            const std::uint64_t pair_cost = pair_work(tile.begin, tile.end);
+            const std::uint64_t row_words =
+                (static_cast<std::uint64_t>(list[tile.end - 1]) >> 6) + 1;
+            const std::uint64_t word_cost =
+                2 * tile.end + (tile.end - tile.begin) * row_words;
+            if (word_cost * 2 < pair_cost) {
+              std::vector<std::uint64_t>& mask = masks[thread_index];
+              if (mask.empty()) mask.assign(mask_words, 0);
+              for (std::uint32_t b = 0; b < tile.begin; ++b)
+                mask[list[b] >> 6] |= 1ULL << (list[b] & 63);
+              for (std::uint32_t a = tile.begin; a < tile.end; ++a) {
+                const std::uint16_t h1 = list[a];
+                if (a > 0) {
+                  // Members list[0..a) all precede h1, so the mask's live
+                  // words end at list[a-1]'s word.
+                  const std::size_t live_words =
+                      (static_cast<std::size_t>(list[a - 1]) >> 6) + 1;
+                  found += kernel_table.and_window_popcount(
+                      h2h.words().data(), h2h.words().size(),
+                      TriangularBitArray::row_base(h1), mask.data(),
+                      live_words);
+                }
+                mask[h1 >> 6] |= 1ULL << (h1 & 63);
+              }
+              // All set bits are members of list[0..end); zeroing each
+              // member's word restores the all-zero invariant.
+              for (std::uint32_t b = 0; b < tile.end; ++b)
+                mask[list[b] >> 6] = 0;
+              counted = true;
+            }
+          }
+        }
+        if (!counted) {
+          for (std::uint32_t a = tile.begin; a < tile.end; ++a) {
+            const std::uint16_t h1 = list[a];
+            probe.read(&list[a], sizeof(std::uint16_t));
+            const std::uint64_t base = TriangularBitArray::row_base(h1);
+            for (std::uint32_t b = 0; b < a; ++b) {
+              const std::uint16_t h2 = list[b];
+              probe.read(&list[b], sizeof(std::uint16_t));
+              const std::uint64_t bit = base + h2;
+              probe.read(h2h.word_address(bit), sizeof(std::uint64_t));
+              probe.op();
+              const bool hit = h2h.test_bit(bit);
+              probe.branch(4, hit);
+              found += hit ? 1u : 0u;
+            }
           }
         }
         (lg.is_hub(tile.v) ? local.hhh : local.hhn) += found;
@@ -104,10 +161,13 @@ HubPhaseCounts count_hhh_hhn(const LotusGraph& lg, const LotusConfig& config,
 }
 
 /// Phase 2 — HNN (Alg. 3 lines 7-9): for each non-hub edge (v, u), count the
-/// common hub neighbours of v and u in the compact 16-bit HE lists.
+/// common hub neighbours of v and u in the compact 16-bit HE lists — via the
+/// dispatched 16-bit vectorized merge when `vectorize` and no probe is
+/// attached, the probe-templated scalar mirror otherwise.
 template <typename Probe = baselines::NullProbe>
 std::uint64_t count_hnn(const LotusGraph& lg,
-                        Probe& probe = baselines::null_probe) {
+                        Probe& probe = baselines::null_probe,
+                        bool vectorize = true) {
   const graph::Csr16& he = lg.he();
   const graph::CsrGraph& nhe = lg.nhe();
   return parallel::parallel_reduce_add<std::uint64_t>(
@@ -117,8 +177,8 @@ std::uint64_t count_hnn(const LotusGraph& lg,
         std::uint64_t local = 0;
         for (graph::VertexId u : nhe.neighbors(v)) {
           probe.read(&u, sizeof(graph::VertexId));
-          local += baselines::intersect_merge<std::uint16_t>(
-              hub_list, he.neighbors(u), probe);
+          local += kernels::intersect<std::uint16_t>(hub_list, he.neighbors(u),
+                                                     probe, vectorize);
         }
         return local;
       });
@@ -126,10 +186,27 @@ std::uint64_t count_hnn(const LotusGraph& lg,
 
 /// Phase 3 — NNN (Alg. 3 lines 10-12): Forward algorithm restricted to the
 /// NHE sub-graph; hub edges are never touched (the pruning of Sec. 3.3).
+/// Uninstrumented vectorized runs go through the sparse-vs-dense hybrid
+/// (kernels/hybrid.hpp). Its dense-bitmap scratch is suppressed — threshold
+/// pushed out of reach — while a memory budget is accounting, so the LOTUS
+/// footprint under a budget stays exactly the accounted topology.
 template <typename Probe = baselines::NullProbe>
 std::uint64_t count_nnn(const LotusGraph& lg,
-                        Probe& probe = baselines::null_probe) {
+                        Probe& probe = baselines::null_probe,
+                        bool vectorize = true,
+                        std::uint32_t hybrid_degree_threshold = 64) {
   const graph::CsrGraph& nhe = lg.nhe();
+  if constexpr (std::is_same_v<Probe, baselines::NullProbe>) {
+    if (vectorize) {
+      const std::uint32_t threshold =
+          util::memory_accounting_active() || hybrid_degree_threshold == 0
+              ? ~std::uint32_t{0}
+              : hybrid_degree_threshold;
+      return kernels::hybrid_forward_count(
+          lg.num_vertices(),
+          [&](std::uint32_t v) { return nhe.neighbors(v); }, threshold);
+    }
+  }
   return parallel::parallel_reduce_add<std::uint64_t>(
       0, lg.num_vertices(), 64, [&](std::uint64_t vi) {
         const auto v = static_cast<graph::VertexId>(vi);
@@ -151,7 +228,8 @@ std::uint64_t count_nnn(const LotusGraph& lg,
 template <typename Probe = baselines::NullProbe>
 std::uint64_t count_hnn_blocked(const LotusGraph& lg,
                                 graph::VertexId block_size,
-                                Probe& probe = baselines::null_probe) {
+                                Probe& probe = baselines::null_probe,
+                                bool vectorize = true) {
   const graph::Csr16& he = lg.he();
   const graph::CsrGraph& nhe = lg.nhe();
   const graph::VertexId n = lg.num_vertices();
@@ -169,8 +247,8 @@ std::uint64_t count_hnn_blocked(const LotusGraph& lg,
           std::uint64_t local = 0;
           for (auto it = first; it != nv.end() && *it < block_end; ++it) {
             probe.read(&*it, sizeof(graph::VertexId));
-            local += baselines::intersect_merge<std::uint16_t>(
-                he.neighbors(v), he.neighbors(*it), probe);
+            local += kernels::intersect<std::uint16_t>(
+                he.neighbors(v), he.neighbors(*it), probe, vectorize);
           }
           return local;
         });
@@ -183,7 +261,8 @@ std::uint64_t count_hnn_blocked(const LotusGraph& lg,
 /// the randomly accessed working set.
 template <typename Probe = baselines::NullProbe>
 std::uint64_t count_hnn_nnn_fused(const LotusGraph& lg,
-                                  Probe& probe = baselines::null_probe) {
+                                  Probe& probe = baselines::null_probe,
+                                  bool vectorize = true) {
   const graph::Csr16& he = lg.he();
   const graph::CsrGraph& nhe = lg.nhe();
   return parallel::parallel_reduce_add<std::uint64_t>(
@@ -194,10 +273,10 @@ std::uint64_t count_hnn_nnn_fused(const LotusGraph& lg,
         std::uint64_t local = 0;
         for (graph::VertexId u : nv) {
           probe.read(&u, sizeof(graph::VertexId));
-          local += baselines::intersect_merge<std::uint16_t>(
-              hub_list, he.neighbors(u), probe);
-          local += baselines::intersect_merge<graph::VertexId>(
-              nv, nhe.neighbors(u), probe);
+          local += kernels::intersect<std::uint16_t>(hub_list, he.neighbors(u),
+                                                     probe, vectorize);
+          local += kernels::intersect<graph::VertexId>(nv, nhe.neighbors(u),
+                                                       probe, vectorize);
         }
         return local;
       });

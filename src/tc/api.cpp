@@ -37,6 +37,7 @@ constexpr AlgorithmName kAlgorithmTable[] = {
     {Algorithm::kForwardSimd, "forward-simd"},
     {Algorithm::kForwardHashed, "forward-hashed"},
     {Algorithm::kForwardBitmap, "forward-bitmap"},
+    {Algorithm::kForwardHybrid, "forward-hybrid"},
     {Algorithm::kEdgeParallel, "gbbs-edgepar"},
     {Algorithm::kEdgeIterator, "ggrind-edgeit"},
     {Algorithm::kNodeIterator, "node-iterator"},
@@ -78,7 +79,8 @@ util::Status interrupt_status(parallel::Interrupt interrupt) {
 bool budget_degradable(Algorithm algorithm) {
   return algorithm == Algorithm::kLotus || algorithm == Algorithm::kAdaptive ||
          algorithm == Algorithm::kForwardHashed ||
-         algorithm == Algorithm::kForwardBitmap;
+         algorithm == Algorithm::kForwardBitmap ||
+         algorithm == Algorithm::kForwardHybrid;
 }
 
 // Debug tripwire behind the legacy entry points' one-run-at-a-time
@@ -133,6 +135,7 @@ RunResult execute_once(Algorithm algorithm, const graph::CsrGraph& graph,
     case Algorithm::kForwardSimd:
     case Algorithm::kForwardHashed:
     case Algorithm::kForwardBitmap:
+    case Algorithm::kForwardHybrid:
     case Algorithm::kEdgeParallel:
     case Algorithm::kEdgeIterator:
     case Algorithm::kNodeIterator:
@@ -144,6 +147,7 @@ RunResult execute_once(Algorithm algorithm, const graph::CsrGraph& graph,
         case Algorithm::kForwardSimd: r = baselines::forward_simd(graph); break;
         case Algorithm::kForwardHashed: r = baselines::forward_hashed(graph); break;
         case Algorithm::kForwardBitmap: r = baselines::forward_bitmap(graph); break;
+        case Algorithm::kForwardHybrid: r = baselines::forward_hybrid(graph); break;
         case Algorithm::kEdgeParallel:
           r = baselines::edge_parallel_forward(graph);
           break;

@@ -60,6 +60,7 @@ enum class Algorithm {
   kForwardSimd,    // Forward + AVX2 block intersection (vectorized class)
   kForwardHashed,  // Schank & Wagner forward-hashed
   kForwardBitmap,  // Latapy new-vertex-listing
+  kForwardHybrid,  // sparse-vs-dense degree split over the kernel layer
   kEdgeParallel,   // GBBS-style edge-parallel Forward
   kEdgeIterator,   // GraphGrind-style edge iterator
   kNodeIterator,   // classical node iterator
@@ -116,7 +117,8 @@ struct QueryOptions {
 
   /// When the budget (or an injected allocation fault) vetoes a
   /// memory-hungry algorithm (lotus, adaptive, forward-hashed,
-  /// forward-bitmap), retry once with the scratch-free gap-forward merge
+  /// forward-bitmap, forward-hybrid), retry once with the scratch-free
+  /// gap-forward merge
   /// kernel instead of failing. The switch is recorded in
   /// QueryResult::degradations. false = fail with kOutOfMemory.
   bool allow_degradation = true;

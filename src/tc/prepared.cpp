@@ -20,6 +20,7 @@ ArtifactKind artifact_kind(Algorithm algorithm) {
     case Algorithm::kForwardSimd:
     case Algorithm::kForwardHashed:
     case Algorithm::kForwardBitmap:
+    case Algorithm::kForwardHybrid:
     case Algorithm::kEdgeParallel:
     case Algorithm::kBlocked:
       return ArtifactKind::kOriented;
@@ -134,6 +135,10 @@ RunResult run_prepared_kernel(Algorithm algorithm,
       return forward_count(&baselines::forward_hashed_prepared);
     case Algorithm::kForwardBitmap:
       return forward_count(&baselines::forward_bitmap_prepared);
+    case Algorithm::kForwardHybrid:
+      return forward_count([](const graph::OrientedCsr& o) {
+        return baselines::forward_hybrid_prepared(o);
+      });
     case Algorithm::kEdgeParallel:
       return forward_count(&baselines::edge_parallel_forward_prepared);
     case Algorithm::kBlocked: {

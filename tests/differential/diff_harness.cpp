@@ -12,6 +12,7 @@
 #include "baselines/matrix_tc.hpp"
 #include "baselines/tc_baselines.hpp"
 #include "graph/builder.hpp"
+#include "graph/degree_order.hpp"
 #include "graph/generators.hpp"
 #include "lotus/count.hpp"
 #include "lotus/kclique.hpp"
@@ -207,6 +208,14 @@ std::vector<DiffPath> differential_paths() {
          return lotus_phases(graph, config, core::TilingPolicy::kSquared, true);
        }});
   paths.push_back({"lotus_streaming_replay", streaming_replay});
+  // Scalar reference path of the kernel layer: the dispatched SIMD kernels
+  // disabled, probe-templated scalar mirrors everywhere.
+  paths.push_back({"lotus_scalar_kernels", [](const auto& graph,
+                                              const auto& config) {
+                     auto scalar = config;
+                     scalar.vectorize = false;
+                     return core::count_triangles(graph, scalar).triangles;
+                   }});
 
   // --- Forward over every intersection kernel.
   paths.push_back({"forward_merge", [](const auto& graph, const auto&) {
@@ -223,6 +232,14 @@ std::vector<DiffPath> differential_paths() {
                    }});
   paths.push_back({"forward_simd", [](const auto& graph, const auto&) {
                      return baselines::forward_simd(graph).triangles;
+                   }});
+  paths.push_back({"forward_hybrid", [](const auto& graph, const auto&) {
+                     return baselines::forward_hybrid(graph).triangles;
+                   }});
+  paths.push_back({"forward_hybrid_all_dense", [](const auto& graph,
+                                                  const auto&) {
+                     const auto oriented = g::degree_ordered_oriented(graph);
+                     return baselines::forward_hybrid_prepared(oriented, 2);
                    }});
   paths.push_back({"forward_merge_branchless",
                    [](const auto& graph, const auto&) {
