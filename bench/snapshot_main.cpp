@@ -22,6 +22,7 @@
 // to damp scheduler noise.
 #include <cmath>
 #include <ctime>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -33,6 +34,8 @@
 #include <set>
 
 #include "bench/common.hpp"
+#include "graph/io.hpp"
+#include "graph/oocore.hpp"
 #include "kernels/dispatch.hpp"
 #include "kernels/isa.hpp"
 #include "obs/json.hpp"
@@ -172,6 +175,124 @@ void engine_metrics(JsonValue& metrics, const std::string& name,
                          ? cold_preprocess_s / stats.preprocess_s_total
                          : 0.0,
                      "x", "higher"));
+}
+
+/// oocore: the out-of-core pipeline (docs/OUT_OF_CORE.md) against its
+/// in-memory equivalents, on an artifact staged in the temp directory.
+/// Emits (a) cold-start time-to-first-count of the mmap path relative to the
+/// heap loader (neutral: mmap trades load time for page faults during the
+/// count), (b) external-build throughput from a text edge list, and (c) the
+/// engine spill tier's deterministic remap rate plus how much cheaper a
+/// remap is than the build it replaces.
+void oocore_metrics(JsonValue& metrics, const std::string& name,
+                    const lotus::graph::CsrGraph& graph,
+                    const lotus::core::LotusConfig& config, int repeat) {
+  namespace fs = std::filesystem;
+  namespace oo = lotus::graph::oocore;
+  const fs::path dir = fs::temp_directory_path() / "lotus_bench_oocore";
+  fs::create_directories(dir);
+  const std::string csx = (dir / (name + ".bin")).string();
+  lotus::graph::write_csr_binary(csx, graph);
+
+  // Cold start: disk artifact -> one forward-merge count, best-of-N.
+  double heap_s = 0.0;
+  double mmap_s = 0.0;
+  std::uint64_t heap_triangles = 0;
+  std::uint64_t mmap_triangles = 1;
+  for (int i = 0; i < repeat; ++i) {
+    {
+      lotus::util::Timer timer;
+      auto loaded = oo::read_csr_binary_parallel_s(csx);
+      if (!loaded.ok()) throw std::runtime_error(loaded.status().message());
+      heap_triangles = lotus::bench::count(lotus::tc::Algorithm::kForwardMerge,
+                                           loaded.value(), config)
+                           .triangles;
+      const double s = timer.elapsed_s();
+      if (i == 0 || s < heap_s) heap_s = s;
+    }
+    {
+      lotus::util::Timer timer;
+      auto mapped = oo::read_csr_mapped_s(csx);
+      if (!mapped.ok()) throw std::runtime_error(mapped.status().message());
+      mmap_triangles = lotus::bench::count(lotus::tc::Algorithm::kForwardMerge,
+                                           mapped.value(), config)
+                           .triangles;
+      const double s = timer.elapsed_s();
+      if (i == 0 || s < mmap_s) mmap_s = s;
+    }
+  }
+  if (heap_triangles != mmap_triangles)
+    throw std::runtime_error("oocore mmap count mismatch on " + name);
+  metrics.set("oocore." + name + ".cold_start_speedup",
+              metric(mmap_s > 0.0 ? heap_s / mmap_s : 0.0, "x", "none"));
+
+  // External build: text edge list -> symmetric CSX under the default sort
+  // budget, reported as undirected input edges per second.
+  const std::string el = (dir / (name + ".el")).string();
+  {
+    lotus::graph::EdgeList edges;
+    edges.num_vertices = graph.num_vertices();
+    for (lotus::graph::VertexId u = 0; u < graph.num_vertices(); ++u)
+      for (const lotus::graph::VertexId v : graph.neighbors(u))
+        if (u < v) edges.edges.push_back({u, v});
+    lotus::graph::write_edge_list_text(el, edges);
+  }
+  double build_s = 0.0;
+  for (int i = 0; i < repeat; ++i) {
+    lotus::util::Timer timer;
+    const auto rebuilt = oo::build_undirected_external_s(el);
+    if (!rebuilt.ok()) throw std::runtime_error(rebuilt.status().message());
+    const double s = timer.elapsed_s();
+    if (i == 0 || s < build_s) build_s = s;
+  }
+  metrics.set("oocore." + name + ".external_build_edges_per_s",
+              metric(lotus::tc::edges_per_s(graph.num_edges() / 2, build_s),
+                     "edges/s", "higher"));
+
+  // Spill tier: a 1-byte cache budget makes every artifact oversized, so the
+  // pinned mix {lotus, forward} x3 deterministically builds twice, spills
+  // twice, remaps twice, then hits the (zero-charge) remapped entries twice.
+  {
+    lotus::tc::EngineOptions engine_options;
+    engine_options.num_drivers = 1;
+    engine_options.cache_budget_bytes = 1;
+    engine_options.spill_dir = dir.string();
+    lotus::tc::Engine engine(engine_options);
+    lotus::tc::QueryOptions options;
+    options.config = config;
+    double build_preprocess_s = 0.0;
+    double remap_preprocess_s = 0.0;
+    int round = 0;
+    for (const auto algorithm :
+         {lotus::tc::Algorithm::kLotus, lotus::tc::Algorithm::kForwardMerge,
+          lotus::tc::Algorithm::kLotus, lotus::tc::Algorithm::kForwardMerge,
+          lotus::tc::Algorithm::kLotus, lotus::tc::Algorithm::kForwardMerge}) {
+      auto r = engine.query({algorithm, "oocore:" + name, &graph, options});
+      if (!r.ok()) throw std::runtime_error(r.status().message());
+      if (!r.value().ok()) throw std::runtime_error(r.value().status.message());
+      if (r.value().result.triangles != heap_triangles)
+        throw std::runtime_error("oocore engine count mismatch on " + name);
+      if (round < 2)
+        build_preprocess_s += r.value().result.preprocess_s;
+      else if (round < 4)
+        remap_preprocess_s += r.value().result.preprocess_s;
+      ++round;
+    }
+    const auto stats = engine.stats();
+    const double lookups =
+        static_cast<double>(stats.cache_misses + stats.cache_remaps);
+    metrics.set("oocore." + name + ".spill_remap_rate",
+                metric(lookups > 0.0
+                           ? static_cast<double>(stats.cache_remaps) / lookups
+                           : 0.0,
+                       "fraction", "none"));
+    metrics.set("oocore." + name + ".remap_speedup",
+                metric(remap_preprocess_s > 0.0
+                           ? build_preprocess_s / remap_preprocess_s
+                           : 0.0,
+                       "x", "higher"));
+  }
+  fs::remove_all(dir);
 }
 
 // Defeats dead-code elimination of the timed kernel loops; function-pointer
@@ -340,6 +461,9 @@ JsonValue run_suite(const Suite& suite, const std::string& suite_name,
 
     // engine: cache-hit rate + warm-over-cold speedup of the serving layer.
     engine_metrics(metrics, name, graph, config);
+
+    // oocore: mmap cold start, external build rate, spill/remap behaviour.
+    oocore_metrics(metrics, name, graph, config, suite.repeat);
   }
 
   JsonValue root;

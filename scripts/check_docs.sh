@@ -8,7 +8,9 @@
 #      KERNEL-INVENTORY block) must be documented in docs/KERNELS.md;
 #   4. prose docs must not reference the deprecated legacy entry points
 #      (tc::run, run_with_status, run_profiled*) — docs/API.md is exempt
-#      because it documents the migration away from them.
+#      because it documents the migration away from them;
+#   5. every out-of-core knob (src/graph/oocore.hpp, LOTUS-KNOB-INVENTORY
+#      block) must be documented in docs/OUT_OF_CORE.md.
 set -u
 cd "$(dirname "$0")/.."
 
@@ -76,6 +78,23 @@ for md in README.md DESIGN.md docs/*.md; do
   if [ -n "$hits" ]; then
     echo "check_docs: $md references a deprecated legacy entry point:" >&2
     echo "$hits" | sed 's/^/  /' >&2
+    status=1
+  fi
+done
+
+# --- 5. out-of-core knob inventory vs docs/OUT_OF_CORE.md -------------------
+# The loader/builder option structs name their knobs as `/// name:` doc lines
+# between LOTUS-KNOB-INVENTORY markers; each must appear (backtick-quoted) in
+# the out-of-core guide.
+knobs=$(sed -n '/LOTUS-KNOB-INVENTORY-BEGIN/,/LOTUS-KNOB-INVENTORY-END/p' \
+          src/graph/oocore.hpp | sed -n 's|^ */// \([a-z_][a-z0-9_]*\):.*|\1|p')
+if [ -z "$knobs" ]; then
+  echo "check_docs: no knob inventory found in src/graph/oocore.hpp" >&2
+  status=1
+fi
+for knob in $knobs; do
+  if ! grep -q "\`$knob\`" docs/OUT_OF_CORE.md 2>/dev/null; then
+    echo "check_docs: knob '$knob' (src/graph/oocore.hpp) is not documented in docs/OUT_OF_CORE.md" >&2
     status=1
   fi
 done

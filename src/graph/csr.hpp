@@ -3,6 +3,12 @@
 // The neighbour type is a template parameter because LOTUS stores the hub
 // sub-graph (HE) with 16-bit neighbour IDs and the non-hub sub-graph (NHE)
 // with 32-bit IDs (Sec. 4.2); baselines use 32-bit throughout.
+//
+// Arrays are util::ConstArray, so a Csr either owns its offset/neighbour
+// vectors (the common, heap-resident case) or views them inside an mmap'ed
+// artifact file (the out-of-core case, docs/OUT_OF_CORE.md) — kernels and
+// accessors are identical either way. owned_bytes() reports only the heap
+// side, which is what memory budgets charge for a mapped graph.
 #pragma once
 
 #include <cassert>
@@ -11,6 +17,7 @@
 #include <vector>
 
 #include "graph/types.hpp"
+#include "util/array_ref.hpp"
 
 namespace lotus::graph {
 
@@ -19,9 +26,16 @@ class Csr {
  public:
   using neighbor_type = NeighborT;
 
-  Csr() : offsets_(1, 0) {}
+  Csr() : offsets_(std::vector<std::uint64_t>(1, 0)) {}
 
   Csr(std::vector<std::uint64_t> offsets, std::vector<NeighborT> neighbors)
+      : Csr(util::ConstArray<std::uint64_t>(std::move(offsets)),
+            util::ConstArray<NeighborT>(std::move(neighbors))) {}
+
+  /// Owned-or-view construction; the view form is how mmap-backed loaders
+  /// (graph/oocore.hpp, lotus/serialize.hpp) hand out graphs without copying.
+  Csr(util::ConstArray<std::uint64_t> offsets,
+      util::ConstArray<NeighborT> neighbors)
       : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {
     assert(!offsets_.empty());
     assert(offsets_.front() == 0);
@@ -47,10 +61,10 @@ class Csr {
 
   [[nodiscard]] std::uint64_t offset(VertexId v) const noexcept { return offsets_[v]; }
 
-  [[nodiscard]] const std::vector<std::uint64_t>& offsets() const noexcept {
+  [[nodiscard]] const util::ConstArray<std::uint64_t>& offsets() const noexcept {
     return offsets_;
   }
-  [[nodiscard]] const std::vector<NeighborT>& neighbor_array() const noexcept {
+  [[nodiscard]] const util::ConstArray<NeighborT>& neighbor_array() const noexcept {
     return neighbors_;
   }
 
@@ -58,6 +72,18 @@ class Csr {
   [[nodiscard]] std::uint64_t topology_bytes() const noexcept {
     return offsets_.size() * sizeof(std::uint64_t) +
            neighbors_.size() * sizeof(NeighborT);
+  }
+
+  /// Heap bytes this graph pins (≈0 when fully mmap-backed) — what a memory
+  /// budget or the engine cache should charge.
+  [[nodiscard]] std::uint64_t owned_bytes() const noexcept {
+    return offsets_.owned_bytes() + neighbors_.owned_bytes();
+  }
+
+  /// True when at least one array views an external mapping instead of
+  /// owning heap storage.
+  [[nodiscard]] bool mapped() const noexcept {
+    return !offsets_.owns() || !neighbors_.owns();
   }
 
   /// True if every neighbour list is sorted ascending (required by all
@@ -71,11 +97,15 @@ class Csr {
     return true;
   }
 
-  friend bool operator==(const Csr&, const Csr&) = default;
+  /// Element-wise topology equality (mapped and owned graphs compare equal
+  /// when they describe the same adjacency).
+  friend bool operator==(const Csr& a, const Csr& b) {
+    return a.offsets_ == b.offsets_ && a.neighbors_ == b.neighbors_;
+  }
 
  private:
-  std::vector<std::uint64_t> offsets_;   // size = num_vertices + 1
-  std::vector<NeighborT> neighbors_;     // size = num_edges
+  util::ConstArray<std::uint64_t> offsets_;  // size = num_vertices + 1
+  util::ConstArray<NeighborT> neighbors_;    // size = num_edges
 };
 
 /// Symmetric (both directions stored) 32-bit graph — the common input format.

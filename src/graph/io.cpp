@@ -9,7 +9,8 @@
 #include <sstream>
 #include <stdexcept>
 
-#include "util/fault.hpp"
+#include "util/file_io.hpp"
+#include "util/memory_budget.hpp"
 
 namespace lotus::graph {
 
@@ -60,66 +61,10 @@ class File {
   std::FILE* file_ = nullptr;
 };
 
-/// How many times a read may come back short/EINTR before we call the file
-/// truncated. A genuine signal storm retries; a truncated file terminates
-/// because fread keeps returning 0 at EOF.
-constexpr int kMaxReadRetries = 8;
-
-/// Read exactly `bytes` into `dst`, retrying bounded times on EINTR and
-/// short reads. The `read_short`/`read_fail` fault sites deterministically
-/// simulate both conditions (chaos suite).
-Status read_fully(std::FILE* file, void* dst, std::size_t bytes,
-                  const std::string& path) {
-  auto* out = static_cast<unsigned char*>(dst);
-  std::size_t remaining = bytes;
-  int retries = 0;
-  while (remaining > 0) {
-    if (util::fault::should_fail(util::fault::Site::kReadFail))
-      return io_error(path, "read failed (injected I/O error)");
-    std::size_t want = remaining;
-    if (want > 1 && util::fault::should_fail(util::fault::Site::kReadShort))
-      want /= 2;  // deterministic short read; the loop must recover
-    std::clearerr(file);
-    const std::size_t got = std::fread(out, 1, want, file);
-    out += got;
-    remaining -= got;
-    if (remaining == 0) break;
-    if (std::ferror(file) != 0) {
-      if (errno == EINTR && ++retries <= kMaxReadRetries) continue;
-      return io_error(path, std::string("read failed: ") + std::strerror(errno));
-    }
-    if (got == want) {
-      retries = 0;  // the (possibly shortened) request was fully served
-      continue;
-    }
-    if (std::feof(file) != 0)
-      return io_error(path, "truncated: unexpected end of file");
-    // Short read without error or EOF (rare, e.g. signals on some libcs).
-    if (++retries > kMaxReadRetries)
-      return io_error(path, "read stalled (too many short reads)");
-  }
-  return Status::Ok();
-}
-
-/// Write exactly `bytes`, retrying bounded times on EINTR/short writes.
-Status write_fully(std::FILE* file, const void* src, std::size_t bytes,
-                   const std::string& path) {
-  const auto* in = static_cast<const unsigned char*>(src);
-  std::size_t remaining = bytes;
-  int retries = 0;
-  while (remaining > 0) {
-    const std::size_t put = std::fwrite(in, 1, remaining, file);
-    in += put;
-    remaining -= put;
-    if (remaining == 0) break;
-    if (std::ferror(file) != 0 && errno != EINTR)
-      return io_error(path, std::string("write failed: ") + std::strerror(errno));
-    if (++retries > kMaxReadRetries)
-      return io_error(path, "write stalled (too many short writes)");
-    std::clearerr(file);
-  }
-  return Status::Ok();
-}
+// Exact-length transfers with EINTR/short retry and fault injection live in
+// util/file_io.hpp, shared with the LotusGraph and spill serializers.
+using util::fileio::read_fully;
+using util::fileio::write_fully;
 
 }  // namespace
 
@@ -167,24 +112,25 @@ util::Status write_edge_list_text_s(const std::string& path,
 }
 
 util::Status write_csr_binary_s(const std::string& path, const CsrGraph& graph) {
-  File file(path, "wb");
-  if (!file.open())
-    return io_error(path, std::string("cannot open for writing: ") +
-                              std::strerror(errno));
+  // Written to "<path>.tmp.<pid>" and renamed into place after fsync, so a
+  // crash or injected write failure can never leave a torn file at `path`.
+  util::fileio::AtomicFileWriter writer(path);
+  if (!writer.ok()) return writer.open_status();
+  std::FILE* out = writer.file();
+  const std::string& tmp = writer.temp_path();
   const std::uint64_t v = graph.num_vertices();
   const std::uint64_t e = graph.num_edges();
-  Status status = write_fully(file.get(), kMagic.data(), kMagic.size(), path);
-  if (status.ok()) status = write_fully(file.get(), &v, sizeof v, path);
-  if (status.ok()) status = write_fully(file.get(), &e, sizeof e, path);
+  Status status = write_fully(out, kMagic.data(), kMagic.size(), tmp);
+  if (status.ok()) status = write_fully(out, &v, sizeof v, tmp);
+  if (status.ok()) status = write_fully(out, &e, sizeof e, tmp);
   if (status.ok())
-    status = write_fully(file.get(), graph.offsets().data(),
-                         (v + 1) * sizeof(std::uint64_t), path);
+    status = write_fully(out, graph.offsets().data(),
+                         (v + 1) * sizeof(std::uint64_t), tmp);
   if (status.ok())
-    status = write_fully(file.get(), graph.neighbor_array().data(),
-                         e * sizeof(VertexId), path);
-  if (!file.close() && status.ok())
-    status = io_error(path, "close failed (buffered data lost)");
-  return status;
+    status = write_fully(out, graph.neighbor_array().data(),
+                         e * sizeof(VertexId), tmp);
+  if (!status.ok()) return status;  // writer's destructor unlinks the temp file
+  return writer.commit();
 }
 
 Expected<CsrGraph> read_csr_binary_s(const std::string& path) {
@@ -209,10 +155,13 @@ Expected<CsrGraph> read_csr_binary_s(const std::string& path) {
   // Validate the declared (v, e) against the actual file size BEFORE any
   // allocation: a corrupt or hostile header must not be able to demand
   // gigabytes of memory that the file cannot possibly back.
+  // tell64/seek64, not ftell/fseek: `long` is 32 bits on LLP64 and ILP32
+  // platforms, so a >2 GiB graph file would otherwise report a negative or
+  // wrapped size here and be rejected (or worse, mis-validated).
   constexpr std::uint64_t kHeaderBytes = 8 + 2 * sizeof(std::uint64_t);
-  if (std::fseek(in, 0, SEEK_END) != 0)
+  if (util::fileio::seek64(in, 0, SEEK_END) != 0)
     return io_error(path, "cannot determine file size");
-  const long end_pos = std::ftell(in);
+  const std::int64_t end_pos = util::fileio::tell64(in);
   if (end_pos < 0) return io_error(path, "cannot determine file size");
   const auto file_size = static_cast<std::uint64_t>(end_pos);
   if (file_size < kHeaderBytes) return io_error(path, "truncated header");
@@ -227,13 +176,24 @@ Expected<CsrGraph> read_csr_binary_s(const std::string& path) {
     return bad_data(path, "edge count inconsistent with file size");
   if (offset_bytes + e * sizeof(VertexId) != body_bytes)
     return bad_data(path, "file size does not match header");
-  if (std::fseek(in, static_cast<long>(kHeaderBytes), SEEK_SET) != 0)
+  if (util::fileio::seek64(in, static_cast<std::int64_t>(kHeaderBytes),
+                           SEEK_SET) != 0)
     return io_error(path, "seek failed");
 
-  std::vector<std::uint64_t> offsets(v + 1);
+  // The heap-resident load is charged to the installed memory budget (the
+  // mmap path in graph/oocore.hpp pins ~no heap and is the fallback when
+  // this charge is refused).
+  std::vector<std::uint64_t> offsets;
+  std::vector<VertexId> neighbors;
+  try {
+    util::charge_current(offset_bytes + e * sizeof(VertexId), "graph-load");
+    offsets.resize(v + 1);
+    neighbors.resize(e);
+  } catch (...) {
+    return util::status_from_current_exception(StatusCode::kOutOfMemory);
+  }
   status = read_fully(in, offsets.data(), (v + 1) * sizeof(std::uint64_t), path);
   if (!status.ok()) return status;
-  std::vector<VertexId> neighbors(e);
   status = read_fully(in, neighbors.data(), e * sizeof(VertexId), path);
   if (!status.ok()) return status;
   if (offsets.front() != 0 || offsets.back() != e)

@@ -1,0 +1,686 @@
+#include "graph/oocore.hpp"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "graph/io.hpp"
+
+#include "util/fault.hpp"
+#include "util/file_io.hpp"
+#include "util/memory_budget.hpp"
+#include "util/mmap_file.hpp"
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace lotus::graph::oocore {
+
+namespace {
+
+using util::Expected;
+using util::Status;
+using util::StatusCode;
+
+constexpr std::array<char, 8> kMagic = {'L', 'O', 'T', 'U', 'S', 'G', 'R', '1'};
+constexpr std::uint64_t kHeaderBytes = 8 + 2 * sizeof(std::uint64_t);
+
+Status io_error(const std::string& path, const std::string& what) {
+  return {StatusCode::kIoError, path + ": " + what};
+}
+
+Status bad_data(const std::string& path, const std::string& what) {
+  return {StatusCode::kInvalidArgument, path + ": " + what};
+}
+
+/// Shared "LOTUSGR1" header validation: sizes must exactly account for the
+/// file, before any allocation a hostile header could inflate.
+Status check_csx_header(const std::string& path, std::uint64_t v, std::uint64_t e,
+                        std::uint64_t file_size) {
+  if (v > 0xffffffffULL) return bad_data(path, "vertex count exceeds 32 bits");
+  if (file_size < kHeaderBytes) return io_error(path, "truncated header");
+  const std::uint64_t body_bytes = file_size - kHeaderBytes;
+  const std::uint64_t offset_bytes = (v + 1) * sizeof(std::uint64_t);
+  if (offset_bytes > body_bytes)
+    return bad_data(path, "vertex count inconsistent with file size");
+  if (e > (body_bytes - offset_bytes) / sizeof(VertexId))
+    return bad_data(path, "edge count inconsistent with file size");
+  if (offset_bytes + e * sizeof(VertexId) != body_bytes)
+    return bad_data(path, "file size does not match header");
+  return Status::Ok();
+}
+
+Status check_csx_body(const std::string& path,
+                      const util::ConstArray<std::uint64_t>& offsets,
+                      const util::ConstArray<VertexId>& neighbors) {
+  const std::uint64_t v = offsets.size() - 1;
+  if (offsets.front() != 0 || offsets.back() != neighbors.size())
+    return bad_data(path, "corrupt offsets");
+  for (std::size_t i = 1; i < offsets.size(); ++i)
+    if (offsets[i] < offsets[i - 1]) return bad_data(path, "corrupt offsets");
+  for (VertexId u : neighbors)
+    if (u >= v) return bad_data(path, "neighbour ID out of range");
+  return Status::Ok();
+}
+
+}  // namespace
+
+util::Expected<CsrGraph> read_csr_mapped_at_s(
+    const std::shared_ptr<util::MappedFile>& file, std::uint64_t base,
+    std::uint64_t size, bool validate) {
+  const std::string& path = file->path();
+  if (base % 8 != 0) return bad_data(path, "image offset is not 8-aligned");
+  if (base > file->size() || size > file->size() - base)
+    return bad_data(path, "image extends past end of file");
+  if (size < kHeaderBytes) return io_error(path, "truncated header");
+  const std::byte* image = file->data() + base;
+  if (std::memcmp(image, kMagic.data(), kMagic.size()) != 0)
+    return bad_data(path, "not a lotus binary graph (bad magic)");
+  std::uint64_t v = 0, e = 0;
+  std::memcpy(&v, image + 8, sizeof v);
+  std::memcpy(&e, image + 16, sizeof e);
+  Status status = check_csx_header(path, v, e, size);
+  if (!status.ok()) return status;
+
+  // The validation scan below and the counting kernels both walk the body
+  // in ascending order (the squared edge tiling visits vertex ranges
+  // low-to-high), so ask for aggressive readahead.
+  file->advise(util::MappedFile::Advice::kSequential, base, size);
+
+  // Header is 24 bytes, so offsets start 8-aligned and neighbours (after
+  // (v+1) u64 entries) 4-aligned — the format needs no padding to be
+  // mappable.
+  util::ConstArray<std::uint64_t> offsets =
+      util::mapped_view<std::uint64_t>(file, base + kHeaderBytes, v + 1);
+  util::ConstArray<VertexId> neighbors = util::mapped_view<VertexId>(
+      file, base + kHeaderBytes + (v + 1) * sizeof(std::uint64_t), e);
+  if (validate) {
+    status = check_csx_body(path, offsets, neighbors);
+    if (!status.ok()) return status;
+  }
+  return CsrGraph(std::move(offsets), std::move(neighbors));
+}
+
+util::Expected<CsrGraph> read_csr_mapped_s(const std::string& path) {
+  Expected<std::shared_ptr<util::MappedFile>> mapped = util::MappedFile::map(path);
+  if (!mapped.ok()) return mapped.status();
+  const std::shared_ptr<util::MappedFile> file = mapped.take();
+  return read_csr_mapped_at_s(file, 0, file->size(), /*validate=*/true);
+}
+
+util::Status write_csx_stream_s(std::FILE* out, const std::string& path,
+                                const CsrGraph& graph) {
+  const std::uint64_t v = graph.num_vertices();
+  const std::uint64_t e = graph.num_edges();
+  Status status = util::fileio::write_fully(out, kMagic.data(), kMagic.size(), path);
+  if (status.ok()) status = util::fileio::write_fully(out, &v, sizeof v, path);
+  if (status.ok()) status = util::fileio::write_fully(out, &e, sizeof e, path);
+  if (status.ok())
+    status = util::fileio::write_fully(out, graph.offsets().data(),
+                                       (v + 1) * sizeof(std::uint64_t), path);
+  if (status.ok())
+    status = util::fileio::write_fully(out, graph.neighbor_array().data(),
+                                       e * sizeof(VertexId), path);
+  return status;
+}
+
+#if defined(_WIN32)
+
+// No pread on Windows; the parallel loader degrades to the sequential
+// heap-resident reader (same result, same validation).
+util::Expected<CsrGraph> read_csr_binary_parallel_s(const std::string& path,
+                                                    const LoaderOptions&) {
+  return read_csr_binary_s(path);
+}
+
+#else
+
+namespace {
+
+/// O_DIRECT alignment unit: covers 512-byte and 4 KiB logical sectors.
+constexpr std::uint64_t kDirectAlign = 4096;
+
+struct FdCloser {
+  int fd = -1;
+  ~FdCloser() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+/// One contiguous file range to fetch into one destination pointer.
+struct Chunk {
+  std::uint64_t file_off;
+  std::uint64_t len;
+  unsigned char* dst;
+};
+
+/// Plain positional read of [off, off+len) into dst, with EINTR retry and
+/// the read_short/read_fail fault sites (mirrors util::fileio::read_fully).
+Status pread_fully(int fd, unsigned char* dst, std::uint64_t len,
+                   std::uint64_t off, const std::string& path) {
+  while (len > 0) {
+    if (util::fault::should_fail(util::fault::Site::kReadFail))
+      return io_error(path, "read failed (injected I/O error)");
+    std::uint64_t want = len;
+    if (want > 1 && util::fault::should_fail(util::fault::Site::kReadShort))
+      want /= 2;
+    const ssize_t got = ::pread(fd, dst, want, static_cast<off_t>(off));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return io_error(path, std::string("read failed: ") + std::strerror(errno));
+    }
+    if (got == 0) return io_error(path, "truncated: unexpected end of file");
+    dst += got;
+    off += static_cast<std::uint64_t>(got);
+    len -= static_cast<std::uint64_t>(got);
+  }
+  return Status::Ok();
+}
+
+/// Fetch one chunk, preferring the O_DIRECT descriptor with an aligned
+/// bounce buffer; anything the direct path cannot serve (refused read,
+/// unaligned tail, EOF remainder) is finished through the plain descriptor.
+Status read_chunk(int plain_fd, int direct_fd, unsigned char* bounce,
+                  std::uint64_t bounce_bytes, const Chunk& chunk,
+                  const std::string& path) {
+  std::uint64_t off = chunk.file_off;
+  std::uint64_t remaining = chunk.len;
+  unsigned char* out = chunk.dst;
+  while (direct_fd >= 0 && bounce != nullptr && remaining > 0) {
+    const std::uint64_t abase = off & ~(kDirectAlign - 1);
+    const std::uint64_t aend =
+        std::min(abase + bounce_bytes,
+                 (off + remaining + kDirectAlign - 1) & ~(kDirectAlign - 1));
+    const ssize_t got = ::pread(direct_fd, bounce, aend - abase,
+                                static_cast<off_t>(abase));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      break;  // EINVAL et al: this filesystem refuses O_DIRECT here — fall back
+    }
+    const std::uint64_t skip = off - abase;
+    if (static_cast<std::uint64_t>(got) <= skip) break;  // EOF tail
+    const std::uint64_t usable =
+        std::min(static_cast<std::uint64_t>(got) - skip, remaining);
+    std::memcpy(out, bounce + skip, usable);
+    out += usable;
+    off += usable;
+    remaining -= usable;
+    if (static_cast<std::uint64_t>(got) < aend - abase) break;  // short: near EOF
+  }
+  if (remaining == 0) return Status::Ok();
+  return pread_fully(plain_fd, out, remaining, off, path);
+}
+
+}  // namespace
+
+util::Expected<CsrGraph> read_csr_binary_parallel_s(const std::string& path,
+                                                    const LoaderOptions& options) {
+  FdCloser plain;
+  plain.fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (plain.fd < 0)
+    return io_error(path,
+                    std::string("cannot open for reading: ") + std::strerror(errno));
+
+  std::array<unsigned char, kHeaderBytes> header{};
+  Status status = pread_fully(plain.fd, header.data(), header.size(), 0, path);
+  if (!status.ok()) return status;
+  if (std::memcmp(header.data(), kMagic.data(), kMagic.size()) != 0)
+    return bad_data(path, "not a lotus binary graph (bad magic)");
+  std::uint64_t v = 0, e = 0;
+  std::memcpy(&v, header.data() + 8, sizeof v);
+  std::memcpy(&e, header.data() + 16, sizeof e);
+  struct stat st {};
+  if (::fstat(plain.fd, &st) != 0)
+    return io_error(path, "cannot determine file size");
+  status = check_csx_header(path, v, e, static_cast<std::uint64_t>(st.st_size));
+  if (!status.ok()) return status;
+
+  const std::uint64_t offset_bytes = (v + 1) * sizeof(std::uint64_t);
+  const std::uint64_t neighbor_bytes = e * sizeof(VertexId);
+  std::vector<std::uint64_t> offsets;
+  std::vector<VertexId> neighbors;
+  try {
+    util::charge_current(offset_bytes + neighbor_bytes, "graph-load");
+    offsets.resize(v + 1);
+    neighbors.resize(e);
+  } catch (...) {
+    return util::status_from_current_exception(StatusCode::kOutOfMemory);
+  }
+
+  // Split the two body sections into chunk work items.
+  const std::uint64_t chunk_bytes = std::max<std::uint64_t>(options.chunk_bytes, 1u << 20);
+  std::vector<Chunk> chunks;
+  const auto add_section = [&](std::uint64_t file_off, std::uint64_t len,
+                               unsigned char* dst) {
+    for (std::uint64_t pos = 0; pos < len; pos += chunk_bytes)
+      chunks.push_back({file_off + pos, std::min(chunk_bytes, len - pos), dst + pos});
+  };
+  add_section(kHeaderBytes, offset_bytes,
+              reinterpret_cast<unsigned char*>(offsets.data()));
+  add_section(kHeaderBytes + offset_bytes, neighbor_bytes,
+              reinterpret_cast<unsigned char*>(neighbors.data()));
+
+  FdCloser direct;
+#if defined(O_DIRECT)
+  if (options.direct_io)
+    direct.fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC | O_DIRECT);
+#endif
+
+  unsigned workers = options.loader_threads != 0
+                         ? options.loader_threads
+                         : std::max(1u, std::thread::hardware_concurrency());
+  workers = static_cast<unsigned>(
+      std::min<std::size_t>(workers, std::max<std::size_t>(chunks.size(), 1)));
+
+  std::atomic<std::size_t> next{0};
+  std::vector<Status> worker_status(workers);
+  const auto worker = [&](unsigned w) {
+    std::unique_ptr<void, decltype(&std::free)> bounce(nullptr, &std::free);
+    std::uint64_t bounce_bytes = 0;
+    if (direct.fd >= 0) {
+      void* mem = nullptr;
+      bounce_bytes = chunk_bytes + 2 * kDirectAlign;
+      if (posix_memalign(&mem, kDirectAlign, bounce_bytes) == 0)
+        bounce.reset(mem);
+      else
+        bounce_bytes = 0;  // no aligned buffer -> plain reads only
+    }
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= chunks.size()) break;
+      Status s = read_chunk(plain.fd, direct.fd,
+                            static_cast<unsigned char*>(bounce.get()),
+                            bounce_bytes, chunks[i], path);
+      if (!s.ok()) {
+        worker_status[w] = std::move(s);
+        break;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  for (unsigned w = 1; w < workers; ++w) {
+    try {
+      threads.emplace_back(worker, w);
+    } catch (const std::system_error&) {
+      break;  // thread limit: the spawned workers + caller absorb the rest
+    }
+  }
+  worker(0);
+  for (std::thread& t : threads) t.join();
+  for (Status& s : worker_status)
+    if (!s.ok()) return std::move(s);
+
+  status = check_csx_body(path, offsets, neighbors);
+  if (!status.ok()) return status;
+  return CsrGraph(std::move(offsets), std::move(neighbors));
+}
+
+#endif  // !defined(_WIN32)
+
+// ---------------------------------------------------------------------------
+// External-memory construction.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Stream the text edge-list format of graph/io.cpp (comments with '#'/'%',
+/// "u v" per line, IDs strictly below 2^32-1), invoking fn(u, v) per edge.
+template <typename Fn>
+Status for_each_edge(const std::string& path, Fn&& fn) {
+  std::ifstream in(path);
+  if (!in) return io_error(path, "cannot open for reading");
+  std::string line;
+  std::uint64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::istringstream ls(line);
+    std::uint64_t u = 0, v = 0;
+    if (!(ls >> u >> v))
+      return bad_data(path, "malformed edge at line " + std::to_string(line_no));
+    if (u >= 0xffffffffULL || v >= 0xffffffffULL)
+      return bad_data(path,
+                      "vertex ID exceeds 32 bits at line " + std::to_string(line_no));
+    Status status = fn(static_cast<VertexId>(u), static_cast<VertexId>(v));
+    if (!status.ok()) return status;
+  }
+  if (in.bad()) return io_error(path, "read failed");
+  return Status::Ok();
+}
+
+/// Coarse source-ID histogram: slot i covers IDs [i·2^16, (i+1)·2^16), which
+/// spans the full 32-bit ID space in 65536 slots (a fixed 512 KiB of scan
+/// state). Bucket boundaries can only fall on slot edges, so one
+/// pathologically hot 2^16-ID range can still exceed the sort budget — the
+/// budget is a target, not a hard guarantee (docs/OUT_OF_CORE.md).
+constexpr unsigned kHistShift = 16;
+constexpr std::size_t kHistSlots = std::size_t{1} << (32 - kHistShift);
+
+struct ScanResult {
+  VertexId num_vertices = 0;
+  std::uint64_t arcs = 0;  // symmetrized, self-loops dropped
+  std::vector<std::uint64_t> hist = std::vector<std::uint64_t>(kHistSlots, 0);
+};
+
+Status scan_edge_list(const std::string& path, ScanResult& out) {
+  VertexId max_id = 0;
+  bool any = false;
+  Status status = for_each_edge(path, [&](VertexId u, VertexId v) {
+    max_id = std::max({max_id, u, v});
+    any = true;
+    if (u != v) {
+      out.hist[u >> kHistShift] += 1;
+      out.hist[v >> kHistShift] += 1;
+      out.arcs += 2;
+    }
+    return Status::Ok();
+  });
+  if (!status.ok()) return status;
+  out.num_vertices = any ? max_id + 1 : 0;
+  return Status::Ok();
+}
+
+/// Greedy boundary placement: each bucket takes whole histogram slots until
+/// it reaches ~budget/8 arcs. boundaries[i] = first source ID of bucket i.
+std::vector<VertexId> bucket_boundaries(const ScanResult& scan,
+                                        std::uint64_t sort_budget_bytes) {
+  const std::uint64_t target_arcs =
+      std::max<std::uint64_t>(sort_budget_bytes / sizeof(Edge), 1);
+  std::vector<VertexId> boundaries = {0};
+  std::uint64_t in_bucket = 0;
+  const std::size_t top_slot =
+      scan.num_vertices == 0
+          ? 0
+          : (static_cast<std::size_t>(scan.num_vertices - 1) >> kHistShift) + 1;
+  for (std::size_t slot = 0; slot < top_slot; ++slot) {
+    if (in_bucket > 0 && in_bucket + scan.hist[slot] > target_arcs) {
+      boundaries.push_back(static_cast<VertexId>(slot << kHistShift));
+      in_bucket = 0;
+    }
+    in_bucket += scan.hist[slot];
+  }
+  return boundaries;
+}
+
+/// The bucket temp files, unlinked on destruction.
+class BucketFiles {
+ public:
+  BucketFiles(std::string dir, std::size_t count) {
+    const std::string prefix =
+        dir + "lotus-oocore-" +
+        std::to_string(static_cast<unsigned long>(
+#if defined(_WIN32)
+            _getpid()
+#else
+            getpid()
+#endif
+                )) +
+        "-";
+    paths_.reserve(count);
+    files_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      paths_.push_back(prefix + std::to_string(i) + ".arcs");
+      files_.push_back(std::fopen(paths_.back().c_str(), "wb"));
+    }
+  }
+
+  ~BucketFiles() {
+    for (std::FILE* f : files_)
+      if (f != nullptr) std::fclose(f);
+    for (const std::string& p : paths_) std::remove(p.c_str());
+  }
+
+  [[nodiscard]] bool all_open() const {
+    for (std::FILE* f : files_)
+      if (f == nullptr) return false;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return files_.size(); }
+  [[nodiscard]] std::FILE* file(std::size_t i) const noexcept { return files_[i]; }
+  [[nodiscard]] const std::string& path(std::size_t i) const noexcept {
+    return paths_[i];
+  }
+
+  /// Flush-close all writers so the files can be reopened for reading.
+  [[nodiscard]] Status close_writers() {
+    for (std::size_t i = 0; i < files_.size(); ++i) {
+      if (files_[i] == nullptr) continue;
+      const int rc = std::fclose(files_[i]);
+      files_[i] = nullptr;
+      if (rc != 0)
+        return io_error(paths_[i], "close failed (buffered data lost)");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  std::vector<std::string> paths_;
+  std::vector<std::FILE*> files_;
+};
+
+std::string temp_dir_for(const ExternalBuildOptions& options,
+                         const std::string& input_path) {
+  if (!options.temp_dir.empty()) {
+    std::string dir = options.temp_dir;
+    if (dir.back() != '/') dir += '/';
+    return dir;
+  }
+  const std::size_t slash = input_path.find_last_of('/');
+  return slash == std::string::npos ? std::string()
+                                    : input_path.substr(0, slash + 1);
+}
+
+/// The pipeline core: bucket symmetrized arcs to temp files, then per
+/// bucket (in ascending source-range order) load / sort / dedup within the
+/// sort budget and hand each source's unique, sorted neighbour run to
+/// `emit(u, neighbors, count)` with strictly ascending u. Callers see the
+/// exact arc set build_undirected would produce. `scan` is the caller's
+/// completed pass-1 result for the same file.
+template <typename Emit>
+Status run_external_build(const std::string& path,
+                          const ExternalBuildOptions& options,
+                          const ScanResult& scan, Emit&& emit) {
+  Status status;
+  const std::uint64_t budget_bytes =
+      std::max<std::uint64_t>(options.sort_budget_bytes, 1u << 20);
+
+  const std::vector<VertexId> boundaries = bucket_boundaries(scan, budget_bytes);
+  BucketFiles buckets(temp_dir_for(options, path), boundaries.size());
+  if (!buckets.all_open())
+    return io_error(path, "cannot create bucket temp files");
+  const auto bucket_of = [&](VertexId u) {
+    return static_cast<std::size_t>(
+        std::upper_bound(boundaries.begin(), boundaries.end(), u) -
+        boundaries.begin() - 1);
+  };
+
+  // Pass 2: scatter symmetrized arcs to their source-range bucket.
+  status = for_each_edge(path, [&](VertexId u, VertexId v) {
+    if (u == v) return Status::Ok();
+    const std::array<Edge, 2> arcs = {Edge{u, v}, Edge{v, u}};
+    for (const Edge& a : arcs) {
+      const std::size_t b = bucket_of(a.u);
+      Status s = util::fileio::write_fully(buckets.file(b), &a, sizeof a,
+                                           buckets.path(b));
+      if (!s.ok()) return s;
+    }
+    return Status::Ok();
+  });
+  if (!status.ok()) return status;
+  status = buckets.close_writers();
+  if (!status.ok()) return status;
+
+  // Per bucket: load, sort by (u, v), dedup, emit per-source runs.
+  std::vector<Edge> arcs;
+  for (std::size_t b = 0; b < buckets.count(); ++b) {
+    std::FILE* in = std::fopen(buckets.path(b).c_str(), "rb");
+    if (in == nullptr)
+      return io_error(buckets.path(b), "cannot reopen bucket file");
+    if (util::fileio::seek64(in, 0, SEEK_END) != 0 ||
+        util::fileio::tell64(in) < 0) {
+      std::fclose(in);
+      return io_error(buckets.path(b), "cannot determine bucket size");
+    }
+    const auto bytes = static_cast<std::uint64_t>(util::fileio::tell64(in));
+    if (bytes % sizeof(Edge) != 0) {
+      std::fclose(in);
+      return io_error(buckets.path(b), "bucket file size is not a record multiple");
+    }
+    if (util::fileio::seek64(in, 0, SEEK_SET) != 0) {
+      std::fclose(in);
+      return io_error(buckets.path(b), "seek failed");
+    }
+    util::MemoryBudget* budget = util::current_memory_budget();
+    try {
+      util::charge_current(bytes, "external-sort");
+      arcs.resize(bytes / sizeof(Edge));
+    } catch (...) {
+      std::fclose(in);
+      return util::status_from_current_exception(StatusCode::kOutOfMemory);
+    }
+    status = util::fileio::read_fully(in, arcs.data(), bytes, buckets.path(b));
+    std::fclose(in);
+    if (!status.ok()) return status;
+
+    std::sort(arcs.begin(), arcs.end(), [](const Edge& a, const Edge& c) {
+      return a.u != c.u ? a.u < c.u : a.v < c.v;
+    });
+    std::vector<VertexId> row;
+    for (std::size_t i = 0; i < arcs.size();) {
+      const VertexId u = arcs[i].u;
+      std::size_t j = i;
+      row.clear();
+      for (; j < arcs.size() && arcs[j].u == u; ++j)
+        if (row.empty() || arcs[j].v != row.back()) row.push_back(arcs[j].v);
+      status = emit(u, row.data(), row.size());
+      if (!status.ok()) return status;
+      i = j;
+    }
+    // The bucket scratch is transient; hand the bytes back so the next
+    // bucket (and the caller's result arrays) can use them.
+    if (budget != nullptr) budget->release(bytes);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+util::Expected<CsrGraph> build_undirected_external_s(
+    const std::string& edge_list_path, const ExternalBuildOptions& options) {
+  ScanResult scan;
+  std::vector<std::uint64_t> offsets;
+  std::vector<VertexId> neighbors;
+  VertexId next_row = 0;
+  Status status = scan_edge_list(edge_list_path, scan);
+  if (!status.ok()) return status;
+  try {
+    offsets.assign(1, 0);
+    offsets.reserve(static_cast<std::size_t>(scan.num_vertices) + 1);
+  } catch (...) {
+    return util::status_from_current_exception(StatusCode::kOutOfMemory);
+  }
+
+  status = run_external_build(
+      edge_list_path, options, scan,
+      [&](VertexId u, const VertexId* vs, std::size_t count) -> Status {
+        try {
+          for (; next_row < u; ++next_row) offsets.push_back(neighbors.size());
+          neighbors.insert(neighbors.end(), vs, vs + count);
+          offsets.push_back(neighbors.size());
+          ++next_row;
+          return Status::Ok();
+        } catch (...) {
+          return util::status_from_current_exception(StatusCode::kOutOfMemory);
+        }
+      });
+  if (!status.ok()) return status;
+  try {
+    for (; next_row < scan.num_vertices; ++next_row)
+      offsets.push_back(neighbors.size());
+  } catch (...) {
+    return util::status_from_current_exception(StatusCode::kOutOfMemory);
+  }
+  return CsrGraph(std::move(offsets), std::move(neighbors));
+}
+
+util::Status build_csx_file_external_s(const std::string& edge_list_path,
+                                       const std::string& out_path,
+                                       const ExternalBuildOptions& options) {
+  ScanResult scan;
+  Status status = scan_edge_list(edge_list_path, scan);
+  if (!status.ok()) return status;
+  const std::uint64_t n = scan.num_vertices;
+
+  util::fileio::AtomicFileWriter writer(out_path);
+  if (!writer.ok()) return writer.open_status();
+  std::FILE* out = writer.file();
+  const std::string& tmp = writer.temp_path();
+
+  // Degrees are the only per-vertex state held in memory: (n+1) u64. The
+  // charge is transient — released on every exit path, since nothing of it
+  // escapes to the caller.
+  std::vector<std::uint64_t> offsets;
+  const std::uint64_t offsets_bytes = (n + 1) * sizeof(std::uint64_t);
+  try {
+    util::charge_current(offsets_bytes, "external-sort");
+    offsets.assign(n + 1, 0);
+  } catch (...) {
+    return util::status_from_current_exception(StatusCode::kOutOfMemory);
+  }
+  struct Release {
+    util::MemoryBudget* budget;
+    std::uint64_t bytes;
+    ~Release() {
+      if (budget != nullptr) budget->release(bytes);
+    }
+  } release{util::current_memory_budget(), offsets_bytes};
+
+  // Neighbours stream to their final location; the header + offset section
+  // is back-filled once all degrees are known. Writing past the current end
+  // leaves a hole that the back-fill plugs before commit.
+  const std::uint64_t neighbors_start =
+      kHeaderBytes + (n + 1) * sizeof(std::uint64_t);
+  if (util::fileio::seek64(out, static_cast<std::int64_t>(neighbors_start),
+                           SEEK_SET) != 0)
+    return io_error(tmp, "seek failed");
+
+  std::uint64_t total_edges = 0;
+  status = run_external_build(
+      edge_list_path, options, scan,
+      [&](VertexId u, const VertexId* vs, std::size_t count) -> Status {
+        offsets[u + 1] = count;
+        total_edges += count;
+        return util::fileio::write_fully(out, vs, count * sizeof(VertexId), tmp);
+      });
+  if (!status.ok()) return status;
+
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+  if (util::fileio::seek64(out, 0, SEEK_SET) != 0)
+    return io_error(tmp, "seek failed");
+  status = util::fileio::write_fully(out, kMagic.data(), kMagic.size(), tmp);
+  if (status.ok()) status = util::fileio::write_fully(out, &n, sizeof n, tmp);
+  if (status.ok())
+    status = util::fileio::write_fully(out, &total_edges, sizeof total_edges, tmp);
+  if (status.ok())
+    status = util::fileio::write_fully(out, offsets.data(),
+                                       offsets.size() * sizeof(std::uint64_t), tmp);
+  if (!status.ok()) return status;
+  return writer.commit();
+}
+
+}  // namespace lotus::graph::oocore

@@ -8,11 +8,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <stdexcept>
 #include <vector>
 
 #include "graph/types.hpp"
+#include "util/array_ref.hpp"
 
 namespace lotus::core {
 
@@ -23,20 +25,29 @@ class TriangularBitArray {
   explicit TriangularBitArray(graph::VertexId hub_count)
       : hub_count_(hub_count),
         num_bits_(static_cast<std::uint64_t>(hub_count) * (hub_count - 1) / 2),
-        words_((num_bits_ + 63) / 64, 0) {}
+        words_(std::vector<std::uint64_t>((num_bits_ + 63) / 64, 0)) {}
 
-  /// Reconstruct from serialized words (lotus/serialize.*). `words` must be
-  /// exactly the size the hub count implies.
-  TriangularBitArray(graph::VertexId hub_count, std::vector<std::uint64_t> words)
-      : TriangularBitArray(hub_count) {
-    if (words.size() != words_.size())
+  /// Reconstruct from serialized words (lotus/serialize.*) — owned vector or
+  /// a view into an mmap'ed artifact. `words` must be exactly the size the
+  /// hub count implies. A view-backed array is read-only: set_atomic may not
+  /// be called on it (deserialized H2H bits are final).
+  TriangularBitArray(graph::VertexId hub_count,
+                     util::ConstArray<std::uint64_t> words)
+      : hub_count_(hub_count),
+        num_bits_(static_cast<std::uint64_t>(hub_count) * (hub_count - 1) / 2) {
+    if (words.size() != (num_bits_ + 63) / 64)
       throw std::invalid_argument("H2H word count does not match hub count");
     words_ = std::move(words);
   }
 
   /// Raw 64-bit words, for serialization.
-  [[nodiscard]] const std::vector<std::uint64_t>& words() const noexcept {
+  [[nodiscard]] const util::ConstArray<std::uint64_t>& words() const noexcept {
     return words_;
+  }
+
+  /// Heap bytes pinned (0 when the words view an mmap'ed artifact).
+  [[nodiscard]] std::uint64_t owned_bytes() const noexcept {
+    return words_.owned_bytes();
   }
 
   [[nodiscard]] graph::VertexId hub_count() const noexcept { return hub_count_; }
@@ -66,9 +77,12 @@ class TriangularBitArray {
   /// can share a 64-bit word at row boundaries. Uses std::atomic_ref on the
   /// plain word storage (not a reinterpret_cast, which is UB and invisible
   /// to TSan); plain readers may only run after the writing phase joins.
+  /// Owned storage only — a view-backed (mapped) array is read-only.
   void set_atomic(graph::VertexId h1, graph::VertexId h2) noexcept {
+    std::uint64_t* mutable_words = words_.mutable_data();
+    assert(mutable_words != nullptr && "set_atomic on a mapped H2H array");
     const std::uint64_t bit = bit_index(h1, h2);
-    std::atomic_ref<std::uint64_t> word(words_[bit >> 6]);
+    std::atomic_ref<std::uint64_t> word(mutable_words[bit >> 6]);
     word.fetch_or(1ULL << (bit & 63), std::memory_order_relaxed);
   }
 
@@ -110,7 +124,7 @@ class TriangularBitArray {
  private:
   graph::VertexId hub_count_ = 0;
   std::uint64_t num_bits_ = 0;
-  std::vector<std::uint64_t> words_;
+  util::ConstArray<std::uint64_t> words_;
 };
 
 }  // namespace lotus::core

@@ -31,9 +31,14 @@ class LotusGraph {
 
   /// Reassemble from previously built parts (deserialization); validates
   /// structural consistency and throws std::invalid_argument on mismatch.
+  /// Parts may be owned or mmap-backed (see lotus/serialize.hpp). Pass
+  /// `validate = false` only for artifacts this process wrote itself (engine
+  /// spill files): it skips the O(V+E) structural scan so a cold mapped load
+  /// does not have to fault in every page up front.
   static LotusGraph from_parts(graph::VertexId hub_count, TriangularBitArray h2h,
                                graph::Csr16 he, graph::CsrGraph nhe,
-                               std::vector<graph::VertexId> new_id);
+                               util::ConstArray<graph::VertexId> new_id,
+                               bool validate = true);
 
   [[nodiscard]] graph::VertexId num_vertices() const noexcept { return num_vertices_; }
   [[nodiscard]] graph::VertexId hub_count() const noexcept { return hub_count_; }
@@ -44,7 +49,7 @@ class LotusGraph {
   [[nodiscard]] const graph::CsrGraph& nhe() const noexcept { return nhe_; }
 
   /// new_id[old_id]; needed to translate external queries into LOTUS IDs.
-  [[nodiscard]] const std::vector<graph::VertexId>& relabeling() const noexcept {
+  [[nodiscard]] const util::ConstArray<graph::VertexId>& relabeling() const noexcept {
     return new_id_;
   }
 
@@ -54,13 +59,20 @@ class LotusGraph {
     return he_.topology_bytes() + nhe_.topology_bytes() + h2h_.size_bytes();
   }
 
+  /// Heap bytes pinned (≈0 for a fully mmap-backed LotusGraph) — what the
+  /// engine cache charges for a remapped artifact.
+  [[nodiscard]] std::uint64_t owned_bytes() const noexcept {
+    return he_.owned_bytes() + nhe_.owned_bytes() + h2h_.owned_bytes() +
+           new_id_.owned_bytes();
+  }
+
  private:
   graph::VertexId num_vertices_ = 0;
   graph::VertexId hub_count_ = 0;
   TriangularBitArray h2h_;
   graph::Csr16 he_;
   graph::CsrGraph nhe_;
-  std::vector<graph::VertexId> new_id_;
+  util::ConstArray<graph::VertexId> new_id_;
 };
 
 }  // namespace lotus::core

@@ -2,97 +2,403 @@
 
 #include <array>
 #include <cstring>
-#include <fstream>
 #include <stdexcept>
+#include <vector>
+
+#include "util/file_io.hpp"
+#include "util/memory_budget.hpp"
+#include "util/mmap_file.hpp"
 
 namespace lotus::core {
 
 namespace {
 
-constexpr std::array<char, 8> kMagic = {'L', 'O', 'T', 'U', 'S', 'L', 'G', '1'};
+using util::Expected;
+using util::Status;
+using util::StatusCode;
 
-[[noreturn]] void fail(const std::string& path, const std::string& what) {
-  throw std::runtime_error(path + ": " + what);
+constexpr std::array<char, 8> kMagicV1 = {'L', 'O', 'T', 'U', 'S', 'L', 'G', '1'};
+constexpr std::array<char, 8> kMagicV2 = {'L', 'O', 'T', 'U', 'S', 'L', 'G', '2'};
+
+/// v2 header: magic + five u64 lengths + two reserved u64 = 64 bytes, so the
+/// first section starts 8-aligned without any padding games.
+constexpr std::uint64_t kHeaderBytesV2 = 64;
+
+Status io_error(const std::string& path, const std::string& what) {
+  return {StatusCode::kIoError, path + ": " + what};
 }
 
-template <typename T>
-void write_vector(std::ofstream& out, const std::vector<T>& data) {
-  const std::uint64_t count = data.size();
-  out.write(reinterpret_cast<const char*>(&count), sizeof count);
-  out.write(reinterpret_cast<const char*>(data.data()),
-            static_cast<std::streamsize>(count * sizeof(T)));
+Status bad_data(const std::string& path, const std::string& what) {
+  return {StatusCode::kInvalidArgument, path + ": " + what};
 }
 
+struct HeaderV2 {
+  std::uint64_t n = 0;
+  std::uint64_t hubs = 0;
+  std::uint64_t h2h_words = 0;
+  std::uint64_t he_edges = 0;
+  std::uint64_t nhe_edges = 0;
+};
+
+constexpr std::uint64_t pad8(std::uint64_t bytes) noexcept {
+  return (bytes + 7) & ~std::uint64_t{7};
+}
+
+/// Byte offsets of the six sections. Every section starts on an 8-byte
+/// boundary (u16/u32 sections are zero-padded up to one), so a mapped view
+/// of any array is naturally aligned.
+struct LayoutV2 {
+  std::uint64_t new_id, h2h, he_offsets, he_neighbors, nhe_offsets,
+      nhe_neighbors, total;
+};
+
+LayoutV2 layout_for(const HeaderV2& h) noexcept {
+  LayoutV2 l{};
+  std::uint64_t pos = kHeaderBytesV2;
+  l.new_id = pos;
+  pos += pad8(h.n * sizeof(graph::VertexId));
+  l.h2h = pos;
+  pos += h.h2h_words * sizeof(std::uint64_t);
+  l.he_offsets = pos;
+  pos += (h.n + 1) * sizeof(std::uint64_t);
+  l.he_neighbors = pos;
+  pos += pad8(h.he_edges * sizeof(std::uint16_t));
+  l.nhe_offsets = pos;
+  pos += (h.n + 1) * sizeof(std::uint64_t);
+  l.nhe_neighbors = pos;
+  pos += pad8(h.nhe_edges * sizeof(graph::VertexId));
+  l.total = pos;
+  return l;
+}
+
+/// Reject headers whose sizes are impossible before any arithmetic that
+/// could overflow or any allocation a hostile file could inflate.
+Status check_header(const std::string& path, const HeaderV2& h) {
+  if (h.n > 0xffffffffULL) return bad_data(path, "vertex count exceeds 32 bits");
+  if (h.hubs > (1ull << 16)) return bad_data(path, "corrupt header (hub count)");
+  const std::uint64_t bits = h.hubs * (h.hubs - (h.hubs > 0 ? 1 : 0)) / 2;
+  if (h.h2h_words != (bits + 63) / 64)
+    return bad_data(path, "H2H word count does not match hub count");
+  if (h.he_edges > (1ull << 48) || h.nhe_edges > (1ull << 48))
+    return bad_data(path, "implausible edge count");
+  return Status::Ok();
+}
+
+Status check_offsets(const std::string& path,
+                     const util::ConstArray<std::uint64_t>& offsets,
+                     std::uint64_t edges) {
+  if (offsets.empty() || offsets.front() != 0 || offsets.back() != edges)
+    return bad_data(path, "corrupt offsets");
+  for (std::size_t i = 1; i < offsets.size(); ++i)
+    if (offsets[i] < offsets[i - 1]) return bad_data(path, "corrupt offsets");
+  return Status::Ok();
+}
+
+/// Assemble the parts; converts from_parts' invalid_argument (and a budget
+/// bad_alloc from validation scratch) into a Status.
+Expected<LotusGraph> assemble(const std::string& path, const HeaderV2& h,
+                              util::ConstArray<std::uint64_t> h2h_words,
+                              util::ConstArray<std::uint64_t> he_offsets,
+                              util::ConstArray<std::uint16_t> he_neighbors,
+                              util::ConstArray<std::uint64_t> nhe_offsets,
+                              util::ConstArray<graph::VertexId> nhe_neighbors,
+                              util::ConstArray<graph::VertexId> new_id,
+                              bool validate) {
+  if (validate) {
+    Status status = check_offsets(path, he_offsets, he_neighbors.size());
+    if (status.ok()) status = check_offsets(path, nhe_offsets, nhe_neighbors.size());
+    if (!status.ok()) return status;
+  }
+  try {
+    TriangularBitArray h2h(static_cast<graph::VertexId>(h.hubs),
+                           std::move(h2h_words));
+    graph::Csr16 he(std::move(he_offsets), std::move(he_neighbors));
+    graph::CsrGraph nhe(std::move(nhe_offsets), std::move(nhe_neighbors));
+    return LotusGraph::from_parts(static_cast<graph::VertexId>(h.hubs),
+                                  std::move(h2h), std::move(he), std::move(nhe),
+                                  std::move(new_id), validate);
+  } catch (...) {
+    Status status = util::status_from_current_exception(StatusCode::kInvalidArgument);
+    return Status{status.code(), path + ": " + status.message()};
+  }
+}
+
+/// v1: length-prefixed arrays, unaligned; still readable for old artifacts.
 template <typename T>
-std::vector<T> read_vector(std::ifstream& in, const std::string& path) {
+Status read_vector_v1(std::FILE* in, const std::string& path,
+                      std::vector<T>& out) {
   std::uint64_t count = 0;
-  in.read(reinterpret_cast<char*>(&count), sizeof count);
-  if (!in) fail(path, "truncated length field");
+  Status status = util::fileio::read_fully(in, &count, sizeof count, path);
+  if (!status.ok()) return status;
   // Sanity bound: refuse obviously corrupt lengths before allocating.
-  if (count > (1ull << 36)) fail(path, "implausible array length");
-  std::vector<T> data(count);
-  in.read(reinterpret_cast<char*>(data.data()),
-          static_cast<std::streamsize>(count * sizeof(T)));
-  if (!in) fail(path, "truncated array");
-  return data;
+  if (count > (1ull << 36)) return bad_data(path, "implausible array length");
+  util::charge_current(count * sizeof(T), "graph-load");
+  out.resize(count);
+  return util::fileio::read_fully(in, out.data(), count * sizeof(T), path);
+}
+
+Expected<LotusGraph> read_v1_body(std::FILE* in, const std::string& path) {
+  std::uint64_t n = 0, hubs = 0;
+  Status status = util::fileio::read_fully(in, &n, sizeof n, path);
+  if (status.ok()) status = util::fileio::read_fully(in, &hubs, sizeof hubs, path);
+  if (!status.ok()) return status;
+  if (n > 0xffffffffULL || hubs > (1ull << 16))
+    return bad_data(path, "corrupt header");
+
+  std::vector<graph::VertexId> new_id;
+  std::vector<std::uint64_t> h2h_words, he_offsets, nhe_offsets;
+  std::vector<std::uint16_t> he_neighbors;
+  std::vector<graph::VertexId> nhe_neighbors;
+  status = read_vector_v1(in, path, new_id);
+  if (status.ok()) status = read_vector_v1(in, path, h2h_words);
+  if (status.ok()) status = read_vector_v1(in, path, he_offsets);
+  if (status.ok()) status = read_vector_v1(in, path, he_neighbors);
+  if (status.ok()) status = read_vector_v1(in, path, nhe_offsets);
+  if (status.ok()) status = read_vector_v1(in, path, nhe_neighbors);
+  if (!status.ok()) return status;
+
+  if (new_id.size() != n || he_offsets.size() != n + 1 ||
+      nhe_offsets.size() != n + 1)
+    return bad_data(path, "array sizes disagree with header");
+  HeaderV2 h;
+  h.n = n;
+  h.hubs = hubs;
+  h.h2h_words = h2h_words.size();
+  h.he_edges = he_neighbors.size();
+  h.nhe_edges = nhe_neighbors.size();
+  const std::uint64_t bits = hubs * (hubs - (hubs > 0 ? 1 : 0)) / 2;
+  if (h.h2h_words != (bits + 63) / 64)
+    return bad_data(path, "H2H word count does not match hub count");
+  return assemble(path, h, std::move(h2h_words), std::move(he_offsets),
+                  std::move(he_neighbors), std::move(nhe_offsets),
+                  std::move(nhe_neighbors), std::move(new_id),
+                  /*validate=*/true);
+}
+
+Status read_and_check_size_v2(std::FILE* in, const std::string& path,
+                              HeaderV2& h, LayoutV2& layout) {
+  std::array<std::uint64_t, 7> fields{};  // n, hubs, words, he_e, nhe_e, 2 reserved
+  Status status =
+      util::fileio::read_fully(in, fields.data(), sizeof fields, path);
+  if (!status.ok()) return status;
+  h.n = fields[0];
+  h.hubs = fields[1];
+  h.h2h_words = fields[2];
+  h.he_edges = fields[3];
+  h.nhe_edges = fields[4];
+  status = check_header(path, h);
+  if (!status.ok()) return status;
+  layout = layout_for(h);
+  if (util::fileio::seek64(in, 0, SEEK_END) != 0)
+    return io_error(path, "cannot determine file size");
+  const std::int64_t end_pos = util::fileio::tell64(in);
+  if (end_pos < 0) return io_error(path, "cannot determine file size");
+  if (static_cast<std::uint64_t>(end_pos) != layout.total)
+    return bad_data(path, "file size does not match header");
+  return Status::Ok();
+}
+
+template <typename T>
+Status read_section(std::FILE* in, const std::string& path, std::uint64_t offset,
+                    std::uint64_t count, std::vector<T>& out) {
+  if (util::fileio::seek64(in, static_cast<std::int64_t>(offset), SEEK_SET) != 0)
+    return io_error(path, "seek failed");
+  util::charge_current(count * sizeof(T), "graph-load");
+  out.resize(count);
+  return util::fileio::read_fully(in, out.data(), count * sizeof(T), path);
+}
+
+Expected<LotusGraph> read_v2_body(std::FILE* in, const std::string& path) {
+  HeaderV2 h;
+  LayoutV2 layout{};
+  Status status = read_and_check_size_v2(in, path, h, layout);
+  if (!status.ok()) return status;
+
+  std::vector<graph::VertexId> new_id;
+  std::vector<std::uint64_t> h2h_words, he_offsets, nhe_offsets;
+  std::vector<std::uint16_t> he_neighbors;
+  std::vector<graph::VertexId> nhe_neighbors;
+  status = read_section(in, path, layout.new_id, h.n, new_id);
+  if (status.ok())
+    status = read_section(in, path, layout.h2h, h.h2h_words, h2h_words);
+  if (status.ok())
+    status = read_section(in, path, layout.he_offsets, h.n + 1, he_offsets);
+  if (status.ok())
+    status = read_section(in, path, layout.he_neighbors, h.he_edges, he_neighbors);
+  if (status.ok())
+    status = read_section(in, path, layout.nhe_offsets, h.n + 1, nhe_offsets);
+  if (status.ok())
+    status =
+        read_section(in, path, layout.nhe_neighbors, h.nhe_edges, nhe_neighbors);
+  if (!status.ok()) return status;
+  return assemble(path, h, std::move(h2h_words), std::move(he_offsets),
+                  std::move(he_neighbors), std::move(nhe_offsets),
+                  std::move(nhe_neighbors), std::move(new_id),
+                  /*validate=*/true);
 }
 
 }  // namespace
 
+util::Status write_lotus_v2_stream_s(std::FILE* out, const std::string& tmp,
+                                     const LotusGraph& lg) {
+  HeaderV2 h;
+  h.n = lg.num_vertices();
+  h.hubs = lg.hub_count();
+  h.h2h_words = lg.h2h().words().size();
+  h.he_edges = lg.he().num_edges();
+  h.nhe_edges = lg.nhe().num_edges();
+
+  std::array<unsigned char, kHeaderBytesV2> header{};
+  std::memcpy(header.data(), kMagicV2.data(), kMagicV2.size());
+  const std::array<std::uint64_t, 5> fields = {h.n, h.hubs, h.h2h_words,
+                                               h.he_edges, h.nhe_edges};
+  std::memcpy(header.data() + 8, fields.data(), sizeof fields);
+  Status status =
+      util::fileio::write_fully(out, header.data(), header.size(), tmp);
+
+  const auto write_section = [&](const void* data, std::uint64_t bytes) {
+    if (!status.ok()) return;
+    status = util::fileio::write_fully(out, data, bytes, tmp);
+    const std::uint64_t padding = pad8(bytes) - bytes;
+    if (status.ok() && padding > 0) {
+      const std::array<unsigned char, 8> zeros{};
+      status = util::fileio::write_fully(out, zeros.data(), padding, tmp);
+    }
+  };
+  write_section(lg.relabeling().data(),
+                h.n * sizeof(graph::VertexId));
+  write_section(lg.h2h().words().data(), h.h2h_words * sizeof(std::uint64_t));
+  write_section(lg.he().offsets().data(), (h.n + 1) * sizeof(std::uint64_t));
+  write_section(lg.he().neighbor_array().data(),
+                h.he_edges * sizeof(std::uint16_t));
+  write_section(lg.nhe().offsets().data(), (h.n + 1) * sizeof(std::uint64_t));
+  write_section(lg.nhe().neighbor_array().data(),
+                h.nhe_edges * sizeof(graph::VertexId));
+  return status;
+}
+
+util::Status write_lotus_binary_s(const std::string& path,
+                                  const LotusGraph& lg) {
+  util::fileio::AtomicFileWriter writer(path);
+  if (!writer.ok()) return writer.open_status();
+  const Status status =
+      write_lotus_v2_stream_s(writer.file(), writer.temp_path(), lg);
+  if (!status.ok()) return status;  // destructor unlinks the temp file
+  return writer.commit();
+}
+
+util::Expected<LotusGraph> read_lotus_binary_s(const std::string& path) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr)
+    return io_error(path,
+                    std::string("cannot open for reading: ") + std::strerror(errno));
+  Expected<LotusGraph> result = [&]() -> Expected<LotusGraph> {
+    std::array<char, 8> magic{};
+    const Status status = util::fileio::read_fully(in, magic.data(), magic.size(), path);
+    if (!status.ok()) return status;
+    try {
+      if (std::memcmp(magic.data(), kMagicV2.data(), kMagicV2.size()) == 0)
+        return read_v2_body(in, path);
+      if (std::memcmp(magic.data(), kMagicV1.data(), kMagicV1.size()) == 0)
+        return read_v1_body(in, path);
+    } catch (...) {
+      // charge_current / resize can throw under a memory budget.
+      return util::status_from_current_exception(StatusCode::kOutOfMemory);
+    }
+    return bad_data(path, "not a lotus graph file (bad magic)");
+  }();
+  std::fclose(in);
+  return result;
+}
+
+util::Expected<LotusGraph> read_lotus_v2_mapped_at_s(
+    const std::shared_ptr<util::MappedFile>& file, std::uint64_t base,
+    std::uint64_t size, bool validate) {
+  const std::string& path = file->path();
+  if (base % 8 != 0) return bad_data(path, "image offset is not 8-aligned");
+  if (base > file->size() || size > file->size() - base)
+    return bad_data(path, "image extends past end of file");
+  if (size < kHeaderBytesV2) return bad_data(path, "truncated header");
+  const std::byte* image = file->data() + base;
+  if (std::memcmp(image, kMagicV1.data(), kMagicV1.size()) == 0)
+    return bad_data(path,
+                    "v1 artifact cannot be memory-mapped; rewrite it with "
+                    "write_lotus_binary to upgrade to v2");
+  if (std::memcmp(image, kMagicV2.data(), kMagicV2.size()) != 0)
+    return bad_data(path, "not a lotus graph file (bad magic)");
+
+  HeaderV2 h;
+  std::array<std::uint64_t, 5> fields{};
+  std::memcpy(fields.data(), image + 8, sizeof fields);
+  h.n = fields[0];
+  h.hubs = fields[1];
+  h.h2h_words = fields[2];
+  h.he_edges = fields[3];
+  h.nhe_edges = fields[4];
+  Status status = check_header(path, h);
+  if (!status.ok()) return status;
+  LayoutV2 layout = layout_for(h);
+  if (size != layout.total)
+    return bad_data(path, "image size does not match header");
+  layout.new_id += base;
+  layout.h2h += base;
+  layout.he_offsets += base;
+  layout.he_neighbors += base;
+  layout.nhe_offsets += base;
+  layout.nhe_neighbors += base;
+  layout.total += base;
+
+  // Hints keyed to the counting kernels' access order (see header comment):
+  // offset/neighbour sections are walked in ascending relabeled-vertex order
+  // — the squared edge tiling's visit order — so sequential readahead wins;
+  // the H2H words are probed randomly and should just be resident.
+  using Advice = util::MappedFile::Advice;
+  file->advise(Advice::kSequential, layout.he_offsets,
+               layout.nhe_offsets - layout.he_offsets);
+  file->advise(Advice::kSequential, layout.nhe_offsets,
+               layout.total - layout.nhe_offsets);
+  file->advise(Advice::kSequential, layout.new_id, layout.h2h - layout.new_id);
+  file->advise(Advice::kWillNeed, layout.h2h, layout.he_offsets - layout.h2h);
+
+  return assemble(
+      path, h, util::mapped_view<std::uint64_t>(file, layout.h2h, h.h2h_words),
+      util::mapped_view<std::uint64_t>(file, layout.he_offsets, h.n + 1),
+      util::mapped_view<std::uint16_t>(file, layout.he_neighbors, h.he_edges),
+      util::mapped_view<std::uint64_t>(file, layout.nhe_offsets, h.n + 1),
+      util::mapped_view<graph::VertexId>(file, layout.nhe_neighbors, h.nhe_edges),
+      util::mapped_view<graph::VertexId>(file, layout.new_id, h.n), validate);
+}
+
+util::Expected<LotusGraph> read_lotus_mapped_s(const std::string& path,
+                                               bool validate) {
+  Expected<std::shared_ptr<util::MappedFile>> mapped = util::MappedFile::map(path);
+  if (!mapped.ok()) return mapped.status();
+  const std::shared_ptr<util::MappedFile> file = mapped.take();
+  return read_lotus_v2_mapped_at_s(file, 0, file->size(), validate);
+}
+
+namespace {
+[[noreturn]] void rethrow(const Status& status) {
+  throw std::runtime_error(status.message().empty() ? status.to_string()
+                                                    : status.message());
+}
+}  // namespace
+
 void write_lotus_binary(const std::string& path, const LotusGraph& lg) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) fail(path, "cannot open for writing");
-  out.write(kMagic.data(), kMagic.size());
-  const std::uint64_t n = lg.num_vertices();
-  const std::uint64_t hubs = lg.hub_count();
-  out.write(reinterpret_cast<const char*>(&n), sizeof n);
-  out.write(reinterpret_cast<const char*>(&hubs), sizeof hubs);
-  write_vector(out, lg.relabeling());
-  write_vector(out, lg.h2h().words());
-  write_vector(out, lg.he().offsets());
-  write_vector(out, lg.he().neighbor_array());
-  write_vector(out, lg.nhe().offsets());
-  write_vector(out, lg.nhe().neighbor_array());
-  if (!out) fail(path, "write error");
+  const Status status = write_lotus_binary_s(path, lg);
+  if (!status.ok()) rethrow(status);
 }
 
 LotusGraph read_lotus_binary(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) fail(path, "cannot open for reading");
-  std::array<char, 8> magic{};
-  in.read(magic.data(), magic.size());
-  if (!in || std::memcmp(magic.data(), kMagic.data(), kMagic.size()) != 0)
-    fail(path, "not a lotus graph file (bad magic)");
+  Expected<LotusGraph> result = read_lotus_binary_s(path);
+  if (!result.ok()) rethrow(result.status());
+  return result.take();
+}
 
-  std::uint64_t n = 0, hubs = 0;
-  in.read(reinterpret_cast<char*>(&n), sizeof n);
-  in.read(reinterpret_cast<char*>(&hubs), sizeof hubs);
-  if (!in) fail(path, "truncated header");
-  if (n > 0xffffffffULL || hubs > (1ull << 16)) fail(path, "corrupt header");
-
-  auto new_id = read_vector<graph::VertexId>(in, path);
-  auto h2h_words = read_vector<std::uint64_t>(in, path);
-  auto he_offsets = read_vector<std::uint64_t>(in, path);
-  auto he_neighbors = read_vector<std::uint16_t>(in, path);
-  auto nhe_offsets = read_vector<std::uint64_t>(in, path);
-  auto nhe_neighbors = read_vector<graph::VertexId>(in, path);
-
-  if (new_id.size() != n || he_offsets.size() != n + 1 || nhe_offsets.size() != n + 1)
-    fail(path, "array sizes disagree with header");
-  auto check_offsets = [&](const std::vector<std::uint64_t>& offsets,
-                           std::uint64_t edges) {
-    if (offsets.front() != 0 || offsets.back() != edges) fail(path, "corrupt offsets");
-    for (std::size_t i = 1; i < offsets.size(); ++i)
-      if (offsets[i] < offsets[i - 1]) fail(path, "corrupt offsets");
-  };
-  check_offsets(he_offsets, he_neighbors.size());
-  check_offsets(nhe_offsets, nhe_neighbors.size());
-
-  TriangularBitArray h2h(static_cast<graph::VertexId>(hubs), std::move(h2h_words));
-  graph::Csr16 he(std::move(he_offsets), std::move(he_neighbors));
-  graph::CsrGraph nhe(std::move(nhe_offsets), std::move(nhe_neighbors));
-  return LotusGraph::from_parts(static_cast<graph::VertexId>(hubs), std::move(h2h),
-                                std::move(he), std::move(nhe), std::move(new_id));
+LotusGraph read_lotus_mapped(const std::string& path) {
+  Expected<LotusGraph> result = read_lotus_mapped_s(path, /*validate=*/true);
+  if (!result.ok()) rethrow(result.status());
+  return result.take();
 }
 
 }  // namespace lotus::core

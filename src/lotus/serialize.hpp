@@ -3,20 +3,73 @@
 // Preprocessing is ~19% of end-to-end time (Fig. 6); applications that count
 // repeatedly (streaming snapshots, parameter sweeps, local counts after the
 // global count) can persist the built structure and skip Alg. 2 on reload.
+//
+// Two on-disk versions exist:
+//   * "LOTUSLG1" (legacy): length-prefixed arrays packed back to back.
+//     Readable, no longer written. Sections are not alignment-guaranteed, so
+//     a v1 file cannot be mmap'ed — read_lotus_mapped_s rejects it.
+//   * "LOTUSLG2" (current): fixed 64-byte header carrying all array lengths,
+//     followed by the six sections each padded to an 8-byte boundary
+//     (docs/OUT_OF_CORE.md has the byte-level layout). Every array is
+//     naturally aligned at a header-derivable offset, so a reader can either
+//     stream the file into heap vectors or mmap it and serve the arrays as
+//     zero-copy views.
+//
+// Writes go through a temp file + fsync + atomic rename (util/file_io.hpp):
+// a crash mid-write never leaves a torn artifact at the target path.
 #pragma once
 
+#include <cstdio>
+#include <memory>
 #include <string>
 
 #include "lotus/lotus_graph.hpp"
+#include "util/mmap_file.hpp"
+#include "util/status.hpp"
 
 namespace lotus::core {
 
-/// Binary format "LOTUSLG1": header, relabeling array, H2H words, HE and
-/// NHE arrays. Throws std::runtime_error on IO failure.
-void write_lotus_binary(const std::string& path, const LotusGraph& lotus_graph);
+/// Write `lotus_graph` as a v2 ("LOTUSLG2") artifact, durably (temp file,
+/// fsync, atomic rename). Never throws.
+[[nodiscard]] util::Status write_lotus_binary_s(const std::string& path,
+                                                const LotusGraph& lotus_graph);
 
-/// Reads and structurally validates; throws std::runtime_error on bad
-/// magic/truncation and std::invalid_argument on inconsistent content.
+/// Read a v1 or v2 artifact into heap-owned arrays, with full structural
+/// validation. Never throws.
+[[nodiscard]] util::Expected<LotusGraph> read_lotus_binary_s(
+    const std::string& path);
+
+/// Map a v2 artifact and build a LotusGraph whose arrays are zero-copy views
+/// into the page cache (owned_bytes() ≈ 0). Access-pattern hints follow the
+/// counting kernels' iteration order: HE/NHE sections get MADV_SEQUENTIAL
+/// (ascending relabeled-vertex order — the order the squared edge tiling
+/// visits), the H2H words get MADV_WILLNEED (small, randomly probed).
+///
+/// `validate` controls the O(V+E) structural scan; pass false only for
+/// artifacts this process wrote itself (engine spill files), where skipping
+/// it keeps the cold load from faulting in every page. Header consistency
+/// (sizes, offsets monotonicity bounds) is always checked. Never throws.
+[[nodiscard]] util::Expected<LotusGraph> read_lotus_mapped_s(
+    const std::string& path, bool validate = true);
+
+/// Append a complete v2 image to `out` at its current position (the engine
+/// spill format embeds LotusGraph sections this way; tc/prepared.cpp). The
+/// image must start on an 8-byte file offset for the mapped reader to work.
+/// `path` is for error messages only.
+[[nodiscard]] util::Status write_lotus_v2_stream_s(std::FILE* out,
+                                                   const std::string& path,
+                                                   const LotusGraph& lotus_graph);
+
+/// Zero-copy LotusGraph over a v2 image spanning [base, base + size) inside
+/// an existing mapping; `base` must be 8-aligned. read_lotus_mapped_s is
+/// this with base = 0, size = whole file.
+[[nodiscard]] util::Expected<LotusGraph> read_lotus_v2_mapped_at_s(
+    const std::shared_ptr<util::MappedFile>& file, std::uint64_t base,
+    std::uint64_t size, bool validate);
+
+/// Throwing conveniences (std::runtime_error on IO/format failure).
+void write_lotus_binary(const std::string& path, const LotusGraph& lotus_graph);
 LotusGraph read_lotus_binary(const std::string& path);
+LotusGraph read_lotus_mapped(const std::string& path);
 
 }  // namespace lotus::core

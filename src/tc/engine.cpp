@@ -1,10 +1,12 @@
 #include "tc/engine.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "parallel/thread_pool.hpp"
 #include "util/format.hpp"
+#include "util/timer.hpp"
 
 namespace lotus::tc {
 
@@ -61,6 +63,9 @@ Engine::~Engine() {
         util::StatusCode::kCancelled,
         "engine destroyed before the query started"});
   for (std::thread& t : drivers_) t.join();
+  // Spill files are engine-private; remove them. Already-remapped artifacts
+  // still held by callers stay valid (the mapping outlives the unlink).
+  for (const auto& [key, path] : spilled_) std::remove(path.c_str());
 }
 
 std::future<util::Expected<QueryResult>> Engine::submit(QuerySpec spec) {
@@ -156,6 +161,7 @@ Engine::Acquired Engine::acquire_artifact(const QuerySpec& spec,
   ArtifactFuture future;
   std::promise<std::shared_ptr<const PreparedGraph>> build_promise;
   bool builder = false;
+  std::string spill_path;  // non-empty: try remapping before rebuilding
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = cache_.find(key);
@@ -164,6 +170,8 @@ Engine::Acquired Engine::acquire_artifact(const QuerySpec& spec,
       future = it->second.artifact;
     } else {
       builder = true;
+      auto spilled = spilled_.find(key);
+      if (spilled != spilled_.end()) spill_path = spilled->second;
       CacheEntry entry;
       entry.artifact = build_promise.get_future().share();
       entry.last_used = ++tick_;
@@ -173,35 +181,65 @@ Engine::Acquired Engine::acquire_artifact(const QuerySpec& spec,
   }
 
   if (builder) {
+    // Remap tier: a previously spilled artifact is reloaded as zero-copy
+    // views into the file — the build is not re-paid, and the remapped entry
+    // charges ≈0 bytes, so it is always retained. Waiters on this
+    // single-flight entry share the remap like they would a build.
     std::shared_ptr<const PreparedGraph> artifact;
-    try {
-      artifact = std::make_shared<const PreparedGraph>(
-          PreparedGraph::build(kind, *spec.graph, spec.options.config));
-    } catch (...) {
-      {
+    bool remapped = false;
+    double acquire_s = 0.0;
+    if (!spill_path.empty()) {
+      util::Timer timer;
+      util::Expected<PreparedGraph> loaded =
+          PreparedGraph::load_mapped_s(spill_path);
+      if (loaded.ok()) {
+        artifact = std::make_shared<const PreparedGraph>(loaded.take());
+        remapped = true;
+        acquire_s = timer.elapsed_s();
+      } else {
+        // Corrupt or vanished spill file: forget it and rebuild.
         std::lock_guard<std::mutex> lock(mutex_);
-        cache_.erase(key);
-        ++stats_.cache_misses;
+        drop_spill_locked(key);
       }
-      build_promise.set_exception(std::current_exception());
-      return {};  // the builder itself degrades to an end-to-end run
+    }
+    if (artifact == nullptr) {
+      try {
+        artifact = std::make_shared<const PreparedGraph>(
+            PreparedGraph::build(kind, *spec.graph, spec.options.config));
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          cache_.erase(key);
+          ++stats_.cache_misses;
+        }
+        build_promise.set_exception(std::current_exception());
+        return {};  // the builder itself degrades to an end-to-end run
+      }
+      acquire_s = artifact->build_s();
     }
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      ++stats_.cache_misses;
+      if (remapped) {
+        ++stats_.cache_hits;
+        ++stats_.cache_remaps;
+      } else {
+        ++stats_.cache_misses;
+      }
       auto it = cache_.find(key);  // invalidate() may have raced us
       if (it != cache_.end()) {
         if (reserve_locked(artifact->bytes(), key)) {
           it->second.bytes = artifact->bytes();
           it->second.charged = true;
         } else {
-          // Larger than the whole budget: serve it, don't retain it.
+          // Larger than the whole budget: serve it, don't retain it in
+          // memory — but spill it so the next query remaps at ≈0 charge.
+          spill_locked(key, artifact);
           cache_.erase(it);
         }
       }
     }
     build_promise.set_value(artifact);
-    return {artifact, false, artifact->build_s()};
+    return {artifact, remapped, acquire_s};
   }
 
   try {
@@ -230,10 +268,36 @@ bool Engine::reserve_locked(std::uint64_t bytes, const std::string& keep_key) {
         victim = it;
     }
     if (victim == cache_.end()) return false;
+    // The victim is charged, so its build already completed; get() does not
+    // wait (beyond the builder's instant between charging and set_value).
+    spill_locked(victim->first, victim->second.artifact.get());
     cache_budget_.release(victim->second.bytes);
     ++stats_.cache_evictions;
     cache_.erase(victim);
   }
+}
+
+void Engine::spill_locked(const std::string& key,
+                          const std::shared_ptr<const PreparedGraph>& artifact) {
+  if (options_.spill_dir.empty() || artifact == nullptr) return;
+  if (artifact->bytes() == 0) return;  // already mapped; file still on disk
+  if (spilled_.count(key) != 0) return;
+  const std::string path = options_.spill_dir + "/lotus-spill-" +
+                           std::to_string(spill_seq_++) + ".lpa";
+  // Best effort while holding mutex_: spills happen on the eviction path,
+  // where simplicity of the cache state machine beats write overlap. A
+  // failed write just falls back to discard-and-rebuild behaviour.
+  if (artifact->save_s(path).ok()) {
+    spilled_.emplace(key, path);
+    ++stats_.cache_spills;
+  }
+}
+
+void Engine::drop_spill_locked(const std::string& key) {
+  auto it = spilled_.find(key);
+  if (it == spilled_.end()) return;
+  std::remove(it->second.c_str());
+  spilled_.erase(it);
 }
 
 void Engine::invalidate(const std::string& graph_key) {
@@ -248,6 +312,15 @@ void Engine::invalidate(const std::string& graph_key) {
       ++it;
     }
   }
+  // Stale spill files must go too — the graph data changed underneath them.
+  for (auto it = spilled_.begin(); it != spilled_.end();) {
+    if (it->first.rfind(prefix, 0) == 0) {
+      std::remove(it->second.c_str());
+      it = spilled_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 EngineStats Engine::stats() const {
@@ -255,6 +328,7 @@ EngineStats Engine::stats() const {
   EngineStats out = stats_;
   out.cache_entries = cache_.size();
   out.cache_bytes = cache_budget_.used();
+  out.cache_spilled_entries = spilled_.size();
   return out;
 }
 
@@ -275,6 +349,9 @@ obs::MetricsRegistry Engine::metrics() const {
       {"cache_entries", s.cache_entries},
       {"cache_bytes", s.cache_bytes},
       {"cache_budget_bytes", options_.cache_budget_bytes},
+      {"cache_spills", s.cache_spills},
+      {"cache_remaps", s.cache_remaps},
+      {"cache_spilled_entries", s.cache_spilled_entries},
       {"queue_s_total", s.queue_s_total},
       {"preprocess_s_total", s.preprocess_s_total},
       {"count_s_total", s.count_s_total},

@@ -17,6 +17,14 @@
 // artifact larger than the whole budget is served to its waiters but not
 // retained.
 //
+// Spill tier: with EngineOptions::spill_dir set, an evicted (or oversized)
+// artifact is first persisted as a "LOTUSPA1" file (PreparedGraph::save_s)
+// instead of being discarded outright. The next miss for that key remaps the
+// file zero-copy (load_mapped_s) rather than re-paying the build — remapped
+// artifacts charge ≈0 bytes against the cache budget, so they stay resident
+// from then on while the page cache holds the actual topology. Spill files
+// are removed by invalidate() and the destructor (docs/OUT_OF_CORE.md).
+//
 // Thread-safety: submit()/query()/stats()/metrics()/invalidate() are safe
 // from any thread, concurrently. Cancellation (QueryOptions::cancel) and
 // deadlines apply per query, exactly as for tc::query — each driver installs
@@ -58,6 +66,10 @@ struct EngineOptions {
   /// Byte budget for cached prepared-graph artifacts; LRU entries are
   /// evicted to stay under it. 0 = unlimited (accounting only).
   std::uint64_t cache_budget_bytes = 0;
+
+  /// Existing directory for spilled artifacts. "" disables the spill tier:
+  /// evictions discard and the next query rebuilds from scratch.
+  std::string spill_dir;
 };
 
 /// Monotonic serving counters; a consistent snapshot via Engine::stats().
@@ -71,6 +83,10 @@ struct EngineStats {
   std::uint64_t cache_evictions = 0;  // LRU evictions + invalidate() drops
   std::uint64_t cache_entries = 0;    // current entries
   std::uint64_t cache_bytes = 0;      // current charged bytes
+
+  std::uint64_t cache_spills = 0;   // artifacts written to spill_dir on evict
+  std::uint64_t cache_remaps = 0;   // misses served by remapping a spill file
+  std::uint64_t cache_spilled_entries = 0;  // spill files currently on disk
 
   double queue_s_total = 0.0;       // summed queue wait of completed queries
   double preprocess_s_total = 0.0;  // summed preprocess (≈0 on hits)
@@ -148,9 +164,16 @@ class Engine {
   void driver_loop();
   void run_job(Job job);
   Acquired acquire_artifact(const QuerySpec& spec, ArtifactKind kind);
-  /// Charge `bytes`, LRU-evicting other charged entries as needed. Returns
-  /// false when the artifact cannot fit even with an empty cache.
+  /// Charge `bytes`, LRU-evicting (and, with spill_dir, spilling) other
+  /// charged entries as needed. Returns false when the artifact cannot fit
+  /// even with an empty cache.
   bool reserve_locked(std::uint64_t bytes, const std::string& keep_key);
+  /// Persist `artifact` under `key` in spill_dir (best effort; no-op when
+  /// spilling is disabled, the key already has a file, or the write fails).
+  void spill_locked(const std::string& key,
+                    const std::shared_ptr<const PreparedGraph>& artifact);
+  /// Drop the spill file of one key (best effort).
+  void drop_spill_locked(const std::string& key);
 
   EngineOptions options_;
   unsigned threads_per_query_ = 1;
@@ -161,7 +184,9 @@ class Engine {
   std::deque<Job> queue_;
   bool shutting_down_ = false;
   std::map<std::string, CacheEntry> cache_;
+  std::map<std::string, std::string> spilled_;  // cache key -> spill file path
   std::uint64_t tick_ = 0;
+  std::uint64_t spill_seq_ = 0;  // uniquifies spill file names
   EngineStats stats_;
 
   std::vector<std::thread> drivers_;

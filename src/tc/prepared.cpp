@@ -1,11 +1,17 @@
 #include "tc/prepared.hpp"
 
+#include <array>
+#include <cstring>
 #include <stdexcept>
 
 #include "baselines/tc_baselines.hpp"
 #include "graph/degree_order.hpp"
+#include "graph/oocore.hpp"
 #include "lotus/adaptive.hpp"
 #include "lotus/lotus.hpp"
+#include "lotus/serialize.hpp"
+#include "util/file_io.hpp"
+#include "util/mmap_file.hpp"
 #include "util/timer.hpp"
 
 namespace lotus::tc {
@@ -71,6 +77,153 @@ PreparedGraph PreparedGraph::build(ArtifactKind kind,
       break;
   }
   out.build_s_ = timer.elapsed_s();
+  return out;
+}
+
+namespace {
+
+// "LOTUSPA1" spill artifact: 64-byte header, then the embedded "LOTUSGR1"
+// oriented-CSR image and/or "LOTUSLG2" LotusGraph image, each starting on an
+// 8-byte boundary so the mapped readers can serve aligned views.
+//
+//   bytes 0..7   magic "LOTUSPA1"
+//   bytes 8..11  u32 kind (ArtifactKind enumerator value)
+//   bytes 12..15 u32 use_lotus (0/1)
+//   bytes 16..23 f64 build_s of the original build
+//   bytes 24..39 u64 oriented_off, oriented_len (0,0 when absent)
+//   bytes 40..55 u64 lotus_off, lotus_len (0,0 when absent)
+//   bytes 56..63 reserved (zero)
+constexpr std::array<char, 8> kSpillMagic = {'L', 'O', 'T', 'U', 'S', 'P', 'A', '1'};
+constexpr std::uint64_t kSpillHeaderBytes = 64;
+
+constexpr std::uint64_t pad8(std::uint64_t bytes) noexcept {
+  return (bytes + 7) & ~std::uint64_t{7};
+}
+
+util::Status spill_error(const std::string& path, const std::string& what) {
+  return {util::StatusCode::kInvalidArgument, path + ": " + what};
+}
+
+/// Exact byte length of an embedded "LOTUSGR1" image.
+std::uint64_t csx_image_bytes(const graph::OrientedCsr& csr) noexcept {
+  return 24 + (static_cast<std::uint64_t>(csr.num_vertices()) + 1) * 8 +
+         csr.num_edges() * sizeof(graph::VertexId);
+}
+
+/// Exact byte length of an embedded "LOTUSLG2" image (mirrors the layout in
+/// lotus/serialize.cpp: 64-byte header + six sections padded to 8).
+std::uint64_t lotus_image_bytes(const core::LotusGraph& lg) noexcept {
+  const std::uint64_t n = lg.num_vertices();
+  return 64 + pad8(n * sizeof(graph::VertexId)) + lg.h2h().words().size() * 8 +
+         (n + 1) * 8 + pad8(lg.he().num_edges() * sizeof(std::uint16_t)) +
+         (n + 1) * 8 + pad8(lg.nhe().num_edges() * sizeof(graph::VertexId));
+}
+
+}  // namespace
+
+util::Status PreparedGraph::save_s(const std::string& path) const {
+  if (kind_ == ArtifactKind::kNone)
+    return spill_error(path, "a kNone artifact has nothing to spill");
+
+  std::uint64_t oriented_off = 0, oriented_len = 0, lotus_off = 0, lotus_len = 0;
+  std::uint64_t pos = kSpillHeaderBytes;
+  if (oriented_ != nullptr) {
+    oriented_off = pos;
+    oriented_len = csx_image_bytes(*oriented_);
+    pos += pad8(oriented_len);
+  }
+  if (lotus_ != nullptr) {
+    lotus_off = pos;
+    lotus_len = lotus_image_bytes(*lotus_);
+    pos += pad8(lotus_len);
+  }
+
+  util::fileio::AtomicFileWriter writer(path);
+  if (!writer.ok()) return writer.open_status();
+  std::FILE* out = writer.file();
+  const std::string& tmp = writer.temp_path();
+
+  std::array<unsigned char, kSpillHeaderBytes> header{};
+  std::memcpy(header.data(), kSpillMagic.data(), kSpillMagic.size());
+  const std::uint32_t kind32 = static_cast<std::uint32_t>(kind_);
+  const std::uint32_t use32 = use_lotus_ ? 1u : 0u;
+  std::memcpy(header.data() + 8, &kind32, sizeof kind32);
+  std::memcpy(header.data() + 12, &use32, sizeof use32);
+  std::memcpy(header.data() + 16, &build_s_, sizeof build_s_);
+  std::memcpy(header.data() + 24, &oriented_off, 8);
+  std::memcpy(header.data() + 32, &oriented_len, 8);
+  std::memcpy(header.data() + 40, &lotus_off, 8);
+  std::memcpy(header.data() + 48, &lotus_len, 8);
+  util::Status status =
+      util::fileio::write_fully(out, header.data(), header.size(), tmp);
+
+  const auto pad_to_8 = [&](std::uint64_t image_len) {
+    const std::uint64_t padding = pad8(image_len) - image_len;
+    if (status.ok() && padding > 0) {
+      const std::array<unsigned char, 8> zeros{};
+      status = util::fileio::write_fully(out, zeros.data(), padding, tmp);
+    }
+  };
+  if (status.ok() && oriented_ != nullptr) {
+    status = graph::oocore::write_csx_stream_s(out, tmp, *oriented_);
+    pad_to_8(oriented_len);
+  }
+  if (status.ok() && lotus_ != nullptr) {
+    status = core::write_lotus_v2_stream_s(out, tmp, *lotus_);
+    pad_to_8(lotus_len);
+  }
+  if (!status.ok()) return status;  // destructor unlinks the temp file
+  return writer.commit();
+}
+
+util::Expected<PreparedGraph> PreparedGraph::load_mapped_s(
+    const std::string& path) {
+  util::Expected<std::shared_ptr<util::MappedFile>> mapped =
+      util::MappedFile::map(path);
+  if (!mapped.ok()) return mapped.status();
+  const std::shared_ptr<util::MappedFile> file = mapped.take();
+  if (file->size() < kSpillHeaderBytes)
+    return spill_error(path, "truncated spill header");
+  if (std::memcmp(file->data(), kSpillMagic.data(), kSpillMagic.size()) != 0)
+    return spill_error(path, "not a lotus spill artifact (bad magic)");
+
+  std::uint32_t kind32 = 0, use32 = 0;
+  double build_s = 0.0;
+  std::uint64_t oriented_off = 0, oriented_len = 0, lotus_off = 0, lotus_len = 0;
+  std::memcpy(&kind32, file->data() + 8, sizeof kind32);
+  std::memcpy(&use32, file->data() + 12, sizeof use32);
+  std::memcpy(&build_s, file->data() + 16, sizeof build_s);
+  std::memcpy(&oriented_off, file->data() + 24, 8);
+  std::memcpy(&oriented_len, file->data() + 32, 8);
+  std::memcpy(&lotus_off, file->data() + 40, 8);
+  std::memcpy(&lotus_len, file->data() + 48, 8);
+  if (kind32 > static_cast<std::uint32_t>(ArtifactKind::kNone) ||
+      static_cast<ArtifactKind>(kind32) == ArtifactKind::kNone)
+    return spill_error(path, "corrupt spill header (kind)");
+
+  PreparedGraph out;
+  out.kind_ = static_cast<ArtifactKind>(kind32);
+  out.use_lotus_ = use32 != 0;
+  out.build_s_ = build_s;
+  out.bytes_ = 0;
+  if (oriented_len != 0) {
+    util::Expected<graph::OrientedCsr> csr = graph::oocore::read_csr_mapped_at_s(
+        file, oriented_off, oriented_len, /*validate=*/false);
+    if (!csr.ok()) return csr.status();
+    out.oriented_ = std::make_shared<const graph::OrientedCsr>(csr.take());
+    out.bytes_ += out.oriented_->owned_bytes();
+  }
+  if (lotus_len != 0) {
+    util::Expected<core::LotusGraph> lg = core::read_lotus_v2_mapped_at_s(
+        file, lotus_off, lotus_len, /*validate=*/false);
+    if (!lg.ok()) return lg.status();
+    out.lotus_ = std::make_shared<const core::LotusGraph>(lg.take());
+    out.bytes_ += out.lotus_->owned_bytes();
+  }
+  if (out.kind_ == ArtifactKind::kLotus && out.lotus_ == nullptr)
+    return spill_error(path, "lotus artifact lacks its LotusGraph section");
+  if (out.kind_ == ArtifactKind::kOriented && out.oriented_ == nullptr)
+    return spill_error(path, "oriented artifact lacks its CSR section");
   return out;
 }
 

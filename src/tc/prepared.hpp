@@ -18,11 +18,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "graph/csr.hpp"
 #include "lotus/config.hpp"
 #include "lotus/lotus_graph.hpp"
 #include "tc/api.hpp"
+#include "util/status.hpp"
 
 namespace lotus::tc {
 
@@ -68,8 +70,25 @@ class PreparedGraph {
 
   /// Preprocessing wall time the cache amortizes on every hit.
   [[nodiscard]] double build_s() const noexcept { return build_s_; }
-  /// Artifact footprint, charged against the engine's cache budget.
+  /// Artifact footprint, charged against the engine's cache budget. For a
+  /// heap-built artifact this is the topology size; for one remapped from a
+  /// spill file it is only the pinned heap bytes (≈0 — the topology lives in
+  /// the page cache).
   [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_; }
+
+  /// Persist as a "LOTUSPA1" spill artifact (64-byte header: kind,
+  /// use_lotus, build_s, section table; then the embedded "LOTUSGR1" and/or
+  /// "LOTUSLG2" images at 8-aligned offsets), durably (temp + fsync +
+  /// rename). kNone artifacts have nothing to save → kInvalidArgument.
+  [[nodiscard]] util::Status save_s(const std::string& path) const;
+
+  /// Reload a spill artifact as zero-copy views into the mapped file (bytes()
+  /// ≈ 0). The file is trusted — this process wrote it — so the O(V+E)
+  /// structural scans are skipped; headers and section bounds are still
+  /// checked. The mapping is pinned by the contained graphs, so the
+  /// PreparedGraph stays valid even if the file is later unlinked.
+  [[nodiscard]] static util::Expected<PreparedGraph> load_mapped_s(
+      const std::string& path);
 
  private:
   ArtifactKind kind_ = ArtifactKind::kNone;

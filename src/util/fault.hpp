@@ -11,6 +11,11 @@
 //   alloc        — memory-budget charges fail (util/memory_budget.hpp)
 //   read_short   — binary graph reads return short (retried; graph/io.cpp)
 //   read_fail    — binary graph reads fail hard with an I/O error
+//   write_short  — binary graph writes return short (retried;
+//                  util/file_io.hpp write_fully)
+//   write_fail   — binary graph writes fail hard with an I/O error (the
+//                  durability tests assert no torn file survives at the
+//                  final path)
 //   thread_spawn — std::thread construction fails (parallel/thread_pool.cpp)
 //   hwc          — perf_event_open is refused (obs/hwc.cpp; supersedes the
 //                  legacy LOTUS_HWC_FORCE_ERROR hook, which still works)
@@ -36,6 +41,8 @@ enum class Site : std::size_t {
   kAlloc = 0,
   kReadShort,
   kReadFail,
+  kWriteShort,
+  kWriteFail,
   kThreadSpawn,
   kHwc,
   kCount,
@@ -48,6 +55,8 @@ inline constexpr std::size_t kNumSites = static_cast<std::size_t>(Site::kCount);
     case Site::kAlloc: return "alloc";
     case Site::kReadShort: return "read_short";
     case Site::kReadFail: return "read_fail";
+    case Site::kWriteShort: return "write_short";
+    case Site::kWriteFail: return "write_fail";
     case Site::kThreadSpawn: return "thread_spawn";
     case Site::kHwc: return "hwc";
     case Site::kCount: break;

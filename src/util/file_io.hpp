@@ -1,0 +1,252 @@
+// Portable, checked low-level file IO shared by the binary graph and
+// LotusGraph serializers (graph/io.cpp, lotus/serialize.cpp, tc spill files).
+//
+// Three concerns live here:
+//   * 64-bit-safe tell/seek. std::ftell/std::fseek traffic in `long`, which
+//     is 32 bits on Windows and on 32-bit Linux without _FILE_OFFSET_BITS=64,
+//     silently corrupting offsets past 2 GiB. tell64/seek64 use the
+//     platform's explicit 64-bit calls and fail loudly (EOVERFLOW) instead
+//     of truncating when the platform genuinely cannot represent an offset.
+//   * Exact-length reads/writes with bounded EINTR/short-transfer retries
+//     and deterministic fault injection (read_short/read_fail on the read
+//     side, write_short/write_fail on the write side — util/fault.hpp).
+//     The retry budget is for *consecutive* stalls: any call that makes the
+//     progress it asked for resets the counter, so a slow-but-moving pipe
+//     is not misclassified as stalled.
+//   * Durable file publication. AtomicFileWriter writes to "<path>.tmp.<pid>",
+//     then commit() flushes, fsyncs and renames over the final path, so a
+//     crash mid-write can never leave a torn file where readers look; the
+//     destructor unlinks the temp file if commit() was never reached.
+#pragma once
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <string>
+
+#include "util/fault.hpp"
+#include "util/status.hpp"
+
+#if defined(_WIN32)
+#include <io.h>
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace lotus::util::fileio {
+
+/// 64-bit file position, or -1 on failure (errno set).
+[[nodiscard]] inline std::int64_t tell64(std::FILE* file) noexcept {
+#if defined(_WIN32)
+  return _ftelli64(file);
+#else
+  const off_t pos = ftello(file);
+  // off_t is signed and at most 64 bits everywhere we build; the cast is
+  // lossless whether off_t is 32 or 64 bits wide.
+  return pos < 0 ? -1 : static_cast<std::int64_t>(pos);
+#endif
+}
+
+/// 64-bit seek; returns 0 on success. Offsets the platform's off_t cannot
+/// represent fail with EOVERFLOW rather than truncating.
+[[nodiscard]] inline int seek64(std::FILE* file, std::int64_t offset,
+                                int whence) noexcept {
+#if defined(_WIN32)
+  return _fseeki64(file, offset, whence);
+#else
+  if constexpr (sizeof(off_t) < sizeof(std::int64_t)) {
+    if (offset > static_cast<std::int64_t>(std::numeric_limits<off_t>::max()) ||
+        offset < static_cast<std::int64_t>(std::numeric_limits<off_t>::min())) {
+      errno = EOVERFLOW;
+      return -1;
+    }
+  }
+  return fseeko(file, static_cast<off_t>(offset), whence);
+#endif
+}
+
+namespace detail {
+
+inline Status io_error(const std::string& path, const std::string& what) {
+  return {StatusCode::kIoError, path + ": " + what};
+}
+
+/// How many consecutive no-progress iterations a transfer tolerates before
+/// being declared stalled. A genuine signal storm retries; a truncated file
+/// or dead pipe terminates because the counter is only reset by progress.
+constexpr int kMaxStallRetries = 8;
+
+}  // namespace detail
+
+/// Read exactly `bytes` into `dst`, retrying bounded times on EINTR and
+/// short reads. The `read_short`/`read_fail` fault sites deterministically
+/// simulate both conditions (chaos suite).
+[[nodiscard]] inline Status read_fully(std::FILE* file, void* dst,
+                                       std::size_t bytes,
+                                       const std::string& path) {
+  auto* out = static_cast<unsigned char*>(dst);
+  std::size_t remaining = bytes;
+  int retries = 0;
+  while (remaining > 0) {
+    if (fault::should_fail(fault::Site::kReadFail))
+      return detail::io_error(path, "read failed (injected I/O error)");
+    std::size_t want = remaining;
+    if (want > 1 && fault::should_fail(fault::Site::kReadShort))
+      want /= 2;  // deterministic short read; the loop must recover
+    std::clearerr(file);
+    const std::size_t got = std::fread(out, 1, want, file);
+    out += got;
+    remaining -= got;
+    if (remaining == 0) break;
+    if (std::ferror(file) != 0) {
+      if (errno == EINTR && ++retries <= detail::kMaxStallRetries) continue;
+      return detail::io_error(path,
+                              std::string("read failed: ") + std::strerror(errno));
+    }
+    if (got == want) {
+      retries = 0;  // the (possibly shortened) request was fully served
+      continue;
+    }
+    if (std::feof(file) != 0)
+      return detail::io_error(path, "truncated: unexpected end of file");
+    // Short read without error or EOF (rare, e.g. signals on some libcs).
+    if (++retries > detail::kMaxStallRetries)
+      return detail::io_error(path, "read stalled (too many short reads)");
+  }
+  return Status::Ok();
+}
+
+/// Write exactly `bytes`, retrying bounded times on EINTR and short writes.
+/// Mirrors read_fully: a write that delivers everything it asked for counts
+/// as progress and resets the retry budget, so a sequence of successful
+/// shortened writes (fault site `write_short`, or a drip-feeding pipe) is
+/// not misclassified as a stall.
+[[nodiscard]] inline Status write_fully(std::FILE* file, const void* src,
+                                        std::size_t bytes,
+                                        const std::string& path) {
+  const auto* in = static_cast<const unsigned char*>(src);
+  std::size_t remaining = bytes;
+  int retries = 0;
+  while (remaining > 0) {
+    if (fault::should_fail(fault::Site::kWriteFail))
+      return detail::io_error(path, "write failed (injected I/O error)");
+    std::size_t want = remaining;
+    if (want > 1 && fault::should_fail(fault::Site::kWriteShort))
+      want /= 2;  // deterministic short write; the loop must recover
+    const std::size_t put = std::fwrite(in, 1, want, file);
+    in += put;
+    remaining -= put;
+    if (remaining == 0) break;
+    if (std::ferror(file) != 0) {
+      if (errno == EINTR && ++retries <= detail::kMaxStallRetries) {
+        std::clearerr(file);
+        continue;
+      }
+      return detail::io_error(path,
+                              std::string("write failed: ") + std::strerror(errno));
+    }
+    if (put == want) {
+      retries = 0;  // the (possibly shortened) request was fully written
+      continue;
+    }
+    if (++retries > detail::kMaxStallRetries)
+      return detail::io_error(path, "write stalled (too many short writes)");
+    std::clearerr(file);
+  }
+  return Status::Ok();
+}
+
+/// Flush user-space buffers and fsync the descriptor so the bytes are on
+/// stable storage before a rename publishes them.
+[[nodiscard]] inline Status flush_and_sync(std::FILE* file,
+                                           const std::string& path) {
+  if (std::fflush(file) != 0)
+    return detail::io_error(path, std::string("flush failed: ") + std::strerror(errno));
+#if defined(_WIN32)
+  if (_commit(_fileno(file)) != 0)
+    return detail::io_error(path, std::string("sync failed: ") + std::strerror(errno));
+#else
+  if (fsync(fileno(file)) != 0)
+    return detail::io_error(path, std::string("fsync failed: ") + std::strerror(errno));
+#endif
+  return Status::Ok();
+}
+
+/// Write-to-temp + atomic-rename publication.
+///
+///   AtomicFileWriter w(path);
+///   if (!w.ok()) return w.open_status();
+///   ... write_fully(w.file(), ...) ...
+///   return w.commit();   // fflush + fsync + fclose + rename(tmp, path)
+///
+/// Until commit() succeeds the final path is untouched: readers either see
+/// the complete old file or the complete new one, never a torn prefix. If
+/// the writer is destroyed without a successful commit (error path, injected
+/// write_fail, exception) the temp file is closed and unlinked.
+class AtomicFileWriter {
+ public:
+  explicit AtomicFileWriter(std::string path)
+      : final_path_(std::move(path)),
+        temp_path_(final_path_ + ".tmp." +
+                   std::to_string(static_cast<unsigned long>(
+#if defined(_WIN32)
+                       _getpid()
+#else
+                       getpid()
+#endif
+                           ))),
+        file_(std::fopen(temp_path_.c_str(), "wb")) {
+    if (file_ == nullptr)
+      open_status_ = detail::io_error(
+          temp_path_, std::string("cannot open for writing: ") + std::strerror(errno));
+  }
+
+  ~AtomicFileWriter() { discard(); }
+
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  [[nodiscard]] bool ok() const noexcept { return file_ != nullptr; }
+  [[nodiscard]] const Status& open_status() const noexcept { return open_status_; }
+  [[nodiscard]] std::FILE* file() const noexcept { return file_; }
+  [[nodiscard]] const std::string& temp_path() const noexcept { return temp_path_; }
+
+  /// Flush, fsync, close and rename the temp file over the final path.
+  /// On any failure the temp file is removed and the final path is left
+  /// exactly as it was before the writer was created.
+  [[nodiscard]] Status commit() {
+    if (file_ == nullptr)
+      return open_status_.ok()
+                 ? detail::io_error(final_path_, "commit on a discarded writer")
+                 : open_status_;
+    Status status = flush_and_sync(file_, temp_path_);
+    const int close_rc = std::fclose(file_);
+    file_ = nullptr;
+    if (status.ok() && close_rc != 0)
+      status = detail::io_error(temp_path_, "close failed (buffered data lost)");
+    if (status.ok() && std::rename(temp_path_.c_str(), final_path_.c_str()) != 0)
+      status = detail::io_error(
+          final_path_, std::string("rename failed: ") + std::strerror(errno));
+    if (!status.ok()) std::remove(temp_path_.c_str());
+    return status;
+  }
+
+  /// Close and unlink the temp file without publishing (error paths).
+  void discard() noexcept {
+    if (file_ == nullptr) return;
+    std::fclose(file_);
+    file_ = nullptr;
+    std::remove(temp_path_.c_str());
+  }
+
+ private:
+  std::string final_path_;
+  std::string temp_path_;
+  std::FILE* file_ = nullptr;
+  Status open_status_ = Status::Ok();
+};
+
+}  // namespace lotus::util::fileio

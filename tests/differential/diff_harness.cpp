@@ -1,7 +1,11 @@
 #include "diff_harness.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 
 #ifdef _OPENMP
@@ -14,6 +18,8 @@
 #include "graph/builder.hpp"
 #include "graph/degree_order.hpp"
 #include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/oocore.hpp"
 #include "lotus/count.hpp"
 #include "lotus/kclique.hpp"
 #include "lotus/lotus.hpp"
@@ -173,6 +179,58 @@ std::uint64_t forward_with_kernel(const g::CsrGraph& graph, Kernel&& kernel) {
   return count;
 }
 
+/// Out-of-core rows stage each corpus graph on disk in a uniquely named temp
+/// file and push it through the pipeline under test, so a divergence in the
+/// external builder, the mmap loader, or the parallel loader surfaces as an
+/// ordinary count mismatch with the usual repro line.
+std::string oocore_temp_path(const char* tag) {
+  static std::atomic<std::uint64_t> seq{0};
+  return (std::filesystem::temp_directory_path() /
+          ("lotus_diff_" + std::string(tag) + "_" +
+           std::to_string(seq.fetch_add(1)) + ".tmp"))
+      .string();
+}
+
+std::uint64_t oocore_external_build(const g::CsrGraph& graph) {
+  const std::string file = oocore_temp_path("el");
+  {
+    // Dump each undirected edge once; the builder symmetrizes.
+    g::EdgeList el{graph.num_vertices(), {}};
+    for (g::VertexId v = 0; v < graph.num_vertices(); ++v)
+      for (g::VertexId u : graph.neighbors(v))
+        if (v < u) el.edges.push_back({v, u});
+    g::write_edge_list_text(file, el);
+  }
+  g::oocore::ExternalBuildOptions options;
+  options.sort_budget_bytes = 1ull << 20;  // the floor: smallest buckets
+  auto rebuilt = g::oocore::build_undirected_external_s(file, options);
+  std::remove(file.c_str());
+  if (!rebuilt.ok()) throw std::runtime_error(rebuilt.status().to_string());
+  return baselines::forward_merge(rebuilt.value()).triangles;
+}
+
+std::uint64_t oocore_mapped_csx(const g::CsrGraph& graph,
+                                const core::LotusConfig& config) {
+  const std::string file = oocore_temp_path("csx");
+  g::write_csr_binary(file, graph);
+  auto mapped = g::oocore::read_csr_mapped_s(file);
+  std::remove(file.c_str());  // the mapping outlives the unlink
+  if (!mapped.ok()) throw std::runtime_error(mapped.status().to_string());
+  // Full LOTUS pipeline over the zero-copy views, not just a read check.
+  return core::count_triangles(mapped.value(), config).triangles;
+}
+
+std::uint64_t oocore_parallel_load(const g::CsrGraph& graph) {
+  const std::string file = oocore_temp_path("par");
+  g::write_csr_binary(file, graph);
+  g::oocore::LoaderOptions options;
+  options.chunk_bytes = 1;  // clamped to the 1 MiB floor: several chunks
+  auto loaded = g::oocore::read_csr_binary_parallel_s(file, options);
+  std::remove(file.c_str());
+  if (!loaded.ok()) throw std::runtime_error(loaded.status().to_string());
+  return baselines::forward_merge(loaded.value()).triangles;
+}
+
 }  // namespace
 
 std::vector<DiffGraph> differential_corpus() {
@@ -279,6 +337,18 @@ std::vector<DiffPath> differential_paths() {
                    }});
   paths.push_back({"kclique3", [](const auto& graph, const auto&) {
                      return core::count_kcliques(graph, 3).cliques;
+                   }});
+
+  // --- Out-of-core pipeline (docs/OUT_OF_CORE.md).
+  paths.push_back({"oocore_external_build", [](const auto& graph, const auto&) {
+                     return oocore_external_build(graph);
+                   }});
+  paths.push_back({"oocore_mapped_csx", [](const auto& graph,
+                                           const auto& config) {
+                     return oocore_mapped_csx(graph, config);
+                   }});
+  paths.push_back({"oocore_parallel_load", [](const auto& graph, const auto&) {
+                     return oocore_parallel_load(graph);
                    }});
 
   return paths;

@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
+#include <filesystem>
 #include <future>
 #include <string>
 #include <thread>
@@ -23,7 +25,27 @@ namespace {
 namespace g = lotus::graph;
 namespace tc = lotus::tc;
 namespace par = lotus::parallel;
+namespace fs = std::filesystem;
 using lotus::util::StatusCode;
+
+/// Fresh, self-cleaning spill directory for one test.
+class SpillDir {
+ public:
+  explicit SpillDir(const std::string& name)
+      : dir_(fs::temp_directory_path() / name) {
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  ~SpillDir() { fs::remove_all(dir_); }
+  [[nodiscard]] std::string str() const { return dir_.string(); }
+  [[nodiscard]] std::size_t file_count() const {
+    return static_cast<std::size_t>(
+        std::distance(fs::directory_iterator(dir_), fs::directory_iterator{}));
+  }
+
+ private:
+  fs::path dir_;
+};
 
 g::CsrGraph small_graph(std::uint64_t seed = 21) {
   return g::build_undirected(
@@ -196,6 +218,85 @@ TEST(Engine, LruEvictionUnderTinyBudget) {
   EXPECT_LE(stats.cache_bytes, options.cache_budget_bytes);
 }
 
+TEST(Engine, SpillsOnEvictionAndRemapsInsteadOfRebuilding) {
+  const auto graph = small_graph();
+  const auto expected = lotus::baselines::brute_force(graph);
+  const std::uint64_t oriented_bytes =
+      tc::PreparedGraph::build(tc::ArtifactKind::kOriented, graph).bytes();
+  const std::uint64_t lotus_bytes =
+      tc::PreparedGraph::build(tc::ArtifactKind::kLotus, graph).bytes();
+
+  SpillDir spill_dir("lotus_engine_spill_test");
+  tc::EngineOptions options;
+  options.num_drivers = 1;
+  options.cache_budget_bytes = std::max(oriented_bytes, lotus_bytes) +
+                               std::min(oriented_bytes, lotus_bytes) / 2;
+  options.spill_dir = spill_dir.str();
+  {
+    tc::Engine engine(options);
+    (void)get_ok(engine.submit({tc::Algorithm::kLotus, "g", &graph, {}}));
+    // Evicts (and now spills) the lotus artifact to make room.
+    (void)get_ok(engine.submit({tc::Algorithm::kForwardMerge, "g", &graph, {}}));
+    auto stats = engine.stats();
+    EXPECT_EQ(stats.cache_evictions, 1u);
+    EXPECT_EQ(stats.cache_spills, 1u);
+    EXPECT_EQ(stats.cache_spilled_entries, 1u);
+    EXPECT_EQ(spill_dir.file_count(), 1u);
+
+    // The re-query remaps the spill file: served as a hit, no rebuild, and
+    // the remapped entry charges ≈0 bytes, so nothing else gets evicted.
+    const auto remapped =
+        get_ok(engine.submit({tc::Algorithm::kLotus, "g", &graph, {}}));
+    EXPECT_TRUE(remapped.cache_hit);
+    EXPECT_EQ(remapped.result.triangles, expected);
+    stats = engine.stats();
+    EXPECT_EQ(stats.cache_remaps, 1u);
+    EXPECT_EQ(stats.cache_evictions, 1u);  // the remap displaced nothing
+    EXPECT_EQ(stats.cache_entries, 2u);
+
+    // And a later hit on the remapped entry is an ordinary cache hit.
+    const auto hit =
+        get_ok(engine.submit({tc::Algorithm::kAdaptive, "g", &graph, {}}));
+    EXPECT_TRUE(hit.cache_hit);
+    EXPECT_EQ(hit.result.triangles, expected);
+
+    const std::string json = engine.metrics().to_json_string();
+    EXPECT_NE(json.find("\"cache_spills\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"cache_remaps\": 1"), std::string::npos);
+  }
+  // The destructor removes its spill files.
+  EXPECT_EQ(spill_dir.file_count(), 0u);
+}
+
+TEST(Engine, InvalidateRemovesSpillFilesToo) {
+  const auto graph = small_graph();
+  const std::uint64_t oriented_bytes =
+      tc::PreparedGraph::build(tc::ArtifactKind::kOriented, graph).bytes();
+  const std::uint64_t lotus_bytes =
+      tc::PreparedGraph::build(tc::ArtifactKind::kLotus, graph).bytes();
+
+  SpillDir spill_dir("lotus_engine_invalidate_spill_test");
+  tc::EngineOptions options;
+  options.num_drivers = 1;
+  options.cache_budget_bytes = std::max(oriented_bytes, lotus_bytes) +
+                               std::min(oriented_bytes, lotus_bytes) / 2;
+  options.spill_dir = spill_dir.str();
+  tc::Engine engine(options);
+  (void)get_ok(engine.submit({tc::Algorithm::kLotus, "g", &graph, {}}));
+  (void)get_ok(engine.submit({tc::Algorithm::kForwardMerge, "g", &graph, {}}));
+  ASSERT_EQ(engine.stats().cache_spilled_entries, 1u);
+
+  engine.invalidate("g");
+  EXPECT_EQ(engine.stats().cache_spilled_entries, 0u);
+  EXPECT_EQ(spill_dir.file_count(), 0u);
+
+  // With the spill file gone, the next query really rebuilds.
+  const auto rebuilt =
+      get_ok(engine.submit({tc::Algorithm::kLotus, "g", &graph, {}}));
+  EXPECT_FALSE(rebuilt.cache_hit);
+  EXPECT_EQ(engine.stats().cache_remaps, 0u);
+}
+
 TEST(Engine, InvalidateDropsArtifactsForOneKey) {
   const auto graph = small_graph();
   tc::Engine engine({.num_drivers = 1});
@@ -355,6 +456,56 @@ TEST(PreparedGraph, QueryPreparedMatchesEndToEnd) {
     ASSERT_TRUE(r.value().ok());
     EXPECT_EQ(r.value().result.triangles, expected) << tc::name(algorithm);
   }
+}
+
+TEST(PreparedGraph, SpillRoundTripServesIdenticalCounts) {
+  const auto graph = small_graph();
+  const auto expected = lotus::baselines::brute_force(graph);
+  SpillDir dir("lotus_prepared_spill_test");
+  for (const auto kind :
+       {tc::ArtifactKind::kOriented, tc::ArtifactKind::kLotus}) {
+    const auto built = tc::PreparedGraph::build(kind, graph);
+    const std::string path = dir.str() + "/artifact.lpa";
+    ASSERT_TRUE(built.save_s(path).ok());
+
+    auto loaded = tc::PreparedGraph::load_mapped_s(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+    const tc::PreparedGraph remapped = loaded.take();
+    EXPECT_EQ(remapped.kind(), built.kind());
+    EXPECT_EQ(remapped.use_lotus(), built.use_lotus());
+    EXPECT_EQ(remapped.build_s(), built.build_s());
+    // Zero-copy: the topology lives in the mapping, not on the heap.
+    EXPECT_EQ(remapped.bytes(), 0u);
+
+    const auto algorithm = kind == tc::ArtifactKind::kOriented
+                               ? tc::Algorithm::kForwardMerge
+                               : tc::Algorithm::kLotus;
+    const auto r = tc::query_prepared(algorithm, graph, remapped);
+    ASSERT_TRUE(r.ok());
+    ASSERT_TRUE(r.value().ok()) << r.value().status.to_string();
+    EXPECT_EQ(r.value().result.triangles, expected);
+  }
+}
+
+TEST(PreparedGraph, SpillRejectsNoneKindAndCorruptFiles) {
+  SpillDir dir("lotus_prepared_spill_reject_test");
+  const tc::PreparedGraph none;
+  EXPECT_EQ(none.save_s(dir.str() + "/none.lpa").code(),
+            StatusCode::kInvalidArgument);
+
+  EXPECT_EQ(tc::PreparedGraph::load_mapped_s(dir.str() + "/absent.lpa")
+                .status()
+                .code(),
+            StatusCode::kIoError);
+
+  std::FILE* f = std::fopen((dir.str() + "/garbage.lpa").c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("definitely not a spill artifact", f);
+  std::fclose(f);
+  EXPECT_EQ(tc::PreparedGraph::load_mapped_s(dir.str() + "/garbage.lpa")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(PreparedGraph, ArtifactKindMismatchIsInvalidArgument) {

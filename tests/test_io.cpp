@@ -363,6 +363,72 @@ TEST_F(IoTest, InjectedReadFailureIsIoError) {
   EXPECT_NE(loaded.status().message().find("injected"), std::string::npos);
 }
 
+TEST_F(IoTest, ShortWritesAreRetriedToCompletion) {
+  const auto graph =
+      g::build_undirected(g::rmat({.scale = 8, .edge_factor = 6, .seed = 5}));
+  {
+    fault::ScopedFaultPlan plan(
+        fault::single_site_plan(fault::Site::kWriteShort, 1.0));
+    ASSERT_TRUE(g::write_csr_binary_s(path("wshort.bin"), graph).ok());
+    EXPECT_GT(fault::injected_count(fault::Site::kWriteShort), 0u);
+  }
+  const auto loaded = g::read_csr_binary_s(path("wshort.bin"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  EXPECT_EQ(loaded.value(), graph);
+}
+
+TEST_F(IoTest, InjectedWriteFailureIsIoErrorAndLeavesNoTornFile) {
+  const auto graph = g::build_undirected(g::complete(10));
+  {
+    fault::ScopedFaultPlan plan(
+        fault::single_site_plan(fault::Site::kWriteFail, 1.0));
+    const auto status = g::write_csr_binary_s(path("wfail.bin"), graph);
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kIoError);
+    EXPECT_NE(status.message().find("injected"), std::string::npos);
+  }
+  // Atomic-rename contract: a failed write must leave neither a torn file at
+  // the final path nor a stranded temp file next to it.
+  EXPECT_FALSE(fs::exists(path("wfail.bin")));
+  EXPECT_TRUE(fs::is_empty(dir_));
+}
+
+TEST_F(IoTest, WriteFaultMatrixNeverTearsTheFinalPath) {
+  // Sweep injection probabilities over both write sites: every outcome is
+  // either a fully valid artifact at the final path or no file at all, and
+  // never a stray temp alongside.
+  const auto graph =
+      g::build_undirected(g::rmat({.scale = 7, .edge_factor = 5, .seed = 11}));
+  const fault::Site sites[] = {fault::Site::kWriteShort,
+                               fault::Site::kWriteFail};
+  const double probabilities[] = {0.05, 0.25, 1.0};
+  int seed = 0;
+  for (const fault::Site site : sites) {
+    for (const double probability : probabilities) {
+      auto plan = fault::single_site_plan(site, probability);
+      plan.seed = static_cast<std::uint64_t>(++seed);
+      const std::string out = path("matrix.bin");
+      lotus::util::Status status;
+      {
+        fault::ScopedFaultPlan scoped(plan);
+        status = g::write_csr_binary_s(out, graph);
+      }
+      if (status.ok()) {
+        const auto loaded = g::read_csr_binary_s(out);
+        ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+        EXPECT_EQ(loaded.value(), graph);
+        fs::remove(out);
+      } else {
+        EXPECT_EQ(status.code(), StatusCode::kIoError);
+        EXPECT_FALSE(fs::exists(out));
+      }
+      EXPECT_TRUE(fs::is_empty(dir_))
+          << "stranded temp file after site=" << fault::site_name(site)
+          << " p=" << probability;
+    }
+  }
+}
+
 TEST_F(IoTest, LegacyWrappersPreserveStatusMessage) {
   try {
     (void)g::read_csr_binary(path("absent.bin"));

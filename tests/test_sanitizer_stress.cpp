@@ -176,7 +176,10 @@ TEST(SanitizerStress, EngineConcurrentSubmitCancelInvalidate) {
   const auto expected_a = lotus::baselines::brute_force(graph_a);
   const auto expected_b = lotus::baselines::brute_force(graph_b);
 
-  lotus::tc::Engine engine({.num_drivers = 2, .threads_per_query = 2});
+  lotus::tc::EngineOptions engine_options;
+  engine_options.num_drivers = 2;
+  engine_options.threads_per_query = 2;
+  lotus::tc::Engine engine(engine_options);
   lotus::util::CancelToken token;
   std::atomic<bool> stop{false};
   std::thread chaos([&] {
