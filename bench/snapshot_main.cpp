@@ -2,8 +2,9 @@
 //
 // Runs a pinned set of measurements — fig1-style counting rates over the
 // paper comparators, the fig6 phase breakdown, thread scaling at fixed
-// thread counts, the tc::Engine cache-hit serving scenario, and the
-// per-kernel SIMD dispatch microbenchmarks (docs/KERNELS.md) — on pinned
+// thread counts, the tc::Engine cache-hit serving scenario, the serving
+// telemetry overhead gate (docs/TELEMETRY.md), and the per-kernel SIMD
+// dispatch microbenchmarks (docs/KERNELS.md) — on pinned
 // synthetic inputs, and emits them as a versioned
 // "lotus-bench/2" JSON snapshot. With --compare, a previous snapshot is
 // loaded instead-of-trusted and every metric is checked against the new run:
@@ -39,6 +40,7 @@
 #include "kernels/dispatch.hpp"
 #include "kernels/isa.hpp"
 #include "obs/json.hpp"
+#include "obs/telemetry.hpp"
 #include "tc/api.hpp"
 #include "tc/engine.hpp"
 #include "util/prng.hpp"
@@ -295,6 +297,109 @@ void oocore_metrics(JsonValue& metrics, const std::string& name,
   fs::remove_all(dir);
 }
 
+/// telemetry: the serving-telemetry regression guard (docs/TELEMETRY.md).
+/// Replays the pinned engine mix on a warm cache with telemetry disabled and
+/// enabled (best-of-N per mode) and gates the end-to-end overhead at < 2%.
+/// The gate is the throw, not the snapshot compare: a noisy host gets three
+/// attempts, and only "every attempt over the gate" is a hard failure. The
+/// exported overhead_frac is clamped at 0 (warm replays routinely time the
+/// instrumented run faster than the bare one), and export_bytes tracks the
+/// Prometheus exposition size so export bloat shows up in review.
+void telemetry_metrics(JsonValue& metrics, const std::string& name,
+                       const lotus::graph::CsrGraph& graph,
+                       const lotus::core::LotusConfig& config, int repeat) {
+  const auto mix = engine_mix();
+  constexpr int kRounds = 4;  // mix replays per timed sample
+
+  std::size_t export_bytes = 0;
+  const auto replay_s = [&](bool enabled) {
+    lotus::tc::EngineOptions engine_options;
+    engine_options.num_drivers = 2;
+    engine_options.telemetry.enabled = enabled;
+    lotus::tc::Engine engine(engine_options);
+    lotus::tc::QueryOptions options;
+    options.config = config;
+    // Warm pass: both artifact families get built and cached outside the
+    // timed section, so the measurement is serving overhead, not builds.
+    for (const auto algorithm : mix) {
+      auto r = engine.query({algorithm, "telemetry:" + name, &graph, options});
+      if (!r.ok()) throw std::runtime_error(r.status().message());
+      if (!r.value().ok()) throw std::runtime_error(r.value().status.message());
+    }
+    lotus::util::Timer timer;
+    std::vector<std::future<lotus::util::Expected<lotus::tc::QueryResult>>>
+        futures;
+    futures.reserve(mix.size() * kRounds);
+    for (int round = 0; round < kRounds; ++round)
+      for (const auto algorithm : mix)
+        futures.push_back(
+            engine.submit({algorithm, "telemetry:" + name, &graph, options}));
+    for (auto& future : futures) {
+      auto r = future.get();
+      if (!r.ok()) throw std::runtime_error(r.status().message());
+      if (!r.value().ok()) throw std::runtime_error(r.value().status.message());
+    }
+    const double s = timer.elapsed_s();
+    if (enabled) export_bytes = engine.prometheus_text().size();
+    return s;
+  };
+
+  constexpr double kOverheadGate = 0.02;
+  double overhead = 0.0;
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    double off_s = 0.0;
+    double on_s = 0.0;
+    for (int r = 0; r < repeat; ++r) {
+      const double off = replay_s(false);
+      const double on = replay_s(true);
+      if (r == 0 || off < off_s) off_s = off;
+      if (r == 0 || on < on_s) on_s = on;
+    }
+    overhead = off_s > 0.0 ? on_s / off_s - 1.0 : 0.0;
+    if (overhead < kOverheadGate) break;
+    if (attempt == 2)
+      throw std::runtime_error(
+          "telemetry." + name + " overhead gate failed: " +
+          std::to_string(100.0 * overhead) + "% >= 2% on three attempts");
+  }
+  metrics.set("telemetry." + name + ".overhead_frac",
+              metric(std::max(overhead, 0.0), "fraction", "lower"));
+  metrics.set("telemetry." + name + ".export_bytes",
+              metric(static_cast<std::uint64_t>(export_bytes), "bytes",
+                     "none"));
+}
+
+/// The raw record() hot path, no engine in the way: one standalone Telemetry,
+/// 200k samples across the stage/outcome series, reported as ns per record.
+void telemetry_record_metrics(JsonValue& metrics, int repeat) {
+  namespace obs = lotus::obs;
+  constexpr int kOps = 200000;
+  obs::Telemetry telemetry(obs::TelemetryOptions{},
+                           {"bench-alpha", "bench-beta"});
+  obs::QuerySample sample;
+  sample.graph_key = "bench";
+  sample.status = "ok";
+  sample.threads = 1;
+  double best_s = 0.0;
+  for (int r = 0; r < repeat; ++r) {
+    lotus::util::Timer timer;
+    for (int i = 0; i < kOps; ++i) {
+      sample.algorithm = static_cast<std::size_t>(i & 1);
+      sample.outcome = (i & 1) != 0 ? obs::CacheOutcome::kHit
+                                    : obs::CacheOutcome::kMiss;
+      sample.queue_ns = static_cast<std::uint64_t>(100 + (i & 1023));
+      sample.prepare_ns = 0;
+      sample.count_ns = static_cast<std::uint64_t>(5000 + (i & 4095));
+      sample.total_ns = sample.queue_ns + sample.count_ns;
+      telemetry.record(sample);
+    }
+    const double s = timer.elapsed_s();
+    if (r == 0 || s < best_s) best_s = s;
+  }
+  metrics.set("telemetry.record_ns_per_op",
+              metric(best_s * 1e9 / kOps, "ns", "lower"));
+}
+
 // Defeats dead-code elimination of the timed kernel loops; function-pointer
 // calls are opaque to the optimizer already, this is belt and braces.
 volatile std::uint64_t g_kernel_sink = 0;
@@ -464,7 +569,11 @@ JsonValue run_suite(const Suite& suite, const std::string& suite_name,
 
     // oocore: mmap cold start, external build rate, spill/remap behaviour.
     oocore_metrics(metrics, name, graph, config, suite.repeat);
+
+    // telemetry: the <2% serving-overhead gate + export size.
+    telemetry_metrics(metrics, name, graph, config, suite.repeat);
   }
+  if (only != "kernels") telemetry_record_metrics(metrics, suite.repeat);
 
   JsonValue root;
   root.set("schema_version", kBenchSchemaVersion);

@@ -7,18 +7,27 @@
 //   tc_serve --mix lotus,gap-forward,forward-simd --mode engine
 //   tc_serve --graph edges.txt --cache-mb 256
 //   tc_serve --metrics-out engine.json         # Engine::metrics() report
+//   tc_serve --telemetry-out metrics.prom      # Prometheus text exposition
+//   tc_serve --query-log queries.jsonl --stats-interval-s 1
 //
 // Prints per-mode wall time, the warm/cold speedup, and the engine's cache
-// statistics; --metrics-out additionally writes the "lotus-metrics/4"
-// engine section (docs/METRICS.md, docs/API.md).
+// statistics; --metrics-out additionally writes the "lotus-metrics/5"
+// engine + engine_telemetry sections (docs/METRICS.md, docs/API.md),
+// --telemetry-out the Prometheus exposition, --query-log a JSON-lines
+// record of sampled queries, and --stats-interval-s a periodic rolling
+// telemetry line to stderr (docs/TELEMETRY.md) — so the demo doubles as a
+// live dashboard source.
 //
 // Exit codes follow util::exit_code (docs/ROBUSTNESS.md): 0 ok, 2 invalid
 // argument, 3 io error, 1 internal (count mismatch between modes). Every
 // failure prints exactly one "error (<code>): <message>" line to stderr.
+#include <atomic>
+#include <chrono>
 #include <fstream>
 #include <future>
 #include <iostream>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "datasets/registry.hpp"
@@ -78,6 +87,14 @@ int main(int argc, char** argv) {
   cli.opt("mode", "both", "what to run: engine, cold, or both");
   cli.opt("metrics-out", "",
           "write Engine::metrics() JSON to this file (empty = don't)");
+  cli.opt("telemetry-out", "",
+          "write the engine's Prometheus text exposition to this file");
+  cli.opt("query-log", "",
+          "append sampled queries as JSON lines to this file");
+  cli.opt("query-log-sample", "1",
+          "log every Nth query (1 = every query, 0 = disable the log)");
+  cli.opt("stats-interval-s", "0",
+          "print rolling telemetry to stderr every S seconds (0 = off)");
   if (!cli.parse(argc, argv))
     return lotus::util::exit_code(lotus::util::StatusCode::kInvalidArgument);
 
@@ -98,6 +115,18 @@ int main(int argc, char** argv) {
   if (cli.get_int("threads-per-query") < 0)
     return fail_invalid("--threads-per-query must be >= 0");
   if (cli.get_int("cache-mb") < 0) return fail_invalid("--cache-mb must be >= 0");
+  if (cli.get_int("query-log-sample") < 0)
+    return fail_invalid("--query-log-sample must be >= 0");
+  const double stats_interval_s = cli.get_double("stats-interval-s");
+  if (stats_interval_s < 0) return fail_invalid("--stats-interval-s must be >= 0");
+  if (!cli.get("query-log").empty()) {
+    // Surface an unwritable log path as an io error up front instead of
+    // silently counting write failures inside the engine.
+    std::ofstream probe(cli.get("query-log"), std::ios::app);
+    if (!probe)
+      return fail({lotus::util::StatusCode::kIoError,
+                   "cannot open --query-log " + cli.get("query-log")});
+  }
 
   lotus::graph::CsrGraph graph;
   std::string graph_key;
@@ -160,7 +189,62 @@ int main(int argc, char** argv) {
         static_cast<unsigned>(cli.get_int("threads-per-query"));
     options.cache_budget_bytes =
         static_cast<std::uint64_t>(cli.get_int("cache-mb")) * 1024 * 1024;
+    options.telemetry.query_log_path = cli.get("query-log");
+    options.telemetry.query_log_sample =
+        static_cast<std::uint32_t>(cli.get_int("query-log-sample"));
     lotus::tc::Engine engine(options);
+
+    // Live dashboard line: rolling-window QPS + quantiles, then one compact
+    // per-algorithm p50/p95/p99 summary (total stage), every interval.
+    std::atomic<bool> replay_done{false};
+    std::thread reporter;
+    if (stats_interval_s > 0) {
+      reporter = std::thread([&engine, &replay_done, stats_interval_s] {
+        const auto interval =
+            std::chrono::duration<double>(stats_interval_s);
+        auto next = std::chrono::steady_clock::now() + interval;
+        while (!replay_done.load(std::memory_order_relaxed)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          if (std::chrono::steady_clock::now() < next) continue;
+          next += interval;
+          const auto snap = engine.telemetry_snapshot();
+          const auto stats = engine.stats();
+          std::ostringstream line;
+          line << "[telemetry +" << lotus::util::fixed(snap.uptime_s, 1)
+               << "s] qps=" << lotus::util::fixed(snap.window.qps, 1)
+               << " window_n=" << snap.window.queries << " p50="
+               << lotus::util::fixed(snap.window.hist.quantile_s(0.5) * 1e3, 2)
+               << "ms p95="
+               << lotus::util::fixed(snap.window.hist.quantile_s(0.95) * 1e3, 2)
+               << "ms p99="
+               << lotus::util::fixed(snap.window.hist.quantile_s(0.99) * 1e3, 2)
+               << "ms hits=" << stats.cache_hits
+               << " misses=" << stats.cache_misses
+               << " deadline_misses=" << stats.deadline_misses << "\n";
+          for (const auto& series : snap.algorithms) {
+            if (series.stage != lotus::obs::QueryStage::kTotal) continue;
+            line << "[telemetry]   " << series.label
+                 << ": n=" << series.hist.count() << " p50/p95/p99 = "
+                 << lotus::util::fixed(series.hist.quantile_s(0.5) * 1e3, 2)
+                 << "/"
+                 << lotus::util::fixed(series.hist.quantile_s(0.95) * 1e3, 2)
+                 << "/"
+                 << lotus::util::fixed(series.hist.quantile_s(0.99) * 1e3, 2)
+                 << " ms\n";
+          }
+          std::cerr << line.str();
+        }
+      });
+    }
+    // Stops the reporter on every exit path (including early fail returns).
+    struct ReporterGuard {
+      std::atomic<bool>& done;
+      std::thread& thread;
+      ~ReporterGuard() {
+        done.store(true, std::memory_order_relaxed);
+        if (thread.joinable()) thread.join();
+      }
+    } reporter_guard{replay_done, reporter};
 
     lotus::util::Timer timer;
     std::vector<std::future<lotus::util::Expected<lotus::tc::QueryResult>>>
@@ -206,6 +290,15 @@ int main(int argc, char** argv) {
         return fail({lotus::util::StatusCode::kIoError,
                      "failed to write " + cli.get("metrics-out")});
       std::cerr << "wrote " << cli.get("metrics-out") << "\n";
+    }
+
+    if (!cli.get("telemetry-out").empty()) {
+      std::ofstream out(cli.get("telemetry-out"));
+      out << engine.prometheus_text();
+      if (!out)
+        return fail({lotus::util::StatusCode::kIoError,
+                     "failed to write " + cli.get("telemetry-out")});
+      std::cerr << "wrote " << cli.get("telemetry-out") << "\n";
     }
   }
   return 0;

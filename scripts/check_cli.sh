@@ -113,8 +113,39 @@ if [ -n "$TC_SERVE" ]; then
   grep -q 'cache hits' "$TMP/out" || fail "tc_serve: no cache-hit summary"
   grep -q '"engine"' "$TMP/engine.json" ||
     fail "tc_serve: metrics JSON lacks the engine section"
-  grep -q '"schema_version": "lotus-metrics/4"' "$TMP/engine.json" ||
-    fail "tc_serve: metrics JSON is not schema v4"
+  grep -q '"schema_version": "lotus-metrics/5"' "$TMP/engine.json" ||
+    fail "tc_serve: metrics JSON is not schema v5"
+  grep -q '"engine_telemetry"' "$TMP/engine.json" ||
+    fail "tc_serve: metrics JSON lacks the engine_telemetry section"
+
+  # Telemetry exports: the Prometheus exposition must parse (TYPE headers,
+  # histogram families, exact completed count) and the query log must carry
+  # one JSON line per query at the default sampling rate.
+  expect_exit "tc_serve telemetry export" 0 \
+    "$TC_SERVE" --factor 0.05 --queries 6 --drivers 2 --mode engine \
+    --telemetry-out "$TMP/engine.prom" --query-log "$TMP/queries.jsonl" \
+    --stats-interval-s 0.2
+  grep -q '^# TYPE lotus_engine_query_stage_seconds histogram' "$TMP/engine.prom" ||
+    fail "tc_serve: telemetry-out lacks the stage histogram family"
+  grep -q '^# TYPE lotus_engine_cache_outcome_seconds histogram' "$TMP/engine.prom" ||
+    fail "tc_serve: telemetry-out lacks the cache-outcome histogram family"
+  grep -q '^lotus_engine_queries_completed_total 6$' "$TMP/engine.prom" ||
+    fail "tc_serve: telemetry-out completed count is wrong"
+  grep -q 'le="+Inf"' "$TMP/engine.prom" ||
+    fail "tc_serve: telemetry-out lacks +Inf buckets"
+  [ "$(grep -c '^{"query_id":' "$TMP/queries.jsonl")" = 6 ] ||
+    fail "tc_serve: query log does not have one JSON line per query"
+  grep -q '"cache_outcome":"hit"' "$TMP/queries.jsonl" ||
+    fail "tc_serve: query log records no cache hit"
+
+  expect_exit "tc_serve unwritable query log -> io_error" 3 \
+    "$TC_SERVE" --factor 0.05 --queries 2 --mode engine \
+    --query-log "$TMP/no-such-dir/queries.jsonl"
+  expect_error_line io_error "tc_serve unwritable query log"
+
+  expect_exit "tc_serve negative stats interval -> invalid_argument" 2 \
+    "$TC_SERVE" --stats-interval-s -1
+  expect_error_line invalid_argument "tc_serve negative stats interval"
 
   expect_exit "tc_serve unknown algorithm -> invalid_argument" 2 \
     "$TC_SERVE" --mix lotus,not-an-algorithm

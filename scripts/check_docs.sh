@@ -10,7 +10,9 @@
 #      (tc::run, run_with_status, run_profiled*) — docs/API.md is exempt
 #      because it documents the migration away from them;
 #   5. every out-of-core knob (src/graph/oocore.hpp, LOTUS-KNOB-INVENTORY
-#      block) must be documented in docs/OUT_OF_CORE.md.
+#      block) must be documented in docs/OUT_OF_CORE.md;
+#   6. every exported engine metric (src/obs/telemetry.hpp,
+#      LOTUS-METRIC-INVENTORY block) must be documented in docs/TELEMETRY.md.
 set -u
 cd "$(dirname "$0")/.."
 
@@ -95,6 +97,23 @@ fi
 for knob in $knobs; do
   if ! grep -q "\`$knob\`" docs/OUT_OF_CORE.md 2>/dev/null; then
     echo "check_docs: knob '$knob' (src/graph/oocore.hpp) is not documented in docs/OUT_OF_CORE.md" >&2
+    status=1
+  fi
+done
+
+# --- 6. engine metric inventory vs docs/TELEMETRY.md ------------------------
+# The telemetry header names every exported Prometheus family between
+# LOTUS-METRIC-INVENTORY markers; each must appear (backtick-quoted) in the
+# telemetry guide.
+metric_names=$(sed -n '/LOTUS-METRIC-INVENTORY-BEGIN/,/LOTUS-METRIC-INVENTORY-END/p' \
+                 src/obs/telemetry.hpp | grep -o '"[a-z0-9_]*"' | tr -d '"')
+if [ -z "$metric_names" ]; then
+  echo "check_docs: no metric inventory found in src/obs/telemetry.hpp" >&2
+  status=1
+fi
+for metric_name in $metric_names; do
+  if ! grep -q "\`$metric_name\`" docs/TELEMETRY.md 2>/dev/null; then
+    echo "check_docs: metric '$metric_name' (src/obs/telemetry.hpp) is not documented in docs/TELEMETRY.md" >&2
     status=1
   fi
 done

@@ -56,6 +56,11 @@ void MetricsRegistry::set_engine(
   have_engine_ = true;
 }
 
+void MetricsRegistry::set_engine_telemetry(JsonValue section) {
+  engine_telemetry_ = std::move(section);
+  have_engine_telemetry_ = true;
+}
+
 void MetricsRegistry::set_counters(CountersSnapshot snapshot) {
   counters_ = std::move(snapshot);
   have_counters_ = true;
@@ -118,6 +123,12 @@ JsonValue MetricsRegistry::to_json() const {
     for (const auto& [k, v] : engine_) engine.set(k, v);
     root.set("engine", std::move(engine));
   }
+
+  // engine_telemetry section (schema v5): latency quantiles + rolling-window
+  // stats, present only for the engine's aggregate export (per-query reports
+  // never carry it).
+  if (have_engine_telemetry_)
+    root.set("engine_telemetry", engine_telemetry_);
 
   // Span tree, built bottom-up: children always have larger indices than
   // their parents (begin() order), so one reverse pass completes subtrees
@@ -234,6 +245,17 @@ std::string MetricsRegistry::to_csv() const {
   if (have_engine_)
     for (const auto& [k, v] : engine_)
       out += "engine," + csv_escape(k) + "," + scalar_to_csv(v) + "\n";
+
+  // engine_telemetry flattened one level: scalar members become rows, the
+  // nested window/histogram structures stay JSON-only (CSV keeps its flat
+  // section,name,value shape).
+  if (have_engine_telemetry_ &&
+      engine_telemetry_.type() == JsonValue::Type::kObject)
+    for (const auto& [k, v] : engine_telemetry_.object())
+      if (v.type() != JsonValue::Type::kObject &&
+          v.type() != JsonValue::Type::kArray)
+        out += "engine_telemetry," + csv_escape(k) + "," + scalar_to_csv(v) +
+               "\n";
 
   // Spans flattened to slash-joined paths; notes and event deltas ride
   // along as span_note / span_event rows.

@@ -6,8 +6,10 @@
 // tree, including per-span event deltas), `counters` (totals + per-thread),
 // `resilience` (run status + any budget/fault degradations) and — for runs
 // served by tc::Engine, or the engine's own aggregate export — `engine`
-// (cache hit/miss/eviction counters and queue/preprocess/count timings) —
-// and exports them as JSON (schema "lotus-metrics/4", specified in
+// (cache hit/miss/eviction counters and queue/preprocess/count timings),
+// plus — for the engine aggregate export only — `engine_telemetry` (latency
+// histogram quantiles and rolling-window stats from obs/telemetry.hpp) —
+// and exports them as JSON (schema "lotus-metrics/5", specified in
 // docs/METRICS.md) or flat CSV. Every bench and the tc_profile example emit
 // their numbers through this type, so reports are comparable across
 // algorithms and PRs.
@@ -35,7 +37,7 @@ namespace lotus::obs {
 
 /// Version tag stamped into every export; bump when the layout or the
 /// counter names change (docs/METRICS.md is the changelog).
-inline constexpr const char* kMetricsSchemaVersion = "lotus-metrics/4";
+inline constexpr const char* kMetricsSchemaVersion = "lotus-metrics/5";
 
 /// One graceful-degradation event: at `site` the run switched to a cheaper
 /// `action` because of `reason` (e.g. the memory budget or an injected
@@ -76,6 +78,13 @@ class MetricsRegistry {
   /// when set: plain (non-engine) runs omit the section.
   void set_engine(std::vector<std::pair<std::string, JsonValue>> fields);
 
+  /// Engine-telemetry section (schema v5): the serving layer's latency
+  /// histograms, rolling-window stats, and query-log counters as an
+  /// already-assembled JSON object (the engine owns the layout; this keeps
+  /// obs free of a dependency on tc). Exported as `"engine_telemetry":
+  /// {...}` only when set — per-query reports omit the section.
+  void set_engine_telemetry(JsonValue section);
+
   /// Attach a counters snapshot (obs::counters_snapshot()).
   void set_counters(CountersSnapshot snapshot);
 
@@ -105,6 +114,8 @@ class MetricsRegistry {
   std::vector<Degradation> degradations_;
   std::vector<std::pair<std::string, JsonValue>> engine_;
   bool have_engine_ = false;
+  JsonValue engine_telemetry_;
+  bool have_engine_telemetry_ = false;
 };
 
 }  // namespace lotus::obs

@@ -12,6 +12,7 @@
 #include "lotus/lotus_graph.hpp"
 #include "parallel/exec_context.hpp"
 #include "parallel/thread_pool.hpp"
+#include "obs/telemetry.hpp"
 #include "simcache/machines.hpp"
 #include "simcache/sim_events.hpp"
 #include "tc/instrumented.hpp"
@@ -448,7 +449,31 @@ QueryResult execute_query(Algorithm algorithm, const graph::CsrGraph& graph,
 util::Expected<QueryResult> query(Algorithm algorithm,
                                   const graph::CsrGraph& graph,
                                   const QueryOptions& options) {
-  return detail::execute_query(algorithm, graph, options, nullptr);
+  if (options.telemetry == nullptr || !options.telemetry->enabled())
+    return detail::execute_query(algorithm, graph, options, nullptr);
+
+  util::Timer timer;
+  QueryResult out = detail::execute_query(algorithm, graph, options, nullptr);
+  const double total_s = timer.elapsed_s();
+  const auto to_ns = [](double seconds) {
+    return seconds > 0.0 ? static_cast<std::uint64_t>(seconds * 1e9)
+                         : std::uint64_t{0};
+  };
+  obs::QuerySample sample;
+  // The *requested* algorithm labels the series, like the engine path: a
+  // budget fallback shows up in the requested algorithm's latency, not as
+  // phantom gap-forward traffic.
+  sample.algorithm = static_cast<std::size_t>(algorithm);
+  sample.outcome = obs::CacheOutcome::kUncached;
+  sample.status = util::status_code_name(out.status.code());
+  sample.threads = out.threads;
+  sample.deadline_missed =
+      out.status.code() == util::StatusCode::kDeadlineExceeded;
+  sample.prepare_ns = to_ns(out.result.preprocess_s);
+  sample.count_ns = to_ns(out.result.count_s);
+  sample.total_ns = to_ns(total_s);
+  options.telemetry->record(sample);
+  return out;
 }
 
 RunResult run(Algorithm algorithm, const graph::CsrGraph& graph,
@@ -581,6 +606,13 @@ std::vector<Algorithm> all_algorithms() {
   for (const AlgorithmName& entry : kAlgorithmTable)
     out.push_back(entry.algorithm);
   return out;
+}
+
+std::vector<std::string> algorithm_labels() {
+  std::vector<std::string> labels(std::size(kAlgorithmTable));
+  for (const AlgorithmName& entry : kAlgorithmTable)
+    labels[static_cast<std::size_t>(entry.algorithm)] = entry.name;
+  return labels;
 }
 
 std::vector<Algorithm> paper_comparators() {

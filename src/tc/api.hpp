@@ -50,6 +50,10 @@
 #include "util/cancel.hpp"
 #include "util/status.hpp"
 
+namespace lotus::obs {
+class Telemetry;  // obs/telemetry.hpp
+}  // namespace lotus::obs
+
 namespace lotus::tc {
 
 enum class Algorithm {
@@ -127,6 +131,15 @@ struct QueryOptions {
   /// hardware events and scheduler timeline) into QueryResult::profile.
   bool profile = false;
 
+  /// Optional serving-telemetry sink (docs/TELEMETRY.md) for engine-less
+  /// queries: when non-null, query() records one sample — algorithm, status,
+  /// deadline-miss flag, per-stage timings, cache outcome "uncached" — into
+  /// it. Construct the sink with tc::algorithm_labels() so the algorithm
+  /// indices resolve. Must outlive the call; nullptr (default) = no
+  /// recording. Engine-served queries ignore this and record into the
+  /// engine's own telemetry.
+  obs::Telemetry* telemetry = nullptr;
+
   // --- knobs below apply only when profile == true ---
 
   /// Requested hardware-event source. kHardware degrades to kSimulated
@@ -150,7 +163,7 @@ struct QueryOptions {
 /// Everything one profiled run produced: the RunResult plus the span tree,
 /// the counter snapshot, hardware-event totals, and (optionally) the
 /// scheduler timeline taken over exactly this run. Exported via metrics() /
-/// to_json() in the versioned "lotus-metrics/4" schema (docs/METRICS.md).
+/// to_json() in the versioned "lotus-metrics/5" schema (docs/METRICS.md).
 ///
 /// Counter provenance: reports produced by query()/Engine carry the
 /// query-scoped CounterDomain totals (threads breakdown empty — per-thread
@@ -313,6 +326,12 @@ ProfileReport run_profiled_with_status(Algorithm algorithm,
 
 /// All algorithms, LOTUS first (display order used by the benches).
 [[nodiscard]] std::vector<Algorithm> all_algorithms();
+
+/// Stable name() labels indexed by static_cast<size_t>(Algorithm) — the
+/// label table an obs::Telemetry needs so its per-algorithm series resolve
+/// (used by tc::Engine internally; pass it when constructing a standalone
+/// sink for QueryOptions::telemetry).
+[[nodiscard]] std::vector<std::string> algorithm_labels();
 
 /// The comparator set of Tables 5/6: BBTC, GraphGrind, GAP, GBBS, Lotus.
 [[nodiscard]] std::vector<Algorithm> paper_comparators();

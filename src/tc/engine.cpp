@@ -38,12 +38,20 @@ EngineOptions normalized(EngineOptions options) {
   return options;
 }
 
+std::uint64_t to_ns(double seconds) {
+  return seconds > 0.0 ? static_cast<std::uint64_t>(seconds * 1e9) : 0;
+}
+
 }  // namespace
 
 Engine::Engine(EngineOptions options)
     : options_(normalized(options)),
       threads_per_query_(options_.threads_per_query),
-      cache_budget_(options_.cache_budget_bytes) {
+      cache_budget_(options_.cache_budget_bytes),
+      // algorithm_labels(): index i names Algorithm(i), so QuerySample can
+      // carry the enum value directly while obs stays tc-free.
+      telemetry_(std::make_unique<obs::Telemetry>(options_.telemetry,
+                                                  algorithm_labels())) {
   drivers_.reserve(options_.num_drivers);
   for (unsigned i = 0; i < options_.num_drivers; ++i)
     drivers_.emplace_back([this] { driver_loop(); });
@@ -130,9 +138,11 @@ void Engine::run_job(Job job) {
   if (kind != ArtifactKind::kNone && !job.spec.graph_key.empty())
     acquired = acquire_artifact(job.spec, kind);
 
+  util::Timer exec_timer;
   QueryResult result = detail::execute_query(
       job.spec.algorithm, *job.spec.graph, job.spec.options,
       acquired.artifact.get());
+  const double exec_s = exec_timer.elapsed_s();
   // The builder pays the artifact's construction once; hits ride for free.
   result.result.preprocess_s += acquired.build_s;
   result.queue_s = queue_s;
@@ -143,13 +153,32 @@ void Engine::run_job(Job job) {
     result.profile->cache_hit = acquired.hit;
     result.profile->result.preprocess_s = result.result.preprocess_s;
   }
+  const bool deadline_missed =
+      result.status.code() == util::StatusCode::kDeadlineExceeded;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.completed;
+    if (deadline_missed) ++stats_.deadline_misses;
     stats_.queue_s_total += queue_s;
     stats_.preprocess_s_total += result.result.preprocess_s;
     stats_.count_s_total += result.result.count_s;
   }
+
+  // Record before resolving the promise so a caller that waits on the
+  // future and then snapshots telemetry always sees its own query.
+  obs::QuerySample sample;
+  sample.algorithm = static_cast<std::size_t>(job.spec.algorithm);
+  sample.outcome = acquired.outcome;
+  sample.graph_key = job.spec.graph_key;
+  sample.status = util::status_code_name(result.status.code());
+  sample.threads = result.threads;
+  sample.deadline_missed = deadline_missed;
+  sample.queue_ns = to_ns(queue_s);
+  sample.prepare_ns = to_ns(result.result.preprocess_s);
+  sample.count_ns = to_ns(result.result.count_s);
+  sample.total_ns = to_ns(queue_s + exec_s + acquired.build_s);
+  telemetry_->record(sample);
+
   job.promise.set_value(std::move(result));
 }
 
@@ -210,15 +239,23 @@ Engine::Acquired Engine::acquire_artifact(const QuerySpec& spec,
         {
           std::lock_guard<std::mutex> lock(mutex_);
           cache_.erase(key);
+          ++stats_.cache_lookups;
           ++stats_.cache_misses;
         }
         build_promise.set_exception(std::current_exception());
-        return {};  // the builder itself degrades to an end-to-end run
+        // The builder itself degrades to an end-to-end run.
+        Acquired failed;
+        failed.outcome = obs::CacheOutcome::kMiss;
+        return failed;
       }
       acquire_s = artifact->build_s();
     }
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      // Lookup resolution: the lookup counter moves in the same critical
+      // section as its hit-or-miss verdict, which is what keeps
+      // `hits + misses == lookups` true in every stats() snapshot.
+      ++stats_.cache_lookups;
       if (remapped) {
         ++stats_.cache_hits;
         ++stats_.cache_remaps;
@@ -239,19 +276,24 @@ Engine::Acquired Engine::acquire_artifact(const QuerySpec& spec,
       }
     }
     build_promise.set_value(artifact);
-    return {artifact, remapped, acquire_s};
+    return {artifact, remapped, acquire_s,
+            remapped ? obs::CacheOutcome::kRemap : obs::CacheOutcome::kMiss};
   }
 
   try {
     std::shared_ptr<const PreparedGraph> artifact = future.get();
     std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.cache_lookups;
     ++stats_.cache_hits;
-    return {std::move(artifact), true, 0.0};
+    return {std::move(artifact), true, 0.0, obs::CacheOutcome::kHit};
   } catch (...) {
     // The build we waited on failed; count honestly and run end-to-end.
     std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.cache_lookups;
     ++stats_.cache_misses;
-    return {};
+    Acquired failed;
+    failed.outcome = obs::CacheOutcome::kMiss;
+    return failed;
   }
 }
 
@@ -332,6 +374,56 @@ EngineStats Engine::stats() const {
   return out;
 }
 
+namespace {
+
+/// Quantile row shared by the JSON exporter ("p50_s"... keys).
+void set_quantiles(obs::JsonValue& row, const obs::LatencyHistogram& hist) {
+  row.set("p50_s", hist.quantile_s(0.50));
+  row.set("p95_s", hist.quantile_s(0.95));
+  row.set("p99_s", hist.quantile_s(0.99));
+  row.set("p999_s", hist.quantile_s(0.999));
+}
+
+/// The `engine_telemetry` section body (schema v5, docs/METRICS.md).
+obs::JsonValue telemetry_to_json(const obs::TelemetrySnapshot& snap) {
+  obs::JsonValue out;
+  out.set("enabled", snap.enabled);
+  if (!snap.enabled) return out;
+  out.set("queries_recorded", snap.queries_recorded);
+  out.set("deadline_misses", snap.deadline_misses);
+  out.set("query_log_lines", snap.query_log_lines);
+  if (snap.query_log_failures != 0)
+    out.set("query_log_failures", snap.query_log_failures);
+  out.set("uptime_s", snap.uptime_s);
+
+  obs::JsonValue window;
+  window.set("configured_span_s", snap.window_span_s);
+  window.set("span_s", snap.window.span_s);
+  window.set("queries", snap.window.queries);
+  window.set("qps", snap.window.qps);
+  set_quantiles(window, snap.window.hist);
+  out.set("window", std::move(window));
+
+  obs::JsonValue rows{obs::JsonValue::Array{}};
+  const auto emit = [&rows](const char* series,
+                            const obs::SeriesSnapshot& s) {
+    obs::JsonValue row;
+    row.set("series", series);
+    row.set("label", s.label);
+    row.set("stage", obs::query_stage_name(s.stage));
+    row.set("count", s.hist.count());
+    row.set("sum_s", s.hist.sum_s());
+    set_quantiles(row, s.hist);
+    rows.push_back(std::move(row));
+  };
+  for (const obs::SeriesSnapshot& s : snap.algorithms) emit("algorithm", s);
+  for (const obs::SeriesSnapshot& s : snap.outcomes) emit("outcome", s);
+  out.set("histograms", std::move(rows));
+  return out;
+}
+
+}  // namespace
+
 obs::MetricsRegistry Engine::metrics() const {
   const EngineStats s = stats();
   obs::MetricsRegistry registry;
@@ -343,6 +435,8 @@ obs::MetricsRegistry Engine::metrics() const {
       {"submitted", s.submitted},
       {"completed", s.completed},
       {"rejected", s.rejected},
+      {"deadline_misses", s.deadline_misses},
+      {"cache_lookups", s.cache_lookups},
       {"cache_hits", s.cache_hits},
       {"cache_misses", s.cache_misses},
       {"cache_evictions", s.cache_evictions},
@@ -356,7 +450,91 @@ obs::MetricsRegistry Engine::metrics() const {
       {"preprocess_s_total", s.preprocess_s_total},
       {"count_s_total", s.count_s_total},
   });
+  registry.set_engine_telemetry(telemetry_to_json(telemetry_->snapshot()));
   return registry;
+}
+
+obs::TelemetrySnapshot Engine::telemetry_snapshot() const {
+  return telemetry_->snapshot();
+}
+
+std::string Engine::prometheus_text() const {
+  const EngineStats s = stats();
+  const obs::TelemetrySnapshot t = telemetry_->snapshot();
+  obs::PrometheusWriter w;
+
+  w.counter("lotus_engine_queries_submitted_total",
+            "Queries accepted or rejected by submit().", s.submitted);
+  w.counter("lotus_engine_queries_completed_total",
+            "Queries that ran to a final status.", s.completed);
+  w.counter("lotus_engine_queries_rejected_total",
+            "Queries rejected at submit() or orphaned at shutdown.",
+            s.rejected);
+  w.counter("lotus_engine_queries_recorded_total",
+            "Completed queries recorded by the telemetry layer.",
+            t.queries_recorded);
+  w.counter("lotus_engine_deadline_misses_total",
+            "Completed queries whose deadline expired.", s.deadline_misses);
+
+  w.counter("lotus_engine_cache_lookups_total",
+            "Prepared-graph cache lookups resolved (hits + misses).",
+            s.cache_lookups);
+  w.counter("lotus_engine_cache_hits_total",
+            "Lookups served from a cached or in-flight artifact.",
+            s.cache_hits);
+  w.counter("lotus_engine_cache_misses_total",
+            "Lookups that had to build (or whose build failed).",
+            s.cache_misses);
+  w.counter("lotus_engine_cache_evictions_total",
+            "LRU evictions plus invalidate() drops.", s.cache_evictions);
+  w.counter("lotus_engine_cache_spills_total",
+            "Evicted artifacts persisted to the spill tier.", s.cache_spills);
+  w.counter("lotus_engine_cache_remaps_total",
+            "Misses served by remapping a spill file.", s.cache_remaps);
+  w.gauge("lotus_engine_cache_entries",
+          "Prepared-graph cache entries currently resident.",
+          static_cast<double>(s.cache_entries));
+  w.gauge("lotus_engine_cache_bytes",
+          "Bytes currently charged against the cache budget.",
+          static_cast<double>(s.cache_bytes));
+  w.gauge("lotus_engine_cache_spilled_entries",
+          "Spill files currently on disk.",
+          static_cast<double>(s.cache_spilled_entries));
+
+  w.counter("lotus_engine_query_log_lines_total",
+            "Query-log lines written (post-sampling).", t.query_log_lines);
+  w.gauge("lotus_engine_uptime_seconds",
+          "Seconds since the engine's telemetry clock started.", t.uptime_s);
+
+  w.gauge("lotus_engine_window_span_seconds",
+          "Actual span covered by the rolling window.", t.window.span_s);
+  w.gauge("lotus_engine_window_queries",
+          "Queries completed within the rolling window.",
+          static_cast<double>(t.window.queries));
+  w.gauge("lotus_engine_window_qps",
+          "Completed queries per second over the rolling window.",
+          t.window.qps);
+  for (const double q : {0.5, 0.95, 0.99, 0.999}) {
+    char label[16];
+    std::snprintf(label, sizeof label, "%g", q);
+    w.gauge("lotus_engine_window_latency_seconds",
+            "End-to-end latency quantiles over the rolling window.",
+            t.window.hist.quantile_s(q), {{"quantile", label}});
+  }
+
+  for (const obs::SeriesSnapshot& series : t.algorithms)
+    w.histogram("lotus_engine_query_stage_seconds",
+                "Per-stage query latency by algorithm.",
+                {{"algorithm", series.label},
+                 {"stage", obs::query_stage_name(series.stage)}},
+                series.hist);
+  for (const obs::SeriesSnapshot& series : t.outcomes)
+    w.histogram("lotus_engine_cache_outcome_seconds",
+                "Per-stage query latency by prepared-graph cache outcome.",
+                {{"outcome", series.label},
+                 {"stage", obs::query_stage_name(series.stage)}},
+                series.hist);
+  return w.str();
 }
 
 }  // namespace lotus::tc

@@ -25,8 +25,15 @@
 // from then on while the page cache holds the actual topology. Spill files
 // are removed by invalidate() and the destructor (docs/OUT_OF_CORE.md).
 //
-// Thread-safety: submit()/query()/stats()/metrics()/invalidate() are safe
-// from any thread, concurrently. Cancellation (QueryOptions::cancel) and
+// Telemetry: every completed query is recorded into an obs::Telemetry —
+// per-stage latency histograms labeled by algorithm and cache outcome, a
+// rolling window for "now" stats, and a sampled JSON-lines query log.
+// Exported three ways: prometheus_text() (text exposition), metrics()
+// (`engine_telemetry` section, lotus-metrics/5), telemetry_snapshot()
+// (programmatic). See docs/TELEMETRY.md.
+//
+// Thread-safety: submit()/query()/stats()/metrics()/telemetry_snapshot()/
+// prometheus_text()/invalidate() are safe from any thread, concurrently. Cancellation (QueryOptions::cancel) and
 // deadlines apply per query, exactly as for tc::query — each driver installs
 // the query's ExecContext thread-locally, so concurrent queries never see
 // each other's interrupts.
@@ -49,6 +56,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
 #include "tc/api.hpp"
 #include "tc/prepared.hpp"
 #include "util/memory_budget.hpp"
@@ -70,14 +78,25 @@ struct EngineOptions {
   /// Existing directory for spilled artifacts. "" disables the spill tier:
   /// evictions discard and the next query rebuilds from scratch.
   std::string spill_dir;
+
+  /// Serving telemetry (docs/TELEMETRY.md): per-stage latency histograms,
+  /// the rolling window, and the sampled query log. On by default — the
+  /// bench `telemetry` scenario gates its overhead at <2%.
+  obs::TelemetryOptions telemetry;
 };
 
-/// Monotonic serving counters; a consistent snapshot via Engine::stats().
+/// Monotonic serving counters. Engine::stats() copies the whole struct
+/// under one mutex hold, so a snapshot is internally consistent: every
+/// counter pair that is incremented together stays summable — in particular
+/// `cache_hits + cache_misses == cache_lookups` holds in *every* snapshot,
+/// not just quiescent ones (the TSan stress suite asserts this under load).
 struct EngineStats {
   std::uint64_t submitted = 0;  // accepted + rejected
   std::uint64_t completed = 0;  // queries that ran (any final status)
   std::uint64_t rejected = 0;   // failed validation or arrived at shutdown
+  std::uint64_t deadline_misses = 0;  // completed with kDeadlineExceeded
 
+  std::uint64_t cache_lookups = 0;    // resolved lookups (== hits + misses)
   std::uint64_t cache_hits = 0;       // served from a cached/in-flight artifact
   std::uint64_t cache_misses = 0;     // had to build (or build failed)
   std::uint64_t cache_evictions = 0;  // LRU evictions + invalidate() drops
@@ -125,11 +144,24 @@ class Engine {
   /// as evictions. Call when the underlying graph data changed.
   void invalidate(const std::string& graph_key);
 
+  /// One consistent snapshot of every serving counter (single mutex hold;
+  /// see the EngineStats invariants).
   [[nodiscard]] EngineStats stats() const;
 
-  /// Aggregate serving metrics as a "lotus-metrics/4" registry whose
-  /// `engine` section carries the EngineStats fields (docs/METRICS.md).
+  /// Aggregate serving metrics as a "lotus-metrics/5" registry whose
+  /// `engine` section carries the EngineStats fields and whose
+  /// `engine_telemetry` section carries histogram quantiles + the rolling
+  /// window (docs/METRICS.md, docs/TELEMETRY.md).
   [[nodiscard]] obs::MetricsRegistry metrics() const;
+
+  /// Merged point-in-time view of the telemetry layer (latency histograms
+  /// per algorithm / cache outcome, rolling window, query-log counters).
+  [[nodiscard]] obs::TelemetrySnapshot telemetry_snapshot() const;
+
+  /// Prometheus text exposition (version 0.0.4) of the serving counters and
+  /// latency histograms — the `/metrics` endpoint body. Metric families are
+  /// listed in obs::kEngineMetricNames and documented in docs/TELEMETRY.md.
+  [[nodiscard]] std::string prometheus_text() const;
 
   [[nodiscard]] unsigned num_drivers() const noexcept {
     return static_cast<unsigned>(drivers_.size());
@@ -159,6 +191,7 @@ class Engine {
     std::shared_ptr<const PreparedGraph> artifact;  // null → run end-to-end
     bool hit = false;
     double build_s = 0.0;  // paid by this query (the builder) on a miss
+    obs::CacheOutcome outcome = obs::CacheOutcome::kUncached;
   };
 
   void driver_loop();
@@ -178,6 +211,7 @@ class Engine {
   EngineOptions options_;
   unsigned threads_per_query_ = 1;
   util::MemoryBudget cache_budget_;
+  std::unique_ptr<obs::Telemetry> telemetry_;  // never null; set in the ctor
 
   mutable std::mutex mutex_;  // guards queue_, cache_, stats_, tick_
   std::condition_variable cv_;

@@ -375,13 +375,16 @@ TEST(Engine, EngineMetricsExportAggregates) {
   (void)get_ok(engine.submit({tc::Algorithm::kLotus, "g", &graph, {}}));
   (void)get_ok(engine.submit({tc::Algorithm::kLotus, "g", &graph, {}}));
   const std::string json = engine.metrics().to_json_string();
-  EXPECT_NE(json.find("\"schema_version\": \"lotus-metrics/4\""),
+  EXPECT_NE(json.find("\"schema_version\": \"lotus-metrics/5\""),
             std::string::npos);
   EXPECT_NE(json.find("\"component\": \"tc-engine\""), std::string::npos);
   EXPECT_NE(json.find("\"cache_hits\": 1"), std::string::npos);
   EXPECT_NE(json.find("\"cache_misses\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"cache_lookups\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"engine_telemetry\""), std::string::npos);
   const std::string csv = engine.metrics().to_csv();
   EXPECT_NE(csv.find("engine,cache_hits,1"), std::string::npos);
+  EXPECT_NE(csv.find("engine_telemetry,queries_recorded,2"), std::string::npos);
 }
 
 TEST(Engine, RejectsNullGraphWithoutAttempting) {

@@ -24,6 +24,7 @@
 #include "lotus/h2h_bitarray.hpp"
 #include "lotus/lotus.hpp"
 #include "obs/counters.hpp"
+#include "obs/telemetry.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
 #include "tc/api.hpp"
@@ -230,6 +231,87 @@ TEST(SanitizerStress, EngineConcurrentSubmitCancelInvalidate) {
   EXPECT_EQ(failures.load(), 0);
   const auto stats = engine.stats();
   EXPECT_EQ(stats.completed, kSubmitters * kPerThread);
+}
+
+TEST(SanitizerStress, TelemetryRecordConcurrentWithSnapshot) {
+  // obs::Telemetry documents record() as safe against any number of
+  // concurrent record()/snapshot() calls; hammer that contract with a
+  // snapshot reader racing 4 recording threads on shared shards.
+  lotus::obs::Telemetry telemetry({.window_s = 1.0}, {"alpha", "beta"});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = kTsan ? 1000 : 4000;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const auto snap = telemetry.snapshot();
+      // Mid-flight snapshots are relaxed (cross-bin skew is documented),
+      // but merged totals can never exceed the whole workload.
+      for (const auto& series : snap.algorithms)
+        ASSERT_LE(series.hist.count(),
+                  static_cast<std::uint64_t>(kThreads) * kPerThread);
+    }
+  });
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    writers.emplace_back([&telemetry, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        lotus::obs::QuerySample sample;
+        sample.algorithm = static_cast<std::size_t>(t % 2);
+        sample.outcome = lotus::obs::CacheOutcome::kHit;
+        sample.graph_key = "stress";
+        sample.status = "ok";
+        sample.total_ns = static_cast<std::uint64_t>(1000 + i);
+        sample.count_ns = sample.total_ns / 2;
+        telemetry.record(sample);
+      }
+    });
+  for (auto& thread : writers) thread.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(telemetry.snapshot().queries_recorded,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(SanitizerStress, EngineStatsSnapshotsStayCoherent) {
+  // Engine::stats() promises an internally consistent snapshot: counters
+  // incremented together stay summable. Assert the invariants from a reader
+  // thread while drivers resolve cache lookups and complete queries.
+  const auto graph = g::build_undirected(
+      g::rmat({.scale = 8, .edge_factor = 6, .seed = 5}));
+  lotus::tc::Engine engine({.num_drivers = 2, .threads_per_query = 2});
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const auto stats = engine.stats();
+      if (stats.cache_hits + stats.cache_misses != stats.cache_lookups)
+        violations.fetch_add(1);
+      if (stats.completed + stats.rejected > stats.submitted)
+        violations.fetch_add(1);
+      if (stats.deadline_misses > stats.completed) violations.fetch_add(1);
+    }
+  });
+  constexpr int kQueries = kTsan ? 24 : 64;
+  std::vector<std::future<lotus::util::Expected<lotus::tc::QueryResult>>>
+      futures;
+  futures.reserve(kQueries);
+  for (int i = 0; i < kQueries; ++i)
+    futures.push_back(engine.submit({i % 2 == 0
+                                         ? lotus::tc::Algorithm::kLotus
+                                         : lotus::tc::Algorithm::kForwardMerge,
+                                     "k" + std::to_string(i % 4), &graph,
+                                     {}}));
+  for (auto& future : futures) {
+    auto outcome = future.get();
+    ASSERT_TRUE(outcome.ok());
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(violations.load(), 0);
+  const auto stats = engine.stats();
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, stats.cache_lookups);
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(kQueries));
 }
 
 TEST(SanitizerStress, DifferentialSmokeMatrix) {
