@@ -158,6 +158,10 @@ bool RollingWindow::due(double now_s) const noexcept {
   return ring_.empty() || now_s - ring_.back().at_s >= slot_s_;
 }
 
+double RollingWindow::next_due_s() const noexcept {
+  return ring_.empty() ? 0.0 : ring_.back().at_s + slot_s_;
+}
+
 void RollingWindow::advance(double now_s, std::uint64_t completed,
                             const LatencyHistogram& cumulative) {
   if (!due(now_s)) return;
@@ -206,6 +210,7 @@ Telemetry::Telemetry(TelemetryOptions options,
   // Seed the window with a zero baseline at t=0 so the first real slot has
   // something to delta against.
   window_.advance(0.0, 0, LatencyHistogram{});
+  next_rotation_s_.store(window_.next_due_s(), std::memory_order_relaxed);
   if (!options_.query_log_path.empty() && options_.query_log_sample > 0) {
     log_.open(options_.query_log_path, std::ios::app);
     if (!log_.is_open()) log_failures_.fetch_add(1, std::memory_order_relaxed);
@@ -216,10 +221,14 @@ void Telemetry::bump(std::size_t shard, std::size_t series,
                      std::uint64_t ns) noexcept {
   const std::size_t base =
       (shard * series_count() + series) * kCellsPerSeries;
+  // Release pairs with the acquire loads in merge_series(): any bin value a
+  // snapshot observes makes the recorded_ increment sequenced before it
+  // visible too, so merged counts never run ahead of queries_recorded (free
+  // on x86; one barrier flavor change on ARM).
   cells_[base + LatencyHistogram::bucket_index(ns)].fetch_add(
-      1, std::memory_order_relaxed);
+      1, std::memory_order_release);
   cells_[base + LatencyHistogram::kBuckets].fetch_add(
-      ns, std::memory_order_relaxed);
+      ns, std::memory_order_release);
 }
 
 std::uint64_t Telemetry::record(const QuerySample& sample) {
@@ -227,8 +236,9 @@ std::uint64_t Telemetry::record(const QuerySample& sample) {
   const std::uint64_t id =
       recorded_.fetch_add(1, std::memory_order_relaxed) + 1;
   const std::size_t shard = this_thread_shard();
-  const std::size_t algorithm =
-      std::min(sample.algorithm, labels_.size() > 0 ? labels_.size() - 1 : 0);
+  // Out-of-range indices route to the reserved "unknown" row at
+  // labels_.size() instead of silently riding on the last real label.
+  const std::size_t algorithm = std::min(sample.algorithm, labels_.size());
 
   const std::uint64_t by_stage[kNumQueryStages] = {
       sample.queue_ns, sample.prepare_ns, sample.count_ns, sample.total_ns};
@@ -242,14 +252,19 @@ std::uint64_t Telemetry::record(const QuerySample& sample) {
   if (sample.deadline_missed)
     deadline_misses_.fetch_add(1, std::memory_order_relaxed);
 
-  // Lazy window rotation: try-lock so a concurrent snapshot() or another
+  // Lazy window rotation. window_ is only ever touched under window_mutex_;
+  // the steady-state check reads the cached next-rotation timestamp
+  // lock-free, and try-lock means a concurrent snapshot() or another
   // rotating driver never blocks this one.
   const double now_s = clock_.elapsed_s();
-  if (window_.due(now_s)) {
+  if (now_s >= next_rotation_s_.load(std::memory_order_relaxed)) {
     std::unique_lock<std::mutex> lock(window_mutex_, std::try_to_lock);
-    if (lock.owns_lock() && window_.due(now_s)) {
-      window_.advance(now_s, recorded_.load(std::memory_order_relaxed),
-                      merge_series(aggregate_series()));
+    if (lock.owns_lock()) {
+      if (window_.due(now_s)) {
+        window_.advance(now_s, recorded_.load(std::memory_order_relaxed),
+                        merge_series(aggregate_series()));
+      }
+      next_rotation_s_.store(window_.next_due_s(), std::memory_order_relaxed);
     }
   }
 
@@ -265,13 +280,14 @@ LatencyHistogram Telemetry::merge_series(std::size_t series) const {
   for (std::size_t shard = 0; shard < kShards; ++shard) {
     const std::size_t base =
         (shard * series_count() + series) * kCellsPerSeries;
+    // Acquire pairs with the release fetch_adds in bump() (see there).
     for (std::size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
       const std::uint64_t n =
-          cells_[base + b].load(std::memory_order_relaxed);
+          cells_[base + b].load(std::memory_order_acquire);
       if (n != 0) out.add_bin(b, n);
     }
     out.add_sum_ns(cells_[base + LatencyHistogram::kBuckets].load(
-        std::memory_order_relaxed));
+        std::memory_order_acquire));
   }
   return out;
 }
@@ -282,12 +298,16 @@ TelemetrySnapshot Telemetry::snapshot() const {
   out.window_span_s = options_.window_s;
   if (!options_.enabled) return out;
 
-  for (std::size_t a = 0; a < labels_.size(); ++a) {
+  // Every label row plus the trailing reserved "unknown" row (which only
+  // surfaces if an out-of-range algorithm index was ever recorded).
+  for (std::size_t a = 0; a < num_algo_rows(); ++a) {
     for (std::size_t s = 0; s < kNumQueryStages; ++s) {
       const auto stage = static_cast<QueryStage>(s);
       LatencyHistogram hist = merge_series(algo_series(a, stage));
       if (hist.empty()) continue;
-      out.algorithms.push_back(SeriesSnapshot{labels_[a], stage, hist});
+      out.algorithms.push_back(SeriesSnapshot{
+          a < labels_.size() ? labels_[a] : std::string("unknown"), stage,
+          hist});
     }
   }
   for (std::size_t o = 0; o < kNumCacheOutcomes; ++o) {
@@ -302,9 +322,11 @@ TelemetrySnapshot Telemetry::snapshot() const {
   }
 
   // Counters are read *after* the series merges: record() bumps recorded_
-  // before touching any bin, so a merged series count never lands ahead of
-  // queries_recorded in a snapshot (cross-bin skew between series remains
-  // possible and is documented).
+  // before its release-ordered bin increments, and the acquire loads above
+  // make that increment visible here, so a merged series count never lands
+  // ahead of queries_recorded in a snapshot — on weakly-ordered targets
+  // too, not just x86 TSO (cross-bin skew between series remains possible
+  // and is documented).
   out.queries_recorded = recorded_.load(std::memory_order_relaxed);
   out.deadline_misses = deadline_misses_.load(std::memory_order_relaxed);
   out.query_log_lines = log_lines_.load(std::memory_order_relaxed);
@@ -317,6 +339,7 @@ TelemetrySnapshot Telemetry::snapshot() const {
     std::lock_guard<std::mutex> lock(window_mutex_);
     const_cast<RollingWindow&>(window_).advance(now_s, out.queries_recorded,
                                                 cumulative);
+    next_rotation_s_.store(window_.next_due_s(), std::memory_order_relaxed);
     out.window = window_.stats(now_s, out.queries_recorded, cumulative);
   }
   return out;
@@ -440,11 +463,14 @@ void PrometheusWriter::histogram(const std::string& name,
     const std::uint64_t n = hist.bins()[b];
     if (n == 0) continue;
     cumulative += n;
+    // `le` is inclusive in the exposition format while bucket_upper_ns()
+    // is exclusive; durations are integer nanoseconds, so the inclusive
+    // bound of [lower, upper) is upper - 1.
     const std::uint64_t upper = LatencyHistogram::bucket_upper_ns(b);
     bucket_labels.back().second =
         upper == std::numeric_limits<std::uint64_t>::max()
             ? "+Inf"
-            : fmt_double(static_cast<double>(upper) * 1e-9);
+            : fmt_double(static_cast<double>(upper - 1) * 1e-9);
     if (bucket_labels.back().second != "+Inf")
       sample(name, "_bucket", bucket_labels, std::to_string(cumulative));
   }

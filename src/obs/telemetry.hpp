@@ -16,20 +16,24 @@
 //     mergeable: bin-wise add/subtract is exact, which makes per-thread
 //     shards and rolling-window deltas trivial.
 //   * Recording is lock-free: each recording thread owns a shard of plain
-//     relaxed-atomic bins; one record() is a handful of bit operations plus
-//     ~18 relaxed fetch_adds, no mutex, no allocation. Shards are merged
-//     only on read (snapshot/export), which is off the serving path.
+//     atomic bins; one record() is a handful of bit operations plus ~18
+//     release fetch_adds (plain lock-prefixed adds on x86), no mutex, no
+//     allocation. Shards are merged only on read (snapshot/export), which
+//     is off the serving path.
 //   * The query log is sampled (TelemetryOptions::query_log_sample) so its
 //     cost is bounded and under the operator's control; histograms are
 //     always on. The bench `telemetry` scenario regression-gates the
 //     end-to-end overhead of full telemetry at < 2%.
 //
 // Thread-safety: record() is safe from any thread concurrently with any
-// number of record()/snapshot() calls. snapshot() merges relaxed-atomic
-// shards — each bin is exact, cross-bin skew is bounded by in-flight
-// record() calls (same contract as obs counters). The rolling window and the
-// query log serialize internally on their own mutexes; the window uses
-// try-lock on the record path so it can never block a driver.
+// number of record()/snapshot() calls. snapshot() merges atomic shards —
+// each bin is exact, cross-bin skew is bounded by in-flight record() calls
+// (same contract as obs counters); release increments paired with acquire
+// merge loads keep merged counts from running ahead of queries_recorded.
+// The rolling window and the query log serialize internally on their own
+// mutexes; the window structure itself is only ever touched under its
+// mutex — the record path checks an atomic next-rotation timestamp first
+// and then try-locks, so it can never block a driver.
 //
 // Layering: this header is tc-free — algorithm names arrive as a label
 // table, so obs stays below tc in the module graph while the Engine decides
@@ -151,6 +155,11 @@ class RollingWindow {
   /// True when enough time has passed that advance() would rotate a slot.
   [[nodiscard]] bool due(double now_s) const noexcept;
 
+  /// Earliest time at which due() becomes true (0 while the ring is empty,
+  /// i.e. due immediately). Lets callers cache the rotation deadline in an
+  /// atomic and skip locking until it passes.
+  [[nodiscard]] double next_due_s() const noexcept;
+
   /// Record a cumulative snapshot if a slot boundary has passed; expires
   /// slots that have fallen out of the window (always keeping one baseline
   /// at or beyond the window edge).
@@ -210,7 +219,9 @@ struct TelemetryOptions {
 /// Everything one completed query reports. Timings are per stage; `total`
 /// is end-to-end (queue + prepare + count, as measured by the caller).
 struct QuerySample {
-  std::size_t algorithm = 0;  // index into the label table
+  /// Index into the label table; out-of-range values (including anything
+  /// when the table is empty) land in a reserved "unknown" series.
+  std::size_t algorithm = 0;
   CacheOutcome outcome = CacheOutcome::kUncached;
   std::string_view graph_key;
   std::string_view status;  // stable status-code name ("ok", ...)
@@ -279,19 +290,26 @@ class Telemetry {
   static constexpr std::size_t kCellsPerSeries =
       LatencyHistogram::kBuckets + 1;  // bins + sum_ns
 
+  /// Algorithm rows: one per label plus a trailing reserved "unknown" row
+  /// for out-of-range QuerySample::algorithm indices. The extra row also
+  /// keeps the algorithm family disjoint from the outcome family when the
+  /// label table is empty.
+  [[nodiscard]] std::size_t num_algo_rows() const noexcept {
+    return labels_.size() + 1;
+  }
   [[nodiscard]] std::size_t algo_series(std::size_t algorithm,
                                         QueryStage stage) const noexcept {
     return algorithm * kNumQueryStages + static_cast<std::size_t>(stage);
   }
   [[nodiscard]] std::size_t outcome_series(CacheOutcome outcome,
                                            QueryStage stage) const noexcept {
-    return labels_.size() * kNumQueryStages +
+    return num_algo_rows() * kNumQueryStages +
            static_cast<std::size_t>(outcome) * kNumQueryStages +
            static_cast<std::size_t>(stage);
   }
   /// Aggregate end-to-end series feeding the rolling window.
   [[nodiscard]] std::size_t aggregate_series() const noexcept {
-    return (labels_.size() + kNumCacheOutcomes) * kNumQueryStages;
+    return (num_algo_rows() + kNumCacheOutcomes) * kNumQueryStages;
   }
   [[nodiscard]] std::size_t series_count() const noexcept {
     return aggregate_series() + 1;
@@ -310,7 +328,11 @@ class Telemetry {
 
   util::Timer clock_;
   mutable std::mutex window_mutex_;
-  RollingWindow window_;
+  RollingWindow window_;  // touched only under window_mutex_
+  /// Cached RollingWindow::next_due_s(), refreshed under window_mutex_;
+  /// record() reads it lock-free to decide whether to try the rotation at
+  /// all, so window_ itself is never inspected without the mutex.
+  mutable std::atomic<double> next_rotation_s_{0.0};
 
   std::mutex log_mutex_;
   std::ofstream log_;
@@ -335,8 +357,11 @@ class PrometheusWriter {
                std::uint64_t value, const Labels& labels = {});
   void gauge(const std::string& name, const std::string& help, double value,
              const Labels& labels = {});
-  /// Cumulative histogram family; `le` bounds are the bucket upper bounds
-  /// converted to seconds.
+  /// Cumulative histogram family; `le` bounds are the buckets' *inclusive*
+  /// upper bounds (the exclusive bound minus 1 ns — durations are integer
+  /// nanoseconds) converted to seconds, matching the exposition format's
+  /// inclusive `le` semantics. Only populated buckets are emitted, so the
+  /// layout can differ across series/scrapes (legal per the format).
   void histogram(const std::string& name, const std::string& help,
                  const Labels& labels, const LatencyHistogram& hist);
 

@@ -360,6 +360,45 @@ TEST(Telemetry, QueryLogEscapesHostileKeys) {
   EXPECT_EQ(row.find("graph_key")->as_string(), hostile);  // round-trips
 }
 
+TEST(Telemetry, OutOfRangeAlgorithmRoutesToUnknown) {
+  // An out-of-range index lands in the reserved "unknown" series (matching
+  // the query-log label), never on the last real label.
+  obs::Telemetry telemetry({.window_s = 60.0}, {"alpha"});
+  telemetry.record(sample_for(0, 1000));
+  telemetry.record(sample_for(7, 2000));  // out of range
+  const obs::TelemetrySnapshot snap = telemetry.snapshot();
+  const auto count = [&snap](const char* label,
+                             QueryStage stage) -> std::uint64_t {
+    for (const auto& s : snap.algorithms)
+      if (s.label == label && s.stage == stage) return s.hist.count();
+    return 0;
+  };
+  EXPECT_EQ(count("alpha", QueryStage::kTotal), 1u);
+  EXPECT_EQ(count("unknown", QueryStage::kTotal), 1u);
+  // Outcome series stay exact — no cross-family double counting.
+  for (const auto& s : snap.outcomes)
+    if (s.label == "hit" && s.stage == QueryStage::kTotal)
+      EXPECT_EQ(s.hist.count(), 2u);
+}
+
+TEST(Telemetry, EmptyLabelTableDoesNotCollideWithOutcomes) {
+  // With no labels, algo series 0 must not alias outcome series 0: each
+  // sample counts once under "unknown" and once under its outcome.
+  obs::Telemetry telemetry({.window_s = 60.0}, {});
+  telemetry.record(sample_for(0, 1000, CacheOutcome::kUncached));
+  const obs::TelemetrySnapshot snap = telemetry.snapshot();
+  ASSERT_EQ(snap.algorithms.size(), obs::kNumQueryStages);
+  for (const auto& s : snap.algorithms) {
+    EXPECT_EQ(s.label, "unknown");
+    EXPECT_EQ(s.hist.count(), 1u);
+  }
+  ASSERT_EQ(snap.outcomes.size(), obs::kNumQueryStages);
+  for (const auto& s : snap.outcomes) {
+    EXPECT_EQ(s.label, "uncached");
+    EXPECT_EQ(s.hist.count(), 1u);
+  }
+}
+
 TEST(Telemetry, QueryLogDisabledBySampleZero) {
   TempFile log("off");
   obs::TelemetryOptions options;
@@ -435,6 +474,20 @@ TEST(PrometheusWriter, HistogramIsCumulativeWithInf) {
   }
   EXPECT_GE(buckets, 5u);  // distinct values landed in distinct buckets
   EXPECT_EQ(previous, 5u);
+}
+
+TEST(PrometheusWriter, BucketBoundsAreInclusive) {
+  // `le` is inclusive in the exposition format: an observation exactly on a
+  // bucket boundary must be covered by that bucket's emitted `le`. Bucket
+  // [8, 9) holds the value 8, so its bound is 8 ns, not the exclusive 9.
+  LatencyHistogram hist;
+  hist.record(8);
+  obs::PrometheusWriter writer;
+  writer.histogram("tc_lat_seconds", "Latency.", {}, hist);
+  const std::string& text = writer.str();
+  EXPECT_NE(text.find("tc_lat_seconds_bucket{le=\"8e-09\"} 1\n"),
+            std::string::npos);
+  EXPECT_EQ(text.find("le=\"9e-09\""), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------
