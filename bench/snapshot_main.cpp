@@ -21,6 +21,7 @@
 // instead of failing the compare, so snapshots stay portable across ISAs
 // while same-tier comparisons stay strict. Timings are best-of-N (--repeat)
 // to damp scheduler noise.
+#include <algorithm>
 #include <cmath>
 #include <ctime>
 #include <filesystem>
@@ -227,6 +228,42 @@ void oocore_metrics(JsonValue& metrics, const std::string& name,
     throw std::runtime_error("oocore mmap count mismatch on " + name);
   metrics.set("oocore." + name + ".cold_start_speedup",
               metric(mmap_s > 0.0 ? heap_s / mmap_s : 0.0, "x", "none"));
+
+  // Eager footer verification vs MapVerify::kOff on the same mapped
+  // load+count. The verify pass is one sequential checksum sweep that
+  // doubles as readahead, so the end-to-end overhead must stay under 5% —
+  // a hard gate, retried like the telemetry one because both sides are a
+  // single cold-ish run; throws only when the final attempt fails.
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    double eager_s = 0.0;
+    double off_s = 0.0;
+    for (int i = 0; i < repeat; ++i) {
+      for (const auto verify : {oo::MapVerify::kEager, oo::MapVerify::kOff}) {
+        lotus::util::Timer timer;
+        auto mapped = oo::read_csr_mapped_s(csx, verify);
+        if (!mapped.ok()) throw std::runtime_error(mapped.status().message());
+        const auto got = lotus::bench::count(lotus::tc::Algorithm::kForwardMerge,
+                                             mapped.value(), config)
+                             .triangles;
+        if (got != heap_triangles)
+          throw std::runtime_error("oocore verify count mismatch on " + name);
+        const double s = timer.elapsed_s();
+        double& best = verify == oo::MapVerify::kEager ? eager_s : off_s;
+        if (i == 0 || s < best) best = s;
+      }
+    }
+    const double overhead = off_s > 0.0 ? eager_s / off_s - 1.0 : 0.0;
+    if (overhead < 0.05) {
+      metrics.set("oocore." + name + ".verify_overhead_frac",
+                  metric(std::max(overhead, 0.0), "fraction", "lower"));
+      break;
+    }
+    if (attempt == 2)
+      throw std::runtime_error(
+          "oocore." + name + ".verify_overhead_frac gate failed: eager " +
+          std::to_string(eager_s) + "s vs off " + std::to_string(off_s) +
+          "s (>= 5% on three attempts)");
+  }
 
   // External build: text edge list -> symmetric CSX under the default sort
   // budget, reported as undirected input edges per second.

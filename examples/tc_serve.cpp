@@ -11,7 +11,7 @@
 //   tc_serve --query-log queries.jsonl --stats-interval-s 1
 //
 // Prints per-mode wall time, the warm/cold speedup, and the engine's cache
-// statistics; --metrics-out additionally writes the "lotus-metrics/5"
+// statistics; --metrics-out additionally writes the "lotus-metrics/6"
 // engine + engine_telemetry sections (docs/METRICS.md, docs/API.md),
 // --telemetry-out the Prometheus exposition, --query-log a JSON-lines
 // record of sampled queries, and --stats-interval-s a periodic rolling

@@ -12,7 +12,10 @@
 #   5. every out-of-core knob (src/graph/oocore.hpp, LOTUS-KNOB-INVENTORY
 #      block) must be documented in docs/OUT_OF_CORE.md;
 #   6. every exported engine metric (src/obs/telemetry.hpp,
-#      LOTUS-METRIC-INVENTORY block) must be documented in docs/TELEMETRY.md.
+#      LOTUS-METRIC-INVENTORY block) must be documented in docs/TELEMETRY.md;
+#   7. every checksum-footer field and per-format section name
+#      (src/util/checksum.hpp, LOTUS-FOOTER-INVENTORY block) must be
+#      documented in docs/OUT_OF_CORE.md.
 set -u
 cd "$(dirname "$0")/.."
 
@@ -114,6 +117,23 @@ fi
 for metric_name in $metric_names; do
   if ! grep -q "\`$metric_name\`" docs/TELEMETRY.md 2>/dev/null; then
     echo "check_docs: metric '$metric_name' (src/obs/telemetry.hpp) is not documented in docs/TELEMETRY.md" >&2
+    status=1
+  fi
+done
+
+# --- 7. checksum footer inventory vs docs/OUT_OF_CORE.md --------------------
+# util/checksum.hpp names every footer field and every per-format section
+# between LOTUS-FOOTER-INVENTORY markers; each must appear (backtick-quoted)
+# in the out-of-core guide, which carries the byte-level footer layout.
+footer_names=$(sed -n '/LOTUS-FOOTER-INVENTORY-BEGIN/,/LOTUS-FOOTER-INVENTORY-END/p' \
+                 src/util/checksum.hpp | grep -o '"[a-z0-9_]*"' | tr -d '"' | sort -u)
+if [ -z "$footer_names" ]; then
+  echo "check_docs: no footer inventory found in src/util/checksum.hpp" >&2
+  status=1
+fi
+for footer_name in $footer_names; do
+  if ! grep -q "\`$footer_name\`" docs/OUT_OF_CORE.md 2>/dev/null; then
+    echo "check_docs: footer field/section '$footer_name' (src/util/checksum.hpp) is not documented in docs/OUT_OF_CORE.md" >&2
     status=1
   fi
 done

@@ -9,6 +9,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/checksum.hpp"
 #include "util/file_io.hpp"
 #include "util/memory_budget.hpp"
 
@@ -112,23 +113,40 @@ util::Status write_edge_list_text_s(const std::string& path,
 }
 
 util::Status write_csr_binary_s(const std::string& path, const CsrGraph& graph) {
-  // Written to "<path>.tmp.<pid>" and renamed into place after fsync, so a
-  // crash or injected write failure can never leave a torn file at `path`.
+  // Written to "<path>.tmp.<pid>.<seq>" and renamed into place after fsync,
+  // so a crash or injected write failure can never leave a torn file at
+  // `path`. A per-section checksum footer (util/checksum.hpp) follows the
+  // payload; readers verify it on load.
+  namespace cks = util::checksum;
   util::fileio::AtomicFileWriter writer(path);
   if (!writer.ok()) return writer.open_status();
   std::FILE* out = writer.file();
   const std::string& tmp = writer.temp_path();
   const std::uint64_t v = graph.num_vertices();
   const std::uint64_t e = graph.num_edges();
-  Status status = write_fully(out, kMagic.data(), kMagic.size(), tmp);
-  if (status.ok()) status = write_fully(out, &v, sizeof v, tmp);
-  if (status.ok()) status = write_fully(out, &e, sizeof e, tmp);
+  unsigned char header[24];
+  std::memcpy(header, kMagic.data(), 8);
+  std::memcpy(header + 8, &v, 8);
+  std::memcpy(header + 16, &e, 8);
+  Status status = write_fully(out, header, sizeof header, tmp);
   if (status.ok())
     status = write_fully(out, graph.offsets().data(),
                          (v + 1) * sizeof(std::uint64_t), tmp);
   if (status.ok())
     status = write_fully(out, graph.neighbor_array().data(),
                          e * sizeof(VertexId), tmp);
+  if (status.ok()) {
+    const std::uint64_t sums[cks::kCsxSections] = {
+        cks::block_checksum(header, sizeof header),
+        cks::block_checksum(graph.offsets().data(),
+                            (v + 1) * sizeof(std::uint64_t)),
+        cks::block_checksum(graph.neighbor_array().data(),
+                            e * sizeof(VertexId)),
+    };
+    unsigned char footer[cks::footer_bytes(cks::kCsxSections)];
+    cks::write_footer(sums, cks::kCsxSections, footer);
+    status = write_fully(out, footer, sizeof footer, tmp);
+  }
   if (!status.ok()) return status;  // writer's destructor unlinks the temp file
   return writer.commit();
 }
@@ -174,8 +192,32 @@ Expected<CsrGraph> read_csr_binary_s(const std::string& path) {
   // multiplication below cannot overflow either.
   if (e > (body_bytes - offset_bytes) / sizeof(VertexId))
     return bad_data(path, "edge count inconsistent with file size");
-  if (offset_bytes + e * sizeof(VertexId) != body_bytes)
+  // The payload may be followed by a checksum footer (current writers) or
+  // end exactly at the neighbors section (pre-footer files, unverified).
+  namespace cks = util::checksum;
+  const std::uint64_t payload_body = offset_bytes + e * sizeof(VertexId);
+  constexpr std::uint64_t kFooterSize = cks::footer_bytes(cks::kCsxSections);
+  const bool has_footer = body_bytes == payload_body + kFooterSize;
+  if (!has_footer && body_bytes != payload_body)
     return bad_data(path, "file size does not match header");
+  std::uint64_t sums[cks::kCsxSections] = {};
+  if (has_footer) {
+    unsigned char footer[kFooterSize];
+    if (util::fileio::seek64(
+            in, static_cast<std::int64_t>(kHeaderBytes + payload_body),
+            SEEK_SET) != 0)
+      return io_error(path, "seek failed");
+    status = read_fully(in, footer, sizeof footer, path);
+    if (!status.ok()) return status;
+    status = cks::read_footer(footer, cks::kCsxSections, path, sums);
+    if (!status.ok()) return status;
+    unsigned char header[24];
+    std::memcpy(header, kMagic.data(), 8);
+    std::memcpy(header + 8, &v, 8);
+    std::memcpy(header + 16, &e, 8);
+    if (cks::block_checksum(header, sizeof header) != sums[0])
+      return io_error(path, "checksum mismatch in section 'header'");
+  }
   if (util::fileio::seek64(in, static_cast<std::int64_t>(kHeaderBytes),
                            SEEK_SET) != 0)
     return io_error(path, "seek failed");
@@ -196,6 +238,16 @@ Expected<CsrGraph> read_csr_binary_s(const std::string& path) {
   if (!status.ok()) return status;
   status = read_fully(in, neighbors.data(), e * sizeof(VertexId), path);
   if (!status.ok()) return status;
+  if (has_footer) {
+    // Streamed loads always verify eagerly: the bytes are already in the
+    // heap, so hashing them costs one extra pass, no extra IO.
+    const cks::Section sections[] = {
+        {cks::kCsxSectionNames[1], offsets.data(), offset_bytes},
+        {cks::kCsxSectionNames[2], neighbors.data(), e * sizeof(VertexId)},
+    };
+    status = cks::verify_sections(sections, 2, sums + 1, path);
+    if (!status.ok()) return status;
+  }
   if (offsets.front() != 0 || offsets.back() != e)
     return bad_data(path, "corrupt offsets");
   for (std::size_t i = 1; i < offsets.size(); ++i)

@@ -15,8 +15,10 @@
 
 #include "graph/io.hpp"
 
+#include "util/checksum.hpp"
 #include "util/fault.hpp"
 #include "util/file_io.hpp"
+#include "util/mapguard.hpp"
 #include "util/memory_budget.hpp"
 #include "util/mmap_file.hpp"
 
@@ -44,10 +46,15 @@ Status bad_data(const std::string& path, const std::string& what) {
   return {StatusCode::kInvalidArgument, path + ": " + what};
 }
 
+namespace cks = util::checksum;
+
 /// Shared "LOTUSGR1" header validation: sizes must exactly account for the
-/// file, before any allocation a hostile header could inflate.
+/// file, before any allocation a hostile header could inflate. The image
+/// either ends at the neighbours section (pre-footer files) or carries a
+/// checksum footer (current writers); `has_footer` reports which.
 Status check_csx_header(const std::string& path, std::uint64_t v, std::uint64_t e,
-                        std::uint64_t file_size) {
+                        std::uint64_t file_size, bool* has_footer = nullptr) {
+  if (has_footer != nullptr) *has_footer = false;
   if (v > 0xffffffffULL) return bad_data(path, "vertex count exceeds 32 bits");
   if (file_size < kHeaderBytes) return io_error(path, "truncated header");
   const std::uint64_t body_bytes = file_size - kHeaderBytes;
@@ -56,9 +63,35 @@ Status check_csx_header(const std::string& path, std::uint64_t v, std::uint64_t 
     return bad_data(path, "vertex count inconsistent with file size");
   if (e > (body_bytes - offset_bytes) / sizeof(VertexId))
     return bad_data(path, "edge count inconsistent with file size");
-  if (offset_bytes + e * sizeof(VertexId) != body_bytes)
+  const std::uint64_t payload_body = offset_bytes + e * sizeof(VertexId);
+  if (payload_body + cks::footer_bytes(cks::kCsxSections) == body_bytes) {
+    if (has_footer != nullptr) *has_footer = true;
+    return Status::Ok();
+  }
+  if (payload_body != body_bytes)
     return bad_data(path, "file size does not match header");
   return Status::Ok();
+}
+
+/// Parse + verify the footer of a fully mapped/loaded CSX image whose three
+/// sections live at the standard layout inside `image` (payload_bytes =
+/// header + offsets + neighbours). Touches every payload byte, so mapped
+/// callers wrap this in the SIGBUS guard.
+Status verify_csx_image(const std::string& path, const unsigned char* image,
+                        std::uint64_t payload_bytes, std::uint64_t v,
+                        std::uint64_t e) {
+  std::uint64_t sums[cks::kCsxSections] = {};
+  Status status = cks::read_footer(image + payload_bytes, cks::kCsxSections,
+                                   path, sums);
+  if (!status.ok()) return status;
+  const std::uint64_t offset_bytes = (v + 1) * sizeof(std::uint64_t);
+  const cks::Section sections[cks::kCsxSections] = {
+      {cks::kCsxSectionNames[0], image, kHeaderBytes},
+      {cks::kCsxSectionNames[1], image + kHeaderBytes, offset_bytes},
+      {cks::kCsxSectionNames[2], image + kHeaderBytes + offset_bytes,
+       e * sizeof(VertexId)},
+  };
+  return cks::verify_sections(sections, cks::kCsxSections, sums, path);
 }
 
 Status check_csx_body(const std::string& path,
@@ -78,7 +111,7 @@ Status check_csx_body(const std::string& path,
 
 util::Expected<CsrGraph> read_csr_mapped_at_s(
     const std::shared_ptr<util::MappedFile>& file, std::uint64_t base,
-    std::uint64_t size, bool validate) {
+    std::uint64_t size, bool validate, MapVerify verify) {
   const std::string& path = file->path();
   if (base % 8 != 0) return bad_data(path, "image offset is not 8-aligned");
   if (base > file->size() || size > file->size() - base)
@@ -90,13 +123,27 @@ util::Expected<CsrGraph> read_csr_mapped_at_s(
   std::uint64_t v = 0, e = 0;
   std::memcpy(&v, image + 8, sizeof v);
   std::memcpy(&e, image + 16, sizeof e);
-  Status status = check_csx_header(path, v, e, size);
+  bool has_footer = false;
+  Status status = check_csx_header(path, v, e, size, &has_footer);
   if (!status.ok()) return status;
 
   // The validation scan below and the counting kernels both walk the body
   // in ascending order (the squared edge tiling visits vertex ranges
   // low-to-high), so ask for aggressive readahead.
   file->advise(util::MappedFile::Advice::kSequential, base, size);
+
+  if (has_footer && verify == MapVerify::kEager) {
+    // Touches every mapped payload byte, so a file truncated after mapping
+    // (or a poisoned page) must surface as kIoError, not SIGBUS.
+    const std::uint64_t payload_bytes =
+        kHeaderBytes + (v + 1) * sizeof(std::uint64_t) + e * sizeof(VertexId);
+    status = util::with_mapped_fault_guard(path, [&] {
+      return verify_csx_image(
+          path, reinterpret_cast<const unsigned char*>(image), payload_bytes,
+          v, e);
+    });
+    if (!status.ok()) return status;
+  }
 
   // Header is 24 bytes, so offsets start 8-aligned and neighbours (after
   // (v+1) u64 entries) 4-aligned — the format needs no padding to be
@@ -106,32 +153,49 @@ util::Expected<CsrGraph> read_csr_mapped_at_s(
   util::ConstArray<VertexId> neighbors = util::mapped_view<VertexId>(
       file, base + kHeaderBytes + (v + 1) * sizeof(std::uint64_t), e);
   if (validate) {
-    status = check_csx_body(path, offsets, neighbors);
+    status = util::with_mapped_fault_guard(path, [&] {
+      return check_csx_body(path, offsets, neighbors);
+    });
     if (!status.ok()) return status;
   }
   return CsrGraph(std::move(offsets), std::move(neighbors));
 }
 
-util::Expected<CsrGraph> read_csr_mapped_s(const std::string& path) {
+util::Expected<CsrGraph> read_csr_mapped_s(const std::string& path,
+                                           MapVerify verify) {
   Expected<std::shared_ptr<util::MappedFile>> mapped = util::MappedFile::map(path);
   if (!mapped.ok()) return mapped.status();
   const std::shared_ptr<util::MappedFile> file = mapped.take();
-  return read_csr_mapped_at_s(file, 0, file->size(), /*validate=*/true);
+  return read_csr_mapped_at_s(file, 0, file->size(), /*validate=*/true, verify);
 }
 
 util::Status write_csx_stream_s(std::FILE* out, const std::string& path,
                                 const CsrGraph& graph) {
   const std::uint64_t v = graph.num_vertices();
   const std::uint64_t e = graph.num_edges();
-  Status status = util::fileio::write_fully(out, kMagic.data(), kMagic.size(), path);
-  if (status.ok()) status = util::fileio::write_fully(out, &v, sizeof v, path);
-  if (status.ok()) status = util::fileio::write_fully(out, &e, sizeof e, path);
+  unsigned char header[kHeaderBytes];
+  std::memcpy(header, kMagic.data(), 8);
+  std::memcpy(header + 8, &v, 8);
+  std::memcpy(header + 16, &e, 8);
+  Status status = util::fileio::write_fully(out, header, sizeof header, path);
   if (status.ok())
     status = util::fileio::write_fully(out, graph.offsets().data(),
                                        (v + 1) * sizeof(std::uint64_t), path);
   if (status.ok())
     status = util::fileio::write_fully(out, graph.neighbor_array().data(),
                                        e * sizeof(VertexId), path);
+  if (status.ok()) {
+    const std::uint64_t sums[cks::kCsxSections] = {
+        cks::block_checksum(header, sizeof header),
+        cks::block_checksum(graph.offsets().data(),
+                            (v + 1) * sizeof(std::uint64_t)),
+        cks::block_checksum(graph.neighbor_array().data(),
+                            e * sizeof(VertexId)),
+    };
+    unsigned char footer[cks::footer_bytes(cks::kCsxSections)];
+    cks::write_footer(sums, cks::kCsxSections, footer);
+    status = util::fileio::write_fully(out, footer, sizeof footer, path);
+  }
   return status;
 }
 
@@ -243,7 +307,9 @@ util::Expected<CsrGraph> read_csr_binary_parallel_s(const std::string& path,
   struct stat st {};
   if (::fstat(plain.fd, &st) != 0)
     return io_error(path, "cannot determine file size");
-  status = check_csx_header(path, v, e, static_cast<std::uint64_t>(st.st_size));
+  bool has_footer = false;
+  status = check_csx_header(path, v, e, static_cast<std::uint64_t>(st.st_size),
+                            &has_footer);
   if (!status.ok()) return status;
 
   const std::uint64_t offset_bytes = (v + 1) * sizeof(std::uint64_t);
@@ -322,6 +388,25 @@ util::Expected<CsrGraph> read_csr_binary_parallel_s(const std::string& path,
   for (std::thread& t : threads) t.join();
   for (Status& s : worker_status)
     if (!s.ok()) return std::move(s);
+
+  if (has_footer) {
+    // Streamed (heap-resident) loads always verify eagerly; the chunks
+    // arrived out of order but the assembled arrays hash sequentially.
+    std::array<unsigned char, cks::footer_bytes(cks::kCsxSections)> footer{};
+    status = pread_fully(plain.fd, footer.data(), footer.size(),
+                         kHeaderBytes + offset_bytes + neighbor_bytes, path);
+    if (!status.ok()) return status;
+    std::uint64_t sums[cks::kCsxSections] = {};
+    status = cks::read_footer(footer.data(), cks::kCsxSections, path, sums);
+    if (!status.ok()) return status;
+    const cks::Section sections[cks::kCsxSections] = {
+        {cks::kCsxSectionNames[0], header.data(), header.size()},
+        {cks::kCsxSectionNames[1], offsets.data(), offset_bytes},
+        {cks::kCsxSectionNames[2], neighbors.data(), neighbor_bytes},
+    };
+    status = cks::verify_sections(sections, cks::kCsxSections, sums, path);
+    if (!status.ok()) return status;
+  }
 
   status = check_csx_body(path, offsets, neighbors);
   if (!status.ok()) return status;
@@ -659,23 +744,43 @@ util::Status build_csx_file_external_s(const std::string& edge_list_path,
                            SEEK_SET) != 0)
     return io_error(tmp, "seek failed");
 
+  // The neighbours section checksum accumulates as the stream goes by; the
+  // header and offsets sums are computed from memory before the back-fill.
   std::uint64_t total_edges = 0;
+  cks::Checksummer neighbor_sum;
   status = run_external_build(
       edge_list_path, options, scan,
       [&](VertexId u, const VertexId* vs, std::size_t count) -> Status {
         offsets[u + 1] = count;
         total_edges += count;
+        neighbor_sum.update(vs, count * sizeof(VertexId));
         return util::fileio::write_fully(out, vs, count * sizeof(VertexId), tmp);
       });
   if (!status.ok()) return status;
 
   for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+  unsigned char header[kHeaderBytes];
+  std::memcpy(header, kMagic.data(), 8);
+  std::memcpy(header + 8, &n, 8);
+  std::memcpy(header + 16, &total_edges, 8);
+  // The file position sits at the end of the neighbours stream — exactly
+  // where the footer belongs; write it before seeking back for the
+  // header/offsets back-fill.
+  {
+    const std::uint64_t sums[cks::kCsxSections] = {
+        cks::block_checksum(header, sizeof header),
+        cks::block_checksum(offsets.data(),
+                            offsets.size() * sizeof(std::uint64_t)),
+        neighbor_sum.digest(),
+    };
+    unsigned char footer[cks::footer_bytes(cks::kCsxSections)];
+    cks::write_footer(sums, cks::kCsxSections, footer);
+    status = util::fileio::write_fully(out, footer, sizeof footer, tmp);
+    if (!status.ok()) return status;
+  }
   if (util::fileio::seek64(out, 0, SEEK_SET) != 0)
     return io_error(tmp, "seek failed");
-  status = util::fileio::write_fully(out, kMagic.data(), kMagic.size(), tmp);
-  if (status.ok()) status = util::fileio::write_fully(out, &n, sizeof n, tmp);
-  if (status.ok())
-    status = util::fileio::write_fully(out, &total_edges, sizeof total_edges, tmp);
+  status = util::fileio::write_fully(out, header, sizeof header, tmp);
   if (status.ok())
     status = util::fileio::write_fully(out, offsets.data(),
                                        offsets.size() * sizeof(std::uint64_t), tmp);

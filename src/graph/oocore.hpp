@@ -57,13 +57,28 @@ struct ExternalBuildOptions {
   /// temp_dir: directory for bucket spill files; "" = alongside the input.
   std::string temp_dir;
 };
+
+/// Checksum policy for the mapped (zero-copy) readers. Streamed loads
+/// always verify footers eagerly — the bytes are in the heap anyway.
+enum class MapVerify {
+  /// map_verify: kEager (default) checksum-verifies every footered section
+  /// at map time under the SIGBUS guard — one sequential pass that doubles
+  /// as readahead; kOff maps without touching the payload, preserving pure
+  /// zero-copy cold starts (the engine's background-verify knob re-checks
+  /// such mappings off the query path). Footerless legacy files always load
+  /// unverified.
+  kEager,
+  kOff,
+};
 // LOTUS-KNOB-INVENTORY-END
 
 /// Map a "LOTUSGR1" CSX file; offsets/neighbours are zero-copy views pinned
 /// by the mapping (freed when the graph is destroyed). The file is fully
 /// validated (header vs size, offset monotonicity, neighbour range) —
-/// corrupt files are rejected, exactly like read_csr_binary_s.
-[[nodiscard]] util::Expected<CsrGraph> read_csr_mapped_s(const std::string& path);
+/// corrupt files are rejected, exactly like read_csr_binary_s — and its
+/// checksum footer is verified per `verify`.
+[[nodiscard]] util::Expected<CsrGraph> read_csr_mapped_s(
+    const std::string& path, MapVerify verify = MapVerify::kEager);
 
 /// Append a complete "LOTUSGR1" CSX image for `graph` to `out` at its
 /// current position (the engine spill format embeds CSX sections this way;
@@ -75,10 +90,12 @@ struct ExternalBuildOptions {
 
 /// Zero-copy CSX views over a "LOTUSGR1" image spanning [base, base + size)
 /// inside an existing mapping; `base` must be 8-aligned. `validate` skips
-/// the O(V+E) body scan for self-written (trusted) artifacts.
+/// the O(V+E) body scan for self-written (trusted) artifacts; `verify`
+/// controls checksum-footer verification independently (a trusted layout
+/// can still be checked for bit rot).
 [[nodiscard]] util::Expected<CsrGraph> read_csr_mapped_at_s(
     const std::shared_ptr<util::MappedFile>& file, std::uint64_t base,
-    std::uint64_t size, bool validate);
+    std::uint64_t size, bool validate, MapVerify verify = MapVerify::kEager);
 
 /// Heap-resident load of a "LOTUSGR1" CSX file with chunked parallel preads.
 /// Identical result and validation as read_csr_binary_s; the heap arrays are

@@ -1,5 +1,7 @@
 #include "kernels/dispatch.hpp"
 
+#include <cstring>
+
 namespace lotus::kernels {
 
 namespace {
@@ -75,10 +77,23 @@ std::uint64_t and_window_popcount_scalar(const std::uint64_t* bits,
   return total;
 }
 
+void checksum_stripes_scalar(std::uint64_t* acc, const unsigned char* data,
+                             std::size_t stripes) {
+  for (std::size_t s = 0; s < stripes; ++s, data += 64) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      std::uint64_t x;
+      std::memcpy(&x, data + 8 * j, 8);
+      const std::uint64_t k = x ^ kChecksumSecret[j];
+      acc[j ^ 1] += x;
+      acc[j] += (k & 0xffffffffULL) * (k >> 32);
+    }
+  }
+}
+
 constexpr KernelTable kScalarTable = {
     Isa::kScalar,        &merge_u32_scalar,   &merge_u16_scalar,
     &and_popcount_scalar, &popcount_scalar,   &hits_bitset_scalar,
-    &and_window_popcount_scalar,
+    &and_window_popcount_scalar, &checksum_stripes_scalar,
 };
 
 }  // namespace

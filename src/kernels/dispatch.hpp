@@ -56,6 +56,24 @@ struct KernelTable {
                                        std::uint64_t offset,
                                        const std::uint64_t* mask,
                                        std::size_t mask_words);
+
+  /// Accumulate `stripes` 64-byte stripes into the 8-lane block-checksum
+  /// state (util/checksum.hpp): per u64 lane j with data word x and
+  /// k = x ^ kChecksumSecret[j], acc[j] += u32(k) * u32(k >> 32) and
+  /// acc[j ^ 1] += x. Lane words are little-endian loads; every tier
+  /// produces bit-identical state, so artifact checksums never depend on
+  /// which ISA wrote or verified the file.
+  void (*checksum_stripes)(std::uint64_t* acc, const unsigned char* data,
+                           std::size_t stripes);
+};
+
+/// Fixed per-lane key material for `checksum_stripes`; shared by the scalar
+/// reference and every SIMD tier so all tables mix identically.
+inline constexpr std::uint64_t kChecksumSecret[8] = {
+    0xbe4ba423396cfeb8ULL, 0x1cad21f72c81017cULL,
+    0xdb979083e96dd4deULL, 0x1f67b3b7a4a44072ULL,
+    0x78e5c0cc4ee679cbULL, 0x2172ffcc7dd05a82ULL,
+    0x8e2443f7744608b8ULL, 0x4c263a81e69035e0ULL,
 };
 
 /// Table of an explicit tier; unsupported requests clamp down (isa.hpp).
@@ -71,6 +89,7 @@ struct KernelTable {
 inline constexpr const char* kKernelNames[] = {
     "merge_u32",     "merge_u16", "and_popcount",
     "popcount",      "hits_bitset", "and_window_popcount",
+    "checksum_stripes",
 };
 // KERNEL-INVENTORY-END
 

@@ -145,6 +145,36 @@ __attribute__((target("avx2"))) std::uint64_t hits_bitset_avx2(
   return total;
 }
 
+__attribute__((target("avx2"))) void checksum_stripes_avx2(
+    std::uint64_t* acc, const unsigned char* data, std::size_t stripes) {
+  // Two 4×u64 accumulator halves. Per stripe: k = x ^ secret, then
+  // acc[j] += u32(k)·u32(k>>32) (vpmuludq) and acc[j] += x[j^1] (the
+  // pairwise 64-bit swap is an in-lane 32-bit shuffle) — lane-exact with
+  // the scalar reference.
+  __m256i acc0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc));
+  __m256i acc1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + 4));
+  const __m256i sec0 =
+      _mm256_loadu_si256(reinterpret_cast<const __m256i*>(kChecksumSecret));
+  const __m256i sec1 = _mm256_loadu_si256(
+      reinterpret_cast<const __m256i*>(kChecksumSecret + 4));
+  for (std::size_t s = 0; s < stripes; ++s, data += 64) {
+    const __m256i d0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data));
+    const __m256i d1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(data + 32));
+    const __m256i k0 = _mm256_xor_si256(d0, sec0);
+    const __m256i k1 = _mm256_xor_si256(d1, sec1);
+    const __m256i p0 = _mm256_mul_epu32(k0, _mm256_srli_epi64(k0, 32));
+    const __m256i p1 = _mm256_mul_epu32(k1, _mm256_srli_epi64(k1, 32));
+    const __m256i w0 = _mm256_shuffle_epi32(d0, _MM_SHUFFLE(1, 0, 3, 2));
+    const __m256i w1 = _mm256_shuffle_epi32(d1, _MM_SHUFFLE(1, 0, 3, 2));
+    acc0 = _mm256_add_epi64(acc0, _mm256_add_epi64(p0, w0));
+    acc1 = _mm256_add_epi64(acc1, _mm256_add_epi64(p1, w1));
+  }
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc), acc0);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + 4), acc1);
+}
+
 }  // namespace
 
 const KernelTable* avx2_kernel_table() noexcept {
@@ -155,6 +185,7 @@ const KernelTable* avx2_kernel_table() noexcept {
     t.merge_u16 = &merge_u16_avx2;
     t.and_popcount = &and_popcount_avx2;
     t.hits_bitset = &hits_bitset_avx2;
+    t.checksum_stripes = &checksum_stripes_avx2;
     return t;
   }();
   return &table;

@@ -136,6 +136,23 @@ __attribute__((target("avx512f"))) std::uint64_t hits_bitset_avx512(
   return total;
 }
 
+__attribute__((target("avx512f"))) void checksum_stripes_avx512(
+    std::uint64_t* acc, const unsigned char* data, std::size_t stripes) {
+  // One full 8×u64 accumulator vector per stripe; same lane math as the
+  // AVX2/scalar forms (vpmuludq product + pairwise-swapped data add).
+  __m512i accv = _mm512_loadu_si512(acc);
+  const __m512i sec = _mm512_loadu_si512(kChecksumSecret);
+  for (std::size_t s = 0; s < stripes; ++s, data += 64) {
+    const __m512i d = _mm512_loadu_si512(data);
+    const __m512i k = _mm512_xor_si512(d, sec);
+    const __m512i p = _mm512_mul_epu32(k, _mm512_srli_epi64(k, 32));
+    const __m512i w = _mm512_shuffle_epi32(
+        d, static_cast<_MM_PERM_ENUM>(_MM_SHUFFLE(1, 0, 3, 2)));
+    accv = _mm512_add_epi64(accv, _mm512_add_epi64(p, w));
+  }
+  _mm512_storeu_si512(acc, accv);
+}
+
 }  // namespace
 
 const KernelTable* avx512_kernel_table() noexcept {
@@ -145,6 +162,7 @@ const KernelTable* avx512_kernel_table() noexcept {
     t.merge_u32 = &merge_u32_avx512;
     t.merge_u16 = &merge_u16_avx512;
     t.hits_bitset = &hits_bitset_avx512;
+    t.checksum_stripes = &checksum_stripes_avx512;
     if (__builtin_cpu_supports("avx512vpopcntdq")) {
       t.and_popcount = &and_popcount_avx512;
       t.popcount = &popcount_avx512;

@@ -115,6 +115,43 @@ std::uint64_t popcount_neon(const std::uint64_t* words, std::size_t count) {
   return total;
 }
 
+void checksum_stripes_neon(std::uint64_t* acc, const unsigned char* data,
+                           std::size_t stripes) {
+  // Four 2xu64 accumulator pairs; the pairwise data swap is vext by one
+  // 64-bit lane and the 32x32->64 product is vmull over the narrowed
+  // halves. Lane-exact with the scalar reference.
+  uint64x2_t a0 = vld1q_u64(acc);
+  uint64x2_t a1 = vld1q_u64(acc + 2);
+  uint64x2_t a2 = vld1q_u64(acc + 4);
+  uint64x2_t a3 = vld1q_u64(acc + 6);
+  const uint64x2_t s0 = vld1q_u64(kChecksumSecret);
+  const uint64x2_t s1 = vld1q_u64(kChecksumSecret + 2);
+  const uint64x2_t s2 = vld1q_u64(kChecksumSecret + 4);
+  const uint64x2_t s3 = vld1q_u64(kChecksumSecret + 6);
+  for (std::size_t s = 0; s < stripes; ++s, data += 64) {
+    const uint64x2_t d0 = vreinterpretq_u64_u8(vld1q_u8(data));
+    const uint64x2_t d1 = vreinterpretq_u64_u8(vld1q_u8(data + 16));
+    const uint64x2_t d2 = vreinterpretq_u64_u8(vld1q_u8(data + 32));
+    const uint64x2_t d3 = vreinterpretq_u64_u8(vld1q_u8(data + 48));
+    const uint64x2_t k0 = veorq_u64(d0, s0);
+    const uint64x2_t k1 = veorq_u64(d1, s1);
+    const uint64x2_t k2 = veorq_u64(d2, s2);
+    const uint64x2_t k3 = veorq_u64(d3, s3);
+    a0 = vaddq_u64(a0, vextq_u64(d0, d0, 1));
+    a1 = vaddq_u64(a1, vextq_u64(d1, d1, 1));
+    a2 = vaddq_u64(a2, vextq_u64(d2, d2, 1));
+    a3 = vaddq_u64(a3, vextq_u64(d3, d3, 1));
+    a0 = vmlal_u32(a0, vmovn_u64(k0), vshrn_n_u64(k0, 32));
+    a1 = vmlal_u32(a1, vmovn_u64(k1), vshrn_n_u64(k1, 32));
+    a2 = vmlal_u32(a2, vmovn_u64(k2), vshrn_n_u64(k2, 32));
+    a3 = vmlal_u32(a3, vmovn_u64(k3), vshrn_n_u64(k3, 32));
+  }
+  vst1q_u64(acc, a0);
+  vst1q_u64(acc + 2, a1);
+  vst1q_u64(acc + 4, a2);
+  vst1q_u64(acc + 6, a3);
+}
+
 }  // namespace
 
 const KernelTable* neon_kernel_table() noexcept {
@@ -125,6 +162,7 @@ const KernelTable* neon_kernel_table() noexcept {
     t.merge_u16 = &merge_u16_neon;
     t.and_popcount = &and_popcount_neon;
     t.popcount = &popcount_neon;
+    t.checksum_stripes = &checksum_stripes_neon;
     return t;
   }();
   return &table;

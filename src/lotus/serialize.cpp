@@ -5,13 +5,17 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/checksum.hpp"
 #include "util/file_io.hpp"
+#include "util/mapguard.hpp"
 #include "util/memory_budget.hpp"
 #include "util/mmap_file.hpp"
 
 namespace lotus::core {
 
 namespace {
+
+namespace cks = util::checksum;
 
 using util::Expected;
 using util::Status;
@@ -42,6 +46,30 @@ struct HeaderV2 {
 
 constexpr std::uint64_t pad8(std::uint64_t bytes) noexcept {
   return (bytes + 7) & ~std::uint64_t{7};
+}
+
+/// Checksum of a section over its pad8-padded on-disk extent: the footer
+/// sums cover the zero padding too, so a flipped pad byte is also caught.
+/// Heap-loaded arrays lack the padding; re-feed it as zeros.
+std::uint64_t padded_checksum(const void* data, std::uint64_t bytes) {
+  cks::Checksummer c;
+  c.update(data, bytes);
+  const std::uint64_t padding = pad8(bytes) - bytes;
+  if (padding > 0) {
+    const std::array<unsigned char, 8> zeros{};
+    c.update(zeros.data(), padding);
+  }
+  return c.digest();
+}
+
+/// Reconstruct the exact 64-byte v2 header image for checksum verification.
+std::array<unsigned char, kHeaderBytesV2> header_image(const HeaderV2& h) {
+  std::array<unsigned char, kHeaderBytesV2> header{};
+  std::memcpy(header.data(), kMagicV2.data(), kMagicV2.size());
+  const std::array<std::uint64_t, 5> fields = {h.n, h.hubs, h.h2h_words,
+                                               h.he_edges, h.nhe_edges};
+  std::memcpy(header.data() + 8, fields.data(), sizeof fields);
+  return header;
 }
 
 /// Byte offsets of the six sections. Every section starts on an 8-byte
@@ -176,7 +204,8 @@ Expected<LotusGraph> read_v1_body(std::FILE* in, const std::string& path) {
 }
 
 Status read_and_check_size_v2(std::FILE* in, const std::string& path,
-                              HeaderV2& h, LayoutV2& layout) {
+                              HeaderV2& h, LayoutV2& layout, bool& has_footer,
+                              std::uint64_t* sums /* kLotusSections */) {
   std::array<std::uint64_t, 7> fields{};  // n, hubs, words, he_e, nhe_e, 2 reserved
   Status status =
       util::fileio::read_fully(in, fields.data(), sizeof fields, path);
@@ -193,8 +222,27 @@ Status read_and_check_size_v2(std::FILE* in, const std::string& path,
     return io_error(path, "cannot determine file size");
   const std::int64_t end_pos = util::fileio::tell64(in);
   if (end_pos < 0) return io_error(path, "cannot determine file size");
-  if (static_cast<std::uint64_t>(end_pos) != layout.total)
+  // The payload may be followed by a checksum footer (current writers) or
+  // end exactly at the last section (pre-footer files, unverified).
+  constexpr std::uint64_t kFooterSize = cks::footer_bytes(cks::kLotusSections);
+  const auto file_size = static_cast<std::uint64_t>(end_pos);
+  has_footer = file_size == layout.total + kFooterSize;
+  if (!has_footer && file_size != layout.total)
     return bad_data(path, "file size does not match header");
+  if (has_footer) {
+    unsigned char footer[kFooterSize];
+    if (util::fileio::seek64(in, static_cast<std::int64_t>(layout.total),
+                             SEEK_SET) != 0)
+      return io_error(path, "seek failed");
+    status = util::fileio::read_fully(in, footer, sizeof footer, path);
+    if (!status.ok()) return status;
+    status = cks::read_footer(footer, cks::kLotusSections, path, sums);
+    if (!status.ok()) return status;
+    // Verify the header before any allocation its sizes could inflate.
+    const auto header = header_image(h);
+    if (cks::block_checksum(header.data(), header.size()) != sums[0])
+      return io_error(path, "checksum mismatch in section 'header'");
+  }
   return Status::Ok();
 }
 
@@ -211,7 +259,9 @@ Status read_section(std::FILE* in, const std::string& path, std::uint64_t offset
 Expected<LotusGraph> read_v2_body(std::FILE* in, const std::string& path) {
   HeaderV2 h;
   LayoutV2 layout{};
-  Status status = read_and_check_size_v2(in, path, h, layout);
+  bool has_footer = false;
+  std::uint64_t sums[cks::kLotusSections] = {};
+  Status status = read_and_check_size_v2(in, path, h, layout, has_footer, sums);
   if (!status.ok()) return status;
 
   std::vector<graph::VertexId> new_id;
@@ -231,6 +281,35 @@ Expected<LotusGraph> read_v2_body(std::FILE* in, const std::string& path) {
     status =
         read_section(in, path, layout.nhe_neighbors, h.nhe_edges, nhe_neighbors);
   if (!status.ok()) return status;
+  if (has_footer) {
+    // Streamed loads always verify eagerly: the bytes are already in the
+    // heap, so hashing them costs one extra pass, no extra IO. The on-disk
+    // sums cover each section's padded extent; padded_checksum re-feeds the
+    // zero padding the heap arrays do not carry.
+    const struct {
+      const char* name;
+      const void* data;
+      std::uint64_t bytes;
+    } sections[] = {
+        {cks::kLotusSectionNames[1], new_id.data(),
+         h.n * sizeof(graph::VertexId)},
+        {cks::kLotusSectionNames[2], h2h_words.data(),
+         h.h2h_words * sizeof(std::uint64_t)},
+        {cks::kLotusSectionNames[3], he_offsets.data(),
+         (h.n + 1) * sizeof(std::uint64_t)},
+        {cks::kLotusSectionNames[4], he_neighbors.data(),
+         h.he_edges * sizeof(std::uint16_t)},
+        {cks::kLotusSectionNames[5], nhe_offsets.data(),
+         (h.n + 1) * sizeof(std::uint64_t)},
+        {cks::kLotusSectionNames[6], nhe_neighbors.data(),
+         h.nhe_edges * sizeof(graph::VertexId)},
+    };
+    for (std::size_t i = 0; i < cks::kLotusSections - 1; ++i) {
+      if (padded_checksum(sections[i].data, sections[i].bytes) != sums[i + 1])
+        return io_error(path, "checksum mismatch in section '" +
+                                  std::string(sections[i].name) + "'");
+    }
+  }
   return assemble(path, h, std::move(h2h_words), std::move(he_offsets),
                   std::move(he_neighbors), std::move(nhe_offsets),
                   std::move(nhe_neighbors), std::move(new_id),
@@ -248,14 +327,15 @@ util::Status write_lotus_v2_stream_s(std::FILE* out, const std::string& tmp,
   h.he_edges = lg.he().num_edges();
   h.nhe_edges = lg.nhe().num_edges();
 
-  std::array<unsigned char, kHeaderBytesV2> header{};
-  std::memcpy(header.data(), kMagicV2.data(), kMagicV2.size());
-  const std::array<std::uint64_t, 5> fields = {h.n, h.hubs, h.h2h_words,
-                                               h.he_edges, h.nhe_edges};
-  std::memcpy(header.data() + 8, fields.data(), sizeof fields);
+  const auto header = header_image(h);
   Status status =
       util::fileio::write_fully(out, header.data(), header.size(), tmp);
 
+  // One checksum per section, over its padded on-disk extent; the footer
+  // follows the last section so readers can verify each array on load.
+  std::uint64_t sums[cks::kLotusSections] = {};
+  sums[0] = cks::block_checksum(header.data(), header.size());
+  std::size_t section = 1;
   const auto write_section = [&](const void* data, std::uint64_t bytes) {
     if (!status.ok()) return;
     status = util::fileio::write_fully(out, data, bytes, tmp);
@@ -264,6 +344,7 @@ util::Status write_lotus_v2_stream_s(std::FILE* out, const std::string& tmp,
       const std::array<unsigned char, 8> zeros{};
       status = util::fileio::write_fully(out, zeros.data(), padding, tmp);
     }
+    sums[section++] = padded_checksum(data, bytes);
   };
   write_section(lg.relabeling().data(),
                 h.n * sizeof(graph::VertexId));
@@ -274,6 +355,11 @@ util::Status write_lotus_v2_stream_s(std::FILE* out, const std::string& tmp,
   write_section(lg.nhe().offsets().data(), (h.n + 1) * sizeof(std::uint64_t));
   write_section(lg.nhe().neighbor_array().data(),
                 h.nhe_edges * sizeof(graph::VertexId));
+  if (status.ok()) {
+    unsigned char footer[cks::footer_bytes(cks::kLotusSections)];
+    cks::write_footer(sums, cks::kLotusSections, footer);
+    status = util::fileio::write_fully(out, footer, sizeof footer, tmp);
+  }
   return status;
 }
 
@@ -313,7 +399,7 @@ util::Expected<LotusGraph> read_lotus_binary_s(const std::string& path) {
 
 util::Expected<LotusGraph> read_lotus_v2_mapped_at_s(
     const std::shared_ptr<util::MappedFile>& file, std::uint64_t base,
-    std::uint64_t size, bool validate) {
+    std::uint64_t size, bool validate, graph::oocore::MapVerify verify) {
   const std::string& path = file->path();
   if (base % 8 != 0) return bad_data(path, "image offset is not 8-aligned");
   if (base > file->size() || size > file->size() - base)
@@ -338,8 +424,39 @@ util::Expected<LotusGraph> read_lotus_v2_mapped_at_s(
   Status status = check_header(path, h);
   if (!status.ok()) return status;
   LayoutV2 layout = layout_for(h);
-  if (size != layout.total)
+  constexpr std::uint64_t kFooterSize = cks::footer_bytes(cks::kLotusSections);
+  const bool has_footer = size == layout.total + kFooterSize;
+  if (!has_footer && size != layout.total)
     return bad_data(path, "image size does not match header");
+  if (has_footer && verify == graph::oocore::MapVerify::kEager) {
+    // One sequential pass over the mapping (doubling as readahead), under
+    // the SIGBUS guard: truncation or bit rot surfaces as kIoError, not a
+    // crash. Padded extents are contiguous on disk, so each section's extent
+    // runs to the next section's offset.
+    status = util::with_mapped_fault_guard(path, [&]() -> Status {
+      std::uint64_t sums[cks::kLotusSections] = {};
+      Status s = cks::read_footer(image + layout.total, cks::kLotusSections,
+                                  path, sums);
+      if (!s.ok()) return s;
+      const cks::Section sections[cks::kLotusSections] = {
+          {cks::kLotusSectionNames[0], image, kHeaderBytesV2},
+          {cks::kLotusSectionNames[1], image + layout.new_id,
+           layout.h2h - layout.new_id},
+          {cks::kLotusSectionNames[2], image + layout.h2h,
+           layout.he_offsets - layout.h2h},
+          {cks::kLotusSectionNames[3], image + layout.he_offsets,
+           layout.he_neighbors - layout.he_offsets},
+          {cks::kLotusSectionNames[4], image + layout.he_neighbors,
+           layout.nhe_offsets - layout.he_neighbors},
+          {cks::kLotusSectionNames[5], image + layout.nhe_offsets,
+           layout.nhe_neighbors - layout.nhe_offsets},
+          {cks::kLotusSectionNames[6], image + layout.nhe_neighbors,
+           layout.total - layout.nhe_neighbors},
+      };
+      return cks::verify_sections(sections, cks::kLotusSections, sums, path);
+    });
+    if (!status.ok()) return status;
+  }
   layout.new_id += base;
   layout.h2h += base;
   layout.he_offsets += base;
@@ -370,11 +487,12 @@ util::Expected<LotusGraph> read_lotus_v2_mapped_at_s(
 }
 
 util::Expected<LotusGraph> read_lotus_mapped_s(const std::string& path,
-                                               bool validate) {
+                                               bool validate,
+                                               graph::oocore::MapVerify verify) {
   Expected<std::shared_ptr<util::MappedFile>> mapped = util::MappedFile::map(path);
   if (!mapped.ok()) return mapped.status();
   const std::shared_ptr<util::MappedFile> file = mapped.take();
-  return read_lotus_v2_mapped_at_s(file, 0, file->size(), validate);
+  return read_lotus_v2_mapped_at_s(file, 0, file->size(), validate, verify);
 }
 
 namespace {

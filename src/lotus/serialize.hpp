@@ -23,6 +23,7 @@
 #include <memory>
 #include <string>
 
+#include "graph/oocore.hpp"
 #include "lotus/lotus_graph.hpp"
 #include "util/mmap_file.hpp"
 #include "util/status.hpp"
@@ -48,9 +49,13 @@ namespace lotus::core {
 /// `validate` controls the O(V+E) structural scan; pass false only for
 /// artifacts this process wrote itself (engine spill files), where skipping
 /// it keeps the cold load from faulting in every page. Header consistency
-/// (sizes, offsets monotonicity bounds) is always checked. Never throws.
+/// (sizes, offsets monotonicity bounds) is always checked. `verify` controls
+/// checksum-footer verification of the mapped sections (kEager runs it under
+/// the SIGBUS guard; footerless legacy files always load unverified).
+/// Never throws.
 [[nodiscard]] util::Expected<LotusGraph> read_lotus_mapped_s(
-    const std::string& path, bool validate = true);
+    const std::string& path, bool validate = true,
+    graph::oocore::MapVerify verify = graph::oocore::MapVerify::kEager);
 
 /// Append a complete v2 image to `out` at its current position (the engine
 /// spill format embeds LotusGraph sections this way; tc/prepared.cpp). The
@@ -62,10 +67,11 @@ namespace lotus::core {
 
 /// Zero-copy LotusGraph over a v2 image spanning [base, base + size) inside
 /// an existing mapping; `base` must be 8-aligned. read_lotus_mapped_s is
-/// this with base = 0, size = whole file.
+/// this with base = 0, size = whole file. `verify` as above.
 [[nodiscard]] util::Expected<LotusGraph> read_lotus_v2_mapped_at_s(
     const std::shared_ptr<util::MappedFile>& file, std::uint64_t base,
-    std::uint64_t size, bool validate);
+    std::uint64_t size, bool validate,
+    graph::oocore::MapVerify verify = graph::oocore::MapVerify::kEager);
 
 /// Throwing conveniences (std::runtime_error on IO/format failure).
 void write_lotus_binary(const std::string& path, const LotusGraph& lotus_graph);

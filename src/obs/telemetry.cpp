@@ -142,6 +142,8 @@ const char* cache_outcome_name(CacheOutcome outcome) noexcept {
       return "miss";
     case CacheOutcome::kRemap:
       return "remap";
+    case CacheOutcome::kHeal:
+      return "heal";
   }
   return "unknown";
 }
@@ -343,6 +345,24 @@ TelemetrySnapshot Telemetry::snapshot() const {
     out.window = window_.stats(now_s, out.queries_recorded, cumulative);
   }
   return out;
+}
+
+void Telemetry::log_event(std::string_view kind, std::string_view detail) {
+  if (!options_.enabled || !log_.is_open()) return;
+  JsonValue line;
+  line.set("event", std::string(kind));
+  line.set("detail", std::string(detail));
+  const std::string text = line.dump(-1);
+
+  std::lock_guard<std::mutex> lock(log_mutex_);
+  log_ << text << '\n';
+  log_.flush();
+  if (log_.good()) {
+    log_lines_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    log_failures_.fetch_add(1, std::memory_order_relaxed);
+    log_.clear();
+  }
 }
 
 void Telemetry::write_log_line(std::uint64_t id, const QuerySample& sample) {

@@ -134,10 +134,12 @@ inline constexpr std::size_t kNumQueryStages = 4;
 [[nodiscard]] const char* query_stage_name(QueryStage stage) noexcept;
 
 /// How the prepared-graph cache served a query. `kUncached` covers
-/// algorithms without a reusable artifact and empty graph keys. Names are
-/// part of the exported schema (the `outcome` label).
-enum class CacheOutcome : unsigned { kUncached = 0, kHit, kMiss, kRemap };
-inline constexpr std::size_t kNumCacheOutcomes = 4;
+/// algorithms without a reusable artifact and empty graph keys. `kHeal` is
+/// the self-healing path: a spill file failed checksum verification, was
+/// quarantined, and the artifact was rebuilt from scratch. Names are part
+/// of the exported schema (the `outcome` label).
+enum class CacheOutcome : unsigned { kUncached = 0, kHit, kMiss, kRemap, kHeal };
+inline constexpr std::size_t kNumCacheOutcomes = 5;
 [[nodiscard]] const char* cache_outcome_name(CacheOutcome outcome) noexcept;
 
 // ---------------------------------------------------------------------------
@@ -279,6 +281,12 @@ class Telemetry {
   /// assigned monotonic query id (1-based; 0 when disabled).
   std::uint64_t record(const QuerySample& sample);
 
+  /// Append an out-of-band operational event ({"event": kind, ...detail})
+  /// to the query log — spill quarantines, cleanup failures. Unsampled (rare
+  /// by construction); a no-op when telemetry is disabled or there is no
+  /// log. Counted in query_log_lines/query_log_failures like query lines.
+  void log_event(std::string_view kind, std::string_view detail);
+
   /// Merge every shard into a consistent read-side view.
   [[nodiscard]] TelemetrySnapshot snapshot() const;
 
@@ -397,6 +405,10 @@ inline constexpr const char* kEngineMetricNames[] = {
     "lotus_engine_cache_evictions_total",
     "lotus_engine_cache_spills_total",
     "lotus_engine_cache_remaps_total",
+    "lotus_engine_cache_quarantines_total",
+    "lotus_engine_spill_verify_failures_total",
+    "lotus_engine_spill_cleanup_failures_total",
+    "lotus_engine_spill_collisions_total",
     "lotus_engine_cache_entries",
     "lotus_engine_cache_bytes",
     "lotus_engine_cache_spilled_entries",

@@ -163,7 +163,7 @@ struct QueryOptions {
 /// Everything one profiled run produced: the RunResult plus the span tree,
 /// the counter snapshot, hardware-event totals, and (optionally) the
 /// scheduler timeline taken over exactly this run. Exported via metrics() /
-/// to_json() in the versioned "lotus-metrics/5" schema (docs/METRICS.md).
+/// to_json() in the versioned "lotus-metrics/6" schema (docs/METRICS.md).
 ///
 /// Counter provenance: reports produced by query()/Engine carry the
 /// query-scoped CounterDomain totals (threads breakdown empty — per-thread

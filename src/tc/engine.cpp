@@ -1,12 +1,22 @@
 #include "tc/engine.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
+#include <random>
+#include <sys/stat.h>
 #include <utility>
 
 #include "parallel/thread_pool.hpp"
 #include "util/format.hpp"
 #include "util/timer.hpp"
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
 
 namespace lotus::tc {
 
@@ -42,6 +52,32 @@ std::uint64_t to_ns(double seconds) {
   return seconds > 0.0 ? static_cast<std::uint64_t>(seconds * 1e9) : 0;
 }
 
+/// Random hex token baked into this engine's spill file names, so two
+/// engines in one process (or a recycled pid) sharing a spill_dir never
+/// write to each other's files.
+std::string make_spill_token() {
+  std::random_device rd;
+  const std::uint64_t bits =
+      (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(bits));
+  return buf;
+}
+
+long current_pid() {
+#ifdef _WIN32
+  return static_cast<long>(_getpid());
+#else
+  return static_cast<long>(::getpid());
+#endif
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
 }  // namespace
 
 Engine::Engine(EngineOptions options)
@@ -51,7 +87,8 @@ Engine::Engine(EngineOptions options)
       // algorithm_labels(): index i names Algorithm(i), so QuerySample can
       // carry the enum value directly while obs stays tc-free.
       telemetry_(std::make_unique<obs::Telemetry>(options_.telemetry,
-                                                  algorithm_labels())) {
+                                                  algorithm_labels())),
+      spill_token_(make_spill_token()) {
   drivers_.reserve(options_.num_drivers);
   for (unsigned i = 0; i < options_.num_drivers; ++i)
     drivers_.emplace_back([this] { driver_loop(); });
@@ -71,9 +108,20 @@ Engine::~Engine() {
         util::StatusCode::kCancelled,
         "engine destroyed before the query started"});
   for (std::thread& t : drivers_) t.join();
-  // Spill files are engine-private; remove them. Already-remapped artifacts
+  std::vector<std::thread> verifiers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    verifiers.swap(verifiers_);
+  }
+  for (std::thread& t : verifiers) t.join();
+  // Spill files are engine-private; remove them (quarantined .corrupt files
+  // are deliberately left behind for forensics). Already-remapped artifacts
   // still held by callers stay valid (the mapping outlives the unlink).
-  for (const auto& [key, path] : spilled_) std::remove(path.c_str());
+  // Unlink failures are counted and logged like any other cleanup failure —
+  // a leaked spill file is disk the operator must know about.
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [key, path] : spilled_)
+    remove_spill_file_locked(path, "shutdown");
 }
 
 std::future<util::Expected<QueryResult>> Engine::submit(QuerySpec spec) {
@@ -216,19 +264,33 @@ Engine::Acquired Engine::acquire_artifact(const QuerySpec& spec,
     // single-flight entry share the remap like they would a build.
     std::shared_ptr<const PreparedGraph> artifact;
     bool remapped = false;
+    bool healed = false;
     double acquire_s = 0.0;
     if (!spill_path.empty()) {
       util::Timer timer;
+      // Eager verification checksums every footered section under the
+      // SIGBUS guard before the artifact serves a single query; the
+      // background knob defers that pass off the query path instead.
+      const auto verify_mode = options_.background_spill_verify
+                                   ? graph::oocore::MapVerify::kOff
+                                   : graph::oocore::MapVerify::kEager;
       util::Expected<PreparedGraph> loaded =
-          PreparedGraph::load_mapped_s(spill_path);
+          PreparedGraph::load_mapped_s(spill_path, verify_mode);
       if (loaded.ok()) {
         artifact = std::make_shared<const PreparedGraph>(loaded.take());
         remapped = true;
         acquire_s = timer.elapsed_s();
+        if (options_.background_spill_verify)
+          start_background_verify(key, spill_path);
       } else {
-        // Corrupt or vanished spill file: forget it and rebuild.
+        // Corrupt (checksum/SIGBUS → kIoError) or vanished spill file:
+        // quarantine it and rebuild from the live graph — the heal path.
         std::lock_guard<std::mutex> lock(mutex_);
-        drop_spill_locked(key);
+        if (loaded.status().code() == util::StatusCode::kIoError) {
+          ++stats_.spill_verify_failures;
+          healed = true;
+        }
+        quarantine_spill_locked(key, loaded.status().message());
       }
     }
     if (artifact == nullptr) {
@@ -277,7 +339,9 @@ Engine::Acquired Engine::acquire_artifact(const QuerySpec& spec,
     }
     build_promise.set_value(artifact);
     return {artifact, remapped, acquire_s,
-            remapped ? obs::CacheOutcome::kRemap : obs::CacheOutcome::kMiss};
+            remapped ? obs::CacheOutcome::kRemap
+                     : (healed ? obs::CacheOutcome::kHeal
+                               : obs::CacheOutcome::kMiss)};
   }
 
   try {
@@ -324,8 +388,19 @@ void Engine::spill_locked(const std::string& key,
   if (options_.spill_dir.empty() || artifact == nullptr) return;
   if (artifact->bytes() == 0) return;  // already mapped; file still on disk
   if (spilled_.count(key) != 0) return;
+  // pid + per-engine random token keep engines sharing one spill_dir (other
+  // processes, other Engine instances, recycled pids) out of each other's
+  // files; the sequence number uniquifies within this engine.
   const std::string path = options_.spill_dir + "/lotus-spill-" +
-                           std::to_string(spill_seq_++) + ".lpa";
+                           std::to_string(current_pid()) + "-" + spill_token_ +
+                           "-" + std::to_string(spill_seq_++) + ".lpa";
+  // A name that somehow already exists is not ours to overwrite — skip the
+  // spill (the artifact is simply rebuilt next time) and count the episode.
+  if (file_exists(path)) {
+    ++stats_.spill_collisions;
+    telemetry_->log_event("spill_collision", path);
+    return;
+  }
   // Best effort while holding mutex_: spills happen on the eviction path,
   // where simplicity of the cache state machine beats write overlap. A
   // failed write just falls back to discard-and-rebuild behaviour.
@@ -338,8 +413,59 @@ void Engine::spill_locked(const std::string& key,
 void Engine::drop_spill_locked(const std::string& key) {
   auto it = spilled_.find(key);
   if (it == spilled_.end()) return;
-  std::remove(it->second.c_str());
+  remove_spill_file_locked(it->second, "drop");
   spilled_.erase(it);
+}
+
+void Engine::quarantine_spill_locked(const std::string& key,
+                                     const std::string& why) {
+  auto it = spilled_.find(key);
+  if (it == spilled_.end()) return;
+  const std::string corrupt = it->second + ".corrupt";
+  if (std::rename(it->second.c_str(), corrupt.c_str()) == 0) {
+    ++stats_.cache_quarantines;
+    telemetry_->log_event("spill_quarantine", corrupt + ": " + why);
+  } else {
+    // Could not set the bytes aside (file vanished?) — just drop the record
+    // after a best-effort unlink.
+    remove_spill_file_locked(it->second, "quarantine");
+  }
+  spilled_.erase(it);
+}
+
+void Engine::remove_spill_file_locked(const std::string& path,
+                                      const char* context) {
+  errno = 0;
+  if (std::remove(path.c_str()) == 0 || errno == ENOENT) return;
+  ++stats_.spill_cleanup_failures;
+  telemetry_->log_event("spill_cleanup_failure",
+                        std::string(context) + ": " + path + ": " +
+                            std::strerror(errno));
+}
+
+void Engine::start_background_verify(const std::string& key,
+                                     const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (shutting_down_) return;
+  verifiers_.emplace_back([this, key, path] {
+    // One eager-verify remap: a sequential checksum pass over the file
+    // (page-cache hot from the serving mapping) under the SIGBUS guard.
+    const util::Expected<PreparedGraph> checked =
+        PreparedGraph::load_mapped_s(path, graph::oocore::MapVerify::kEager);
+    if (checked.ok()) return;
+    std::lock_guard<std::mutex> inner(mutex_);
+    ++stats_.spill_verify_failures;
+    quarantine_spill_locked(key, checked.status().message());
+    // Drop the resident artifact mapped over the corrupt file so the next
+    // lookup rebuilds from the live graph instead of serving poisoned
+    // bytes; in-flight queries hold their own shared_ptr and finish.
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      if (it->second.charged) cache_budget_.release(it->second.bytes);
+      ++stats_.cache_evictions;
+      cache_.erase(it);
+    }
+  });
 }
 
 void Engine::invalidate(const std::string& graph_key) {
@@ -355,9 +481,12 @@ void Engine::invalidate(const std::string& graph_key) {
     }
   }
   // Stale spill files must go too — the graph data changed underneath them.
+  // Failed unlinks are counted (spill_cleanup_failures) and logged: a stale
+  // file that survives an invalidate is a correctness hazard for a future
+  // engine pointed at the same directory.
   for (auto it = spilled_.begin(); it != spilled_.end();) {
     if (it->first.rfind(prefix, 0) == 0) {
-      std::remove(it->second.c_str());
+      remove_spill_file_locked(it->second, "invalidate");
       it = spilled_.erase(it);
     } else {
       ++it;
@@ -446,6 +575,10 @@ obs::MetricsRegistry Engine::metrics() const {
       {"cache_spills", s.cache_spills},
       {"cache_remaps", s.cache_remaps},
       {"cache_spilled_entries", s.cache_spilled_entries},
+      {"spill_verify_failures", s.spill_verify_failures},
+      {"cache_quarantines", s.cache_quarantines},
+      {"spill_cleanup_failures", s.spill_cleanup_failures},
+      {"spill_collisions", s.spill_collisions},
       {"queue_s_total", s.queue_s_total},
       {"preprocess_s_total", s.preprocess_s_total},
       {"count_s_total", s.count_s_total},
@@ -491,6 +624,17 @@ std::string Engine::prometheus_text() const {
             "Evicted artifacts persisted to the spill tier.", s.cache_spills);
   w.counter("lotus_engine_cache_remaps_total",
             "Misses served by remapping a spill file.", s.cache_remaps);
+  w.counter("lotus_engine_cache_quarantines_total",
+            "Corrupt spill files set aside as .corrupt.", s.cache_quarantines);
+  w.counter("lotus_engine_spill_verify_failures_total",
+            "Spill files that failed checksum verification.",
+            s.spill_verify_failures);
+  w.counter("lotus_engine_spill_cleanup_failures_total",
+            "Spill-file unlinks that failed (invalidate/shutdown).",
+            s.spill_cleanup_failures);
+  w.counter("lotus_engine_spill_collisions_total",
+            "Spill writes skipped because the target name already existed.",
+            s.spill_collisions);
   w.gauge("lotus_engine_cache_entries",
           "Prepared-graph cache entries currently resident.",
           static_cast<double>(s.cache_entries));

@@ -25,11 +25,23 @@
 // from then on while the page cache holds the actual topology. Spill files
 // are removed by invalidate() and the destructor (docs/OUT_OF_CORE.md).
 //
+// Self-healing (docs/ROBUSTNESS.md): spill files carry checksum footers and
+// are verified on remap (eagerly by default; off the query path with
+// EngineOptions::background_spill_verify). A file that fails verification —
+// bit rot, truncation, outside interference — is quarantined (renamed to
+// "<file>.corrupt", preserving the bytes for forensics) and the artifact is
+// rebuilt from the live graph through the normal single-flight build, so
+// the query still answers correctly; the episode is visible as
+// spill_verify_failures / cache_quarantines and a CacheOutcome::kHeal
+// telemetry sample. Spill file names embed the pid plus a per-engine random
+// token, so engines sharing a spill_dir never collide (a name that somehow
+// already exists is skipped and counted, never overwritten).
+//
 // Telemetry: every completed query is recorded into an obs::Telemetry —
 // per-stage latency histograms labeled by algorithm and cache outcome, a
 // rolling window for "now" stats, and a sampled JSON-lines query log.
 // Exported three ways: prometheus_text() (text exposition), metrics()
-// (`engine_telemetry` section, lotus-metrics/5), telemetry_snapshot()
+// (`engine_telemetry` section, lotus-metrics/6), telemetry_snapshot()
 // (programmatic). See docs/TELEMETRY.md.
 //
 // Thread-safety: submit()/query()/stats()/metrics()/telemetry_snapshot()/
@@ -79,6 +91,13 @@ struct EngineOptions {
   /// evictions discard and the next query rebuilds from scratch.
   std::string spill_dir;
 
+  /// Verify spill-file checksums in the background instead of eagerly on
+  /// remap: the remap keeps its pure zero-copy cold start (no page of the
+  /// payload is touched) and a verifier thread re-checks the file off the
+  /// query path, quarantining the file and dropping the resident artifact
+  /// if it is corrupt. Default off: remaps verify before serving.
+  bool background_spill_verify = false;
+
   /// Serving telemetry (docs/TELEMETRY.md): per-stage latency histograms,
   /// the rolling window, and the sampled query log. On by default — the
   /// bench `telemetry` scenario gates its overhead at <2%.
@@ -106,6 +125,11 @@ struct EngineStats {
   std::uint64_t cache_spills = 0;   // artifacts written to spill_dir on evict
   std::uint64_t cache_remaps = 0;   // misses served by remapping a spill file
   std::uint64_t cache_spilled_entries = 0;  // spill files currently on disk
+
+  std::uint64_t spill_verify_failures = 0;  // spill files failing checksum verify
+  std::uint64_t cache_quarantines = 0;  // corrupt spills set aside as .corrupt
+  std::uint64_t spill_cleanup_failures = 0;  // spill unlinks that failed
+  std::uint64_t spill_collisions = 0;  // spill writes skipped: name taken on disk
 
   double queue_s_total = 0.0;       // summed queue wait of completed queries
   double preprocess_s_total = 0.0;  // summed preprocess (≈0 on hits)
@@ -148,7 +172,7 @@ class Engine {
   /// see the EngineStats invariants).
   [[nodiscard]] EngineStats stats() const;
 
-  /// Aggregate serving metrics as a "lotus-metrics/5" registry whose
+  /// Aggregate serving metrics as a "lotus-metrics/6" registry whose
   /// `engine` section carries the EngineStats fields and whose
   /// `engine_telemetry` section carries histogram quantiles + the rolling
   /// window (docs/METRICS.md, docs/TELEMETRY.md).
@@ -205,8 +229,17 @@ class Engine {
   /// spilling is disabled, the key already has a file, or the write fails).
   void spill_locked(const std::string& key,
                     const std::shared_ptr<const PreparedGraph>& artifact);
-  /// Drop the spill file of one key (best effort).
+  /// Drop the spill file of one key (best effort; unlink failures counted).
   void drop_spill_locked(const std::string& key);
+  /// Set a corrupt spill file aside as "<file>.corrupt" (preserving the
+  /// bytes for forensics) and forget its key; `why` goes to the query log.
+  void quarantine_spill_locked(const std::string& key, const std::string& why);
+  /// Unlink one spill file, counting failures (ENOENT is not a failure) in
+  /// spill_cleanup_failures and the query log. `context` names the caller.
+  void remove_spill_file_locked(const std::string& path, const char* context);
+  /// Launch the off-query-path checksum re-check of a kOff-remapped spill
+  /// (EngineOptions::background_spill_verify); joined in the destructor.
+  void start_background_verify(const std::string& key, const std::string& path);
 
   EngineOptions options_;
   unsigned threads_per_query_ = 1;
@@ -220,10 +253,12 @@ class Engine {
   std::map<std::string, CacheEntry> cache_;
   std::map<std::string, std::string> spilled_;  // cache key -> spill file path
   std::uint64_t tick_ = 0;
-  std::uint64_t spill_seq_ = 0;  // uniquifies spill file names
+  std::uint64_t spill_seq_ = 0;   // uniquifies spill file names in-process
+  std::string spill_token_;       // per-engine random token in spill names
   EngineStats stats_;
 
   std::vector<std::thread> drivers_;
+  std::vector<std::thread> verifiers_;  // background spill verifies (mutex_)
 };
 
 }  // namespace lotus::tc

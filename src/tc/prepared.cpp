@@ -10,7 +10,9 @@
 #include "lotus/adaptive.hpp"
 #include "lotus/lotus.hpp"
 #include "lotus/serialize.hpp"
+#include "util/checksum.hpp"
 #include "util/file_io.hpp"
+#include "util/mapguard.hpp"
 #include "util/mmap_file.hpp"
 #include "util/timer.hpp"
 
@@ -82,9 +84,13 @@ PreparedGraph PreparedGraph::build(ArtifactKind kind,
 
 namespace {
 
+namespace cks = util::checksum;
+
 // "LOTUSPA1" spill artifact: 64-byte header, then the embedded "LOTUSGR1"
 // oriented-CSR image and/or "LOTUSLG2" LotusGraph image, each starting on an
-// 8-byte boundary so the mapped readers can serve aligned views.
+// 8-byte boundary so the mapped readers can serve aligned views. The
+// embedded images carry their own checksum footers; a spill-level footer
+// covering the 64-byte header closes the file.
 //
 //   bytes 0..7   magic "LOTUSPA1"
 //   bytes 8..11  u32 kind (ArtifactKind enumerator value)
@@ -104,19 +110,23 @@ util::Status spill_error(const std::string& path, const std::string& what) {
   return {util::StatusCode::kInvalidArgument, path + ": " + what};
 }
 
-/// Exact byte length of an embedded "LOTUSGR1" image.
+/// Exact byte length of an embedded "LOTUSGR1" image, checksum footer
+/// included (write_csx_stream_s appends one).
 std::uint64_t csx_image_bytes(const graph::OrientedCsr& csr) noexcept {
   return 24 + (static_cast<std::uint64_t>(csr.num_vertices()) + 1) * 8 +
-         csr.num_edges() * sizeof(graph::VertexId);
+         csr.num_edges() * sizeof(graph::VertexId) +
+         cks::footer_bytes(cks::kCsxSections);
 }
 
 /// Exact byte length of an embedded "LOTUSLG2" image (mirrors the layout in
-/// lotus/serialize.cpp: 64-byte header + six sections padded to 8).
+/// lotus/serialize.cpp: 64-byte header + six sections padded to 8 + the
+/// checksum footer write_lotus_v2_stream_s appends).
 std::uint64_t lotus_image_bytes(const core::LotusGraph& lg) noexcept {
   const std::uint64_t n = lg.num_vertices();
   return 64 + pad8(n * sizeof(graph::VertexId)) + lg.h2h().words().size() * 8 +
          (n + 1) * 8 + pad8(lg.he().num_edges() * sizeof(std::uint16_t)) +
-         (n + 1) * 8 + pad8(lg.nhe().num_edges() * sizeof(graph::VertexId));
+         (n + 1) * 8 + pad8(lg.nhe().num_edges() * sizeof(graph::VertexId)) +
+         cks::footer_bytes(cks::kLotusSections);
 }
 
 }  // namespace
@@ -172,12 +182,22 @@ util::Status PreparedGraph::save_s(const std::string& path) const {
     status = core::write_lotus_v2_stream_s(out, tmp, *lotus_);
     pad_to_8(lotus_len);
   }
+  if (status.ok()) {
+    // Spill-level footer: one sum covering the 64-byte header (the embedded
+    // images already carry their own footers).
+    const std::uint64_t sums[cks::kSpillSections] = {
+        cks::block_checksum(header.data(), header.size()),
+    };
+    unsigned char footer[cks::footer_bytes(cks::kSpillSections)];
+    cks::write_footer(sums, cks::kSpillSections, footer);
+    status = util::fileio::write_fully(out, footer, sizeof footer, tmp);
+  }
   if (!status.ok()) return status;  // destructor unlinks the temp file
   return writer.commit();
 }
 
 util::Expected<PreparedGraph> PreparedGraph::load_mapped_s(
-    const std::string& path) {
+    const std::string& path, graph::oocore::MapVerify verify) {
   util::Expected<std::shared_ptr<util::MappedFile>> mapped =
       util::MappedFile::map(path);
   if (!mapped.ok()) return mapped.status();
@@ -186,6 +206,30 @@ util::Expected<PreparedGraph> PreparedGraph::load_mapped_s(
     return spill_error(path, "truncated spill header");
   if (std::memcmp(file->data(), kSpillMagic.data(), kSpillMagic.size()) != 0)
     return spill_error(path, "not a lotus spill artifact (bad magic)");
+
+  // The spill footer sits at the very end of the file (detected by its
+  // trailing magic, so it survives corrupt header offsets); it covers the
+  // header bytes, including the embedded-image section table.
+  constexpr std::uint64_t kSpillFooterBytes =
+      cks::footer_bytes(cks::kSpillSections);
+  const bool has_footer =
+      file->size() >= kSpillHeaderBytes + kSpillFooterBytes &&
+      cks::has_footer_magic(file->data(), file->size());
+  if (has_footer && verify == graph::oocore::MapVerify::kEager) {
+    const util::Status vs =
+        util::with_mapped_fault_guard(path, [&]() -> util::Status {
+          std::uint64_t sums[cks::kSpillSections] = {};
+          util::Status s =
+              cks::read_footer(file->data() + file->size() - kSpillFooterBytes,
+                               cks::kSpillSections, path, sums);
+          if (!s.ok()) return s;
+          const cks::Section sections[cks::kSpillSections] = {
+              {cks::kSpillSectionNames[0], file->data(), kSpillHeaderBytes},
+          };
+          return cks::verify_sections(sections, cks::kSpillSections, sums, path);
+        });
+    if (!vs.ok()) return vs;
+  }
 
   std::uint32_t kind32 = 0, use32 = 0;
   double build_s = 0.0;
@@ -208,14 +252,14 @@ util::Expected<PreparedGraph> PreparedGraph::load_mapped_s(
   out.bytes_ = 0;
   if (oriented_len != 0) {
     util::Expected<graph::OrientedCsr> csr = graph::oocore::read_csr_mapped_at_s(
-        file, oriented_off, oriented_len, /*validate=*/false);
+        file, oriented_off, oriented_len, /*validate=*/false, verify);
     if (!csr.ok()) return csr.status();
     out.oriented_ = std::make_shared<const graph::OrientedCsr>(csr.take());
     out.bytes_ += out.oriented_->owned_bytes();
   }
   if (lotus_len != 0) {
     util::Expected<core::LotusGraph> lg = core::read_lotus_v2_mapped_at_s(
-        file, lotus_off, lotus_len, /*validate=*/false);
+        file, lotus_off, lotus_len, /*validate=*/false, verify);
     if (!lg.ok()) return lg.status();
     out.lotus_ = std::make_shared<const core::LotusGraph>(lg.take());
     out.bytes_ += out.lotus_->owned_bytes();

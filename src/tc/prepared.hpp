@@ -21,6 +21,7 @@
 #include <string>
 
 #include "graph/csr.hpp"
+#include "graph/oocore.hpp"
 #include "lotus/config.hpp"
 #include "lotus/lotus_graph.hpp"
 #include "tc/api.hpp"
@@ -78,17 +79,22 @@ class PreparedGraph {
 
   /// Persist as a "LOTUSPA1" spill artifact (64-byte header: kind,
   /// use_lotus, build_s, section table; then the embedded "LOTUSGR1" and/or
-  /// "LOTUSLG2" images at 8-aligned offsets), durably (temp + fsync +
+  /// "LOTUSLG2" images at 8-aligned offsets, each carrying its own checksum
+  /// footer; finally the spill's own header footer), durably (temp + fsync +
   /// rename). kNone artifacts have nothing to save → kInvalidArgument.
   [[nodiscard]] util::Status save_s(const std::string& path) const;
 
   /// Reload a spill artifact as zero-copy views into the mapped file (bytes()
   /// ≈ 0). The file is trusted — this process wrote it — so the O(V+E)
   /// structural scans are skipped; headers and section bounds are still
-  /// checked. The mapping is pinned by the contained graphs, so the
+  /// checked, and `verify` controls checksum verification of the spill
+  /// header and both embedded images (kEager runs it under the SIGBUS guard;
+  /// the engine's background-verify knob re-checks kOff mappings off the
+  /// query path). The mapping is pinned by the contained graphs, so the
   /// PreparedGraph stays valid even if the file is later unlinked.
   [[nodiscard]] static util::Expected<PreparedGraph> load_mapped_s(
-      const std::string& path);
+      const std::string& path,
+      graph::oocore::MapVerify verify = graph::oocore::MapVerify::kEager);
 
  private:
   ArtifactKind kind_ = ArtifactKind::kNone;

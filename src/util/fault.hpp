@@ -19,6 +19,15 @@
 //   thread_spawn — std::thread construction fails (parallel/thread_pool.cpp)
 //   hwc          — perf_event_open is refused (obs/hwc.cpp; supersedes the
 //                  legacy LOTUS_HWC_FORCE_ERROR hook, which still works)
+//   bitflip      — a committed artifact is corrupted: AtomicFileWriter flips
+//                  one bit of the temp file (at a hash-derived offset) just
+//                  before the rename, simulating storage bit rot on a
+//                  successfully published file
+//   truncate     — a committed artifact is cut short: AtomicFileWriter
+//                  truncates the temp file to a hash-derived fraction before
+//                  the rename, simulating a torn write that fsync missed
+//   rename_fail  — AtomicFileWriter::commit's rename step fails (the temp
+//                  file is discarded; the destination must be untouched)
 //
 // Thread-safety: should_fail() is lock-free after initialization and safe
 // from any thread. Installing/clearing plans must not race with queries
@@ -45,6 +54,9 @@ enum class Site : std::size_t {
   kWriteFail,
   kThreadSpawn,
   kHwc,
+  kBitflip,
+  kTruncate,
+  kRenameFail,
   kCount,
 };
 
@@ -59,6 +71,9 @@ inline constexpr std::size_t kNumSites = static_cast<std::size_t>(Site::kCount);
     case Site::kWriteFail: return "write_fail";
     case Site::kThreadSpawn: return "thread_spawn";
     case Site::kHwc: return "hwc";
+    case Site::kBitflip: return "bitflip";
+    case Site::kTruncate: return "truncate";
+    case Site::kRenameFail: return "rename_fail";
     case Site::kCount: break;
   }
   return "unknown";
@@ -199,7 +214,11 @@ inline void clear() { install_plan(FaultPlan{}); }
 
 /// Should the current operation at `site` fail? Deterministic in
 /// (seed, site, query index). The inactive fast path is one atomic load.
-[[nodiscard]] inline bool should_fail(Site site) {
+/// When `draw` is non-null it receives the site's deterministic hash for
+/// this query — corruption sites use it to derive *what* to corrupt (bit
+/// offset, truncation point) so replays tamper identically.
+[[nodiscard]] inline bool should_fail(Site site,
+                                      std::uint64_t* draw = nullptr) {
   detail::init_from_env_once();
   if (!detail::active_flag().load(std::memory_order_relaxed)) return false;
   detail::State& s = detail::state();
@@ -208,13 +227,14 @@ inline void clear() { install_plan(FaultPlan{}); }
   if (p <= 0.0) return false;
   const std::uint64_t n =
       s.next_query[index].fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t h = detail::splitmix64(
+      s.plan.seed * 0x100000001b3ULL + (static_cast<std::uint64_t>(index) << 56) + n);
   if (p < 1.0) {
-    const std::uint64_t h = detail::splitmix64(
-        s.plan.seed * 0x100000001b3ULL + (static_cast<std::uint64_t>(index) << 56) + n);
     // Map the hash to [0,1) with 53-bit precision.
     const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
     if (u >= p) return false;
   }
+  if (draw != nullptr) *draw = detail::splitmix64(h);
   s.injected[index].fetch_add(1, std::memory_order_relaxed);
   return true;
 }

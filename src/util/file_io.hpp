@@ -13,12 +13,19 @@
 //     The retry budget is for *consecutive* stalls: any call that makes the
 //     progress it asked for resets the counter, so a slow-but-moving pipe
 //     is not misclassified as stalled.
-//   * Durable file publication. AtomicFileWriter writes to "<path>.tmp.<pid>",
-//     then commit() flushes, fsyncs and renames over the final path, so a
-//     crash mid-write can never leave a torn file where readers look; the
-//     destructor unlinks the temp file if commit() was never reached.
+//   * Durable file publication. AtomicFileWriter writes to
+//     "<path>.tmp.<pid>.<seq>", then commit() flushes, fsyncs and renames
+//     over the final path, so a crash mid-write can never leave a torn file
+//     where readers look; the destructor unlinks the temp file if commit()
+//     was never reached. Temps abandoned by a crashed process (their pid is
+//     dead) are swept on the next writer construction for the same path.
+//     The `bitflip`/`truncate` fault sites tamper with the flushed temp just
+//     before the rename — publishing a corrupt-but-committed artifact — and
+//     `rename_fail` fails the publication step itself; together they drive
+//     the integrity chaos matrix (util/checksum.hpp, docs/ROBUSTNESS.md).
 #pragma once
 
+#include <atomic>
 #include <cerrno>
 #include <cstdint>
 #include <cstdio>
@@ -33,6 +40,8 @@
 #include <io.h>
 #include <process.h>
 #else
+#include <dirent.h>
+#include <signal.h>
 #include <unistd.h>
 #endif
 
@@ -175,6 +184,70 @@ constexpr int kMaxStallRetries = 8;
   return Status::Ok();
 }
 
+namespace detail {
+
+/// Process-wide writer sequence number: two live writers in one process may
+/// target the same final path (engine rebuild races), so pid alone is not a
+/// unique temp name.
+inline std::atomic<std::uint64_t>& temp_seq() {
+  static std::atomic<std::uint64_t> seq{0};
+  return seq;
+}
+
+/// Stale temps removed by sweeps (observable by the crash-safety tests).
+inline std::atomic<std::uint64_t>& stale_temps_swept() {
+  static std::atomic<std::uint64_t> count{0};
+  return count;
+}
+
+}  // namespace detail
+
+/// Stale temps removed by AtomicFileWriter sweeps since process start.
+[[nodiscard]] inline std::uint64_t stale_temps_swept() {
+  return detail::stale_temps_swept().load(std::memory_order_relaxed);
+}
+
+/// Remove "<basename>.tmp.<pid>.*" siblings of `final_path` whose writing
+/// process is dead — debris from a crash between temp-write and rename.
+/// Returns how many were removed. POSIX only (no-op on Windows: pid
+/// liveness is not cheaply testable there).
+inline std::uint64_t sweep_stale_temps(const std::string& final_path) {
+#if defined(_WIN32)
+  (void)final_path;
+  return 0;
+#else
+  const std::size_t slash = final_path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : final_path.substr(0, slash);
+  const std::string prefix =
+      (slash == std::string::npos ? final_path : final_path.substr(slash + 1)) +
+      ".tmp.";
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return 0;
+  std::uint64_t removed = 0;
+  while (const dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.size() <= prefix.size() || name.compare(0, prefix.size(), prefix) != 0)
+      continue;
+    // Parse the pid component ("<prefix><pid>[.<seq>]").
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long pid = std::strtoul(name.c_str() + prefix.size(), &end, 10);
+    if (errno != 0 || end == name.c_str() + prefix.size() ||
+        (*end != '\0' && *end != '.'))
+      continue;
+    if (::kill(static_cast<pid_t>(pid), 0) == 0 || errno != ESRCH)
+      continue;  // writer still alive (or unknowable) — leave its temp alone
+    if (std::remove((dir + "/" + name).c_str()) == 0) {
+      ++removed;
+      detail::stale_temps_swept().fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  ::closedir(d);
+  return removed;
+#endif
+}
+
 /// Write-to-temp + atomic-rename publication.
 ///
 ///   AtomicFileWriter w(path);
@@ -185,20 +258,25 @@ constexpr int kMaxStallRetries = 8;
 /// Until commit() succeeds the final path is untouched: readers either see
 /// the complete old file or the complete new one, never a torn prefix. If
 /// the writer is destroyed without a successful commit (error path, injected
-/// write_fail, exception) the temp file is closed and unlinked.
+/// write_fail, exception) the temp file is closed and unlinked. Construction
+/// also sweeps temp debris left at this path by dead processes.
 class AtomicFileWriter {
  public:
   explicit AtomicFileWriter(std::string path)
-      : final_path_(std::move(path)),
-        temp_path_(final_path_ + ".tmp." +
-                   std::to_string(static_cast<unsigned long>(
+      : final_path_(std::move(path)) {
+    sweep_stale_temps(final_path_);
+    temp_path_ = final_path_ + ".tmp." +
+                 std::to_string(static_cast<unsigned long>(
 #if defined(_WIN32)
-                       _getpid()
+                     _getpid()
 #else
-                       getpid()
+                     getpid()
 #endif
-                           ))),
-        file_(std::fopen(temp_path_.c_str(), "wb")) {
+                         )) +
+                 "." +
+                 std::to_string(
+                     detail::temp_seq().fetch_add(1, std::memory_order_relaxed));
+    file_ = std::fopen(temp_path_.c_str(), "wb");
     if (file_ == nullptr)
       open_status_ = detail::io_error(
           temp_path_, std::string("cannot open for writing: ") + std::strerror(errno));
@@ -223,10 +301,14 @@ class AtomicFileWriter {
                  ? detail::io_error(final_path_, "commit on a discarded writer")
                  : open_status_;
     Status status = flush_and_sync(file_, temp_path_);
+    if (status.ok()) inject_corruption();
     const int close_rc = std::fclose(file_);
     file_ = nullptr;
     if (status.ok() && close_rc != 0)
       status = detail::io_error(temp_path_, "close failed (buffered data lost)");
+    if (status.ok() && fault::should_fail(fault::Site::kRenameFail))
+      status = detail::io_error(final_path_,
+                                "rename failed (injected I/O error)");
     if (status.ok() && std::rename(temp_path_.c_str(), final_path_.c_str()) != 0)
       status = detail::io_error(
           final_path_, std::string("rename failed: ") + std::strerror(errno));
@@ -243,6 +325,51 @@ class AtomicFileWriter {
   }
 
  private:
+  /// `bitflip`/`truncate` fault sites: tamper with the flushed temp through
+  /// a side handle so the subsequent rename publishes a corrupt artifact.
+  /// What gets corrupted is a pure function of the fault draw, so a given
+  /// plan+seed tampers identically on every replay.
+  void inject_corruption() {
+    std::uint64_t draw = 0;
+    if (fault::should_fail(fault::Site::kBitflip, &draw)) {
+      if (std::FILE* side = std::fopen(temp_path_.c_str(), "r+b")) {
+        if (seek64(side, 0, SEEK_END) == 0) {
+          const std::int64_t size = tell64(side);
+          if (size > 0) {
+            const auto offset = static_cast<std::int64_t>(
+                draw % static_cast<std::uint64_t>(size));
+            if (seek64(side, offset, SEEK_SET) == 0) {
+              const int byte = std::fgetc(side);
+              if (byte != EOF && seek64(side, offset, SEEK_SET) == 0)
+                std::fputc(byte ^ (1 << ((draw >> 56) & 7)), side);
+            }
+          }
+        }
+        std::fclose(side);
+      }
+    }
+    if (fault::should_fail(fault::Site::kTruncate, &draw)) {
+      if (std::FILE* side = std::fopen(temp_path_.c_str(), "r+b")) {
+        if (seek64(side, 0, SEEK_END) == 0) {
+          const std::int64_t size = tell64(side);
+          if (size > 1) {
+            // Cut to somewhere in [25%, 75%) of the file.
+            const auto keep = static_cast<std::int64_t>(
+                static_cast<std::uint64_t>(size) / 4 +
+                draw % (static_cast<std::uint64_t>(size) / 2 + 1));
+#if defined(_WIN32)
+            _chsize_s(_fileno(side), keep);
+#else
+            const int rc = ::ftruncate(fileno(side), static_cast<off_t>(keep));
+            (void)rc;  // injected tamper; nothing to recover if it fails
+#endif
+          }
+        }
+        std::fclose(side);
+      }
+    }
+  }
+
   std::string final_path_;
   std::string temp_path_;
   std::FILE* file_ = nullptr;

@@ -1,0 +1,127 @@
+// MappedFaultGuard: scope a sigsetjmp-based SIGBUS/SIGSEGV trap around
+// reads of memory-mapped artifacts, so a file truncated (or a page poisoned)
+// under a live mapping surfaces as StatusCode::kIoError instead of killing
+// the serving process.
+//
+// Usage — wrap ONLY the mapped reads, keep the body free of RAII that must
+// unwind (a caught fault longjmps out of the body, skipping destructors):
+//
+//   util::Status s = util::with_mapped_fault_guard("spill.lpa", [&] {
+//     return checksum::verify_sections(...);  // touches the mapping
+//   });
+//
+// Mechanics: the process-wide handler is installed lazily on first guarded
+// call and chains — a fault with no active guard frame on the faulting
+// thread re-raises into the previously installed disposition (sanitizer
+// runtime or default core dump), so only guarded regions change behavior.
+// Frames nest per thread via a thread-local stack.
+//
+// LOTUS_MAPGUARD=0 (or set_enabled(false)) disables the trap: guarded
+// bodies then run bare and a poisoned mapping crashes as before. The chaos
+// matrix uses this as its control to demonstrate the crash the guard
+// prevents.
+//
+// Thread-safety: guard frames are thread-local; installation is guarded by
+// a once-flag. async-signal context touches only the thread-local frame.
+#pragma once
+
+#include <atomic>
+#include <csetjmp>
+#include <csignal>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "util/status.hpp"
+
+namespace lotus::util {
+
+namespace mapguard_detail {
+
+struct Frame {
+  sigjmp_buf env;
+  Frame* prev = nullptr;
+};
+
+inline thread_local Frame* tl_frame = nullptr;
+
+inline struct sigaction& old_action(int which) {  // 0 = SIGBUS, 1 = SIGSEGV
+  static struct sigaction actions[2] = {};
+  return actions[which];
+}
+
+inline void handler(int sig, siginfo_t*, void*) {
+  Frame* f = tl_frame;
+  if (f != nullptr) {
+    tl_frame = f->prev;
+    siglongjmp(f->env, sig);
+  }
+  // Not a guarded read: restore whoever was installed before us (sanitizer
+  // runtime or SIG_DFL) and re-raise so the fault reports normally.
+  ::sigaction(sig, &old_action(sig == SIGBUS ? 0 : 1), nullptr);
+  ::raise(sig);
+}
+
+inline void install_once() {
+  static std::once_flag flag;
+  std::call_once(flag, [] {
+    struct sigaction sa = {};
+    sa.sa_sigaction = &handler;
+    sa.sa_flags = SA_SIGINFO | SA_NODEFER;
+    sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGBUS, &sa, &old_action(0));
+    ::sigaction(SIGSEGV, &sa, &old_action(1));
+  });
+}
+
+inline std::atomic<int>& enabled_state() {  // -1 unset, 0 off, 1 on
+  static std::atomic<int> state{-1};
+  return state;
+}
+
+}  // namespace mapguard_detail
+
+/// Is the guard active? Defaults to the LOTUS_MAPGUARD env var ("0"
+/// disables; anything else, including unset, enables).
+[[nodiscard]] inline bool mapped_fault_guard_enabled() {
+  int s = mapguard_detail::enabled_state().load(std::memory_order_relaxed);
+  if (s < 0) {
+    const char* env = std::getenv("LOTUS_MAPGUARD");
+    s = (env != nullptr && env[0] == '0' && env[1] == '\0') ? 0 : 1;
+    mapguard_detail::enabled_state().store(s, std::memory_order_relaxed);
+  }
+  return s != 0;
+}
+
+/// Programmatic override (tests; wins over the env var from then on).
+inline void set_mapped_fault_guard_enabled(bool on) {
+  mapguard_detail::enabled_state().store(on ? 1 : 0,
+                                         std::memory_order_relaxed);
+}
+
+/// Run `body` (returning Status) with SIGBUS/SIGSEGV trapped on this
+/// thread; a fault inside the body yields kIoError naming `what`. With the
+/// guard disabled the body runs unprotected.
+template <typename Fn>
+[[nodiscard]] Status with_mapped_fault_guard(const std::string& what,
+                                             Fn&& body) {
+  if (!mapped_fault_guard_enabled()) return std::forward<Fn>(body)();
+  mapguard_detail::install_once();
+  mapguard_detail::Frame frame;
+  frame.prev = mapguard_detail::tl_frame;
+  mapguard_detail::tl_frame = &frame;
+  const int sig = sigsetjmp(frame.env, 1);
+  if (sig != 0) {
+    // Landed here from the handler; the frame was already popped.
+    return {StatusCode::kIoError,
+            what + ": lost mapping during read (" +
+                (sig == SIGBUS ? "SIGBUS" : "SIGSEGV") +
+                "; file truncated or storage failed under a live mmap)"};
+  }
+  Status s = body();
+  mapguard_detail::tl_frame = frame.prev;
+  return s;
+}
+
+}  // namespace lotus::util

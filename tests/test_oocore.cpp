@@ -13,6 +13,7 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/oocore.hpp"
+#include "util/checksum.hpp"
 #include "util/fault.hpp"
 #include "util/memory_budget.hpp"
 #include "util/status.hpp"
@@ -22,6 +23,7 @@ namespace {
 namespace g = lotus::graph;
 namespace oo = lotus::graph::oocore;
 namespace fs = std::filesystem;
+namespace cks = lotus::util::checksum;
 namespace fault = lotus::util::fault;
 using lotus::util::StatusCode;
 
@@ -102,16 +104,39 @@ TEST_F(OocoreTest, MappedRejectsCorruptFiles) {
   EXPECT_EQ(oo::read_csr_mapped_s(path("cut.bin")).status().code(),
             StatusCode::kInvalidArgument);
 
-  // An out-of-range neighbour must be caught by the mapped validation scan
-  // exactly like the heap reader catches it.
+  // A flipped neighbour in a footered file is caught by checksum
+  // verification (kIoError) before the structural scan ever runs.
+  const auto kFooterSize = static_cast<std::streamoff>(
+      cks::footer_bytes(cks::kCsxSections));
   g::write_csr_binary(path("corrupt.bin"), graph);
-  std::fstream f(path("corrupt.bin"),
-                 std::ios::in | std::ios::out | std::ios::binary);
-  f.seekp(-4, std::ios::end);
-  const std::uint32_t bogus = 0xdeadbeef;
-  f.write(reinterpret_cast<const char*>(&bogus), 4);
-  f.close();
-  EXPECT_EQ(oo::read_csr_mapped_s(path("corrupt.bin")).status().code(),
+  {
+    std::fstream f(path("corrupt.bin"),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-4 - kFooterSize, std::ios::end);
+    const std::uint32_t bogus = 0xdeadbeef;
+    f.write(reinterpret_cast<const char*>(&bogus), 4);
+  }
+  const auto corrupt = oo::read_csr_mapped_s(path("corrupt.bin"));
+  EXPECT_EQ(corrupt.status().code(), StatusCode::kIoError);
+  EXPECT_NE(corrupt.status().message().find("checksum mismatch"),
+            std::string::npos)
+      << corrupt.status().to_string();
+
+  // Strip the footer to get a legacy (pre-checksum) file: the same
+  // out-of-range neighbour must now be caught by the mapped validation scan
+  // exactly like the heap reader catches it.
+  g::write_csr_binary(path("legacy.bin"), graph);
+  fs::resize_file(path("legacy.bin"),
+                  fs::file_size(path("legacy.bin")) -
+                      static_cast<std::uintmax_t>(kFooterSize));
+  {
+    std::fstream f(path("legacy.bin"),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-4, std::ios::end);
+    const std::uint32_t bogus = 0xdeadbeef;
+    f.write(reinterpret_cast<const char*>(&bogus), 4);
+  }
+  EXPECT_EQ(oo::read_csr_mapped_s(path("legacy.bin")).status().code(),
             StatusCode::kInvalidArgument);
 }
 
