@@ -1,13 +1,15 @@
 // k-clique counting and the paper's future-work conjecture (Sec. 7): the
 // hub-dominance of triangles becomes even more extreme for larger cliques.
 //
-// Counts k-cliques for k = 3, 4, 5 on a skewed graph and reports the share
-// containing at least one hub — the statistic that motivates extending
-// LOTUS's hub separation to k-clique counting.
+// Counts k-cliques for k = 3 .. max-k through one tc::Engine and reports the
+// share containing at least one hub — the statistic that motivates extending
+// LOTUS's hub separation to k-clique counting. All k values traverse the same
+// cached oriented-CSR artifact: the first query pays the prepare, the rest
+// are cache hits (the engine stats at the end prove it).
 #include <iostream>
 
 #include "datasets/registry.hpp"
-#include "lotus/kclique.hpp"
+#include "tc/engine.hpp"
 #include "util/cli.hpp"
 #include "util/format.hpp"
 #include "util/table.hpp"
@@ -26,20 +28,44 @@ int main(int argc, char** argv) {
             << lotus::util::with_commas(graph.num_vertices()) << " vertices, "
             << lotus::util::with_commas(graph.num_edges() / 2) << " edges\n\n";
 
+  namespace tc = lotus::tc;
+  tc::Engine engine;
+
   lotus::util::TablePrinter table("k-clique census");
   table.header({"k", "cliques", "with >=1 hub", "hub share"});
   double previous_share = 0.0;
   bool monotone = true;
   for (unsigned k = 3; k <= static_cast<unsigned>(cli.get_int("max-k")); ++k) {
-    const auto r = lotus::core::count_kcliques(graph, k, cli.get_double("hub-fraction"));
-    table.row({std::to_string(k), lotus::util::with_commas(r.cliques),
-               lotus::util::with_commas(r.hub_cliques),
-               lotus::util::fixed(r.hub_pct(), 2) + "%"});
-    if (k > 3 && r.hub_pct() + 1e-9 < previous_share) monotone = false;
-    previous_share = r.hub_pct();
+    tc::QuerySpec spec;
+    spec.graph_key = dataset.name;
+    spec.graph = &graph;
+    spec.options.analytic.kind = tc::AnalyticKind::kKClique;
+    spec.options.analytic.k = k;
+    spec.options.analytic.hub_fraction = cli.get_double("hub-fraction");
+    auto attempted = engine.query(spec);
+    if (!attempted.ok()) {
+      std::cerr << "query rejected: " << attempted.status().to_string() << "\n";
+      return 1;
+    }
+    const auto result = attempted.take();
+    if (!result.ok()) {
+      std::cerr << "k=" << k << " failed: " << result.status.to_string() << "\n";
+      return 1;
+    }
+    const auto& census = result.result.analytics;
+    table.row({std::to_string(k), lotus::util::with_commas(census.count),
+               lotus::util::with_commas(census.hub_count),
+               lotus::util::fixed(census.hub_pct(), 2) + "%"});
+    if (k > 3 && census.hub_pct() + 1e-9 < previous_share) monotone = false;
+    previous_share = census.hub_pct();
   }
   table.print(std::cout);
   std::cout << "\npaper conjecture (Sec. 7): hub share grows with k -> "
             << (monotone ? "confirmed on this graph" : "not observed here") << "\n";
+
+  const auto stats = engine.stats();
+  std::cout << "\nengine: " << stats.completed << " queries, "
+            << stats.cache_misses << " artifact build(s), " << stats.cache_hits
+            << " cache hit(s) — one prepared graph served every k\n";
   return 0;
 }

@@ -5,13 +5,14 @@
 //   tc_serve                                   # synthetic Twtr-S, both modes
 //   tc_serve --queries 32 --drivers 4
 //   tc_serve --mix lotus,gap-forward,forward-simd --mode engine
+//   tc_serve --mix lotus,lotus:kclique@4,lotus:ktruss,clustering
 //   tc_serve --graph edges.txt --cache-mb 256
 //   tc_serve --metrics-out engine.json         # Engine::metrics() report
 //   tc_serve --telemetry-out metrics.prom      # Prometheus text exposition
 //   tc_serve --query-log queries.jsonl --stats-interval-s 1
 //
 // Prints per-mode wall time, the warm/cold speedup, and the engine's cache
-// statistics; --metrics-out additionally writes the "lotus-metrics/6"
+// statistics; --metrics-out additionally writes the "lotus-metrics/7"
 // engine + engine_telemetry sections (docs/METRICS.md, docs/API.md),
 // --telemetry-out the Prometheus exposition, --query-log a JSON-lines
 // record of sampled queries, and --stats-interval-s a periodic rolling
@@ -26,6 +27,7 @@
 #include <fstream>
 #include <future>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -67,6 +69,52 @@ std::vector<std::string> split_csv(const std::string& text) {
   return out;
 }
 
+// One replayed request: which algorithm, running which analytic. Summary
+// granularity keeps the serving payloads scalar-sized regardless of kind.
+struct Request {
+  lotus::tc::Algorithm algorithm = lotus::tc::Algorithm::kLotus;
+  lotus::tc::AnalyticsRequest analytic;
+};
+
+// Mix grammar: `algo`, `algo:analytic`, `algo:kclique@k`, or a bare analytic
+// name (which runs on the lotus substrate). Examples: `gap-forward`,
+// `adaptive:local-counts`, `lotus:kclique@4`, `ktruss`.
+std::optional<Request> parse_mix_item(const std::string& item) {
+  Request request;
+  request.analytic.granularity = lotus::tc::OutputGranularity::kSummary;
+  std::string algo_part = item;
+  std::string analytic_part;
+  if (const auto colon = item.find(':'); colon != std::string::npos) {
+    algo_part = item.substr(0, colon);
+    analytic_part = item.substr(colon + 1);
+  }
+  if (const auto algorithm = lotus::tc::parse(algo_part)) {
+    request.algorithm = *algorithm;
+  } else if (analytic_part.empty()) {
+    analytic_part = algo_part;  // bare analytic name, lotus substrate
+  } else {
+    return std::nullopt;
+  }
+  if (analytic_part.empty()) return request;
+  unsigned k = 0;
+  if (const auto at = analytic_part.find('@'); at != std::string::npos) {
+    try {
+      k = static_cast<unsigned>(std::stoul(analytic_part.substr(at + 1)));
+    } catch (...) {
+      return std::nullopt;
+    }
+    analytic_part = analytic_part.substr(0, at);
+  }
+  const auto kind = lotus::tc::parse_analytic(analytic_part);
+  if (!kind) return std::nullopt;
+  request.analytic.kind = *kind;
+  if (k != 0) {
+    if (*kind != lotus::tc::AnalyticKind::kKClique) return std::nullopt;
+    request.analytic.k = k;
+  }
+  return request;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -77,7 +125,9 @@ int main(int argc, char** argv) {
   cli.opt("dataset", "Twtr-S", "synthetic dataset name when --graph is empty");
   cli.opt("factor", "0.1", "vertex-count multiplier for the synthetic dataset");
   cli.opt("mix", "lotus,gap-forward,adaptive,forward-simd",
-          "comma-separated algorithm mix, replayed round-robin");
+          "comma-separated request mix, replayed round-robin; each entry is "
+          "algo[:analytic[@k]] or a bare analytic name (kclique, ktruss, "
+          "local-counts, clustering) served on the lotus substrate");
   cli.opt("queries", "16", "total queries to replay");
   cli.opt("drivers", "2", "engine query drivers (queries in flight)");
   cli.opt("threads-per-query", "0",
@@ -102,11 +152,11 @@ int main(int argc, char** argv) {
   if (mode != "engine" && mode != "cold" && mode != "both")
     return fail_invalid("unknown --mode: " + mode +
                         " (expected engine, cold, or both)");
-  std::vector<lotus::tc::Algorithm> mix;
+  std::vector<Request> mix;
   for (const std::string& item : split_csv(cli.get("mix"))) {
-    const auto algorithm = lotus::tc::parse(item);
-    if (!algorithm) return fail_invalid("unknown algorithm in --mix: " + item);
-    mix.push_back(*algorithm);
+    const auto request = parse_mix_item(item);
+    if (!request) return fail_invalid("bad --mix entry: " + item);
+    mix.push_back(*request);
   }
   if (mix.empty()) return fail_invalid("--mix is empty");
   const int queries = static_cast<int>(cli.get_int("queries"));
@@ -160,7 +210,7 @@ int main(int argc, char** argv) {
             << "\n";
 
   // The replayed request stream: the mix, round-robin, `queries` long.
-  std::vector<lotus::tc::Algorithm> requests;
+  std::vector<Request> requests;
   requests.reserve(static_cast<std::size_t>(queries));
   for (int i = 0; i < queries; ++i)
     requests.push_back(mix[static_cast<std::size_t>(i) % mix.size()]);
@@ -169,8 +219,10 @@ int main(int argc, char** argv) {
   double cold_s = 0.0;
   if (mode != "engine") {
     lotus::util::Timer timer;
-    for (const auto algorithm : requests) {
-      const auto outcome = lotus::tc::query(algorithm, graph);
+    for (const auto& request : requests) {
+      lotus::tc::QueryOptions options;
+      options.analytic = request.analytic;
+      const auto outcome = lotus::tc::query(request.algorithm, graph, options);
       if (!outcome.ok()) return fail(outcome.status());
       if (!outcome.value().ok()) return fail(outcome.value().status);
       cold_triangles = outcome.value().result.triangles;
@@ -250,8 +302,12 @@ int main(int argc, char** argv) {
     std::vector<std::future<lotus::util::Expected<lotus::tc::QueryResult>>>
         futures;
     futures.reserve(requests.size());
-    for (const auto algorithm : requests)
-      futures.push_back(engine.submit({algorithm, graph_key, &graph, {}}));
+    for (const auto& request : requests) {
+      lotus::tc::QueryOptions query_options;
+      query_options.analytic = request.analytic;
+      futures.push_back(engine.submit(
+          {request.algorithm, graph_key, &graph, query_options}));
+    }
     std::uint64_t warm_triangles = 0;
     std::uint64_t hits = 0;
     for (auto& future : futures) {

@@ -15,7 +15,9 @@
 #      LOTUS-METRIC-INVENTORY block) must be documented in docs/TELEMETRY.md;
 #   7. every checksum-footer field and per-format section name
 #      (src/util/checksum.hpp, LOTUS-FOOTER-INVENTORY block) must be
-#      documented in docs/OUT_OF_CORE.md.
+#      documented in docs/OUT_OF_CORE.md;
+#   8. every analytic kind (src/tc/api.hpp, LOTUS-ANALYTIC-INVENTORY block)
+#      must be documented in docs/API.md.
 set -u
 cd "$(dirname "$0")/.."
 
@@ -134,6 +136,23 @@ fi
 for footer_name in $footer_names; do
   if ! grep -q "\`$footer_name\`" docs/OUT_OF_CORE.md 2>/dev/null; then
     echo "check_docs: footer field/section '$footer_name' (src/util/checksum.hpp) is not documented in docs/OUT_OF_CORE.md" >&2
+    status=1
+  fi
+done
+
+# --- 8. analytic inventory vs docs/API.md -----------------------------------
+# The query surface names every AnalyticKind between LOTUS-ANALYTIC-INVENTORY
+# markers (the stable CLI/schema vocabulary); each must appear
+# (backtick-quoted) in the API guide's analytics section.
+analytic_names=$(sed -n '/LOTUS-ANALYTIC-INVENTORY-BEGIN/,/LOTUS-ANALYTIC-INVENTORY-END/p' \
+                   src/tc/api.hpp | grep -o '"[a-z0-9-]*"' | tr -d '"')
+if [ -z "$analytic_names" ]; then
+  echo "check_docs: no analytic inventory found in src/tc/api.hpp" >&2
+  status=1
+fi
+for analytic_name in $analytic_names; do
+  if ! grep -q "\`$analytic_name\`" docs/API.md 2>/dev/null; then
+    echo "check_docs: analytic '$analytic_name' (src/tc/api.hpp) is not documented in docs/API.md" >&2
     status=1
   fi
 done

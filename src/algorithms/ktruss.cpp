@@ -1,8 +1,12 @@
 #include "algorithms/ktruss.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "graph/builder.hpp"
+#include "mining/vertex_miner.hpp"
+#include "parallel/exec_context.hpp"
+#include "util/memory_budget.hpp"
 
 namespace lotus::algorithms {
 
@@ -11,6 +15,11 @@ using graph::OrientedCsr;
 using graph::VertexId;
 
 namespace {
+
+/// Peel loop cadence for cancellation/deadline polls: the loop is sequential
+/// (the bucket queue is inherently ordered), so it polls the installed
+/// ExecContext itself instead of relying on parallel_for.
+constexpr std::uint64_t kPeelPollInterval = 2048;
 
 /// Index of oriented edge (a, b) with a < b in the flattened (by b) order;
 /// b's list is sorted so the position is a binary search.
@@ -22,12 +31,17 @@ std::uint64_t edge_id(const OrientedCsr& oriented, VertexId a, VertexId b) {
 
 }  // namespace
 
-KTrussResult ktruss_decomposition(const CsrGraph& graph) {
+KTrussResult ktruss_prepared(const CsrGraph& graph,
+                             const OrientedCsr& oriented) {
   KTrussResult result;
-  const OrientedCsr oriented = graph::orient_by_id(graph);
   const std::uint64_t m = oriented.num_edges();
-  result.trussness.assign(m, 0);
   if (m == 0) return result;
+
+  // Per-edge state: trussness + endpoints + support + alive ≈ 24 bytes/edge,
+  // plus bucket-queue entries (8 bytes/edge amortised). Charge before the
+  // first allocation so budgeted queries degrade instead of dying mid-build.
+  util::charge_current(m * 32, "ktruss/edge-state");
+  result.trussness.assign(m, 0);
 
   // Edge endpoints (u < v) in flattened order.
   std::vector<VertexId> edge_u(m), edge_v(m);
@@ -40,32 +54,39 @@ KTrussResult ktruss_decomposition(const CsrGraph& graph) {
     }
   }
 
-  // Support = common neighbours over the FULL adjacency (third vertex may
-  // be anywhere in the ID order).
-  std::vector<std::uint32_t> support(m, 0);
+  // Initial supports via one parallel pass over the oriented triangles
+  // (mining layer): triangle v > u > w touches oriented edges (u,v), (w,v)
+  // and (w,u). Atomic relaxed increments — counts only, no ordering needed.
+  std::vector<std::atomic<std::uint32_t>> support_atomic(m);
+  mining::for_each_triangle(oriented, [&](VertexId v, VertexId u, VertexId w) {
+    support_atomic[edge_id(oriented, u, v)].fetch_add(1, std::memory_order_relaxed);
+    support_atomic[edge_id(oriented, w, v)].fetch_add(1, std::memory_order_relaxed);
+    support_atomic[edge_id(oriented, w, u)].fetch_add(1, std::memory_order_relaxed);
+  });
+  if (parallel::interrupted()) return result;  // partial: all-zero trussness
+
+  std::vector<std::uint32_t> support(m);
   std::uint32_t max_support = 0;
   for (std::uint64_t e = 0; e < m; ++e) {
-    auto na = graph.neighbors(edge_u[e]);
-    auto nb = graph.neighbors(edge_v[e]);
-    std::size_t i = 0, j = 0;
-    std::uint32_t s = 0;
-    while (i < na.size() && j < nb.size()) {
-      if (na[i] < nb[j]) ++i;
-      else if (na[i] > nb[j]) ++j;
-      else { ++s; ++i; ++j; }
-    }
-    support[e] = s;
-    max_support = std::max(max_support, s);
+    support[e] = support_atomic[e].load(std::memory_order_relaxed);
+    max_support = std::max(max_support, support[e]);
   }
+  support_atomic.clear();
+  support_atomic.shrink_to_fit();
 
   // Bucket queue keyed by support; peel in non-decreasing support order.
   std::vector<std::vector<std::uint64_t>> buckets(max_support + 1);
   for (std::uint64_t e = 0; e < m; ++e) buckets[support[e]].push_back(e);
   std::vector<bool> alive(m, true);
   std::uint64_t removed = 0;
+  std::uint64_t since_poll = 0;
   std::uint32_t current = 0;  // current peeling threshold (support floor)
 
   while (removed < m) {
+    if (++since_poll >= kPeelPollInterval) {
+      since_poll = 0;
+      if (parallel::interrupted()) return result;  // partial decomposition
+    }
     // Find the next non-empty bucket at or below every edge's support.
     while (current <= max_support && buckets[current].empty()) ++current;
     if (current > max_support) break;
@@ -106,6 +127,10 @@ KTrussResult ktruss_decomposition(const CsrGraph& graph) {
   for (std::uint64_t e = 0; e < m; ++e)
     result.edges_in_max_truss += result.trussness[e] == result.max_k ? 1u : 0u;
   return result;
+}
+
+KTrussResult ktruss_decomposition(const CsrGraph& graph) {
+  return ktruss_prepared(graph, graph::orient_by_id(graph));
 }
 
 }  // namespace lotus::algorithms

@@ -20,7 +20,19 @@ struct KTrussResult {
 
 /// Peeling decomposition over the oriented edge set. Intended for the
 /// registry-scale graphs (support recomputation is O(triangles) per peel
-/// level).
+/// level). Equivalent to `ktruss_prepared(graph, orient_by_id(graph))`.
 KTrussResult ktruss_decomposition(const graph::CsrGraph& graph);
+
+/// Decomposition over a prebuilt orientation of `graph`. `oriented` must be
+/// an orientation of `graph` in the SAME vertex-ID space (each vertex lists
+/// its lower-ID neighbours) — e.g. `orient_by_id(graph)` or, for the
+/// Engine-served analytic, a cached degree-ordered artifact paired with the
+/// correspondingly relabeled graph. `trussness` is indexed by the flattened
+/// oriented edge order of `oriented`; summary fields (`max_k`,
+/// `edges_in_max_truss`) are independent of edge order. Polls the installed
+/// ExecContext (cancellation/deadline ⇒ returns a partial decomposition the
+/// caller must discard) and charges edge state against the memory budget.
+KTrussResult ktruss_prepared(const graph::CsrGraph& graph,
+                             const graph::OrientedCsr& oriented);
 
 }  // namespace lotus::algorithms

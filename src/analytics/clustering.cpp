@@ -4,44 +4,26 @@
 
 #include "graph/builder.hpp"
 #include "graph/degree_order.hpp"
-#include "parallel/parallel_for.hpp"
+#include "mining/vertex_miner.hpp"
+#include "util/memory_budget.hpp"
 
 namespace lotus::analytics {
 
 using graph::CsrGraph;
 using graph::VertexId;
 
-std::vector<std::uint64_t> local_triangle_counts(const CsrGraph& graph) {
-  const VertexId n = graph.num_vertices();
-  const auto new_id = graph::degree_descending_permutation(graph);
-  const auto oriented = graph::orient_by_id(graph::relabel(graph, new_id));
-
+std::vector<std::uint64_t> local_triangle_counts_prepared(
+    const graph::OrientedCsr& oriented, const std::vector<VertexId>& new_id) {
+  const VertexId n = oriented.num_vertices();
+  // Atomic accumulators + the remapped output coexist: charge both.
+  util::charge_current(2 * static_cast<std::uint64_t>(n) * sizeof(std::uint64_t),
+                       "clustering/per-vertex-counts");
   std::vector<std::atomic<std::uint64_t>> counts(n);  // indexed by NEW id
-  parallel::parallel_for(0, n, 64,
-      [&](unsigned, std::uint64_t b, std::uint64_t e) {
-        for (std::uint64_t vi = b; vi < e; ++vi) {
-          const auto v = static_cast<VertexId>(vi);
-          auto nv = oriented.neighbors(v);
-          for (VertexId u : nv) {
-            auto nu = oriented.neighbors(u);
-            std::size_t i = 0, j = 0;
-            while (i < nv.size() && j < nu.size()) {
-              if (nv[i] < nu[j]) {
-                ++i;
-              } else if (nv[i] > nu[j]) {
-                ++j;
-              } else {
-                // Triangle (w, u, v): credit all three corners.
-                counts[nv[i]].fetch_add(1, std::memory_order_relaxed);
-                counts[u].fetch_add(1, std::memory_order_relaxed);
-                counts[v].fetch_add(1, std::memory_order_relaxed);
-                ++i;
-                ++j;
-              }
-            }
-          }
-        }
-      });
+  mining::for_each_triangle(oriented, [&](VertexId v, VertexId u, VertexId w) {
+    counts[v].fetch_add(1, std::memory_order_relaxed);
+    counts[u].fetch_add(1, std::memory_order_relaxed);
+    counts[w].fetch_add(1, std::memory_order_relaxed);
+  });
 
   std::vector<std::uint64_t> by_original(n);
   for (VertexId v = 0; v < n; ++v)
@@ -49,9 +31,17 @@ std::vector<std::uint64_t> local_triangle_counts(const CsrGraph& graph) {
   return by_original;
 }
 
-std::vector<double> clustering_coefficients(const CsrGraph& graph) {
-  const auto triangles = local_triangle_counts(graph);
+std::vector<std::uint64_t> local_triangle_counts(const CsrGraph& graph) {
+  const auto new_id = graph::degree_descending_permutation(graph);
+  const auto oriented = graph::orient_by_id(graph::relabel(graph, new_id));
+  return local_triangle_counts_prepared(oriented, new_id);
+}
+
+std::vector<double> coefficients_from_counts(
+    const CsrGraph& graph, const std::vector<std::uint64_t>& triangles) {
   const VertexId n = graph.num_vertices();
+  util::charge_current(static_cast<std::uint64_t>(n) * sizeof(double),
+                       "clustering/coefficients");
   std::vector<double> coefficients(n, 0.0);
   for (VertexId v = 0; v < n; ++v) {
     const std::uint64_t d = graph.degree(v);
@@ -62,9 +52,9 @@ std::vector<double> clustering_coefficients(const CsrGraph& graph) {
   return coefficients;
 }
 
-TransitivitySummary transitivity(const CsrGraph& graph) {
+TransitivitySummary transitivity_from_counts(
+    const CsrGraph& graph, const std::vector<std::uint64_t>& triangles) {
   TransitivitySummary out;
-  const auto triangles = local_triangle_counts(graph);
   const VertexId n = graph.num_vertices();
   std::uint64_t corner_sum = 0;
   double coefficient_sum = 0.0;
@@ -81,6 +71,14 @@ TransitivitySummary transitivity(const CsrGraph& graph) {
       out.wedges > 0 ? static_cast<double>(corner_sum) / static_cast<double>(out.wedges) : 0.0;
   out.avg_clustering = n > 0 ? coefficient_sum / n : 0.0;
   return out;
+}
+
+std::vector<double> clustering_coefficients(const CsrGraph& graph) {
+  return coefficients_from_counts(graph, local_triangle_counts(graph));
+}
+
+TransitivitySummary transitivity(const CsrGraph& graph) {
+  return transitivity_from_counts(graph, local_triangle_counts(graph));
 }
 
 }  // namespace lotus::analytics

@@ -29,4 +29,26 @@ struct TransitivitySummary {
 
 TransitivitySummary transitivity(const graph::CsrGraph& graph);
 
+// -- Prepared-artifact variants ---------------------------------------------
+// Entry points for the Engine-served analytics (tc/analytics_exec.cpp): the
+// caller supplies a degree-ordered oriented CSR (the shared cached artifact)
+// plus the permutation that built it, so nothing here re-sorts the graph.
+
+/// Per-vertex counts over a prebuilt oriented CSR; `new_id[v]` is v's ID in
+/// the oriented graph (i.e. the degree-descending permutation used to build
+/// it). Results are indexed by ORIGINAL vertex ID. Charges the per-vertex
+/// arrays against the active memory budget; triangle enumeration runs
+/// through the mining layer and honours cancellation/deadline.
+std::vector<std::uint64_t> local_triangle_counts_prepared(
+    const graph::OrientedCsr& oriented,
+    const std::vector<graph::VertexId>& new_id);
+
+/// Coefficients from precomputed per-vertex counts (indexed by original ID).
+std::vector<double> coefficients_from_counts(
+    const graph::CsrGraph& graph, const std::vector<std::uint64_t>& triangles);
+
+/// Transitivity summary from precomputed per-vertex counts.
+TransitivitySummary transitivity_from_counts(
+    const graph::CsrGraph& graph, const std::vector<std::uint64_t>& triangles);
+
 }  // namespace lotus::analytics

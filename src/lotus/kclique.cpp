@@ -1,86 +1,42 @@
 #include "lotus/kclique.hpp"
 
-#include <algorithm>
 #include <cmath>
 #include <stdexcept>
-#include <vector>
 
 #include "graph/degree_order.hpp"
-#include "parallel/parallel_for.hpp"
-#include "parallel/padded.hpp"
+#include "mining/vertex_miner.hpp"
 
 namespace lotus::core {
 
 using graph::OrientedCsr;
 using graph::VertexId;
 
-namespace {
-
-struct Partial {
-  std::uint64_t cliques = 0;
-  std::uint64_t hub_cliques = 0;
-};
-
-/// Recursive ordered enumeration. `cands` holds common lower neighbours of
-/// the clique built so far (IDs strictly decrease along a clique, so the
-/// last vertex added is the minimum and decides hubness).
-void expand(const OrientedCsr& oriented, VertexId hub_count,
-            const std::vector<VertexId>& cands, unsigned remaining,
-            Partial& out, std::vector<std::vector<VertexId>>& scratch,
-            unsigned depth) {
-  if (remaining == 1) {
-    out.cliques += cands.size();
-    // Sorted ascending: hubs form a prefix.
-    out.hub_cliques += static_cast<std::uint64_t>(
-        std::lower_bound(cands.begin(), cands.end(), hub_count) - cands.begin());
-    return;
-  }
-  std::vector<VertexId>& next = scratch[depth];
-  for (VertexId w : cands) {
-    auto nw = oriented.neighbors(w);
-    next.clear();
-    std::set_intersection(cands.begin(), cands.end(), nw.begin(), nw.end(),
-                          std::back_inserter(next));
-    if (next.size() >= remaining - 1)  // enough candidates left to finish
-      expand(oriented, hub_count, next, remaining - 1, out, scratch, depth + 1);
-  }
-}
-
-}  // namespace
-
-KCliqueResult count_kcliques(const graph::CsrGraph& graph, unsigned k,
-                             double hub_fraction) {
+KCliqueResult count_kcliques_prepared(const OrientedCsr& oriented, unsigned k,
+                                      double hub_fraction) {
   if (k < 3) throw std::invalid_argument("count_kcliques: k must be >= 3");
   KCliqueResult result;
   result.k = k;
-  const VertexId n = graph.num_vertices();
+  const VertexId n = oriented.num_vertices();
   if (n == 0) return result;
 
   const auto hub_count = static_cast<VertexId>(
       std::max<double>(1.0, std::ceil(hub_fraction * n)));
-  const OrientedCsr oriented = graph::degree_ordered_oriented(graph);
-
-  std::vector<parallel::Padded<Partial>> partials(parallel::max_parallelism());
-  parallel::parallel_for(0, n, 32,
-      [&](unsigned thread_index, std::uint64_t b, std::uint64_t e) {
-        Partial local;
-        std::vector<std::vector<VertexId>> scratch(k);
-        for (std::uint64_t vi = b; vi < e; ++vi) {
-          const auto v = static_cast<VertexId>(vi);
-          auto nv = oriented.neighbors(v);
-          if (nv.size() + 1 < k) continue;
-          const std::vector<VertexId> cands(nv.begin(), nv.end());
-          expand(oriented, hub_count, cands, k - 1, local, scratch, 0);
-        }
-        partials[thread_index].value.cliques += local.cliques;
-        partials[thread_index].value.hub_cliques += local.hub_cliques;
-      });
-
-  for (const auto& p : partials) {
-    result.cliques += p.value.cliques;
-    result.hub_cliques += p.value.hub_cliques;
-  }
+  const mining::CliqueCensus census = mining::count_cliques(oriented, k, hub_count);
+  result.cliques = census.cliques;
+  result.hub_cliques = census.hub_cliques;
   return result;
+}
+
+KCliqueResult count_kcliques(const graph::CsrGraph& graph, unsigned k,
+                             double hub_fraction) {
+  if (k < 3) throw std::invalid_argument("count_kcliques: k must be >= 3");
+  if (graph.num_vertices() == 0) {
+    KCliqueResult result;
+    result.k = k;
+    return result;
+  }
+  return count_kcliques_prepared(graph::degree_ordered_oriented(graph), k,
+                                 hub_fraction);
 }
 
 }  // namespace lotus::core

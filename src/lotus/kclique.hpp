@@ -28,8 +28,15 @@ struct KCliqueResult {
 /// Count k-cliques (k >= 3) in a simple symmetric graph; `hub_fraction`
 /// designates the top-degree share treated as hubs (Table 1 uses 1%).
 /// Runs the standard ordered enumeration (Chiba-Nishizeki style) in
-/// parallel over root vertices.
+/// parallel over root vertices via the mining layer (mining/vertex_miner.hpp).
 KCliqueResult count_kcliques(const graph::CsrGraph& graph, unsigned k,
                              double hub_fraction = 0.01);
+
+/// Same census over a prebuilt degree-ordered oriented CSR — the entry point
+/// the Engine-served analytic uses so a cached ArtifactKind::kOriented
+/// artifact is shared with plain triangle counting. Throws
+/// std::invalid_argument for k < 3.
+KCliqueResult count_kcliques_prepared(const graph::OrientedCsr& oriented,
+                                      unsigned k, double hub_fraction = 0.01);
 
 }  // namespace lotus::core

@@ -5,19 +5,23 @@
 #include "baselines/intersect.hpp"
 #include "lotus/lotus_graph.hpp"
 #include "parallel/parallel_for.hpp"
+#include "util/memory_budget.hpp"
 
 namespace lotus::core {
 
 using graph::VertexId;
 
-std::vector<std::uint64_t> count_triangles_local(const graph::CsrGraph& graph,
-                                                 const LotusConfig& config) {
-  const VertexId n = graph.num_vertices();
-  const LotusGraph lg = LotusGraph::build(graph, config);
+std::vector<std::uint64_t> count_triangles_local_prepared(const LotusGraph& lg) {
+  const VertexId n = lg.num_vertices();
   const TriangularBitArray& h2h = lg.h2h();
   const graph::Csr16& he = lg.he();
   const graph::CsrGraph& nhe = lg.nhe();
 
+  // Two n-sized arrays live at once (atomic accumulators + the remapped
+  // output); charge both up front so a budgeted query degrades instead of
+  // dying mid-phase.
+  util::charge_current(2 * static_cast<std::uint64_t>(n) * sizeof(std::uint64_t),
+                       "local/per-vertex-counts");
   std::vector<std::atomic<std::uint64_t>> counts(n);  // LOTUS ID space
   auto credit = [&counts](VertexId v) {
     counts[v].fetch_add(1, std::memory_order_relaxed);
@@ -81,6 +85,11 @@ std::vector<std::uint64_t> count_triangles_local(const graph::CsrGraph& graph,
   for (VertexId v = 0; v < n; ++v)
     by_original[v] = counts[new_id[v]].load(std::memory_order_relaxed);
   return by_original;
+}
+
+std::vector<std::uint64_t> count_triangles_local(const graph::CsrGraph& graph,
+                                                 const LotusConfig& config) {
+  return count_triangles_local_prepared(LotusGraph::build(graph, config));
 }
 
 }  // namespace lotus::core

@@ -33,7 +33,7 @@ LotusResult count_triangles_prepared(const LotusGraph& lg,
 
   // Cancellation/deadline checks at phase boundaries: once interrupted the
   // remaining phases are skipped. The counts are then partial, which is
-  // fine — the layer that installed the ExecContext (tc::run_with_status)
+  // fine — the layer that installed the ExecContext (tc::query)
   // re-checks it after the run and discards the numbers.
   if (parallel::interrupted()) return result;
 

@@ -200,9 +200,11 @@ RollingWindow::Stats RollingWindow::stats(
 // ---------------------------------------------------------------------------
 
 Telemetry::Telemetry(TelemetryOptions options,
-                     std::vector<std::string> algorithm_labels)
+                     std::vector<std::string> algorithm_labels,
+                     std::vector<std::string> analytic_labels)
     : options_(std::move(options)),
       labels_(std::move(algorithm_labels)),
+      analytic_labels_(std::move(analytic_labels)),
       cells_(options_.enabled
                  ? static_cast<std::size_t>(kShards) * series_count() *
                        kCellsPerSeries
@@ -248,6 +250,11 @@ std::uint64_t Telemetry::record(const QuerySample& sample) {
     const auto stage = static_cast<QueryStage>(s);
     bump(shard, algo_series(algorithm, stage), by_stage[s]);
     bump(shard, outcome_series(sample.outcome, stage), by_stage[s]);
+    if (num_analytic_rows() != 0) {
+      const std::size_t analytic =
+          std::min(sample.analytic, analytic_labels_.size());
+      bump(shard, analytic_series(analytic, stage), by_stage[s]);
+    }
   }
   bump(shard, aggregate_series(), sample.total_ns);
 
@@ -323,6 +330,18 @@ TelemetrySnapshot Telemetry::snapshot() const {
     }
   }
 
+  for (std::size_t a = 0; a < num_analytic_rows(); ++a) {
+    for (std::size_t s = 0; s < kNumQueryStages; ++s) {
+      const auto stage = static_cast<QueryStage>(s);
+      LatencyHistogram hist = merge_series(analytic_series(a, stage));
+      if (hist.empty()) continue;
+      out.analytics.push_back(SeriesSnapshot{
+          a < analytic_labels_.size() ? analytic_labels_[a]
+                                      : std::string("unknown"),
+          stage, hist});
+    }
+  }
+
   // Counters are read *after* the series merges: record() bumps recorded_
   // before its release-ordered bin increments, and the acquire loads above
   // make that increment visible here, so a merged series count never lands
@@ -371,6 +390,10 @@ void Telemetry::write_log_line(std::uint64_t id, const QuerySample& sample) {
   line.set("algorithm", sample.algorithm < labels_.size()
                             ? labels_[sample.algorithm]
                             : std::string("unknown"));
+  if (!analytic_labels_.empty())
+    line.set("analytic", sample.analytic < analytic_labels_.size()
+                             ? analytic_labels_[sample.analytic]
+                             : std::string("unknown"));
   line.set("graph_key", std::string(sample.graph_key));
   line.set("threads", static_cast<std::uint64_t>(sample.threads));
   line.set("cache_outcome", std::string(cache_outcome_name(sample.outcome)));

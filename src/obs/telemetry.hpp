@@ -224,6 +224,11 @@ struct QuerySample {
   /// Index into the label table; out-of-range values (including anything
   /// when the table is empty) land in a reserved "unknown" series.
   std::size_t algorithm = 0;
+  /// Index into the analytic label table (the third constructor argument) —
+  /// tc sets this from AnalyticKind. Ignored entirely when no analytic
+  /// labels were configured; out-of-range values land in a reserved
+  /// "unknown" analytic series.
+  std::size_t analytic = 0;
   CacheOutcome outcome = CacheOutcome::kUncached;
   std::string_view graph_key;
   std::string_view status;  // stable status-code name ("ok", ...)
@@ -252,6 +257,9 @@ struct TelemetrySnapshot {
   double uptime_s = 0.0;
   std::vector<SeriesSnapshot> algorithms;  // non-empty series only
   std::vector<SeriesSnapshot> outcomes;    // non-empty series only
+  std::vector<SeriesSnapshot> analytics;   // non-empty series only (empty
+                                           // unless analytic labels were
+                                           // configured)
   RollingWindow::Stats window;
   double window_span_s = 0.0;  // configured span
 };
@@ -261,8 +269,13 @@ class Telemetry {
   static constexpr unsigned kShards = 8;
 
   /// `algorithm_labels[i]` names QuerySample::algorithm == i in every
-  /// export. The table is frozen at construction (fixed series layout).
-  Telemetry(TelemetryOptions options, std::vector<std::string> algorithm_labels);
+  /// export, and `analytic_labels[i]` likewise names QuerySample::analytic.
+  /// Both tables are frozen at construction (fixed series layout). An empty
+  /// analytic table (the default, preserving the historical two-argument
+  /// shape) allocates no analytic series at all — QuerySample::analytic is
+  /// then ignored.
+  Telemetry(TelemetryOptions options, std::vector<std::string> algorithm_labels,
+            std::vector<std::string> analytic_labels = {});
 
   Telemetry(const Telemetry&) = delete;
   Telemetry& operator=(const Telemetry&) = delete;
@@ -273,6 +286,9 @@ class Telemetry {
   }
   [[nodiscard]] const std::vector<std::string>& algorithm_labels() const noexcept {
     return labels_;
+  }
+  [[nodiscard]] const std::vector<std::string>& analytic_labels() const noexcept {
+    return analytic_labels_;
   }
 
   /// Record one completed query: histogram increments (lock-free), the
@@ -315,9 +331,21 @@ class Telemetry {
            static_cast<std::size_t>(outcome) * kNumQueryStages +
            static_cast<std::size_t>(stage);
   }
+  /// Analytic rows: one per label plus a reserved "unknown" row — but only
+  /// when an analytic table was configured at all. Zero rows keeps the
+  /// historical two-argument construction byte-identical in layout.
+  [[nodiscard]] std::size_t num_analytic_rows() const noexcept {
+    return analytic_labels_.empty() ? 0 : analytic_labels_.size() + 1;
+  }
+  [[nodiscard]] std::size_t analytic_series(std::size_t analytic,
+                                            QueryStage stage) const noexcept {
+    return (num_algo_rows() + kNumCacheOutcomes + analytic) * kNumQueryStages +
+           static_cast<std::size_t>(stage);
+  }
   /// Aggregate end-to-end series feeding the rolling window.
   [[nodiscard]] std::size_t aggregate_series() const noexcept {
-    return (num_algo_rows() + kNumCacheOutcomes) * kNumQueryStages;
+    return (num_algo_rows() + kNumCacheOutcomes + num_analytic_rows()) *
+           kNumQueryStages;
   }
   [[nodiscard]] std::size_t series_count() const noexcept {
     return aggregate_series() + 1;
@@ -329,6 +357,7 @@ class Telemetry {
 
   TelemetryOptions options_;
   std::vector<std::string> labels_;
+  std::vector<std::string> analytic_labels_;
   std::vector<std::atomic<std::uint64_t>> cells_;  // [shard][series][cell]
 
   std::atomic<std::uint64_t> recorded_{0};
@@ -420,6 +449,8 @@ inline constexpr const char* kEngineMetricNames[] = {
     "lotus_engine_window_latency_seconds",
     "lotus_engine_query_stage_seconds",
     "lotus_engine_cache_outcome_seconds",
+    "lotus_engine_analytic_stage_seconds",
+    "lotus_engine_analytic_queries_total",
 };
 // LOTUS-METRIC-INVENTORY-END
 

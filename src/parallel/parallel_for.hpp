@@ -75,7 +75,7 @@ inline unsigned max_parallelism() {
 /// granularity: once check_interrupt() reports an interrupt, remaining
 /// chunks are skipped and the loop returns early. Results are then partial;
 /// the caller that installed the ExecContext is responsible for re-checking
-/// the context and discarding them (tc::run_with_status does).
+/// the context and discarding them (tc::query does).
 template <typename Fn>
 void parallel_for(std::uint64_t begin, std::uint64_t end, std::uint64_t grain,
                   Fn&& fn) {

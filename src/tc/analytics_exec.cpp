@@ -1,0 +1,186 @@
+// detail::run_analytic — the execution core behind every non-triangle
+// analytic tc::query()/tc::Engine serve (kKClique, kKTruss, kLocalCounts,
+// kClustering).
+//
+// The job here is substrate plumbing, not graph algorithms: pick the
+// substrate the Algorithm selects (LOTUS phases for lotus/adaptive on the
+// per-vertex analytics, the degree-ordered oriented CSR otherwise), borrow
+// it from the prepared artifact when the Engine supplies one, build it
+// end-to-end otherwise, then hand off to the analytic kernels
+// (lotus/kclique.hpp, lotus/local.hpp, algorithms/ktruss.hpp,
+// analytics/clustering.hpp — all sharing the mining layer's DAG traversal).
+//
+// Timing model: artifact (re)builds and the residual per-query work a
+// borrowed artifact cannot cover — the degree permutation for per-vertex
+// remaps, the relabeled full graph for the truss peel (OrientedCsr stores no
+// permutation, and the LOTUSPA1 spill format must not change to carry one) —
+// land in preprocess_s; the traversals land in count_s. That keeps the
+// Engine's cache-amortization metrics honest: a cache hit removes exactly
+// the artifact build, never the residual.
+//
+// Error model: budget vetoes surface as bad_alloc (execute_query's
+// degradation retry applies — the substrate switches, the analytic stays);
+// cancellation/deadline are polled inside every traversal and the sticky
+// re-check in execute_query clears any partial payload.
+
+#include <numeric>
+#include <optional>
+#include <stdexcept>
+
+#include "algorithms/ktruss.hpp"
+#include "analytics/clustering.hpp"
+#include "graph/builder.hpp"
+#include "graph/degree_order.hpp"
+#include "lotus/adaptive.hpp"
+#include "lotus/kclique.hpp"
+#include "lotus/local.hpp"
+#include "lotus/lotus_graph.hpp"
+#include "tc/api.hpp"
+#include "tc/prepared.hpp"
+#include "util/timer.hpp"
+
+namespace lotus::tc::detail {
+
+namespace {
+
+using graph::VertexId;
+
+/// Time `fn()` into the preprocess accumulator and return its value.
+template <typename Fn>
+auto timed_into(double& accumulator, Fn&& fn) {
+  util::Timer timer;
+  auto value = fn();
+  accumulator += timer.elapsed_s();
+  return value;
+}
+
+}  // namespace
+
+RunResult run_analytic(Algorithm algorithm, const graph::CsrGraph& graph,
+                       const QueryOptions& options,
+                       const PreparedGraph* prepared,
+                       obs::PhaseTracer* trace) {
+  const AnalyticsRequest& request = options.analytic;
+  if (request.kind == AnalyticKind::kTriangles)
+    throw std::logic_error("run_analytic called for kTriangles");
+  const bool full = request.granularity == OutputGranularity::kFull;
+
+  RunResult out;
+  out.analytics.kind = request.kind;
+  out.analytics.k = request.kind == AnalyticKind::kKClique ? request.k : 3;
+
+  // Substrate choice. The per-vertex analytics honour the algorithm's LOTUS
+  // preference (kLotus always; kAdaptive by its dispatch decision — frozen
+  // in the artifact when one exists, re-derived otherwise); the DAG-only
+  // analytics always run over the oriented CSR.
+  const bool per_vertex = request.kind == AnalyticKind::kLocalCounts ||
+                          request.kind == AnalyticKind::kClustering;
+  const bool lotus_substrate =
+      per_vertex &&
+      (algorithm == Algorithm::kLotus ||
+       (algorithm == Algorithm::kAdaptive &&
+        (prepared != nullptr && prepared->lotus() != nullptr
+             ? prepared->use_lotus()
+             : core::should_use_lotus(graph))));
+  if (trace != nullptr) {
+    trace->note("analytic", analytic_name(request.kind));
+    trace->note("substrate", lotus_substrate ? "lotus" : "oriented");
+  }
+
+  // Assemble the substrate, borrowing whatever the artifact carries and
+  // timing whatever it does not.
+  const core::LotusGraph* lg = nullptr;
+  std::optional<core::LotusGraph> lg_owned;
+  const graph::OrientedCsr* oriented = nullptr;
+  std::optional<graph::OrientedCsr> oriented_owned;
+  std::vector<VertexId> perm;           // degree-descending permutation
+  std::optional<graph::CsrGraph> relabeled;  // graph in the oriented ID space
+
+  if (lotus_substrate) {
+    lg = prepared != nullptr ? prepared->lotus() : nullptr;
+    if (lg == nullptr) {
+      lg_owned.emplace(timed_into(out.preprocess_s, [&] {
+        return core::LotusGraph::build(graph, options.config);
+      }));
+      lg = &*lg_owned;
+    }
+  } else {
+    oriented = prepared != nullptr ? prepared->oriented() : nullptr;
+    const bool needs_perm = per_vertex || request.kind == AnalyticKind::kKTruss;
+    if (needs_perm)
+      perm = timed_into(out.preprocess_s, [&] {
+        return graph::degree_descending_permutation(graph);
+      });
+    if (request.kind == AnalyticKind::kKTruss)
+      relabeled.emplace(timed_into(
+          out.preprocess_s, [&] { return graph::relabel(graph, perm); }));
+    if (oriented == nullptr) {
+      oriented_owned.emplace(timed_into(out.preprocess_s, [&] {
+        if (relabeled.has_value()) return graph::orient_by_id(*relabeled);
+        if (!perm.empty())
+          return graph::orient_by_id(graph::relabel(graph, perm));
+        return graph::degree_ordered_oriented(graph);
+      }));
+      oriented = &*oriented_owned;
+    }
+  }
+
+  util::Timer count_timer;
+  switch (request.kind) {
+    case AnalyticKind::kKClique: {
+      const core::KCliqueResult census = core::count_kcliques_prepared(
+          *oriented, request.k, request.hub_fraction);
+      out.analytics.count = census.cliques;
+      out.analytics.hub_count = census.hub_cliques;
+      // The TC adapter: k = 3 *is* the triangle census.
+      out.triangles = request.k == 3 ? census.cliques : 0;
+      break;
+    }
+    case AnalyticKind::kKTruss: {
+      algorithms::KTrussResult truss =
+          algorithms::ktruss_prepared(*relabeled, *oriented);
+      out.analytics.truss.max_k = truss.max_k;
+      out.analytics.truss.edges_in_max_truss = truss.edges_in_max_truss;
+      if (full) out.analytics.edge_trussness = std::move(truss.trussness);
+      break;
+    }
+    case AnalyticKind::kLocalCounts:
+    case AnalyticKind::kClustering: {
+      std::vector<std::uint64_t> counts =
+          lotus_substrate
+              ? core::count_triangles_local_prepared(*lg)
+              : analytics::local_triangle_counts_prepared(*oriented, perm);
+      const std::uint64_t corner_sum =
+          std::accumulate(counts.begin(), counts.end(), std::uint64_t{0});
+      if (request.kind == AnalyticKind::kLocalCounts) {
+        out.analytics.count = corner_sum / 3;
+        out.triangles = out.analytics.count;
+        if (full) out.analytics.vertex_counts = std::move(counts);
+      } else {
+        const analytics::TransitivitySummary summary =
+            analytics::transitivity_from_counts(graph, counts);
+        out.analytics.count = summary.triangles;
+        out.triangles = summary.triangles;
+        out.analytics.clustering.wedges = summary.wedges;
+        out.analytics.clustering.global_transitivity =
+            summary.global_transitivity;
+        out.analytics.clustering.avg_clustering = summary.avg_clustering;
+        if (full)
+          out.analytics.vertex_coefficients =
+              analytics::coefficients_from_counts(graph, counts);
+      }
+      break;
+    }
+    case AnalyticKind::kTriangles:
+      break;  // unreachable (guarded above)
+  }
+  out.count_s = count_timer.elapsed_s();
+
+  if (trace != nullptr) {
+    if (out.preprocess_s > 0.0) trace->leaf("preprocess", out.preprocess_s);
+    trace->leaf("count", out.count_s);
+  }
+  return out;
+}
+
+}  // namespace lotus::tc::detail

@@ -1,6 +1,5 @@
 #include "tc/api.hpp"
 
-#include <cassert>
 #include <iostream>
 #include <memory>
 
@@ -16,6 +15,7 @@
 #include "simcache/machines.hpp"
 #include "simcache/sim_events.hpp"
 #include "tc/instrumented.hpp"
+#include "tc/prepared.hpp"
 #include "util/memory_budget.hpp"
 #include "util/timer.hpp"
 
@@ -48,7 +48,11 @@ constexpr AlgorithmName kAlgorithmTable[] = {
 };
 
 RunResult from_baseline(const baselines::TcResult& r) {
-  return {r.triangles, r.preprocess_s, r.count_s};
+  RunResult out;
+  out.triangles = r.triangles;
+  out.preprocess_s = r.preprocess_s;
+  out.count_s = r.count_s;
+  return out;
 }
 
 // Record the coarse two-phase timing of an already-finished run as leaf
@@ -84,45 +88,33 @@ bool budget_degradable(Algorithm algorithm) {
          algorithm == Algorithm::kForwardHybrid;
 }
 
-// Debug tripwire behind the legacy entry points' one-run-at-a-time
-// contract: they reset/snapshot the process-wide counters, so two in
-// flight corrupt each other's reports. Release builds compile this away.
-#ifndef NDEBUG
-std::atomic<int> g_legacy_in_flight{0};
-#endif
-struct LegacyGuard {
-#ifndef NDEBUG
-  LegacyGuard() {
-    const int prev = g_legacy_in_flight.fetch_add(1, std::memory_order_acq_rel);
-    assert(prev == 0 &&
-           "concurrent legacy tc::run*/run_profiled* calls: these shims share "
-           "the process-wide counters; use tc::query() or tc::Engine");
-    (void)prev;
-  }
-  ~LegacyGuard() { g_legacy_in_flight.fetch_sub(1, std::memory_order_acq_rel); }
-#else
-  LegacyGuard() = default;
-#endif
-  LegacyGuard(const LegacyGuard&) = delete;
-  LegacyGuard& operator=(const LegacyGuard&) = delete;
-};
-
-// One end-to-end (or prepared) execution of `algorithm`, optionally traced.
-// Exceptions propagate to the caller — the retry/status policy lives in
-// execute_query.
+// One end-to-end (or prepared) execution of the query's analytic, optionally
+// traced. Exceptions propagate to the caller — the retry/status policy lives
+// in execute_query. Non-triangle analytics route to the mining-engine layer
+// (analytics_exec.cpp); the TC path below is unchanged.
 RunResult execute_once(Algorithm algorithm, const graph::CsrGraph& graph,
-                       const core::LotusConfig& config,
+                       const QueryOptions& options,
                        const PreparedGraph* prepared, obs::PhaseTracer* trace) {
+  if (options.analytic.kind != AnalyticKind::kTriangles)
+    return detail::run_analytic(algorithm, graph, options, prepared, trace);
+  const core::LotusConfig& config = options.config;
   if (prepared != nullptr)
     return detail::run_prepared_kernel(algorithm, *prepared, config, trace);
   switch (algorithm) {
     case Algorithm::kLotus: {
       const core::LotusResult r = core::count_triangles(graph, config, trace);
-      return {r.triangles, r.preprocess_s, r.count_s()};
+      RunResult out;
+      out.triangles = r.triangles;
+      out.preprocess_s = r.preprocess_s;
+      out.count_s = r.count_s();
+      return out;
     }
     case Algorithm::kAdaptive: {
       const core::AdaptiveResult r = core::adaptive_count(graph, config);
-      const RunResult out{r.triangles, r.preprocess_s, r.count_s};
+      RunResult out;
+      out.triangles = r.triangles;
+      out.preprocess_s = r.preprocess_s;
+      out.count_s = r.count_s;
       if (trace != nullptr) {
         leaf_spans(*trace, out);
         trace->note("chosen_algorithm",
@@ -310,7 +302,7 @@ ProfileReport profiled_once(Algorithm algorithm, const graph::CsrGraph& graph,
     PoolObsGuard pool_obs(pool, &domain,
                           options.capture_sched_events ? &sched_log : nullptr);
     report.result =
-        execute_once(algorithm, graph, options.config, prepared, &report.trace);
+        execute_once(algorithm, graph, options, prepared, &report.trace);
   }
   if (options.capture_sched_events) report.sched_events = sched_log.events();
 
@@ -323,10 +315,20 @@ ProfileReport profiled_once(Algorithm algorithm, const graph::CsrGraph& graph,
     // The provider dies with this frame; the trace must not keep sampling it.
     report.trace.set_event_provider(nullptr);
   } else if (source == obs::EventSource::kSimulated) {
-    const std::string degradation_note = report.event_note;
-    attribute_simulated(report, graph, options.config, options.sim_cache_scale);
-    if (!degradation_note.empty())
-      report.event_note = degradation_note + "; " + report.event_note;
+    if (options.analytic.kind != AnalyticKind::kTriangles) {
+      // The simcache replays model the triangle-counting kernels only.
+      report.event_source = obs::EventSource::kSimulated;
+      report.events = obs::EventCounts{};
+      report.event_note = "no instrumented replay for analytic " +
+                          analytic_name(options.analytic.kind) +
+                          "; simulated events are zero";
+    } else {
+      const std::string degradation_note = report.event_note;
+      attribute_simulated(report, graph, options.config,
+                          options.sim_cache_scale);
+      if (!degradation_note.empty())
+        report.event_note = degradation_note + "; " + report.event_note;
+    }
   }
   return report;
 }
@@ -341,6 +343,12 @@ QueryResult execute_query(Algorithm algorithm, const graph::CsrGraph& graph,
   QueryResult out;
   out.algorithm = algorithm;
   out.threads = parallel::default_pool().size();
+  // Analytic identity is part of the result even when execution never starts
+  // (pre-cancelled token, expired deadline): clear_payload keeps kind/k, so
+  // they must be stamped from the request, not from a run that may not happen.
+  out.result.analytics.kind = options.analytic.kind;
+  out.result.analytics.k =
+      options.analytic.kind == AnalyticKind::kKClique ? options.analytic.k : 3;
 
   // Query-scoped environment: both installs are thread-local, so concurrent
   // queries on different driver threads never see each other's context.
@@ -360,6 +368,8 @@ QueryResult execute_query(Algorithm algorithm, const graph::CsrGraph& graph,
     r.vertices = graph.num_vertices();
     r.edges = graph.num_edges() / 2;
     r.threads = out.threads;
+    r.result.analytics.kind = out.result.analytics.kind;
+    r.result.analytics.k = out.result.analytics.k;
   };
 
   if (const auto i = parallel::check_interrupt();
@@ -383,7 +393,7 @@ QueryResult execute_query(Algorithm algorithm, const graph::CsrGraph& graph,
         if (const auto i = parallel::check_interrupt();
             i != parallel::Interrupt::kNone) {
           report.status = interrupt_status(i);
-          report.result.triangles = 0;
+          report.result.clear_payload();
         }
         out.algorithm = active;
         out.result = report.result;
@@ -391,7 +401,7 @@ QueryResult execute_query(Algorithm algorithm, const graph::CsrGraph& graph,
         out.profile = std::move(report);
       } else {
         const RunResult result =
-            execute_once(active, graph, options.config, prepared, nullptr);
+            execute_once(active, graph, options, prepared, nullptr);
         if (const auto i = parallel::check_interrupt();
             i != parallel::Interrupt::kNone) {
           out.status = interrupt_status(i);
@@ -446,9 +456,31 @@ QueryResult execute_query(Algorithm algorithm, const graph::CsrGraph& graph,
 
 }  // namespace detail
 
+util::Status validate(Algorithm algorithm, const AnalyticsRequest& request) {
+  if (request.kind == AnalyticKind::kTriangles) return util::Status::Ok();
+  if (request.kind == AnalyticKind::kKClique && request.k < 3)
+    return {util::StatusCode::kInvalidArgument,
+            "kclique requires k >= 3 (k = 3 is the triangle census)"};
+  if (request.kind == AnalyticKind::kKClique &&
+      !(request.hub_fraction > 0.0 && request.hub_fraction <= 1.0))
+    return {util::StatusCode::kInvalidArgument,
+            "hub_fraction must be in (0, 1]"};
+  if (artifact_kind(algorithm) == ArtifactKind::kNone)
+    return {util::StatusCode::kInvalidArgument,
+            "analytic '" + analytic_name(request.kind) + "' cannot run on " +
+                name(algorithm) +
+                ": the algorithm builds no reusable prepared artifact "
+                "(pick lotus/adaptive or a Forward-family substrate)"};
+  return util::Status::Ok();
+}
+
 util::Expected<QueryResult> query(Algorithm algorithm,
                                   const graph::CsrGraph& graph,
                                   const QueryOptions& options) {
+  // Malformed analytic requests are never attempted — the Expected side.
+  if (util::Status admission = validate(algorithm, options.analytic);
+      !admission.ok())
+    return admission;
   if (options.telemetry == nullptr || !options.telemetry->enabled())
     return detail::execute_query(algorithm, graph, options, nullptr);
 
@@ -464,6 +496,7 @@ util::Expected<QueryResult> query(Algorithm algorithm,
   // budget fallback shows up in the requested algorithm's latency, not as
   // phantom gap-forward traffic.
   sample.algorithm = static_cast<std::size_t>(algorithm);
+  sample.analytic = static_cast<std::size_t>(options.analytic.kind);
   sample.outcome = obs::CacheOutcome::kUncached;
   sample.status = util::status_code_name(out.status.code());
   sample.threads = out.threads;
@@ -476,93 +509,38 @@ util::Expected<QueryResult> query(Algorithm algorithm,
   return out;
 }
 
-RunResult run(Algorithm algorithm, const graph::CsrGraph& graph,
-              const core::LotusConfig& config) {
-  [[maybe_unused]] LegacyGuard guard;
-  return execute_once(algorithm, graph, config, nullptr, nullptr);
-}
-
-util::Expected<RunResult> run_with_status(Algorithm algorithm,
-                                          const graph::CsrGraph& graph,
-                                          const RunOptions& options) {
-  [[maybe_unused]] LegacyGuard guard;
-  QueryOptions q;
-  q.config = options.config;
-  q.cancel = options.cancel;
-  q.deadline = options.deadline;
-  q.memory_budget_bytes = options.memory_budget_bytes;
-  q.allow_degradation = options.allow_degradation;
-  const util::Expected<QueryResult> r = query(algorithm, graph, q);
-  if (!r.ok()) return r.status();
-  if (!r.value().status.ok()) return r.value().status;
-  return r.value().result;
-}
-
-ProfileReport run_profiled(Algorithm algorithm, const graph::CsrGraph& graph,
-                           const core::LotusConfig& config,
-                           const ProfileOptions& options) {
-  [[maybe_unused]] LegacyGuard guard;
-  obs::reset_counters();
-  QueryOptions q;
-  q.config = config;
-  q.profile = true;
-  q.events = options.events;
-  q.capture_sched_events = options.capture_sched_events;
-  q.sim_cache_scale = options.sim_cache_scale;
-  // Bypass the status wrapper so allocation failures keep throwing, as this
-  // entry point always documented.
-  ProfileReport report = profiled_once(algorithm, graph, q, nullptr);
-  // Historical contract: legacy reports carry the process-wide snapshot with
-  // per-thread rows (the reset above scoped it to this run).
-  report.counters = obs::counters_snapshot();
-  return report;
-}
-
-ProfileReport run_profiled_with_status(Algorithm algorithm,
-                                       const graph::CsrGraph& graph,
-                                       const RunOptions& options,
-                                       const ProfileOptions& profile) {
-  [[maybe_unused]] LegacyGuard guard;
-  obs::reset_counters();
-  QueryOptions q;
-  q.config = options.config;
-  q.cancel = options.cancel;
-  q.deadline = options.deadline;
-  q.memory_budget_bytes = options.memory_budget_bytes;
-  q.allow_degradation = options.allow_degradation;
-  q.profile = true;
-  q.events = profile.events;
-  q.capture_sched_events = profile.capture_sched_events;
-  q.sim_cache_scale = profile.sim_cache_scale;
-  util::Expected<QueryResult> r = query(algorithm, graph, q);
-  if (!r.ok()) {  // defensive: profiled queries always return a result today
-    ProfileReport report;
-    report.algorithm = algorithm;
-    report.vertices = graph.num_vertices();
-    report.edges = graph.num_edges() / 2;
-    report.threads = parallel::default_pool().size();
-    report.status = r.status();
-    return report;
-  }
-  ProfileReport report = std::move(r.value().profile).value();
-  // Historical contract: per-thread counter rows on every report that ran
-  // (interrupted runs keep their partial counters; OOM/internal failures
-  // never ran, so their reports stay empty).
-  const util::StatusCode code = report.status.code();
-  if (code == util::StatusCode::kOk || code == util::StatusCode::kCancelled ||
-      code == util::StatusCode::kDeadlineExceeded)
-    report.counters = obs::counters_snapshot();
-  return report;
-}
-
 obs::MetricsRegistry ProfileReport::metrics() const {
   obs::MetricsRegistry registry;
   registry.set_meta("algorithm", name(algorithm));
+  registry.set_meta("analytic", analytic_name(result.analytics.kind));
   registry.set_meta("vertices", vertices);
   registry.set_meta("edges", edges);
   registry.set_meta("threads", static_cast<std::uint64_t>(threads));
   registry.set_meta("obs_enabled", obs::enabled());
   registry.set_metric("triangles", result.triangles);
+  if (result.analytics.kind != AnalyticKind::kTriangles) {
+    const AnalyticsResult& a = result.analytics;
+    registry.set_metric("analytic_count", a.count);
+    switch (a.kind) {
+      case AnalyticKind::kKClique:
+        registry.set_metric("clique_k", static_cast<std::uint64_t>(a.k));
+        registry.set_metric("hub_cliques", a.hub_count);
+        break;
+      case AnalyticKind::kKTruss:
+        registry.set_metric("truss_max_k",
+                            static_cast<std::uint64_t>(a.truss.max_k));
+        registry.set_metric("edges_in_max_truss", a.truss.edges_in_max_truss);
+        break;
+      case AnalyticKind::kClustering:
+        registry.set_metric("global_transitivity",
+                            a.clustering.global_transitivity);
+        registry.set_metric("avg_clustering", a.clustering.avg_clustering);
+        registry.set_metric("wedges", a.clustering.wedges);
+        break;
+      default:
+        break;
+    }
+  }
   registry.set_metric("preprocess_s", result.preprocess_s);
   registry.set_metric("count_s", result.count_s);
   registry.set_metric("total_s", result.total_s());
@@ -619,6 +597,30 @@ std::vector<Algorithm> paper_comparators() {
   return {Algorithm::kBlocked, Algorithm::kEdgeIterator,
           Algorithm::kForwardMerge, Algorithm::kEdgeParallel,
           Algorithm::kLotus};
+}
+
+std::string analytic_name(AnalyticKind kind) {
+  const auto index = static_cast<std::size_t>(kind);
+  if (index < std::size(kAnalyticNames)) return kAnalyticNames[index];
+  return "unknown";
+}
+
+std::optional<AnalyticKind> parse_analytic(const std::string& text) {
+  for (std::size_t i = 0; i < std::size(kAnalyticNames); ++i)
+    if (text == kAnalyticNames[i]) return static_cast<AnalyticKind>(i);
+  return std::nullopt;
+}
+
+std::vector<AnalyticKind> all_analytics() {
+  std::vector<AnalyticKind> out;
+  out.reserve(std::size(kAnalyticNames));
+  for (std::size_t i = 0; i < std::size(kAnalyticNames); ++i)
+    out.push_back(static_cast<AnalyticKind>(i));
+  return out;
+}
+
+std::vector<std::string> analytic_labels() {
+  return {std::begin(kAnalyticNames), std::end(kAnalyticNames)};
 }
 
 }  // namespace lotus::tc

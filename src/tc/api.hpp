@@ -1,9 +1,19 @@
-// Unified triangle-counting API.
+// Unified graph-analytics query API.
 //
 // One entry point — tc::query() — over LOTUS and every baseline, so benches,
 // tests, examples and the serving layer sweep algorithms uniformly. The enum
 // names note which framework of the paper's evaluation (Sec. 5.1.4) each
 // kernel stands in for.
+//
+// Queries are typed by AnalyticKind: the same call answers scalar triangle
+// counts (the default — source-compatible with the original TC-only API),
+// k-clique censuses, k-truss decompositions, per-vertex local triangle
+// counts, and clustering coefficients. The Algorithm enum picks the
+// *substrate* the analytic runs on (LOTUS phases vs. the degree-ordered
+// oriented CSR of the Forward family); all non-triangle analytics consume
+// the same prepared artifacts as TC, so a tc::Engine serves a mixed
+// analytic workload off one cached artifact per (graph, artifact kind)
+// (tc/prepared.hpp, mining/vertex_miner.hpp).
 //
 // Thread-safety — the Engine contract: query() keeps every piece of mutable
 // state it touches query-scoped. The cancellation context and memory budget
@@ -19,12 +29,10 @@
 // not reentrant — don't do that. Cancelling via QueryOptions::cancel from
 // another thread is the supported (and intended) concurrent interaction.
 //
-// The four legacy entry points (run, run_with_status, run_profiled,
-// run_profiled_with_status) are deprecated shims over the same internals and
-// keep their historical contract: run_profiled* reset and snapshot the
-// process-wide observability counters, so at most one legacy call may
-// execute at a time, process-wide (debug builds assert this). New code
-// should call query() — or submit to a tc::Engine — instead.
+// The legacy entry points (run, run_with_status, run_profiled,
+// run_profiled_with_status, RunOptions, ProfileOptions) are gone: query()
+// subsumed all of them, and the deprecation window closed. docs/API.md keeps
+// the migration table.
 //
 // Overhead: a non-profiled query() adds two util::Timer reads per algorithm
 // over calling the kernel directly, plus one thread-local install when a
@@ -73,10 +81,111 @@ enum class Algorithm {
   kSpGemmMasked,   // masked sparse matrix product [8]
 };
 
+/// Which analytic a query computes. Every kind runs over the same prepared
+/// artifacts as plain TC (tc/prepared.hpp): kTriangles/kKClique/kKTruss
+/// traverse the degree-ordered oriented CSR (TC is the k = 3 instance of
+/// kKClique); kLocalCounts/kClustering run through the LOTUS phases when the
+/// substrate algorithm is lotus/adaptive and over the oriented CSR
+/// otherwise. Names below are the stable CLI/schema vocabulary
+/// (analytic_name()/parse_analytic() round-trip over the table).
+enum class AnalyticKind {
+  kTriangles,    // scalar triangle count (the historical default)
+  kKClique,      // k-clique census with hub attribution
+  kKTruss,       // truss decomposition (per-edge trussness + summary)
+  kLocalCounts,  // triangles through each vertex
+  kClustering,   // local clustering coefficients + transitivity summary
+};
+
+/// Stable analytic names, indexed by static_cast<size_t>(AnalyticKind).
+/// scripts/check_docs.sh cross-checks each against docs/API.md.
+// LOTUS-ANALYTIC-INVENTORY-BEGIN
+inline constexpr const char* kAnalyticNames[] = {
+    "triangles", "kclique", "ktruss", "local-counts", "clustering",
+};
+// LOTUS-ANALYTIC-INVENTORY-END
+
+/// How much of an analytic's output to materialize.
+enum class OutputGranularity {
+  kFull,     // per-vertex / per-edge arrays plus the summary
+  kSummary,  // summary fields only (arrays stay empty; less budget charged)
+};
+
+/// Per-analytic parameters riding in QueryOptions. The default request —
+/// kTriangles — reproduces the original TC-only behavior exactly, which is
+/// what keeps tc::query(Algorithm, graph, QueryOptions) source-compatible.
+struct AnalyticsRequest {
+  AnalyticKind kind = AnalyticKind::kTriangles;
+
+  /// Clique size for kKClique (>= 3; k = 3 is TC with hub attribution).
+  /// Ignored by the other kinds.
+  unsigned k = 3;
+
+  /// Top-degree share treated as hubs for kKClique attribution (Table 1
+  /// uses 1%). Must be in (0, 1].
+  double hub_fraction = 0.01;
+
+  /// Whether to materialize per-vertex/per-edge arrays (kLocalCounts,
+  /// kClustering, kKTruss) or just the summaries.
+  OutputGranularity granularity = OutputGranularity::kFull;
+};
+
+/// k-truss decomposition summary (order-invariant; the per-edge array in
+/// AnalyticsResult::edge_trussness depends on the artifact's edge order).
+struct TrussSummary {
+  std::uint32_t max_k = 0;  // largest k with a non-empty k-truss
+  std::uint64_t edges_in_max_truss = 0;
+};
+
+/// Clustering/transitivity summary over the whole graph.
+struct ClusteringSummary {
+  std::uint64_t wedges = 0;          // paths of length 2 (open + closed)
+  double global_transitivity = 0.0;  // 3·triangles / wedges
+  double avg_clustering = 0.0;       // mean local coefficient
+};
+
+/// Typed payload of one analytic run. Which fields are populated depends on
+/// AnalyticsRequest::kind (and granularity):
+///   kTriangles   — count (== RunResult::triangles)
+///   kKClique     — count, hub_count, k
+///   kKTruss      — truss; edge_trussness when granularity is kFull, indexed
+///                  by the prepared artifact's oriented edge order (the
+///                  (u, v) u<v edges flattened by v in degree order)
+///   kLocalCounts — count (= Σ/3); vertex_counts by ORIGINAL vertex id when
+///                  granularity is kFull
+///   kClustering  — count, clustering; vertex_coefficients by ORIGINAL
+///                  vertex id when granularity is kFull
+struct AnalyticsResult {
+  AnalyticKind kind = AnalyticKind::kTriangles;
+  unsigned k = 3;  // echoed clique size (3 for the triangle-shaped kinds)
+
+  std::uint64_t count = 0;      // triangles / k-cliques (0 for kKTruss)
+  std::uint64_t hub_count = 0;  // kKClique: cliques containing >= 1 hub
+
+  std::vector<std::uint64_t> vertex_counts;
+  std::vector<double> vertex_coefficients;
+  std::vector<std::uint32_t> edge_trussness;
+  TrussSummary truss;
+  ClusteringSummary clustering;
+
+  /// Share of cliques containing a hub (kKClique; 0 when count == 0).
+  [[nodiscard]] double hub_pct() const {
+    return count > 0
+               ? 100.0 * static_cast<double>(hub_count) / static_cast<double>(count)
+               : 0.0;
+  }
+};
+
 struct RunResult {
+  /// Scalar triangle count — the thin TC adapter that keeps the original
+  /// API shape: mirrors analytics.count whenever the analytic defines a
+  /// triangle count (kTriangles, kKClique at k = 3, kLocalCounts,
+  /// kClustering); 0 for kKClique at k > 3 and kKTruss.
   std::uint64_t triangles = 0;
   double preprocess_s = 0.0;
   double count_s = 0.0;
+
+  /// Typed payload of the analytic that ran (kTriangles for plain TC).
+  AnalyticsResult analytics;
 
   [[nodiscard]] double total_s() const { return preprocess_s + count_s; }
 
@@ -85,6 +194,17 @@ struct RunResult {
   [[nodiscard]] double triangles_per_s() const {
     const double t = total_s();
     return t > 0.0 ? static_cast<double>(triangles) / t : 0.0;
+  }
+
+  /// Zero every result value while keeping the analytic identity (kind, k)
+  /// and the timings — what a non-ok status demands: a partial result must
+  /// never look valid, but partial metrics stay useful.
+  void clear_payload() {
+    triangles = 0;
+    AnalyticsResult cleared;
+    cleared.kind = analytics.kind;
+    cleared.k = analytics.k;
+    analytics = std::move(cleared);
   }
 };
 
@@ -102,6 +222,11 @@ struct RunResult {
 struct QueryOptions {
   /// Algorithm configuration (hub count, fusion, ...).
   core::LotusConfig config;
+
+  /// Which analytic to compute and its parameters. Defaults to kTriangles,
+  /// preserving the original TC-only call shape. Validated on the Expected
+  /// error side (see validate()) — a malformed request is never attempted.
+  AnalyticsRequest analytic;
 
   /// Cooperative cancellation: another thread calls cancel() and the query
   /// finishes with StatusCode::kCancelled at the next chunk/phase boundary.
@@ -163,13 +288,11 @@ struct QueryOptions {
 /// Everything one profiled run produced: the RunResult plus the span tree,
 /// the counter snapshot, hardware-event totals, and (optionally) the
 /// scheduler timeline taken over exactly this run. Exported via metrics() /
-/// to_json() in the versioned "lotus-metrics/6" schema (docs/METRICS.md).
+/// to_json() in the versioned "lotus-metrics/7" schema (docs/METRICS.md).
 ///
-/// Counter provenance: reports produced by query()/Engine carry the
-/// query-scoped CounterDomain totals (threads breakdown empty — per-thread
-/// rows are a property of the process-wide snapshot); reports produced by
-/// the legacy run_profiled* shims carry the process-wide snapshot with
-/// per-thread rows, as they always did.
+/// Counter provenance: reports carry the query-scoped CounterDomain totals
+/// (threads breakdown empty — per-thread rows are a property of the
+/// process-wide snapshot, obs::counters_snapshot()).
 struct ProfileReport {
   Algorithm algorithm = Algorithm::kLotus;
   RunResult result;
@@ -191,8 +314,8 @@ struct ProfileReport {
   std::vector<obs::SchedEvent> sched_events;
 
   /// Final status of the run and any graceful degradations taken (hw→sim
-  /// events, memory-budget algorithm fallback). Non-ok status ⇒
-  /// `result.triangles` is zeroed (a partial count must never look valid);
+  /// events, memory-budget algorithm fallback). Non-ok status ⇒ the result
+  /// payload is cleared (a partial count or array must never look valid);
   /// the timings and spans that did complete are kept as partial metrics.
   util::Status status;
   std::vector<obs::Degradation> degradations;
@@ -228,7 +351,9 @@ struct QueryResult {
   RunResult result;
 
   /// ok / kCancelled / kDeadlineExceeded / kOutOfMemory / kResourceExhausted
-  /// / kInternal. Non-ok ⇒ result.triangles is 0.
+  /// / kInternal. Non-ok ⇒ the result payload is cleared
+  /// (RunResult::clear_payload): triangles is 0 and the analytics arrays and
+  /// counters are empty.
   util::Status status;
   std::vector<obs::Degradation> degradations;
 
@@ -247,76 +372,40 @@ struct QueryResult {
   [[nodiscard]] bool ok() const { return status.ok(); }
 };
 
-/// Count triangles. Never throws: execution failures (cancellation,
-/// deadline, OOM after any permitted degradation, thread exhaustion) are
-/// reported in QueryResult::status; the error side of the Expected is
-/// reserved for queries that could not be *attempted* at all (and for
-/// Engine::submit rejections — shutdown, unknown graph). See the file
-/// header for the concurrency contract.
+/// Run one analytic (triangle count by default). Never throws: execution
+/// failures (cancellation, deadline, OOM after any permitted degradation,
+/// thread exhaustion) are reported in QueryResult::status; the error side of
+/// the Expected is reserved for queries that could not be *attempted* at all
+/// — a malformed AnalyticsRequest (see validate()) and Engine::submit
+/// rejections (shutdown, null graph). See the file header for the
+/// concurrency contract.
 util::Expected<QueryResult> query(Algorithm algorithm,
                                   const graph::CsrGraph& graph,
                                   const QueryOptions& options = {});
 
-// ---------------------------------------------------------------------------
-// Legacy entry points — deprecated shims over query().
-//
-// Kept so existing callers keep compiling; each forwards to the unified
-// internals and preserves its historical behavior (including the
-// process-wide counter reset/snapshot in the profiled pair). At most one
-// legacy call may execute at a time, process-wide; debug builds assert
-// this. New code should use query() or tc::Engine.
-// ---------------------------------------------------------------------------
+/// The Expected-side admission check query() and Engine::submit share:
+/// kInvalidArgument when the request can never be served — kKClique with
+/// k < 3, a hub_fraction outside (0, 1], or a non-triangle analytic on an
+/// algorithm with no reusable prepared artifact (edge/node iterator, AYZ,
+/// masked SpGEMM — the analytics need the oriented CSR or LotusGraph those
+/// never build). Ok otherwise.
+[[nodiscard]] util::Status validate(Algorithm algorithm,
+                                    const AnalyticsRequest& request);
 
-/// Resilience knobs of the legacy *_with_status entry points.
-/// \deprecated Use QueryOptions (same fields; profiling folded in).
-struct RunOptions {
-  core::LotusConfig config;
-  const util::CancelToken* cancel = nullptr;
-  util::Deadline deadline;
-  std::uint64_t memory_budget_bytes = 0;
-  bool allow_degradation = true;
-};
-
-/// Observability knobs of the legacy run_profiled pair.
-/// \deprecated Use QueryOptions with profile = true.
-struct ProfileOptions {
-  obs::EventSource events = obs::EventSource::kOff;
-  bool capture_sched_events = false;
-  std::uint32_t sim_cache_scale = 16;
-};
-
-/// End-to-end run (preprocessing + counting) of one algorithm. Throws on
-/// allocation failure.
-/// \deprecated Use query() — `query(a, g).value().result` is the moral
-/// equivalent, with failures reported as a Status instead of an exception.
-RunResult run(Algorithm algorithm, const graph::CsrGraph& graph,
-              const core::LotusConfig& config = {});
-
-/// run() behind the Status error model: never throws and never exits.
-/// \deprecated Use query(); QueryResult::status carries what this returned
-/// as the Expected's error side.
-util::Expected<RunResult> run_with_status(Algorithm algorithm,
-                                          const graph::CsrGraph& graph,
-                                          const RunOptions& options = {});
-
-/// Like run(), but resets the process-wide observability counters first and
-/// captures the span tree + per-thread counter snapshot of the run. Throws
-/// on allocation failure.
-/// \deprecated Use query() with QueryOptions::profile = true.
-ProfileReport run_profiled(Algorithm algorithm, const graph::CsrGraph& graph,
-                           const core::LotusConfig& config = {},
-                           const ProfileOptions& options = {});
-
-/// run_profiled() behind the Status error model: never throws. Always
-/// returns a report — on failure its `status` is non-ok, its identity fields
-/// (algorithm, vertices, edges, threads) are filled, and whatever phase
-/// metrics completed before the interrupt are kept.
-/// \deprecated Use query() with QueryOptions::profile = true;
-/// QueryResult::profile is this report.
-ProfileReport run_profiled_with_status(Algorithm algorithm,
-                                       const graph::CsrGraph& graph,
-                                       const RunOptions& options = {},
-                                       const ProfileOptions& profile = {});
+/// Stable CLI/schema name of an analytic kind ("triangles", "kclique",
+/// "ktruss", "local-counts", "clustering"); round-trips with
+/// parse_analytic() over kAnalyticNames.
+[[nodiscard]] std::string analytic_name(AnalyticKind kind);
+/// Inverse of analytic_name(); nullopt for unknown names.
+[[nodiscard]] std::optional<AnalyticKind> parse_analytic(
+    const std::string& name);
+/// All analytic kinds in declaration (display) order, kTriangles first.
+[[nodiscard]] std::vector<AnalyticKind> all_analytics();
+/// kAnalyticNames as a vector, indexed by static_cast<size_t>(AnalyticKind)
+/// — the label table for the telemetry layer's per-analytic series (used by
+/// tc::Engine internally; pass it as the third obs::Telemetry constructor
+/// argument for a standalone sink).
+[[nodiscard]] std::vector<std::string> analytic_labels();
 
 /// Stable CLI/schema name of an algorithm ("lotus", "gap-forward", ...).
 /// name() and parse() round-trip over the single algorithm name table.
@@ -349,12 +438,26 @@ QueryResult execute_query(Algorithm algorithm, const graph::CsrGraph& graph,
                           const QueryOptions& options,
                           const PreparedGraph* prepared);
 
-/// Run one algorithm against prebuilt artifacts (implemented in
-/// prepared.cpp; preprocess_s reflects only per-query residual work).
+/// Run one triangle-counting algorithm against prebuilt artifacts
+/// (implemented in prepared.cpp; preprocess_s reflects only per-query
+/// residual work). Non-triangle analytics go through run_analytic instead.
 RunResult run_prepared_kernel(Algorithm algorithm,
                               const PreparedGraph& prepared,
                               const core::LotusConfig& config,
                               obs::PhaseTracer* trace);
+
+/// Run one non-triangle analytic (kKClique, kKTruss, kLocalCounts,
+/// kClustering) on the substrate `algorithm` selects, borrowing `prepared`
+/// artifacts when non-null and building them end-to-end otherwise
+/// (implemented in analytics_exec.cpp). Residual per-query work a borrowed
+/// artifact cannot cover — recomputing the degree permutation for
+/// per-vertex remaps, relabeling the full graph for the truss peel — is
+/// timed into preprocess_s. Budget vetoes propagate as bad_alloc (the
+/// degradation retry in execute_query applies); cancellation/deadline are
+/// polled inside every traversal.
+RunResult run_analytic(Algorithm algorithm, const graph::CsrGraph& graph,
+                       const QueryOptions& options,
+                       const PreparedGraph* prepared, obs::PhaseTracer* trace);
 }  // namespace detail
 
 }  // namespace lotus::tc

@@ -84,10 +84,12 @@ Engine::Engine(EngineOptions options)
     : options_(normalized(options)),
       threads_per_query_(options_.threads_per_query),
       cache_budget_(options_.cache_budget_bytes),
-      // algorithm_labels(): index i names Algorithm(i), so QuerySample can
-      // carry the enum value directly while obs stays tc-free.
+      // algorithm_labels()/analytic_labels(): index i names Algorithm(i) /
+      // AnalyticKind(i), so QuerySample can carry the enum values directly
+      // while obs stays tc-free.
       telemetry_(std::make_unique<obs::Telemetry>(options_.telemetry,
-                                                  algorithm_labels())),
+                                                  algorithm_labels(),
+                                                  analytic_labels())),
       spill_token_(make_spill_token()) {
   drivers_.reserve(options_.num_drivers);
   for (unsigned i = 0; i < options_.num_drivers; ++i)
@@ -136,6 +138,10 @@ std::future<util::Expected<QueryResult>> Engine::submit(QuerySpec spec) {
     } else if (spec.graph == nullptr) {
       rejection = {util::StatusCode::kInvalidArgument,
                    "QuerySpec::graph is null"};
+    } else if (util::Status admission =
+                   validate(spec.algorithm, spec.options.analytic);
+               !admission.ok()) {
+      rejection = std::move(admission);
     }
     if (!rejection.ok()) {
       ++stats_.rejected;
@@ -182,7 +188,11 @@ void Engine::run_job(Job job) {
           .count();
 
   Acquired acquired;
-  const ArtifactKind kind = artifact_kind(job.spec.algorithm);
+  // The artifact kind depends on (algorithm, analytic) but deliberately
+  // collapses analytics onto the same artifacts TC uses — cross-analytic
+  // sharing is the whole point of the cache key.
+  const ArtifactKind kind =
+      artifact_kind(job.spec.algorithm, job.spec.options.analytic.kind);
   if (kind != ArtifactKind::kNone && !job.spec.graph_key.empty())
     acquired = acquire_artifact(job.spec, kind);
 
@@ -216,6 +226,7 @@ void Engine::run_job(Job job) {
   // future and then snapshots telemetry always sees its own query.
   obs::QuerySample sample;
   sample.algorithm = static_cast<std::size_t>(job.spec.algorithm);
+  sample.analytic = static_cast<std::size_t>(job.spec.options.analytic.kind);
   sample.outcome = acquired.outcome;
   sample.graph_key = job.spec.graph_key;
   sample.status = util::status_code_name(result.status.code());
@@ -547,6 +558,7 @@ obs::JsonValue telemetry_to_json(const obs::TelemetrySnapshot& snap) {
   };
   for (const obs::SeriesSnapshot& s : snap.algorithms) emit("algorithm", s);
   for (const obs::SeriesSnapshot& s : snap.outcomes) emit("outcome", s);
+  for (const obs::SeriesSnapshot& s : snap.analytics) emit("analytic", s);
   out.set("histograms", std::move(rows));
   return out;
 }
@@ -678,6 +690,17 @@ std::string Engine::prometheus_text() const {
                 {{"outcome", series.label},
                  {"stage", obs::query_stage_name(series.stage)}},
                 series.hist);
+  for (const obs::SeriesSnapshot& series : t.analytics) {
+    w.histogram("lotus_engine_analytic_stage_seconds",
+                "Per-stage query latency by analytic kind.",
+                {{"analytic", series.label},
+                 {"stage", obs::query_stage_name(series.stage)}},
+                series.hist);
+    if (series.stage == obs::QueryStage::kTotal)
+      w.counter("lotus_engine_analytic_queries_total",
+                "Completed queries by analytic kind.", series.hist.count(),
+                {{"analytic", series.label}});
+  }
   return w.str();
 }
 

@@ -1,14 +1,19 @@
-// tc::Engine — a thread-safe triangle-counting serving layer.
+// tc::Engine — a thread-safe graph-analytics serving layer.
 //
 // An Engine owns a small fleet of query drivers (each with its *own* thread
 // pool, installed per-thread via parallel::ScopedPool) and a keyed
-// prepared-graph cache, so a stream of counting queries against a working
+// prepared-graph cache, so a stream of analytic queries — triangle counts,
+// k-clique censuses, k-truss decompositions, per-vertex local counts,
+// clustering coefficients (QueryOptions::analytic) — against a working
 // set of graphs runs (a) concurrently and (b) without re-paying
 // preprocessing: the first query for a (graph, artifact kind, config) triple
 // builds the artifact — degree order + oriented N^< CSR for the Forward
 // family, the LotusGraph (relabeling + H2H + HE/NHE CSX) for lotus/adaptive
 // — and every later query counts against the cached copy
-// (QueryResult::cache_hit, preprocess_s ≈ 0).
+// (QueryResult::cache_hit, preprocess_s ≈ 0). The cache key is the
+// *artifact* kind, not the analytic — artifact_kind(algorithm, analytic) —
+// so a k-clique query right after a TC query on the same graph is a cache
+// hit: both consume the one degree-ordered oriented CSR.
 //
 // Cache policy: single-flight (concurrent first queries for one key build
 // once; the others wait on the same shared_future) with LRU eviction charged
@@ -38,10 +43,11 @@
 // already exists is skipped and counted, never overwritten).
 //
 // Telemetry: every completed query is recorded into an obs::Telemetry —
-// per-stage latency histograms labeled by algorithm and cache outcome, a
-// rolling window for "now" stats, and a sampled JSON-lines query log.
-// Exported three ways: prometheus_text() (text exposition), metrics()
-// (`engine_telemetry` section, lotus-metrics/6), telemetry_snapshot()
+// per-stage latency histograms labeled by algorithm, analytic kind, and
+// cache outcome, a rolling window for "now" stats, and a sampled JSON-lines
+// query log. Exported three ways: prometheus_text() (text exposition),
+// metrics() (`engine_telemetry` section, lotus-metrics/7),
+// telemetry_snapshot()
 // (programmatic). See docs/TELEMETRY.md.
 //
 // Thread-safety: submit()/query()/stats()/metrics()/telemetry_snapshot()/
@@ -158,7 +164,8 @@ class Engine {
   /// Enqueue a query; the future resolves when it completes. Same Expected
   /// semantics as tc::query(): execution failures land in
   /// QueryResult::status; the error side is reserved for queries never
-  /// attempted (null graph → kInvalidArgument, shutdown → kCancelled).
+  /// attempted (null graph or a malformed AnalyticsRequest →
+  /// kInvalidArgument via validate(), shutdown → kCancelled).
   std::future<util::Expected<QueryResult>> submit(QuerySpec spec);
 
   /// submit() + wait: convenience for callers without their own pipeline.
@@ -172,7 +179,7 @@ class Engine {
   /// see the EngineStats invariants).
   [[nodiscard]] EngineStats stats() const;
 
-  /// Aggregate serving metrics as a "lotus-metrics/6" registry whose
+  /// Aggregate serving metrics as a "lotus-metrics/7" registry whose
   /// `engine` section carries the EngineStats fields and whose
   /// `engine_telemetry` section carries histogram quantiles + the rolling
   /// window (docs/METRICS.md, docs/TELEMETRY.md).

@@ -35,7 +35,7 @@ std::uint64_t replay_lotus(const core::LotusGraph& lotus_graph,
 
 /// replay_lotus with cumulative model snapshots taken between phases, so
 /// callers can attribute modeled events to the hhh_hhn / hnn / nnn spans
-/// (the `--events sim` path of tc::run_profiled). Snapshots are cumulative;
+/// (the `--events sim` path of a profiled tc::query). Snapshots are cumulative;
 /// subtract adjacent ones for per-phase deltas.
 struct SampledLotusReplay {
   std::uint64_t triangles = 0;

@@ -41,6 +41,30 @@ ArtifactKind artifact_kind(Algorithm algorithm) {
   return ArtifactKind::kNone;
 }
 
+ArtifactKind artifact_kind(Algorithm algorithm, AnalyticKind analytic) {
+  const ArtifactKind base = artifact_kind(algorithm);
+  switch (analytic) {
+    case AnalyticKind::kTriangles:
+      return base;
+    case AnalyticKind::kLocalCounts:
+    case AnalyticKind::kClustering:
+      // Per-vertex analytics run on the LOTUS substrate when the algorithm
+      // asks for it, otherwise on the shared oriented CSR; either way every
+      // algorithm gets a reusable artifact.
+      if (base == ArtifactKind::kNone) return ArtifactKind::kNone;
+      return base;
+    case AnalyticKind::kKClique:
+    case AnalyticKind::kKTruss:
+      // Clique census and truss peel are defined over the oriented DAG only —
+      // but kLotus algorithms still admit them by borrowing the same
+      // ArtifactKind the Forward family caches, so cross-analytic queries on
+      // one graph share one artifact.
+      if (base == ArtifactKind::kNone) return ArtifactKind::kNone;
+      return ArtifactKind::kOriented;
+  }
+  return ArtifactKind::kNone;
+}
+
 const char* artifact_kind_name(ArtifactKind kind) {
   switch (kind) {
     case ArtifactKind::kOriented: return "oriented";
@@ -294,7 +318,10 @@ RunResult run_prepared_kernel(Algorithm algorithm,
   const auto lotus_count = [&]() -> RunResult {
     const core::LotusResult r =
         core::count_triangles_prepared(lotus_graph(), config, trace);
-    return {r.triangles, 0.0, r.count_s()};
+    RunResult out;
+    out.triangles = r.triangles;
+    out.count_s = r.count_s();
+    return out;
   };
   const auto forward_count = [&](std::uint64_t (*kernel)(
                                  const graph::OrientedCsr&)) -> RunResult {
@@ -363,6 +390,9 @@ util::Expected<QueryResult> query_prepared(Algorithm algorithm,
                                            const graph::CsrGraph& graph,
                                            const PreparedGraph& prepared,
                                            const QueryOptions& options) {
+  if (util::Status admission = validate(algorithm, options.analytic);
+      !admission.ok())
+    return admission;
   return detail::execute_query(algorithm, graph, options, &prepared);
 }
 

@@ -42,6 +42,17 @@ enum class ArtifactKind {
 /// masked SpGEMM).
 [[nodiscard]] ArtifactKind artifact_kind(Algorithm algorithm);
 
+/// The artifact an (algorithm, analytic) pair consumes. The key property is
+/// analytic-independence wherever possible: every Forward-family algorithm
+/// maps to the same kOriented artifact for ALL analytics (so a k-clique
+/// query after a TC query is an Engine cache hit), and kLotus algorithms
+/// keep their kLotus artifact for the per-vertex analytics that can run on
+/// the LOTUS substrate (kLocalCounts, kClustering) while borrowing kOriented
+/// for the DAG-only ones (kKClique, kKTruss). Algorithms with no reusable
+/// artifact stay kNone — validate() rejects non-triangle analytics there.
+[[nodiscard]] ArtifactKind artifact_kind(Algorithm algorithm,
+                                         AnalyticKind analytic);
+
 /// Stable schema name of a kind ("oriented", "lotus", "none").
 [[nodiscard]] const char* artifact_kind_name(ArtifactKind kind);
 

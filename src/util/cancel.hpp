@@ -4,7 +4,7 @@
 // parallel loops at chunk granularity (parallel/exec_context.hpp) and
 // between LOTUS phases; a Deadline is a fixed point in steady-clock time.
 // Both are *sticky*: once cancelled/expired they stay that way, which is
-// what makes the post-run status check in tc::run_with_status race-free —
+// what makes the post-run status check in tc::query race-free —
 // any work that was skipped because of an interrupt is always visible to
 // the final check.
 //

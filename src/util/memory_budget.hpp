@@ -5,7 +5,7 @@
 // array, hash/bitmap intersection scratch). Allocation sites call
 // charge_current(bytes, site) *on the master thread, before the allocation*;
 // when the installed budget would be exceeded — or the `alloc` fault site
-// fires — a BudgetError is thrown, which tc::run_with_status catches to
+// fires — a BudgetError is thrown, which tc::query's execution core catches to
 // degrade to a cheaper algorithm (LOTUS -> degree-ordered forward,
 // hash/bitmap intersection -> merge) or to report out_of_memory.
 //

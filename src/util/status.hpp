@@ -1,7 +1,7 @@
 // Status / Expected<T>: the library-wide error model.
 //
 // Library code must never call exit() and must not let std::bad_alloc /
-// std::system_error escape the public API boundary (tc::run_with_status,
+// std::system_error escape the public API boundary (tc::query,
 // graph/io *_s functions). Instead, fallible operations return a Status (or
 // an Expected<T> carrying either a value or a Status) with one of a small
 // set of stable error codes. The code names and the CLI exit-code mapping
@@ -30,8 +30,8 @@ enum class StatusCode {
   kInvalidArgument,    // caller error: bad parameter, malformed input file
   kIoError,            // read/write failure, truncation, bad magic
   kOutOfMemory,        // allocation failure or memory budget exceeded
-  kDeadlineExceeded,   // RunOptions::deadline expired before completion
-  kCancelled,          // RunOptions::cancel was triggered
+  kDeadlineExceeded,   // QueryOptions::deadline expired before completion
+  kCancelled,          // QueryOptions::cancel was triggered
   kResourceExhausted,  // non-memory resource failure (threads, fds)
   kInternal,           // unexpected failure; a bug if ever observed
 };

@@ -72,15 +72,14 @@ TEST(Chaos, AllocFaultsNeverCorruptCounts) {
       for (const auto algorithm :
            {tc::Algorithm::kLotus, tc::Algorithm::kAdaptive,
             tc::Algorithm::kForwardHashed, tc::Algorithm::kForwardBitmap}) {
-        const auto result =
-            tc::run_with_status(algorithm, oracle().graph);
+        const auto result = tc::query(algorithm, oracle().graph).value();
         if (result.ok()) {
-          EXPECT_EQ(result.value().triangles, oracle().triangles)
+          EXPECT_EQ(result.result.triangles, oracle().triangles)
               << tc::name(algorithm) << " p=" << p << " seed=" << seed;
         } else {
-          EXPECT_EQ(result.status().code(), StatusCode::kOutOfMemory)
+          EXPECT_EQ(result.status.code(), StatusCode::kOutOfMemory)
               << tc::name(algorithm) << " p=" << p << " seed=" << seed << ": "
-              << result.status().to_string();
+              << result.status.to_string();
         }
       }
     }
@@ -88,15 +87,15 @@ TEST(Chaos, AllocFaultsNeverCorruptCounts) {
 }
 
 TEST(Chaos, AllocFaultsWithoutDegradationFailCleanly) {
-  tc::RunOptions options;
+  tc::QueryOptions options;
   options.allow_degradation = false;
   for (const std::uint64_t seed : kSeeds) {
     fault::ScopedFaultPlan plan(
         fault::single_site_plan(fault::Site::kAlloc, 1.0, seed));
     const auto result =
-        tc::run_with_status(tc::Algorithm::kLotus, oracle().graph, options);
+        tc::query(tc::Algorithm::kLotus, oracle().graph, options).value();
     ASSERT_FALSE(result.ok()) << "seed=" << seed;
-    EXPECT_EQ(result.status().code(), StatusCode::kOutOfMemory);
+    EXPECT_EQ(result.status.code(), StatusCode::kOutOfMemory);
   }
 }
 
@@ -162,10 +161,12 @@ TEST(Chaos, HwcFaultsDegradeToSimulatedEvents) {
   for (const std::uint64_t seed : kSeeds) {
     fault::ScopedFaultPlan plan(
         fault::single_site_plan(fault::Site::kHwc, 1.0, seed));
-    tc::ProfileOptions profile;
-    profile.events = lotus::obs::EventSource::kHardware;
-    const auto report = tc::run_profiled_with_status(
-        tc::Algorithm::kLotus, oracle().graph, {}, profile);
+    tc::QueryOptions options;
+    options.profile = true;
+    options.events = lotus::obs::EventSource::kHardware;
+    const auto report = tc::query(tc::Algorithm::kLotus, oracle().graph, options)
+                            .value()
+                            .profile.value();
     ASSERT_TRUE(report.status.ok()) << report.status.to_string();
     EXPECT_EQ(report.result.triangles, oracle().triangles);
     EXPECT_EQ(report.event_source, lotus::obs::EventSource::kSimulated);
@@ -261,10 +262,12 @@ TEST(Chaos, EverythingAtOnceStaysSaneEndToEnd) {
           << "seed=" << seed << ": " << loaded.status().to_string();
       continue;
     }
-    tc::ProfileOptions profile;
-    profile.events = lotus::obs::EventSource::kHardware;
-    const auto report = tc::run_profiled_with_status(
-        tc::Algorithm::kLotus, loaded.value(), {}, profile);
+    tc::QueryOptions options;
+    options.profile = true;
+    options.events = lotus::obs::EventSource::kHardware;
+    const auto report = tc::query(tc::Algorithm::kLotus, loaded.value(), options)
+                            .value()
+                            .profile.value();
     if (report.status.ok()) {
       EXPECT_EQ(report.result.triangles, oracle().triangles) << "seed=" << seed;
     } else {

@@ -1,5 +1,7 @@
 #include "diff_harness.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
@@ -184,9 +186,13 @@ std::uint64_t forward_with_kernel(const g::CsrGraph& graph, Kernel&& kernel) {
 /// external builder, the mmap loader, or the parallel loader surfaces as an
 /// ordinary count mismatch with the usual repro line.
 std::string oocore_temp_path(const char* tag) {
+  // The sequence alone is not unique across processes (ctest -j runs each
+  // test case in its own process, and every process counts from 0), so the
+  // pid rides along too.
   static std::atomic<std::uint64_t> seq{0};
   return (std::filesystem::temp_directory_path() /
           ("lotus_diff_" + std::string(tag) + "_" +
+           std::to_string(::getpid()) + "_" +
            std::to_string(seq.fetch_add(1)) + ".tmp"))
       .string();
 }

@@ -1,6 +1,7 @@
 // tc::Engine: concurrent serving, the prepared-graph cache, and the unified
 // query() surface it fronts (docs/API.md).
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
@@ -32,7 +33,8 @@ using lotus::util::StatusCode;
 class SpillDir {
  public:
   explicit SpillDir(const std::string& name)
-      : dir_(fs::temp_directory_path() / name) {
+      : dir_(fs::temp_directory_path() /
+             (name + "_" + std::to_string(::getpid()))) {
     fs::remove_all(dir_);
     fs::create_directories(dir_);
   }
@@ -375,7 +377,7 @@ TEST(Engine, EngineMetricsExportAggregates) {
   (void)get_ok(engine.submit({tc::Algorithm::kLotus, "g", &graph, {}}));
   (void)get_ok(engine.submit({tc::Algorithm::kLotus, "g", &graph, {}}));
   const std::string json = engine.metrics().to_json_string();
-  EXPECT_NE(json.find("\"schema_version\": \"lotus-metrics/6\""),
+  EXPECT_NE(json.find("\"schema_version\": \"lotus-metrics/7\""),
             std::string::npos);
   EXPECT_NE(json.find("\"component\": \"tc-engine\""), std::string::npos);
   EXPECT_NE(json.find("\"cache_hits\": 1"), std::string::npos);

@@ -1,6 +1,7 @@
 // Extension modules: k-clique counting, recursive LOTUS, the streaming hub
 // counter, and blocked HNN.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <fstream>
@@ -203,7 +204,9 @@ TEST(LotusLocal, CornerSumIsThreeTimesTotal) {
 class SerializeTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() / "lotus_serialize_test";
+    // Pid suffix: concurrent ctest -j processes must not share the dir.
+    dir_ = std::filesystem::temp_directory_path() /
+           ("lotus_serialize_test_" + std::to_string(::getpid()));
     std::filesystem::create_directories(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }

@@ -1,6 +1,6 @@
 // Hardware-counter backend: event vocabulary arithmetic, source parsing, the
-// perf_event_open provider's forced-failure hook, and the run_profiled event
-// pipeline — hw-degrades-to-sim, sim replay attribution, and off.
+// perf_event_open provider's forced-failure hook, and the profiled-query
+// event pipeline — hw-degrades-to-sim, sim replay attribution, and off.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -22,6 +22,14 @@ namespace tc = lotus::tc;
 using obs::Event;
 using obs::EventCounts;
 using obs::EventSource;
+
+/// Run a profiled query and unwrap the report (every request here is
+/// well-formed and expected to complete).
+tc::ProfileReport profiled(tc::Algorithm algorithm, const g::CsrGraph& graph,
+                           tc::QueryOptions options = {}) {
+  options.profile = true;
+  return tc::query(algorithm, graph, options).value().profile.value();
+}
 
 /// Scoped setenv/unsetenv so a failing test never leaks the forced-error
 /// hook into later tests.
@@ -114,7 +122,7 @@ TEST(SimEvents, StallModelMatchesDocumentedFormula) {
 TEST(RunProfiled, EventsOffLeavesHwSectionEmpty) {
   const auto graph =
       g::build_undirected(g::rmat({.scale = 9, .edge_factor = 8, .seed = 3}));
-  const auto report = tc::run_profiled(tc::Algorithm::kLotus, graph);
+  const auto report = profiled(tc::Algorithm::kLotus, graph);
   EXPECT_EQ(report.event_source, EventSource::kOff);
   EXPECT_FALSE(report.events.any());
 
@@ -128,10 +136,9 @@ TEST(RunProfiled, EventsOffLeavesHwSectionEmpty) {
 TEST(RunProfiled, SimulatedEventsAttributeToLotusPhases) {
   const auto graph =
       g::build_undirected(g::rmat({.scale = 10, .edge_factor = 8, .seed = 9}));
-  tc::ProfileOptions options;
+  tc::QueryOptions options;
   options.events = EventSource::kSimulated;
-  const auto report =
-      tc::run_profiled(tc::Algorithm::kLotus, graph, {}, options);
+  const auto report = profiled(tc::Algorithm::kLotus, graph, options);
 
   EXPECT_EQ(report.event_source, EventSource::kSimulated);
   EXPECT_EQ(report.event_backend.rfind("simcache:", 0), 0u) << report.event_backend;
@@ -174,10 +181,9 @@ TEST(RunProfiled, SimulatedEventsAttributeToLotusPhases) {
 TEST(RunProfiled, SimulatedEventsUnsupportedBaselineReportsZeroWithNote) {
   const auto graph =
       g::build_undirected(g::rmat({.scale = 9, .edge_factor = 8, .seed = 4}));
-  tc::ProfileOptions options;
+  tc::QueryOptions options;
   options.events = EventSource::kSimulated;
-  const auto report =
-      tc::run_profiled(tc::Algorithm::kNodeIterator, graph, {}, options);
+  const auto report = profiled(tc::Algorithm::kNodeIterator, graph, options);
   EXPECT_EQ(report.event_source, EventSource::kSimulated);
   EXPECT_FALSE(report.events.any());
   EXPECT_NE(report.event_note.find("no instrumented replay"), std::string::npos)
@@ -188,10 +194,9 @@ TEST(RunProfiled, HardwareDegradesToSimulatedWhenPerfUnavailable) {
   ScopedEnv force("LOTUS_HWC_FORCE_ERROR", "ENOSYS");
   const auto graph =
       g::build_undirected(g::rmat({.scale = 9, .edge_factor = 8, .seed = 6}));
-  tc::ProfileOptions options;
+  tc::QueryOptions options;
   options.events = EventSource::kHardware;
-  const auto report =
-      tc::run_profiled(tc::Algorithm::kLotus, graph, {}, options);
+  const auto report = profiled(tc::Algorithm::kLotus, graph, options);
 
   // The run must succeed, fall back to the simulated source, and say why.
   EXPECT_EQ(report.event_source, EventSource::kSimulated);

@@ -57,7 +57,10 @@ using lotus::util::StatusCode;
 class IntegrityTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "lotus_integrity_test";
+    // Suffix with the pid: ctest -j runs each case as its own process, and
+    // a shared directory would be torn down under a sibling mid-write.
+    dir_ = fs::temp_directory_path() /
+           ("lotus_integrity_test_" + std::to_string(::getpid()));
     fs::remove_all(dir_);
     fs::create_directories(dir_);
   }
@@ -466,7 +469,8 @@ TEST_F(IntegrityTest, MapGuardTurnsSigbusIntoIoError) {
 TEST(MapGuardDeathTest, DisabledGuardCrashesOnTruncatedMapping) {
   // Earlier tests may have started pool threads; re-exec instead of forking.
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
-  const fs::path dir = fs::temp_directory_path() / "lotus_mapguard_death";
+  const fs::path dir = fs::temp_directory_path() /
+                       ("lotus_mapguard_death_" + std::to_string(::getpid()));
   fs::create_directories(dir);
   const std::string file = (dir / "crash.bin").string();
   {
@@ -599,7 +603,8 @@ TEST_F(IntegrityTest, TruncateFaultSitePublishesDetectableCorruption) {
 class SpillDir {
  public:
   explicit SpillDir(const std::string& name)
-      : dir_(fs::temp_directory_path() / name) {
+      : dir_(fs::temp_directory_path() /
+             (name + "_" + std::to_string(::getpid()))) {
     fs::remove_all(dir_);
     fs::create_directories(dir_);
   }

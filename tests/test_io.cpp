@@ -1,6 +1,7 @@
 // IO round-trips plus failure injection: truncated files, bad magic,
 // malformed text, out-of-range IDs.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <filesystem>
@@ -21,7 +22,9 @@ namespace fs = std::filesystem;
 class IoTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "lotus_io_test";
+    // Pid suffix: concurrent ctest -j processes must not share the dir.
+    dir_ = fs::temp_directory_path() /
+           ("lotus_io_test_" + std::to_string(::getpid()));
     fs::create_directories(dir_);
   }
   void TearDown() override { fs::remove_all(dir_); }

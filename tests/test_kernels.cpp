@@ -377,7 +377,7 @@ TEST(KernelGraphLevel, ForcedIsaMatrixAllAlgorithmsAgree) {
     for (const tc::Algorithm algorithm :
          {tc::Algorithm::kLotus, tc::Algorithm::kForwardSimd,
           tc::Algorithm::kForwardHybrid}) {
-      EXPECT_EQ(tc::run(algorithm, graph).triangles, expected)
+      EXPECT_EQ(tc::query(algorithm, graph).value().result.triangles, expected)
           << tc::name(algorithm) << " @ " << k::isa_name(isa);
     }
   }
@@ -396,14 +396,20 @@ TEST(KernelGraphLevel, LotusScalarReferencePathAgrees) {
   eager_bitmap.hybrid_degree_threshold = 2;
   for (const auto& config :
        {vectorized, scalar_ref, no_bitmap, eager_bitmap}) {
-    EXPECT_EQ(tc::run(tc::Algorithm::kLotus, graph, config).triangles, expected)
+    EXPECT_EQ(tc::query(tc::Algorithm::kLotus, graph, {.config = config})
+                  .value()
+                  .result.triangles,
+              expected)
         << "vectorize=" << config.vectorize
         << " hybrid_threshold=" << config.hybrid_degree_threshold;
   }
   // Fused ablation path also routes through the dispatched kernels.
   lotus::core::LotusConfig fused;
   fused.fuse_hnn_nnn = true;
-  EXPECT_EQ(tc::run(tc::Algorithm::kLotus, graph, fused).triangles, expected);
+  EXPECT_EQ(tc::query(tc::Algorithm::kLotus, graph, {.config = fused})
+                .value()
+                .result.triangles,
+            expected);
 }
 
 }  // namespace

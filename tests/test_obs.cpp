@@ -1,5 +1,5 @@
 // Observability layer: PhaseTracer span trees, per-thread counters, JSON
-// round-trips, metrics export, and the tc::run_profiled regression that span
+// round-trips, metrics export, and the profiled-query regression that span
 // totals reconstruct the end-to-end time.
 #include <gtest/gtest.h>
 
@@ -301,10 +301,13 @@ TEST(Metrics, ExportHasAllSchemaSections) {
 TEST(RunProfiled, LotusSpanTotalsMatchEndToEndTime) {
   const auto graph =
       g::build_undirected(g::rmat({.scale = 12, .edge_factor = 8, .seed = 7}));
-  const auto report = tc::run_profiled(tc::Algorithm::kLotus, graph);
+  tc::QueryOptions options;
+  options.profile = true;
+  const auto report =
+      tc::query(tc::Algorithm::kLotus, graph, options).value().profile.value();
 
   EXPECT_EQ(report.result.triangles,
-            tc::run(tc::Algorithm::kLotus, graph).triangles);
+            tc::query(tc::Algorithm::kLotus, graph).value().result.triangles);
   EXPECT_GE(report.trace.spans().size(), 5u);
   for (const char* name :
        {"preprocess", "relabel", "partition", "serialize", "count", "hhh_hhn",
@@ -322,7 +325,9 @@ TEST(RunProfiled, LotusSpanTotalsMatchEndToEndTime) {
   EXPECT_EQ(report.edges, graph.num_edges() / 2);
   if (obs::enabled()) {
     EXPECT_GT(report.counters[obs::Counter::kBitarrayProbes], 0u);
-    EXPECT_FALSE(report.counters.threads.empty());
+    // Query-scoped counter provenance: totals only — per-thread rows are a
+    // property of the process-wide snapshot, not a profiled query.
+    EXPECT_TRUE(report.counters.threads.empty());
   }
 
   // The exported report is valid, parseable JSON carrying the span tree.
@@ -336,7 +341,11 @@ TEST(RunProfiled, LotusSpanTotalsMatchEndToEndTime) {
 TEST(RunProfiled, BaselinesEmitLeafSpans) {
   const auto graph =
       g::build_undirected(g::rmat({.scale = 9, .edge_factor = 8, .seed = 5}));
-  const auto report = tc::run_profiled(tc::Algorithm::kForwardMerge, graph);
+  tc::QueryOptions options;
+  options.profile = true;
+  const auto report = tc::query(tc::Algorithm::kForwardMerge, graph, options)
+                          .value()
+                          .profile.value();
   ASSERT_NE(report.trace.find("count"), nullptr);
   EXPECT_DOUBLE_EQ(report.trace.find("count")->seconds, report.result.count_s);
   if (report.result.preprocess_s > 0.0) {

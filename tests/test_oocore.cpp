@@ -2,6 +2,7 @@
 // binary loader (including the O_DIRECT path and its fallback), and the
 // external-memory CSR builders (docs/OUT_OF_CORE.md).
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdint>
 #include <filesystem>
@@ -30,7 +31,9 @@ using lotus::util::StatusCode;
 class OocoreTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "lotus_oocore_test";
+    // Pid suffix: concurrent ctest -j processes must not share the dir.
+    dir_ = fs::temp_directory_path() /
+           ("lotus_oocore_test_" + std::to_string(::getpid()));
     fs::create_directories(dir_);
   }
   void TearDown() override { fs::remove_all(dir_); }

@@ -1,7 +1,7 @@
-// Resilient execution layer end to end (tc::run_with_status /
-// run_profiled_with_status): cooperative cancellation, deadlines,
-// memory-budget degradation, and the resilience section of the metrics
-// export. Companion chaos coverage lives in tests/chaos/.
+// Resilient execution layer end to end (tc::query with cancel / deadline /
+// budget options): cooperative cancellation, deadlines, memory-budget
+// degradation, and the resilience section of the metrics export. Companion
+// chaos coverage lives in tests/chaos/.
 #include <gtest/gtest.h>
 
 #include <chrono>
@@ -37,56 +37,66 @@ g::CsrGraph slow_graph() {
   return graph;
 }
 
+// Every request here is well-formed, so the Expected side must hold a value;
+// runtime fates (cancelled, deadline, OOM) live in QueryResult::status.
+tc::QueryResult must_attempt(tc::Algorithm algorithm, const g::CsrGraph& graph,
+                             const tc::QueryOptions& options = {}) {
+  auto attempted = tc::query(algorithm, graph, options);
+  EXPECT_TRUE(attempted.ok()) << attempted.status().to_string();
+  return attempted.take();
+}
+
 TEST(Resilience, OkRunMatchesPlainRun) {
   const auto graph = small_graph();
   const std::uint64_t expected = lotus::baselines::brute_force(graph);
-  auto result = tc::run_with_status(tc::Algorithm::kLotus, graph);
-  ASSERT_TRUE(result.ok()) << result.status().to_string();
-  EXPECT_EQ(result.value().triangles, expected);
+  const auto result = must_attempt(tc::Algorithm::kLotus, graph);
+  ASSERT_TRUE(result.ok()) << result.status.to_string();
+  EXPECT_EQ(result.result.triangles, expected);
 }
 
 TEST(Resilience, PreCancelledTokenReturnsCancelled) {
   CancelToken token;
   token.cancel();
-  tc::RunOptions options;
+  tc::QueryOptions options;
   options.cancel = &token;
   const auto result =
-      tc::run_with_status(tc::Algorithm::kLotus, small_graph(), options);
+      must_attempt(tc::Algorithm::kLotus, small_graph(), options);
   ASSERT_FALSE(result.ok());
-  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(result.status.code(), StatusCode::kCancelled);
 }
 
 TEST(Resilience, CancelFromAnotherThread) {
   const auto graph = slow_graph();
   CancelToken token;
-  tc::RunOptions options;
+  tc::QueryOptions options;
   options.cancel = &token;
   std::thread canceller([&token] {
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
     token.cancel();
   });
-  const auto result =
-      tc::run_with_status(tc::Algorithm::kLotus, graph, options);
+  const auto result = must_attempt(tc::Algorithm::kLotus, graph, options);
   canceller.join();
   ASSERT_FALSE(result.ok());
-  EXPECT_EQ(result.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(result.status.code(), StatusCode::kCancelled);
 }
 
 TEST(Resilience, ZeroDeadlineExpiresImmediately) {
-  tc::RunOptions options;
+  tc::QueryOptions options;
   options.deadline = Deadline::after(0.0);
   const auto result =
-      tc::run_with_status(tc::Algorithm::kLotus, small_graph(), options);
+      must_attempt(tc::Algorithm::kLotus, small_graph(), options);
   ASSERT_FALSE(result.ok());
-  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(result.status.code(), StatusCode::kDeadlineExceeded);
 }
 
 TEST(Resilience, MidRunDeadlineReportsPartialMetrics) {
   const auto graph = slow_graph();
-  tc::RunOptions options;
+  tc::QueryOptions options;
   options.deadline = Deadline::after(0.002);
-  const auto report =
-      tc::run_profiled_with_status(tc::Algorithm::kLotus, graph, options);
+  options.profile = true;
+  const auto result = must_attempt(tc::Algorithm::kLotus, graph, options);
+  ASSERT_TRUE(result.profile.has_value());
+  const auto& report = *result.profile;
   EXPECT_EQ(report.status.code(), StatusCode::kDeadlineExceeded);
   // A partial count must never look like an answer; identity fields and
   // whatever spans completed before the deadline are kept.
@@ -103,15 +113,15 @@ TEST(Resilience, PoolIsCleanAfterInterruptedRun) {
   const auto graph = small_graph();
   const std::uint64_t expected = lotus::baselines::brute_force(graph);
   {
-    tc::RunOptions options;
+    tc::QueryOptions options;
     options.deadline = Deadline::after(0.0);
     const auto interrupted =
-        tc::run_with_status(tc::Algorithm::kLotus, graph, options);
+        must_attempt(tc::Algorithm::kLotus, graph, options);
     ASSERT_FALSE(interrupted.ok());
   }
-  auto clean = tc::run_with_status(tc::Algorithm::kLotus, graph);
-  ASSERT_TRUE(clean.ok()) << clean.status().to_string();
-  EXPECT_EQ(clean.value().triangles, expected);
+  const auto clean = must_attempt(tc::Algorithm::kLotus, graph);
+  ASSERT_TRUE(clean.ok()) << clean.status.to_string();
+  EXPECT_EQ(clean.result.triangles, expected);
 }
 
 TEST(Resilience, CancelTokenResetAllowsReuse) {
@@ -119,22 +129,24 @@ TEST(Resilience, CancelTokenResetAllowsReuse) {
   const std::uint64_t expected = lotus::baselines::brute_force(graph);
   CancelToken token;
   token.cancel();
-  tc::RunOptions options;
+  tc::QueryOptions options;
   options.cancel = &token;
-  ASSERT_FALSE(tc::run_with_status(tc::Algorithm::kLotus, graph, options).ok());
+  ASSERT_FALSE(must_attempt(tc::Algorithm::kLotus, graph, options).ok());
   token.reset();
-  auto again = tc::run_with_status(tc::Algorithm::kLotus, graph, options);
-  ASSERT_TRUE(again.ok()) << again.status().to_string();
-  EXPECT_EQ(again.value().triangles, expected);
+  const auto again = must_attempt(tc::Algorithm::kLotus, graph, options);
+  ASSERT_TRUE(again.ok()) << again.status.to_string();
+  EXPECT_EQ(again.result.triangles, expected);
 }
 
 TEST(Resilience, TinyBudgetDegradesLotusToForwardMerge) {
   const auto graph = small_graph();
   const std::uint64_t expected = lotus::baselines::brute_force(graph);
-  tc::RunOptions options;
+  tc::QueryOptions options;
   options.memory_budget_bytes = 1024;  // far below the relabel buffers
-  const auto report = tc::run_profiled_with_status(tc::Algorithm::kLotus,
-                                                   graph, options);
+  options.profile = true;
+  const auto result = must_attempt(tc::Algorithm::kLotus, graph, options);
+  ASSERT_TRUE(result.profile.has_value());
+  const auto& report = *result.profile;
   ASSERT_TRUE(report.status.ok()) << report.status.to_string();
   EXPECT_EQ(report.result.triangles, expected);  // degraded, still exact
   ASSERT_EQ(report.degradations.size(), 1u);
@@ -150,32 +162,34 @@ TEST(Resilience, TinyBudgetDegradesScratchKernelsToMerge) {
   const std::uint64_t expected = lotus::baselines::brute_force(graph);
   for (const auto algorithm :
        {tc::Algorithm::kForwardHashed, tc::Algorithm::kForwardBitmap}) {
-    tc::RunOptions options;
+    tc::QueryOptions options;
     options.memory_budget_bytes = 64;  // below any scratch estimate
-    const auto result = tc::run_with_status(algorithm, graph, options);
+    const auto result = must_attempt(algorithm, graph, options);
     ASSERT_TRUE(result.ok())
-        << tc::name(algorithm) << ": " << result.status().to_string();
-    EXPECT_EQ(result.value().triangles, expected) << tc::name(algorithm);
+        << tc::name(algorithm) << ": " << result.status.to_string();
+    EXPECT_EQ(result.result.triangles, expected) << tc::name(algorithm);
   }
 }
 
 TEST(Resilience, BudgetWithoutDegradationIsOutOfMemory) {
-  tc::RunOptions options;
+  tc::QueryOptions options;
   options.memory_budget_bytes = 1024;
   options.allow_degradation = false;
   const auto result =
-      tc::run_with_status(tc::Algorithm::kLotus, small_graph(), options);
+      must_attempt(tc::Algorithm::kLotus, small_graph(), options);
   ASSERT_FALSE(result.ok());
-  EXPECT_EQ(result.status().code(), StatusCode::kOutOfMemory);
+  EXPECT_EQ(result.status.code(), StatusCode::kOutOfMemory);
 }
 
 TEST(Resilience, GenerousBudgetDoesNotDegrade) {
   const auto graph = small_graph();
   const std::uint64_t expected = lotus::baselines::brute_force(graph);
-  tc::RunOptions options;
+  tc::QueryOptions options;
   options.memory_budget_bytes = 1ull << 30;
-  const auto report = tc::run_profiled_with_status(tc::Algorithm::kLotus,
-                                                   graph, options);
+  options.profile = true;
+  const auto result = must_attempt(tc::Algorithm::kLotus, graph, options);
+  ASSERT_TRUE(result.profile.has_value());
+  const auto& report = *result.profile;
   ASSERT_TRUE(report.status.ok()) << report.status.to_string();
   EXPECT_EQ(report.result.triangles, expected);
   EXPECT_TRUE(report.degradations.empty());
@@ -186,9 +200,9 @@ TEST(Resilience, AllocFaultDegradesEvenWithoutBudget) {
   const std::uint64_t expected = lotus::baselines::brute_force(graph);
   lotus::util::fault::ScopedFaultPlan plan(lotus::util::fault::single_site_plan(
       lotus::util::fault::Site::kAlloc, 1.0));
-  const auto result = tc::run_with_status(tc::Algorithm::kLotus, graph);
-  ASSERT_TRUE(result.ok()) << result.status().to_string();
-  EXPECT_EQ(result.value().triangles, expected);
+  const auto result = must_attempt(tc::Algorithm::kLotus, graph);
+  ASSERT_TRUE(result.ok()) << result.status.to_string();
+  EXPECT_EQ(result.result.triangles, expected);
 }
 
 TEST(Resilience, MergeKernelIsImmuneToAllocFaults) {
@@ -198,14 +212,18 @@ TEST(Resilience, MergeKernelIsImmuneToAllocFaults) {
   const std::uint64_t expected = lotus::baselines::brute_force(graph);
   lotus::util::fault::ScopedFaultPlan plan(lotus::util::fault::single_site_plan(
       lotus::util::fault::Site::kAlloc, 1.0));
-  const auto result = tc::run_with_status(tc::Algorithm::kForwardMerge, graph);
-  ASSERT_TRUE(result.ok()) << result.status().to_string();
-  EXPECT_EQ(result.value().triangles, expected);
+  const auto result = must_attempt(tc::Algorithm::kForwardMerge, graph);
+  ASSERT_TRUE(result.ok()) << result.status.to_string();
+  EXPECT_EQ(result.result.triangles, expected);
 }
 
 TEST(Resilience, ResilienceSectionDefaultsToOk) {
-  const auto report =
-      tc::run_profiled_with_status(tc::Algorithm::kForwardMerge, small_graph());
+  tc::QueryOptions options;
+  options.profile = true;
+  const auto result =
+      must_attempt(tc::Algorithm::kForwardMerge, small_graph(), options);
+  ASSERT_TRUE(result.profile.has_value());
+  const auto& report = *result.profile;
   ASSERT_TRUE(report.status.ok());
   const std::string json = report.to_json();
   EXPECT_NE(json.find("\"resilience\""), std::string::npos);

@@ -136,7 +136,7 @@ TEST(SanitizerStress, CancelRacesRunRepeatedly) {
       g::build_undirected(g::rmat({.scale = 12, .edge_factor = 12, .seed = 9}));
   const auto expected = lotus::baselines::brute_force(graph);
   lotus::util::CancelToken token;
-  lotus::tc::RunOptions options;
+  lotus::tc::QueryOptions options;
   options.cancel = &token;
   for (int round = 0; round < 20; ++round) {
     token.reset();
@@ -146,21 +146,21 @@ TEST(SanitizerStress, CancelRacesRunRepeatedly) {
       token.cancel();
     });
     const auto result =
-        lotus::tc::run_with_status(lotus::tc::Algorithm::kLotus, graph, options);
+        lotus::tc::query(lotus::tc::Algorithm::kLotus, graph, options).value();
     canceller.join();
     if (result.ok()) {
-      ASSERT_EQ(result.value().triangles, expected) << "round " << round;
+      ASSERT_EQ(result.result.triangles, expected) << "round " << round;
     } else {
-      ASSERT_EQ(result.status().code(), lotus::util::StatusCode::kCancelled)
-          << "round " << round << ": " << result.status().to_string();
+      ASSERT_EQ(result.status.code(), lotus::util::StatusCode::kCancelled)
+          << "round " << round << ": " << result.status.to_string();
     }
   }
   // The pool and global exec context must be pristine afterwards.
   token.reset();
   const auto clean =
-      lotus::tc::run_with_status(lotus::tc::Algorithm::kLotus, graph, options);
-  ASSERT_TRUE(clean.ok()) << clean.status().to_string();
-  EXPECT_EQ(clean.value().triangles, expected);
+      lotus::tc::query(lotus::tc::Algorithm::kLotus, graph, options).value();
+  ASSERT_TRUE(clean.ok()) << clean.status.to_string();
+  EXPECT_EQ(clean.result.triangles, expected);
   par::set_num_threads(0);
 }
 

@@ -22,7 +22,7 @@ TEST(TcApi, AllAlgorithmsAgreeOnRandomGraph) {
       g::build_undirected(g::rmat({.scale = 9, .edge_factor = 8, .seed = 31}));
   const std::uint64_t expected = lotus::baselines::brute_force(graph);
   for (auto algorithm : tc::all_algorithms())
-    EXPECT_EQ(tc::run(algorithm, graph).triangles, expected)
+    EXPECT_EQ(tc::query(algorithm, graph).value().result.triangles, expected)
         << tc::name(algorithm);
 }
 

@@ -570,7 +570,7 @@ TEST(EngineTelemetry, MetricsExportCarriesTelemetrySection) {
       engine.submit({tc::Algorithm::kLotus, "g", &graph, {}}));
   const obs::JsonValue root =
       obs::JsonValue::parse(engine.metrics().to_json_string());
-  EXPECT_EQ(root.find("schema_version")->as_string(), "lotus-metrics/6");
+  EXPECT_EQ(root.find("schema_version")->as_string(), "lotus-metrics/7");
   const obs::JsonValue* telemetry = root.find("engine_telemetry");
   ASSERT_NE(telemetry, nullptr);
   EXPECT_TRUE(telemetry->find("enabled")->as_bool());

@@ -225,10 +225,11 @@ TEST(ChromeTrace, WorkerTimelinesAreWellNestedAndStealsValid) {
 TEST(RunProfiled, CaptureSchedEventsPopulatesReportAndTrace) {
   const auto graph =
       g::build_undirected(g::rmat({.scale = 10, .edge_factor = 8, .seed = 2}));
-  tc::ProfileOptions options;
+  tc::QueryOptions options;
   options.capture_sched_events = true;
+  options.profile = true;
   const auto report =
-      tc::run_profiled(tc::Algorithm::kLotus, graph, {}, options);
+      tc::query(tc::Algorithm::kLotus, graph, options).value().profile.value();
 
   // The sink must be uninstalled again and the LOTUS hub phase (the
   // work-stealing stage) must have produced task events.
